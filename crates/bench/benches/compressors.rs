@@ -1,0 +1,52 @@
+//! Criterion companion to Fig. 10: compression (and decompression) wall
+//! time per compressor on one representative field/tolerance, for
+//! regression tracking. The `fig10` binary prints the full Table II
+//! matrix.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sperr_compress_api::{Bound, LossyCompressor};
+use sperr_core::{Sperr, SperrConfig};
+use sperr_datagen::SyntheticField;
+use std::hint::black_box;
+
+fn bench_compressors(c: &mut Criterion) {
+    let field = SyntheticField::S3dTemperature.generate([48, 48, 48], 5);
+    let idx = 20u32;
+    let t = field.tolerance_for_idx(idx);
+    let psnr = sperr_metrics::psnr_target_for_idx(idx);
+
+    let sperr = Sperr::new(SperrConfig::default());
+    let sz = sperr_sz_like::SzLike::default();
+    let zfp = sperr_zfp_like::ZfpLike::default();
+    let tthresh = sperr_tthresh_like::TthreshLike;
+    let mgard = sperr_mgard_like::MgardLike;
+    let cases: Vec<(&str, &dyn LossyCompressor, Bound)> = vec![
+        ("SPERR", &sperr, Bound::Pwe(t)),
+        ("SZ-like", &sz, Bound::Pwe(t)),
+        ("ZFP-like", &zfp, Bound::Pwe(t)),
+        ("TTHRESH-like", &tthresh, Bound::Psnr(psnr)),
+        ("MGARD-like", &mgard, Bound::Pwe(t)),
+    ];
+
+    let mut group = c.benchmark_group("compress_temp_idx20");
+    group.sample_size(10);
+    for (name, comp, bound) in &cases {
+        group.bench_function(*name, |b| {
+            b.iter(|| black_box(comp.compress(&field, *bound).unwrap().len()))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("decompress_temp_idx20");
+    group.sample_size(10);
+    for (name, comp, bound) in &cases {
+        let stream = comp.compress(&field, *bound).unwrap();
+        group.bench_function(*name, |b| {
+            b.iter(|| black_box(comp.decompress(&stream).unwrap().len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compressors);
+criterion_main!(benches);

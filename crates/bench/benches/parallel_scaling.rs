@@ -1,0 +1,35 @@
+//! Criterion companion to Fig. 7: SPERR compression wall time vs worker
+//! thread count on a chunked volume. On multi-core hosts this shows the
+//! near-linear region; the `fig7` binary prints the paper-style speedup
+//! table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sperr_compress_api::{Bound, LossyCompressor};
+use sperr_core::{Sperr, SperrConfig};
+use sperr_datagen::SyntheticField;
+use std::hint::black_box;
+
+fn bench_scaling(c: &mut Criterion) {
+    let field = SyntheticField::MirandaDensity.generate([96, 96, 48], 5);
+    let t = field.tolerance_for_idx(15);
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    let mut group = c.benchmark_group("parallel_scaling_idx15");
+    group.sample_size(10);
+    let mut threads = 1usize;
+    while threads <= (2 * cores).max(4) {
+        let sperr = Sperr::new(SperrConfig {
+            chunk_dims: [32, 32, 32],
+            num_threads: threads,
+            ..SperrConfig::default()
+        });
+        group.bench_function(format!("threads_{threads}"), |b| {
+            b.iter(|| black_box(sperr.compress(&field, Bound::Pwe(t)).unwrap().len()))
+        });
+        threads *= 2;
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

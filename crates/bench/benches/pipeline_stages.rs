@@ -1,0 +1,74 @@
+//! Criterion companion to Fig. 6: micro-benchmarks of the four SPERR
+//! pipeline stages at two tolerance levels, on a Miranda-Viscosity-like
+//! field. (The `fig6` binary prints the paper-style breakdown table; this
+//! bench tracks regressions per stage.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sperr_datagen::SyntheticField;
+use sperr_speck::Termination;
+use sperr_wavelet::{forward_3d, inverse_3d, levels_for_dims, Kernel};
+use std::hint::black_box;
+
+fn bench_stages(c: &mut Criterion) {
+    let dims = [64usize, 64, 48];
+    let field = SyntheticField::MirandaViscosity.generate(dims, 5);
+    let levels = levels_for_dims(dims);
+
+    let mut group = c.benchmark_group("pipeline_stages");
+    group.sample_size(10);
+
+    group.bench_function("1_forward_dwt", |b| {
+        b.iter(|| {
+            let mut coeffs = field.data.clone();
+            forward_3d(&mut coeffs, dims, levels, Kernel::Cdf97);
+            black_box(coeffs.len())
+        })
+    });
+
+    let mut coeffs = field.data.clone();
+    forward_3d(&mut coeffs, dims, levels, Kernel::Cdf97);
+
+    for idx in [10u32, 30] {
+        let t = field.tolerance_for_idx(idx);
+        let q = 1.5 * t;
+        group.bench_function(format!("2_speck_encode_idx{idx}"), |b| {
+            b.iter(|| black_box(sperr_speck::encode(&coeffs, dims, q, Termination::Quality).bits_used))
+        });
+
+        group.bench_function(format!("3_locate_outliers_idx{idx}"), |b| {
+            b.iter(|| {
+                let mut recon = sperr_speck::reconstruct_quantized(&coeffs, q);
+                inverse_3d(&mut recon, dims, levels, Kernel::Cdf97);
+                let count = field
+                    .data
+                    .iter()
+                    .zip(&recon)
+                    .filter(|(a, b)| (*a - *b).abs() > t)
+                    .count();
+                black_box(count)
+            })
+        });
+
+        let mut recon = sperr_speck::reconstruct_quantized(&coeffs, q);
+        inverse_3d(&mut recon, dims, levels, Kernel::Cdf97);
+        let outliers: Vec<sperr_outlier::Outlier> = field
+            .data
+            .iter()
+            .zip(&recon)
+            .enumerate()
+            .filter_map(|(pos, (&a, &r))| {
+                let corr = a - r;
+                (corr.abs() > t).then_some(sperr_outlier::Outlier { pos, corr })
+            })
+            .collect();
+        if !outliers.is_empty() {
+            group.bench_function(format!("4_outlier_encode_idx{idx}"), |b| {
+                b.iter(|| black_box(sperr_outlier::encode(&outliers, field.len(), t).bits_used))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stages);
+criterion_main!(benches);

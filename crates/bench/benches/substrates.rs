@@ -1,0 +1,102 @@
+//! Criterion micro-benchmarks of the substrate crates: wavelet transform
+//! throughput, SPECK coding, the outlier coder, and the lossless codec —
+//! regression tracking below the whole-pipeline level.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sperr_datagen::SyntheticField;
+use sperr_outlier::Outlier;
+use sperr_speck::Termination;
+use sperr_wavelet::{forward_3d, inverse_3d, levels_for_dims, Kernel};
+use std::hint::black_box;
+
+fn bench_wavelet(c: &mut Criterion) {
+    let dims = [64usize, 64, 64];
+    let field = SyntheticField::MirandaPressure.generate(dims, 1);
+    let levels = levels_for_dims(dims);
+    let mut group = c.benchmark_group("wavelet_64cubed");
+    group.sample_size(20);
+    for kernel in [Kernel::Cdf97, Kernel::Cdf53, Kernel::Haar] {
+        group.bench_function(format!("forward_{}", kernel.name().replace([' ', '/'], "_")), |b| {
+            b.iter(|| {
+                let mut data = field.data.clone();
+                forward_3d(&mut data, dims, levels, kernel);
+                black_box(data[0])
+            })
+        });
+    }
+    group.bench_function("roundtrip_CDF_9_7", |b| {
+        b.iter(|| {
+            let mut data = field.data.clone();
+            forward_3d(&mut data, dims, levels, Kernel::Cdf97);
+            inverse_3d(&mut data, dims, levels, Kernel::Cdf97);
+            black_box(data[0])
+        })
+    });
+    group.finish();
+}
+
+fn bench_speck(c: &mut Criterion) {
+    let dims = [64usize, 64, 64];
+    let field = SyntheticField::MirandaPressure.generate(dims, 1);
+    let levels = levels_for_dims(dims);
+    let mut coeffs = field.data.clone();
+    forward_3d(&mut coeffs, dims, levels, Kernel::Cdf97);
+    let q = field.range() * f64::exp2(-20.0) * 1.5;
+    let mut group = c.benchmark_group("speck_64cubed_idx20");
+    group.sample_size(10);
+    group.bench_function("encode", |b| {
+        b.iter(|| black_box(sperr_speck::encode(&coeffs, dims, q, Termination::Quality).bits_used))
+    });
+    let enc = sperr_speck::encode(&coeffs, dims, q, Termination::Quality);
+    group.bench_function("decode", |b| {
+        b.iter(|| {
+            black_box(sperr_speck::decode(&enc.stream, dims, q, enc.num_planes).unwrap().len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_outlier(c: &mut Criterion) {
+    let n = 1 << 20;
+    let t = 1.0;
+    let outliers: Vec<Outlier> = (0..10_000)
+        .map(|i| Outlier {
+            pos: (i * 104729) % n,
+            corr: (1.1 + (i % 13) as f64 * 0.2) * if i % 2 == 0 { 1.0 } else { -1.0 },
+        })
+        .collect();
+    let mut group = c.benchmark_group("outlier_10k_of_1M");
+    group.sample_size(20);
+    group.bench_function("encode", |b| {
+        b.iter(|| black_box(sperr_outlier::encode(&outliers, n, t).bits_used))
+    });
+    let enc = sperr_outlier::encode(&outliers, n, t);
+    group.bench_function("decode", |b| {
+        b.iter(|| black_box(sperr_outlier::decode(&enc.stream, n, t, enc.max_n).unwrap().len()))
+    });
+    group.finish();
+}
+
+fn bench_lossless(c: &mut Criterion) {
+    // Container-like bytes: headers + coder output.
+    let mut data = Vec::new();
+    for chunk in 0..32u64 {
+        data.extend_from_slice(&[0u8; 26]);
+        for i in 0..8192u64 {
+            data.push(((i.wrapping_mul(2654435761)).wrapping_add(chunk) >> 13) as u8);
+        }
+    }
+    let mut group = c.benchmark_group("lossless_260KiB");
+    group.sample_size(20);
+    group.bench_function("compress", |b| {
+        b.iter(|| black_box(sperr_lossless::compress(&data).len()))
+    });
+    let packed = sperr_lossless::compress(&data);
+    group.bench_function("decompress", |b| {
+        b.iter(|| black_box(sperr_lossless::decompress(&packed).unwrap().len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_wavelet, bench_speck, bench_outlier, bench_lossless);
+criterion_main!(benches);

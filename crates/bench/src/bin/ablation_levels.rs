@@ -1,0 +1,46 @@
+//! Ablation (design choice, §III-A): transform recursion depth. The paper
+//! caps levels at `min(6, ⌊log2 N⌋ − 2)` citing diminishing returns of
+//! deep recursion; this ablation sweeps the cap directly on the raw
+//! wavelet+SPECK path (no outlier stage, so the effect is isolated).
+
+use sperr_datagen::SyntheticField;
+use sperr_speck::Termination;
+use sperr_wavelet::{forward_3d, inverse_3d, num_levels, Kernel};
+
+fn main() {
+    sperr_bench::banner(
+        "Ablation — wavelet transform depth cap",
+        "level rule min(6, ⌊log2 N⌋ − 2) of §III-A",
+    );
+    let field = sperr_bench::bench_field(SyntheticField::MirandaPressure);
+    let dims = field.dims;
+    let rule = [
+        num_levels(dims[0]),
+        num_levels(dims[1]),
+        num_levels(dims[2]),
+    ];
+    let q = field.range() * f64::exp2(-20.0);
+    println!("# dims {dims:?}; paper rule -> levels {rule:?}; q = {q:.3e}");
+    println!("level_cap,bpp,psnr_db,accuracy_gain");
+    let max_cap = rule.iter().copied().max().unwrap() + 2;
+    for cap in 0..=max_cap {
+        let levels = [cap.min(rule[0] + 2), cap.min(rule[1] + 2), cap.min(rule[2] + 2)];
+        let mut coeffs = field.data.clone();
+        forward_3d(&mut coeffs, dims, levels, Kernel::Cdf97);
+        let enc = sperr_speck::encode(&coeffs, dims, q, Termination::Quality);
+        let mut rec = sperr_speck::decode(&enc.stream, dims, q, enc.num_planes).unwrap();
+        inverse_3d(&mut rec, dims, levels, Kernel::Cdf97);
+        let bpp = enc.bits_used as f64 / field.len() as f64;
+        println!(
+            "{cap},{bpp:.4},{:.2},{:.3}",
+            sperr_metrics::psnr(&field.data, &rec),
+            sperr_metrics::accuracy_gain(
+                sperr_metrics::std_dev(&field.data),
+                sperr_metrics::rmse(&field.data, &rec),
+                bpp
+            ),
+        );
+    }
+    println!("# expected: gain improves rapidly through ~4 levels then saturates —");
+    println!("# the diminishing returns motivating the paper's six-level cap.");
+}

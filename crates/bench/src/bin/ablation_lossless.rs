@@ -1,0 +1,29 @@
+//! Ablation (design choice, §V): the lossless post-pass over the
+//! concatenated bitstreams (ZSTD in the paper, our LZ77+Huffman codec
+//! here). SPECK output is already entropy-dense, so gains are modest but
+//! consistent — chiefly from headers, stream padding and structured
+//! significance-bit patterns.
+
+use sperr_compress_api::{Bound, LossyCompressor};
+use sperr_core::{Sperr, SperrConfig};
+
+fn main() {
+    sperr_bench::banner(
+        "Ablation — lossless post-pass on/off",
+        "pipeline stage of §V (ZSTD substitute)",
+    );
+    println!("case,raw_container_bytes,with_lossless_bytes,saving_pct");
+    for (f, idx) in sperr_bench::table2_matrix() {
+        let field = sperr_bench::bench_field(f);
+        let t = field.tolerance_for_idx(idx);
+        let plain = Sperr::new(SperrConfig { lossless: false, ..SperrConfig::default() });
+        let packed = Sperr::new(SperrConfig { lossless: true, ..SperrConfig::default() });
+        let a = plain.compress(&field, Bound::Pwe(t)).expect("compress").len();
+        let b = packed.compress(&field, Bound::Pwe(t)).expect("compress").len();
+        println!(
+            "{},{a},{b},{:.2}",
+            f.abbrev(idx),
+            100.0 * (a as f64 - b as f64) / a as f64
+        );
+    }
+}

@@ -1,0 +1,50 @@
+//! Ablation extending Fig. 11 with the classical alternatives the paper's
+//! §II surveys: bitmap position coding and gap/universal-code coding
+//! (Elias gamma), against SPERR's unified SPECK-style coder and SZ's
+//! Huffman-over-quant-bins scheme — all fed the *same* intercepted
+//! outlier lists.
+//!
+//! Expected: the bitmap pays N bits regardless of sparsity (§II: "far
+//! from optimal"); gap+gamma is competitive but SPERR's coder wins by
+//! unifying position and value coding; SZ's scheme is close behind.
+
+use sperr_outlier::alternatives::{bitmap, gaps};
+use sperr_sz_like::compress_quant_bins;
+
+fn main() {
+    sperr_bench::banner(
+        "Ablation — outlier coding schemes (extends Fig. 11)",
+        "design discussion of §II / §IV",
+    );
+    println!("case,num_outliers,outlier_pct,sperr_bpo,sz_bpo,gaps_gamma_bpo,bitmap_bpo");
+    for (f, idx) in sperr_bench::table2_matrix() {
+        let field = sperr_bench::bench_field(f);
+        let t = field.tolerance_for_idx(idx);
+        let outliers = sperr_bench::intercept_outliers(&field, t, 1.5);
+        if outliers.is_empty() {
+            continue;
+        }
+        let n = field.len();
+        let count = outliers.len() as f64;
+
+        let sperr_bits = sperr_outlier::encode(&outliers, n, t).bits_used as f64;
+        let mut codes = vec![0i32; n];
+        for o in &outliers {
+            codes[o.pos] = (o.corr / (2.0 * t)).round() as i32;
+        }
+        let sz_bits = compress_quant_bins(&codes).len() as f64 * 8.0;
+        let gaps_bits = gaps::encode(&outliers, n, t).len() as f64 * 8.0;
+        let bitmap_bits = bitmap::encode(&outliers, n, t).len() as f64 * 8.0;
+
+        println!(
+            "{},{},{:.3},{:.2},{:.2},{:.2},{:.2}",
+            f.abbrev(idx),
+            outliers.len(),
+            100.0 * count / n as f64,
+            sperr_bits / count,
+            sz_bits / count,
+            gaps_bits / count,
+            bitmap_bits / count,
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! Ablation on the SZ baseline's predictor: SZ3's multilevel cubic
+//! interpolation vs. the classic Lorenzo predictor (SZ1.4/SZ2) at matched
+//! tolerances — the evolution step inside the SZ family that the paper's
+//! §II sketches ("the SZ family of compressors, which have explored a
+//! variety of mathematical predictors").
+
+use sperr_compress_api::{Bound, LossyCompressor};
+use sperr_datagen::SyntheticField;
+use sperr_sz_like::{sz_lorenzo, SzLike};
+
+fn main() {
+    sperr_bench::banner(
+        "Ablation — SZ predictor: multilevel interpolation vs Lorenzo",
+        "§II (SZ family predictor evolution)",
+    );
+    let interp = SzLike::default();
+    let lorenzo = sz_lorenzo();
+    println!("case,predictor,bpp,psnr_db");
+    for f in [
+        SyntheticField::MirandaPressure,
+        SyntheticField::S3dTemperature,
+        SyntheticField::NyxDarkMatterDensity,
+    ] {
+        let field = sperr_bench::bench_field(f);
+        for idx in [10u32, 20] {
+            let t = field.tolerance_for_idx(idx);
+            for (name, comp) in
+                [("interpolation", &interp as &dyn LossyCompressor), ("lorenzo", &lorenzo)]
+            {
+                let stream = comp.compress(&field, Bound::Pwe(t)).expect("compress");
+                let rec = comp.decompress(&stream).expect("decompress");
+                println!(
+                    "{},{name},{:.4},{:.2}",
+                    f.abbrev(idx),
+                    stream.len() as f64 * 8.0 / field.len() as f64,
+                    sperr_metrics::psnr(&field.data, &rec.data),
+                );
+            }
+        }
+    }
+    println!("# expected: interpolation wins on smooth non-separable data,");
+    println!("# matching SZ3's move away from Lorenzo.");
+}

@@ -1,0 +1,46 @@
+//! Ablation following §VI-C's closing note: "Evaluations using more
+//! domain-specific metrics (e.g., SSIM) are likely necessary to determine
+//! SPERR's applicability in a particular use case." Compares the PWE
+//! compressors on mean 3-D SSIM (and bitrate) at matched tolerances.
+
+use sperr_compress_api::{Bound, LossyCompressor};
+use sperr_core::{Sperr, SperrConfig};
+use sperr_datagen::SyntheticField;
+
+fn main() {
+    sperr_bench::banner(
+        "Ablation — structural similarity (SSIM) at matched PWE tolerances",
+        "§VI-C's domain-metric remark",
+    );
+    let sperr = Sperr::new(SperrConfig::default());
+    let sz = sperr_sz_like::SzLike::default();
+    let zfp = sperr_zfp_like::ZfpLike::default();
+
+    println!("case,compressor,bpp,ssim,psnr_db");
+    for f in [
+        SyntheticField::MirandaPressure,
+        SyntheticField::S3dTemperature,
+        SyntheticField::NyxDarkMatterDensity,
+        SyntheticField::Qmcpack,
+    ] {
+        let field = sperr_bench::bench_field(f);
+        for idx in [8u32, 14, 20] {
+            let t = field.tolerance_for_idx(idx);
+            for (name, comp) in [
+                ("SPERR", &sperr as &dyn LossyCompressor),
+                ("SZ-like", &sz),
+                ("ZFP-like", &zfp),
+            ] {
+                let stream = comp.compress(&field, Bound::Pwe(t)).expect("compress");
+                let rec = comp.decompress(&stream).expect("decompress");
+                println!(
+                    "{},{name},{:.4},{:.6},{:.2}",
+                    f.abbrev(idx),
+                    stream.len() as f64 * 8.0 / field.len() as f64,
+                    sperr_metrics::ssim_3d(&field.data, &rec.data, field.dims),
+                    sperr_metrics::psnr(&field.data, &rec.data),
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Fig. 11: outlier-coding efficiency — SPERR's SPECK-inspired outlier
+//! coder vs. SZ's scheme (quantize correctors to integer multiples of the
+//! tolerance, Huffman over all points with zero-valued inliers, ZSTD) —
+//! on the *same* list of outliers intercepted from SPERR's pipeline.
+//! Expected: SPERR ~10 bits/outlier everywhere, consistently 1–2 bits
+//! cheaper than SZ's scheme (§VI-E).
+
+use sperr_sz_like::compress_quant_bins;
+
+fn main() {
+    sperr_bench::banner(
+        "Fig. 11 — outlier coding: SPERR coder vs SZ quant-bin scheme",
+        "Figure 11 (Table II matrix, same outlier lists)",
+    );
+    println!("case,num_outliers,outlier_pct,sperr_bits_per_outlier,sz_bits_per_outlier,max_abs_code");
+    for (f, idx) in sperr_bench::table2_matrix() {
+        let field = sperr_bench::bench_field(f);
+        let t = field.tolerance_for_idx(idx);
+        // Intercept SPERR's pipeline at the default q = 1.5t.
+        let outliers = sperr_bench::intercept_outliers(&field, t, 1.5);
+        if outliers.is_empty() {
+            println!("{},0,0.0,,,", f.abbrev(idx));
+            continue;
+        }
+        // SPERR's coder.
+        let enc = sperr_outlier::encode(&outliers, field.len(), t);
+        let sperr_bpo = enc.bits_used as f64 / outliers.len() as f64;
+        // SZ's scheme: one quantized corrector per data point (inliers 0),
+        // codes as multiples of 2t, Huffman + lossless.
+        let mut codes = vec![0i32; field.len()];
+        let mut max_code = 0i32;
+        for o in &outliers {
+            let c = (o.corr / (2.0 * t)).round() as i32;
+            // SPERR correctors are small (paper: none outside -4..4).
+            codes[o.pos] = c;
+            max_code = max_code.max(c.abs());
+        }
+        let sz_bytes = compress_quant_bins(&codes);
+        let sz_bpo = sz_bytes.len() as f64 * 8.0 / outliers.len() as f64;
+        println!(
+            "{},{},{:.3},{sperr_bpo:.2},{sz_bpo:.2},{max_code}",
+            f.abbrev(idx),
+            outliers.len(),
+            100.0 * outliers.len() as f64 / field.len() as f64
+        );
+    }
+}

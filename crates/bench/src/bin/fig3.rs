@@ -1,0 +1,55 @@
+//! Fig. 3: for four fields and several tolerance levels, sweep the
+//! quantization step q ∈ [1.0t, 3.0t] and report (top row) the bitrate
+//! increase over the best observed q and (bottom row) the PSNR increase
+//! over the worst observed q. The bitrate curves are U-shaped with sweet
+//! spots mostly in q = 1.4t…1.8t; the PSNR curves decrease monotonically
+//! — together motivating the paper's q = 1.5t default (§IV-D).
+
+use sperr_compress_api::{Bound, LossyCompressor};
+use sperr_core::{Sperr, SperrConfig};
+use sperr_datagen::SyntheticField;
+
+fn main() {
+    sperr_bench::banner(
+        "Fig. 3 — ΔBPP (top) and ΔPSNR (bottom) vs quantization step q",
+        "Figure 3 (4 fields × tolerance levels, q from 1.0t to 3.0t)",
+    );
+    // Two double-precision Miranda fields, two single-precision Nyx fields
+    // (the paper's "four fields from two data sets").
+    let cases: Vec<(SyntheticField, Vec<u32>)> = vec![
+        (SyntheticField::MirandaPressure, vec![10, 20, 30, 40, 50]),
+        (SyntheticField::MirandaViscosity, vec![10, 20, 30, 40, 50]),
+        (SyntheticField::NyxDarkMatterDensity, vec![10, 20, 30]),
+        (SyntheticField::NyxVelocityX, vec![10, 20, 30]),
+    ];
+    let q_steps: Vec<f64> = (0..=10).map(|i| 1.0 + 0.2 * i as f64).collect();
+
+    println!("field,idx,q_over_t,delta_bpp,delta_psnr_db");
+    for (f, idxs) in cases {
+        let field = sperr_bench::bench_field(f);
+        for idx in idxs {
+            let t = field.tolerance_for_idx(idx);
+            let mut rows: Vec<(f64, f64, f64)> = Vec::new(); // (q, bpp, psnr)
+            for &q in &q_steps {
+                let sperr = Sperr::new(SperrConfig { q_factor: q, ..SperrConfig::default() });
+                let (stream, _) = sperr
+                    .compress_with_stats(&field, Bound::Pwe(t))
+                    .expect("compress");
+                let rec = sperr.decompress(&stream).expect("decompress");
+                let bpp = stream.len() as f64 * 8.0 / field.len() as f64;
+                let psnr = sperr_metrics::psnr(&field.data, &rec.data);
+                rows.push((q, bpp, psnr));
+            }
+            let min_bpp = rows.iter().map(|r| r.1).fold(f64::INFINITY, f64::min);
+            let min_psnr = rows.iter().map(|r| r.2).fold(f64::INFINITY, f64::min);
+            for (q, bpp, psnr) in rows {
+                println!(
+                    "{},{idx},{q:.1},{:.4},{:.3}",
+                    f.abbrev(idx),
+                    bpp - min_bpp,
+                    psnr - min_psnr
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Fig. 4: outlier coding efficiency — bits per outlier (solid lines in
+//! the paper) and outlier percentage (dashed lines) as functions of the
+//! quantization step q, for Miranda Viscosity at idx 20/40 and Nyx Dark
+//! Matter Density at idx 20/30. Expected shape: cost mostly 6–16 bits per
+//! outlier, decreasing as q (and hence outlier density) grows; ~10 bits
+//! at the q = 1.5t default (§V-A).
+
+use sperr_datagen::SyntheticField;
+use sperr_outlier::encode;
+
+fn main() {
+    sperr_bench::banner(
+        "Fig. 4 — outlier bitrate and percentage vs q",
+        "Figure 4 (Visc-20, Visc-40, Nyx-20, Nyx-30)",
+    );
+    let cases = [
+        (SyntheticField::MirandaViscosity, 20u32),
+        (SyntheticField::MirandaViscosity, 40),
+        (SyntheticField::NyxDarkMatterDensity, 20),
+        (SyntheticField::NyxDarkMatterDensity, 30),
+    ];
+    println!("case,q_over_t,bits_per_outlier,outlier_pct");
+    for (f, idx) in cases {
+        let field = sperr_bench::bench_field(f);
+        let t = field.tolerance_for_idx(idx);
+        let mut q = 1.0f64;
+        while q <= 3.001 {
+            let outliers = sperr_bench::intercept_outliers(&field, t, q);
+            if outliers.is_empty() {
+                println!("{},{q:.2},,0.000", f.abbrev(idx));
+            } else {
+                let enc = encode(&outliers, field.len(), t);
+                println!(
+                    "{},{q:.2},{:.2},{:.3}",
+                    f.abbrev(idx),
+                    enc.bits_used as f64 / outliers.len() as f64,
+                    100.0 * outliers.len() as f64 / field.len() as f64
+                );
+            }
+            q += 0.25;
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Fig. 6: serial compression time broken into SPERR's four pipeline
+//! stages — (1) forward wavelet transform, (2) SPECK coding, (3) outlier
+//! locating (inverse transform + comparison), (4) outlier coding — on
+//! Miranda Viscosity across five tolerance levels. Expected shape: total
+//! time grows as the tolerance tightens, driven by SPECK time; transform
+//! and outlier stages stay roughly flat (§V-C).
+
+use sperr_compress_api::Bound;
+use sperr_core::{Sperr, SperrConfig};
+use sperr_datagen::SyntheticField;
+
+fn main() {
+    sperr_bench::banner(
+        "Fig. 6 — execution time breakdown per pipeline stage",
+        "Figure 6 (Miranda Viscosity, 5 tolerance levels, serial)",
+    );
+    let field = sperr_bench::bench_field(SyntheticField::MirandaViscosity);
+    println!("# field dims {:?} (paper: 384x384x256)", field.dims);
+    println!("idx,wavelet_ms,speck_ms,locate_outliers_ms,outlier_coding_ms,total_ms,num_outliers");
+    for idx in [10u32, 20, 30, 40, 50] {
+        let t = field.tolerance_for_idx(idx);
+        // Serial (single worker, whole volume one chunk) so stage times
+        // are clean CPU time, as in the paper's serial breakdown.
+        let sperr = Sperr::new(SperrConfig {
+            chunk_dims: [512, 512, 512],
+            num_threads: 1,
+            ..SperrConfig::default()
+        });
+        let (_, stats) = sperr
+            .compress_with_stats(&field, Bound::Pwe(t))
+            .expect("compress");
+        let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
+        println!(
+            "{idx},{:.2},{:.2},{:.2},{:.2},{:.2},{}",
+            ms(stats.stage_times.wavelet),
+            ms(stats.stage_times.speck),
+            ms(stats.stage_times.locate_outliers),
+            ms(stats.stage_times.outlier_coding),
+            ms(stats.stage_times.total()),
+            stats.num_outliers,
+        );
+    }
+}

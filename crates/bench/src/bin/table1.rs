@@ -1,0 +1,21 @@
+//! Table I: translation of a tolerance label `idx` into an absolute PWE
+//! tolerance `t = Range / 2^idx`, with the intuitive reading.
+
+use sperr_datagen::SyntheticField;
+
+fn main() {
+    sperr_bench::banner("Table I — idx ↔ PWE tolerance translation", "Table I");
+    let field = sperr_bench::bench_field(SyntheticField::MirandaPressure);
+    let range = field.range();
+    println!("# example field: {} (range = {range:.6e})", SyntheticField::MirandaPressure.name());
+    println!("idx,tolerance,approx_fraction_of_range,reading");
+    for (idx, reading) in [
+        (10u32, "one thousandth of the data range"),
+        (20, "one millionth of the data range"),
+        (30, "one billionth of the data range"),
+        (40, "one trillionth of the data range"),
+    ] {
+        let t = sperr_metrics::tolerance_for_idx(range, idx);
+        println!("{idx},{t:.6e},{:.3e},{reading}", t / range);
+    }
+}

@@ -1,0 +1,24 @@
+use std::fmt;
+
+/// Errors produced while reading a bitstream or byte stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The stream ended before the requested number of bits/bytes could be
+    /// read. SPECK decoding treats this as the (legitimate) end of an
+    /// embedded prefix; header parsing treats it as corruption.
+    UnexpectedEof,
+    /// A header field held a value that does not describe a valid stream
+    /// (bad magic, impossible dimensions, ...). The message names the field.
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnexpectedEof => write!(f, "unexpected end of bitstream"),
+            Error::Corrupt(what) => write!(f, "corrupt stream: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}

@@ -1,0 +1,168 @@
+//! Bit-granular I/O substrate for the SPERR reproduction.
+//!
+//! SPERR's coders (SPECK and the outlier coder) emit *individual bits*:
+//! set-significance flags, signs, and refinement directions. "Every eight
+//! bits are then packed into a byte in the output bitstream" (paper,
+//! §IV-B). This crate provides that packing plus the byte-level helpers
+//! used by container headers.
+//!
+//! Bit order within a byte is LSB-first: the first bit written occupies the
+//! least-significant bit of the first byte. Multi-bit integers are written
+//! least-significant-bit first as well, so a value round-trips through
+//! [`BitWriter::put_bits`] / [`BitReader::get_bits`] with the same width.
+//!
+//! All readers are non-panicking: reading past the end yields
+//! [`Error::UnexpectedEof`], which the SPECK decoder uses to detect the end
+//! of an embedded (truncated) stream gracefully.
+
+mod byteio;
+mod error;
+mod reader;
+mod writer;
+
+pub use byteio::{ByteReader, ByteWriter};
+pub use error::Error;
+pub use reader::BitReader;
+pub use writer::BitWriter;
+
+/// Result alias for bitstream operations.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_bits_roundtrip() {
+        let mut w = BitWriter::new();
+        let pattern = [true, false, true, true, false, false, true, false, true, true];
+        for &b in &pattern {
+            w.put_bit(b);
+        }
+        assert_eq!(w.len_bits(), pattern.len());
+        let bytes = w.into_bytes();
+        assert_eq!(bytes.len(), 2); // 10 bits -> 2 bytes
+
+        let mut r = BitReader::new(&bytes);
+        for &b in &pattern {
+            assert_eq!(r.get_bit().unwrap(), b);
+        }
+    }
+
+    #[test]
+    fn first_bit_is_lsb_of_first_byte() {
+        let mut w = BitWriter::new();
+        w.put_bit(true);
+        w.put_bit(false);
+        w.put_bit(true);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes, vec![0b0000_0101]);
+    }
+
+    #[test]
+    fn multibit_roundtrip() {
+        let mut w = BitWriter::new();
+        w.put_bits(0xDEAD_BEEF, 32);
+        w.put_bits(0x3, 2);
+        w.put_bits(u64::MAX, 64);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.get_bits(32).unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_bits(2).unwrap(), 0x3);
+        assert_eq!(r.get_bits(64).unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn zero_width_bits() {
+        let mut w = BitWriter::new();
+        w.put_bits(123, 0);
+        assert_eq!(w.len_bits(), 0);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.get_bits(0).unwrap(), 0);
+    }
+
+    #[test]
+    fn eof_is_reported() {
+        let bytes = vec![0xFF];
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.get_bits(8).unwrap(), 0xFF);
+        assert!(matches!(r.get_bit(), Err(Error::UnexpectedEof)));
+    }
+
+    #[test]
+    fn remaining_bits_accounting() {
+        let bytes = vec![0xAA, 0x55];
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.remaining_bits(), 16);
+        r.get_bits(5).unwrap();
+        assert_eq!(r.remaining_bits(), 11);
+        assert_eq!(r.position_bits(), 5);
+    }
+
+    #[test]
+    fn writer_padding_is_zero() {
+        let mut w = BitWriter::new();
+        w.put_bit(true);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes, vec![0x01]);
+    }
+
+    #[test]
+    fn align_to_byte() {
+        let mut w = BitWriter::new();
+        w.put_bit(true);
+        w.align_to_byte();
+        assert_eq!(w.len_bits(), 8);
+        w.put_bit(true);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes, vec![0x01, 0x01]);
+
+        let mut r = BitReader::new(&bytes);
+        assert!(r.get_bit().unwrap());
+        r.align_to_byte();
+        assert!(r.get_bit().unwrap());
+    }
+
+    #[test]
+    fn byteio_roundtrip() {
+        let mut w = ByteWriter::new();
+        w.put_u8(0x12);
+        w.put_u16(0x3456);
+        w.put_u32(0x789A_BCDE);
+        w.put_u64(0x0123_4567_89AB_CDEF);
+        w.put_f64(std::f64::consts::PI);
+        w.put_bytes(b"sperr");
+        let buf = w.into_bytes();
+
+        let mut r = ByteReader::new(&buf);
+        assert_eq!(r.get_u8().unwrap(), 0x12);
+        assert_eq!(r.get_u16().unwrap(), 0x3456);
+        assert_eq!(r.get_u32().unwrap(), 0x789A_BCDE);
+        assert_eq!(r.get_u64().unwrap(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(r.get_f64().unwrap(), std::f64::consts::PI);
+        assert_eq!(r.get_bytes(5).unwrap(), b"sperr");
+        assert!(r.is_empty());
+        assert!(matches!(r.get_u8(), Err(Error::UnexpectedEof)));
+    }
+
+    #[test]
+    fn byteio_eof_mid_value() {
+        let buf = [0u8; 3];
+        let mut r = ByteReader::new(&buf);
+        assert!(matches!(r.get_u32(), Err(Error::UnexpectedEof)));
+        // A failed read must not consume input.
+        assert_eq!(r.remaining(), 3);
+        assert_eq!(r.get_u16().unwrap(), 0);
+    }
+
+    #[test]
+    fn writer_reserve_estimates() {
+        let mut w = BitWriter::with_capacity_bits(1 << 16);
+        for i in 0..(1 << 16) {
+            w.put_bit(i % 3 == 0);
+        }
+        assert_eq!(w.len_bits(), 1 << 16);
+        assert_eq!(w.into_bytes().len(), (1 << 16) / 8);
+    }
+}

@@ -1,0 +1,73 @@
+use crate::{Error, Result};
+
+/// A cursor over a packed bitstream, reading LSB-first within each byte.
+///
+/// Mirrors [`crate::BitWriter`]. Reads past the end return
+/// [`Error::UnexpectedEof`] without consuming anything, which lets the SPECK
+/// decoder stop cleanly on a truncated (embedded) prefix.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    /// Absolute bit position from the start of `bytes`.
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    /// Reads one bit.
+    #[inline]
+    pub fn get_bit(&mut self) -> Result<bool> {
+        let byte_idx = self.pos >> 3;
+        if byte_idx >= self.bytes.len() {
+            return Err(Error::UnexpectedEof);
+        }
+        let bit = (self.bytes[byte_idx] >> (self.pos & 7)) & 1;
+        self.pos += 1;
+        Ok(bit == 1)
+    }
+
+    /// Reads `n` bits (`n <= 64`) into the low bits of the result, LSB first.
+    pub fn get_bits(&mut self, n: u32) -> Result<u64> {
+        debug_assert!(n <= 64);
+        if n == 0 {
+            return Ok(0);
+        }
+        if self.remaining_bits() < n as usize {
+            return Err(Error::UnexpectedEof);
+        }
+        let mut out = 0u64;
+        let mut got = 0u32;
+        while got < n {
+            let byte_idx = self.pos >> 3;
+            let bit_off = (self.pos & 7) as u32;
+            let avail = 8 - bit_off;
+            let take = avail.min(n - got);
+            let chunk = ((self.bytes[byte_idx] >> bit_off) as u64) & ((1u64 << take) - 1);
+            out |= chunk << got;
+            got += take;
+            self.pos += take as usize;
+        }
+        Ok(out)
+    }
+
+    /// Skips forward to the next byte boundary.
+    pub fn align_to_byte(&mut self) {
+        self.pos = (self.pos + 7) & !7;
+    }
+
+    /// Bits consumed so far.
+    #[inline]
+    pub fn position_bits(&self) -> usize {
+        self.pos
+    }
+
+    /// Bits still available.
+    #[inline]
+    pub fn remaining_bits(&self) -> usize {
+        self.bytes.len() * 8 - self.pos
+    }
+}

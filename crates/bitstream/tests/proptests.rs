@@ -1,0 +1,82 @@
+//! Property tests: anything written through `BitWriter` reads back
+//! identically through `BitReader`, for arbitrary interleavings of bit
+//! widths.
+
+use proptest::prelude::*;
+use sperr_bitstream::{BitReader, BitWriter};
+
+/// A single write operation: a value and the bit width used to store it.
+#[derive(Debug, Clone)]
+struct Op {
+    value: u64,
+    width: u32,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (0u32..=64).prop_flat_map(|width| {
+        let max = if width == 0 {
+            Just(0u64).boxed()
+        } else if width == 64 {
+            any::<u64>().boxed()
+        } else {
+            (0..(1u64 << width)).boxed()
+        };
+        max.prop_map(move |value| Op { value, width })
+    })
+}
+
+proptest! {
+    #[test]
+    fn mixed_width_roundtrip(ops in prop::collection::vec(op_strategy(), 0..200)) {
+        let mut w = BitWriter::new();
+        for op in &ops {
+            w.put_bits(op.value, op.width);
+        }
+        let total_bits: usize = ops.iter().map(|o| o.width as usize).sum();
+        prop_assert_eq!(w.len_bits(), total_bits);
+        let bytes = w.into_bytes();
+        prop_assert_eq!(bytes.len(), total_bits.div_ceil(8));
+
+        let mut r = BitReader::new(&bytes);
+        for op in &ops {
+            prop_assert_eq!(r.get_bits(op.width).unwrap(), op.value);
+        }
+    }
+
+    #[test]
+    fn bitwise_equals_bulk(bits in prop::collection::vec(any::<bool>(), 0..512)) {
+        // Writing bit-by-bit and reading in arbitrary chunks agree.
+        let mut w = BitWriter::new();
+        for &b in &bits {
+            w.put_bit(b);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        let mut read_back = Vec::with_capacity(bits.len());
+        let mut left = bits.len();
+        let mut chunk = 1usize;
+        while left > 0 {
+            let take = chunk.min(left).min(64);
+            let v = r.get_bits(take as u32).unwrap();
+            for i in 0..take {
+                read_back.push((v >> i) & 1 == 1);
+            }
+            left -= take;
+            chunk = (chunk * 2 + 1) % 67; // vary chunk sizes deterministically
+            if chunk == 0 {
+                chunk = 1;
+            }
+        }
+        prop_assert_eq!(read_back, bits);
+    }
+
+    #[test]
+    fn truncated_stream_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..64),
+                                     reads in prop::collection::vec(0u32..=64, 0..32)) {
+        let mut r = BitReader::new(&bytes);
+        for n in reads {
+            // Must either produce a value or a clean EOF error.
+            let _ = r.get_bits(n);
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Tiny hand-rolled argument parser (no external CLI crates on the
+//! offline allowlist): `--key value` pairs plus boolean `--flag`s, with
+//! typed accessors and error messages naming the offending option.
+
+use std::collections::HashMap;
+
+/// Parsed arguments: option map plus positional words.
+#[derive(Debug, Default)]
+pub struct Args {
+    options: HashMap<String, String>,
+    flags: Vec<String>,
+    positional: Vec<String>,
+}
+
+/// Option names that take no value.
+const BOOLEAN_FLAGS: &[&str] = &["no-lossless", "help", "quiet"];
+
+impl Args {
+    /// Parses raw argv words (without the program/subcommand names).
+    pub fn parse(words: &[String]) -> Result<Args, String> {
+        let mut args = Args::default();
+        let mut i = 0;
+        while i < words.len() {
+            let w = &words[i];
+            if let Some(name) = w.strip_prefix("--") {
+                if BOOLEAN_FLAGS.contains(&name) {
+                    args.flags.push(name.to_string());
+                    i += 1;
+                } else {
+                    let value = words
+                        .get(i + 1)
+                        .ok_or_else(|| format!("option --{name} needs a value"))?;
+                    if args.options.insert(name.to_string(), value.clone()).is_some() {
+                        return Err(format!("option --{name} given twice"));
+                    }
+                    i += 2;
+                }
+            } else {
+                args.positional.push(w.clone());
+                i += 1;
+            }
+        }
+        Ok(args)
+    }
+
+    /// Required string option.
+    pub fn req(&self, name: &str) -> Result<&str, String> {
+        self.options
+            .get(name)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing required option --{name}"))
+    }
+
+    /// Optional string option.
+    pub fn opt(&self, name: &str) -> Option<&str> {
+        self.options.get(name).map(String::as_str)
+    }
+
+    /// Boolean flag presence.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// Optional `f64` option.
+    pub fn opt_f64(&self, name: &str) -> Result<Option<f64>, String> {
+        self.opt(name)
+            .map(|v| v.parse::<f64>().map_err(|_| format!("--{name}: not a number: {v}")))
+            .transpose()
+    }
+
+    /// Optional `usize` option.
+    pub fn opt_usize(&self, name: &str) -> Result<Option<usize>, String> {
+        self.opt(name)
+            .map(|v| v.parse::<usize>().map_err(|_| format!("--{name}: not an integer: {v}")))
+            .transpose()
+    }
+
+    /// Required `NX,NY[,NZ]` dimension triple.
+    pub fn req_dims(&self, name: &str) -> Result<[usize; 3], String> {
+        parse_dims(self.req(name)?).map_err(|e| format!("--{name}: {e}"))
+    }
+
+    /// Optional dimension triple.
+    pub fn opt_dims(&self, name: &str) -> Result<Option<[usize; 3]>, String> {
+        self.opt(name)
+            .map(|v| parse_dims(v).map_err(|e| format!("--{name}: {e}")))
+            .transpose()
+    }
+
+    /// Unconsumed positional words (should be empty for our commands).
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+}
+
+/// Parses `NX,NY[,NZ]` (missing NZ defaults to 1).
+pub fn parse_dims(s: &str) -> Result<[usize; 3], String> {
+    let parts: Vec<&str> = s.split(',').collect();
+    if parts.is_empty() || parts.len() > 3 {
+        return Err(format!("expected NX,NY[,NZ], got {s}"));
+    }
+    let mut dims = [1usize; 3];
+    for (i, p) in parts.iter().enumerate() {
+        dims[i] = p
+            .trim()
+            .parse::<usize>()
+            .map_err(|_| format!("bad dimension {p}"))?;
+        if dims[i] == 0 {
+            return Err("dimensions must be positive".into());
+        }
+    }
+    Ok(dims)
+}
+
+/// Scalar element type of raw files.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScalarType {
+    F32,
+    F64,
+}
+
+/// Parses `--type f32|f64`.
+pub fn parse_type(s: &str) -> Result<ScalarType, String> {
+    match s {
+        "f32" | "float" | "single" => Ok(ScalarType::F32),
+        "f64" | "double" => Ok(ScalarType::F64),
+        _ => Err(format!("unknown scalar type {s} (use f32 or f64)")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn words(s: &[&str]) -> Vec<String> {
+        s.iter().map(|w| w.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_options_and_flags() {
+        let a = Args::parse(&words(&["--dims", "8,8,8", "--pwe", "0.5", "--no-lossless"]))
+            .unwrap();
+        assert_eq!(a.req("dims").unwrap(), "8,8,8");
+        assert_eq!(a.opt_f64("pwe").unwrap(), Some(0.5));
+        assert!(a.flag("no-lossless"));
+        assert!(!a.flag("quiet"));
+        assert!(a.positional().is_empty());
+    }
+
+    #[test]
+    fn missing_value_is_error() {
+        assert!(Args::parse(&words(&["--dims"])).is_err());
+    }
+
+    #[test]
+    fn duplicate_option_is_error() {
+        assert!(Args::parse(&words(&["--pwe", "1", "--pwe", "2"])).is_err());
+    }
+
+    #[test]
+    fn missing_required_reported_by_name() {
+        let a = Args::parse(&words(&[])).unwrap();
+        let err = a.req("output").unwrap_err();
+        assert!(err.contains("--output"));
+    }
+
+    #[test]
+    fn dims_parsing() {
+        assert_eq!(parse_dims("4,5,6").unwrap(), [4, 5, 6]);
+        assert_eq!(parse_dims("128,128").unwrap(), [128, 128, 1]);
+        assert!(parse_dims("0,1,1").is_err());
+        assert!(parse_dims("1,2,3,4").is_err());
+        assert!(parse_dims("a,b").is_err());
+    }
+
+    #[test]
+    fn type_parsing() {
+        assert_eq!(parse_type("f32").unwrap(), ScalarType::F32);
+        assert_eq!(parse_type("double").unwrap(), ScalarType::F64);
+        assert!(parse_type("int").is_err());
+    }
+}

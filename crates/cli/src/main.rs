@@ -1,0 +1,313 @@
+//! `sperr` — command-line front end for the SPERR reproduction.
+//!
+//! ```text
+//! sperr compress   --input x.raw --output x.sperr --dims 384,384,256 --type f64 \
+//!                  (--pwe T | --idx N | --bpp R | --psnr P) \
+//!                  [--chunk 256,256,256] [--threads N] [--q-factor 1.5] [--no-lossless]
+//! sperr decompress --input x.sperr --output y.raw --type f64 [--level L]
+//! sperr info       --input x.sperr
+//! sperr gen        --field miranda-pressure --dims 64,64,64 --output x.raw --type f64 [--seed S]
+//! sperr eval       --original a.raw --reconstructed b.raw --dims 64,64,64 --type f64
+//! ```
+
+mod args;
+mod rawio;
+
+use args::{parse_type, Args, ScalarType};
+use sperr_compress_api::Bound;
+use sperr_core::{Sperr, SperrConfig};
+use sperr_datagen::SyntheticField;
+use std::path::Path;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+sperr — lossy scientific data compression (SPERR reproduction)
+
+USAGE:
+  sperr compress   --input RAW --output SPERR --dims NX,NY[,NZ] --type f32|f64
+                   (--pwe T | --idx N | --bpp R | --psnr P)
+                   [--chunk CX,CY,CZ] [--threads N] [--q-factor F] [--no-lossless]
+  sperr decompress --input SPERR --output RAW --type f32|f64 [--level L]
+  sperr info       --input SPERR
+  sperr gen        --field NAME --dims NX,NY[,NZ] --output RAW --type f32|f64 [--seed S]
+  sperr eval       --original RAW --reconstructed RAW --dims NX,NY[,NZ] --type f32|f64
+
+Bounds: --pwe is an absolute point-wise error tolerance; --idx N sets it to
+range/2^N (paper Table I); --bpp targets a size in bits per point (no error
+guarantee); --psnr targets an average error in dB.
+
+Fields for gen: miranda-pressure miranda-viscosity miranda-vx miranda-density
+s3d-ch4 s3d-temp s3d-vx nyx-dm nyx-vx qmcpack image2d";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(argv: &[String]) -> Result<(), String> {
+    let Some((cmd, rest)) = argv.split_first() else {
+        println!("{USAGE}");
+        return Ok(());
+    };
+    let args = Args::parse(rest)?;
+    if args.flag("help") {
+        println!("{USAGE}");
+        return Ok(());
+    }
+    if !args.positional().is_empty() {
+        return Err(format!("unexpected argument: {}", args.positional()[0]));
+    }
+    match cmd.as_str() {
+        "compress" => cmd_compress(&args),
+        "decompress" => cmd_decompress(&args),
+        "info" => cmd_info(&args),
+        "gen" => cmd_gen(&args),
+        "eval" => cmd_eval(&args),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other}; run `sperr help`")),
+    }
+}
+
+fn build_sperr(args: &Args) -> Result<Sperr, String> {
+    let mut cfg = SperrConfig::default();
+    if let Some(chunk) = args.opt_dims("chunk")? {
+        cfg.chunk_dims = chunk;
+    }
+    if let Some(threads) = args.opt_usize("threads")? {
+        cfg.num_threads = threads;
+    }
+    if let Some(qf) = args.opt_f64("q-factor")? {
+        if qf <= 0.0 {
+            return Err("--q-factor must be positive".into());
+        }
+        cfg.q_factor = qf;
+    }
+    if args.flag("no-lossless") {
+        cfg.lossless = false;
+    }
+    Ok(Sperr::new(cfg))
+}
+
+fn cmd_compress(args: &Args) -> Result<(), String> {
+    let input = Path::new(args.req("input")?).to_path_buf();
+    let output = Path::new(args.req("output")?).to_path_buf();
+    let dims = args.req_dims("dims")?;
+    let ty = parse_type(args.req("type")?)?;
+    let field = rawio::read_field(&input, dims, ty).map_err(|e| e.to_string())?;
+
+    let bound = match (
+        args.opt_f64("pwe")?,
+        args.opt_usize("idx")?,
+        args.opt_f64("bpp")?,
+        args.opt_f64("psnr")?,
+    ) {
+        (Some(t), None, None, None) => Bound::Pwe(t),
+        (None, Some(idx), None, None) => Bound::Pwe(field.tolerance_for_idx(idx as u32)),
+        (None, None, Some(r), None) => Bound::Bpp(r),
+        (None, None, None, Some(p)) => Bound::Psnr(p),
+        _ => return Err("give exactly one of --pwe, --idx, --bpp, --psnr".into()),
+    };
+
+    let sperr = build_sperr(args)?;
+    let (stream, stats) = sperr
+        .compress_with_stats(&field, bound)
+        .map_err(|e| e.to_string())?;
+    std::fs::write(&output, &stream).map_err(|e| e.to_string())?;
+    if !args.flag("quiet") {
+        let raw = field.len() * match ty { ScalarType::F32 => 4, ScalarType::F64 => 8 };
+        println!(
+            "{} -> {}: {} -> {} bytes ({:.2}x, {:.3} bpp; speck {:.3} bpp, outliers {:.3} bpp / {})",
+            input.display(),
+            output.display(),
+            raw,
+            stream.len(),
+            raw as f64 / stream.len() as f64,
+            stats.bpp(),
+            stats.speck_bpp(),
+            stats.outlier_bpp(),
+            stats.num_outliers,
+        );
+    }
+    Ok(())
+}
+
+fn cmd_decompress(args: &Args) -> Result<(), String> {
+    let input = Path::new(args.req("input")?).to_path_buf();
+    let output = Path::new(args.req("output")?).to_path_buf();
+    let ty = parse_type(args.req("type")?)?;
+    let level = args.opt_usize("level")?.unwrap_or(0);
+    let stream = std::fs::read(&input).map_err(|e| e.to_string())?;
+    let sperr = build_sperr(args)?;
+    let field = sperr
+        .decompress_multires(&stream, level)
+        .map_err(|e| e.to_string())?;
+    rawio::write_field(&output, &field, ty).map_err(|e| e.to_string())?;
+    if !args.flag("quiet") {
+        println!(
+            "{} -> {}: {}x{}x{} {:?}{}",
+            input.display(),
+            output.display(),
+            field.dims[0],
+            field.dims[1],
+            field.dims[2],
+            ty,
+            if level > 0 { format!(" (resolution level {level})") } else { String::new() },
+        );
+    }
+    Ok(())
+}
+
+fn cmd_info(args: &Args) -> Result<(), String> {
+    let input = Path::new(args.req("input")?).to_path_buf();
+    let stream = std::fs::read(&input).map_err(|e| e.to_string())?;
+    let sperr = Sperr::new(SperrConfig::default());
+    let info = sperr.inspect(&stream).map_err(|e| e.to_string())?;
+    println!("file:        {}", input.display());
+    println!("stream:      {} bytes (lossless pass: {})", stream.len(), info.lossless);
+    println!("dims:        {}x{}x{}", info.dims[0], info.dims[1], info.dims[2]);
+    println!("chunks:      {} of {}x{}x{}", info.n_chunks, info.chunk_dims[0], info.chunk_dims[1], info.chunk_dims[2]);
+    let (mode, unit) = match info.mode {
+        sperr_core::Mode::Pwe => ("PWE-bounded", "tolerance"),
+        sperr_core::Mode::Bpp => ("size-bounded", "bits per point"),
+        sperr_core::Mode::Rmse => ("average-error", "PSNR dB"),
+    };
+    println!("mode:        {mode} ({unit} = {:.6e})", info.bound_value);
+    println!("payloads:    speck {} B, outliers {} B", info.speck_bytes, info.outlier_bytes);
+    let n: usize = info.dims.iter().product();
+    println!("bitrate:     {:.4} bpp", stream.len() as f64 * 8.0 / n as f64);
+    Ok(())
+}
+
+fn field_by_name(name: &str) -> Result<SyntheticField, String> {
+    Ok(match name {
+        "miranda-pressure" => SyntheticField::MirandaPressure,
+        "miranda-viscosity" => SyntheticField::MirandaViscosity,
+        "miranda-vx" => SyntheticField::MirandaVelocityX,
+        "miranda-density" => SyntheticField::MirandaDensity,
+        "s3d-ch4" => SyntheticField::S3dCh4,
+        "s3d-temp" => SyntheticField::S3dTemperature,
+        "s3d-vx" => SyntheticField::S3dVelocityX,
+        "nyx-dm" => SyntheticField::NyxDarkMatterDensity,
+        "nyx-vx" => SyntheticField::NyxVelocityX,
+        "qmcpack" => SyntheticField::Qmcpack,
+        "image2d" => SyntheticField::Image2d,
+        _ => return Err(format!("unknown field {name}; run `sperr help`")),
+    })
+}
+
+fn cmd_gen(args: &Args) -> Result<(), String> {
+    let name = args.req("field")?;
+    let dims = args.req_dims("dims")?;
+    let output = Path::new(args.req("output")?).to_path_buf();
+    let ty = parse_type(args.req("type")?)?;
+    let seed = args.opt_usize("seed")?.unwrap_or(42) as u64;
+    let field = field_by_name(name)?.generate(dims, seed);
+    rawio::write_field(&output, &field, ty).map_err(|e| e.to_string())?;
+    if !args.flag("quiet") {
+        println!(
+            "generated {name} {}x{}x{} (range {:.4e}) -> {}",
+            dims[0],
+            dims[1],
+            dims[2],
+            field.range(),
+            output.display()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_eval(args: &Args) -> Result<(), String> {
+    let dims = args.req_dims("dims")?;
+    let ty = parse_type(args.req("type")?)?;
+    let a = rawio::read_field(Path::new(args.req("original")?), dims, ty)
+        .map_err(|e| e.to_string())?;
+    let b = rawio::read_field(Path::new(args.req("reconstructed")?), dims, ty)
+        .map_err(|e| e.to_string())?;
+    println!("points:        {}", a.len());
+    println!("range:         {:.6e}", a.range());
+    println!("rmse:          {:.6e}", sperr_metrics::rmse(&a.data, &b.data));
+    println!("max pwe:       {:.6e}", sperr_metrics::max_pwe(&a.data, &b.data));
+    println!("psnr:          {:.3} dB", sperr_metrics::psnr(&a.data, &b.data));
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn full_cli_roundtrip_via_files() {
+        let dir = std::env::temp_dir().join("sperr_cli_main_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let raw = dir.join("x.raw");
+        let packed = dir.join("x.sperr");
+        let restored = dir.join("y.raw");
+
+        run(&w(&["gen", "--field", "s3d-temp", "--dims", "24,24,16", "--output",
+                 raw.to_str().unwrap(), "--type", "f64", "--quiet"]))
+            .unwrap();
+        run(&w(&["compress", "--input", raw.to_str().unwrap(), "--output",
+                 packed.to_str().unwrap(), "--dims", "24,24,16", "--type", "f64",
+                 "--idx", "15", "--quiet"]))
+            .unwrap();
+        run(&w(&["info", "--input", packed.to_str().unwrap()])).unwrap();
+        run(&w(&["decompress", "--input", packed.to_str().unwrap(), "--output",
+                 restored.to_str().unwrap(), "--type", "f64", "--quiet"]))
+            .unwrap();
+
+        let a = rawio::read_field(&raw, [24, 24, 16], ScalarType::F64).unwrap();
+        let b = rawio::read_field(&restored, [24, 24, 16], ScalarType::F64).unwrap();
+        let t = a.range() / f64::exp2(15.0);
+        assert!(sperr_metrics::max_pwe(&a.data, &b.data) <= t);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compress_requires_exactly_one_bound() {
+        let dir = std::env::temp_dir().join("sperr_cli_bound_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let raw = dir.join("x.raw");
+        run(&w(&["gen", "--field", "nyx-vx", "--dims", "8,8,8", "--output",
+                 raw.to_str().unwrap(), "--type", "f32", "--quiet"]))
+            .unwrap();
+        let base = [
+            "compress", "--input", raw.to_str().unwrap(), "--output",
+            "/dev/null", "--dims", "8,8,8", "--type", "f32",
+        ];
+        // none
+        assert!(run(&w(&base)).is_err());
+        // two
+        let mut two = base.to_vec();
+        two.extend_from_slice(&["--pwe", "0.1", "--bpp", "2"]);
+        assert!(run(&w(&two)).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unknown_command_and_field_errors() {
+        assert!(run(&w(&["frobnicate"])).is_err());
+        assert!(run(&w(&["gen", "--field", "nope", "--dims", "4,4,4",
+                         "--output", "/dev/null", "--type", "f32"]))
+            .is_err());
+    }
+
+    #[test]
+    fn help_paths_succeed() {
+        run(&w(&[])).unwrap();
+        run(&w(&["help"])).unwrap();
+        run(&w(&["compress", "--help"])).unwrap();
+    }
+}

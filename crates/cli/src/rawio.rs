@@ -1,0 +1,98 @@
+//! Raw binary field I/O: little-endian f32/f64 arrays, the format the
+//! SDRBench files (and upstream SPERR's CLI) use.
+
+use crate::args::ScalarType;
+use sperr_compress_api::{Field, Precision};
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Reads a raw little-endian scalar file into a [`Field`] of the given
+/// dims; errors if the file size does not match.
+pub fn read_field(path: &Path, dims: [usize; 3], ty: ScalarType) -> io::Result<Field> {
+    let bytes = fs::read(path)?;
+    let n: usize = dims.iter().product();
+    let elem = match ty {
+        ScalarType::F32 => 4,
+        ScalarType::F64 => 8,
+    };
+    if bytes.len() != n * elem {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "{} holds {} bytes but dims {:?} as {:?} need {}",
+                path.display(),
+                bytes.len(),
+                dims,
+                ty,
+                n * elem
+            ),
+        ));
+    }
+    let mut data = Vec::with_capacity(n);
+    match ty {
+        ScalarType::F32 => {
+            for c in bytes.chunks_exact(4) {
+                data.push(f32::from_le_bytes(c.try_into().unwrap()) as f64);
+            }
+        }
+        ScalarType::F64 => {
+            for c in bytes.chunks_exact(8) {
+                data.push(f64::from_le_bytes(c.try_into().unwrap()));
+            }
+        }
+    }
+    let precision = match ty {
+        ScalarType::F32 => Precision::Single,
+        ScalarType::F64 => Precision::Double,
+    };
+    Ok(Field::new(dims, data).with_precision(precision))
+}
+
+/// Writes a [`Field`] as raw little-endian scalars.
+pub fn write_field(path: &Path, field: &Field, ty: ScalarType) -> io::Result<()> {
+    let mut bytes = Vec::with_capacity(field.len() * 8);
+    match ty {
+        ScalarType::F32 => {
+            for &v in &field.data {
+                bytes.extend_from_slice(&(v as f32).to_le_bytes());
+            }
+        }
+        ScalarType::F64 => {
+            for &v in &field.data {
+                bytes.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+    }
+    fs::write(path, bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_f64_and_f32() {
+        let dir = std::env::temp_dir().join("sperr_cli_rawio_test");
+        fs::create_dir_all(&dir).unwrap();
+        let field = Field::from_fn([3, 2, 2], |x, y, z| x as f64 + 0.5 * y as f64 - z as f64);
+
+        let p64 = dir.join("a.f64");
+        write_field(&p64, &field, ScalarType::F64).unwrap();
+        let back = read_field(&p64, [3, 2, 2], ScalarType::F64).unwrap();
+        assert_eq!(back.data, field.data);
+        assert_eq!(back.precision, Precision::Double);
+
+        let p32 = dir.join("a.f32");
+        write_field(&p32, &field, ScalarType::F32).unwrap();
+        let back = read_field(&p32, [3, 2, 2], ScalarType::F32).unwrap();
+        for (a, b) in field.data.iter().zip(&back.data) {
+            assert!((a - b).abs() < 1e-6);
+        }
+        assert_eq!(back.precision, Precision::Single);
+
+        // wrong dims -> clean error
+        assert!(read_field(&p64, [4, 2, 2], ScalarType::F64).is_err());
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,188 @@
+//! Shared compressor interface for the SPERR reproduction.
+//!
+//! The paper's evaluation (§VI) drives five compressors — SPERR, SZ3, ZFP,
+//! TTHRESH, MGARD — through the same experiments. This crate defines the
+//! common currency: a [`Field`] of structured floating-point data, a
+//! termination [`Bound`], and the [`LossyCompressor`] trait every
+//! compressor crate implements so the benchmark harness can treat them
+//! uniformly.
+
+use std::fmt;
+
+/// Source precision of a field. All arithmetic here is `f64`; the marker
+/// records what the original data "was" so experiments can pick tolerance
+/// sweeps the way the paper does (idx up to ~30 for single, ~60 for
+/// double — §VI-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Precision {
+    /// 32-bit origin: trailing-bit noise floor near 2^-24 of the range.
+    Single,
+    /// 64-bit origin: noise floor near 2^-53 of the range.
+    #[default]
+    Double,
+}
+
+/// A structured scalar field: a row-major 3D array (use `nz = 1` for 2D
+/// slices, `ny = nz = 1` for 1D), axis 0 fastest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Field {
+    /// `[nx, ny, nz]`.
+    pub dims: [usize; 3],
+    /// `dims[0] * dims[1] * dims[2]` samples.
+    pub data: Vec<f64>,
+    /// Source precision marker (see [`Precision`]).
+    pub precision: Precision,
+}
+
+impl Field {
+    /// Creates a field, checking that `data` matches `dims`.
+    pub fn new(dims: [usize; 3], data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), dims[0] * dims[1] * dims[2], "data/dims mismatch");
+        Field { dims, data, precision: Precision::Double }
+    }
+
+    /// Builds a field by evaluating `f(x, y, z)` over the grid.
+    pub fn from_fn(dims: [usize; 3], mut f: impl FnMut(usize, usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(dims[0] * dims[1] * dims[2]);
+        for z in 0..dims[2] {
+            for y in 0..dims[1] {
+                for x in 0..dims[0] {
+                    data.push(f(x, y, z));
+                }
+            }
+        }
+        Field::new(dims, data)
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the field has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// `max − min` of the data — the paper's `Range` used to translate a
+    /// tolerance label `idx` into an absolute PWE tolerance (Table I).
+    pub fn range(&self) -> f64 {
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &v in &self.data {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        if lo > hi {
+            0.0
+        } else {
+            hi - lo
+        }
+    }
+
+    /// The paper's Table I translation: `t = Range / 2^idx`.
+    pub fn tolerance_for_idx(&self, idx: u32) -> f64 {
+        self.range() / f64::exp2(idx as f64)
+    }
+
+    /// Marks the field as single-precision origin (returns self for
+    /// builder-style chaining).
+    pub fn with_precision(mut self, p: Precision) -> Self {
+        self.precision = p;
+        self
+    }
+}
+
+/// Termination criterion for a compression run (paper §I: "most
+/// termination criteria are expressed as either a size bound or an error
+/// bound"; "no compressor can generally satisfy size and error bounds
+/// simultaneously").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Bound {
+    /// Maximum point-wise error tolerance `t > 0`: no reconstructed point
+    /// may deviate from its original by more than `t`.
+    Pwe(f64),
+    /// Target size in bits per point.
+    Bpp(f64),
+    /// Target quality in dB (TTHRESH-style average-error bound; the paper
+    /// maps `idx` to `PSNR = 20·log10(2)·idx` for TTHRESH in §VI-C).
+    Psnr(f64),
+}
+
+/// Errors shared by all compressor crates.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompressError {
+    /// The compressor does not implement this bound type (e.g. TTHRESH has
+    /// no PWE mode; §VI-C).
+    Unsupported(&'static str),
+    /// The stream failed to parse.
+    Corrupt(String),
+    /// The input cannot be processed (dimension constraints etc.).
+    Invalid(String),
+}
+
+impl fmt::Display for CompressError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompressError::Unsupported(what) => write!(f, "unsupported bound: {what}"),
+            CompressError::Corrupt(msg) => write!(f, "corrupt stream: {msg}"),
+            CompressError::Invalid(msg) => write!(f, "invalid input: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CompressError {}
+
+impl From<sperr_bitstream::Error> for CompressError {
+    fn from(e: sperr_bitstream::Error) -> Self {
+        CompressError::Corrupt(e.to_string())
+    }
+}
+
+/// The uniform interface the benchmark harness drives.
+pub trait LossyCompressor {
+    /// Short display name ("SPERR", "ZFP-like", ...).
+    fn name(&self) -> &'static str;
+
+    /// Whether this compressor supports a bound type, mirroring the
+    /// capability matrix of §VI (e.g. ZFP: both; TTHRESH: PSNR only).
+    fn supports(&self, bound: &Bound) -> bool;
+
+    /// Compresses `field` under `bound` into a self-describing stream.
+    fn compress(&self, field: &Field, bound: Bound) -> Result<Vec<u8>, CompressError>;
+
+    /// Reconstructs a field from a stream produced by [`Self::compress`].
+    fn decompress(&self, stream: &[u8]) -> Result<Field, CompressError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_range_and_tolerance() {
+        let f = Field::new([2, 2, 1], vec![-1.0, 3.0, 0.0, 1.0]);
+        assert_eq!(f.range(), 4.0);
+        assert_eq!(f.tolerance_for_idx(2), 1.0);
+        // Table I: idx = 10 -> about one thousandth of the range.
+        let t = f.tolerance_for_idx(10);
+        assert!((t - 4.0 / 1024.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn from_fn_row_major_order() {
+        let f = Field::from_fn([2, 2, 2], |x, y, z| (x + 10 * y + 100 * z) as f64);
+        assert_eq!(f.data, vec![0.0, 1.0, 10.0, 11.0, 100.0, 101.0, 110.0, 111.0]);
+    }
+
+    #[test]
+    fn constant_field_range_zero() {
+        let f = Field::new([3, 1, 1], vec![7.0; 3]);
+        assert_eq!(f.range(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn dims_mismatch_panics() {
+        Field::new([2, 2, 2], vec![0.0; 7]);
+    }
+}

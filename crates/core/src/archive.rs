@@ -1,0 +1,216 @@
+//! Multi-field archive container — the paper's §I motivation made
+//! concrete: community data sets (CESM LENS, JHU turbulence) bundle many
+//! variables, are written once and read selectively for years. This
+//! module packs several independently compressed fields with names into
+//! one stream, supporting selective extraction without decoding (or even
+//! scanning past) unrelated fields.
+//!
+//! Format:
+//! ```text
+//! magic "SPAR" | u32 n | directory: n x (u16 name_len, name, u64 stream_len)
+//!              | streams back-to-back
+//! ```
+
+use crate::compressor::Sperr;
+use sperr_bitstream::{ByteReader, ByteWriter};
+use sperr_compress_api::{Bound, CompressError, Field, LossyCompressor};
+
+const MAGIC: &[u8; 4] = b"SPAR";
+
+/// Directory entry of an archive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArchiveEntry {
+    /// Variable name.
+    pub name: String,
+    /// Size of the compressed stream in bytes.
+    pub stream_len: usize,
+}
+
+/// Compresses each `(name, field, bound)` with `sperr` and packs the
+/// results into one archive stream. Names must be unique and at most
+/// 65535 bytes.
+pub fn write_archive(
+    sperr: &Sperr,
+    entries: &[(&str, &Field, Bound)],
+) -> Result<Vec<u8>, CompressError> {
+    let mut streams = Vec::with_capacity(entries.len());
+    for (i, (name, field, bound)) in entries.iter().enumerate() {
+        if name.len() > u16::MAX as usize {
+            return Err(CompressError::Invalid(format!("name too long: {name}")));
+        }
+        if entries[..i].iter().any(|(n, _, _)| n == name) {
+            return Err(CompressError::Invalid(format!("duplicate name: {name}")));
+        }
+        streams.push(sperr.compress(field, *bound)?);
+    }
+    let mut w = ByteWriter::new();
+    w.put_bytes(MAGIC);
+    w.put_u32(entries.len() as u32);
+    for ((name, _, _), stream) in entries.iter().zip(&streams) {
+        w.put_u16(name.len() as u16);
+        w.put_bytes(name.as_bytes());
+        w.put_u64(stream.len() as u64);
+    }
+    for stream in &streams {
+        w.put_bytes(stream);
+    }
+    Ok(w.into_bytes())
+}
+
+/// Parses the directory: entry names and compressed sizes, plus the byte
+/// offset where the streams begin.
+fn directory(bytes: &[u8]) -> Result<(Vec<ArchiveEntry>, usize), CompressError> {
+    let mut r = ByteReader::new(bytes);
+    if r.get_bytes(4)? != MAGIC {
+        return Err(CompressError::Corrupt("bad SPAR magic".into()));
+    }
+    let n = r.get_u32()? as usize;
+    if n > 1 << 20 {
+        return Err(CompressError::Corrupt("implausible archive entry count".into()));
+    }
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name_len = r.get_u16()? as usize;
+        let name = std::str::from_utf8(r.get_bytes(name_len)?)
+            .map_err(|_| CompressError::Corrupt("non-UTF8 archive name".into()))?
+            .to_string();
+        let stream_len = r.get_u64()? as usize;
+        entries.push(ArchiveEntry { name, stream_len });
+    }
+    let payload_start = r.position();
+    let total: usize = entries.iter().map(|e| e.stream_len).sum();
+    if bytes.len() < payload_start + total {
+        return Err(CompressError::Corrupt("truncated archive payload".into()));
+    }
+    Ok((entries, payload_start))
+}
+
+/// Lists the archive's directory without decoding anything.
+pub fn list_archive(bytes: &[u8]) -> Result<Vec<ArchiveEntry>, CompressError> {
+    directory(bytes).map(|(entries, _)| entries)
+}
+
+/// Extracts and decompresses a single named field — the selective-access
+/// pattern of community archives. Only the directory and the requested
+/// stream are touched.
+pub fn read_archive_entry(
+    sperr: &Sperr,
+    bytes: &[u8],
+    name: &str,
+) -> Result<Field, CompressError> {
+    let (entries, payload_start) = directory(bytes)?;
+    let mut offset = payload_start;
+    for e in &entries {
+        if e.name == name {
+            return sperr.decompress(&bytes[offset..offset + e.stream_len]);
+        }
+        offset += e.stream_len;
+    }
+    Err(CompressError::Invalid(format!("no archive entry named {name}")))
+}
+
+/// Decompresses every field in the archive, in directory order.
+pub fn read_archive(
+    sperr: &Sperr,
+    bytes: &[u8],
+) -> Result<Vec<(String, Field)>, CompressError> {
+    let (entries, payload_start) = directory(bytes)?;
+    let mut out = Vec::with_capacity(entries.len());
+    let mut offset = payload_start;
+    for e in entries {
+        let field = sperr.decompress(&bytes[offset..offset + e.stream_len])?;
+        offset += e.stream_len;
+        out.push((e.name, field));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compressor::SperrConfig;
+
+    fn sample_field(seed: usize) -> Field {
+        Field::from_fn([16, 12, 8], |x, y, z| {
+            ((x + seed) as f64 * 0.3).sin() * 10.0 + (y as f64 * 0.2).cos() + z as f64
+        })
+    }
+
+    #[test]
+    fn archive_roundtrip_all_fields() {
+        let sperr = Sperr::new(SperrConfig::default());
+        let a = sample_field(0);
+        let b = sample_field(5);
+        let t_a = a.tolerance_for_idx(15);
+        let bytes = write_archive(
+            &sperr,
+            &[("pressure", &a, Bound::Pwe(t_a)), ("velocity", &b, Bound::Bpp(4.0))],
+        )
+        .unwrap();
+        let all = read_archive(&sperr, &bytes).unwrap();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].0, "pressure");
+        assert_eq!(all[1].0, "velocity");
+        let err = sperr_metrics::max_pwe(&a.data, &all[0].1.data);
+        assert!(err <= t_a);
+    }
+
+    #[test]
+    fn selective_extraction() {
+        let sperr = Sperr::new(SperrConfig::default());
+        let a = sample_field(1);
+        let b = sample_field(2);
+        let t = a.tolerance_for_idx(12);
+        let bytes = write_archive(
+            &sperr,
+            &[("temp", &a, Bound::Pwe(t)), ("ch4", &b, Bound::Pwe(t))],
+        )
+        .unwrap();
+        let ch4 = read_archive_entry(&sperr, &bytes, "ch4").unwrap();
+        assert!(sperr_metrics::max_pwe(&b.data, &ch4.data) <= t);
+        assert!(read_archive_entry(&sperr, &bytes, "nope").is_err());
+    }
+
+    #[test]
+    fn directory_listing() {
+        let sperr = Sperr::new(SperrConfig::default());
+        let a = sample_field(3);
+        let bytes =
+            write_archive(&sperr, &[("only", &a, Bound::Pwe(0.01))]).unwrap();
+        let dir = list_archive(&bytes).unwrap();
+        assert_eq!(dir.len(), 1);
+        assert_eq!(dir[0].name, "only");
+        assert!(dir[0].stream_len > 0);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let sperr = Sperr::new(SperrConfig::default());
+        let a = sample_field(4);
+        assert!(write_archive(
+            &sperr,
+            &[("x", &a, Bound::Pwe(0.1)), ("x", &a, Bound::Pwe(0.1))]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn corrupt_archives_rejected() {
+        let sperr = Sperr::new(SperrConfig::default());
+        let a = sample_field(6);
+        let good = write_archive(&sperr, &[("f", &a, Bound::Pwe(0.1))]).unwrap();
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert!(list_archive(&bad).is_err());
+        assert!(list_archive(&good[..good.len() - 3]).is_err());
+        assert!(list_archive(&[]).is_err());
+    }
+
+    #[test]
+    fn empty_archive_is_valid() {
+        let sperr = Sperr::new(SperrConfig::default());
+        let bytes = write_archive(&sperr, &[]).unwrap();
+        assert!(list_archive(&bytes).unwrap().is_empty());
+        assert!(read_archive(&sperr, &bytes).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,136 @@
+//! Volume chunking (§III-D): a big input volume is divided into smaller
+//! chunks, each processed independently (and in parallel). The chunk size
+//! need not divide the volume dimensions — boundary chunks are simply
+//! smaller.
+
+/// One chunk: offset and extent within the full volume.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkSpec {
+    /// Offset of the chunk's origin in the volume.
+    pub offset: [usize; 3],
+    /// Extent of the chunk.
+    pub dims: [usize; 3],
+}
+
+impl ChunkSpec {
+    /// Number of points in the chunk.
+    pub fn len(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// True when the chunk is empty (never produced by [`chunk_grid`]).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Partitions `volume_dims` into a grid of chunks of size at most
+/// `chunk_dims`, ordered x-fastest. Always returns at least one chunk for
+/// non-empty volumes.
+pub fn chunk_grid(volume_dims: [usize; 3], chunk_dims: [usize; 3]) -> Vec<ChunkSpec> {
+    assert!(volume_dims.iter().all(|&d| d > 0), "empty volume");
+    assert!(chunk_dims.iter().all(|&d| d > 0), "empty chunk dims");
+    let counts = [
+        volume_dims[0].div_ceil(chunk_dims[0]),
+        volume_dims[1].div_ceil(chunk_dims[1]),
+        volume_dims[2].div_ceil(chunk_dims[2]),
+    ];
+    let mut out = Vec::with_capacity(counts.iter().product());
+    for cz in 0..counts[2] {
+        for cy in 0..counts[1] {
+            for cx in 0..counts[0] {
+                let offset = [cx * chunk_dims[0], cy * chunk_dims[1], cz * chunk_dims[2]];
+                let dims = [
+                    chunk_dims[0].min(volume_dims[0] - offset[0]),
+                    chunk_dims[1].min(volume_dims[1] - offset[1]),
+                    chunk_dims[2].min(volume_dims[2] - offset[2]),
+                ];
+                out.push(ChunkSpec { offset, dims });
+            }
+        }
+    }
+    out
+}
+
+/// Copies a chunk out of the row-major volume into a dense buffer.
+pub fn extract_chunk(volume: &[f64], volume_dims: [usize; 3], spec: &ChunkSpec) -> Vec<f64> {
+    let mut out = Vec::with_capacity(spec.len());
+    for z in 0..spec.dims[2] {
+        for y in 0..spec.dims[1] {
+            let row_start = spec.offset[0]
+                + volume_dims[0] * ((spec.offset[1] + y) + volume_dims[1] * (spec.offset[2] + z));
+            out.extend_from_slice(&volume[row_start..row_start + spec.dims[0]]);
+        }
+    }
+    out
+}
+
+/// Writes a dense chunk buffer back into the row-major volume.
+pub fn insert_chunk(
+    volume: &mut [f64],
+    volume_dims: [usize; 3],
+    spec: &ChunkSpec,
+    chunk: &[f64],
+) {
+    debug_assert_eq!(chunk.len(), spec.len());
+    for z in 0..spec.dims[2] {
+        for y in 0..spec.dims[1] {
+            let row_start = spec.offset[0]
+                + volume_dims[0] * ((spec.offset[1] + y) + volume_dims[1] * (spec.offset[2] + z));
+            let src = spec.dims[0] * (y + spec.dims[1] * z);
+            volume[row_start..row_start + spec.dims[0]]
+                .copy_from_slice(&chunk[src..src + spec.dims[0]]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_division() {
+        let chunks = chunk_grid([32, 32, 32], [16, 16, 16]);
+        assert_eq!(chunks.len(), 8);
+        assert!(chunks.iter().all(|c| c.dims == [16, 16, 16]));
+        let total: usize = chunks.iter().map(|c| c.len()).sum();
+        assert_eq!(total, 32 * 32 * 32);
+    }
+
+    #[test]
+    fn non_divisible_boundary_chunks() {
+        let chunks = chunk_grid([40, 16, 10], [16, 16, 16]);
+        assert_eq!(chunks.len(), 3);
+        assert_eq!(chunks[0].dims, [16, 16, 10]);
+        assert_eq!(chunks[2].dims, [8, 16, 10]);
+        let total: usize = chunks.iter().map(|c| c.len()).sum();
+        assert_eq!(total, 40 * 16 * 10);
+    }
+
+    #[test]
+    fn chunk_larger_than_volume() {
+        let chunks = chunk_grid([10, 10, 10], [256, 256, 256]);
+        assert_eq!(chunks.len(), 1);
+        assert_eq!(chunks[0].dims, [10, 10, 10]);
+    }
+
+    #[test]
+    fn extract_insert_roundtrip() {
+        let dims = [7usize, 5, 4];
+        let volume: Vec<f64> = (0..140).map(|i| i as f64).collect();
+        let mut rebuilt = vec![0.0; 140];
+        for spec in chunk_grid(dims, [3, 2, 3]) {
+            let chunk = extract_chunk(&volume, dims, &spec);
+            insert_chunk(&mut rebuilt, dims, &spec, &chunk);
+        }
+        assert_eq!(volume, rebuilt);
+    }
+
+    #[test]
+    fn extract_respects_offsets() {
+        let dims = [4usize, 4, 1];
+        let volume: Vec<f64> = (0..16).map(|i| i as f64).collect();
+        let spec = ChunkSpec { offset: [2, 1, 0], dims: [2, 2, 1] };
+        assert_eq!(extract_chunk(&volume, dims, &spec), vec![6.0, 7.0, 10.0, 11.0]);
+    }
+}

@@ -1,0 +1,563 @@
+//! The top-level SPERR compressor: chunking, the embarrassingly parallel
+//! driver (§III-D), container assembly and the lossless post-pass (§V).
+
+use crate::chunk::{chunk_grid, extract_chunk, insert_chunk};
+use crate::container::{read_container, write_container, Header, Mode};
+use crate::pipeline::{
+    compress_chunk_bpp, compress_chunk_pwe, compress_chunk_rmse, decompress_chunk,
+    decompress_chunk_multires, ChunkEncoding,
+};
+use crate::stats::CompressionStats;
+use parking_lot::Mutex;
+use sperr_compress_api::{Bound, CompressError, Field, LossyCompressor};
+use sperr_wavelet::Kernel;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Outer stream framing: one flag byte telling whether the container is
+/// wrapped by the lossless codec.
+const OUTER_RAW: u8 = 0;
+const OUTER_LOSSLESS: u8 = 1;
+
+/// Configuration for [`Sperr`].
+#[derive(Debug, Clone)]
+pub struct SperrConfig {
+    /// Chunk extent; the volume is partitioned into chunks of at most this
+    /// size. The paper's default is 256³ (§V-B); it need not divide the
+    /// volume dimensions.
+    pub chunk_dims: [usize; 3],
+    /// SPECK quantization step as a multiple of the PWE tolerance:
+    /// `q = q_factor · t`. The paper settles on 1.5 (§IV-D).
+    pub q_factor: f64,
+    /// Wavelet kernel (CDF 9/7 in the paper; others for ablations).
+    pub kernel: Kernel,
+    /// Apply the lossless post-pass to the final container (§V; on by
+    /// default, standing in for ZSTD).
+    pub lossless: bool,
+    /// Worker threads for chunk-parallel execution; 0 = one per available
+    /// core.
+    pub num_threads: usize,
+}
+
+impl Default for SperrConfig {
+    fn default() -> Self {
+        SperrConfig {
+            chunk_dims: [256, 256, 256],
+            q_factor: 1.5,
+            kernel: Kernel::Cdf97,
+            lossless: true,
+            num_threads: 0,
+        }
+    }
+}
+
+/// The SPERR compressor. See the crate docs for the pipeline description.
+#[derive(Debug, Clone, Default)]
+pub struct Sperr {
+    config: SperrConfig,
+}
+
+impl Sperr {
+    /// Creates a compressor with the given configuration.
+    pub fn new(config: SperrConfig) -> Self {
+        assert!(config.q_factor > 0.0, "q_factor must be positive");
+        assert!(config.chunk_dims.iter().all(|&d| d > 0), "chunk dims must be positive");
+        Sperr { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SperrConfig {
+        &self.config
+    }
+
+    fn effective_threads(&self, n_chunks: usize) -> usize {
+        let t = if self.config.num_threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            self.config.num_threads
+        };
+        t.min(n_chunks).max(1)
+    }
+
+    /// Compresses and returns the stream together with cost/timing
+    /// statistics (the instrumentation behind Figs. 2, 4 and 6).
+    pub fn compress_with_stats(
+        &self,
+        field: &Field,
+        bound: Bound,
+    ) -> Result<(Vec<u8>, CompressionStats), CompressError> {
+        if field.is_empty() {
+            return Err(CompressError::Invalid("empty field".into()));
+        }
+        let chunks_spec = chunk_grid(field.dims, self.config.chunk_dims);
+        let (mode, bound_value) = match bound {
+            Bound::Pwe(t) => {
+                if !(t > 0.0) || !t.is_finite() {
+                    return Err(CompressError::Invalid(format!("invalid tolerance {t}")));
+                }
+                (Mode::Pwe, t)
+            }
+            Bound::Bpp(r) => {
+                if !(r > 0.0) || !r.is_finite() {
+                    return Err(CompressError::Invalid(format!("invalid bitrate {r}")));
+                }
+                (Mode::Bpp, r)
+            }
+            Bound::Psnr(p) => {
+                // §VII extension: average-error-targeted compression via
+                // the near-orthogonality of the transform.
+                if !(p > 0.0) || !p.is_finite() {
+                    return Err(CompressError::Invalid(format!("invalid PSNR target {p}")));
+                }
+                (Mode::Rmse, p)
+            }
+        };
+        // PSNR targets translate to an RMSE target over the whole field's
+        // range; a zero-range (constant) field quantizes relative to its
+        // magnitude.
+        let rmse_target = if let Mode::Rmse = mode {
+            let range = field.range();
+            if range > 0.0 {
+                range / 10f64.powf(bound_value / 20.0)
+            } else {
+                let max_abs = field.data.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+                max_abs.max(1.0) * f64::exp2(-40.0)
+            }
+        } else {
+            0.0
+        };
+
+        // Per-chunk bit budget for size mode: the raw target minus the
+        // amortized chunk-table overhead, so the final container lands at
+        // or under the requested rate.
+        let per_chunk_header_bits = 26 * 8;
+        let cfg = &self.config;
+        let q_factor = cfg.q_factor;
+        let kernel = cfg.kernel;
+        let volume_dims = field.dims;
+        let data = &field.data;
+
+        let n_chunks = chunks_spec.len();
+        let threads = self.effective_threads(n_chunks);
+        let encoded: Vec<ChunkEncoding> = parallel_map(n_chunks, threads, |i| {
+            let spec = &chunks_spec[i];
+            let chunk_data = extract_chunk(data, volume_dims, spec);
+            match mode {
+                Mode::Pwe => {
+                    compress_chunk_pwe(&chunk_data, spec.dims, bound_value, q_factor, kernel)
+                }
+                Mode::Bpp => {
+                    let budget = ((bound_value * spec.len() as f64) as usize)
+                        .saturating_sub(per_chunk_header_bits);
+                    compress_chunk_bpp(&chunk_data, spec.dims, budget, kernel)
+                }
+                Mode::Rmse => compress_chunk_rmse(&chunk_data, spec.dims, rmse_target, kernel),
+            }
+        });
+
+        let mut stats = CompressionStats {
+            num_points: field.len(),
+            num_chunks: n_chunks,
+            ..CompressionStats::default()
+        };
+        for enc in &encoded {
+            stats.speck_bits += enc.speck_bits;
+            stats.outlier_bits += enc.outlier_bits;
+            stats.num_outliers += enc.num_outliers as usize;
+            stats.stage_times.accumulate(&enc.times);
+            stats.coeff_sq_error += enc.coeff_sq_error;
+        }
+
+        let header = Header {
+            mode,
+            kernel,
+            precision: field.precision,
+            dims: field.dims,
+            chunk_dims: cfg.chunk_dims,
+            bound_value,
+            n_chunks,
+        };
+        let container = write_container(&header, &encoded);
+        stats.container_bytes = container.len();
+
+        let mut out = Vec::with_capacity(container.len() + 1);
+        if cfg.lossless {
+            out.push(OUTER_LOSSLESS);
+            out.extend_from_slice(&sperr_lossless::compress(&container));
+        } else {
+            out.push(OUTER_RAW);
+            out.extend_from_slice(&container);
+        }
+        stats.output_bytes = out.len();
+        Ok((out, stats))
+    }
+
+    /// Strips the outer framing, undoing the lossless pass when present.
+    /// Returns the raw container and whether the lossless pass was on.
+    fn unwrap_outer(stream: &[u8]) -> Result<(Vec<u8>, bool), CompressError> {
+        let (&flag, rest) = stream
+            .split_first()
+            .ok_or_else(|| CompressError::Corrupt("empty stream".into()))?;
+        match flag {
+            OUTER_RAW => Ok((rest.to_vec(), false)),
+            OUTER_LOSSLESS => Ok((sperr_lossless::decompress(rest)?, true)),
+            f => Err(CompressError::Corrupt(format!("unknown outer flag {f}"))),
+        }
+    }
+
+    /// Inspects a SPERR stream without decoding it: dimensions, mode,
+    /// chunking and per-chunk stream sizes.
+    pub fn inspect(&self, stream: &[u8]) -> Result<StreamInfo, CompressError> {
+        let (container, lossless) = Self::unwrap_outer(stream)?;
+        let (header, entries, _) = read_container(&container)?;
+        Ok(StreamInfo {
+            dims: header.dims,
+            chunk_dims: header.chunk_dims,
+            mode: header.mode,
+            bound_value: header.bound_value,
+            n_chunks: header.n_chunks,
+            lossless,
+            speck_bytes: entries.iter().map(|e| e.speck_len).sum(),
+            outlier_bytes: entries.iter().map(|e| e.outlier_len).sum(),
+        })
+    }
+
+    /// Multi-resolution decompression (§VII): reconstructs the field at
+    /// `1/2^level` resolution per axis by undoing only the coarser
+    /// transform levels. `level = 0` is full resolution (without outlier
+    /// corrections applied at `level > 0`, which are full-resolution
+    /// data). Requires every chunk to have at least `level` transform
+    /// levels on every axis and `chunk_dims` divisible by `2^level`.
+    pub fn decompress_multires(
+        &self,
+        stream: &[u8],
+        level: usize,
+    ) -> Result<Field, CompressError> {
+        if level == 0 {
+            return self.decompress(stream);
+        }
+        let (container, _) = Self::unwrap_outer(stream)?;
+        let (header, entries, payload_start) = read_container(&container)?;
+        let chunks_spec = chunk_grid(header.dims, header.chunk_dims);
+        if chunks_spec.len() != header.n_chunks || entries.len() != header.n_chunks {
+            return Err(CompressError::Corrupt("chunk table size mismatch".into()));
+        }
+        let step = 1usize << level;
+        // Offsets are multiples of chunk_dims; they must stay aligned
+        // after coarsening (single-chunk streams are always fine).
+        if chunks_spec.len() > 1 && header.chunk_dims.iter().any(|&d| d % step != 0) {
+            return Err(CompressError::Invalid(format!(
+                "chunk dims {:?} not divisible by 2^{level}",
+                header.chunk_dims
+            )));
+        }
+        // Coarse volume geometry: iterated ceil-halving == ceil(n / 2^l).
+        let cdims = [
+            header.dims[0].div_ceil(step),
+            header.dims[1].div_ceil(step),
+            header.dims[2].div_ceil(step),
+        ];
+        let mut volume = vec![0.0f64; cdims.iter().product()];
+        let mut cursor = payload_start;
+        for (spec, e) in chunks_spec.iter().zip(&entries) {
+            let speck = &container[cursor..cursor + e.speck_len];
+            cursor += e.speck_len + e.outlier_len;
+            let (chunk, chunk_cdims) = decompress_chunk_multires(
+                speck,
+                spec.dims,
+                e.q,
+                e.num_planes,
+                level,
+                header.kernel,
+            )?;
+            let coffset = [spec.offset[0] / step, spec.offset[1] / step, spec.offset[2] / step];
+            insert_chunk(
+                &mut volume,
+                cdims,
+                &crate::chunk::ChunkSpec { offset: coffset, dims: chunk_cdims },
+                &chunk,
+            );
+        }
+        Ok(Field::new(cdims, volume).with_precision(header.precision))
+    }
+
+    /// Region-of-interest decompression: reconstructs only the sub-box
+    /// `[lo, hi)` of the volume, decoding just the chunks that intersect
+    /// it — the practical payoff of SPERR's chunked storage for
+    /// explorative analysis. Returns a field of dims `hi - lo`.
+    pub fn decompress_region(
+        &self,
+        stream: &[u8],
+        lo: [usize; 3],
+        hi: [usize; 3],
+    ) -> Result<Field, CompressError> {
+        let (container, _) = Self::unwrap_outer(stream)?;
+        let (header, entries, payload_start) = read_container(&container)?;
+        for d in 0..3 {
+            if lo[d] >= hi[d] || hi[d] > header.dims[d] {
+                return Err(CompressError::Invalid(format!(
+                    "region [{lo:?}, {hi:?}) out of bounds for dims {:?}",
+                    header.dims
+                )));
+            }
+        }
+        let chunks_spec = chunk_grid(header.dims, header.chunk_dims);
+        if chunks_spec.len() != entries.len() {
+            return Err(CompressError::Corrupt("chunk table size mismatch".into()));
+        }
+        let tolerance = match header.mode {
+            Mode::Pwe => header.bound_value,
+            Mode::Bpp | Mode::Rmse => 0.0,
+        };
+        let region_dims = [hi[0] - lo[0], hi[1] - lo[1], hi[2] - lo[2]];
+        let mut out = vec![0.0f64; region_dims.iter().product()];
+        let mut cursor = payload_start;
+        for (spec, e) in chunks_spec.iter().zip(&entries) {
+            let speck = &container[cursor..cursor + e.speck_len];
+            let outlier = &container[cursor + e.speck_len..cursor + e.speck_len + e.outlier_len];
+            cursor += e.speck_len + e.outlier_len;
+            // Intersect the chunk with the region.
+            let c_lo = spec.offset;
+            let c_hi = [
+                spec.offset[0] + spec.dims[0],
+                spec.offset[1] + spec.dims[1],
+                spec.offset[2] + spec.dims[2],
+            ];
+            let isect_lo = [lo[0].max(c_lo[0]), lo[1].max(c_lo[1]), lo[2].max(c_lo[2])];
+            let isect_hi = [hi[0].min(c_hi[0]), hi[1].min(c_hi[1]), hi[2].min(c_hi[2])];
+            if (0..3).any(|d| isect_lo[d] >= isect_hi[d]) {
+                continue; // chunk does not touch the region: skip decode
+            }
+            let chunk = decompress_chunk(
+                speck,
+                outlier,
+                spec.dims,
+                e.q,
+                e.num_planes,
+                e.max_n,
+                tolerance,
+                header.kernel,
+            )?;
+            for z in isect_lo[2]..isect_hi[2] {
+                for y in isect_lo[1]..isect_hi[1] {
+                    let src_row = (isect_lo[0] - c_lo[0])
+                        + spec.dims[0] * ((y - c_lo[1]) + spec.dims[1] * (z - c_lo[2]));
+                    let dst_row = (isect_lo[0] - lo[0])
+                        + region_dims[0] * ((y - lo[1]) + region_dims[1] * (z - lo[2]));
+                    let len = isect_hi[0] - isect_lo[0];
+                    out[dst_row..dst_row + len].copy_from_slice(&chunk[src_row..src_row + len]);
+                }
+            }
+        }
+        Ok(Field::new(region_dims, out).with_precision(header.precision))
+    }
+
+    /// Re-rates an existing SPERR stream to a (lower) size target without
+    /// re-encoding, by truncating each chunk's embedded SPECK stream (§VII:
+    /// "any prefix of the bitstream can reconstruct a less-accurate
+    /// version of the data"). Outlier corrections are dropped — the result
+    /// is a size-bounded stream with no error guarantee.
+    pub fn transcode_to_bpp(&self, stream: &[u8], bpp: f64) -> Result<Vec<u8>, CompressError> {
+        if !(bpp > 0.0) || !bpp.is_finite() {
+            return Err(CompressError::Invalid(format!("invalid bitrate {bpp}")));
+        }
+        let (container, lossless) = Self::unwrap_outer(stream)?;
+        let (header, entries, payload_start) = read_container(&container)?;
+        let chunks_spec = chunk_grid(header.dims, header.chunk_dims);
+        if chunks_spec.len() != entries.len() {
+            return Err(CompressError::Corrupt("chunk table size mismatch".into()));
+        }
+        let mut new_chunks = Vec::with_capacity(entries.len());
+        let mut cursor = payload_start;
+        for (spec, e) in chunks_spec.iter().zip(&entries) {
+            let speck = &container[cursor..cursor + e.speck_len];
+            cursor += e.speck_len + e.outlier_len;
+            let budget_bytes = ((bpp * spec.len() as f64) as usize / 8).saturating_sub(26);
+            let keep = e.speck_len.min(budget_bytes);
+            new_chunks.push(ChunkEncoding {
+                speck_stream: speck[..keep].to_vec(),
+                outlier_stream: Vec::new(),
+                q: e.q,
+                num_planes: e.num_planes,
+                max_n: 0,
+                num_outliers: 0,
+                speck_bits: keep * 8,
+                outlier_bits: 0,
+                times: Default::default(),
+                coeff_sq_error: 0.0,
+            });
+        }
+        let new_header = Header {
+            mode: Mode::Bpp,
+            kernel: header.kernel,
+            precision: header.precision,
+            dims: header.dims,
+            chunk_dims: header.chunk_dims,
+            bound_value: bpp,
+            n_chunks: new_chunks.len(),
+        };
+        let new_container = write_container(&new_header, &new_chunks);
+        let mut out = Vec::with_capacity(new_container.len() + 1);
+        if lossless {
+            out.push(OUTER_LOSSLESS);
+            out.extend_from_slice(&sperr_lossless::compress(&new_container));
+        } else {
+            out.push(OUTER_RAW);
+            out.extend_from_slice(&new_container);
+        }
+        Ok(out)
+    }
+}
+
+/// Metadata describing a SPERR stream (see [`Sperr::inspect`]).
+#[derive(Debug, Clone)]
+pub struct StreamInfo {
+    /// Full-resolution volume dimensions.
+    pub dims: [usize; 3],
+    /// Chunk extent used at compression time.
+    pub chunk_dims: [usize; 3],
+    /// Termination mode.
+    pub mode: Mode,
+    /// The bound's value: tolerance (PWE), bits-per-point (BPP) or PSNR
+    /// target in dB (RMSE mode).
+    pub bound_value: f64,
+    /// Number of chunks.
+    pub n_chunks: usize,
+    /// Whether the lossless post-pass was applied.
+    pub lossless: bool,
+    /// Total SPECK payload bytes across chunks.
+    pub speck_bytes: usize,
+    /// Total outlier payload bytes across chunks.
+    pub outlier_bytes: usize,
+}
+
+impl LossyCompressor for Sperr {
+    fn name(&self) -> &'static str {
+        "SPERR"
+    }
+
+    fn supports(&self, bound: &Bound) -> bool {
+        matches!(bound, Bound::Pwe(_) | Bound::Bpp(_) | Bound::Psnr(_))
+    }
+
+    fn compress(&self, field: &Field, bound: Bound) -> Result<Vec<u8>, CompressError> {
+        self.compress_with_stats(field, bound).map(|(stream, _)| stream)
+    }
+
+    fn decompress(&self, stream: &[u8]) -> Result<Field, CompressError> {
+        let (&flag, rest) = stream
+            .split_first()
+            .ok_or_else(|| CompressError::Corrupt("empty stream".into()))?;
+        let container: Vec<u8> = match flag {
+            OUTER_RAW => rest.to_vec(),
+            OUTER_LOSSLESS => sperr_lossless::decompress(rest)?,
+            f => return Err(CompressError::Corrupt(format!("unknown outer flag {f}"))),
+        };
+        let (header, entries, payload_start) = read_container(&container)?;
+        let chunks_spec = chunk_grid(header.dims, header.chunk_dims);
+        if chunks_spec.len() != header.n_chunks || entries.len() != header.n_chunks {
+            return Err(CompressError::Corrupt("chunk table size mismatch".into()));
+        }
+
+        // Pre-slice each chunk's payload region.
+        let mut offsets = Vec::with_capacity(entries.len());
+        let mut cursor = payload_start;
+        for e in &entries {
+            offsets.push(cursor);
+            cursor += e.speck_len + e.outlier_len;
+        }
+
+        let tolerance = match header.mode {
+            Mode::Pwe => header.bound_value,
+            Mode::Bpp | Mode::Rmse => 0.0,
+        };
+        let n_chunks = entries.len();
+        let threads = self.effective_threads(n_chunks);
+        let container_ref = &container;
+        let entries_ref = &entries;
+        let offsets_ref = &offsets;
+        let specs_ref = &chunks_spec;
+        let kernel = header.kernel;
+        let decoded: Vec<Result<Vec<f64>, CompressError>> =
+            parallel_map(n_chunks, threads, move |i| {
+                let e = &entries_ref[i];
+                let start = offsets_ref[i];
+                let speck = &container_ref[start..start + e.speck_len];
+                let outlier = &container_ref[start + e.speck_len..start + e.speck_len + e.outlier_len];
+                decompress_chunk(
+                    speck,
+                    outlier,
+                    specs_ref[i].dims,
+                    e.q,
+                    e.num_planes,
+                    e.max_n,
+                    tolerance,
+                    kernel,
+                )
+            });
+
+        let mut volume = vec![0.0f64; header.dims.iter().product()];
+        for (spec, result) in chunks_spec.iter().zip(decoded) {
+            let chunk = result?;
+            insert_chunk(&mut volume, header.dims, spec, &chunk);
+        }
+        Ok(Field::new(header.dims, volume).with_precision(header.precision))
+    }
+}
+
+/// Runs `f(0..n)` on up to `threads` scoped workers pulling indices from a
+/// shared atomic counter; results land in input order. With one thread the
+/// calls happen inline (used by the timing experiments to measure serial
+/// stage costs without thread noise).
+fn parallel_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(n) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let value = f(i);
+                slots.lock()[i] = Some(value);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .into_iter()
+        .map(|s| s.expect("worker failed to fill slot"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out = parallel_map(100, 8, |i| i * i);
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_single_item() {
+        assert_eq!(parallel_map(1, 8, |i| i + 1), vec![1]);
+    }
+
+    #[test]
+    fn default_config_matches_paper() {
+        let cfg = SperrConfig::default();
+        assert_eq!(cfg.chunk_dims, [256, 256, 256]); // §V-B default
+        assert!((cfg.q_factor - 1.5).abs() < 1e-12); // §IV-D choice
+        assert_eq!(cfg.kernel, Kernel::Cdf97);
+        assert!(cfg.lossless); // §V: ZSTD stage on by default
+    }
+}

@@ -1,0 +1,272 @@
+//! SPERR container format: a fixed 20-byte header (the paper's §V-A notes
+//! a fixed twenty-byte header whose cost is included in all evaluations),
+//! an extended header, per-chunk tables, and the concatenated chunk
+//! bitstreams.
+
+use crate::pipeline::ChunkEncoding;
+use sperr_bitstream::{ByteReader, ByteWriter};
+use sperr_compress_api::{CompressError, Precision};
+use sperr_wavelet::Kernel;
+
+pub(crate) const MAGIC: &[u8; 4] = b"SPRR";
+pub(crate) const VERSION: u8 = 1;
+
+/// Termination mode recorded in the stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Point-wise-error bounded (`bound_value` = tolerance t).
+    Pwe,
+    /// Size bounded (`bound_value` = target bits per point).
+    Bpp,
+    /// Average-error targeted (`bound_value` = target PSNR in dB); the
+    /// §VII extension.
+    Rmse,
+}
+
+/// Parsed container metadata.
+#[derive(Debug, Clone)]
+pub(crate) struct Header {
+    pub mode: Mode,
+    pub kernel: Kernel,
+    pub precision: Precision,
+    pub dims: [usize; 3],
+    pub chunk_dims: [usize; 3],
+    /// PWE tolerance (PWE mode) or target bits-per-point (BPP mode).
+    pub bound_value: f64,
+    pub n_chunks: usize,
+}
+
+/// Per-chunk table entry.
+#[derive(Debug, Clone)]
+pub(crate) struct ChunkEntry {
+    pub q: f64,
+    pub num_planes: u8,
+    pub max_n: u8,
+    /// Informational (cost accounting by external tools); not needed to
+    /// decode.
+    #[allow(dead_code)]
+    pub num_outliers: u32,
+    pub speck_len: usize,
+    pub outlier_len: usize,
+}
+
+fn kernel_tag(k: Kernel) -> u8 {
+    match k {
+        Kernel::Cdf97 => 0,
+        Kernel::Cdf53 => 1,
+        Kernel::Haar => 2,
+    }
+}
+
+fn kernel_from_tag(tag: u8) -> Result<Kernel, CompressError> {
+    match tag {
+        0 => Ok(Kernel::Cdf97),
+        1 => Ok(Kernel::Cdf53),
+        2 => Ok(Kernel::Haar),
+        _ => Err(CompressError::Corrupt(format!("unknown kernel tag {tag}"))),
+    }
+}
+
+/// Serializes header + chunk table + payloads.
+pub(crate) fn write_container(header: &Header, chunks: &[ChunkEncoding]) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    // Fixed 20-byte header.
+    w.put_bytes(MAGIC);
+    w.put_u8(VERSION);
+    w.put_u8(match header.mode {
+        Mode::Pwe => 0,
+        Mode::Bpp => 1,
+        Mode::Rmse => 2,
+    });
+    w.put_u8(kernel_tag(header.kernel));
+    w.put_u8(match header.precision {
+        Precision::Double => 0,
+        Precision::Single => 1,
+    });
+    w.put_u32(header.dims[0] as u32);
+    w.put_u32(header.dims[1] as u32);
+    w.put_u32(header.dims[2] as u32);
+    debug_assert_eq!(w.len(), 20);
+    // Extended header.
+    w.put_f64(header.bound_value);
+    w.put_u32(header.chunk_dims[0] as u32);
+    w.put_u32(header.chunk_dims[1] as u32);
+    w.put_u32(header.chunk_dims[2] as u32);
+    w.put_u32(chunks.len() as u32);
+    // Chunk table.
+    for c in chunks {
+        w.put_f64(c.q);
+        w.put_u8(c.num_planes);
+        w.put_u8(c.max_n);
+        w.put_u32(c.num_outliers);
+        w.put_u32(c.speck_stream.len() as u32);
+        w.put_u32(c.outlier_stream.len() as u32);
+    }
+    // Payloads.
+    for c in chunks {
+        w.put_bytes(&c.speck_stream);
+        w.put_bytes(&c.outlier_stream);
+    }
+    w.into_bytes()
+}
+
+/// Parses a container, returning metadata, the chunk table and the
+/// payload cursor (as byte offsets into `bytes`).
+pub(crate) fn read_container(
+    bytes: &[u8],
+) -> Result<(Header, Vec<ChunkEntry>, usize), CompressError> {
+    let mut r = ByteReader::new(bytes);
+    if r.get_bytes(4)? != MAGIC {
+        return Err(CompressError::Corrupt("bad magic".into()));
+    }
+    let version = r.get_u8()?;
+    if version != VERSION {
+        return Err(CompressError::Corrupt(format!("unsupported version {version}")));
+    }
+    let mode = match r.get_u8()? {
+        0 => Mode::Pwe,
+        1 => Mode::Bpp,
+        2 => Mode::Rmse,
+        m => return Err(CompressError::Corrupt(format!("unknown mode {m}"))),
+    };
+    let kernel = kernel_from_tag(r.get_u8()?)?;
+    let precision = match r.get_u8()? {
+        0 => Precision::Double,
+        1 => Precision::Single,
+        p => return Err(CompressError::Corrupt(format!("unknown precision {p}"))),
+    };
+    let dims = [r.get_u32()? as usize, r.get_u32()? as usize, r.get_u32()? as usize];
+    if dims.iter().any(|&d| d == 0) {
+        return Err(CompressError::Corrupt("zero dimension".into()));
+    }
+    let bound_value = r.get_f64()?;
+    let chunk_dims =
+        [r.get_u32()? as usize, r.get_u32()? as usize, r.get_u32()? as usize];
+    if chunk_dims.iter().any(|&d| d == 0) {
+        return Err(CompressError::Corrupt("zero chunk dimension".into()));
+    }
+    let n_chunks = r.get_u32()? as usize;
+    let expected = crate::chunk::chunk_grid(dims, chunk_dims).len();
+    if n_chunks != expected {
+        return Err(CompressError::Corrupt(format!(
+            "chunk count {n_chunks} does not match grid {expected}"
+        )));
+    }
+    let mut entries = Vec::with_capacity(n_chunks);
+    for _ in 0..n_chunks {
+        let q = r.get_f64()?;
+        let num_planes = r.get_u8()?;
+        let max_n = r.get_u8()?;
+        let num_outliers = r.get_u32()?;
+        let speck_len = r.get_u32()? as usize;
+        let outlier_len = r.get_u32()? as usize;
+        if !(q > 0.0) || !q.is_finite() {
+            return Err(CompressError::Corrupt("invalid quantization step".into()));
+        }
+        entries.push(ChunkEntry { q, num_planes, max_n, num_outliers, speck_len, outlier_len });
+    }
+    let payload_start = r.position();
+    let payload_total: usize = entries.iter().map(|e| e.speck_len + e.outlier_len).sum();
+    if bytes.len() < payload_start + payload_total {
+        return Err(CompressError::Corrupt("truncated payload section".into()));
+    }
+    Ok((
+        Header { mode, kernel, precision, dims, chunk_dims, bound_value, n_chunks },
+        entries,
+        payload_start,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::StageTimes;
+
+    fn dummy_chunk(speck: Vec<u8>, outlier: Vec<u8>) -> ChunkEncoding {
+        ChunkEncoding {
+            speck_bits: speck.len() * 8,
+            outlier_bits: outlier.len() * 8,
+            speck_stream: speck,
+            outlier_stream: outlier,
+            q: 0.5,
+            num_planes: 7,
+            max_n: 3,
+            num_outliers: 2,
+            times: StageTimes::default(),
+            coeff_sq_error: 0.0,
+        }
+    }
+
+    #[test]
+    fn header_is_exactly_20_bytes_before_extension() {
+        let header = Header {
+            mode: Mode::Pwe,
+            kernel: Kernel::Cdf97,
+            precision: Precision::Double,
+            dims: [8, 8, 8],
+            chunk_dims: [8, 8, 8],
+            bound_value: 0.25,
+            n_chunks: 1,
+        };
+        let bytes = write_container(&header, &[dummy_chunk(vec![1, 2, 3], vec![])]);
+        assert_eq!(&bytes[..4], MAGIC);
+        // dims start at offset 8, occupy 12 bytes -> fixed header = 20.
+        let (parsed, entries, payload_start) = read_container(&bytes).unwrap();
+        assert_eq!(parsed.dims, [8, 8, 8]);
+        assert_eq!(entries.len(), 1);
+        assert_eq!(&bytes[payload_start..payload_start + 3], &[1, 2, 3]);
+    }
+
+    #[test]
+    fn roundtrip_multiple_chunks() {
+        let header = Header {
+            mode: Mode::Bpp,
+            kernel: Kernel::Cdf53,
+            precision: Precision::Single,
+            dims: [20, 8, 8],
+            chunk_dims: [10, 8, 8],
+            bound_value: 2.0,
+            n_chunks: 2,
+        };
+        let chunks = vec![dummy_chunk(vec![9; 5], vec![7; 2]), dummy_chunk(vec![1; 3], vec![])];
+        let bytes = write_container(&header, &chunks);
+        let (parsed, entries, payload_start) = read_container(&bytes).unwrap();
+        assert_eq!(parsed.mode, Mode::Bpp);
+        assert_eq!(parsed.kernel, Kernel::Cdf53);
+        assert_eq!(parsed.precision, Precision::Single);
+        assert_eq!(entries[0].speck_len, 5);
+        assert_eq!(entries[0].outlier_len, 2);
+        assert_eq!(entries[1].speck_len, 3);
+        let payload = &bytes[payload_start..];
+        assert_eq!(payload, &[9, 9, 9, 9, 9, 7, 7, 1, 1, 1]);
+    }
+
+    #[test]
+    fn corrupt_inputs_rejected() {
+        let header = Header {
+            mode: Mode::Pwe,
+            kernel: Kernel::Cdf97,
+            precision: Precision::Double,
+            dims: [8, 8, 8],
+            chunk_dims: [8, 8, 8],
+            bound_value: 0.25,
+            n_chunks: 1,
+        };
+        let good = write_container(&header, &[dummy_chunk(vec![1, 2, 3], vec![])]);
+        // magic
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert!(read_container(&bad).is_err());
+        // version
+        let mut bad = good.clone();
+        bad[4] = 99;
+        assert!(read_container(&bad).is_err());
+        // truncated payload
+        let bad = &good[..good.len() - 2];
+        assert!(read_container(bad).is_err());
+        // zero dim
+        let mut bad = good.clone();
+        bad[8..12].fill(0);
+        assert!(read_container(&bad).is_err());
+    }
+}

@@ -1,0 +1,374 @@
+//! The per-chunk SPERR pipeline: transform → SPECK → outlier detection →
+//! outlier coding (compression) and the mirror image (decompression).
+
+use crate::stats::StageTimes;
+use sperr_compress_api::CompressError;
+use sperr_outlier::Outlier;
+use sperr_speck::Termination;
+use sperr_wavelet::{forward_3d, inverse_3d, levels_for_dims, Kernel};
+use std::time::Instant;
+
+/// Everything produced by compressing one chunk.
+#[derive(Debug, Clone)]
+pub struct ChunkEncoding {
+    /// SPECK coefficient bitstream.
+    pub speck_stream: Vec<u8>,
+    /// Outlier correction bitstream (empty in size-bounded mode or when no
+    /// outliers were produced).
+    pub outlier_stream: Vec<u8>,
+    /// Finest quantization step used by SPECK (`q = q_factor · t` in PWE
+    /// mode, derived from the coefficient range in BPP mode).
+    pub q: f64,
+    /// SPECK bitplane count (decoder input).
+    pub num_planes: u8,
+    /// Outlier coder starting exponent (decoder input).
+    pub max_n: u8,
+    /// Number of outliers corrected.
+    pub num_outliers: u32,
+    /// Exact SPECK bits before byte padding.
+    pub speck_bits: usize,
+    /// Exact outlier-coding bits before byte padding.
+    pub outlier_bits: usize,
+    /// Wall time per stage.
+    pub times: StageTimes,
+    /// Sum of squared reconstruction errors before outlier correction
+    /// (space domain in PWE mode, wavelet domain otherwise; ~equal by
+    /// near-orthogonality, §III-A).
+    pub coeff_sq_error: f64,
+}
+
+/// PWE-bounded compression of one chunk (§IV): SPECK at `q = q_factor · t`
+/// followed by outlier correction so every point lands within `t`.
+pub fn compress_chunk_pwe(
+    data: &[f64],
+    dims: [usize; 3],
+    t: f64,
+    q_factor: f64,
+    kernel: Kernel,
+) -> ChunkEncoding {
+    assert!(t > 0.0 && t.is_finite(), "PWE tolerance must be positive");
+    assert!(q_factor > 0.0, "q factor must be positive");
+    let levels = levels_for_dims(dims);
+    let q = q_factor * t;
+
+    // Stage 1: forward wavelet transform.
+    let t0 = Instant::now();
+    let mut coeffs = data.to_vec();
+    forward_3d(&mut coeffs, dims, levels, kernel);
+    let wavelet_time = t0.elapsed();
+
+    // Stage 2: SPECK coding of coefficients, all planes down to q.
+    let t1 = Instant::now();
+    let enc = sperr_speck::encode(&coeffs, dims, q, Termination::Quality);
+    let speck_time = t1.elapsed();
+
+    // Stage 3: locate outliers — reconstruct (quantized coefficients +
+    // inverse transform) and compare with the original input.
+    let t2 = Instant::now();
+    let mut recon = sperr_speck::reconstruct_quantized(&coeffs, q);
+    inverse_3d(&mut recon, dims, levels, kernel);
+    let mut coeff_sq_error = 0.0;
+    let outliers: Vec<Outlier> = data
+        .iter()
+        .zip(&recon)
+        .enumerate()
+        .filter_map(|(pos, (&orig, &rec))| {
+            let corr = orig - rec;
+            coeff_sq_error += corr * corr;
+            (corr.abs() > t).then_some(Outlier { pos, corr })
+        })
+        .collect();
+    let locate_time = t2.elapsed();
+
+    // Stage 4: encode the outliers.
+    let t3 = Instant::now();
+    let out_enc = sperr_outlier::encode(&outliers, data.len(), t);
+    let outlier_time = t3.elapsed();
+
+    ChunkEncoding {
+        speck_stream: enc.stream,
+        outlier_stream: out_enc.stream,
+        q,
+        num_planes: enc.num_planes,
+        max_n: out_enc.max_n,
+        num_outliers: outliers.len() as u32,
+        speck_bits: enc.bits_used,
+        outlier_bits: out_enc.bits_used,
+        times: StageTimes {
+            wavelet: wavelet_time,
+            speck: speck_time,
+            locate_outliers: locate_time,
+            outlier_coding: outlier_time,
+        },
+        coeff_sq_error,
+    }
+}
+
+/// Number of bitplanes below the maximum coefficient magnitude that the
+/// size-bounded mode makes addressable. 48 planes put the floor far below
+/// any practical bit budget.
+const BPP_MODE_PLANES: i32 = 48;
+
+/// Size-bounded compression of one chunk: SPECK's embedded stream is cut
+/// at `budget_bits`; no error guarantee, no outlier pass (§III-B: "the
+/// encoding process can terminate whenever a user-prescribed output size
+/// is reached").
+pub fn compress_chunk_bpp(
+    data: &[f64],
+    dims: [usize; 3],
+    budget_bits: usize,
+    kernel: Kernel,
+) -> ChunkEncoding {
+    let levels = levels_for_dims(dims);
+    let t0 = Instant::now();
+    let mut coeffs = data.to_vec();
+    forward_3d(&mut coeffs, dims, levels, kernel);
+    let wavelet_time = t0.elapsed();
+
+    let max_mag = coeffs.iter().fold(0.0f64, |m, &c| m.max(c.abs()));
+    // Quantization floor well below the budget's reach; degenerate
+    // all-zero chunks encode to an empty stream with any positive q.
+    let q = if max_mag > 0.0 { max_mag * f64::exp2(-f64::from(BPP_MODE_PLANES)) } else { 1.0 };
+
+    let t1 = Instant::now();
+    let enc = sperr_speck::encode(&coeffs, dims, q, Termination::BitBudget(budget_bits));
+    let speck_time = t1.elapsed();
+
+    ChunkEncoding {
+        speck_stream: enc.stream,
+        outlier_stream: Vec::new(),
+        q,
+        num_planes: enc.num_planes,
+        max_n: 0,
+        num_outliers: 0,
+        speck_bits: enc.bits_used,
+        outlier_bits: 0,
+        times: StageTimes {
+            wavelet: wavelet_time,
+            speck: speck_time,
+            ..StageTimes::default()
+        },
+        coeff_sq_error: 0.0, // budget truncation: not tracked
+    }
+}
+
+/// Average-error-targeted compression of one chunk (paper §VII: "the
+/// property of roughly equal root-mean-square error between wavelet
+/// coefficients and their inversely transformed reconstruction ...
+/// enables ... compression targeting an average error"): SPECK runs at
+/// `q = target_rmse`, whose mid-riser error (≤ q/2 per coded coefficient,
+/// < q in the dead zone) keeps the reconstruction RMSE at or below the
+/// target thanks to the transform's near-orthogonality. No outlier pass.
+pub fn compress_chunk_rmse(
+    data: &[f64],
+    dims: [usize; 3],
+    target_rmse: f64,
+    kernel: Kernel,
+) -> ChunkEncoding {
+    assert!(target_rmse > 0.0 && target_rmse.is_finite());
+    let levels = levels_for_dims(dims);
+    let t0 = Instant::now();
+    let mut coeffs = data.to_vec();
+    forward_3d(&mut coeffs, dims, levels, kernel);
+    let wavelet_time = t0.elapsed();
+
+    let q = target_rmse;
+    let t1 = Instant::now();
+    let enc = sperr_speck::encode(&coeffs, dims, q, Termination::Quality);
+    let speck_time = t1.elapsed();
+
+    // Wavelet-domain quantization error ~ reconstruction error (§III-A).
+    let recon = sperr_speck::reconstruct_quantized(&coeffs, q);
+    let coeff_sq_error: f64 = coeffs
+        .iter()
+        .zip(&recon)
+        .map(|(c, r)| (c - r) * (c - r))
+        .sum();
+
+    ChunkEncoding {
+        speck_stream: enc.stream,
+        outlier_stream: Vec::new(),
+        q,
+        num_planes: enc.num_planes,
+        max_n: 0,
+        num_outliers: 0,
+        speck_bits: enc.bits_used,
+        outlier_bits: 0,
+        times: StageTimes { wavelet: wavelet_time, speck: speck_time, ..StageTimes::default() },
+        coeff_sq_error,
+    }
+}
+
+/// Multi-resolution decompression of one chunk (paper §VII: the wavelet
+/// hierarchy "enables multi-level reconstruction that is useful in areas
+/// such as explorative analysis"): decodes the coefficients, undoes all
+/// but the finest `level` transform levels, and returns the coarse
+/// approximation (re-scaled to physical units) together with its dims.
+/// Outlier corrections are full-resolution data and do not apply to a
+/// coarse reconstruction.
+pub fn decompress_chunk_multires(
+    speck_stream: &[u8],
+    dims: [usize; 3],
+    q: f64,
+    num_planes: u8,
+    level: usize,
+    kernel: Kernel,
+) -> Result<(Vec<f64>, [usize; 3]), CompressError> {
+    let levels = levels_for_dims(dims);
+    if levels.iter().any(|&l| l < level) {
+        return Err(CompressError::Invalid(format!(
+            "resolution level {level} exceeds the chunk's transform depth {levels:?}"
+        )));
+    }
+    let mut coeffs = sperr_speck::decode(speck_stream, dims, q, num_planes)?;
+    sperr_wavelet::inverse_3d_partial(&mut coeffs, dims, levels, level, kernel);
+    let cdims = sperr_wavelet::coarse_dims(dims, levels, level);
+    let scale = 1.0 / sperr_wavelet::coarse_scale(dims, levels, level);
+    let mut out = Vec::with_capacity(cdims.iter().product());
+    for z in 0..cdims[2] {
+        for y in 0..cdims[1] {
+            for x in 0..cdims[0] {
+                out.push(coeffs[x + dims[0] * (y + dims[1] * z)] * scale);
+            }
+        }
+    }
+    Ok((out, cdims))
+}
+
+/// Decompresses one chunk. `tolerance` must be the compression-time `t`
+/// for PWE streams (used to scale outlier thresholds); it is ignored when
+/// the outlier stream is empty.
+pub fn decompress_chunk(
+    speck_stream: &[u8],
+    outlier_stream: &[u8],
+    dims: [usize; 3],
+    q: f64,
+    num_planes: u8,
+    max_n: u8,
+    tolerance: f64,
+    kernel: Kernel,
+) -> Result<Vec<f64>, CompressError> {
+    let levels = levels_for_dims(dims);
+    let mut coeffs = sperr_speck::decode(speck_stream, dims, q, num_planes)?;
+    inverse_3d(&mut coeffs, dims, levels, kernel);
+    if !outlier_stream.is_empty() {
+        if !(tolerance > 0.0) {
+            return Err(CompressError::Corrupt(
+                "outlier stream present but tolerance missing".into(),
+            ));
+        }
+        let corrections =
+            sperr_outlier::decode(outlier_stream, coeffs.len(), tolerance, max_n)?;
+        for c in corrections {
+            if c.pos >= coeffs.len() {
+                return Err(CompressError::Corrupt("outlier position out of range".into()));
+            }
+            // z = x̃ + corr (Eq. 1).
+            coeffs[c.pos] += c.corr;
+        }
+    }
+    Ok(coeffs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_data(dims: [usize; 3]) -> Vec<f64> {
+        (0..dims.iter().product())
+            .map(|i| (i as f64 * 0.213).sin() * 12.0 + (i as f64 * 0.0071).cos() * 3.0)
+            .collect()
+    }
+
+    #[test]
+    fn chunk_pwe_roundtrip_bounds_error() {
+        let dims = [24usize, 16, 12];
+        let data = test_data(dims);
+        let t = 0.01;
+        let enc = compress_chunk_pwe(&data, dims, t, 1.5, Kernel::Cdf97);
+        let rec = decompress_chunk(
+            &enc.speck_stream,
+            &enc.outlier_stream,
+            dims,
+            enc.q,
+            enc.num_planes,
+            enc.max_n,
+            t,
+            Kernel::Cdf97,
+        )
+        .unwrap();
+        for (a, b) in data.iter().zip(&rec) {
+            assert!((a - b).abs() <= t, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn outliers_actually_corrected() {
+        // With a large q factor SPECK alone violates t; the outlier pass
+        // must fix every violation.
+        let dims = [16usize, 16, 16];
+        let data = test_data(dims);
+        let t = 0.001;
+        let enc = compress_chunk_pwe(&data, dims, t, 3.0, Kernel::Cdf97);
+        assert!(enc.num_outliers > 0, "expected outliers at q = 3t");
+        let rec = decompress_chunk(
+            &enc.speck_stream,
+            &enc.outlier_stream,
+            dims,
+            enc.q,
+            enc.num_planes,
+            enc.max_n,
+            t,
+            Kernel::Cdf97,
+        )
+        .unwrap();
+        let max_err = data
+            .iter()
+            .zip(&rec)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        assert!(max_err <= t);
+    }
+
+    #[test]
+    fn bpp_chunk_respects_budget() {
+        let dims = [16usize, 16, 16];
+        let data = test_data(dims);
+        let budget = 4096usize; // 1 bpp
+        let enc = compress_chunk_bpp(&data, dims, budget, Kernel::Cdf97);
+        assert!(enc.speck_bits <= budget);
+        let rec = decompress_chunk(
+            &enc.speck_stream,
+            &[],
+            dims,
+            enc.q,
+            enc.num_planes,
+            0,
+            0.0,
+            Kernel::Cdf97,
+        )
+        .unwrap();
+        assert_eq!(rec.len(), data.len());
+    }
+
+    #[test]
+    fn all_zero_chunk() {
+        let dims = [8usize, 8, 8];
+        let data = vec![0.0; 512];
+        let enc = compress_chunk_pwe(&data, dims, 0.1, 1.5, Kernel::Cdf97);
+        assert!(enc.speck_stream.is_empty());
+        assert_eq!(enc.num_outliers, 0);
+        let rec = decompress_chunk(
+            &enc.speck_stream,
+            &enc.outlier_stream,
+            dims,
+            enc.q,
+            enc.num_planes,
+            enc.max_n,
+            0.1,
+            Kernel::Cdf97,
+        )
+        .unwrap();
+        assert_eq!(rec, data);
+    }
+}

@@ -1,0 +1,130 @@
+//! Cost and timing accounting for the evaluation harness (Figs. 2, 4, 6).
+
+use std::time::Duration;
+
+/// Wall time spent in each pipeline stage (§V-C's four major steps).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageTimes {
+    /// 1) forward wavelet transform.
+    pub wavelet: Duration,
+    /// 2) SPECK coding of wavelet coefficients.
+    pub speck: Duration,
+    /// 3) locating outliers: inverse transform + comparison.
+    pub locate_outliers: Duration,
+    /// 4) encoding located outliers.
+    pub outlier_coding: Duration,
+}
+
+impl StageTimes {
+    /// Sum of all stages.
+    pub fn total(&self) -> Duration {
+        self.wavelet + self.speck + self.locate_outliers + self.outlier_coding
+    }
+
+    /// Accumulates another chunk's times.
+    pub fn accumulate(&mut self, other: &StageTimes) {
+        self.wavelet += other.wavelet;
+        self.speck += other.speck;
+        self.locate_outliers += other.locate_outliers;
+        self.outlier_coding += other.outlier_coding;
+    }
+}
+
+/// Aggregate cost accounting for one compression run.
+#[derive(Debug, Clone, Default)]
+pub struct CompressionStats {
+    /// Total input points.
+    pub num_points: usize,
+    /// Bits produced by SPECK coefficient coding (all chunks).
+    pub speck_bits: usize,
+    /// Bits produced by outlier coding (all chunks).
+    pub outlier_bits: usize,
+    /// Number of outliers corrected.
+    pub num_outliers: usize,
+    /// Container bytes before the lossless pass.
+    pub container_bytes: usize,
+    /// Final output bytes (after the lossless pass, when enabled).
+    pub output_bytes: usize,
+    /// Accumulated per-stage times across chunks (serial CPU time).
+    pub stage_times: StageTimes,
+    /// Number of chunks processed.
+    pub num_chunks: usize,
+    /// Sum of squared quantization errors in the *wavelet domain*,
+    /// accumulated during encoding at negligible cost. Because the CDF 9/7
+    /// basis is near-orthonormal (§III-A), this estimates the
+    /// reconstruction L2 error without any decode pass — the property §VII
+    /// says "enables estimating compression error without much
+    /// computational overhead".
+    pub coeff_sq_error: f64,
+}
+
+impl CompressionStats {
+    /// Overall bitrate in bits per point (final output).
+    pub fn bpp(&self) -> f64 {
+        self.output_bytes as f64 * 8.0 / self.num_points.max(1) as f64
+    }
+
+    /// Coefficient-coding bitrate in bits per point (Fig. 2's split).
+    pub fn speck_bpp(&self) -> f64 {
+        self.speck_bits as f64 / self.num_points.max(1) as f64
+    }
+
+    /// Outlier-coding bitrate in bits per point (Fig. 2's split).
+    pub fn outlier_bpp(&self) -> f64 {
+        self.outlier_bits as f64 / self.num_points.max(1) as f64
+    }
+
+    /// Average bits spent per outlier (Figs. 4 and 11); NaN when no
+    /// outliers were produced.
+    pub fn bits_per_outlier(&self) -> f64 {
+        self.outlier_bits as f64 / self.num_outliers as f64
+    }
+
+    /// Fraction of points that were outliers (Fig. 4's dashed lines).
+    pub fn outlier_percentage(&self) -> f64 {
+        100.0 * self.num_outliers as f64 / self.num_points.max(1) as f64
+    }
+
+    /// Estimated reconstruction RMSE from the wavelet-domain quantization
+    /// error (no decode needed; see [`CompressionStats::coeff_sq_error`]).
+    /// For PWE streams this estimates the error *before* outlier
+    /// correction (corrections only shrink it further).
+    pub fn estimated_rmse(&self) -> f64 {
+        (self.coeff_sq_error / self.num_points.max(1) as f64).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bpp_accounting() {
+        let stats = CompressionStats {
+            num_points: 1000,
+            speck_bits: 2000,
+            outlier_bits: 500,
+            num_outliers: 50,
+            output_bytes: 400,
+            ..Default::default()
+        };
+        assert!((stats.bpp() - 3.2).abs() < 1e-12);
+        assert!((stats.speck_bpp() - 2.0).abs() < 1e-12);
+        assert!((stats.outlier_bpp() - 0.5).abs() < 1e-12);
+        assert!((stats.bits_per_outlier() - 10.0).abs() < 1e-12);
+        assert!((stats.outlier_percentage() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stage_times_accumulate() {
+        let mut a = StageTimes {
+            wavelet: Duration::from_millis(5),
+            speck: Duration::from_millis(10),
+            locate_outliers: Duration::from_millis(3),
+            outlier_coding: Duration::from_millis(2),
+        };
+        let b = a;
+        a.accumulate(&b);
+        assert_eq!(a.total(), Duration::from_millis(40));
+    }
+}

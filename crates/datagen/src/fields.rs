@@ -1,0 +1,271 @@
+//! Synthetic stand-ins for the SDRBench fields used in the paper (§VI-B).
+//!
+//! The originals (Miranda, S3D, Nyx, QMCPACK) are multi-hundred-MB
+//! downloads; what the paper's conclusions depend on is their *character*:
+//! spectral slope (smoothness), sharp features, dynamic range, and exact
+//! zeros. Each generator here reproduces that character from a seeded
+//! Gaussian random field plus a physically motivated nonlinearity; see
+//! DESIGN.md §3 for the substitution argument.
+
+use crate::grf::gaussian_random_field;
+use sperr_compress_api::{Field, Precision};
+
+/// The nine fields of Table II plus the Fig. 1 image stand-in and the
+/// Miranda density field used in the chunking/scaling experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SyntheticField {
+    /// Miranda (hydrodynamics) pressure — smooth, double precision.
+    MirandaPressure,
+    /// Miranda viscosity — large exact-zero regions with localized blobs.
+    MirandaViscosity,
+    /// Miranda x-velocity — turbulent power-law spectrum.
+    MirandaVelocityX,
+    /// Miranda density — two-fluid mixing plateaus + interfaces (single
+    /// precision; the 3072³ field the paper cuts 1024³/2048³ blocks from).
+    MirandaDensity,
+    /// S3D (combustion) CH4 mass fraction — bounded in [0, 0.05].
+    S3dCh4,
+    /// S3D temperature — smooth background with a flame front.
+    S3dTemperature,
+    /// S3D x-velocity.
+    S3dVelocityX,
+    /// Nyx (cosmology) dark-matter density — log-normal, huge dynamic
+    /// range, single precision.
+    NyxDarkMatterDensity,
+    /// Nyx x-velocity, single precision.
+    NyxVelocityX,
+    /// QMCPACK orbital — localized oscillatory wavefunction, single
+    /// precision.
+    Qmcpack,
+    /// 2-D natural-image stand-in (smooth regions + edges + texture) for
+    /// the Fig. 1 outlier-decorrelation demonstration.
+    Image2d,
+}
+
+/// The QMCPACK data set is "essentially a stack of 3D volumes of size
+/// 69²×115, which is best to be compressed as 288 individual volumes"
+/// (§VI-B). This builds such a stack: `n_orbitals` independent orbitals
+/// concatenated along z into a `[69, 69, 115·n]` field, so SPERR's chunk
+/// size `69²×115` splits it exactly at orbital boundaries.
+pub fn qmcpack_stack(n_orbitals: usize, seed: u64) -> Field {
+    assert!(n_orbitals > 0);
+    let orbital_dims = [69usize, 69, 115];
+    let dims = [69, 69, 115 * n_orbitals];
+    let mut data = Vec::with_capacity(dims.iter().product());
+    for orbital in 0..n_orbitals {
+        let f = SyntheticField::Qmcpack.generate(orbital_dims, seed ^ (orbital as u64) << 17);
+        data.extend_from_slice(&f.data);
+    }
+    Field::new(dims, data).with_precision(Precision::Single)
+}
+
+impl SyntheticField {
+    /// All nine Table II volume fields (excludes the 2-D image).
+    pub const TABLE2_FIELDS: [SyntheticField; 9] = [
+        SyntheticField::S3dCh4,
+        SyntheticField::S3dTemperature,
+        SyntheticField::S3dVelocityX,
+        SyntheticField::MirandaPressure,
+        SyntheticField::MirandaViscosity,
+        SyntheticField::MirandaVelocityX,
+        SyntheticField::Qmcpack,
+        SyntheticField::NyxDarkMatterDensity,
+        SyntheticField::NyxVelocityX,
+    ];
+
+    /// Display name matching the paper's field names.
+    pub fn name(self) -> &'static str {
+        match self {
+            SyntheticField::MirandaPressure => "Miranda Pressure",
+            SyntheticField::MirandaViscosity => "Miranda Viscosity",
+            SyntheticField::MirandaVelocityX => "Miranda X Velocity",
+            SyntheticField::MirandaDensity => "Miranda Density",
+            SyntheticField::S3dCh4 => "S3D CH4",
+            SyntheticField::S3dTemperature => "S3D Temperature",
+            SyntheticField::S3dVelocityX => "S3D X Velocity",
+            SyntheticField::NyxDarkMatterDensity => "Nyx Dark Matter Density",
+            SyntheticField::NyxVelocityX => "Nyx X Velocity",
+            SyntheticField::Qmcpack => "QMCPACK",
+            SyntheticField::Image2d => "Image (Lighthouse stand-in)",
+        }
+    }
+
+    /// Table II abbreviation at a tolerance level, e.g. `Press-20`.
+    pub fn abbrev(self, idx: u32) -> String {
+        let stem = match self {
+            SyntheticField::MirandaPressure => "Press",
+            SyntheticField::MirandaViscosity => "Visc",
+            SyntheticField::MirandaVelocityX => "VX2",
+            SyntheticField::MirandaDensity => "Dens",
+            SyntheticField::S3dCh4 => "CH4",
+            SyntheticField::S3dTemperature => "Temp",
+            SyntheticField::S3dVelocityX => "VX1",
+            SyntheticField::NyxDarkMatterDensity => "Nyx",
+            SyntheticField::NyxVelocityX => "VX3",
+            SyntheticField::Qmcpack => "QMC",
+            SyntheticField::Image2d => "Img",
+        };
+        format!("{stem}-{idx}")
+    }
+
+    /// Source precision of the real data set (§VI-B).
+    pub fn precision(self) -> Precision {
+        match self {
+            SyntheticField::MirandaPressure
+            | SyntheticField::MirandaViscosity
+            | SyntheticField::MirandaVelocityX
+            | SyntheticField::S3dCh4
+            | SyntheticField::S3dTemperature
+            | SyntheticField::S3dVelocityX => Precision::Double,
+            _ => Precision::Single,
+        }
+    }
+
+    /// The data set's native dimensions in the paper (for reference; the
+    /// harness scales these down to laptop-size volumes).
+    pub fn paper_dims(self) -> [usize; 3] {
+        match self {
+            SyntheticField::MirandaPressure
+            | SyntheticField::MirandaViscosity
+            | SyntheticField::MirandaVelocityX => [384, 384, 256],
+            SyntheticField::MirandaDensity => [3072, 3072, 3072],
+            SyntheticField::S3dCh4
+            | SyntheticField::S3dTemperature
+            | SyntheticField::S3dVelocityX => [500, 500, 500],
+            SyntheticField::NyxDarkMatterDensity | SyntheticField::NyxVelocityX => {
+                [512, 512, 512]
+            }
+            SyntheticField::Qmcpack => [69, 69, 115],
+            SyntheticField::Image2d => [768, 512, 1],
+        }
+    }
+
+    /// Generates the field at the requested dimensions with a fixed seed
+    /// (deterministic across runs).
+    pub fn generate(self, dims: [usize; 3], seed: u64) -> Field {
+        let data = match self {
+            SyntheticField::MirandaPressure => {
+                // Smooth turbulence pressure: steep spectrum.
+                gaussian_random_field(dims, 4.0, 1.5, seed ^ 0x1001)
+            }
+            SyntheticField::MirandaViscosity => {
+                // Mostly exact-zero with positive blobs where mixing occurs.
+                gaussian_random_field(dims, 3.6, 1.0, seed ^ 0x1002)
+                    .into_iter()
+                    .map(|v| (v - 0.8).max(0.0) * 2.0e-3)
+                    .collect()
+            }
+            SyntheticField::MirandaVelocityX => {
+                gaussian_random_field(dims, 3.4, 1.0, seed ^ 0x1003)
+                    .into_iter()
+                    .map(|v| v * 1.2e6) // cm/s scale as in Miranda outputs
+                    .collect()
+            }
+            SyntheticField::MirandaDensity => {
+                // Two-fluid mixing: plateaus near 1 and 3 with interfaces.
+                gaussian_random_field(dims, 3.8, 1.2, seed ^ 0x1004)
+                    .into_iter()
+                    .map(|v| 2.0 + (1.5 * v).tanh())
+                    .collect()
+            }
+            SyntheticField::S3dCh4 => {
+                // Mass fraction: bounded [0, 0.05], front-like transitions.
+                gaussian_random_field(dims, 3.5, 1.0, seed ^ 0x2001)
+                    .into_iter()
+                    .map(|v| 0.025 * (1.0 + (2.0 * (v - 0.3)).tanh()))
+                    .collect()
+            }
+            SyntheticField::S3dTemperature => {
+                // Kelvin-scale smooth background + flame front.
+                gaussian_random_field(dims, 3.7, 1.2, seed ^ 0x2002)
+                    .into_iter()
+                    .map(|v| 800.0 + 600.0 * (1.0 + (2.5 * v).tanh()))
+                    .collect()
+            }
+            SyntheticField::S3dVelocityX => {
+                gaussian_random_field(dims, 3.2, 1.0, seed ^ 0x2003)
+                    .into_iter()
+                    .map(|v| v * 30.0)
+                    .collect()
+            }
+            SyntheticField::NyxDarkMatterDensity => {
+                // Log-normal: exp of a shallow-spectrum GRF; enormous
+                // dynamic range with point-like clusters, like N-body
+                // density deposits.
+                gaussian_random_field(dims, 2.2, 0.8, seed ^ 0x3001)
+                    .into_iter()
+                    .map(|v| (1.8 * v).exp() * 1.0e10)
+                    .collect()
+            }
+            SyntheticField::NyxVelocityX => {
+                gaussian_random_field(dims, 2.8, 1.0, seed ^ 0x3002)
+                    .into_iter()
+                    .map(|v| v * 2.0e7)
+                    .collect()
+            }
+            SyntheticField::Qmcpack => {
+                // Localized oscillatory orbital: smooth GRF modulated by a
+                // lattice-periodic oscillation under a Gaussian envelope.
+                let base = gaussian_random_field(dims, 3.0, 1.0, seed ^ 0x4001);
+                let (cx, cy, cz) =
+                    (dims[0] as f64 / 2.0, dims[1] as f64 / 2.0, dims[2] as f64 / 2.0);
+                let sigma2 = {
+                    let r = dims.iter().copied().max().unwrap() as f64 / 3.0;
+                    r * r
+                };
+                let mut out = Vec::with_capacity(base.len());
+                let mut i = 0;
+                for z in 0..dims[2] {
+                    for y in 0..dims[1] {
+                        for x in 0..dims[0] {
+                            let dx = x as f64 - cx;
+                            let dy = y as f64 - cy;
+                            let dz = z as f64 - cz;
+                            let env = (-(dx * dx + dy * dy + dz * dz) / (2.0 * sigma2)).exp();
+                            let osc = (0.9 * x as f64).cos()
+                                * (0.8 * y as f64).cos()
+                                * (0.7 * z as f64).cos();
+                            out.push(base[i] * env * (0.6 + 0.4 * osc));
+                            i += 1;
+                        }
+                    }
+                }
+                out
+            }
+            SyntheticField::Image2d => {
+                assert_eq!(dims[2], 1, "Image2d is 2-D; use dims = [w, h, 1]");
+                let texture = gaussian_random_field(dims, 2.0, 2.0, seed ^ 0x5001);
+                let smooth = gaussian_random_field(dims, 4.5, 1.0, seed ^ 0x5002);
+                let (w, h) = (dims[0] as f64, dims[1] as f64);
+                let mut out = Vec::with_capacity(dims[0] * dims[1]);
+                let mut i = 0;
+                for y in 0..dims[1] {
+                    for x in 0..dims[0] {
+                        let fx = x as f64 / w;
+                        let fy = y as f64 / h;
+                        // sky gradient + a "lighthouse" vertical edge + a
+                        // circular feature + fine texture
+                        let mut v = 120.0 + 80.0 * fy + 10.0 * smooth[i];
+                        if (fx - 0.3).abs() < 0.04 && fy > 0.2 {
+                            v += 70.0; // tower
+                        }
+                        let dx = fx - 0.7;
+                        let dy = fy - 0.35;
+                        if dx * dx + dy * dy < 0.02 {
+                            v -= 50.0; // disc
+                        }
+                        if fy > 0.75 {
+                            v += 25.0 * texture[i]; // foreground texture
+                        } else {
+                            v += 4.0 * texture[i];
+                        }
+                        out.push(v.clamp(0.0, 255.0));
+                        i += 1;
+                    }
+                }
+                out
+            }
+        };
+        Field::new(dims, data).with_precision(self.precision())
+    }
+}

@@ -1,0 +1,135 @@
+//! Gaussian random fields by spectral synthesis.
+//!
+//! Scientific simulation outputs are characterized (for compression
+//! purposes) by their spectral content: turbulence fields follow power-law
+//! spectra, combustion fields are smooth with sharp fronts, cosmological
+//! densities are log-normal. We synthesize the base randomness as a GRF
+//! with prescribed isotropic power spectrum `P(k) ∝ (k + k0)^(−β)` —
+//! k-space is filled with iid complex Gaussians scaled by `√P(k)` and
+//! inverse-FFT'd; the real part is a real-valued GRF.
+
+use crate::fft::{fft_3d, Complex};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Standard-normal sample via Box–Muller (rand's distributions crate is
+/// not on the offline allowlist).
+pub(crate) fn gaussian(rng: &mut StdRng) -> f64 {
+    loop {
+        let u1: f64 = rng.random::<f64>();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = rng.random::<f64>();
+        return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    }
+}
+
+/// Synthesizes a GRF with spectrum `P(k) ∝ (k + k0)^(−beta)` on `dims`
+/// (any sizes — the FFT grid is the per-axis next power of two, cropped),
+/// normalized to zero mean and unit variance.
+pub fn gaussian_random_field(dims: [usize; 3], beta: f64, k0: f64, seed: u64) -> Vec<f64> {
+    let grid = [
+        dims[0].next_power_of_two().max(2),
+        dims[1].next_power_of_two().max(2),
+        dims[2].next_power_of_two().max(1),
+    ];
+    let gn = grid[0] * grid[1] * grid[2];
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut spec = vec![Complex::default(); gn];
+
+    // Fill k-space: amplitude ~ sqrt(P(k)) with wrapped frequencies.
+    let half = [grid[0] / 2, grid[1] / 2, grid[2] / 2];
+    let mut idx = 0usize;
+    for kz in 0..grid[2] {
+        let fz = signed_freq(kz, grid[2], half[2]);
+        for ky in 0..grid[1] {
+            let fy = signed_freq(ky, grid[1], half[1]);
+            for kx in 0..grid[0] {
+                let fx = signed_freq(kx, grid[0], half[0]);
+                let k = ((fx * fx + fy * fy + fz * fz) as f64).sqrt();
+                let amp = if k == 0.0 {
+                    0.0 // zero mean
+                } else {
+                    (k + k0).powf(-beta / 2.0)
+                };
+                spec[idx] = Complex::new(gaussian(&mut rng) * amp, gaussian(&mut rng) * amp);
+                idx += 1;
+            }
+        }
+    }
+    fft_3d(&mut spec, grid, true);
+
+    // Crop to the requested dims and normalize to zero mean, unit variance.
+    let n = dims[0] * dims[1] * dims[2];
+    let mut out = Vec::with_capacity(n);
+    for z in 0..dims[2] {
+        for y in 0..dims[1] {
+            for x in 0..dims[0] {
+                out.push(spec[x + grid[0] * (y + grid[1] * z)].re);
+            }
+        }
+    }
+    let mean = out.iter().sum::<f64>() / n as f64;
+    let var = out.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+    let scale = if var > 0.0 { 1.0 / var.sqrt() } else { 1.0 };
+    for v in out.iter_mut() {
+        *v = (*v - mean) * scale;
+    }
+    out
+}
+
+fn signed_freq(k: usize, n: usize, half: usize) -> i64 {
+    if k <= half {
+        k as i64
+    } else {
+        k as i64 - n as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalized_mean_and_variance() {
+        let f = gaussian_random_field([24, 24, 24], 3.0, 1.0, 42);
+        let n = f.len() as f64;
+        let mean = f.iter().sum::<f64>() / n;
+        let var = f.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        assert!(mean.abs() < 1e-9);
+        assert!((var - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = gaussian_random_field([8, 8, 8], 2.5, 1.0, 7);
+        let b = gaussian_random_field([8, 8, 8], 2.5, 1.0, 7);
+        assert_eq!(a, b);
+        let c = gaussian_random_field([8, 8, 8], 2.5, 1.0, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn steeper_spectrum_is_smoother() {
+        // Mean squared first-difference (roughness) must drop as beta rises.
+        let rough = gaussian_random_field([32, 32, 32], 1.0, 1.0, 3);
+        let smooth = gaussian_random_field([32, 32, 32], 5.0, 1.0, 3);
+        let msd = |f: &[f64]| -> f64 {
+            f.windows(2).map(|w| (w[1] - w[0]) * (w[1] - w[0])).sum::<f64>() / (f.len() - 1) as f64
+        };
+        assert!(
+            msd(&smooth) < msd(&rough) * 0.5,
+            "smooth {} vs rough {}",
+            msd(&smooth),
+            msd(&rough)
+        );
+    }
+
+    #[test]
+    fn non_pow2_dims_work() {
+        let f = gaussian_random_field([5, 7, 3], 3.0, 1.0, 1);
+        assert_eq!(f.len(), 105);
+        assert!(f.iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,142 @@
+//! Synthetic data substrate for the SPERR reproduction.
+//!
+//! The paper evaluates on SDRBench data sets (Miranda, S3D, Nyx, QMCPACK —
+//! §VI-B) and a Kodak image (Fig. 1). Those inputs are not redistributable
+//! here, so this crate synthesizes deterministic stand-ins with matched
+//! *compression-relevant* character — spectral slope, sharp fronts, exact
+//! zeros, dynamic range — from seeded Gaussian random fields (see
+//! [`grf::gaussian_random_field`]) built on a from-scratch FFT ([`fft`]).
+//!
+//! # Example
+//!
+//! ```
+//! use sperr_datagen::SyntheticField;
+//!
+//! let field = SyntheticField::MirandaPressure.generate([32, 32, 32], 7);
+//! assert_eq!(field.len(), 32 * 32 * 32);
+//! assert!(field.range() > 0.0);
+//! ```
+
+pub mod fft;
+pub mod grf;
+mod fields;
+
+pub use fields::{qmcpack_stack, SyntheticField};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sperr_compress_api::Precision;
+
+    const DIMS: [usize; 3] = [24, 20, 16];
+
+    #[test]
+    fn all_fields_generate_finite_data() {
+        for f in SyntheticField::TABLE2_FIELDS {
+            let field = f.generate(DIMS, 11);
+            assert_eq!(field.len(), DIMS.iter().product::<usize>());
+            assert!(field.data.iter().all(|v| v.is_finite()), "{}", f.name());
+            assert!(field.range() > 0.0, "{} has zero range", f.name());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = SyntheticField::NyxDarkMatterDensity.generate(DIMS, 5);
+        let b = SyntheticField::NyxDarkMatterDensity.generate(DIMS, 5);
+        assert_eq!(a.data, b.data);
+        let c = SyntheticField::NyxDarkMatterDensity.generate(DIMS, 6);
+        assert_ne!(a.data, c.data);
+    }
+
+    #[test]
+    fn viscosity_has_exact_zeros() {
+        // The real Miranda viscosity has large zero regions; ours must too
+        // (this is what makes Visc behave differently in Figs. 3-4).
+        let field = SyntheticField::MirandaViscosity.generate([32, 32, 32], 3);
+        let zeros = field.data.iter().filter(|&&v| v == 0.0).count();
+        assert!(
+            zeros > field.len() / 4,
+            "only {zeros} exact zeros out of {}",
+            field.len()
+        );
+    }
+
+    #[test]
+    fn nyx_density_has_heavy_tail() {
+        // Log-normal: max should dwarf the median by orders of magnitude.
+        let field = SyntheticField::NyxDarkMatterDensity.generate([32, 32, 32], 9);
+        let mut sorted = field.data.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sorted[sorted.len() / 2];
+        let max = *sorted.last().unwrap();
+        assert!(max / median > 50.0, "tail ratio {}", max / median);
+        assert!(sorted[0] > 0.0, "density must be strictly positive");
+    }
+
+    #[test]
+    fn ch4_bounded_like_mass_fraction() {
+        let field = SyntheticField::S3dCh4.generate(DIMS, 2);
+        assert!(field.data.iter().all(|&v| (0.0..=0.05).contains(&v)));
+    }
+
+    #[test]
+    fn temperature_in_kelvin_band() {
+        let field = SyntheticField::S3dTemperature.generate(DIMS, 2);
+        assert!(field.data.iter().all(|&v| (200.0..=2001.0).contains(&v)));
+    }
+
+    #[test]
+    fn precision_markers_match_paper() {
+        assert_eq!(SyntheticField::MirandaPressure.precision(), Precision::Double);
+        assert_eq!(SyntheticField::NyxVelocityX.precision(), Precision::Single);
+        assert_eq!(SyntheticField::Qmcpack.precision(), Precision::Single);
+    }
+
+    #[test]
+    fn abbreviations_match_table2() {
+        assert_eq!(SyntheticField::MirandaPressure.abbrev(20), "Press-20");
+        assert_eq!(SyntheticField::S3dVelocityX.abbrev(40), "VX1-40");
+        assert_eq!(SyntheticField::NyxDarkMatterDensity.abbrev(20), "Nyx-20");
+        assert_eq!(SyntheticField::Qmcpack.abbrev(20), "QMC-20");
+    }
+
+    #[test]
+    fn image2d_has_edges_and_smooth_regions() {
+        let field = SyntheticField::Image2d.generate([96, 64, 1], 1);
+        // In-range pixel values...
+        assert!(field.data.iter().all(|&v| (0.0..=255.0).contains(&v)));
+        // ...and a real edge: some large horizontal gradient.
+        let max_grad = field
+            .data
+            .windows(2)
+            .map(|w| (w[1] - w[0]).abs())
+            .fold(0.0, f64::max);
+        assert!(max_grad > 30.0, "no edges present: {max_grad}");
+    }
+
+    #[test]
+    fn qmcpack_stack_layout() {
+        let stack = qmcpack_stack(3, 5);
+        assert_eq!(stack.dims, [69, 69, 115 * 3]);
+        assert_eq!(stack.precision, Precision::Single);
+        // Orbitals are independent: the first slab differs from the second.
+        let slab = 69 * 69 * 115;
+        assert_ne!(stack.data[..slab], stack.data[slab..2 * slab]);
+        // Deterministic per seed.
+        assert_eq!(qmcpack_stack(2, 9).data, qmcpack_stack(2, 9).data);
+    }
+
+    #[test]
+    fn smoothness_ordering_pressure_vs_nyx() {
+        // Pressure (steep spectrum) must be smoother than Nyx velocity
+        // (shallow spectrum) relative to their scales.
+        let p = SyntheticField::MirandaPressure.generate([32, 32, 32], 4);
+        let v = SyntheticField::NyxVelocityX.generate([32, 32, 32], 4);
+        let rel_rough = |d: &[f64]| {
+            let range = sperr_compress_api::Field::new([32, 32, 32], d.to_vec()).range();
+            d.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>() / (d.len() as f64) / range
+        };
+        assert!(rel_rough(&p.data) < rel_rough(&v.data));
+    }
+}

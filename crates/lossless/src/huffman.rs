@@ -1,0 +1,403 @@
+//! Canonical Huffman coding over an arbitrary `u32` symbol alphabet.
+//!
+//! Used in two places:
+//! * the LZ77 back end (literal/length and distance alphabets), and
+//! * the SZ-style baseline, which Huffman-codes quantization-bin indices
+//!   the same way SZ does (paper §VI-E: "quantized outlier correction
+//!   values are stored as non-zero integers and then Huffman coded
+//!   together with zero-valued inliers").
+//!
+//! Code lengths are depth-limited (default 15) by the frequency-halving
+//! rebuild heuristic; codes are canonical so only the length table needs
+//! to be transmitted.
+
+use sperr_bitstream::{BitReader, BitWriter, Error};
+
+/// Maximum code length used throughout.
+pub const MAX_CODE_LEN: u8 = 15;
+
+/// Computes depth-limited Huffman code lengths for `freqs` (one entry per
+/// symbol; zero-frequency symbols get length 0). Guarantees the Kraft sum
+/// is exactly 1 when at least two symbols occur (one symbol gets length 1).
+///
+/// A depth limit of `max_len` can encode at most `2^max_len` distinct
+/// symbols (Kraft); when more occur, the limit is raised automatically —
+/// callers that serialize lengths in fixed-width fields must size them
+/// for the worst case they feed in (see [`LENGTH_FIELD_BITS`]).
+pub fn code_lengths(freqs: &[u64], max_len: u8) -> Vec<u8> {
+    let n = freqs.len();
+    let mut lengths = vec![0u8; n];
+    let used = freqs.iter().filter(|&&f| f > 0).count();
+    match used {
+        0 => return lengths,
+        1 => {
+            let i = freqs.iter().position(|&f| f > 0).unwrap();
+            lengths[i] = 1;
+            return lengths;
+        }
+        _ => {}
+    }
+    // A tree over `used` leaves needs depth >= ceil(log2(used)); raise the
+    // cap if the requested one is infeasible (otherwise the flattening
+    // loop below would never terminate).
+    let min_feasible = (usize::BITS - (used - 1).leading_zeros()) as u8;
+    let max_len = max_len.max(min_feasible);
+
+    let mut f: Vec<u64> = freqs.to_vec();
+    loop {
+        let lens = huffman_lengths(&f);
+        let depth = lens.iter().copied().max().unwrap_or(0);
+        if depth <= max_len {
+            for (i, &l) in lens.iter().enumerate() {
+                lengths[i] = l;
+            }
+            return lengths;
+        }
+        // Flatten the distribution and retry; terminates because all
+        // frequencies converge toward 1 (uniform distribution has depth
+        // ceil(log2 used) <= max_len by the adjustment above).
+        for x in f.iter_mut() {
+            if *x > 0 {
+                *x = *x / 2 + 1;
+            }
+        }
+    }
+}
+
+/// Bits used to serialize one code length in [`encode_symbols`]: supports
+/// depths up to 31, enough for any alphabet up to 2^31 symbols.
+pub const LENGTH_FIELD_BITS: u32 = 5;
+
+/// Plain (unlimited) Huffman code lengths via the standard two-queue /
+/// heap construction.
+fn huffman_lengths(freqs: &[u64]) -> Vec<u8> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    #[derive(PartialEq, Eq, PartialOrd, Ord)]
+    struct Node {
+        weight: u64,
+        id: usize,
+    }
+
+    let n = freqs.len();
+    let mut lengths = vec![0u8; n];
+    // Tree nodes: leaves 0..n, internal nodes appended after.
+    let mut parent: Vec<usize> = vec![usize::MAX; n];
+    let mut heap: BinaryHeap<Reverse<Node>> = BinaryHeap::new();
+    for (i, &w) in freqs.iter().enumerate() {
+        if w > 0 {
+            heap.push(Reverse(Node { weight: w, id: i }));
+        }
+    }
+    if heap.len() < 2 {
+        if let Some(Reverse(node)) = heap.pop() {
+            lengths[node.id] = 1;
+        }
+        return lengths;
+    }
+    while heap.len() > 1 {
+        let Reverse(a) = heap.pop().unwrap();
+        let Reverse(b) = heap.pop().unwrap();
+        let id = parent.len();
+        parent.push(usize::MAX);
+        parent[a.id] = id;
+        parent[b.id] = id;
+        heap.push(Reverse(Node { weight: a.weight.saturating_add(b.weight), id }));
+    }
+    let root = heap.pop().unwrap().0.id;
+    // Depth of each leaf by walking parents (tree is small).
+    for i in 0..n {
+        if freqs[i] == 0 {
+            continue;
+        }
+        let mut d = 0u8;
+        let mut cur = i;
+        while cur != root {
+            cur = parent[cur];
+            d += 1;
+        }
+        lengths[i] = d;
+    }
+    lengths
+}
+
+/// Canonical code assignment: symbols sorted by (length, index) receive
+/// consecutive code values per length. Returns per-symbol codes (MSB-first
+/// bit patterns).
+pub fn canonical_codes(lengths: &[u8]) -> Vec<u32> {
+    let max = lengths.iter().copied().max().unwrap_or(0);
+    let mut count = vec![0u32; max as usize + 1];
+    for &l in lengths {
+        if l > 0 {
+            count[l as usize] += 1;
+        }
+    }
+    let mut next = vec![0u32; max as usize + 2];
+    let mut code = 0u32;
+    for l in 1..=max as usize {
+        code = (code + count[l - 1]) << 1;
+        next[l] = code;
+    }
+    lengths
+        .iter()
+        .map(|&l| {
+            if l == 0 {
+                0
+            } else {
+                let c = next[l as usize];
+                next[l as usize] += 1;
+                c
+            }
+        })
+        .collect()
+}
+
+/// A canonical Huffman encoder/decoder pair built from code lengths.
+#[derive(Debug, Clone)]
+pub struct CanonicalCode {
+    lengths: Vec<u8>,
+    codes: Vec<u32>,
+    /// Decoding tables: for each length, the first canonical code, the
+    /// index (into `sorted_symbols`) of its first symbol, and the number
+    /// of codes of that length.
+    first_code: Vec<u32>,
+    first_index: Vec<u32>,
+    count: Vec<u32>,
+    sorted_symbols: Vec<u32>,
+    max_len: u8,
+}
+
+impl CanonicalCode {
+    /// Builds the code from per-symbol lengths.
+    pub fn from_lengths(lengths: &[u8]) -> Self {
+        let codes = canonical_codes(lengths);
+        let max_len = lengths.iter().copied().max().unwrap_or(0);
+        let mut count = vec![0u32; max_len as usize + 1];
+        for &l in lengths {
+            if l > 0 {
+                count[l as usize] += 1;
+            }
+        }
+        let mut first_code = vec![0u32; max_len as usize + 2];
+        let mut first_index = vec![0u32; max_len as usize + 2];
+        let mut code = 0u32;
+        let mut index = 0u32;
+        for l in 1..=max_len as usize {
+            code = (code + count[l - 1]) << 1;
+            first_code[l] = code;
+            first_index[l] = index;
+            index += count[l];
+        }
+        // Symbols sorted by (length, symbol).
+        let mut sorted: Vec<u32> = (0..lengths.len() as u32).filter(|&s| lengths[s as usize] > 0).collect();
+        sorted.sort_by_key(|&s| (lengths[s as usize], s));
+        CanonicalCode {
+            lengths: lengths.to_vec(),
+            codes,
+            first_code,
+            first_index,
+            count,
+            sorted_symbols: sorted,
+            max_len,
+        }
+    }
+
+    /// Builds an optimal (depth-limited) code for the given frequencies.
+    pub fn from_freqs(freqs: &[u64]) -> Self {
+        Self::from_lengths(&code_lengths(freqs, MAX_CODE_LEN))
+    }
+
+    /// Per-symbol code lengths (for serializing the table).
+    pub fn lengths(&self) -> &[u8] {
+        &self.lengths
+    }
+
+    /// Writes the code for `symbol` (MSB-first) to the bit sink.
+    #[inline]
+    pub fn encode_symbol(&self, symbol: u32, out: &mut BitWriter) {
+        let len = self.lengths[symbol as usize];
+        debug_assert!(len > 0, "encoding symbol {symbol} with zero frequency");
+        let code = self.codes[symbol as usize];
+        for i in (0..len).rev() {
+            out.put_bit((code >> i) & 1 == 1);
+        }
+    }
+
+    /// Reads one symbol from the bit source.
+    #[inline]
+    pub fn decode_symbol(&self, input: &mut BitReader<'_>) -> Result<u32, Error> {
+        let mut code = 0u32;
+        for len in 1..=self.max_len as usize {
+            code = (code << 1) | input.get_bit()? as u32;
+            let fc = self.first_code[len];
+            if code >= fc && code - fc < self.count[len] {
+                let idx = self.first_index[len] + (code - fc);
+                return Ok(self.sorted_symbols[idx as usize]);
+            }
+        }
+        Err(Error::Corrupt("invalid Huffman code"))
+    }
+}
+
+/// Convenience: Huffman-encode a symbol sequence over `0..alphabet` into a
+/// self-contained byte vector (length table + payload).
+pub fn encode_symbols(symbols: &[u32], alphabet: usize) -> Vec<u8> {
+    let mut freqs = vec![0u64; alphabet];
+    for &s in symbols {
+        freqs[s as usize] += 1;
+    }
+    let code = CanonicalCode::from_freqs(&freqs);
+    let mut w = BitWriter::new();
+    // Table: alphabet size (u32), then LENGTH_FIELD_BITS per length.
+    w.put_bits(alphabet as u64, 32);
+    w.put_bits(symbols.len() as u64, 64);
+    for &l in code.lengths() {
+        w.put_bits(l as u64, LENGTH_FIELD_BITS);
+    }
+    for &s in symbols {
+        code.encode_symbol(s, &mut w);
+    }
+    w.into_bytes()
+}
+
+/// Inverse of [`encode_symbols`].
+pub fn decode_symbols(bytes: &[u8]) -> Result<Vec<u32>, Error> {
+    let mut r = BitReader::new(bytes);
+    let alphabet = r.get_bits(32)? as usize;
+    let count = r.get_bits(64)? as usize;
+    if alphabet > (1 << 24) || count > (1 << 40) {
+        return Err(Error::Corrupt("implausible Huffman header"));
+    }
+    let mut lengths = Vec::with_capacity(alphabet);
+    for _ in 0..alphabet {
+        lengths.push(r.get_bits(LENGTH_FIELD_BITS)? as u8);
+    }
+    let code = CanonicalCode::from_lengths(&lengths);
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        out.push(code.decode_symbol(&mut r)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kraft_sum_is_valid() {
+        let freqs = vec![90, 5, 3, 1, 1, 0, 40, 12];
+        let lens = code_lengths(&freqs, MAX_CODE_LEN);
+        let kraft: f64 = lens
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 2f64.powi(-(l as i32)))
+            .sum();
+        assert!(kraft <= 1.0 + 1e-12, "kraft {kraft}");
+        assert_eq!(lens[5], 0, "zero-frequency symbol must get length 0");
+    }
+
+    #[test]
+    fn depth_limit_enforced() {
+        // Fibonacci-like frequencies force deep trees without a limit.
+        let mut freqs = vec![0u64; 40];
+        let (mut a, mut b) = (1u64, 1u64);
+        for f in freqs.iter_mut() {
+            *f = a;
+            let c = a + b;
+            a = b;
+            b = c;
+        }
+        let lens = code_lengths(&freqs, 15);
+        assert!(lens.iter().all(|&l| l <= 15));
+        let kraft: f64 = lens
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 2f64.powi(-(l as i32)))
+            .sum();
+        assert!(kraft <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn single_symbol_alphabet() {
+        let symbols = vec![7u32; 100];
+        let bytes = encode_symbols(&symbols, 10);
+        assert_eq!(decode_symbols(&bytes).unwrap(), symbols);
+    }
+
+    #[test]
+    fn empty_sequence() {
+        let bytes = encode_symbols(&[], 5);
+        assert_eq!(decode_symbols(&bytes).unwrap(), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn skewed_distribution_roundtrip_and_ratio() {
+        // 95% zeros — like SZ quantization bins on smooth data.
+        let symbols: Vec<u32> = (0..10_000)
+            .map(|i| if i % 20 == 0 { 1 + (i % 7) as u32 } else { 0 })
+            .collect();
+        let bytes = encode_symbols(&symbols, 16);
+        assert_eq!(decode_symbols(&bytes).unwrap(), symbols);
+        // Entropy is well under 1 bit/symbol; allow overhead but require
+        // real compression vs. 4 bits/symbol naive.
+        assert!(bytes.len() * 8 < symbols.len() * 2, "len {}", bytes.len());
+    }
+
+    #[test]
+    fn uniform_distribution_roundtrip() {
+        let symbols: Vec<u32> = (0..4096).map(|i| (i % 256) as u32).collect();
+        let bytes = encode_symbols(&symbols, 256);
+        assert_eq!(decode_symbols(&bytes).unwrap(), symbols);
+    }
+
+    #[test]
+    fn canonical_codes_are_prefix_free() {
+        let freqs = vec![5u64, 9, 12, 13, 16, 45, 0, 3];
+        let lens = code_lengths(&freqs, 15);
+        let codes = canonical_codes(&lens);
+        for i in 0..freqs.len() {
+            for j in 0..freqs.len() {
+                if i == j || lens[i] == 0 || lens[j] == 0 || lens[i] > lens[j] {
+                    continue;
+                }
+                let prefix = codes[j] >> (lens[j] - lens[i]);
+                assert!(
+                    !(prefix == codes[i]),
+                    "code {i} is a prefix of code {j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn huge_alphabets_terminate_and_roundtrip() {
+        // Regression: > 2^15 distinct symbols cannot fit a depth-15 code
+        // (Kraft); code_lengths must raise the depth instead of looping
+        // forever, and the (5-bit) length serialization must carry it.
+        let n = 50_000u32;
+        let symbols: Vec<u32> = (0..n).collect(); // all distinct
+        let bytes = encode_symbols(&symbols, n as usize);
+        assert_eq!(decode_symbols(&bytes).unwrap(), symbols);
+        let mut freqs = vec![1u64; n as usize];
+        freqs[0] = 1 << 40; // skew it, too
+        let lens = code_lengths(&freqs, MAX_CODE_LEN);
+        let kraft: f64 = lens
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 2f64.powi(-(l as i32)))
+            .sum();
+        assert!(kraft <= 1.0 + 1e-9);
+        assert!(lens.iter().all(|&l| l <= 31));
+    }
+
+    #[test]
+    fn corrupt_stream_is_error_not_panic() {
+        let symbols: Vec<u32> = (0..100).map(|i| (i % 5) as u32).collect();
+        let mut bytes = encode_symbols(&symbols, 5);
+        let last = bytes.len() - 1;
+        bytes.truncate(last);
+        let _ = decode_symbols(&bytes); // must not panic
+    }
+}

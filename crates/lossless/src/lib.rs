@@ -1,0 +1,214 @@
+//! Lossless back end for the SPERR reproduction.
+//!
+//! The paper's pipeline concatenates the SPECK and outlier bitstreams and
+//! "losslessly compressed by ZSTD" (§V). ZSTD itself is out of scope for a
+//! from-scratch reproduction, so this crate provides the same pipeline
+//! stage with a self-contained LZ77 + canonical-Huffman codec (see
+//! DESIGN.md §3 for the substitution rationale: same role — squeezing
+//! residual redundancy out of already-entropy-dense coder output — with a
+//! somewhat lower ratio than ZSTD).
+//!
+//! The [`huffman`] module is exported on its own because the SZ-style
+//! baseline (`sperr-sz-like`) uses Huffman coding of quantization bins,
+//! exactly as SZ does (paper §VI-E).
+//!
+//! # Format (`SLZ1`)
+//!
+//! ```text
+//! magic "SLZ1" | u64 raw_len | blocks...
+//! block: u8 flags (bit0 = huffman-compressed, bit1 = last)
+//!        u32 raw_len
+//!        stored:     raw bytes
+//!        compressed: u32 payload_len, payload (bit-packed code tables + symbols)
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! let data = b"abcabcabcabc hello hello hello".repeat(20);
+//! let packed = sperr_lossless::compress(&data);
+//! assert!(packed.len() < data.len());
+//! assert_eq!(sperr_lossless::decompress(&packed).unwrap(), data);
+//! ```
+
+pub mod huffman;
+mod lz77;
+
+use sperr_bitstream::{ByteReader, ByteWriter, Error};
+
+const MAGIC: &[u8; 4] = b"SLZ1";
+const BLOCK_SIZE: usize = 128 * 1024;
+
+/// Compresses `data`; never fails. Incompressible blocks are stored
+/// verbatim, so expansion is bounded by a few bytes per 128 KiB block.
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    let mut out = ByteWriter::new();
+    out.put_bytes(MAGIC);
+    out.put_u64(data.len() as u64);
+    if data.is_empty() {
+        // Single empty stored block marked last.
+        out.put_u8(0b10);
+        out.put_u32(0);
+        return out.into_bytes();
+    }
+    let mut offset = 0;
+    while offset < data.len() {
+        let end = (offset + BLOCK_SIZE).min(data.len());
+        let block = &data[offset..end];
+        let last = end == data.len();
+        let payload = lz77::compress_block(block);
+        if payload.len() + 4 < block.len() {
+            out.put_u8(0b01 | if last { 0b10 } else { 0 });
+            out.put_u32(block.len() as u32);
+            out.put_u32(payload.len() as u32);
+            out.put_bytes(&payload);
+        } else {
+            out.put_u8(if last { 0b10 } else { 0 });
+            out.put_u32(block.len() as u32);
+            out.put_bytes(block);
+        }
+        offset = end;
+    }
+    out.into_bytes()
+}
+
+/// Decompresses a stream produced by [`compress`].
+pub fn decompress(data: &[u8]) -> Result<Vec<u8>, Error> {
+    let mut r = ByteReader::new(data);
+    if r.get_bytes(4)? != MAGIC {
+        return Err(Error::Corrupt("bad SLZ1 magic"));
+    }
+    let raw_len = r.get_u64()? as usize;
+    let mut out = Vec::with_capacity(raw_len);
+    loop {
+        let flags = r.get_u8()?;
+        let block_len = r.get_u32()? as usize;
+        if flags & 0b01 != 0 {
+            let payload_len = r.get_u32()? as usize;
+            let payload = r.get_bytes(payload_len)?;
+            let block = lz77::decompress_block(payload, block_len)?;
+            out.extend_from_slice(&block);
+        } else {
+            out.extend_from_slice(r.get_bytes(block_len)?);
+        }
+        if flags & 0b10 != 0 {
+            break;
+        }
+        if r.is_empty() {
+            return Err(Error::Corrupt("missing last-block flag"));
+        }
+    }
+    if out.len() != raw_len {
+        return Err(Error::Corrupt("raw length mismatch"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_roundtrip() {
+        let packed = compress(&[]);
+        assert_eq!(decompress(&packed).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn tiny_roundtrip() {
+        for data in [&b"a"[..], b"ab", b"abc", b"aaaa"] {
+            let packed = compress(data);
+            assert_eq!(decompress(&packed).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn repetitive_data_compresses_well() {
+        let data = b"0123456789".repeat(10_000);
+        let packed = compress(&data);
+        assert!(
+            packed.len() < data.len() / 10,
+            "ratio too poor: {} / {}",
+            packed.len(),
+            data.len()
+        );
+        assert_eq!(decompress(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn incompressible_data_stored_with_bounded_expansion() {
+        // Pseudo-random bytes: codec must fall back to stored blocks.
+        let data: Vec<u8> = (0..300_000u64)
+            .map(|i| (i.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407) >> 33)
+                as u8)
+            .collect();
+        let packed = compress(&data);
+        assert!(packed.len() <= data.len() + 64, "expanded too much: {}", packed.len());
+        assert_eq!(decompress(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn multi_block_roundtrip() {
+        // > BLOCK_SIZE so several blocks are produced, mixing stored and
+        // compressed.
+        let mut data = Vec::new();
+        for i in 0..400_000u64 {
+            if i % 3 == 0 {
+                data.push((i % 251) as u8);
+            } else {
+                data.push(b'x');
+            }
+        }
+        let packed = compress(&data);
+        assert_eq!(decompress(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn text_like_data() {
+        let data = b"The quick brown fox jumps over the lazy dog. ".repeat(2000);
+        let packed = compress(&data);
+        assert!(packed.len() < data.len() / 4);
+        assert_eq!(decompress(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn corrupt_magic_rejected() {
+        let mut packed = compress(b"hello world");
+        packed[0] = b'X';
+        assert!(decompress(&packed).is_err());
+    }
+
+    #[test]
+    fn truncated_stream_rejected() {
+        let data = b"some reasonably long input that will compress".repeat(100);
+        let packed = compress(&data);
+        for cut in [0, 3, 10, packed.len() / 2, packed.len() - 1] {
+            assert!(decompress(&packed[..cut]).is_err(), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn corrupt_payload_never_panics() {
+        let data = b"compressible compressible compressible".repeat(200);
+        let mut packed = compress(&data);
+        let mid = packed.len() / 2;
+        packed[mid] ^= 0xFF;
+        let _ = decompress(&packed); // any Result is fine; no panic
+    }
+
+    #[test]
+    fn speck_like_bitstream_roundtrip() {
+        // The real workload: dense, high-entropy coder output with some
+        // structure (long zero runs from padding, repeated headers).
+        let mut data = Vec::new();
+        for chunk in 0..64 {
+            data.extend_from_slice(&[0u8; 20]); // header-ish
+            for i in 0..2048u64 {
+                data.push(((i * 2654435761).wrapping_add(chunk) >> 13) as u8);
+            }
+            data.extend_from_slice(&[0u8; 37]);
+        }
+        let packed = compress(&data);
+        assert_eq!(decompress(&packed).unwrap(), data);
+    }
+}

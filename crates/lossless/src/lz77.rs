@@ -1,0 +1,316 @@
+//! Block-level LZ77 parse + Huffman entropy stage.
+//!
+//! Deflate-style symbol design (literal/length alphabet with extra bits,
+//! separate distance alphabet) but an independent format: match lengths
+//! 4..=259, distances 1..=32768, canonical-Huffman tables transmitted as
+//! 4-bit code lengths per block.
+
+use crate::huffman::CanonicalCode;
+use sperr_bitstream::{BitReader, BitWriter, Error};
+
+const MIN_MATCH: usize = 4;
+const MAX_MATCH: usize = 259;
+const MAX_DIST: usize = 32768;
+const EOB: u32 = 256;
+const HASH_BITS: u32 = 15;
+const MAX_CHAIN: usize = 48;
+
+/// (base, extra-bits) buckets for match lengths; symbol `257 + i` covers
+/// lengths `base ..= base + 2^extra - 1`.
+fn length_buckets() -> Vec<(u32, u8)> {
+    let mut v = Vec::with_capacity(28);
+    for i in 0..8 {
+        v.push((MIN_MATCH as u32 + i, 0));
+    }
+    let mut base = MIN_MATCH as u32 + 8;
+    for extra in 1..=5u8 {
+        for _ in 0..4 {
+            v.push((base, extra));
+            base += 1 << extra;
+        }
+    }
+    debug_assert_eq!(base as usize, MAX_MATCH + 1);
+    v
+}
+
+/// (base, extra-bits) buckets for distances; symbol `i` covers distances
+/// `base ..= base + 2^extra - 1`.
+fn dist_buckets() -> Vec<(u32, u8)> {
+    let mut v = vec![(1, 0), (2, 0), (3, 0), (4, 0)];
+    let mut base = 5u32;
+    for extra in 1..=13u8 {
+        for _ in 0..2 {
+            v.push((base, extra));
+            base += 1 << extra;
+        }
+    }
+    debug_assert_eq!(base as usize, MAX_DIST + 1);
+    v
+}
+
+/// Finds the bucket index for `value` in a bucket table (tables are tiny;
+/// linear scan would do, but binary search keeps it O(log n)).
+fn bucket_of(buckets: &[(u32, u8)], value: u32) -> usize {
+    buckets.partition_point(|&(base, _)| base <= value) - 1
+}
+
+const LITLEN_ALPHABET: usize = 257 + 28; // literals + EOB + length codes
+const DIST_ALPHABET: usize = 30;
+
+enum Token {
+    Literal(u8),
+    Match { len: u32, dist: u32 },
+}
+
+/// Greedy hash-chain LZ77 parse of `block`.
+fn parse(block: &[u8]) -> Vec<Token> {
+    let n = block.len();
+    let mut tokens = Vec::with_capacity(n / 2);
+    if n < MIN_MATCH {
+        tokens.extend(block.iter().map(|&b| Token::Literal(b)));
+        return tokens;
+    }
+    let hash = |i: usize| -> usize {
+        let v = u32::from_le_bytes([block[i], block[i + 1], block[i + 2], block[i + 3]]);
+        (v.wrapping_mul(2654435761) >> (32 - HASH_BITS)) as usize
+    };
+    let mut head = vec![usize::MAX; 1 << HASH_BITS];
+    let mut prev = vec![usize::MAX; n];
+    let mut i = 0usize;
+    while i < n {
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        if i + MIN_MATCH <= n {
+            let h = hash(i);
+            let mut cand = head[h];
+            let mut chain = 0;
+            let max_len = (n - i).min(MAX_MATCH);
+            while cand != usize::MAX && chain < MAX_CHAIN {
+                let dist = i - cand;
+                if dist > MAX_DIST {
+                    break;
+                }
+                // Quick reject: candidate must beat the current best at the
+                // position best_len (common trick to skip short matches).
+                if best_len == 0 || block[cand + best_len] == block[i + best_len] {
+                    let mut l = 0usize;
+                    while l < max_len && block[cand + l] == block[i + l] {
+                        l += 1;
+                    }
+                    if l > best_len {
+                        best_len = l;
+                        best_dist = dist;
+                        if l >= max_len {
+                            break;
+                        }
+                    }
+                }
+                cand = prev[cand];
+                chain += 1;
+            }
+        }
+        if best_len >= MIN_MATCH {
+            tokens.push(Token::Match { len: best_len as u32, dist: best_dist as u32 });
+            // Insert hash entries for every position the match covers so
+            // later matches can refer into it.
+            let end = (i + best_len).min(n.saturating_sub(MIN_MATCH - 1));
+            let mut j = i;
+            while j < end {
+                let h = hash(j);
+                prev[j] = head[h];
+                head[h] = j;
+                j += 1;
+            }
+            i += best_len;
+        } else {
+            if i + MIN_MATCH <= n {
+                let h = hash(i);
+                prev[i] = head[h];
+                head[h] = i;
+            }
+            tokens.push(Token::Literal(block[i]));
+            i += 1;
+        }
+    }
+    tokens
+}
+
+/// Compresses one block to a self-contained payload (code tables + coded
+/// tokens + EOB). The caller decides whether it beats storing the block raw.
+pub(crate) fn compress_block(block: &[u8]) -> Vec<u8> {
+    let len_buckets = length_buckets();
+    let d_buckets = dist_buckets();
+    let tokens = parse(block);
+
+    let mut lit_freq = vec![0u64; LITLEN_ALPHABET];
+    let mut dist_freq = vec![0u64; DIST_ALPHABET];
+    lit_freq[EOB as usize] = 1;
+    for t in &tokens {
+        match *t {
+            Token::Literal(b) => lit_freq[b as usize] += 1,
+            Token::Match { len, dist } => {
+                lit_freq[257 + bucket_of(&len_buckets, len)] += 1;
+                dist_freq[bucket_of(&d_buckets, dist)] += 1;
+            }
+        }
+    }
+    let lit_code = CanonicalCode::from_freqs(&lit_freq);
+    let dist_code = CanonicalCode::from_freqs(&dist_freq);
+
+    let mut w = BitWriter::with_capacity_bits(block.len() * 4);
+    for &l in lit_code.lengths() {
+        w.put_bits(l as u64, 4);
+    }
+    for &l in dist_code.lengths() {
+        w.put_bits(l as u64, 4);
+    }
+    for t in &tokens {
+        match *t {
+            Token::Literal(b) => lit_code.encode_symbol(b as u32, &mut w),
+            Token::Match { len, dist } => {
+                let lb = bucket_of(&len_buckets, len);
+                lit_code.encode_symbol(257 + lb as u32, &mut w);
+                let (base, extra) = len_buckets[lb];
+                w.put_bits((len - base) as u64, extra as u32);
+                let db = bucket_of(&d_buckets, dist);
+                dist_code.encode_symbol(db as u32, &mut w);
+                let (dbase, dextra) = d_buckets[db];
+                w.put_bits((dist - dbase) as u64, dextra as u32);
+            }
+        }
+    }
+    lit_code.encode_symbol(EOB, &mut w);
+    w.into_bytes()
+}
+
+/// Decompresses one block payload; `raw_len` is the expected output size
+/// from the container header.
+pub(crate) fn decompress_block(payload: &[u8], raw_len: usize) -> Result<Vec<u8>, Error> {
+    let len_buckets = length_buckets();
+    let d_buckets = dist_buckets();
+    let mut r = BitReader::new(payload);
+
+    let mut lit_lengths = vec![0u8; LITLEN_ALPHABET];
+    for l in lit_lengths.iter_mut() {
+        *l = r.get_bits(4)? as u8;
+    }
+    let mut dist_lengths = vec![0u8; DIST_ALPHABET];
+    for l in dist_lengths.iter_mut() {
+        *l = r.get_bits(4)? as u8;
+    }
+    let lit_code = CanonicalCode::from_lengths(&lit_lengths);
+    let dist_code = CanonicalCode::from_lengths(&dist_lengths);
+
+    let mut out: Vec<u8> = Vec::with_capacity(raw_len);
+    loop {
+        let sym = lit_code.decode_symbol(&mut r)?;
+        match sym {
+            0..=255 => out.push(sym as u8),
+            256 => break,
+            _ => {
+                let lb = (sym - 257) as usize;
+                if lb >= len_buckets.len() {
+                    return Err(Error::Corrupt("bad length symbol"));
+                }
+                let (base, extra) = len_buckets[lb];
+                let len = base + r.get_bits(extra as u32)? as u32;
+                let db = dist_code.decode_symbol(&mut r)? as usize;
+                if db >= d_buckets.len() {
+                    return Err(Error::Corrupt("bad distance symbol"));
+                }
+                let (dbase, dextra) = d_buckets[db];
+                let dist = (dbase + r.get_bits(dextra as u32)? as u32) as usize;
+                if dist == 0 || dist > out.len() {
+                    return Err(Error::Corrupt("distance beyond output"));
+                }
+                if out.len() + len as usize > raw_len {
+                    return Err(Error::Corrupt("block overruns declared length"));
+                }
+                // Overlapping copies are legal (dist < len): copy bytewise.
+                let start = out.len() - dist;
+                for k in 0..len as usize {
+                    let b = out[start + k];
+                    out.push(b);
+                }
+            }
+        }
+        if out.len() > raw_len {
+            return Err(Error::Corrupt("block overruns declared length"));
+        }
+    }
+    if out.len() != raw_len {
+        return Err(Error::Corrupt("block length mismatch"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_tables_cover_ranges() {
+        let lb = length_buckets();
+        assert_eq!(lb.len(), 28);
+        for len in MIN_MATCH as u32..=MAX_MATCH as u32 {
+            let b = bucket_of(&lb, len);
+            let (base, extra) = lb[b];
+            assert!(len >= base && len < base + (1 << extra), "len {len}");
+        }
+        let db = dist_buckets();
+        assert_eq!(db.len(), 30);
+        for dist in [1u32, 2, 4, 5, 100, 32768] {
+            let b = bucket_of(&db, dist);
+            let (base, extra) = db[b];
+            assert!(dist >= base && dist < base + (1 << extra), "dist {dist}");
+        }
+    }
+
+    #[test]
+    fn block_roundtrip_various() {
+        let cases: Vec<Vec<u8>> = vec![
+            vec![],
+            b"a".to_vec(),
+            b"aaaaaaaaaaaaaaaa".to_vec(),
+            b"abcdabcdabcdabcd".to_vec(),
+            (0..=255u8).collect(),
+            b"overlap".iter().copied().cycle().take(1000).collect(),
+        ];
+        for data in cases {
+            let payload = compress_block(&data);
+            let back = decompress_block(&payload, data.len()).unwrap();
+            assert_eq!(back, data);
+        }
+    }
+
+    #[test]
+    fn overlapping_match_roundtrip() {
+        // "aaaa..." forces dist=1, len>dist overlapping copies.
+        let data = vec![b'z'; 5000];
+        let payload = compress_block(&data);
+        assert!(payload.len() < 200);
+        assert_eq!(decompress_block(&payload, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn long_range_matches() {
+        // Repeat a 10 KiB chunk after 20 KiB of filler: distance ~ 30 KiB,
+        // still within MAX_DIST.
+        let chunk: Vec<u8> = (0..10_000u32).map(|i| (i * 7 % 251) as u8).collect();
+        let filler: Vec<u8> = (0..20_000u32).map(|i| (i * 13 % 256) as u8).collect();
+        let mut data = chunk.clone();
+        data.extend_from_slice(&filler);
+        data.extend_from_slice(&chunk);
+        let payload = compress_block(&data);
+        assert!(payload.len() < data.len());
+        assert_eq!(decompress_block(&payload, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn declared_length_mismatch_is_error() {
+        let data = b"hello hello hello".to_vec();
+        let payload = compress_block(&data);
+        assert!(decompress_block(&payload, data.len() + 1).is_err());
+        assert!(decompress_block(&payload, data.len() - 1).is_err());
+    }
+}

@@ -1,0 +1,294 @@
+//! Quality and rate metrics used throughout the paper's evaluation.
+//!
+//! * RMSE, PSNR (range-referenced, as is conventional for scientific data),
+//!   maximum point-wise error.
+//! * **Accuracy gain** (Eq. 2, §V-B): `gain = log2(σ/E) − R`, where `σ` is
+//!   the standard deviation of the original data, `E` the RMSE and `R` the
+//!   bitrate in bits per point. It folds rate and distortion into a single
+//!   number ("the amount of information inferred by a compressor that need
+//!   not be stored") and flattens the 6.02 dB/bit slope of SNR plots.
+//! * Table I's `idx ↔ tolerance` translation helpers.
+
+/// Root-mean-square error between two equal-length slices.
+pub fn rmse(original: &[f64], reconstructed: &[f64]) -> f64 {
+    assert_eq!(original.len(), reconstructed.len());
+    if original.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = original
+        .iter()
+        .zip(reconstructed)
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum();
+    (sum / original.len() as f64).sqrt()
+}
+
+/// Maximum point-wise absolute error — the quantity SPERR's PWE mode
+/// bounds.
+pub fn max_pwe(original: &[f64], reconstructed: &[f64]) -> f64 {
+    assert_eq!(original.len(), reconstructed.len());
+    original
+        .iter()
+        .zip(reconstructed)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f64::max)
+}
+
+/// `max − min` of a slice.
+pub fn data_range(data: &[f64]) -> f64 {
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &v in data {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    if lo > hi {
+        0.0
+    } else {
+        hi - lo
+    }
+}
+
+/// Population standard deviation.
+pub fn std_dev(data: &[f64]) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let mean = data.iter().sum::<f64>() / data.len() as f64;
+    let var = data.iter().map(|&v| (v - mean) * (v - mean)).sum::<f64>() / data.len() as f64;
+    var.sqrt()
+}
+
+/// Peak signal-to-noise ratio in dB, referenced to the data range:
+/// `PSNR = 20·log10(range / rmse)`. Returns `f64::INFINITY` for a perfect
+/// reconstruction.
+pub fn psnr(original: &[f64], reconstructed: &[f64]) -> f64 {
+    let e = rmse(original, reconstructed);
+    if e == 0.0 {
+        return f64::INFINITY;
+    }
+    20.0 * (data_range(original) / e).log10()
+}
+
+/// Signal-to-noise ratio in dB referenced to the signal's standard
+/// deviation: `SNR = 20·log10(σ / rmse)`.
+pub fn snr(original: &[f64], reconstructed: &[f64]) -> f64 {
+    let e = rmse(original, reconstructed);
+    if e == 0.0 {
+        return f64::INFINITY;
+    }
+    20.0 * (std_dev(original) / e).log10()
+}
+
+/// Bitrate in bits per point.
+pub fn bpp(compressed_bytes: usize, num_points: usize) -> f64 {
+    assert!(num_points > 0);
+    compressed_bytes as f64 * 8.0 / num_points as f64
+}
+
+/// Accuracy gain (Eq. 2): `log2(σ/E) − R`. `sigma` is the original data's
+/// standard deviation, `e` the RMSE, `rate` the bitrate in BPP. Higher is
+/// better; returns `f64::INFINITY` for zero error.
+pub fn accuracy_gain(sigma: f64, e: f64, rate: f64) -> f64 {
+    if e == 0.0 {
+        return f64::INFINITY;
+    }
+    (sigma / e).log2() - rate
+}
+
+/// Convenience: accuracy gain computed from raw slices and compressed size.
+pub fn accuracy_gain_of(original: &[f64], reconstructed: &[f64], compressed_bytes: usize) -> f64 {
+    accuracy_gain(
+        std_dev(original),
+        rmse(original, reconstructed),
+        bpp(compressed_bytes, original.len()),
+    )
+}
+
+/// Table I: translate a tolerance label `idx` into an absolute PWE
+/// tolerance for a field with the given `range`: `t = range / 2^idx`.
+pub fn tolerance_for_idx(range: f64, idx: u32) -> f64 {
+    range / f64::exp2(idx as f64)
+}
+
+/// The paper's TTHRESH mapping (§VI-C): at tolerance label `idx`,
+/// prescribe `PSNR = 20·log10(2) · idx` (halving RMSE per idx increment).
+pub fn psnr_target_for_idx(idx: u32) -> f64 {
+    20.0 * std::f64::consts::LOG10_2 * idx as f64
+}
+
+/// Accuracy gain relates to SNR by `gain = SNR/(20·log10 2) − R ≈ SNR/6.02 − R`
+/// (§V-B). Exposed for cross-checking in tests and the harness.
+pub fn gain_from_snr(snr_db: f64, rate: f64) -> f64 {
+    snr_db / (20.0 * std::f64::consts::LOG10_2) - rate
+}
+
+/// Mean structural similarity (SSIM) over non-overlapping 8³ windows of a
+/// row-major 3D field — the domain-oriented metric the paper's §VI-C
+/// points to for use-case-specific evaluation ("Evaluations using more
+/// domain-specific metrics (e.g., SSIM) are likely necessary"). Uses the
+/// standard stabilizers `C1 = (0.01·range)²`, `C2 = (0.03·range)²`.
+/// Returns 1.0 for identical inputs; degrades toward 0 (or negative for
+/// anti-correlated structure).
+pub fn ssim_3d(original: &[f64], reconstructed: &[f64], dims: [usize; 3]) -> f64 {
+    assert_eq!(original.len(), dims.iter().product::<usize>());
+    assert_eq!(original.len(), reconstructed.len());
+    const W: usize = 8;
+    let range = data_range(original);
+    if range == 0.0 {
+        return if original == reconstructed { 1.0 } else { 0.0 };
+    }
+    let c1 = (0.01 * range) * (0.01 * range);
+    let c2 = (0.03 * range) * (0.03 * range);
+
+    let mut total = 0.0;
+    let mut windows = 0usize;
+    let mut z0 = 0;
+    while z0 < dims[2] {
+        let z1 = (z0 + W).min(dims[2]);
+        let mut y0 = 0;
+        while y0 < dims[1] {
+            let y1 = (y0 + W).min(dims[1]);
+            let mut x0 = 0;
+            while x0 < dims[0] {
+                let x1 = (x0 + W).min(dims[0]);
+                // Window statistics.
+                let mut n = 0.0;
+                let (mut sa, mut sb, mut saa, mut sbb, mut sab) = (0.0, 0.0, 0.0, 0.0, 0.0);
+                for z in z0..z1 {
+                    for y in y0..y1 {
+                        for x in x0..x1 {
+                            let i = x + dims[0] * (y + dims[1] * z);
+                            let a = original[i];
+                            let b = reconstructed[i];
+                            n += 1.0;
+                            sa += a;
+                            sb += b;
+                            saa += a * a;
+                            sbb += b * b;
+                            sab += a * b;
+                        }
+                    }
+                }
+                let ma = sa / n;
+                let mb = sb / n;
+                let va = (saa / n - ma * ma).max(0.0);
+                let vb = (sbb / n - mb * mb).max(0.0);
+                let cov = sab / n - ma * mb;
+                let ssim = ((2.0 * ma * mb + c1) * (2.0 * cov + c2))
+                    / ((ma * ma + mb * mb + c1) * (va + vb + c2));
+                total += ssim;
+                windows += 1;
+                x0 += W;
+            }
+            y0 += W;
+        }
+        z0 += W;
+    }
+    total / windows as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmse_basic() {
+        assert_eq!(rmse(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        assert!((rmse(&[0.0, 0.0], &[3.0, 4.0]) - (12.5f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_pwe_basic() {
+        assert_eq!(max_pwe(&[1.0, 5.0, -2.0], &[1.5, 5.0, -4.0]), 2.0);
+    }
+
+    #[test]
+    fn psnr_of_known_case() {
+        // range 10, rmse 0.1 -> psnr = 20 log10(100) = 40 dB
+        let orig = vec![0.0, 10.0];
+        let rec = vec![0.1, 10.1];
+        assert!((psnr(&orig, &rec) - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn perfect_reconstruction_is_infinite_psnr() {
+        assert_eq!(psnr(&[1.0, 2.0], &[1.0, 2.0]), f64::INFINITY);
+    }
+
+    #[test]
+    fn accuracy_gain_matches_snr_identity() {
+        // gain = SNR/(20 log10 2) − R must agree with log2(σ/E) − R.
+        let orig: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.01).sin()).collect();
+        let rec: Vec<f64> = orig.iter().map(|v| v + 0.001).collect();
+        let rate = 2.5;
+        let g1 = accuracy_gain(std_dev(&orig), rmse(&orig, &rec), rate);
+        let g2 = gain_from_snr(snr(&orig, &rec), rate);
+        assert!((g1 - g2).abs() < 1e-9, "{g1} vs {g2}");
+    }
+
+    #[test]
+    fn each_extra_bit_halves_error_keeps_gain_flat() {
+        // §VI-C: on the plateau, one extra bit halves E, so gain is flat.
+        let sigma = 1.0;
+        let g1 = accuracy_gain(sigma, 0.01, 4.0);
+        let g2 = accuracy_gain(sigma, 0.005, 5.0);
+        assert!((g1 - g2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table1_translation() {
+        // idx = 10 -> roughly one thousandth of the range.
+        let t = tolerance_for_idx(1.0, 10);
+        assert!((t - 1.0 / 1024.0).abs() < 1e-15);
+        // idx = 20 -> about 1e-6 of the range.
+        assert!((tolerance_for_idx(1.0, 20) * 1e6 - 0.9536743).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tthresh_psnr_mapping() {
+        // §VI-D: idx = 20 -> 120.41 dB, idx = 40 -> 240.82 dB.
+        assert!((psnr_target_for_idx(20) - 120.41).abs() < 0.01);
+        assert!((psnr_target_for_idx(40) - 240.82).abs() < 0.01);
+    }
+
+    #[test]
+    fn bpp_accounting() {
+        assert_eq!(bpp(1000, 8000), 1.0);
+    }
+
+    #[test]
+    fn std_dev_constant_is_zero() {
+        assert_eq!(std_dev(&[5.0; 10]), 0.0);
+    }
+
+    #[test]
+    fn ssim_identity_is_one() {
+        let dims = [12usize, 10, 6];
+        let a: Vec<f64> = (0..720).map(|i| (i as f64 * 0.1).sin()).collect();
+        assert!((ssim_3d(&a, &a, dims) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ssim_degrades_with_noise() {
+        let dims = [16usize, 16, 16];
+        let a: Vec<f64> = (0..4096).map(|i| (i as f64 * 0.05).sin()).collect();
+        let small: Vec<f64> = a.iter().enumerate().map(|(i, v)| v + if i % 2 == 0 { 1e-3 } else { -1e-3 }).collect();
+        let big: Vec<f64> = a.iter().enumerate().map(|(i, v)| v + if i % 2 == 0 { 0.5 } else { -0.5 }).collect();
+        let s_small = ssim_3d(&a, &small, dims);
+        let s_big = ssim_3d(&a, &big, dims);
+        assert!(s_small > s_big, "{s_small} vs {s_big}");
+        assert!(s_small > 0.99);
+        // Heavy alternating noise adds uncorrelated variance: a clear,
+        // strictly lower score (exact value depends on window statistics).
+        assert!(s_big < 0.93, "{s_big}");
+    }
+
+    #[test]
+    fn ssim_constant_fields() {
+        let dims = [4usize, 4, 4];
+        let a = vec![3.0; 64];
+        assert_eq!(ssim_3d(&a, &a, dims), 1.0);
+        let b = vec![4.0; 64];
+        assert_eq!(ssim_3d(&a, &b, dims), 0.0);
+    }
+}

@@ -1,0 +1,239 @@
+//! Classical outlier-coding alternatives the paper's §II surveys and
+//! rejects: "record positions using bitmap coding, and ... handle
+//! correction values using, for example, variable-length coding (e.g.,
+//! universal codes)". Implemented here so the benchmark harness can put
+//! numbers behind that design discussion (ablation extending Fig. 11).
+//!
+//! Both coders quantize the correction magnitude to `k = round(|corr|/t)`
+//! (`k ≥ 1` since outliers exceed `t`), for a reconstruction error of at
+//! most `t/2` — the same guarantee the SPECK-inspired coder provides.
+
+use crate::coder::Outlier;
+use sperr_bitstream::{BitReader, BitWriter, Error};
+
+/// Elias-gamma encodes `v >= 1`: `floor(log2 v)` zero bits, then the
+/// binary representation of `v` MSB-first.
+fn gamma_encode(v: u64, out: &mut BitWriter) {
+    debug_assert!(v >= 1);
+    let bits = 64 - v.leading_zeros();
+    for _ in 0..bits - 1 {
+        out.put_bit(false);
+    }
+    for i in (0..bits).rev() {
+        out.put_bit((v >> i) & 1 == 1);
+    }
+}
+
+fn gamma_decode(input: &mut BitReader<'_>) -> Result<u64, Error> {
+    let mut zeros = 0u32;
+    while !input.get_bit()? {
+        zeros += 1;
+        if zeros > 63 {
+            return Err(Error::Corrupt("gamma code too long"));
+        }
+    }
+    let mut v = 1u64;
+    for _ in 0..zeros {
+        v = (v << 1) | input.get_bit()? as u64;
+    }
+    Ok(v)
+}
+
+fn quantize(corr: f64, t: f64) -> (bool, u64) {
+    let k = (corr.abs() / t).round().max(1.0) as u64;
+    (corr < 0.0, k)
+}
+
+fn reconstruct(negative: bool, k: u64, t: f64) -> f64 {
+    let mag = k as f64 * t;
+    if negative {
+        -mag
+    } else {
+        mag
+    }
+}
+
+/// Bitmap positions + gamma-coded magnitudes: one bit per data point
+/// (outlier yes/no), then per outlier a sign bit and the gamma code of
+/// its quantized magnitude. Positions cost `N` bits regardless of how few
+/// outliers there are — the §II objection made concrete.
+pub mod bitmap {
+    use super::*;
+
+    /// Encodes outliers over an array of length `n` with tolerance `t`.
+    pub fn encode(outliers: &[Outlier], n: usize, t: f64) -> Vec<u8> {
+        let mut mask = vec![false; n];
+        for o in outliers {
+            mask[o.pos] = true;
+        }
+        let mut w = BitWriter::with_capacity_bits(n + outliers.len() * 8);
+        for &m in &mask {
+            w.put_bit(m);
+        }
+        let mut sorted: Vec<&Outlier> = outliers.iter().collect();
+        sorted.sort_by_key(|o| o.pos);
+        for o in sorted {
+            let (neg, k) = quantize(o.corr, t);
+            w.put_bit(neg);
+            gamma_encode(k, &mut w);
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes; corrections are within `t/2` of the originals.
+    pub fn decode(bytes: &[u8], n: usize, t: f64) -> Result<Vec<Outlier>, Error> {
+        let mut r = BitReader::new(bytes);
+        let mut positions = Vec::new();
+        for pos in 0..n {
+            if r.get_bit()? {
+                positions.push(pos);
+            }
+        }
+        let mut out = Vec::with_capacity(positions.len());
+        for pos in positions {
+            let neg = r.get_bit()?;
+            let k = gamma_decode(&mut r)?;
+            out.push(Outlier { pos, corr: reconstruct(neg, k, t) });
+        }
+        Ok(out)
+    }
+}
+
+/// Gap coding: gamma-coded deltas between consecutive outlier positions
+/// plus sign + gamma-coded magnitudes — the strong classical sparse
+/// baseline (cost scales with the outlier count, not `N`).
+pub mod gaps {
+    use super::*;
+
+    /// Encodes outliers over an array of length `n` with tolerance `t`.
+    pub fn encode(outliers: &[Outlier], _n: usize, t: f64) -> Vec<u8> {
+        let mut sorted: Vec<&Outlier> = outliers.iter().collect();
+        sorted.sort_by_key(|o| o.pos);
+        let mut w = BitWriter::new();
+        gamma_encode(sorted.len() as u64 + 1, &mut w); // count (shifted: gamma needs >= 1)
+        let mut prev = 0usize;
+        for (i, o) in sorted.iter().enumerate() {
+            let gap = if i == 0 { o.pos + 1 } else { o.pos - prev };
+            gamma_encode(gap as u64, &mut w);
+            prev = o.pos;
+            let (neg, k) = quantize(o.corr, t);
+            w.put_bit(neg);
+            gamma_encode(k, &mut w);
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes; corrections are within `t/2` of the originals.
+    pub fn decode(bytes: &[u8], n: usize, t: f64) -> Result<Vec<Outlier>, Error> {
+        let mut r = BitReader::new(bytes);
+        let count = gamma_decode(&mut r)? as usize - 1;
+        if count > n {
+            return Err(Error::Corrupt("implausible outlier count"));
+        }
+        let mut out = Vec::with_capacity(count);
+        let mut pos = 0usize;
+        for i in 0..count {
+            let gap = gamma_decode(&mut r)? as usize;
+            pos = if i == 0 { gap - 1 } else { pos + gap };
+            if pos >= n {
+                return Err(Error::Corrupt("position overflow"));
+            }
+            let neg = r.get_bit()?;
+            let k = gamma_decode(&mut r)?;
+            out.push(Outlier { pos, corr: reconstruct(neg, k, t) });
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(n: usize, count: usize, t: f64) -> Vec<Outlier> {
+        (0..count)
+            .map(|i| Outlier {
+                pos: (i * (n / count)) % n,
+                corr: (t * (1.2 + (i % 9) as f64)) * if i % 2 == 0 { 1.0 } else { -1.0 },
+            })
+            .collect()
+    }
+
+    #[test]
+    fn gamma_roundtrip() {
+        let mut w = BitWriter::new();
+        let values = [1u64, 2, 3, 7, 8, 100, 1 << 20, u64::MAX >> 1];
+        for &v in &values {
+            gamma_encode(v, &mut w);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &v in &values {
+            assert_eq!(gamma_decode(&mut r).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn bitmap_roundtrip_within_half_t() {
+        let t = 0.5;
+        let n = 4096;
+        let outliers = sample(n, 64, t);
+        let bytes = bitmap::encode(&outliers, n, t);
+        let dec = bitmap::decode(&bytes, n, t).unwrap();
+        assert_eq!(dec.len(), outliers.len());
+        let mut orig = outliers.clone();
+        orig.sort_by_key(|o| o.pos);
+        for (d, o) in dec.iter().zip(&orig) {
+            assert_eq!(d.pos, o.pos);
+            assert!((d.corr - o.corr).abs() <= t / 2.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn gaps_roundtrip_within_half_t() {
+        let t = 0.25;
+        let n = 100_000;
+        let outliers = sample(n, 200, t);
+        let bytes = gaps::encode(&outliers, n, t);
+        let dec = gaps::decode(&bytes, n, t).unwrap();
+        assert_eq!(dec.len(), outliers.len());
+        let mut orig = outliers.clone();
+        orig.sort_by_key(|o| o.pos);
+        for (d, o) in dec.iter().zip(&orig) {
+            assert_eq!(d.pos, o.pos);
+            assert!((d.corr - o.corr).abs() <= t / 2.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn bitmap_cost_dominated_by_n_when_sparse() {
+        let t = 1.0;
+        let n = 65_536;
+        let outliers = sample(n, 16, t); // very sparse
+        let bytes = bitmap::encode(&outliers, n, t);
+        // bitmap alone is n bits = n/8 bytes
+        assert!(bytes.len() >= n / 8);
+        let gap_bytes = gaps::encode(&outliers, n, t);
+        assert!(
+            gap_bytes.len() * 10 < bytes.len(),
+            "gaps {} should crush bitmap {} when sparse",
+            gap_bytes.len(),
+            bytes.len()
+        );
+    }
+
+    #[test]
+    fn empty_lists() {
+        let t = 1.0;
+        assert!(gaps::decode(&gaps::encode(&[], 100, t), 100, t).unwrap().is_empty());
+        assert!(bitmap::decode(&bitmap::encode(&[], 100, t), 100, t).unwrap().is_empty());
+    }
+
+    #[test]
+    fn corrupt_input_no_panic() {
+        let garbage = [0xFFu8; 40];
+        let _ = bitmap::decode(&garbage, 64, 1.0);
+        let _ = gaps::decode(&garbage, 64, 1.0);
+        let _ = gaps::decode(&[], 64, 1.0);
+    }
+}

@@ -1,0 +1,351 @@
+//! Encoder/decoder implementing Listings 1–3 of the paper.
+
+use crate::rangemax::SparseMax;
+use sperr_bitstream::{BitReader, BitWriter, Error};
+
+/// One outlier: its position in the linearized array and the correction
+/// value `corr = x − x̃` (original minus wavelet reconstruction).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Outlier {
+    /// Index into the linearized (1-D) data array.
+    pub pos: usize,
+    /// Signed correction value; `|corr|` strictly exceeds the tolerance.
+    pub corr: f64,
+}
+
+/// Result of [`encode`].
+#[derive(Debug, Clone)]
+pub struct EncodedOutliers {
+    /// Bit-packed stream (zero-padded to whole bytes). Empty when there
+    /// were no outliers.
+    pub stream: Vec<u8>,
+    /// Starting exponent: the first threshold is `2^max_n · t`. Needed by
+    /// the decoder. Meaningless when `stream` is empty.
+    pub max_n: u8,
+    /// Exact number of bits produced.
+    pub bits_used: usize,
+    /// Number of outliers encoded (for cost accounting, §V-A).
+    pub num_outliers: usize,
+}
+
+struct Stop;
+
+/// An insignificant set: a half-open position range plus (encoder only)
+/// the index range of outliers it contains in the position-sorted arrays.
+#[derive(Debug, Clone, Copy)]
+struct SetR {
+    start: usize,
+    len: usize,
+    /// Outlier index range `[olo, ohi)`; decoder carries `0, 0`.
+    olo: u32,
+    ohi: u32,
+    level: u16,
+}
+
+// ---------------------------------------------------------------- encoder
+
+struct Encoder<'a> {
+    pos: &'a [usize],
+    mag: &'a [f64],
+    negative: &'a [bool],
+    residual: Vec<f64>,
+    sparse: SparseMax,
+    lis: Vec<Vec<SetR>>,
+    lsp: Vec<u32>,
+    lnsp: Vec<u32>,
+    out: BitWriter,
+}
+
+impl<'a> Encoder<'a> {
+    fn push_lis(&mut self, set: SetR) {
+        let lvl = set.level as usize;
+        if self.lis.len() <= lvl {
+            self.lis.resize_with(lvl + 1, Vec::new);
+        }
+        self.lis[lvl].push(set);
+    }
+
+    /// Listing 2: one significance bit per set; significant sets split
+    /// recursively down to single positions, which emit a sign and join
+    /// the newly-significant list.
+    fn sorting_pass(&mut self, thrd: f64) {
+        // "In increasing order of their sizes": deepest buckets first.
+        for lvl in (0..self.lis.len()).rev() {
+            let bucket = std::mem::take(&mut self.lis[lvl]);
+            for set in bucket {
+                self.process(set, thrd);
+            }
+        }
+    }
+
+    fn process(&mut self, set: SetR, thrd: f64) {
+        let sig =
+            set.olo < set.ohi && self.sparse.query(set.olo as usize, set.ohi as usize) > thrd;
+        self.out.put_bit(sig);
+        if sig {
+            if set.len == 1 {
+                debug_assert_eq!(set.ohi - set.olo, 1);
+                let idx = set.olo;
+                self.out.put_bit(self.negative[idx as usize]);
+                self.lnsp.push(idx);
+            } else {
+                self.code(set, thrd);
+            }
+        } else {
+            self.push_lis(set);
+        }
+    }
+
+    /// Listing 2's `Code(S)`: equally divide into two disjoint subsets and
+    /// process both immediately.
+    fn code(&mut self, set: SetR, thrd: f64) {
+        let (a, b) = split(set, self.pos);
+        self.process(a, thrd);
+        self.process(b, thrd);
+    }
+
+    /// Listing 3: refine previously significant points by one bit, then
+    /// quantize the newly found ones (no bits — their value is implied by
+    /// the discovery threshold) and merge them into the LSP.
+    fn refinement_pass(&mut self, thrd: f64) {
+        for i in 0..self.lsp.len() {
+            let idx = self.lsp[i] as usize;
+            let bit = self.residual[idx] > thrd;
+            self.out.put_bit(bit);
+            if bit {
+                self.residual[idx] -= thrd;
+            }
+        }
+        for i in 0..self.lnsp.len() {
+            let idx = self.lnsp[i] as usize;
+            self.residual[idx] -= thrd;
+        }
+        let new = std::mem::take(&mut self.lnsp);
+        self.lsp.extend(new);
+    }
+}
+
+/// Splits a set into two halves, the first taking `len - len/2` positions,
+/// and partitions its outlier index range at the position boundary.
+fn split(set: SetR, pos: &[usize]) -> (SetR, SetR) {
+    let second = set.len / 2;
+    let first = set.len - second;
+    let mid = set.start + first;
+    // First index in [olo, ohi) whose position is >= mid.
+    let cut = set.olo
+        + pos[set.olo as usize..set.ohi as usize].partition_point(|&p| p < mid) as u32;
+    (
+        SetR { start: set.start, len: first, olo: set.olo, ohi: cut, level: set.level + 1 },
+        SetR { start: mid, len: second, olo: cut, ohi: set.ohi, level: set.level + 1 },
+    )
+}
+
+/// Computes the starting exponent of Listing 1 line 4: the largest integer
+/// `n >= 0` such that `2^n · t < max_mag`.
+fn starting_exponent(t: f64, max_mag: f64) -> u8 {
+    let mut n = ((max_mag / t).log2().floor().max(0.0)) as i64;
+    // Guard against floating-point edge cases around exact powers of two.
+    while (n as u32) < 200 && f64::exp2((n + 1) as f64) * t < max_mag {
+        n += 1;
+    }
+    while n > 0 && f64::exp2(n as f64) * t >= max_mag {
+        n -= 1;
+    }
+    n.clamp(0, u8::MAX as i64) as u8
+}
+
+/// Encodes `outliers` over a linearized array of length `array_len` with
+/// PWE tolerance `t > 0` (Listing 1).
+///
+/// # Panics
+///
+/// On caller bugs: positions out of range or duplicated, magnitudes not
+/// strictly above `t`, or a non-positive tolerance.
+pub fn encode(outliers: &[Outlier], array_len: usize, t: f64) -> EncodedOutliers {
+    assert!(t > 0.0 && t.is_finite(), "tolerance must be positive and finite");
+    if outliers.is_empty() {
+        return EncodedOutliers { stream: Vec::new(), max_n: 0, bits_used: 0, num_outliers: 0 };
+    }
+
+    // Sort by position; validate.
+    let mut sorted: Vec<Outlier> = outliers.to_vec();
+    sorted.sort_by_key(|o| o.pos);
+    let mut pos = Vec::with_capacity(sorted.len());
+    let mut mag = Vec::with_capacity(sorted.len());
+    let mut negative = Vec::with_capacity(sorted.len());
+    for (i, o) in sorted.iter().enumerate() {
+        assert!(o.pos < array_len, "outlier position {} out of range {}", o.pos, array_len);
+        if i > 0 {
+            assert!(sorted[i - 1].pos != o.pos, "duplicate outlier position {}", o.pos);
+        }
+        assert!(
+            o.corr.abs() > t,
+            "outlier magnitude {} must strictly exceed tolerance {}",
+            o.corr.abs(),
+            t
+        );
+        pos.push(o.pos);
+        mag.push(o.corr.abs());
+        negative.push(o.corr < 0.0);
+    }
+
+    let max_mag = mag.iter().copied().fold(0.0, f64::max);
+    let max_n = starting_exponent(t, max_mag);
+
+    let mut enc = Encoder {
+        pos: &pos,
+        mag: &mag,
+        negative: &negative,
+        residual: mag.clone(),
+        sparse: SparseMax::build(&mag),
+        lis: vec![vec![SetR { start: 0, len: array_len, olo: 0, ohi: pos.len() as u32, level: 0 }]],
+        lsp: Vec::new(),
+        lnsp: Vec::new(),
+        out: BitWriter::new(),
+    };
+    let _ = enc.mag; // magnitudes are owned by the sparse table path
+
+    for n in (0..=max_n as i64).rev() {
+        let thrd = f64::exp2(n as f64) * t;
+        enc.sorting_pass(thrd);
+        enc.refinement_pass(thrd);
+    }
+
+    let bits_used = enc.out.len_bits();
+    EncodedOutliers {
+        stream: enc.out.into_bytes(),
+        max_n,
+        bits_used,
+        num_outliers: outliers.len(),
+    }
+}
+
+// ---------------------------------------------------------------- decoder
+
+struct DecPoint {
+    pos: usize,
+    negative: bool,
+    corr: f64,
+}
+
+struct Decoder<'a> {
+    input: BitReader<'a>,
+    lis: Vec<Vec<SetR>>,
+    /// Indices into `points` of previously significant entries.
+    lsp: Vec<u32>,
+    lnsp: Vec<u32>,
+    points: Vec<DecPoint>,
+}
+
+impl<'a> Decoder<'a> {
+    fn read_bit(&mut self) -> Result<bool, Stop> {
+        self.input.get_bit().map_err(|_| Stop)
+    }
+
+    fn push_lis(&mut self, set: SetR) {
+        let lvl = set.level as usize;
+        if self.lis.len() <= lvl {
+            self.lis.resize_with(lvl + 1, Vec::new);
+        }
+        self.lis[lvl].push(set);
+    }
+
+    fn sorting_pass(&mut self, thrd: f64) -> Result<(), Stop> {
+        for lvl in (0..self.lis.len()).rev() {
+            let bucket = std::mem::take(&mut self.lis[lvl]);
+            for (i, set) in bucket.iter().enumerate() {
+                if let Err(stop) = self.process(*set, thrd) {
+                    for rest in &bucket[i + 1..] {
+                        self.push_lis(*rest);
+                    }
+                    return Err(stop);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn process(&mut self, set: SetR, thrd: f64) -> Result<(), Stop> {
+        let sig = self.read_bit()?;
+        if sig {
+            if set.len == 1 {
+                let negative = self.read_bit()?;
+                // Listing 3 line 12: reconstruct at 3/2 of the discovery
+                // threshold (centre of (thrd, 2·thrd]).
+                self.points.push(DecPoint { pos: set.start, negative, corr: 1.5 * thrd });
+                let idx = (self.points.len() - 1) as u32;
+                self.lnsp.push(idx);
+            } else {
+                self.code(set, thrd)?;
+            }
+        } else {
+            self.push_lis(set);
+        }
+        Ok(())
+    }
+
+    fn code(&mut self, set: SetR, thrd: f64) -> Result<(), Stop> {
+        // Decoder-side split mirrors the encoder geometrically; outlier
+        // index ranges are unknown (and unused) here.
+        let second = set.len / 2;
+        let first = set.len - second;
+        let a = SetR { start: set.start, len: first, olo: 0, ohi: 0, level: set.level + 1 };
+        let b = SetR { start: set.start + first, len: second, olo: 0, ohi: 0, level: set.level + 1 };
+        self.process(a, thrd)?;
+        self.process(b, thrd)
+    }
+
+    fn refinement_pass(&mut self, thrd: f64) -> Result<(), Stop> {
+        for i in 0..self.lsp.len() {
+            let idx = self.lsp[i] as usize;
+            let bit = self.read_bit()?;
+            // Listing 3 lines 5/7: move to the centre of the narrowed
+            // interval.
+            if bit {
+                self.points[idx].corr += thrd / 2.0;
+            } else {
+                self.points[idx].corr -= thrd / 2.0;
+            }
+        }
+        let new = std::mem::take(&mut self.lnsp);
+        self.lsp.extend(new);
+        Ok(())
+    }
+}
+
+/// Decodes a stream produced by [`encode`] with the same `array_len`, `t`
+/// and the `max_n` it returned. Positions are exact; correction values are
+/// within `t/2` of the originals when the stream is complete. A truncated
+/// stream yields a partial (coarser) set of corrections without error.
+pub fn decode(
+    stream: &[u8],
+    array_len: usize,
+    t: f64,
+    max_n: u8,
+) -> Result<Vec<Outlier>, Error> {
+    assert!(t > 0.0 && t.is_finite(), "tolerance must be positive and finite");
+    if stream.is_empty() {
+        return Ok(Vec::new());
+    }
+    let mut dec = Decoder {
+        input: BitReader::new(stream),
+        lis: vec![vec![SetR { start: 0, len: array_len, olo: 0, ohi: 0, level: 0 }]],
+        lsp: Vec::new(),
+        lnsp: Vec::new(),
+        points: Vec::new(),
+    };
+    'outer: for n in (0..=max_n as i64).rev() {
+        let thrd = f64::exp2(n as f64) * t;
+        if dec.sorting_pass(thrd).is_err() {
+            break 'outer;
+        }
+        if dec.refinement_pass(thrd).is_err() {
+            break 'outer;
+        }
+    }
+    Ok(dec
+        .points
+        .into_iter()
+        .map(|p| Outlier { pos: p.pos, corr: if p.negative { -p.corr } else { p.corr } })
+        .collect())
+}

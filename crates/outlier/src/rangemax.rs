@@ -1,0 +1,65 @@
+//! Static range-maximum structure over the (position-sorted) outlier
+//! magnitudes.
+//!
+//! LIS significance tests ask "does any outlier inside this index range
+//! have magnitude above `thrd`?". Magnitudes of not-yet-significant points
+//! never change, so a static sparse table answers each query in O(1) after
+//! O(n log n) construction.
+
+/// Sparse table for range-maximum queries over `f64` magnitudes.
+#[derive(Debug)]
+pub(crate) struct SparseMax {
+    /// `rows[k][i]` = max over `[i, i + 2^k)`.
+    rows: Vec<Vec<f64>>,
+}
+
+impl SparseMax {
+    pub fn build(values: &[f64]) -> Self {
+        let n = values.len();
+        let mut rows = vec![values.to_vec()];
+        let mut width = 1usize;
+        while width * 2 <= n {
+            let prev = rows.last().unwrap();
+            let next: Vec<f64> = (0..=n - width * 2)
+                .map(|i| prev[i].max(prev[i + width]))
+                .collect();
+            rows.push(next);
+            width *= 2;
+        }
+        SparseMax { rows }
+    }
+
+    /// Maximum over the half-open index range `[lo, hi)`; `lo < hi`.
+    pub fn query(&self, lo: usize, hi: usize) -> f64 {
+        debug_assert!(lo < hi && hi <= self.rows[0].len());
+        let len = hi - lo;
+        let k = (usize::BITS - 1 - len.leading_zeros()) as usize; // floor(log2 len)
+        let w = 1usize << k;
+        self.rows[k][lo].max(self.rows[k][hi - w])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_brute_force() {
+        let values: Vec<f64> = (0..100)
+            .map(|i| ((i * 2654435761u64 as usize) % 1009) as f64 * 0.37)
+            .collect();
+        let st = SparseMax::build(&values);
+        for lo in 0..100 {
+            for hi in lo + 1..=100 {
+                let brute = values[lo..hi].iter().copied().fold(f64::MIN, f64::max);
+                assert_eq!(st.query(lo, hi), brute, "[{lo},{hi})");
+            }
+        }
+    }
+
+    #[test]
+    fn single_element() {
+        let st = SparseMax::build(&[3.25]);
+        assert_eq!(st.query(0, 1), 3.25);
+    }
+}

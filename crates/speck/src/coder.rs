@@ -1,0 +1,407 @@
+//! The SPECK encoder/decoder proper: quantization, sorting passes,
+//! refinement passes, and mid-riser reconstruction.
+
+use crate::pyramid::MaxPyramid;
+use crate::set::SetS;
+use sperr_bitstream::{BitReader, BitWriter, Error};
+
+/// When the encoder stops producing bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Termination {
+    /// Encode every bitplane down to the finest threshold `q` — used for
+    /// SPERR's PWE-bounded mode (the outlier coder then fixes what is left).
+    Quality,
+    /// Stop once this many bits have been produced — SPERR's fixed-size
+    /// mode. The resulting prefix is still decodable (embedded stream).
+    BitBudget(usize),
+}
+
+/// Result of [`encode`].
+#[derive(Debug, Clone)]
+pub struct EncodedSpeck {
+    /// Bit-packed SPECK stream (zero-padded to a whole byte).
+    pub stream: Vec<u8>,
+    /// Number of bitplanes spanned by the stream; the first plane coded is
+    /// `num_planes - 1`. Required for decoding. Zero means "all
+    /// coefficients were inside the dead zone".
+    pub num_planes: u8,
+    /// Exact number of bits produced (before byte padding).
+    pub bits_used: usize,
+    /// Bits spent on set-significance tests (§IV-B bit type 1).
+    pub significance_bits: usize,
+    /// Bits spent on coefficient signs (bit type 2).
+    pub sign_bits: usize,
+    /// Bits spent on refinement (bit type 3).
+    pub refinement_bits: usize,
+}
+
+/// Quantizes `|c| / q` with floor, saturating at 2^62 so downstream shifts
+/// cannot overflow. NaNs quantize to 0 (dead zone).
+#[inline]
+fn quantize_one(c: f64, inv_q: f64) -> u64 {
+    const CAP: f64 = (1u64 << 62) as f64;
+    let r = c.abs() * inv_q;
+    if r >= CAP {
+        1u64 << 62
+    } else {
+        r as u64 // saturating f64 -> u64 cast; truncation == floor for r >= 0
+    }
+}
+
+/// The reconstruction the decoder produces from a *complete* (quality-mode)
+/// stream, computed directly from the input. The SPERR pipeline uses this
+/// to locate outliers without a decode pass; equality with [`decode`] is
+/// enforced by tests.
+pub fn reconstruct_quantized(coeffs: &[f64], q: f64) -> Vec<f64> {
+    assert!(q > 0.0 && q.is_finite(), "quantization step must be positive");
+    let inv_q = 1.0 / q;
+    coeffs
+        .iter()
+        .map(|&c| {
+            let k = quantize_one(c, inv_q);
+            if k == 0 {
+                0.0
+            } else {
+                let mag = (k as f64 + 0.5) * q;
+                if c < 0.0 {
+                    -mag
+                } else {
+                    mag
+                }
+            }
+        })
+        .collect()
+}
+
+/// Signals that the bit budget has been exhausted (encoder) or the stream
+/// ran out (decoder); unwinds the pass cleanly.
+struct Stop;
+
+// ---------------------------------------------------------------- encoder
+
+struct Encoder<'a, const D: usize> {
+    dims: [usize; D],
+    k: &'a [u64],
+    negative: &'a [bool],
+    pyramid: &'a MaxPyramid<D>,
+    /// Insignificant sets, bucketed by partition level (deeper == smaller;
+    /// deeper buckets are processed first, i.e. smallest sets first).
+    lis: Vec<Vec<SetS<D>>>,
+    lsp: Vec<u32>,
+    lsp_new: Vec<u32>,
+    out: BitWriter,
+    budget: usize,
+    significance_bits: usize,
+    sign_bits: usize,
+    refinement_bits: usize,
+}
+
+impl<'a, const D: usize> Encoder<'a, D> {
+    #[inline]
+    fn emit(&mut self, bit: bool) -> Result<(), Stop> {
+        if self.out.len_bits() >= self.budget {
+            return Err(Stop);
+        }
+        self.out.put_bit(bit);
+        Ok(())
+    }
+
+    fn push_lis(&mut self, set: SetS<D>) {
+        let lvl = set.part_level as usize;
+        if self.lis.len() <= lvl {
+            self.lis.resize_with(lvl + 1, Vec::new);
+        }
+        self.lis[lvl].push(set);
+    }
+
+    fn sorting_pass(&mut self, n: u32) -> Result<(), Stop> {
+        // Smallest sets first (paper, Listing 2: "in increasing order of
+        // their sizes"): iterate buckets from the deepest partition level.
+        for lvl in (0..self.lis.len()).rev() {
+            let bucket = std::mem::take(&mut self.lis[lvl]);
+            for set in bucket {
+                self.process_s(set, n)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn process_s(&mut self, set: SetS<D>, n: u32) -> Result<(), Stop> {
+        let max = if set.is_pixel() {
+            self.k[set.pixel_index(self.dims)]
+        } else {
+            self.pyramid.region_max(set.origin, set.len)
+        };
+        let sig = (max >> n) != 0;
+        self.emit(sig)?;
+        self.significance_bits += 1;
+        if sig {
+            if set.is_pixel() {
+                let idx = set.pixel_index(self.dims);
+                self.emit(self.negative[idx])?;
+                self.sign_bits += 1;
+                self.lsp_new.push(idx as u32);
+            } else {
+                self.code_s(&set, n)?;
+            }
+            // Significant sets are consumed (not returned to the LIS).
+        } else {
+            self.push_lis(set);
+        }
+        Ok(())
+    }
+
+    fn code_s(&mut self, set: &SetS<D>, n: u32) -> Result<(), Stop> {
+        let mut children = [*set; 8];
+        let mut count = 0usize;
+        set.split(|c| {
+            children[count] = c;
+            count += 1;
+        });
+        for child in children.iter().take(count) {
+            self.process_s(*child, n)?;
+        }
+        Ok(())
+    }
+
+    fn refinement_pass(&mut self, n: u32) -> Result<(), Stop> {
+        for i in 0..self.lsp.len() {
+            let idx = self.lsp[i] as usize;
+            let bit = (self.k[idx] >> n) & 1 == 1;
+            self.emit(bit)?;
+            self.refinement_bits += 1;
+        }
+        // Newly significant points join the LSP *after* the refinement pass
+        // (their bit `n` is implied by the significance test itself).
+        let new = std::mem::take(&mut self.lsp_new);
+        self.lsp.extend(new);
+        Ok(())
+    }
+}
+
+/// Encodes `coeffs` (shape `dims`, row-major with axis 0 fastest) with
+/// finest quantization step `q > 0`.
+pub fn encode<const D: usize>(
+    coeffs: &[f64],
+    dims: [usize; D],
+    q: f64,
+    term: Termination,
+) -> EncodedSpeck {
+    assert!(q > 0.0 && q.is_finite(), "quantization step must be positive");
+    let n_total: usize = dims.iter().product();
+    assert_eq!(coeffs.len(), n_total, "coeffs/dims mismatch");
+    assert!(n_total as u64 <= u32::MAX as u64, "domain too large for u32 indices");
+
+    let inv_q = 1.0 / q;
+    let mut k = Vec::with_capacity(n_total);
+    let mut negative = Vec::with_capacity(n_total);
+    for &c in coeffs {
+        k.push(quantize_one(c, inv_q));
+        negative.push(c < 0.0);
+    }
+    let pyramid = MaxPyramid::build(&k, dims);
+    let max_k = pyramid.global_max();
+    if max_k == 0 {
+        return EncodedSpeck {
+            stream: Vec::new(),
+            num_planes: 0,
+            bits_used: 0,
+            significance_bits: 0,
+            sign_bits: 0,
+            refinement_bits: 0,
+        };
+    }
+    let num_planes = (64 - max_k.leading_zeros()) as u8;
+
+    let budget = match term {
+        Termination::Quality => usize::MAX,
+        Termination::BitBudget(b) => b,
+    };
+    let mut enc = Encoder {
+        dims,
+        k: &k,
+        negative: &negative,
+        pyramid: &pyramid,
+        lis: vec![vec![SetS::root(dims)]],
+        lsp: Vec::new(),
+        lsp_new: Vec::new(),
+        out: BitWriter::with_capacity_bits(n_total / 2),
+        budget,
+        significance_bits: 0,
+        sign_bits: 0,
+        refinement_bits: 0,
+    };
+
+    'planes: for n in (0..num_planes as u32).rev() {
+        if enc.sorting_pass(n).is_err() {
+            break 'planes;
+        }
+        if enc.refinement_pass(n).is_err() {
+            break 'planes;
+        }
+    }
+
+    let bits_used = enc.out.len_bits();
+    EncodedSpeck {
+        significance_bits: enc.significance_bits,
+        sign_bits: enc.sign_bits,
+        refinement_bits: enc.refinement_bits,
+        stream: enc.out.into_bytes(),
+        num_planes,
+        bits_used,
+    }
+}
+
+// ---------------------------------------------------------------- decoder
+
+struct Decoder<'a, const D: usize> {
+    dims: [usize; D],
+    k_rec: Vec<u64>,
+    negative: Vec<bool>,
+    /// Plane index below which a found coefficient's bits are unknown.
+    uncert: Vec<u8>,
+    lis: Vec<Vec<SetS<D>>>,
+    lsp: Vec<u32>,
+    lsp_new: Vec<u32>,
+    input: BitReader<'a>,
+}
+
+impl<'a, const D: usize> Decoder<'a, D> {
+    #[inline]
+    fn read_bit(&mut self) -> Result<bool, Stop> {
+        self.input.get_bit().map_err(|_| Stop)
+    }
+
+    fn push_lis(&mut self, set: SetS<D>) {
+        let lvl = set.part_level as usize;
+        if self.lis.len() <= lvl {
+            self.lis.resize_with(lvl + 1, Vec::new);
+        }
+        self.lis[lvl].push(set);
+    }
+
+    fn sorting_pass(&mut self, n: u32) -> Result<(), Stop> {
+        for lvl in (0..self.lis.len()).rev() {
+            let bucket = std::mem::take(&mut self.lis[lvl]);
+            for (i, set) in bucket.iter().enumerate() {
+                if let Err(stop) = self.process_s(*set, n) {
+                    // Put the unprocessed remainder back so state stays sane
+                    // (reconstruction happens right after a Stop anyway).
+                    for rest in &bucket[i + 1..] {
+                        self.push_lis(*rest);
+                    }
+                    return Err(stop);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn process_s(&mut self, set: SetS<D>, n: u32) -> Result<(), Stop> {
+        let sig = self.read_bit()?;
+        if sig {
+            if set.is_pixel() {
+                let idx = set.pixel_index(self.dims);
+                let neg = self.read_bit()?;
+                self.negative[idx] = neg;
+                self.k_rec[idx] = 1u64 << n;
+                self.uncert[idx] = n as u8;
+                self.lsp_new.push(idx as u32);
+            } else {
+                self.code_s(&set, n)?;
+            }
+        } else {
+            self.push_lis(set);
+        }
+        Ok(())
+    }
+
+    fn code_s(&mut self, set: &SetS<D>, n: u32) -> Result<(), Stop> {
+        let mut children = [*set; 8];
+        let mut count = 0usize;
+        set.split(|c| {
+            children[count] = c;
+            count += 1;
+        });
+        for child in children.iter().take(count) {
+            self.process_s(*child, n)?;
+        }
+        Ok(())
+    }
+
+    fn refinement_pass(&mut self, n: u32) -> Result<(), Stop> {
+        for i in 0..self.lsp.len() {
+            let idx = self.lsp[i] as usize;
+            let bit = self.read_bit()?;
+            if bit {
+                self.k_rec[idx] |= 1u64 << n;
+            }
+            self.uncert[idx] = n as u8;
+        }
+        let new = std::mem::take(&mut self.lsp_new);
+        self.lsp.extend(new);
+        Ok(())
+    }
+
+    /// Mid-riser reconstruction: a coefficient whose bits below plane
+    /// `uncert` are unknown lies in `[k_rec·q, (k_rec + 2^uncert)·q)`;
+    /// reconstruct at the interval centre.
+    fn reconstruct(&self, q: f64) -> Vec<f64> {
+        self.k_rec
+            .iter()
+            .zip(&self.negative)
+            .zip(&self.uncert)
+            .map(|((&k, &neg), &u)| {
+                if k == 0 {
+                    0.0
+                } else {
+                    let mag = (k as f64 + 0.5 * (1u64 << u) as f64) * q;
+                    if neg {
+                        -mag
+                    } else {
+                        mag
+                    }
+                }
+            })
+            .collect()
+    }
+}
+
+/// Decodes a SPECK stream produced by [`encode`] with the same `dims`, `q`
+/// and `num_planes`. A truncated stream (embedded prefix, or a bit-budget
+/// encode) decodes to a coarser but valid reconstruction; decoding never
+/// fails on short input.
+pub fn decode<const D: usize>(
+    stream: &[u8],
+    dims: [usize; D],
+    q: f64,
+    num_planes: u8,
+) -> Result<Vec<f64>, Error> {
+    assert!(q > 0.0 && q.is_finite(), "quantization step must be positive");
+    let n_total: usize = dims.iter().product();
+    if num_planes == 0 {
+        return Ok(vec![0.0; n_total]);
+    }
+    if num_planes > 64 {
+        return Err(Error::Corrupt("num_planes exceeds 64"));
+    }
+    let mut dec = Decoder {
+        dims,
+        k_rec: vec![0u64; n_total],
+        negative: vec![false; n_total],
+        uncert: vec![0u8; n_total],
+        lis: vec![vec![SetS::root(dims)]],
+        lsp: Vec::new(),
+        lsp_new: Vec::new(),
+        input: BitReader::new(stream),
+    };
+    'planes: for n in (0..num_planes as u32).rev() {
+        if dec.sorting_pass(n).is_err() {
+            break 'planes;
+        }
+        if dec.refinement_pass(n).is_err() {
+            break 'planes;
+        }
+    }
+    Ok(dec.reconstruct(q))
+}

@@ -1,0 +1,276 @@
+//! SPECK: Set-Partitioned Embedded bloCK coding of wavelet coefficients.
+//!
+//! This crate implements the improved SPECK variant described in §III of
+//! the SPERR paper:
+//!
+//! * **Arbitrary quantization thresholds** (§III-C): coefficients are
+//!   pre-scaled by the reciprocal of the finest quantization step `q` and
+//!   coded with integer thresholds `2^n`. The dead zone is `(-q, q)` and
+//!   encoded coefficients reconstruct with a mid-riser quantizer
+//!   (`(i + ½)·q` for magnitudes in `[iq, (i+1)q)`), for a per-coefficient
+//!   quantization error of at most `q/2`.
+//! * **Set partitioning** (§III-B): the transformed domain is recursively
+//!   split into octants (3D) / quadrants (2D) / halves (1D); each split
+//!   puts `len − len/2` samples in the *first* part so set boundaries track
+//!   the dyadic subband layout. One bit is emitted per significance test.
+//! * **Bitplane-by-bitplane coding**: a sorting pass locates newly
+//!   significant coefficients, a refinement pass appends one bit of
+//!   precision to previously found ones. The output is *embedded*: any
+//!   prefix of the bitstream decodes to a valid (coarser) reconstruction,
+//!   which is what enables SPERR's fixed-size compression mode.
+//!
+//! The implementation is generic over dimensionality `D ∈ {1, 2, 3}`.
+//! Significance queries are answered by a max-magnitude pyramid
+//! ([`MaxPyramid`]) built once per encode.
+//!
+//! # Example
+//!
+//! ```
+//! use sperr_speck::{encode, decode, Termination};
+//!
+//! let dims = [8usize, 8, 8];
+//! let coeffs: Vec<f64> = (0..512).map(|i| ((i * 37) % 101) as f64 - 50.0).collect();
+//! let q = 0.5;
+//! let enc = encode(&coeffs, dims, q, Termination::Quality);
+//! let rec = decode(&enc.stream, dims, q, enc.num_planes).unwrap();
+//! for (c, r) in coeffs.iter().zip(&rec) {
+//!     // dead zone + mid-riser: error strictly below q
+//!     assert!((c - r).abs() < q);
+//! }
+//! ```
+
+mod coder;
+mod pyramid;
+mod set;
+
+pub use coder::{decode, encode, reconstruct_quantized, EncodedSpeck, Termination};
+pub use pyramid::MaxPyramid;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<const D: usize>(coeffs: &[f64], dims: [usize; D], q: f64) -> Vec<f64> {
+        let enc = encode(coeffs, dims, q, Termination::Quality);
+        decode(&enc.stream, dims, q, enc.num_planes).unwrap()
+    }
+
+    #[test]
+    fn all_zero_input() {
+        let dims = [4usize, 4, 4];
+        let coeffs = vec![0.0; 64];
+        let enc = encode(&coeffs, dims, 1.0, Termination::Quality);
+        assert_eq!(enc.num_planes, 0);
+        let rec = decode(&enc.stream, dims, 1.0, enc.num_planes).unwrap();
+        assert_eq!(rec, coeffs);
+    }
+
+    #[test]
+    fn dead_zone_reconstructs_to_zero() {
+        let dims = [8usize];
+        // everything strictly inside (-q, q)
+        let coeffs = vec![0.4, -0.3, 0.0, 0.9, -0.99, 0.5, 0.1, -0.7];
+        let rec = roundtrip(&coeffs, dims, 1.0);
+        assert!(rec.iter().all(|&r| r == 0.0));
+    }
+
+    #[test]
+    fn midriser_reconstruction_levels() {
+        let dims = [4usize];
+        let q = 1.0;
+        let coeffs = vec![1.2, -2.7, 5.0, 0.2];
+        let rec = roundtrip(&coeffs, dims, q);
+        // [1,2) -> 1.5 ; [2,3) -> -2.5 ; [5,6) -> 5.5 ; dead zone -> 0
+        assert_eq!(rec, vec![1.5, -2.5, 5.5, 0.0]);
+    }
+
+    #[test]
+    fn quality_mode_error_below_q_3d() {
+        let dims = [9usize, 7, 5];
+        let n = dims.iter().product();
+        let coeffs: Vec<f64> = (0..n)
+            .map(|i| ((i as f64 * 1.7).sin() * 100.0) + ((i % 13) as f64))
+            .collect();
+        for q in [0.1, 0.73, 2.5] {
+            let rec = roundtrip(&coeffs, dims, q);
+            for (c, r) in coeffs.iter().zip(&rec) {
+                assert!((c - r).abs() < q, "q={q}, c={c}, r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn quality_mode_error_below_half_q_outside_deadzone() {
+        let dims = [16usize, 16];
+        let n = 256;
+        let coeffs: Vec<f64> =
+            (0..n).map(|i| (i as f64 * 0.913).tan().clamp(-50.0, 50.0)).collect();
+        let q = 0.25;
+        let rec = roundtrip(&coeffs, dims, q);
+        for (c, r) in coeffs.iter().zip(&rec) {
+            if c.abs() >= q {
+                assert!((c - r).abs() <= q / 2.0 + 1e-12, "c={c} r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_coefficient_domain() {
+        let rec = roundtrip(&[42.0], [1usize], 1.0);
+        assert_eq!(rec, vec![42.5]);
+    }
+
+    #[test]
+    fn single_significant_coefficient_in_volume() {
+        let dims = [16usize, 16, 16];
+        let mut coeffs = vec![0.0; 4096];
+        coeffs[1234] = -77.7;
+        let rec = roundtrip(&coeffs, dims, 0.5);
+        for (i, (&c, &r)) in coeffs.iter().zip(&rec).enumerate() {
+            if i == 1234 {
+                assert!((c - r).abs() < 0.5);
+            } else {
+                assert_eq!(r, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn embedded_prefix_decodes_coarser() {
+        // Truncating the stream must (a) decode without error and (b) give
+        // monotonically non-increasing RMSE as the prefix grows.
+        let dims = [16usize, 16];
+        let coeffs: Vec<f64> = (0..256).map(|i| (i as f64 * 0.31).sin() * 64.0).collect();
+        let q = 0.01;
+        let enc = encode(&coeffs, dims, q, Termination::Quality);
+        let full_len = enc.stream.len();
+        let mut last_rmse = f64::INFINITY;
+        for frac in [0.1, 0.3, 0.5, 0.8, 1.0] {
+            let cut = ((full_len as f64 * frac) as usize).max(1);
+            let rec = decode(&enc.stream[..cut], dims, q, enc.num_planes).unwrap();
+            let rmse = (coeffs
+                .iter()
+                .zip(&rec)
+                .map(|(c, r)| (c - r) * (c - r))
+                .sum::<f64>()
+                / 256.0)
+                .sqrt();
+            assert!(
+                rmse <= last_rmse + 1e-9,
+                "rmse grew at frac={frac}: {rmse} > {last_rmse}"
+            );
+            last_rmse = rmse;
+        }
+        assert!(last_rmse < q, "full decode rmse {last_rmse} >= q {q}");
+    }
+
+    #[test]
+    fn bit_budget_mode_respects_budget() {
+        let dims = [32usize, 32];
+        let coeffs: Vec<f64> = (0..1024).map(|i| (i as f64 * 0.11).cos() * 100.0).collect();
+        let budget_bits = 2000;
+        let enc = encode(&coeffs, dims, 0.001, Termination::BitBudget(budget_bits));
+        assert!(enc.bits_used <= budget_bits);
+        assert!(enc.stream.len() <= budget_bits.div_ceil(8));
+        // Budget-truncated stream still decodes.
+        let rec = decode(&enc.stream, dims, 0.001, enc.num_planes).unwrap();
+        assert_eq!(rec.len(), 1024);
+    }
+
+    #[test]
+    fn budget_and_quality_agree_when_budget_ample() {
+        let dims = [8usize, 8];
+        let coeffs: Vec<f64> = (0..64).map(|i| (i as f64) - 31.5).collect();
+        let q = 0.5;
+        let quality = encode(&coeffs, dims, q, Termination::Quality);
+        let budget = encode(&coeffs, dims, q, Termination::BitBudget(usize::MAX / 2));
+        assert_eq!(quality.stream, budget.stream);
+    }
+
+    #[test]
+    fn decode_empty_stream_is_all_zero() {
+        let dims = [4usize, 4];
+        let rec = decode(&[], dims, 1.0, 5).unwrap();
+        assert_eq!(rec, vec![0.0; 16]);
+    }
+
+    #[test]
+    fn decode_garbage_never_panics() {
+        let dims = [8usize, 8, 8];
+        let garbage: Vec<u8> =
+            (0..997u32).map(|i| (i.wrapping_mul(193) >> 3) as u8).collect();
+        for planes in [1u8, 7, 33, 63] {
+            let rec = decode(&garbage, dims, 0.5, planes);
+            // Must terminate and produce a full-size result or a clean error.
+            if let Ok(v) = rec {
+                assert_eq!(v.len(), 512);
+            }
+        }
+    }
+
+    #[test]
+    fn nonsquare_dims_roundtrip() {
+        for dims in [[5usize, 12, 3], [1, 1, 17], [31, 1, 1], [2, 9, 2]] {
+            let n: usize = dims.iter().product();
+            let coeffs: Vec<f64> = (0..n).map(|i| ((i * 7 % 23) as f64) - 11.0).collect();
+            let q = 0.3;
+            let rec = roundtrip(&coeffs, dims, q);
+            for (c, r) in coeffs.iter().zip(&rec) {
+                assert!((c - r).abs() < q, "dims={dims:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn negative_values_keep_sign() {
+        let dims = [8usize];
+        let coeffs = vec![-3.3, 3.3, -100.0, 100.0, -0.4, 0.4, -7.0, 7.0];
+        let rec = roundtrip(&coeffs, dims, 0.5);
+        for (c, r) in coeffs.iter().zip(&rec) {
+            if c.abs() >= 0.5 {
+                assert_eq!(c.signum(), r.signum(), "c={c} r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn bitrate_decreases_with_larger_q() {
+        let dims = [16usize, 16, 16];
+        let coeffs: Vec<f64> = (0..4096).map(|i| (i as f64 * 0.017).sin() * 50.0).collect();
+        let small = encode(&coeffs, dims, 0.01, Termination::Quality);
+        let large = encode(&coeffs, dims, 1.0, Termination::Quality);
+        assert!(large.bits_used < small.bits_used);
+    }
+
+    #[test]
+    fn bit_type_accounting_sums_to_total() {
+        // §IV-B: every output bit is a significance test, a sign, or a
+        // refinement direction — the three counters must cover the stream.
+        let dims = [12usize, 10, 8];
+        let n: usize = dims.iter().product();
+        let coeffs: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin() * 30.0).collect();
+        let enc = encode(&coeffs, dims, 0.05, Termination::Quality);
+        assert_eq!(
+            enc.significance_bits + enc.sign_bits + enc.refinement_bits,
+            enc.bits_used
+        );
+        assert!(enc.significance_bits > 0);
+        assert!(enc.sign_bits > 0);
+        assert!(enc.refinement_bits > 0);
+    }
+
+    #[test]
+    fn reconstruct_quantized_matches_decode() {
+        // The fast path (used by the SPERR pipeline to locate outliers
+        // without a decode pass) must agree exactly with a full decode of a
+        // quality-mode stream.
+        let dims = [7usize, 11, 3];
+        let n: usize = dims.iter().product();
+        let coeffs: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin() * 20.0).collect();
+        let q = 0.1;
+        let enc = encode(&coeffs, dims, q, Termination::Quality);
+        let via_decode = decode(&enc.stream, dims, q, enc.num_planes).unwrap();
+        let via_fast = reconstruct_quantized(&coeffs, q);
+        assert_eq!(via_decode, via_fast);
+    }
+}

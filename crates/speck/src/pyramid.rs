@@ -1,0 +1,226 @@
+//! Max-magnitude pyramid answering SPECK's set-significance queries.
+//!
+//! A significance test asks "does any coefficient in this cuboid have a
+//! quantized magnitude ≥ 2^n?". Scanning the cuboid per test would make
+//! each sorting pass O(N · sets); instead we build a mip-style pyramid of
+//! per-block maxima once (O(N) total) and answer each query by recursive
+//! block decomposition — O(1) for aligned sets, O(boundary · levels) worst
+//! case.
+
+/// Mip pyramid of running maxima over `2^level`-sized blocks of a
+/// `D`-dimensional row-major array.
+#[derive(Debug)]
+pub struct MaxPyramid<const D: usize> {
+    /// `levels[0]` is the input; each subsequent level halves every axis
+    /// (ceil). The last level is a single cell holding the global max.
+    levels: Vec<(Vec<u64>, [usize; D])>,
+}
+
+impl<const D: usize> MaxPyramid<D> {
+    /// Builds the pyramid over quantized magnitudes `values` with shape
+    /// `dims` (row-major, axis 0 fastest).
+    pub fn build(values: &[u64], dims: [usize; D]) -> Self {
+        assert_eq!(values.len(), dims.iter().product::<usize>());
+        let mut levels: Vec<(Vec<u64>, [usize; D])> = vec![(values.to_vec(), dims)];
+        loop {
+            let (prev, pdims) = levels.last().unwrap();
+            if pdims.iter().all(|&d| d <= 1) {
+                break;
+            }
+            let mut ndims = [0usize; D];
+            for d in 0..D {
+                ndims[d] = pdims[d].div_ceil(2);
+            }
+            let mut next = vec![0u64; ndims.iter().product()];
+            // For each parent cell, max over its up-to-2^D children.
+            let pd = *pdims;
+            let mut coord = [0usize; D];
+            for (pi, slot) in next.iter_mut().enumerate() {
+                // decompose pi into coord (row-major, axis 0 fastest)
+                let mut rest = pi;
+                for d in 0..D {
+                    coord[d] = rest % ndims[d];
+                    rest /= ndims[d];
+                }
+                let mut m = 0u64;
+                let combos = 1usize << D;
+                'combo: for c in 0..combos {
+                    let mut idx = 0usize;
+                    let mut stride = 1usize;
+                    for d in 0..D {
+                        let x = coord[d] * 2 + ((c >> d) & 1);
+                        if x >= pd[d] {
+                            continue 'combo;
+                        }
+                        idx += x * stride;
+                        stride *= pd[d];
+                    }
+                    m = m.max(prev[idx]);
+                }
+                *slot = m;
+            }
+            levels.push((next, ndims));
+        }
+        MaxPyramid { levels }
+    }
+
+    /// Maximum magnitude stored anywhere (top of the pyramid).
+    pub fn global_max(&self) -> u64 {
+        let (top, _) = self.levels.last().unwrap();
+        top.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Maximum over the half-open cuboid `[lo[d], lo[d]+len[d])`.
+    pub fn region_max(&self, lo: [u32; D], len: [u32; D]) -> u64 {
+        let mut hi = [0usize; D];
+        let mut lo_us = [0usize; D];
+        for d in 0..D {
+            lo_us[d] = lo[d] as usize;
+            hi[d] = lo[d] as usize + len[d] as usize;
+        }
+        let top = self.levels.len() - 1;
+        self.recurse(top, [0usize; D], &lo_us, &hi)
+    }
+
+    fn recurse(&self, level: usize, cell: [usize; D], lo: &[usize; D], hi: &[usize; D]) -> u64 {
+        let (data, dims) = &self.levels[level];
+        // Extent of this cell in level-0 coordinates.
+        let base_dims = self.levels[0].1;
+        let mut c_lo = [0usize; D];
+        let mut c_hi = [0usize; D];
+        for d in 0..D {
+            c_lo[d] = cell[d] << level;
+            c_hi[d] = ((cell[d] + 1) << level).min(base_dims[d]);
+            // Disjoint?
+            if c_lo[d] >= hi[d] || c_hi[d] <= lo[d] {
+                return 0;
+            }
+        }
+        // Fully contained?
+        if (0..D).all(|d| lo[d] <= c_lo[d] && c_hi[d] <= hi[d]) {
+            let mut idx = 0usize;
+            let mut stride = 1usize;
+            for d in 0..D {
+                idx += cell[d] * stride;
+                stride *= dims[d];
+            }
+            return data[idx];
+        }
+        debug_assert!(level > 0, "level-0 cells are single points, always contained");
+        // Partial overlap: descend into children.
+        let child_dims = &self.levels[level - 1].1;
+        let mut m = 0u64;
+        let combos = 1usize << D;
+        'combo: for c in 0..combos {
+            let mut child = [0usize; D];
+            for d in 0..D {
+                let x = cell[d] * 2 + ((c >> d) & 1);
+                if x >= child_dims[d] {
+                    continue 'combo;
+                }
+                child[d] = x;
+            }
+            m = m.max(self.recurse(level - 1, child, lo, hi));
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_max<const D: usize>(
+        values: &[u64],
+        dims: [usize; D],
+        lo: [u32; D],
+        len: [u32; D],
+    ) -> u64 {
+        let mut m = 0u64;
+        let total: usize = dims.iter().product();
+        'cell: for i in 0..total {
+            let mut rest = i;
+            for d in 0..D {
+                let x = rest % dims[d];
+                rest /= dims[d];
+                if x < lo[d] as usize || x >= lo[d] as usize + len[d] as usize {
+                    continue 'cell;
+                }
+            }
+            m = m.max(values[i]);
+        }
+        m
+    }
+
+    #[test]
+    fn global_max_matches() {
+        let dims = [7usize, 5];
+        let values: Vec<u64> = (0..35).map(|i| (i * 97 % 41) as u64).collect();
+        let p = MaxPyramid::build(&values, dims);
+        assert_eq!(p.global_max(), *values.iter().max().unwrap());
+    }
+
+    #[test]
+    fn region_queries_match_brute_force_2d() {
+        let dims = [13usize, 9];
+        let values: Vec<u64> = (0..117).map(|i| ((i * 2654435761u64) >> 7) % 1000).collect();
+        let p = MaxPyramid::build(&values, dims);
+        for x0 in [0u32, 3, 7, 12] {
+            for y0 in [0u32, 2, 8] {
+                for lx in [1u32, 2, 5] {
+                    for ly in [1u32, 3] {
+                        if x0 + lx <= 13 && y0 + ly <= 9 {
+                            let lo = [x0, y0];
+                            let len = [lx, ly];
+                            assert_eq!(
+                                p.region_max(lo, len),
+                                brute_max(&values, dims, lo, len),
+                                "lo={lo:?} len={len:?}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn region_queries_match_brute_force_3d() {
+        let dims = [5usize, 6, 4];
+        let values: Vec<u64> = (0..120).map(|i| ((i * 31) % 77) as u64).collect();
+        let p = MaxPyramid::build(&values, dims);
+        // exhaustive over all valid cuboids (small domain)
+        for x0 in 0..5u32 {
+            for y0 in 0..6u32 {
+                for z0 in 0..4u32 {
+                    for lx in 1..=(5 - x0) {
+                        for ly in 1..=(6 - y0) {
+                            for lz in 1..=(4 - z0) {
+                                let lo = [x0, y0, z0];
+                                let len = [lx, ly, lz];
+                                assert_eq!(
+                                    p.region_max(lo, len),
+                                    brute_max(&values, dims, lo, len)
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_cell_domain() {
+        let p = MaxPyramid::build(&[42], [1usize]);
+        assert_eq!(p.global_max(), 42);
+        assert_eq!(p.region_max([0], [1]), 42);
+    }
+
+    #[test]
+    fn all_zeros() {
+        let p = MaxPyramid::build(&[0; 64], [4usize, 4, 4]);
+        assert_eq!(p.global_max(), 0);
+        assert_eq!(p.region_max([1, 1, 1], [2, 2, 2]), 0);
+    }
+}

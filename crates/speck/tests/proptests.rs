@@ -1,0 +1,76 @@
+//! Property tests for the SPECK coder: the quantization-error contract and
+//! the embedded-stream property must hold for arbitrary inputs.
+
+use proptest::prelude::*;
+use sperr_speck::{decode, encode, Termination};
+
+fn field_strategy() -> impl Strategy<Value = (Vec<f64>, [usize; 3])> {
+    (1usize..=10, 1usize..=10, 1usize..=6).prop_flat_map(|(nx, ny, nz)| {
+        let n = nx * ny * nz;
+        prop::collection::vec(-1e6f64..1e6f64, n..=n).prop_map(move |v| (v, [nx, ny, nz]))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn quality_mode_bounds_error_by_q((coeffs, dims) in field_strategy(),
+                                      q in 1e-3f64..1e3) {
+        let enc = encode(&coeffs, dims, q, Termination::Quality);
+        let rec = decode(&enc.stream, dims, q, enc.num_planes).unwrap();
+        for (c, r) in coeffs.iter().zip(&rec) {
+            // Dead-zone values reconstruct as 0 (error < q); coded values
+            // reconstruct mid-riser (error <= q/2).
+            prop_assert!((c - r).abs() < q * (1.0 + 1e-12),
+                         "c={c} r={r} q={q}");
+            if c.abs() >= q {
+                prop_assert!((c - r).abs() <= q / 2.0 * (1.0 + 1e-9));
+            }
+        }
+    }
+
+    #[test]
+    fn zeros_decode_to_zeros((coeffs, dims) in field_strategy(), q in 1e-3f64..1e3) {
+        // Exact-zero coefficients must come back as exact zeros.
+        let mut coeffs = coeffs;
+        for (i, c) in coeffs.iter_mut().enumerate() {
+            if i % 3 == 0 { *c = 0.0; }
+        }
+        let enc = encode(&coeffs, dims, q, Termination::Quality);
+        let rec = decode(&enc.stream, dims, q, enc.num_planes).unwrap();
+        for (i, (&c, &r)) in coeffs.iter().zip(&rec).enumerate() {
+            if c == 0.0 {
+                prop_assert_eq!(r, 0.0, "idx {}", i);
+            }
+        }
+    }
+
+    #[test]
+    fn every_prefix_decodes((coeffs, dims) in field_strategy(), q in 1e-2f64..1e2) {
+        let enc = encode(&coeffs, dims, q, Termination::Quality);
+        // Every byte-prefix must decode to a full-size result without error.
+        let step = (enc.stream.len() / 7).max(1);
+        let n: usize = dims.iter().product();
+        let mut cut = 0;
+        while cut <= enc.stream.len() {
+            let rec = decode(&enc.stream[..cut], dims, q, enc.num_planes).unwrap();
+            prop_assert_eq!(rec.len(), n);
+            cut += step;
+        }
+    }
+
+    #[test]
+    fn budget_prefix_of_quality_stream((coeffs, dims) in field_strategy(), q in 1e-2f64..1e2,
+                                       frac in 0.05f64..1.0) {
+        // A bit-budget encode must be a strict prefix of the quality-mode
+        // stream (same coder state, earlier stop).
+        let full = encode(&coeffs, dims, q, Termination::Quality);
+        let budget_bits = ((full.bits_used as f64) * frac) as usize;
+        let cut = encode(&coeffs, dims, q, Termination::BitBudget(budget_bits));
+        prop_assert!(cut.bits_used <= budget_bits.max(0));
+        let full_bits = &full.stream;
+        let cut_bytes = cut.bits_used / 8;
+        prop_assert_eq!(&cut.stream[..cut_bytes], &full_bits[..cut_bytes]);
+    }
+}

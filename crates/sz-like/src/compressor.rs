@@ -1,0 +1,276 @@
+//! The SZ-like compressor: error-controlled quantization of interpolation
+//! residuals, Huffman coding of the bin indices, lossless post-pass.
+
+use crate::interp::{anchors, sweep};
+use crate::lorenzo;
+use sperr_bitstream::{ByteReader, ByteWriter};
+use sperr_compress_api::{Bound, CompressError, Field, LossyCompressor, Precision};
+use sperr_lossless::huffman;
+use std::cell::RefCell;
+
+const MAGIC: &[u8; 4] = b"SZL1";
+/// Quantization bin radius; residuals needing a bin index beyond this are
+/// stored exactly ("unpredictable data" in SZ terms).
+const RADIUS: i64 = 32768;
+/// Symbol alphabet: bins `-RADIUS..=RADIUS` plus one escape symbol.
+const ALPHABET: usize = 2 * RADIUS as usize + 2;
+const ESCAPE: u32 = (2 * RADIUS + 1) as u32;
+
+/// Anchor-grid spacing exponent: anchors every `2^MAX_LEVEL` points are
+/// stored verbatim (their count is ~`N/2^(3·MAX_LEVEL)`, negligible).
+const MAX_LEVEL: u32 = 6;
+
+/// Which predictor drives the residual coding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Predictor {
+    /// SZ3's multilevel cubic/linear interpolation (Zhao et al. 2021) —
+    /// the default, as in SZ3.
+    #[default]
+    MultilevelInterpolation,
+    /// The classic SZ Lorenzo predictor (Tao et al. 2017) for ablations
+    /// and rough data.
+    Lorenzo,
+}
+
+/// The SZ3-like baseline compressor (see DESIGN.md §5 for fidelity notes).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SzLike {
+    /// Predictor selection (interpolation by default).
+    pub predictor: Predictor,
+}
+
+/// Shorthand for the Lorenzo-predictor configuration.
+pub fn sz_lorenzo() -> SzLike {
+    SzLike { predictor: Predictor::Lorenzo }
+}
+
+impl LossyCompressor for SzLike {
+    fn name(&self) -> &'static str {
+        "SZ-like"
+    }
+
+    fn supports(&self, bound: &Bound) -> bool {
+        matches!(bound, Bound::Pwe(_))
+    }
+
+    fn compress(&self, field: &Field, bound: Bound) -> Result<Vec<u8>, CompressError> {
+        let t = match bound {
+            Bound::Pwe(t) if t > 0.0 && t.is_finite() => t,
+            Bound::Pwe(_) => return Err(CompressError::Invalid("invalid tolerance".into())),
+            _ => return Err(CompressError::Unsupported("SZ-like bounds PWE only")),
+        };
+        if field.is_empty() {
+            return Err(CompressError::Invalid("empty field".into()));
+        }
+        let dims = field.dims;
+        let n = field.len();
+        let bin = 2.0 * t;
+
+        // Reconstruction buffer: predictions must read *reconstructed*
+        // values so the decoder sees identical state. Lorenzo needs no
+        // anchors (out-of-range neighbours are treated as zero).
+        let recon = RefCell::new(vec![0.0f64; n]);
+        let anchor_idx = match self.predictor {
+            Predictor::MultilevelInterpolation => anchors(dims, MAX_LEVEL),
+            Predictor::Lorenzo => Vec::new(),
+        };
+        {
+            let mut r = recon.borrow_mut();
+            for &i in &anchor_idx {
+                r[i] = field.data[i]; // anchors stored exactly
+            }
+        }
+
+        let mut symbols: Vec<u32> = Vec::with_capacity(n);
+        let mut exact: Vec<f64> = Vec::new();
+        {
+            let data = &field.data;
+            let recon_ref = &recon;
+            let get = |p: [usize; 3]| {
+                recon_ref.borrow()[p[0] + dims[0] * (p[1] + dims[1] * p[2])]
+            };
+            let visit = |i: usize, pred: f64| {
+                let err = data[i] - pred;
+                let code = (err / bin).round();
+                if code.abs() <= RADIUS as f64 && code.is_finite() {
+                    let code = code as i64;
+                    let rec = pred + code as f64 * bin;
+                    // Guard against floating-point rounding pushing the
+                    // reconstruction out of tolerance.
+                    if (data[i] - rec).abs() <= t {
+                        symbols.push((code + RADIUS) as u32);
+                        recon_ref.borrow_mut()[i] = rec;
+                        return;
+                    }
+                }
+                symbols.push(ESCAPE);
+                exact.push(data[i]);
+                recon_ref.borrow_mut()[i] = data[i];
+            };
+            match self.predictor {
+                Predictor::MultilevelInterpolation => sweep(dims, MAX_LEVEL, &get, visit),
+                Predictor::Lorenzo => lorenzo::sweep(dims, &get, visit),
+            }
+        }
+
+        // Entropy stage: Huffman over bins (exactly SZ's scheme, §VI-E),
+        // then the lossless pass standing in for ZSTD.
+        let huff = huffman::encode_symbols(&symbols, ALPHABET);
+
+        let mut w = ByteWriter::new();
+        w.put_bytes(MAGIC);
+        w.put_u8(match field.precision {
+            Precision::Double => 0,
+            Precision::Single => 1,
+        });
+        w.put_u8(match self.predictor {
+            Predictor::MultilevelInterpolation => 0,
+            Predictor::Lorenzo => 1,
+        });
+        w.put_f64(t);
+        w.put_u32(dims[0] as u32);
+        w.put_u32(dims[1] as u32);
+        w.put_u32(dims[2] as u32);
+        let r = recon.borrow();
+        w.put_u32(anchor_idx.len() as u32);
+        for &i in &anchor_idx {
+            w.put_f64(r[i]);
+        }
+        w.put_u32(exact.len() as u32);
+        for &v in &exact {
+            w.put_f64(v);
+        }
+        w.put_u64(huff.len() as u64);
+        w.put_bytes(&huff);
+        Ok(sperr_lossless::compress(&w.into_bytes()))
+    }
+
+    fn decompress(&self, stream: &[u8]) -> Result<Field, CompressError> {
+        let container = sperr_lossless::decompress(stream)?;
+        let mut r = ByteReader::new(&container);
+        if r.get_bytes(4)? != MAGIC {
+            return Err(CompressError::Corrupt("bad SZL1 magic".into()));
+        }
+        let precision = match r.get_u8()? {
+            0 => Precision::Double,
+            1 => Precision::Single,
+            p => return Err(CompressError::Corrupt(format!("bad precision {p}"))),
+        };
+        let predictor = match r.get_u8()? {
+            0 => Predictor::MultilevelInterpolation,
+            1 => Predictor::Lorenzo,
+            p => return Err(CompressError::Corrupt(format!("bad predictor {p}"))),
+        };
+        let t = r.get_f64()?;
+        if !(t > 0.0) || !t.is_finite() {
+            return Err(CompressError::Corrupt("bad tolerance".into()));
+        }
+        let dims = [r.get_u32()? as usize, r.get_u32()? as usize, r.get_u32()? as usize];
+        if dims.iter().any(|&d| d == 0) {
+            return Err(CompressError::Corrupt("zero dimension".into()));
+        }
+        let n: usize = dims.iter().product();
+        let bin = 2.0 * t;
+
+        let anchor_idx = match predictor {
+            Predictor::MultilevelInterpolation => anchors(dims, MAX_LEVEL),
+            Predictor::Lorenzo => Vec::new(),
+        };
+        let n_anchors = r.get_u32()? as usize;
+        if n_anchors != anchor_idx.len() {
+            return Err(CompressError::Corrupt("anchor count mismatch".into()));
+        }
+        let recon = RefCell::new(vec![0.0f64; n]);
+        {
+            let mut rc = recon.borrow_mut();
+            for &i in &anchor_idx {
+                rc[i] = r.get_f64()?;
+            }
+        }
+        let n_exact = r.get_u32()? as usize;
+        if n_exact > n {
+            return Err(CompressError::Corrupt("implausible escape count".into()));
+        }
+        let mut exact = Vec::with_capacity(n_exact);
+        for _ in 0..n_exact {
+            exact.push(r.get_f64()?);
+        }
+        let huff_len = r.get_u64()? as usize;
+        let huff = r.get_bytes(huff_len)?;
+        let symbols = huffman::decode_symbols(huff)?;
+        if symbols.len() != n - anchor_idx.len() {
+            return Err(CompressError::Corrupt("symbol count mismatch".into()));
+        }
+
+        let sym_pos = RefCell::new(0usize);
+        let exact_pos = RefCell::new(0usize);
+        let error = RefCell::new(None::<CompressError>);
+        {
+            let recon_ref = &recon;
+            let get =
+                |p: [usize; 3]| recon_ref.borrow()[p[0] + dims[0] * (p[1] + dims[1] * p[2])];
+            let visit = |i: usize, pred: f64| {
+                if error.borrow().is_some() {
+                    return;
+                }
+                let mut sp = sym_pos.borrow_mut();
+                let sym = symbols[*sp];
+                *sp += 1;
+                let value = if sym == ESCAPE {
+                    let mut ep = exact_pos.borrow_mut();
+                    if *ep >= exact.len() {
+                        *error.borrow_mut() =
+                            Some(CompressError::Corrupt("escape list exhausted".into()));
+                        return;
+                    }
+                    let v = exact[*ep];
+                    *ep += 1;
+                    v
+                } else if (sym as usize) < ALPHABET - 1 {
+                    let code = sym as i64 - RADIUS;
+                    pred + code as f64 * bin
+                } else {
+                    *error.borrow_mut() =
+                        Some(CompressError::Corrupt("symbol out of range".into()));
+                    return;
+                };
+                recon_ref.borrow_mut()[i] = value;
+            };
+            match predictor {
+                Predictor::MultilevelInterpolation => sweep(dims, MAX_LEVEL, &get, visit),
+                Predictor::Lorenzo => lorenzo::sweep(dims, &get, visit),
+            }
+        }
+        if let Some(e) = error.into_inner() {
+            return Err(e);
+        }
+        Ok(Field::new(dims, recon.into_inner()).with_precision(precision))
+    }
+}
+
+/// SZ's outlier-coding scheme in isolation, for the Fig. 11 comparison:
+/// quantized corrector integers for *every* point (zero-valued inliers
+/// included, so positions need no coding), Huffman coded and then passed
+/// through the lossless stage — the QCAT `compressQuantBins` equivalent.
+pub fn compress_quant_bins(codes: &[i32]) -> Vec<u8> {
+    // SZ's default of 65536 quantization bins: codes in ±32768.
+    let offset = 1i64 << 15;
+    let symbols: Vec<u32> = codes
+        .iter()
+        .map(|&c| {
+            let s = c as i64 + offset;
+            assert!((0..(1 << 16) + 1).contains(&s), "quant bin {c} out of supported range");
+            s as u32
+        })
+        .collect();
+    let huff = huffman::encode_symbols(&symbols, (1 << 16) + 1);
+    sperr_lossless::compress(&huff)
+}
+
+/// Inverse of [`compress_quant_bins`].
+pub fn decompress_quant_bins(bytes: &[u8]) -> Result<Vec<i32>, CompressError> {
+    let huff = sperr_lossless::decompress(bytes)?;
+    let symbols = huffman::decode_symbols(&huff)?;
+    let offset = 1i64 << 15;
+    Ok(symbols.into_iter().map(|s| (s as i64 - offset) as i32).collect())
+}

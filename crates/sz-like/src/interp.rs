@@ -1,0 +1,214 @@
+//! The multilevel interpolation sweep shared by encoder and decoder.
+//!
+//! SZ3's default predictor (Zhao et al., ICDE 2021) refines a coarse
+//! anchor grid level by level: at each level the known grid (all
+//! coordinates multiples of `stride`) is refined to `stride/2` in three
+//! axis passes, predicting every new point by cubic (4 known neighbours)
+//! or linear (2) interpolation along the active axis from
+//! already-reconstructed values. Enumerating the sweep identically on
+//! both sides is what guarantees encoder/decoder parity, so the traversal
+//! lives here and both sides drive it with a callback.
+
+/// Cubic interpolation weights for the midpoint of 4 equally spaced
+/// samples (Catmull-Rom / SZ3's choice): (-1, 9, 9, -1) / 16.
+#[inline]
+pub fn cubic_mid(a: f64, b: f64, c: f64, d: f64) -> f64 {
+    (-a + 9.0 * b + 9.0 * c - d) / 16.0
+}
+
+/// Prediction for a point along `axis` at `coord`, given known samples at
+/// `coord ± stride` and `coord ± 3·stride` (when in range). Reads
+/// reconstructed values via `get`.
+#[inline]
+fn predict(
+    get: &impl Fn([usize; 3]) -> f64,
+    mut pos: [usize; 3],
+    axis: usize,
+    stride: usize,
+    dim: usize,
+) -> f64 {
+    let c = pos[axis];
+    let left = c >= stride;
+    let right = c + stride < dim;
+    let left2 = c >= 3 * stride;
+    let right2 = c + 3 * stride < dim;
+    match (left, right) {
+        (true, true) => {
+            if left2 && right2 {
+                let mut p = pos;
+                p[axis] = c - 3 * stride;
+                let a = get(p);
+                p[axis] = c - stride;
+                let b = get(p);
+                p[axis] = c + stride;
+                let d = get(p);
+                p[axis] = c + 3 * stride;
+                let e = get(p);
+                cubic_mid(a, b, d, e)
+            } else {
+                let mut p = pos;
+                p[axis] = c - stride;
+                let a = get(p);
+                p[axis] = c + stride;
+                let b = get(p);
+                (a + b) * 0.5
+            }
+        }
+        (true, false) => {
+            pos[axis] = c - stride;
+            get(pos)
+        }
+        (false, true) => {
+            pos[axis] = c + stride;
+            get(pos)
+        }
+        (false, false) => 0.0,
+    }
+}
+
+/// Drives the full multilevel sweep. For every non-anchor point, in a
+/// deterministic order, calls `visit(linear_index, prediction)`; `get`
+/// must return the *reconstructed* value at a (previously visited or
+/// anchor) point.
+///
+/// `max_level` defines the anchor stride `2^max_level`.
+pub fn sweep(
+    dims: [usize; 3],
+    max_level: u32,
+    get: &impl Fn([usize; 3]) -> f64,
+    mut visit: impl FnMut(usize, f64),
+) {
+    let idx = |p: [usize; 3]| p[0] + dims[0] * (p[1] + dims[1] * p[2]);
+    for level in (1..=max_level).rev() {
+        let step = 1usize << level;
+        let half = step >> 1;
+        // Pass per axis; after pass `a`, axis `a` is refined to `half`.
+        for axis in 0..3 {
+            // Enumerate points where coord[axis] is an odd multiple of
+            // `half`, already-refined axes run at `half`, not-yet-refined
+            // axes at `step`.
+            let stride_of = |a: usize| if a < axis { half } else { step };
+            let mut p = [0usize; 3];
+            // iterate z, y, x with their strides; the active axis runs
+            // over odd multiples of half.
+            let ranges: Vec<Vec<usize>> = (0..3)
+                .map(|a| {
+                    if a == axis {
+                        (0..dims[a]).skip(half).step_by(step).collect()
+                    } else {
+                        (0..dims[a]).step_by(stride_of(a)).collect()
+                    }
+                })
+                .collect();
+            for &z in &ranges[2] {
+                p[2] = z;
+                for &y in &ranges[1] {
+                    p[1] = y;
+                    for &x in &ranges[0] {
+                        p[0] = x;
+                        let pred = predict(get, p, axis, half, dims[axis]);
+                        visit(idx(p), pred);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Anchor points: all coordinates multiples of `2^max_level`, in
+/// deterministic (z, y, x) order. Returns linear indices.
+pub fn anchors(dims: [usize; 3], max_level: u32) -> Vec<usize> {
+    let stride = 1usize << max_level;
+    let mut out = Vec::new();
+    for z in (0..dims[2]).step_by(stride) {
+        for y in (0..dims[1]).step_by(stride) {
+            for x in (0..dims[0]).step_by(stride) {
+                out.push(x + dims[0] * (y + dims[1] * z));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::collections::HashSet;
+
+    #[test]
+    fn sweep_visits_every_non_anchor_exactly_once() {
+        for dims in [[9usize, 7, 5], [4, 4, 4], [1, 16, 1], [8, 1, 3]] {
+            let max_level = 3;
+            let n = dims.iter().product::<usize>();
+            let visited = RefCell::new(HashSet::new());
+            sweep(dims, max_level, &|_| 0.0, |i, _| {
+                assert!(visited.borrow_mut().insert(i), "dup visit {i} dims={dims:?}");
+            });
+            let anchor_set: HashSet<usize> = anchors(dims, max_level).into_iter().collect();
+            assert_eq!(
+                visited.borrow().len() + anchor_set.len(),
+                n,
+                "coverage mismatch dims={dims:?}"
+            );
+            assert!(visited.borrow().is_disjoint(&anchor_set));
+        }
+    }
+
+    #[test]
+    fn sweep_only_reads_known_points() {
+        // `get` must only ever be called on anchors or already-visited
+        // points — the property that makes decode mirror encode.
+        let dims = [9usize, 6, 5];
+        let max_level = 2;
+        let known = RefCell::new(
+            anchors(dims, max_level).into_iter().collect::<HashSet<usize>>(),
+        );
+        let dims_c = dims;
+        sweep(
+            dims,
+            max_level,
+            &|p| {
+                let i = p[0] + dims_c[0] * (p[1] + dims_c[1] * p[2]);
+                assert!(known.borrow().contains(&i), "read of unknown point {p:?}");
+                0.0
+            },
+            |i, _| {
+                known.borrow_mut().insert(i);
+            },
+        );
+    }
+
+    #[test]
+    fn linear_data_predicted_exactly() {
+        // Cubic & linear interpolation are exact on affine data, so every
+        // prediction must match the true value (except extrapolated
+        // boundary copies).
+        let dims = [17usize, 9, 5];
+        let f = |p: [usize; 3]| 2.0 * p[0] as f64 - 0.5 * p[1] as f64 + p[2] as f64;
+        let idx_to_p = |i: usize| {
+            [i % dims[0], (i / dims[0]) % dims[1], i / (dims[0] * dims[1])]
+        };
+        let mut interior_errors = 0;
+        sweep(dims, 3, &f, |i, pred| {
+            let p = idx_to_p(i);
+            let truth = f(p);
+            // boundary one-sided predictions are copies, skip those
+            let interior = (0..3).all(|a| p[a] + 1 < dims[a] || p[a] == 0 || dims[a] == 1);
+            if interior && (pred - truth).abs() > 1e-9 {
+                interior_errors += 1;
+            }
+        });
+        // The vast majority of points must be predicted exactly.
+        assert!(interior_errors < dims.iter().product::<usize>() / 10,
+                "{interior_errors} mispredictions");
+    }
+
+    #[test]
+    fn cubic_weights_reproduce_cubics() {
+        // Midpoint of samples of f(x)=x^3 at -3,-1,1,3 is f(0)=0.
+        assert!((cubic_mid(-27.0, -1.0, 1.0, 27.0)).abs() < 1e-12);
+        // And f(x)=x^2: (-9 + 9 + 9 - 9)/16 + ... = exact 0^2?
+        assert!((cubic_mid(9.0, 1.0, 1.0, 9.0)).abs() < 1e-12 + 0.125);
+    }
+}

@@ -1,0 +1,275 @@
+//! Dense symmetric eigendecomposition (cyclic Jacobi) and the tensor
+//! operations HOSVD needs — built from scratch; no external linear
+//! algebra.
+
+/// Eigendecomposition of a symmetric `n×n` matrix (row-major `a[i*n+j]`).
+/// Returns eigenvalues (descending) and eigenvectors as a row-major matrix
+/// whose *column* `j` is the eigenvector of eigenvalue `j`.
+pub fn jacobi_eigen(mut a: Vec<f64>, n: usize) -> (Vec<f64>, Vec<f64>) {
+    assert_eq!(a.len(), n * n);
+    // V starts as identity.
+    let mut v = vec![0.0f64; n * n];
+    for i in 0..n {
+        v[i * n + i] = 1.0;
+    }
+    let off = |a: &[f64]| -> f64 {
+        let mut s = 0.0;
+        for i in 0..n {
+            for j in i + 1..n {
+                s += a[i * n + j] * a[i * n + j];
+            }
+        }
+        s
+    };
+    let scale: f64 = (0..n).map(|i| a[i * n + i].abs()).fold(1e-300, f64::max);
+    let tol = (scale * 1e-14) * (scale * 1e-14) * n as f64;
+    for _sweep in 0..60 {
+        if off(&a) <= tol {
+            break;
+        }
+        for p in 0..n {
+            for q in p + 1..n {
+                let apq = a[p * n + q];
+                if apq.abs() <= scale * 1e-300 {
+                    continue;
+                }
+                let app = a[p * n + p];
+                let aqq = a[q * n + q];
+                // Rotation angle.
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // Apply Givens rotation to rows/cols p,q of A.
+                for k in 0..n {
+                    let akp = a[k * n + p];
+                    let akq = a[k * n + q];
+                    a[k * n + p] = c * akp - s * akq;
+                    a[k * n + q] = s * akp + c * akq;
+                }
+                for k in 0..n {
+                    let apk = a[p * n + k];
+                    let aqk = a[q * n + k];
+                    a[p * n + k] = c * apk - s * aqk;
+                    a[q * n + k] = s * apk + c * aqk;
+                }
+                // Accumulate into V.
+                for k in 0..n {
+                    let vkp = v[k * n + p];
+                    let vkq = v[k * n + q];
+                    v[k * n + p] = c * vkp - s * vkq;
+                    v[k * n + q] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    // Extract and sort by descending eigenvalue.
+    let mut pairs: Vec<(f64, usize)> = (0..n).map(|i| (a[i * n + i], i)).collect();
+    pairs.sort_by(|x, y| y.0.partial_cmp(&x.0).unwrap());
+    let eigvals: Vec<f64> = pairs.iter().map(|&(val, _)| val).collect();
+    let mut eigvecs = vec![0.0f64; n * n];
+    for (new_col, &(_, old_col)) in pairs.iter().enumerate() {
+        for i in 0..n {
+            eigvecs[i * n + new_col] = v[i * n + old_col];
+        }
+    }
+    (eigvals, eigvecs)
+}
+
+/// Gram matrix of the mode-`m` unfolding: `G[a][b] = Σ X[..a..] X[..b..]`
+/// where `a, b` index coordinate `m` and the sum runs over the other two
+/// coordinates.
+pub fn mode_gram(x: &[f64], dims: [usize; 3], mode: usize) -> Vec<f64> {
+    let n = dims[mode];
+    let mut g = vec![0.0f64; n * n];
+    let strides = [1usize, dims[0], dims[0] * dims[1]];
+    let (a, b) = match mode {
+        0 => (1, 2),
+        1 => (0, 2),
+        _ => (0, 1),
+    };
+    let mut fiber = vec![0.0f64; n];
+    for jb in 0..dims[b] {
+        for ja in 0..dims[a] {
+            let base = ja * strides[a] + jb * strides[b];
+            for (i, slot) in fiber.iter_mut().enumerate() {
+                *slot = x[base + i * strides[mode]];
+            }
+            // rank-1 update (symmetric; fill upper then mirror at the end)
+            for p in 0..n {
+                let fp = fiber[p];
+                if fp == 0.0 {
+                    continue;
+                }
+                for q in p..n {
+                    g[p * n + q] += fp * fiber[q];
+                }
+            }
+        }
+    }
+    for p in 0..n {
+        for q in 0..p {
+            g[p * n + q] = g[q * n + p];
+        }
+    }
+    g
+}
+
+/// Mode-`m` tensor-times-matrix: `Y[.. j ..] = Σ_a M[j,a] · X[.. a ..]`,
+/// with `M` row-major `n×n` (square here — no rank truncation; the coder
+/// truncates by bitplane instead, as TTHRESH does). If `transpose`, uses
+/// `M^T` instead.
+pub fn ttm(x: &[f64], dims: [usize; 3], mode: usize, m: &[f64], transpose: bool) -> Vec<f64> {
+    let n = dims[mode];
+    assert_eq!(m.len(), n * n);
+    let strides = [1usize, dims[0], dims[0] * dims[1]];
+    let (a, b) = match mode {
+        0 => (1, 2),
+        1 => (0, 2),
+        _ => (0, 1),
+    };
+    let mut out = vec![0.0f64; x.len()];
+    let mut fiber = vec![0.0f64; n];
+    for jb in 0..dims[b] {
+        for ja in 0..dims[a] {
+            let base = ja * strides[a] + jb * strides[b];
+            for (i, slot) in fiber.iter_mut().enumerate() {
+                *slot = x[base + i * strides[mode]];
+            }
+            for j in 0..n {
+                let mut acc = 0.0;
+                for (aa, &f) in fiber.iter().enumerate() {
+                    let coef = if transpose { m[aa * n + j] } else { m[j * n + aa] };
+                    acc += coef * f;
+                }
+                out[base + j * strides[mode]] = acc;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jacobi_diagonal_matrix() {
+        let a = vec![3.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 2.0];
+        let (vals, _) = jacobi_eigen(a, 3);
+        assert!((vals[0] - 3.0).abs() < 1e-12);
+        assert!((vals[1] - 2.0).abs() < 1e-12);
+        assert!((vals[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jacobi_known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let (vals, vecs) = jacobi_eigen(vec![2.0, 1.0, 1.0, 2.0], 2);
+        assert!((vals[0] - 3.0).abs() < 1e-12);
+        assert!((vals[1] - 1.0).abs() < 1e-12);
+        // eigenvector of 3 is (1,1)/sqrt(2)
+        let (v0, v1) = (vecs[0], vecs[2]);
+        assert!((v0.abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-10);
+        assert!((v0 - v1).abs() < 1e-10);
+    }
+
+    #[test]
+    fn jacobi_eigenvectors_orthonormal() {
+        let n = 12;
+        let mut a = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                let v = ((i * 31 + j * 17) % 13) as f64 - 6.0;
+                a[i * n + j] += v;
+                a[j * n + i] += v;
+            }
+        }
+        let (_, v) = jacobi_eigen(a, n);
+        for c1 in 0..n {
+            for c2 in 0..n {
+                let dot: f64 = (0..n).map(|i| v[i * n + c1] * v[i * n + c2]).sum();
+                let want = if c1 == c2 { 1.0 } else { 0.0 };
+                assert!((dot - want).abs() < 1e-9, "cols {c1},{c2}: {dot}");
+            }
+        }
+    }
+
+    #[test]
+    fn jacobi_reconstructs_matrix() {
+        // A = V diag(λ) V^T
+        let n = 8;
+        let mut a = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in i..n {
+                let v = (1.0 + (i * j) as f64).sin();
+                a[i * n + j] = v;
+                a[j * n + i] = v;
+            }
+        }
+        let orig = a.clone();
+        let (vals, v) = jacobi_eigen(a, n);
+        for i in 0..n {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for k in 0..n {
+                    acc += v[i * n + k] * vals[k] * v[j * n + k];
+                }
+                assert!((acc - orig[i * n + j]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn ttm_transpose_inverts_orthogonal() {
+        // With an orthogonal M, ttm(ttm(X, M^T), M) == X.
+        let dims = [4usize, 3, 2];
+        let x: Vec<f64> = (0..24).map(|i| (i as f64 * 0.7).sin()).collect();
+        // Build an orthogonal 4x4 from Jacobi of a symmetric matrix.
+        let mut sym = vec![0.0f64; 16];
+        for i in 0..4 {
+            for j in i..4 {
+                let v = ((i + 2 * j) as f64).cos();
+                sym[i * 4 + j] = v;
+                sym[j * 4 + i] = v;
+            }
+        }
+        let (_, u) = jacobi_eigen(sym, 4);
+        let core = ttm(&x, dims, 0, &u, true);
+        let back = ttm(&core, dims, 0, &u, false);
+        for (a, b) in x.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn gram_matches_brute_force() {
+        let dims = [3usize, 4, 2];
+        let x: Vec<f64> = (0..24).map(|i| ((i * i) % 7) as f64 - 3.0).collect();
+        for mode in 0..3 {
+            let g = mode_gram(&x, dims, mode);
+            let n = dims[mode];
+            // brute force
+            for a in 0..n {
+                for b in 0..n {
+                    let mut want = 0.0;
+                    for z in 0..dims[2] {
+                        for y in 0..dims[1] {
+                            for xx in 0..dims[0] {
+                                let p = [xx, y, z];
+                                if p[mode] != a {
+                                    continue;
+                                }
+                                let mut p2 = p;
+                                p2[mode] = b;
+                                want += x[p[0] + dims[0] * (p[1] + dims[1] * p[2])]
+                                    * x[p2[0] + dims[0] * (p2[1] + dims[1] * p2[2])];
+                            }
+                        }
+                    }
+                    assert!((g[a * n + b] - want).abs() < 1e-9, "mode {mode} ({a},{b})");
+                }
+            }
+        }
+    }
+}

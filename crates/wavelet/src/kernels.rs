@@ -1,0 +1,227 @@
+//! Lifting kernels: CDF 9/7 (the paper's choice), CDF 5/3 and Haar
+//! (ablation alternatives).
+//!
+//! All kernels operate *in place* on an interleaved signal
+//! `[s0 d0 s1 d1 ...]` and finish by de-interleaving into the dyadic
+//! `[approx... | detail...]` packing (forward) or the reverse (inverse).
+//! Boundary handling is whole-sample symmetric extension: index `-i`
+//! reflects to `i` and index `n-1+i` to `n-1-i`, matching QccPack.
+
+/// Daubechies–Sweldens lifting constants for CDF 9/7.
+const ALPHA: f64 = -1.586_134_342_059_924;
+const BETA: f64 = -0.052_980_118_572_961;
+const GAMMA: f64 = 0.882_911_075_530_934;
+const DELTA: f64 = 0.443_506_852_043_971;
+/// Final scaling chosen so the analysis low-pass has DC gain √2, i.e. the
+/// synthesis basis functions have approximately unit norm (§III-A).
+const ZETA: f64 = std::f64::consts::SQRT_2 / 1.230_174_104_914_001;
+const INV_ZETA: f64 = 1.0 / ZETA;
+
+/// Which wavelet filter bank to apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Kernel {
+    /// Cohen–Daubechies–Feauveau 9/7 — the paper's production choice.
+    #[default]
+    Cdf97,
+    /// CDF 5/3 (LeGall) — shorter filters, cheaper, worse compaction.
+    Cdf53,
+    /// Haar — trivial two-tap kernel, the compaction floor.
+    Haar,
+}
+
+impl Kernel {
+    /// Human-readable name for harness output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::Cdf97 => "CDF 9/7",
+            Kernel::Cdf53 => "CDF 5/3",
+            Kernel::Haar => "Haar",
+        }
+    }
+
+    /// One forward level on `buf[..n]`, leaving `[approx | detail]`.
+    /// `scratch` must be at least `n` long.
+    pub(crate) fn forward_line(self, buf: &mut [f64], n: usize, scratch: &mut [f64]) {
+        debug_assert!(buf.len() >= n && scratch.len() >= n);
+        if n < 2 {
+            return;
+        }
+        match self {
+            Kernel::Cdf97 => {
+                lift_odd(buf, n, ALPHA);
+                lift_even(buf, n, BETA);
+                lift_odd(buf, n, GAMMA);
+                lift_even(buf, n, DELTA);
+                scale(buf, n, ZETA, INV_ZETA);
+            }
+            Kernel::Cdf53 => {
+                lift_odd(buf, n, -0.5);
+                lift_even(buf, n, 0.25);
+                scale(buf, n, std::f64::consts::SQRT_2, std::f64::consts::FRAC_1_SQRT_2);
+            }
+            Kernel::Haar => {
+                // Pairwise orthonormal butterfly; a trailing unpaired sample
+                // passes through to the approximation band unchanged.
+                let s = std::f64::consts::FRAC_1_SQRT_2;
+                let mut i = 0;
+                while i + 1 < n {
+                    let a = buf[i];
+                    let b = buf[i + 1];
+                    buf[i] = (a + b) * s;
+                    buf[i + 1] = (a - b) * s;
+                    i += 2;
+                }
+            }
+        }
+        deinterleave(buf, n, scratch);
+    }
+
+    /// One inverse level on `buf[..n]`, consuming `[approx | detail]`.
+    pub(crate) fn inverse_line(self, buf: &mut [f64], n: usize, scratch: &mut [f64]) {
+        debug_assert!(buf.len() >= n && scratch.len() >= n);
+        if n < 2 {
+            return;
+        }
+        interleave(buf, n, scratch);
+        match self {
+            Kernel::Cdf97 => {
+                scale(buf, n, INV_ZETA, ZETA);
+                lift_even(buf, n, -DELTA);
+                lift_odd(buf, n, -GAMMA);
+                lift_even(buf, n, -BETA);
+                lift_odd(buf, n, -ALPHA);
+            }
+            Kernel::Cdf53 => {
+                scale(buf, n, std::f64::consts::FRAC_1_SQRT_2, std::f64::consts::SQRT_2);
+                lift_even(buf, n, -0.25);
+                lift_odd(buf, n, 0.5);
+            }
+            Kernel::Haar => {
+                let s = std::f64::consts::FRAC_1_SQRT_2;
+                let mut i = 0;
+                while i + 1 < n {
+                    let lo = buf[i];
+                    let hi = buf[i + 1];
+                    buf[i] = (lo + hi) * s;
+                    buf[i + 1] = (lo - hi) * s;
+                    i += 2;
+                }
+            }
+        }
+    }
+}
+
+/// `x[i] += c * (x[i-1] + x[i+1])` for odd `i`, symmetric extension.
+#[inline]
+fn lift_odd(x: &mut [f64], n: usize, c: f64) {
+    // Interior odd samples always have both neighbours in range except the
+    // last sample when n is even.
+    let mut i = 1;
+    while i + 1 < n {
+        x[i] += c * (x[i - 1] + x[i + 1]);
+        i += 2;
+    }
+    if n % 2 == 0 {
+        // i == n-1: right neighbour n reflects to n-2.
+        x[n - 1] += c * 2.0 * x[n - 2];
+    }
+}
+
+/// `x[i] += c * (x[i-1] + x[i+1])` for even `i`, symmetric extension.
+#[inline]
+fn lift_even(x: &mut [f64], n: usize, c: f64) {
+    // i == 0: left neighbour -1 reflects to 1.
+    x[0] += c * 2.0 * x[1];
+    let mut i = 2;
+    while i + 1 < n {
+        x[i] += c * (x[i - 1] + x[i + 1]);
+        i += 2;
+    }
+    if n % 2 == 1 {
+        // i == n-1 (even index): right neighbour reflects to n-2.
+        x[n - 1] += c * 2.0 * x[n - 2];
+    }
+}
+
+/// Scales even samples by `se` and odd samples by `so`.
+#[inline]
+fn scale(x: &mut [f64], n: usize, se: f64, so: f64) {
+    let mut i = 0;
+    while i < n {
+        x[i] *= se;
+        i += 2;
+    }
+    let mut i = 1;
+    while i < n {
+        x[i] *= so;
+        i += 2;
+    }
+}
+
+/// `[s0 d0 s1 d1 ...]` -> `[s0 s1 ... | d0 d1 ...]`.
+#[inline]
+fn deinterleave(x: &mut [f64], n: usize, scratch: &mut [f64]) {
+    let half = n.div_ceil(2);
+    for i in 0..half {
+        scratch[i] = x[2 * i];
+    }
+    for i in 0..n / 2 {
+        scratch[half + i] = x[2 * i + 1];
+    }
+    x[..n].copy_from_slice(&scratch[..n]);
+}
+
+/// `[s... | d...]` -> `[s0 d0 s1 d1 ...]`.
+#[inline]
+fn interleave(x: &mut [f64], n: usize, scratch: &mut [f64]) {
+    let half = n.div_ceil(2);
+    for i in 0..half {
+        scratch[2 * i] = x[i];
+    }
+    for i in 0..n / 2 {
+        scratch[2 * i + 1] = x[half + i];
+    }
+    x[..n].copy_from_slice(&scratch[..n]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deinterleave_then_interleave_is_identity() {
+        for n in 1..20 {
+            let orig: Vec<f64> = (0..n).map(|i| i as f64).collect();
+            let mut x = orig.clone();
+            let mut scratch = vec![0.0; n];
+            deinterleave(&mut x, n, &mut scratch);
+            interleave(&mut x, n, &mut scratch);
+            assert_eq!(x, orig, "n={n}");
+        }
+    }
+
+    #[test]
+    fn deinterleave_layout() {
+        let mut x = vec![0.0, 1.0, 2.0, 3.0, 4.0];
+        let mut scratch = vec![0.0; 5];
+        deinterleave(&mut x, 5, &mut scratch);
+        assert_eq!(x, vec![0.0, 2.0, 4.0, 1.0, 3.0]);
+    }
+
+    #[test]
+    fn two_sample_line_roundtrip() {
+        for kernel in [Kernel::Cdf97, Kernel::Cdf53, Kernel::Haar] {
+            let mut x = vec![1.0, -2.0];
+            let mut scratch = vec![0.0; 2];
+            kernel.forward_line(&mut x, 2, &mut scratch);
+            kernel.inverse_line(&mut x, 2, &mut scratch);
+            assert!((x[0] - 1.0).abs() < 1e-12 && (x[1] + 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn kernel_names() {
+        assert_eq!(Kernel::Cdf97.name(), "CDF 9/7");
+        assert_eq!(Kernel::default(), Kernel::Cdf97);
+    }
+}

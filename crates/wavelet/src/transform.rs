@@ -1,0 +1,221 @@
+//! Multilevel, multi-dimensional transform driver.
+//!
+//! 2D/3D transforms are separable: each level applies the 1D kernel along
+//! every axis of the current approximation sub-box ("transforms are
+//! separately applied along each axis", §III-A), then halves the
+//! transformed axes. Axes with fewer levels (short dimensions) simply stop
+//! participating once their level budget is exhausted.
+
+use crate::kernels::Kernel;
+
+/// Number of recursive transform passes for an axis of length `n`:
+/// `min(6, ⌊log2 n⌋ − 2)`, clamped to 0 for short axes (paper §III-A).
+pub fn num_levels(n: usize) -> usize {
+    if n < 8 {
+        return 0;
+    }
+    let log2 = usize::BITS as usize - 1 - n.leading_zeros() as usize;
+    (log2 - 2).min(6)
+}
+
+/// Per-axis level counts for a 3D volume, using [`num_levels`].
+pub fn levels_for_dims(dims: [usize; 3]) -> [usize; 3] {
+    [num_levels(dims[0]), num_levels(dims[1]), num_levels(dims[2])]
+}
+
+/// Length of the approximation band after one level on an axis of length
+/// `n` (`ceil(n/2)`; the low band is packed first).
+pub fn approx_len(n: usize) -> usize {
+    n.div_ceil(2)
+}
+
+/// Forward multilevel transform of a 1D signal in place.
+pub fn forward_1d(data: &mut [f64], n: usize, levels: usize, kernel: Kernel) {
+    assert!(data.len() >= n);
+    let mut scratch = vec![0.0; n];
+    let mut len = n;
+    for _ in 0..levels {
+        if len < 2 {
+            break;
+        }
+        kernel.forward_line(data, len, &mut scratch);
+        len = approx_len(len);
+    }
+}
+
+/// Inverse of [`forward_1d`].
+pub fn inverse_1d(data: &mut [f64], n: usize, levels: usize, kernel: Kernel) {
+    assert!(data.len() >= n);
+    let mut scratch = vec![0.0; n];
+    // Recompute the per-level lengths, then undo them in reverse order.
+    let mut lens = Vec::with_capacity(levels);
+    let mut len = n;
+    for _ in 0..levels {
+        if len < 2 {
+            break;
+        }
+        lens.push(len);
+        len = approx_len(len);
+    }
+    for &len in lens.iter().rev() {
+        kernel.inverse_line(data, len, &mut scratch);
+    }
+}
+
+/// Forward multilevel transform of a row-major 2D field in place.
+/// `dims = [nx, ny]` with `x` fastest-varying.
+pub fn forward_2d(data: &mut [f64], dims: [usize; 2], levels: [usize; 2], kernel: Kernel) {
+    let d3 = [dims[0], dims[1], 1];
+    forward_3d(data, d3, [levels[0], levels[1], 0], kernel);
+}
+
+/// Inverse of [`forward_2d`].
+pub fn inverse_2d(data: &mut [f64], dims: [usize; 2], levels: [usize; 2], kernel: Kernel) {
+    let d3 = [dims[0], dims[1], 1];
+    inverse_3d(data, d3, [levels[0], levels[1], 0], kernel);
+}
+
+/// Forward multilevel transform of a row-major 3D volume in place.
+/// `dims = [nx, ny, nz]` with `x` fastest-varying (index
+/// `x + nx*(y + ny*z)`).
+pub fn forward_3d(data: &mut [f64], dims: [usize; 3], levels: [usize; 3], kernel: Kernel) {
+    assert_eq!(data.len(), dims[0] * dims[1] * dims[2], "data/dims mismatch");
+    let max_levels = levels.iter().copied().max().unwrap_or(0);
+    let max_dim = dims.iter().copied().max().unwrap_or(0);
+    let mut line = vec![0.0; max_dim];
+    let mut scratch = vec![0.0; max_dim];
+    let mut cur = dims;
+    for level in 0..max_levels {
+        for axis in 0..3 {
+            if level < levels[axis] && cur[axis] >= 2 {
+                apply_axis(data, dims, cur, axis, &mut line, &mut scratch, |buf, n, s| {
+                    kernel.forward_line(buf, n, s)
+                });
+                cur[axis] = approx_len(cur[axis]);
+            }
+        }
+    }
+}
+
+/// Inverse of [`forward_3d`].
+pub fn inverse_3d(data: &mut [f64], dims: [usize; 3], levels: [usize; 3], kernel: Kernel) {
+    inverse_3d_partial(data, dims, levels, 0, kernel);
+}
+
+/// Partial inverse supporting multi-resolution reconstruction (paper
+/// §VII: each coarsened hierarchy level resembles the full-resolution
+/// data): undoes all forward steps *except* the finest `skip_finest`
+/// levels on each axis. Afterwards, the sub-box
+/// `[0, coarse_dims(dims, levels, skip_finest))` holds the reconstructed
+/// approximation of the data at that resolution (values carry the
+/// kernel's per-level DC gain, √2 per skipped level for the unit-norm
+/// kernels — divide by `2^(skip/2)` per axis for physical units; see
+/// [`coarse_scale`]).
+pub fn inverse_3d_partial(
+    data: &mut [f64],
+    dims: [usize; 3],
+    levels: [usize; 3],
+    skip_finest: usize,
+    kernel: Kernel,
+) {
+    assert_eq!(data.len(), dims[0] * dims[1] * dims[2], "data/dims mismatch");
+    let max_levels = levels.iter().copied().max().unwrap_or(0);
+    let max_dim = dims.iter().copied().max().unwrap_or(0);
+    let mut line = vec![0.0; max_dim];
+    let mut scratch = vec![0.0; max_dim];
+
+    // Replay the forward schedule to learn each step's box size, then undo
+    // the steps last-to-first, stopping before the finest `skip_finest`
+    // levels.
+    let mut schedule: Vec<(usize, usize, usize)> = Vec::new(); // (level, axis, len before)
+    let mut cur = dims;
+    for level in 0..max_levels {
+        for axis in 0..3 {
+            if level < levels[axis] && cur[axis] >= 2 {
+                schedule.push((level, axis, cur[axis]));
+                cur[axis] = approx_len(cur[axis]);
+            }
+        }
+    }
+    for &(level, axis, len_before) in schedule.iter().rev() {
+        if level < skip_finest {
+            continue;
+        }
+        cur[axis] = len_before;
+        apply_axis(data, dims, cur, axis, &mut line, &mut scratch, |buf, n, s| {
+            kernel.inverse_line(buf, n, s)
+        });
+    }
+}
+
+/// Dimensions of the approximation sub-box after `skip_finest` forward
+/// levels remain un-inverted (companion to [`inverse_3d_partial`]).
+pub fn coarse_dims(dims: [usize; 3], levels: [usize; 3], skip_finest: usize) -> [usize; 3] {
+    let mut out = dims;
+    for axis in 0..3 {
+        for _ in 0..skip_finest.min(levels[axis]) {
+            if out[axis] >= 2 {
+                out[axis] = approx_len(out[axis]);
+            }
+        }
+    }
+    out
+}
+
+/// Amplitude scale carried by the approximation band at a coarse
+/// resolution: the unit-norm kernels gain √2 per level per transformed
+/// axis. Divide coarse samples by this to recover physical units.
+pub fn coarse_scale(dims: [usize; 3], levels: [usize; 3], skip_finest: usize) -> f64 {
+    let mut transformed_axis_levels = 0usize;
+    for axis in 0..3 {
+        let mut len = dims[axis];
+        for lv in 0..levels[axis].min(skip_finest) {
+            let _ = lv;
+            if len >= 2 {
+                transformed_axis_levels += 1;
+                len = approx_len(len);
+            }
+        }
+    }
+    f64::exp2(transformed_axis_levels as f64 / 2.0)
+}
+
+/// Applies `f` to every line along `axis` within the sub-box
+/// `[0, cur[0]) x [0, cur[1]) x [0, cur[2])` of the full `dims` array.
+fn apply_axis(
+    data: &mut [f64],
+    dims: [usize; 3],
+    cur: [usize; 3],
+    axis: usize,
+    line: &mut [f64],
+    scratch: &mut [f64],
+    mut f: impl FnMut(&mut [f64], usize, &mut [f64]),
+) {
+    let n = cur[axis];
+    let (stride_x, stride_y, stride_z) = (1, dims[0], dims[0] * dims[1]);
+    let strides = [stride_x, stride_y, stride_z];
+    let stride = strides[axis];
+    // The two non-transformed axes.
+    let (a, b) = match axis {
+        0 => (1, 2),
+        1 => (0, 2),
+        _ => (0, 1),
+    };
+    for jb in 0..cur[b] {
+        for ja in 0..cur[a] {
+            let base = ja * strides[a] + jb * strides[b];
+            if stride == 1 {
+                // Contiguous fast path along x.
+                f(&mut data[base..base + n], n, scratch);
+            } else {
+                for (i, slot) in line[..n].iter_mut().enumerate() {
+                    *slot = data[base + i * stride];
+                }
+                f(line, n, scratch);
+                for (i, &v) in line[..n].iter().enumerate() {
+                    data[base + i * stride] = v;
+                }
+            }
+        }
+    }
+}

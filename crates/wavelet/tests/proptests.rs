@@ -1,0 +1,88 @@
+//! Property tests for the wavelet substrate: perfect reconstruction and
+//! energy behaviour for arbitrary shapes, level counts and kernels.
+
+use proptest::prelude::*;
+use sperr_wavelet::{
+    coarse_dims, forward_3d, inverse_3d, inverse_3d_partial, levels_for_dims, num_levels, Kernel,
+};
+
+fn kernel_strategy() -> impl Strategy<Value = Kernel> {
+    prop_oneof![Just(Kernel::Cdf97), Just(Kernel::Cdf53), Just(Kernel::Haar)]
+}
+
+fn volume_strategy() -> impl Strategy<Value = (Vec<f64>, [usize; 3])> {
+    (1usize..=20, 1usize..=20, 1usize..=12).prop_flat_map(|(nx, ny, nz)| {
+        let n = nx * ny * nz;
+        prop::collection::vec(-1e4f64..1e4, n..=n).prop_map(move |v| (v, [nx, ny, nz]))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn perfect_reconstruction_any_shape((data, dims) in volume_strategy(),
+                                        kernel in kernel_strategy(),
+                                        extra_levels in 0usize..3) {
+        let rule = levels_for_dims(dims);
+        // Also exercise levels beyond the rule (driver must handle them).
+        let levels = [rule[0] + extra_levels, rule[1] + extra_levels, rule[2] + extra_levels];
+        let mut work = data.clone();
+        forward_3d(&mut work, dims, levels, kernel);
+        inverse_3d(&mut work, dims, levels, kernel);
+        let scale = data.iter().fold(1.0f64, |m, v| m.max(v.abs()));
+        for (a, b) in data.iter().zip(&work) {
+            prop_assert!((a - b).abs() <= scale * 1e-10,
+                         "PR violation: {a} vs {b} (dims {dims:?}, kernel {kernel:?})");
+        }
+    }
+
+    #[test]
+    fn energy_roughly_preserved_cdf97((data, dims) in volume_strategy()) {
+        let levels = levels_for_dims(dims);
+        let mut work = data.clone();
+        forward_3d(&mut work, dims, levels, Kernel::Cdf97);
+        let e_in: f64 = data.iter().map(|v| v * v).sum();
+        let e_out: f64 = work.iter().map(|v| v * v).sum();
+        if e_in > 1e-12 {
+            let ratio = e_out / e_in;
+            // Biorthogonal, near-orthogonal: bounded drift even on noise.
+            prop_assert!((0.5..2.0).contains(&ratio), "energy ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn partial_inverse_consistent_with_full((data, dims) in volume_strategy()) {
+        // skip_finest = 0 must equal the full inverse.
+        let levels = levels_for_dims(dims);
+        let mut a = data.clone();
+        forward_3d(&mut a, dims, levels, Kernel::Cdf97);
+        let mut b = a.clone();
+        inverse_3d(&mut a, dims, levels, Kernel::Cdf97);
+        inverse_3d_partial(&mut b, dims, levels, 0, Kernel::Cdf97);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn coarse_dims_shrink_monotonically(nx in 1usize..200, ny in 1usize..200, nz in 1usize..200) {
+        let dims = [nx, ny, nz];
+        let levels = levels_for_dims(dims);
+        let mut prev = dims;
+        for skip in 1..=6usize {
+            let c = coarse_dims(dims, levels, skip);
+            for d in 0..3 {
+                prop_assert!(c[d] <= prev[d]);
+                prop_assert!(c[d] >= 1);
+            }
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn level_rule_monotone(n in 1usize..100000) {
+        // num_levels never decreases as n grows, and is capped at 6.
+        let l = num_levels(n);
+        prop_assert!(l <= 6);
+        prop_assert!(num_levels(n + 1) >= l);
+    }
+}

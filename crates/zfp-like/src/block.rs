@@ -1,0 +1,278 @@
+//! Per-block machinery: block-floating-point conversion, the lifted
+//! decorrelating transform, sequency reordering and negabinary mapping —
+//! the algorithm of Lindstrom, "Fixed-Rate Compressed Floating-Point
+//! Arrays" (2014), which the paper benchmarks as ZFP.
+
+/// Block edge length (4) and volume (64).
+pub const BLOCK_EDGE: usize = 4;
+pub const BLOCK_SIZE: usize = BLOCK_EDGE * BLOCK_EDGE * BLOCK_EDGE;
+
+/// Two's-complement → negabinary mask.
+const NBMASK: u64 = 0xaaaa_aaaa_aaaa_aaaa;
+
+/// Exponent of the largest magnitude in the block: the smallest `e` with
+/// `max|v| < 2^e`. Returns `None` for an all-zero (or non-finite-free
+/// zero) block.
+pub fn block_exponent(values: &[f64; BLOCK_SIZE]) -> Option<i32> {
+    let max = values.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+    if max == 0.0 || !max.is_finite() {
+        return None;
+    }
+    // frexp-style: max = f * 2^e with f in [0.5, 1) -> max < 2^e.
+    let mut e = max.log2().floor() as i32 + 1;
+    // log2 rounding guards.
+    while f64::exp2(f64::from(e)) <= max {
+        e += 1;
+    }
+    while e > i32::MIN + 1 && f64::exp2(f64::from(e - 1)) > max {
+        e -= 1;
+    }
+    Some(e)
+}
+
+/// Converts the block to integers with a common scale `2^(60 - emax)`
+/// (block-floating-point): |ints| < 2^60, leaving two bits of headroom for
+/// transform growth plus one for the negabinary mapping.
+pub fn to_ints(values: &[f64; BLOCK_SIZE], emax: i32) -> [i64; BLOCK_SIZE] {
+    let scale = f64::exp2(f64::from(62 - 2 - emax));
+    let mut out = [0i64; BLOCK_SIZE];
+    for (o, &v) in out.iter_mut().zip(values.iter()) {
+        *o = (v * scale) as i64;
+    }
+    out
+}
+
+/// Inverse of [`to_ints`].
+pub fn from_ints(ints: &[i64; BLOCK_SIZE], emax: i32) -> [f64; BLOCK_SIZE] {
+    let inv_scale = f64::exp2(f64::from(emax - 60));
+    let mut out = [0.0f64; BLOCK_SIZE];
+    for (o, &i) in out.iter_mut().zip(ints.iter()) {
+        *o = i as f64 * inv_scale;
+    }
+    out
+}
+
+/// ZFP's forward lifted transform on a stride-`s` 4-vector. Wrapping
+/// arithmetic matches the C original and keeps hostile (corrupted-stream)
+/// values from aborting debug builds; honest inputs never wrap thanks to
+/// the block-floating-point headroom.
+#[inline]
+fn fwd_lift(p: &mut [i64; BLOCK_SIZE], base: usize, s: usize) {
+    let (mut x, mut y, mut z, mut w) =
+        (p[base], p[base + s], p[base + 2 * s], p[base + 3 * s]);
+    // Non-orthogonal transform ~ 1/16 * [4 4 4 4; 5 1 -1 -5; -4 4 4 -4; -2 6 -6 2]
+    x = x.wrapping_add(w);
+    x >>= 1;
+    w = w.wrapping_sub(x);
+    z = z.wrapping_add(y);
+    z >>= 1;
+    y = y.wrapping_sub(z);
+    x = x.wrapping_add(z);
+    x >>= 1;
+    z = z.wrapping_sub(x);
+    w = w.wrapping_add(y);
+    w >>= 1;
+    y = y.wrapping_sub(w);
+    w = w.wrapping_add(y >> 1);
+    y = y.wrapping_sub(w >> 1);
+    p[base] = x;
+    p[base + s] = y;
+    p[base + 2 * s] = z;
+    p[base + 3 * s] = w;
+}
+
+/// ZFP's inverse lifted transform on a stride-`s` 4-vector.
+#[inline]
+fn inv_lift(p: &mut [i64; BLOCK_SIZE], base: usize, s: usize) {
+    let (mut x, mut y, mut z, mut w) =
+        (p[base], p[base + s], p[base + 2 * s], p[base + 3 * s]);
+    y = y.wrapping_add(w >> 1);
+    w = w.wrapping_sub(y >> 1);
+    y = y.wrapping_add(w);
+    w = w.wrapping_shl(1);
+    w = w.wrapping_sub(y);
+    z = z.wrapping_add(x);
+    x = x.wrapping_shl(1);
+    x = x.wrapping_sub(z);
+    y = y.wrapping_add(z);
+    z = z.wrapping_shl(1);
+    z = z.wrapping_sub(y);
+    w = w.wrapping_add(x);
+    x = x.wrapping_shl(1);
+    x = x.wrapping_sub(w);
+    p[base] = x;
+    p[base + s] = y;
+    p[base + 2 * s] = z;
+    p[base + 3 * s] = w;
+}
+
+/// Forward 3D transform: lift along x, then y, then z.
+pub fn forward_transform(block: &mut [i64; BLOCK_SIZE]) {
+    for z in 0..4 {
+        for y in 0..4 {
+            fwd_lift(block, 4 * (y + 4 * z), 1);
+        }
+    }
+    for z in 0..4 {
+        for x in 0..4 {
+            fwd_lift(block, x + 16 * z, 4);
+        }
+    }
+    for y in 0..4 {
+        for x in 0..4 {
+            fwd_lift(block, x + 4 * y, 16);
+        }
+    }
+}
+
+/// Inverse 3D transform (reverse axis order).
+pub fn inverse_transform(block: &mut [i64; BLOCK_SIZE]) {
+    for y in 0..4 {
+        for x in 0..4 {
+            inv_lift(block, x + 4 * y, 16);
+        }
+    }
+    for z in 0..4 {
+        for x in 0..4 {
+            inv_lift(block, x + 16 * z, 4);
+        }
+    }
+    for z in 0..4 {
+        for y in 0..4 {
+            inv_lift(block, 4 * (y + 4 * z), 1);
+        }
+    }
+}
+
+/// Total-sequency permutation: coefficient (i,j,k) sorted by i+j+k (then
+/// i, j, k for a fixed deterministic order). `PERM[n]` is the linear index
+/// of the n-th coefficient in coding order.
+pub fn sequency_permutation() -> [usize; BLOCK_SIZE] {
+    let mut order: Vec<usize> = (0..BLOCK_SIZE).collect();
+    let key = |idx: usize| {
+        let i = idx % 4;
+        let j = (idx / 4) % 4;
+        let k = idx / 16;
+        (i + j + k, k, j, i)
+    };
+    order.sort_by_key(|&idx| key(idx));
+    let mut out = [0usize; BLOCK_SIZE];
+    out.copy_from_slice(&order);
+    out
+}
+
+/// Two's complement → negabinary (sign embedded in the bit pattern so
+/// magnitude ordering survives bitplane truncation).
+#[inline]
+pub fn int_to_negabinary(i: i64) -> u64 {
+    ((i as u64).wrapping_add(NBMASK)) ^ NBMASK
+}
+
+/// Negabinary → two's complement.
+#[inline]
+pub fn negabinary_to_int(u: u64) -> i64 {
+    ((u ^ NBMASK).wrapping_sub(NBMASK)) as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponent_bounds_magnitude() {
+        let mut v = [0.0f64; BLOCK_SIZE];
+        v[7] = 3.0;
+        v[12] = -5.5;
+        let e = block_exponent(&v).unwrap();
+        assert!(5.5 < f64::exp2(f64::from(e)));
+        assert!(5.5 >= f64::exp2(f64::from(e - 1)));
+        assert_eq!(block_exponent(&[0.0; BLOCK_SIZE]), None);
+    }
+
+    #[test]
+    fn negabinary_roundtrip() {
+        for i in [0i64, 1, -1, 42, -42, i64::MAX / 4, i64::MIN / 4] {
+            assert_eq!(negabinary_to_int(int_to_negabinary(i)), i);
+        }
+    }
+
+    #[test]
+    fn negabinary_small_values_have_low_bits() {
+        // Magnitude ordering: small ints use only low negabinary bits.
+        for i in -8i64..=8 {
+            let u = int_to_negabinary(i);
+            assert!(u < 64, "i={i} -> u={u:#x}");
+        }
+    }
+
+    #[test]
+    fn transform_roundtrip_error_bounded() {
+        // The lifted transform is not bit-exact (right shifts drop low
+        // bits) but must invert to within a few ULPs of the int domain.
+        let mut rng: u64 = 0x12345678;
+        let mut next = move || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            (rng >> 8) as i64 - (1 << 55)
+        };
+        let orig: [i64; BLOCK_SIZE] = std::array::from_fn(|_| next());
+        let mut block = orig;
+        forward_transform(&mut block);
+        inverse_transform(&mut block);
+        for (a, b) in orig.iter().zip(&block) {
+            assert!((a - b).abs() <= 64, "drift {}", a - b);
+        }
+    }
+
+    #[test]
+    fn transform_compacts_constant_block() {
+        let mut block = [1 << 40; BLOCK_SIZE];
+        forward_transform(&mut block);
+        // DC coefficient holds the mean; all others must vanish.
+        assert_eq!(block[0], 1 << 40);
+        assert!(block[1..].iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn transform_compacts_linear_ramp() {
+        let mut block = [0i64; BLOCK_SIZE];
+        for z in 0..4 {
+            for y in 0..4 {
+                for x in 0..4 {
+                    block[x + 4 * (y + 4 * z)] =
+                        ((x as i64) + (y as i64) + (z as i64)) << 40;
+                }
+            }
+        }
+        forward_transform(&mut block);
+        let energy: f64 = block.iter().map(|&c| (c as f64) * (c as f64)).sum();
+        let low: f64 = sequency_permutation()[..8]
+            .iter()
+            .map(|&i| (block[i] as f64) * (block[i] as f64))
+            .sum();
+        assert!(low / energy > 0.99, "ramp energy not compacted: {}", low / energy);
+    }
+
+    #[test]
+    fn permutation_is_a_bijection() {
+        let perm = sequency_permutation();
+        let mut seen = [false; BLOCK_SIZE];
+        for &p in &perm {
+            assert!(!seen[p]);
+            seen[p] = true;
+        }
+        assert_eq!(perm[0], 0, "DC comes first");
+    }
+
+    #[test]
+    fn float_int_roundtrip_precision() {
+        let vals: [f64; BLOCK_SIZE] = std::array::from_fn(|i| ((i as f64) - 31.5) * 0.125);
+        let e = block_exponent(&vals).unwrap();
+        let ints = to_ints(&vals, e);
+        let back = from_ints(&ints, e);
+        for (a, b) in vals.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,409 @@
+//! Whole-field ZFP-like compressor: block iteration, slab parallelism and
+//! the container format, driving the per-block codec in either
+//! fixed-accuracy or fixed-rate mode.
+
+use crate::block::{
+    block_exponent, forward_transform, from_ints, int_to_negabinary, inverse_transform,
+    negabinary_to_int, sequency_permutation, to_ints, BLOCK_EDGE, BLOCK_SIZE,
+};
+use crate::codec::{decode_ints, encode_ints};
+use sperr_bitstream::{BitReader, BitWriter, ByteReader, ByteWriter};
+use sperr_compress_api::{Bound, CompressError, Field, LossyCompressor, Precision};
+
+const MAGIC: &[u8; 4] = b"ZFPL";
+/// Bias applied to the per-block exponent when stored in 14 bits.
+const EMAX_BIAS: i32 = 8191;
+/// Per-block side information: 1 zero-flag bit + 14 exponent bits.
+const HEADER_BITS: usize = 15;
+
+/// The ZFP-like baseline compressor (see DESIGN.md §5 for fidelity notes).
+#[derive(Debug, Clone)]
+pub struct ZfpLike {
+    /// Worker threads for slab-parallel coding; 0 = one per core.
+    pub num_threads: usize,
+}
+
+impl Default for ZfpLike {
+    fn default() -> Self {
+        ZfpLike { num_threads: 0 }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Mode {
+    /// Fixed accuracy: absolute error tolerance.
+    Accuracy(f64),
+    /// Fixed rate: bits per value.
+    Rate(f64),
+    /// Fixed precision: keep this many most-significant bitplanes per
+    /// block (ZFP's third mode; relative-error flavoured).
+    Precision(u32),
+}
+
+/// `kmin` for accuracy mode: keep bitplanes whose float weight stays above
+/// ~tolerance/64 (ZFP's `2(d+1)`-plane guard band for 3D).
+fn kmin_for(emax: i32, tolerance: f64) -> u32 {
+    let minexp = tolerance.log2().floor() as i32;
+    (54 - emax + minexp).clamp(0, 64) as u32
+}
+
+fn block_grid(dims: [usize; 3]) -> [usize; 3] {
+    [
+        dims[0].div_ceil(BLOCK_EDGE),
+        dims[1].div_ceil(BLOCK_EDGE),
+        dims[2].div_ceil(BLOCK_EDGE),
+    ]
+}
+
+/// Gathers a 4³ block at block coordinates `(bx, by, bz)`, replicating
+/// edge samples for partial boundary blocks (as ZFP does).
+fn gather(data: &[f64], dims: [usize; 3], bx: usize, by: usize, bz: usize) -> [f64; BLOCK_SIZE] {
+    let mut out = [0.0; BLOCK_SIZE];
+    for lz in 0..BLOCK_EDGE {
+        let z = (bz * BLOCK_EDGE + lz).min(dims[2] - 1);
+        for ly in 0..BLOCK_EDGE {
+            let y = (by * BLOCK_EDGE + ly).min(dims[1] - 1);
+            for lx in 0..BLOCK_EDGE {
+                let x = (bx * BLOCK_EDGE + lx).min(dims[0] - 1);
+                out[lx + BLOCK_EDGE * (ly + BLOCK_EDGE * lz)] =
+                    data[x + dims[0] * (y + dims[1] * z)];
+            }
+        }
+    }
+    out
+}
+
+/// Scatters a block back, skipping padded samples.
+fn scatter(
+    data: &mut [f64],
+    dims: [usize; 3],
+    bx: usize,
+    by: usize,
+    bz: usize,
+    block: &[f64; BLOCK_SIZE],
+) {
+    for lz in 0..BLOCK_EDGE {
+        let z = bz * BLOCK_EDGE + lz;
+        if z >= dims[2] {
+            break;
+        }
+        for ly in 0..BLOCK_EDGE {
+            let y = by * BLOCK_EDGE + ly;
+            if y >= dims[1] {
+                break;
+            }
+            for lx in 0..BLOCK_EDGE {
+                let x = bx * BLOCK_EDGE + lx;
+                if x >= dims[0] {
+                    break;
+                }
+                data[x + dims[0] * (y + dims[1] * z)] =
+                    block[lx + BLOCK_EDGE * (ly + BLOCK_EDGE * lz)];
+            }
+        }
+    }
+}
+
+fn encode_block(values: &[f64; BLOCK_SIZE], mode: Mode, perm: &[usize; BLOCK_SIZE], out: &mut BitWriter) {
+    let block_start = out.len_bits();
+    let max_bits = match mode {
+        Mode::Accuracy(_) | Mode::Precision(_) => usize::MAX / 2,
+        Mode::Rate(bpp) => ((bpp * BLOCK_SIZE as f64) as usize).max(HEADER_BITS),
+    };
+    match block_exponent(values) {
+        None => {
+            out.put_bit(false); // all-zero block
+        }
+        Some(emax) => {
+            out.put_bit(true);
+            out.put_bits((emax + EMAX_BIAS) as u64, 14);
+            let mut ints = to_ints(values, emax);
+            forward_transform(&mut ints);
+            let mut nega = [0u64; BLOCK_SIZE];
+            for (slot, &p) in nega.iter_mut().zip(perm.iter()) {
+                *slot = int_to_negabinary(ints[p]);
+            }
+            let kmin = match mode {
+                Mode::Accuracy(tol) => kmin_for(emax, tol),
+                Mode::Rate(_) => 0,
+                Mode::Precision(p) => 64u32.saturating_sub(p),
+            };
+            encode_ints(&nega, out, max_bits - HEADER_BITS, kmin);
+        }
+    }
+    if let Mode::Rate(_) = mode {
+        // Pad to the fixed per-block size (random-access property).
+        while out.len_bits() - block_start < max_bits {
+            out.put_bit(false);
+        }
+    }
+}
+
+fn decode_block(
+    input: &mut BitReader<'_>,
+    mode: Mode,
+    perm: &[usize; BLOCK_SIZE],
+) -> Result<[f64; BLOCK_SIZE], CompressError> {
+    let block_start = input.position_bits();
+    let max_bits = match mode {
+        Mode::Accuracy(_) | Mode::Precision(_) => usize::MAX / 2,
+        Mode::Rate(bpp) => ((bpp * BLOCK_SIZE as f64) as usize).max(HEADER_BITS),
+    };
+    let nonzero = input.get_bit()?;
+    let mut values = [0.0f64; BLOCK_SIZE];
+    if nonzero {
+        let emax = input.get_bits(14)? as i32 - EMAX_BIAS;
+        if !(-2000..=2000).contains(&emax) {
+            return Err(CompressError::Corrupt("implausible block exponent".into()));
+        }
+        let kmin = match mode {
+            Mode::Accuracy(tol) => kmin_for(emax, tol),
+            Mode::Rate(_) => 0,
+            Mode::Precision(p) => 64u32.saturating_sub(p),
+        };
+        let nega = decode_ints(input, max_bits - HEADER_BITS, kmin)?;
+        let mut ints = [0i64; BLOCK_SIZE];
+        for (i, &p) in perm.iter().enumerate() {
+            ints[p] = negabinary_to_int(nega[i]);
+        }
+        inverse_transform(&mut ints);
+        values = from_ints(&ints, emax);
+    }
+    if let Mode::Rate(_) = mode {
+        while input.position_bits() - block_start < max_bits {
+            input.get_bit()?;
+        }
+    }
+    Ok(values)
+}
+
+impl ZfpLike {
+    fn threads(&self, work_items: usize) -> usize {
+        let t = if self.num_threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            self.num_threads
+        };
+        t.min(work_items).max(1)
+    }
+}
+
+impl ZfpLike {
+    /// ZFP's fixed-precision mode: keep `bits` (1..=64) most-significant
+    /// bitplanes of every block — a relative-error-flavoured control not
+    /// expressible through [`Bound`]. Decode with the ordinary
+    /// [`LossyCompressor::decompress`].
+    pub fn compress_fixed_precision(
+        &self,
+        field: &Field,
+        bits: u32,
+    ) -> Result<Vec<u8>, CompressError> {
+        if !(1..=64).contains(&bits) {
+            return Err(CompressError::Invalid(format!("precision {bits} out of 1..=64")));
+        }
+        self.compress_mode(field, Mode::Precision(bits))
+    }
+
+    fn compress_mode(&self, field: &Field, mode: Mode) -> Result<Vec<u8>, CompressError> {
+        if field.is_empty() {
+            return Err(CompressError::Invalid("empty field".into()));
+        }
+        let grid = block_grid(field.dims);
+        let perm = sequency_permutation();
+
+        // Slab-parallel: split the z block rows across workers, each
+        // producing an independent bitstream.
+        let threads = self.threads(grid[2]);
+        let slab_bounds: Vec<(usize, usize)> = split_ranges(grid[2], threads);
+        let dims = field.dims;
+        let data = &field.data;
+        let slabs: Vec<Vec<u8>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = slab_bounds
+                .iter()
+                .map(|&(z0, z1)| {
+                    scope.spawn(move || {
+                        let mut w = BitWriter::new();
+                        for bz in z0..z1 {
+                            for by in 0..grid[1] {
+                                for bx in 0..grid[0] {
+                                    let block = gather(data, dims, bx, by, bz);
+                                    encode_block(&block, mode, &perm, &mut w);
+                                }
+                            }
+                        }
+                        w.into_bytes()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("slab worker panicked")).collect()
+        });
+
+        let mut out = ByteWriter::new();
+        out.put_bytes(MAGIC);
+        out.put_u8(match mode {
+            Mode::Accuracy(_) => 0,
+            Mode::Rate(_) => 1,
+            Mode::Precision(_) => 2,
+        });
+        out.put_u8(match field.precision {
+            Precision::Double => 0,
+            Precision::Single => 1,
+        });
+        out.put_f64(match mode {
+            Mode::Accuracy(t) => t,
+            Mode::Rate(r) => r,
+            Mode::Precision(p) => f64::from(p),
+        });
+        out.put_u32(field.dims[0] as u32);
+        out.put_u32(field.dims[1] as u32);
+        out.put_u32(field.dims[2] as u32);
+        out.put_u32(slabs.len() as u32);
+        for s in &slabs {
+            out.put_u32(s.len() as u32);
+        }
+        for s in &slabs {
+            out.put_bytes(s);
+        }
+        Ok(out.into_bytes())
+    }
+}
+
+impl LossyCompressor for ZfpLike {
+    fn name(&self) -> &'static str {
+        "ZFP-like"
+    }
+
+    fn supports(&self, bound: &Bound) -> bool {
+        matches!(bound, Bound::Pwe(_) | Bound::Bpp(_))
+    }
+
+    fn compress(&self, field: &Field, bound: Bound) -> Result<Vec<u8>, CompressError> {
+        let mode = match bound {
+            Bound::Pwe(t) if t > 0.0 && t.is_finite() => Mode::Accuracy(t),
+            Bound::Bpp(r) if r > 0.0 && r.is_finite() => Mode::Rate(r),
+            Bound::Psnr(_) => {
+                return Err(CompressError::Unsupported("ZFP-like has no PSNR mode"))
+            }
+            _ => return Err(CompressError::Invalid("invalid bound value".into())),
+        };
+        self.compress_mode(field, mode)
+    }
+
+    fn decompress(&self, stream: &[u8]) -> Result<Field, CompressError> {
+        let mut r = ByteReader::new(stream);
+        if r.get_bytes(4)? != MAGIC {
+            return Err(CompressError::Corrupt("bad ZFPL magic".into()));
+        }
+        let mode_tag = r.get_u8()?;
+        let precision = match r.get_u8()? {
+            0 => Precision::Double,
+            1 => Precision::Single,
+            p => return Err(CompressError::Corrupt(format!("bad precision {p}"))),
+        };
+        let param = r.get_f64()?;
+        let mode = match mode_tag {
+            0 if param > 0.0 => Mode::Accuracy(param),
+            1 if param > 0.0 => Mode::Rate(param),
+            2 if (1.0..=64.0).contains(&param) => Mode::Precision(param as u32),
+            _ => return Err(CompressError::Corrupt("bad mode/param".into())),
+        };
+        let dims = [r.get_u32()? as usize, r.get_u32()? as usize, r.get_u32()? as usize];
+        if dims.iter().any(|&d| d == 0) {
+            return Err(CompressError::Corrupt("zero dimension".into()));
+        }
+        let n_slabs = r.get_u32()? as usize;
+        let grid = block_grid(dims);
+        if n_slabs == 0 || n_slabs > grid[2] {
+            return Err(CompressError::Corrupt("bad slab count".into()));
+        }
+        let mut slab_lens = Vec::with_capacity(n_slabs);
+        for _ in 0..n_slabs {
+            slab_lens.push(r.get_u32()? as usize);
+        }
+        let mut slab_data = Vec::with_capacity(n_slabs);
+        for &len in &slab_lens {
+            slab_data.push(r.get_bytes(len)?);
+        }
+        let slab_bounds = split_ranges(grid[2], n_slabs);
+        let perm = sequency_permutation();
+
+        let results: Vec<Result<(usize, usize, Vec<f64>), CompressError>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = slab_bounds
+                    .iter()
+                    .zip(&slab_data)
+                    .map(|(&(z0, z1), bytes)| {
+                        scope.spawn(move || {
+                            // Decode into a slab-local buffer covering
+                            // z rows [z0*4, min(z1*4, nz)).
+                            let z_lo = z0 * BLOCK_EDGE;
+                            let z_hi = (z1 * BLOCK_EDGE).min(dims[2]);
+                            let slab_dims = [dims[0], dims[1], z_hi - z_lo];
+                            let mut slab = vec![0.0f64; slab_dims.iter().product()];
+                            let mut input = BitReader::new(bytes);
+                            for bz in z0..z1 {
+                                for by in 0..grid[1] {
+                                    for bx in 0..grid[0] {
+                                        let block = decode_block(&mut input, mode, &perm)?;
+                                        scatter(
+                                            &mut slab,
+                                            slab_dims,
+                                            bx,
+                                            by,
+                                            bz - z0,
+                                            &block,
+                                        );
+                                    }
+                                }
+                            }
+                            Ok((z_lo, z_hi, slab))
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("slab worker panicked")).collect()
+            });
+
+        let mut out = vec![0.0f64; dims.iter().product()];
+        let plane = dims[0] * dims[1];
+        for res in results {
+            let (z_lo, z_hi, slab) = res?;
+            out[z_lo * plane..z_hi * plane].copy_from_slice(&slab);
+        }
+        Ok(Field::new(dims, out).with_precision(precision))
+    }
+}
+
+/// Splits `n` items into `parts` contiguous near-equal ranges.
+fn split_ranges(n: usize, parts: usize) -> Vec<(usize, usize)> {
+    let parts = parts.min(n).max(1);
+    let base = n / parts;
+    let extra = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let len = base + usize::from(i < extra);
+        out.push((start, start + len));
+        start += len;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_ranges_cover() {
+        assert_eq!(split_ranges(10, 3), vec![(0, 4), (4, 7), (7, 10)]);
+        assert_eq!(split_ranges(2, 5), vec![(0, 1), (1, 2)]);
+        assert_eq!(split_ranges(1, 1), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn kmin_scales_with_tolerance() {
+        // Tighter tolerance -> lower kmin (more planes).
+        assert!(kmin_for(0, 1e-6) < kmin_for(0, 1e-2));
+        // Bigger data -> higher emax -> lower kmin for same tolerance.
+        assert!(kmin_for(10, 1e-3) < kmin_for(0, 1e-3));
+    }
+}

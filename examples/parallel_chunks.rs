@@ -1,0 +1,62 @@
+//! Embarrassingly parallel chunked compression (paper §III-D): a large
+//! volume is split into chunks, each compressed independently on its own
+//! core, then the bitstreams are concatenated. Parallelism is capped by
+//! the chunk count — the effect Fig. 7's scalability plateau shows.
+//!
+//! Run with: `cargo run --release --example parallel_chunks`
+
+use sperr_compress_api::{Bound, LossyCompressor};
+use sperr_core::{chunk_grid, Sperr, SperrConfig};
+use sperr_datagen::SyntheticField;
+use std::time::Instant;
+
+fn main() {
+    // A "large" volume at laptop scale; chunks of 32³ give 64-way
+    // parallelism headroom (the paper uses 2048³ volumes / 256³ chunks).
+    let dims = [128, 128, 64];
+    let chunk_dims = [32, 32, 32];
+    let field = SyntheticField::MirandaDensity.generate(dims, 11);
+    let t = field.tolerance_for_idx(15);
+    let n_chunks = chunk_grid(dims, chunk_dims).len();
+    println!(
+        "volume {}x{}x{}, chunks {}x{}x{} -> {n_chunks} chunks ({}-way parallelism cap)",
+        dims[0], dims[1], dims[2], chunk_dims[0], chunk_dims[1], chunk_dims[2], n_chunks
+    );
+
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!("host exposes {cores} core(s); speedups saturate at that count");
+    let mut serial_time = None;
+    let mut reference: Option<Vec<u8>> = None;
+    println!("{:>8} {:>12} {:>9}", "threads", "wall ms", "speedup");
+    let mut threads = 1usize;
+    while threads <= (2 * cores).min(n_chunks).max(4) {
+        let sperr = Sperr::new(SperrConfig {
+            chunk_dims,
+            num_threads: threads,
+            ..SperrConfig::default()
+        });
+        let start = Instant::now();
+        let stream = sperr.compress(&field, Bound::Pwe(t)).expect("compress");
+        let elapsed = start.elapsed();
+        let serial = *serial_time.get_or_insert(elapsed);
+        println!(
+            "{:>8} {:>12.1} {:>8.2}x",
+            threads,
+            elapsed.as_secs_f64() * 1e3,
+            serial.as_secs_f64() / elapsed.as_secs_f64()
+        );
+        // The output must be bit-identical regardless of thread count.
+        match &reference {
+            None => reference = Some(stream),
+            Some(r) => assert_eq!(r, &stream, "thread count changed the output!"),
+        }
+        threads *= 2;
+    }
+
+    // Verify the result once.
+    let sperr = Sperr::new(SperrConfig { chunk_dims, ..SperrConfig::default() });
+    let restored = sperr.decompress(reference.as_ref().unwrap()).expect("decompress");
+    let max_err = sperr_metrics::max_pwe(&field.data, &restored.data);
+    println!("\noutput identical across thread counts; max error {max_err:.3e} <= t {t:.3e}");
+    assert!(max_err <= t);
+}

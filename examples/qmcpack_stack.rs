@@ -1,0 +1,53 @@
+//! The paper's QMCPACK configuration (§VI-B): the data set is a stack of
+//! 3-D orbitals of size 69²×115, "best to be compressed as 288 individual
+//! volumes. SPERR is configured to do so with its chunk size specified as
+//! 69²×115" — while the other compressors, fed one 69²×33120 volume,
+//! mix unrelated orbitals through their transforms.
+//!
+//! This example compresses a (smaller) stack both ways and shows the
+//! difference chunk alignment makes.
+//!
+//! Run with: `cargo run --release --example qmcpack_stack`
+
+use sperr_compress_api::{Bound, LossyCompressor};
+use sperr_core::{Sperr, SperrConfig};
+use sperr_datagen::qmcpack_stack;
+
+fn main() {
+    let n_orbitals = 6; // paper: 288; laptop-scale here
+    let field = qmcpack_stack(n_orbitals, 77);
+    let t = field.tolerance_for_idx(20);
+    println!(
+        "stack of {n_orbitals} orbitals: {}x{}x{} points, t = {t:.3e} (idx = 20)",
+        field.dims[0], field.dims[1], field.dims[2]
+    );
+
+    // SPERR, the paper's way: one chunk per orbital.
+    let per_orbital = Sperr::new(SperrConfig {
+        chunk_dims: [69, 69, 115],
+        ..SperrConfig::default()
+    });
+    // The "less than ideal" configuration: the whole stack as one volume.
+    let monolithic = Sperr::new(SperrConfig {
+        chunk_dims: [69, 69, 115 * n_orbitals],
+        ..SperrConfig::default()
+    });
+
+    for (label, sperr) in [("per-orbital chunks", &per_orbital), ("one monolithic chunk", &monolithic)] {
+        let (stream, stats) = sperr
+            .compress_with_stats(&field, Bound::Pwe(t))
+            .expect("compress");
+        let rec = sperr.decompress(&stream).expect("decompress");
+        let err = sperr_metrics::max_pwe(&field.data, &rec.data);
+        assert!(err <= t);
+        println!(
+            "{label:22}: {:>9} bytes  ({:.3} bpp, {} chunks, gain {:+.3})",
+            stream.len(),
+            stats.bpp(),
+            stats.num_chunks,
+            sperr_metrics::accuracy_gain_of(&field.data, &rec.data, stream.len()),
+        );
+    }
+    println!("\nper-orbital chunking respects orbital boundaries — no transform");
+    println!("leakage across unrelated orbitals — and enables {n_orbitals}-way parallelism.");
+}

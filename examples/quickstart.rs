@@ -1,0 +1,47 @@
+//! Quickstart: compress a 3D scientific field with a point-wise error
+//! guarantee, decompress, and verify the bound.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use sperr_compress_api::{Bound, Field, LossyCompressor};
+use sperr_core::{Sperr, SperrConfig};
+use sperr_datagen::SyntheticField;
+
+fn main() {
+    // A turbulence-like 64³ field (stand-in for SDRBench's Miranda).
+    let dims = [64, 64, 64];
+    let field: Field = SyntheticField::MirandaPressure.generate(dims, 42);
+    println!("field: {} ({}x{}x{} = {} points, range {:.3e})",
+        SyntheticField::MirandaPressure.name(),
+        dims[0], dims[1], dims[2], field.len(), field.range());
+
+    // Pick a tolerance one millionth of the data range (Table I, idx=20).
+    let t = field.tolerance_for_idx(20);
+    println!("PWE tolerance t = {t:.3e}  (idx = 20)");
+
+    // Compress. The default config is the paper's: q = 1.5t, CDF 9/7,
+    // 256³ chunks, lossless post-pass.
+    let sperr = Sperr::new(SperrConfig::default());
+    let (stream, stats) = sperr
+        .compress_with_stats(&field, Bound::Pwe(t))
+        .expect("compression failed");
+
+    let raw_bytes = field.len() * 8;
+    println!("compressed: {} -> {} bytes ({:.1}x, {:.3} bpp)",
+        raw_bytes, stream.len(),
+        raw_bytes as f64 / stream.len() as f64,
+        stats.bpp());
+    println!("  coefficient coding: {:.3} bpp", stats.speck_bpp());
+    println!("  outlier coding:     {:.3} bpp ({} outliers, {:.1} bits each)",
+        stats.outlier_bpp(), stats.num_outliers,
+        if stats.num_outliers > 0 { stats.bits_per_outlier() } else { 0.0 });
+
+    // Decompress and verify the guarantee.
+    let restored = sperr.decompress(&stream).expect("decompression failed");
+    let max_err = sperr_metrics::max_pwe(&field.data, &restored.data);
+    let psnr = sperr_metrics::psnr(&field.data, &restored.data);
+    println!("max point-wise error: {max_err:.3e} (tolerance {t:.3e})");
+    println!("PSNR: {psnr:.2} dB");
+    assert!(max_err <= t, "PWE guarantee violated!");
+    println!("PWE guarantee holds.");
+}

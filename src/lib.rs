@@ -1,0 +1,41 @@
+//! Workspace-level facade for the SPERR reproduction.
+//!
+//! Re-exports the crates so examples and integration tests can address
+//! the whole system through one dependency. The interesting code lives in
+//! the member crates:
+//!
+//! * [`core`] — the SPERR compressor itself,
+//! * [`wavelet`], [`speck`],
+//!   [`outlier`], [`lossless`],
+//!   [`bitstream`] — its substrates,
+//! * [`zfp_like`], [`sz_like`],
+//!   [`tthresh_like`], [`mgard_like`]
+//!   — the comparison baselines,
+//! * [`datagen`], [`metrics`],
+//!   [`compress_api`] — evaluation support.
+
+pub use sperr_bitstream as bitstream;
+pub use sperr_compress_api as compress_api;
+pub use sperr_core as core;
+pub use sperr_datagen as datagen;
+pub use sperr_lossless as lossless;
+pub use sperr_metrics as metrics;
+pub use sperr_mgard_like as mgard_like;
+pub use sperr_outlier as outlier;
+pub use sperr_speck as speck;
+pub use sperr_sz_like as sz_like;
+pub use sperr_tthresh_like as tthresh_like;
+pub use sperr_wavelet as wavelet;
+pub use sperr_zfp_like as zfp_like;
+
+/// Convenience: every compressor that takes part in the paper's
+/// comparisons, behind the shared trait object.
+pub fn all_compressors() -> Vec<Box<dyn compress_api::LossyCompressor>> {
+    vec![
+        Box::new(core::Sperr::new(core::SperrConfig::default())),
+        Box::new(sz_like::SzLike::default()),
+        Box::new(zfp_like::ZfpLike::default()),
+        Box::new(tthresh_like::TthreshLike),
+        Box::new(mgard_like::MgardLike),
+    ]
+}

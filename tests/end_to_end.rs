@@ -1,0 +1,161 @@
+//! Cross-crate integration tests: the full SPERR pipeline on synthetic
+//! SDRBench-like fields, across chunking/threading/lossless configs.
+
+use sperr_compress_api::{Bound, Field, LossyCompressor};
+use sperr_core::{Sperr, SperrConfig};
+use sperr_datagen::SyntheticField;
+
+fn max_err(a: &Field, b: &Field) -> f64 {
+    sperr_metrics::max_pwe(&a.data, &b.data)
+}
+
+#[test]
+fn pwe_guarantee_on_every_table2_field() {
+    let dims = [24, 20, 16];
+    let sperr = Sperr::new(SperrConfig::default());
+    for f in SyntheticField::TABLE2_FIELDS {
+        let field = f.generate(dims, 1);
+        for idx in [10u32, 20] {
+            let t = field.tolerance_for_idx(idx);
+            let stream = sperr.compress(&field, Bound::Pwe(t)).unwrap();
+            let restored = sperr.decompress(&stream).unwrap();
+            let e = max_err(&field, &restored);
+            assert!(e <= t, "{} idx={idx}: {e} > {t}", f.name());
+            assert_eq!(restored.precision, field.precision);
+        }
+    }
+}
+
+#[test]
+fn chunked_parallel_lossless_matrix() {
+    // Every combination of chunking x threading x lossless must honour the
+    // guarantee and produce identical bytes for identical configs.
+    let field = SyntheticField::S3dTemperature.generate([40, 36, 20], 5);
+    let t = field.tolerance_for_idx(15);
+    for chunk in [[64, 64, 64], [16, 16, 16], [20, 12, 20]] {
+        for threads in [1usize, 3] {
+            for lossless in [false, true] {
+                let sperr = Sperr::new(SperrConfig {
+                    chunk_dims: chunk,
+                    num_threads: threads,
+                    lossless,
+                    ..SperrConfig::default()
+                });
+                let stream = sperr.compress(&field, Bound::Pwe(t)).unwrap();
+                let restored = sperr.decompress(&stream).unwrap();
+                assert!(
+                    max_err(&field, &restored) <= t,
+                    "chunk={chunk:?} threads={threads} lossless={lossless}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn compression_ratio_ordering_smooth_vs_rough() {
+    // Smooth fields must compress far better than rough ones at the same
+    // relative tolerance — the information-compaction premise of §II.
+    let dims = [32, 32, 32];
+    let smooth = SyntheticField::MirandaPressure.generate(dims, 2);
+    let rough = SyntheticField::NyxVelocityX.generate(dims, 2);
+    let sperr = Sperr::new(SperrConfig::default());
+    let size = |f: &Field| {
+        sperr
+            .compress(f, Bound::Pwe(f.tolerance_for_idx(15)))
+            .unwrap()
+            .len()
+    };
+    let s = size(&smooth);
+    let r = size(&rough);
+    assert!(s < r, "smooth {s} should beat rough {r}");
+}
+
+#[test]
+fn all_five_compressors_roundtrip() {
+    let field = SyntheticField::MirandaPressure.generate([20, 20, 20], 3);
+    let t = field.tolerance_for_idx(12);
+    for comp in sperr_repro::all_compressors() {
+        let bound = if comp.supports(&Bound::Pwe(t)) {
+            Bound::Pwe(t)
+        } else {
+            Bound::Psnr(60.0)
+        };
+        let stream = comp.compress(&field, bound).unwrap_or_else(|e| {
+            panic!("{} failed to compress: {e}", comp.name())
+        });
+        let restored = comp.decompress(&stream).unwrap_or_else(|e| {
+            panic!("{} failed to decompress: {e}", comp.name())
+        });
+        assert_eq!(restored.dims, field.dims, "{}", comp.name());
+        // All of them must at least be sane reconstructions.
+        let rel = sperr_metrics::rmse(&field.data, &restored.data) / field.range();
+        assert!(rel < 0.01, "{}: rel rmse {rel}", comp.name());
+    }
+}
+
+#[test]
+fn pwe_compressors_honour_bound_zfp_sz() {
+    // The three PWE-capable compressors (SPERR, SZ-like, ZFP-like) must
+    // all strictly honour the tolerance; MGARD-like only its hard bound
+    // (the §VI-C observation).
+    let field = SyntheticField::NyxDarkMatterDensity.generate([24, 16, 16], 9);
+    let t = field.tolerance_for_idx(18);
+    let sperr = Sperr::new(SperrConfig::default());
+    let sz = sperr_sz_like::SzLike::default();
+    let zfp = sperr_zfp_like::ZfpLike::default();
+    for comp in [&sperr as &dyn LossyCompressor, &sz, &zfp] {
+        let stream = comp.compress(&field, Bound::Pwe(t)).unwrap();
+        let restored = comp.decompress(&stream).unwrap();
+        let e = max_err(&field, &restored);
+        assert!(e <= t, "{}: {e} > {t}", comp.name());
+    }
+    let mgard = sperr_mgard_like::MgardLike;
+    let stream = mgard.compress(&field, Bound::Pwe(t)).unwrap();
+    let restored = mgard.decompress(&stream).unwrap();
+    let e = max_err(&field, &restored);
+    assert!(e <= sperr_mgard_like::MgardLike::hard_error_bound(field.dims, t));
+}
+
+#[test]
+fn sperr_wins_bitrate_at_tight_tolerance_on_smooth_data() {
+    // Fig. 9's headline: SPERR uses the fewest bits to satisfy a given
+    // PWE tolerance (vs. the prediction- and block-based baselines) on
+    // smooth scientific data at tight tolerances.
+    let field = SyntheticField::MirandaPressure.generate([32, 32, 32], 4);
+    let t = field.tolerance_for_idx(20);
+    let sperr = Sperr::new(SperrConfig::default());
+    let zfp = sperr_zfp_like::ZfpLike::default();
+    let sperr_size = sperr.compress(&field, Bound::Pwe(t)).unwrap().len();
+    let zfp_size = zfp.compress(&field, Bound::Pwe(t)).unwrap().len();
+    assert!(
+        sperr_size < zfp_size,
+        "SPERR {sperr_size} should beat ZFP-like {zfp_size} at idx=20"
+    );
+}
+
+#[test]
+fn decompressing_wrong_format_fails_cleanly() {
+    // Feeding one compressor's stream to another must error, not panic.
+    let field = SyntheticField::S3dCh4.generate([16, 16, 16], 6);
+    let t = field.tolerance_for_idx(10);
+    let sperr = Sperr::new(SperrConfig::default());
+    let sz = sperr_sz_like::SzLike::default();
+    let zfp = sperr_zfp_like::ZfpLike::default();
+    let sperr_stream = sperr.compress(&field, Bound::Pwe(t)).unwrap();
+    let zfp_stream = zfp.compress(&field, Bound::Pwe(t)).unwrap();
+    assert!(sz.decompress(&sperr_stream).is_err());
+    assert!(sperr.decompress(&zfp_stream).is_err());
+    assert!(zfp.decompress(&sperr_stream).is_err());
+}
+
+#[test]
+fn two_dimensional_image_roundtrip() {
+    // Fig. 1 uses a 2-D image; the pipeline must handle nz == 1.
+    let field = SyntheticField::Image2d.generate([96, 64, 1], 1);
+    let sperr = Sperr::new(SperrConfig::default());
+    let t = field.tolerance_for_idx(12);
+    let stream = sperr.compress(&field, Bound::Pwe(t)).unwrap();
+    let restored = sperr.decompress(&stream).unwrap();
+    assert!(max_err(&field, &restored) <= t);
+}

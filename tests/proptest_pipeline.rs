@@ -1,0 +1,77 @@
+//! Property tests over the full pipeline: for arbitrary field shapes,
+//! contents and tolerances, SPERR's decoded output must satisfy the PWE
+//! bound exactly — the paper's central claim.
+
+use proptest::prelude::*;
+use sperr_compress_api::{Bound, Field, LossyCompressor};
+use sperr_core::{Sperr, SperrConfig};
+
+fn field_strategy() -> impl Strategy<Value = Field> {
+    (2usize..=14, 2usize..=14, 1usize..=10).prop_flat_map(|(nx, ny, nz)| {
+        let n = nx * ny * nz;
+        prop::collection::vec(-1e5f64..1e5, n..=n)
+            .prop_map(move |data| Field::new([nx, ny, nz], data))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sperr_pwe_always_holds(field in field_strategy(), idx in 1u32..28,
+                              chunk_edge in 4usize..16) {
+        let t = field.range() / f64::exp2(idx as f64);
+        prop_assume!(t > 0.0);
+        let sperr = Sperr::new(SperrConfig {
+            chunk_dims: [chunk_edge, chunk_edge, chunk_edge],
+            ..SperrConfig::default()
+        });
+        let stream = sperr.compress(&field, Bound::Pwe(t)).unwrap();
+        let restored = sperr.decompress(&stream).unwrap();
+        let e = sperr_metrics::max_pwe(&field.data, &restored.data);
+        prop_assert!(e <= t, "max err {} > t {}", e, t);
+    }
+
+    #[test]
+    fn sperr_stream_is_deterministic(field in field_strategy(), idx in 1u32..20) {
+        let t = field.range() / f64::exp2(idx as f64);
+        prop_assume!(t > 0.0);
+        let sperr = Sperr::new(SperrConfig::default());
+        let a = sperr.compress(&field, Bound::Pwe(t)).unwrap();
+        let b = sperr.compress(&field, Bound::Pwe(t)).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sz_like_pwe_always_holds(field in field_strategy(), idx in 1u32..24) {
+        let t = field.range() / f64::exp2(idx as f64);
+        prop_assume!(t > 0.0);
+        let sz = sperr_sz_like::SzLike::default();
+        let stream = sz.compress(&field, Bound::Pwe(t)).unwrap();
+        let restored = sz.decompress(&stream).unwrap();
+        let e = sperr_metrics::max_pwe(&field.data, &restored.data);
+        prop_assert!(e <= t);
+    }
+
+    #[test]
+    fn zfp_like_pwe_always_holds(field in field_strategy(), idx in 1u32..24) {
+        let t = field.range() / f64::exp2(idx as f64);
+        prop_assume!(t > 0.0);
+        let zfp = sperr_zfp_like::ZfpLike::default();
+        let stream = zfp.compress(&field, Bound::Pwe(t)).unwrap();
+        let restored = zfp.decompress(&stream).unwrap();
+        let e = sperr_metrics::max_pwe(&field.data, &restored.data);
+        prop_assert!(e <= t);
+    }
+
+    #[test]
+    fn truncated_sperr_streams_never_panic(field in field_strategy(), idx in 1u32..16,
+                                           frac in 0.0f64..1.0) {
+        let t = field.range() / f64::exp2(idx as f64);
+        prop_assume!(t > 0.0);
+        let sperr = Sperr::new(SperrConfig::default());
+        let stream = sperr.compress(&field, Bound::Pwe(t)).unwrap();
+        let cut = ((stream.len() as f64) * frac) as usize;
+        let _ = sperr.decompress(&stream[..cut]); // Err is fine; panic is not
+    }
+}

@@ -1,0 +1,163 @@
+//! Failure-injection and robustness tests: hostile inputs must produce
+//! clean errors (or valid decodes), never panics, across every
+//! compressor; plus the paper's QMCPACK chunk-alignment scenario.
+
+use sperr_compress_api::{Bound, Field, LossyCompressor};
+use sperr_core::{Sperr, SperrConfig};
+use sperr_datagen::{qmcpack_stack, SyntheticField};
+
+/// Deterministic xorshift for fuzz positions.
+struct Rng(u64);
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+}
+
+#[test]
+fn bit_flip_fuzzing_never_panics() {
+    let field = SyntheticField::S3dCh4.generate([16, 16, 16], 3);
+    let t = field.tolerance_for_idx(12);
+    let sperr = Sperr::new(SperrConfig::default());
+    let sz = sperr_sz_like::SzLike::default();
+    let zfp = sperr_zfp_like::ZfpLike::default();
+    let mgard = sperr_mgard_like::MgardLike;
+    let tthresh = sperr_tthresh_like::TthreshLike;
+
+    let cases: Vec<(&dyn LossyCompressor, Bound)> = vec![
+        (&sperr, Bound::Pwe(t)),
+        (&sz, Bound::Pwe(t)),
+        (&zfp, Bound::Pwe(t)),
+        (&mgard, Bound::Pwe(t)),
+        (&tthresh, Bound::Psnr(60.0)),
+    ];
+    let mut rng = Rng(0x5eed_cafe);
+    for (comp, bound) in cases {
+        let stream = comp.compress(&field, bound).unwrap();
+        for _ in 0..40 {
+            let mut bad = stream.clone();
+            let pos = (rng.next() as usize) % bad.len();
+            let bit = (rng.next() % 8) as u8;
+            bad[pos] ^= 1 << bit;
+            // Any Result is acceptable; a panic is a bug.
+            let _ = comp.decompress(&bad);
+        }
+        // Truncations at random points, too.
+        for _ in 0..20 {
+            let cut = (rng.next() as usize) % (stream.len() + 1);
+            let _ = comp.decompress(&stream[..cut]);
+        }
+    }
+}
+
+#[test]
+fn decompress_random_garbage_never_panics() {
+    let mut rng = Rng(42);
+    let sperr = Sperr::new(SperrConfig::default());
+    let sz = sperr_sz_like::SzLike::default();
+    let zfp = sperr_zfp_like::ZfpLike::default();
+    let mgard = sperr_mgard_like::MgardLike;
+    let tthresh = sperr_tthresh_like::TthreshLike;
+    let comps: Vec<&dyn LossyCompressor> = vec![&sperr, &sz, &zfp, &mgard, &tthresh];
+    for len in [0usize, 1, 7, 64, 1000] {
+        let garbage: Vec<u8> = (0..len).map(|_| rng.next() as u8).collect();
+        for comp in &comps {
+            let _ = comp.decompress(&garbage);
+        }
+    }
+}
+
+#[test]
+fn qmcpack_stack_chunked_per_orbital() {
+    // §VI-B: the stack is best compressed as individual volumes, which
+    // SPERR achieves by setting the chunk size to one orbital (69²×115).
+    let field = qmcpack_stack(3, 8);
+    let t = field.tolerance_for_idx(18);
+    let per_orbital = Sperr::new(SperrConfig {
+        chunk_dims: [69, 69, 115],
+        ..SperrConfig::default()
+    });
+    let (stream, stats) = per_orbital.compress_with_stats(&field, Bound::Pwe(t)).unwrap();
+    assert_eq!(stats.num_chunks, 3, "one chunk per orbital");
+    let rec = per_orbital.decompress(&stream).unwrap();
+    assert!(sperr_metrics::max_pwe(&field.data, &rec.data) <= t);
+
+    // The "less than ideal" monolithic layout still honours the bound.
+    let mono = Sperr::new(SperrConfig {
+        chunk_dims: [69, 69, 115 * 3],
+        ..SperrConfig::default()
+    });
+    let (mono_stream, mono_stats) = mono.compress_with_stats(&field, Bound::Pwe(t)).unwrap();
+    assert_eq!(mono_stats.num_chunks, 1);
+    let mono_rec = mono.decompress(&mono_stream).unwrap();
+    assert!(sperr_metrics::max_pwe(&field.data, &mono_rec.data) <= t);
+    // Orbital-aligned chunking should not cost more than a few percent —
+    // the orbitals are statistically independent, so nothing is lost by
+    // cutting there (and parallelism is gained).
+    assert!(
+        (stream.len() as f64) < mono_stream.len() as f64 * 1.05,
+        "per-orbital {} vs monolithic {}",
+        stream.len(),
+        mono_stream.len()
+    );
+}
+
+#[test]
+fn two_d_slices_through_all_pwe_compressors() {
+    // nz == 1 must work everywhere (the paper compresses 2D slices too).
+    let field = SyntheticField::Image2d.generate([64, 48, 1], 4);
+    let t = field.tolerance_for_idx(10);
+    let sperr = Sperr::new(SperrConfig::default());
+    let sz = sperr_sz_like::SzLike::default();
+    let zfp = sperr_zfp_like::ZfpLike::default();
+    let mgard = sperr_mgard_like::MgardLike;
+    for comp in [&sperr as &dyn LossyCompressor, &sz, &zfp, &mgard] {
+        let stream = comp.compress(&field, Bound::Pwe(t)).unwrap();
+        let rec = comp.decompress(&stream).unwrap();
+        let e = sperr_metrics::max_pwe(&field.data, &rec.data);
+        let bound = if comp.name() == "MGARD-like" {
+            sperr_mgard_like::MgardLike::hard_error_bound(field.dims, t)
+        } else {
+            t
+        };
+        assert!(e <= bound, "{}: {e} > {bound}", comp.name());
+    }
+}
+
+#[test]
+fn extreme_values_handled() {
+    // Huge magnitudes, tiny magnitudes, mixed signs.
+    let mut data = vec![0.0f64; 512];
+    for (i, v) in data.iter_mut().enumerate() {
+        *v = match i % 4 {
+            0 => 1e30,
+            1 => -1e30,
+            2 => 1e-30,
+            _ => 0.0,
+        };
+    }
+    let field = Field::new([8, 8, 8], data);
+    let t = field.range() / 1e6;
+    let sperr = Sperr::new(SperrConfig::default());
+    let stream = sperr.compress(&field, Bound::Pwe(t)).unwrap();
+    let rec = sperr.decompress(&stream).unwrap();
+    assert!(sperr_metrics::max_pwe(&field.data, &rec.data) <= t);
+}
+
+#[test]
+fn nan_free_output_for_finite_input() {
+    let field = SyntheticField::NyxDarkMatterDensity.generate([12, 12, 12], 6);
+    let sperr = Sperr::new(SperrConfig::default());
+    for bound in [
+        Bound::Pwe(field.tolerance_for_idx(15)),
+        Bound::Bpp(1.0),
+        Bound::Psnr(60.0),
+    ] {
+        let stream = sperr.compress(&field, bound).unwrap();
+        let rec = sperr.decompress(&stream).unwrap();
+        assert!(rec.data.iter().all(|v| v.is_finite()), "{bound:?}");
+    }
+}
