@@ -52,6 +52,12 @@ impl ByteWriter {
         self.buf.is_empty()
     }
 
+    /// Bytes written so far, without consuming the writer. Lets callers
+    /// checksum a header region before appending more data.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+
     /// Consumes the writer, returning the bytes.
     pub fn into_bytes(self) -> Vec<u8> {
         self.buf
@@ -81,29 +87,40 @@ impl<'a> ByteReader<'a> {
         Ok(s)
     }
 
+    /// Reads exactly `N` bytes into a fixed array without any panicking
+    /// conversion (the length is guaranteed by [`Self::take`]).
+    fn take_array<const N: usize>(&mut self) -> Result<[u8; N]> {
+        let s = self.take(N)?;
+        let mut a = [0u8; N];
+        for (dst, src) in a.iter_mut().zip(s) {
+            *dst = *src;
+        }
+        Ok(a)
+    }
+
     /// Reads a `u8`.
     pub fn get_u8(&mut self) -> Result<u8> {
-        Ok(self.take(1)?[0])
+        Ok(self.take_array::<1>()?[0])
     }
 
     /// Reads a little-endian `u16`.
     pub fn get_u16(&mut self) -> Result<u16> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+        Ok(u16::from_le_bytes(self.take_array()?))
     }
 
     /// Reads a little-endian `u32`.
     pub fn get_u32(&mut self) -> Result<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.take_array()?))
     }
 
     /// Reads a little-endian `u64`.
     pub fn get_u64(&mut self) -> Result<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.take_array()?))
     }
 
     /// Reads a little-endian IEEE-754 `f64`.
     pub fn get_f64(&mut self) -> Result<f64> {
-        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(f64::from_le_bytes(self.take_array()?))
     }
 
     /// Reads `n` raw bytes.

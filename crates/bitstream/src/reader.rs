@@ -30,9 +30,14 @@ impl<'a> BitReader<'a> {
         Ok(bit == 1)
     }
 
-    /// Reads `n` bits (`n <= 64`) into the low bits of the result, LSB first.
+    /// Reads `n` bits (`n <= 64`) into the low bits of the result, LSB
+    /// first. Widths above 64 are a caller error surfaced as a clean
+    /// [`Error::Corrupt`] so that widths read from untrusted headers can be
+    /// passed through without pre-validation.
     pub fn get_bits(&mut self, n: u32) -> Result<u64> {
-        debug_assert!(n <= 64);
+        if n > 64 {
+            return Err(Error::Corrupt("bit width exceeds 64"));
+        }
         if n == 0 {
             return Ok(0);
         }

@@ -14,11 +14,60 @@ mod args;
 mod rawio;
 
 use args::{parse_type, Args, ScalarType};
-use sperr_compress_api::Bound;
+use sperr_compress_api::{Bound, CompressError};
 use sperr_core::{Sperr, SperrConfig};
 use sperr_datagen::SyntheticField;
 use std::path::Path;
 use std::process::ExitCode;
+
+/// CLI failure, carrying enough structure for a meaningful exit code.
+#[derive(Debug)]
+enum CliError {
+    /// Bad invocation: unknown command, malformed or missing options.
+    Usage(String),
+    /// Filesystem-level failure reading or writing a file.
+    Io(String),
+    /// A typed failure from the compression library.
+    Compress(CompressError),
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> Self {
+        CliError::Usage(msg)
+    }
+}
+
+impl From<CompressError> for CliError {
+    fn from(e: CompressError) -> Self {
+        CliError::Compress(e)
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(msg) | CliError::Io(msg) => write!(f, "{msg}"),
+            CliError::Compress(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+/// Distinct exit codes per failure class, so scripts can react without
+/// parsing stderr: 0 success, 1 I/O, 2 usage, then one code per
+/// `CompressError` variant.
+fn exit_code(e: &CliError) -> u8 {
+    match e {
+        CliError::Io(_) => 1,
+        CliError::Usage(_) => 2,
+        CliError::Compress(c) => match c {
+            CompressError::Invalid(_) => 3,
+            CompressError::Unsupported(_) => 4,
+            CompressError::Corrupt(_) => 5,
+            CompressError::Truncated(_) => 6,
+            CompressError::LimitExceeded(_) => 7,
+        },
+    }
+}
 
 const USAGE: &str = "\
 sperr — lossy scientific data compression (SPERR reproduction)
@@ -28,13 +77,19 @@ USAGE:
                    (--pwe T | --idx N | --bpp R | --psnr P)
                    [--chunk CX,CY,CZ] [--threads N] [--q-factor F] [--no-lossless]
   sperr decompress --input SPERR --output RAW --type f32|f64 [--level L]
-  sperr info       --input SPERR
+  sperr info       --input SPERR [--verify]
   sperr gen        --field NAME --dims NX,NY[,NZ] --output RAW --type f32|f64 [--seed S]
   sperr eval       --original RAW --reconstructed RAW --dims NX,NY[,NZ] --type f32|f64
 
 Bounds: --pwe is an absolute point-wise error tolerance; --idx N sets it to
 range/2^N (paper Table I); --bpp targets a size in bits per point (no error
 guarantee); --psnr targets an average error in dB.
+
+--verify checks the stream's integrity checksums (container v2) without
+decompressing; corrupt chunks are listed and reflected in the exit code.
+
+Exit codes: 0 ok, 1 I/O, 2 usage, 3 invalid input, 4 unsupported,
+5 corrupt stream, 6 truncated stream, 7 resource limit exceeded.
 
 Fields for gen: miranda-pressure miranda-viscosity miranda-vx miranda-density
 s3d-ch4 s3d-temp s3d-vx nyx-dm nyx-vx qmcpack image2d";
@@ -43,14 +98,14 @@ fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match run(&argv) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            ExitCode::FAILURE
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(exit_code(&e))
         }
     }
 }
 
-fn run(argv: &[String]) -> Result<(), String> {
+fn run(argv: &[String]) -> Result<(), CliError> {
     let Some((cmd, rest)) = argv.split_first() else {
         println!("{USAGE}");
         return Ok(());
@@ -61,7 +116,7 @@ fn run(argv: &[String]) -> Result<(), String> {
         return Ok(());
     }
     if !args.positional().is_empty() {
-        return Err(format!("unexpected argument: {}", args.positional()[0]));
+        return Err(CliError::Usage(format!("unexpected argument: {}", args.positional()[0])));
     }
     match cmd.as_str() {
         "compress" => cmd_compress(&args),
@@ -73,7 +128,7 @@ fn run(argv: &[String]) -> Result<(), String> {
             println!("{USAGE}");
             Ok(())
         }
-        other => Err(format!("unknown command {other}; run `sperr help`")),
+        other => Err(CliError::Usage(format!("unknown command {other}; run `sperr help`"))),
     }
 }
 
@@ -97,12 +152,12 @@ fn build_sperr(args: &Args) -> Result<Sperr, String> {
     Ok(Sperr::new(cfg))
 }
 
-fn cmd_compress(args: &Args) -> Result<(), String> {
+fn cmd_compress(args: &Args) -> Result<(), CliError> {
     let input = Path::new(args.req("input")?).to_path_buf();
     let output = Path::new(args.req("output")?).to_path_buf();
     let dims = args.req_dims("dims")?;
     let ty = parse_type(args.req("type")?)?;
-    let field = rawio::read_field(&input, dims, ty).map_err(|e| e.to_string())?;
+    let field = rawio::read_field(&input, dims, ty).map_err(|e| CliError::Io(e.to_string()))?;
 
     let bound = match (
         args.opt_f64("pwe")?,
@@ -114,14 +169,16 @@ fn cmd_compress(args: &Args) -> Result<(), String> {
         (None, Some(idx), None, None) => Bound::Pwe(field.tolerance_for_idx(idx as u32)),
         (None, None, Some(r), None) => Bound::Bpp(r),
         (None, None, None, Some(p)) => Bound::Psnr(p),
-        _ => return Err("give exactly one of --pwe, --idx, --bpp, --psnr".into()),
+        _ => {
+            return Err(CliError::Usage(
+                "give exactly one of --pwe, --idx, --bpp, --psnr".into(),
+            ))
+        }
     };
 
     let sperr = build_sperr(args)?;
-    let (stream, stats) = sperr
-        .compress_with_stats(&field, bound)
-        .map_err(|e| e.to_string())?;
-    std::fs::write(&output, &stream).map_err(|e| e.to_string())?;
+    let (stream, stats) = sperr.compress_with_stats(&field, bound)?;
+    std::fs::write(&output, &stream).map_err(|e| CliError::Io(e.to_string()))?;
     if !args.flag("quiet") {
         let raw = field.len() * match ty { ScalarType::F32 => 4, ScalarType::F64 => 8 };
         println!(
@@ -140,17 +197,15 @@ fn cmd_compress(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_decompress(args: &Args) -> Result<(), String> {
+fn cmd_decompress(args: &Args) -> Result<(), CliError> {
     let input = Path::new(args.req("input")?).to_path_buf();
     let output = Path::new(args.req("output")?).to_path_buf();
     let ty = parse_type(args.req("type")?)?;
     let level = args.opt_usize("level")?.unwrap_or(0);
-    let stream = std::fs::read(&input).map_err(|e| e.to_string())?;
+    let stream = std::fs::read(&input).map_err(|e| CliError::Io(e.to_string()))?;
     let sperr = build_sperr(args)?;
-    let field = sperr
-        .decompress_multires(&stream, level)
-        .map_err(|e| e.to_string())?;
-    rawio::write_field(&output, &field, ty).map_err(|e| e.to_string())?;
+    let field = sperr.decompress_multires(&stream, level)?;
+    rawio::write_field(&output, &field, ty).map_err(|e| CliError::Io(e.to_string()))?;
     if !args.flag("quiet") {
         println!(
             "{} -> {}: {}x{}x{} {:?}{}",
@@ -166,12 +221,13 @@ fn cmd_decompress(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_info(args: &Args) -> Result<(), String> {
+fn cmd_info(args: &Args) -> Result<(), CliError> {
     let input = Path::new(args.req("input")?).to_path_buf();
-    let stream = std::fs::read(&input).map_err(|e| e.to_string())?;
+    let stream = std::fs::read(&input).map_err(|e| CliError::Io(e.to_string()))?;
     let sperr = Sperr::new(SperrConfig::default());
-    let info = sperr.inspect(&stream).map_err(|e| e.to_string())?;
+    let info = sperr.inspect(&stream)?;
     println!("file:        {}", input.display());
+    println!("format:      container v{}", info.version);
     println!("stream:      {} bytes (lossless pass: {})", stream.len(), info.lossless);
     println!("dims:        {}x{}x{}", info.dims[0], info.dims[1], info.dims[2]);
     println!("chunks:      {} of {}x{}x{}", info.n_chunks, info.chunk_dims[0], info.chunk_dims[1], info.chunk_dims[2]);
@@ -184,6 +240,26 @@ fn cmd_info(args: &Args) -> Result<(), String> {
     println!("payloads:    speck {} B, outliers {} B", info.speck_bytes, info.outlier_bytes);
     let n: usize = info.dims.iter().product();
     println!("bitrate:     {:.4} bpp", stream.len() as f64 * 8.0 / n as f64);
+    if args.flag("verify") {
+        let report = sperr.verify(&stream)?;
+        if !report.checksummed {
+            println!("verify:      no checksums (v1 stream) — nothing to check");
+        } else if report.is_ok() {
+            println!("verify:      all {} chunk checksums OK", report.n_chunks);
+        } else {
+            println!(
+                "verify:      {}/{} chunk checksums FAILED (chunks {:?})",
+                report.corrupt_chunks.len(),
+                report.n_chunks,
+                report.corrupt_chunks
+            );
+            return Err(CliError::Compress(CompressError::Corrupt(format!(
+                "{} of {} chunk payloads failed checksum verification",
+                report.corrupt_chunks.len(),
+                report.n_chunks
+            ))));
+        }
+    }
     Ok(())
 }
 
@@ -204,14 +280,14 @@ fn field_by_name(name: &str) -> Result<SyntheticField, String> {
     })
 }
 
-fn cmd_gen(args: &Args) -> Result<(), String> {
+fn cmd_gen(args: &Args) -> Result<(), CliError> {
     let name = args.req("field")?;
     let dims = args.req_dims("dims")?;
     let output = Path::new(args.req("output")?).to_path_buf();
     let ty = parse_type(args.req("type")?)?;
     let seed = args.opt_usize("seed")?.unwrap_or(42) as u64;
     let field = field_by_name(name)?.generate(dims, seed);
-    rawio::write_field(&output, &field, ty).map_err(|e| e.to_string())?;
+    rawio::write_field(&output, &field, ty).map_err(|e| CliError::Io(e.to_string()))?;
     if !args.flag("quiet") {
         println!(
             "generated {name} {}x{}x{} (range {:.4e}) -> {}",
@@ -225,13 +301,13 @@ fn cmd_gen(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_eval(args: &Args) -> Result<(), String> {
+fn cmd_eval(args: &Args) -> Result<(), CliError> {
     let dims = args.req_dims("dims")?;
     let ty = parse_type(args.req("type")?)?;
     let a = rawio::read_field(Path::new(args.req("original")?), dims, ty)
-        .map_err(|e| e.to_string())?;
+        .map_err(|e| CliError::Io(e.to_string()))?;
     let b = rawio::read_field(Path::new(args.req("reconstructed")?), dims, ty)
-        .map_err(|e| e.to_string())?;
+        .map_err(|e| CliError::Io(e.to_string()))?;
     println!("points:        {}", a.len());
     println!("range:         {:.6e}", a.range());
     println!("rmse:          {:.6e}", sperr_metrics::rmse(&a.data, &b.data));
@@ -309,5 +385,65 @@ mod tests {
         run(&w(&[])).unwrap();
         run(&w(&["help"])).unwrap();
         run(&w(&["compress", "--help"])).unwrap();
+    }
+
+    #[test]
+    fn exit_codes_distinguish_failure_classes() {
+        assert_eq!(exit_code(&CliError::Io("gone".into())), 1);
+        assert_eq!(exit_code(&CliError::Usage("bad flag".into())), 2);
+        let c = |e| exit_code(&CliError::Compress(e));
+        assert_eq!(c(CompressError::Invalid("x".into())), 3);
+        assert_eq!(c(CompressError::Unsupported("x")), 4);
+        assert_eq!(c(CompressError::Corrupt("x".into())), 5);
+        assert_eq!(c(CompressError::Truncated("x".into())), 6);
+        assert_eq!(c(CompressError::LimitExceeded("x".into())), 7);
+    }
+
+    #[test]
+    fn failures_map_to_their_class() {
+        // Missing file -> Io; unknown command / bad options -> Usage;
+        // garbage stream -> Compress.
+        assert!(matches!(
+            run(&w(&["info", "--input", "/nonexistent/x.sperr"])),
+            Err(CliError::Io(_))
+        ));
+        assert!(matches!(run(&w(&["frobnicate"])), Err(CliError::Usage(_))));
+        let dir = std::env::temp_dir().join("sperr_cli_class_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let junk = dir.join("junk.sperr");
+        std::fs::write(&junk, [0u8, 1, 2, 3]).unwrap();
+        assert!(matches!(
+            run(&w(&["info", "--input", junk.to_str().unwrap()])),
+            Err(CliError::Compress(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn verify_flag_detects_payload_corruption() {
+        let dir = std::env::temp_dir().join("sperr_cli_verify_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let raw = dir.join("x.raw");
+        let packed = dir.join("x.sperr");
+        run(&w(&["gen", "--field", "s3d-temp", "--dims", "16,16,16", "--output",
+                 raw.to_str().unwrap(), "--type", "f64", "--quiet"]))
+            .unwrap();
+        // No lossless outer wrapper so payload bytes are addressable.
+        run(&w(&["compress", "--input", raw.to_str().unwrap(), "--output",
+                 packed.to_str().unwrap(), "--dims", "16,16,16", "--type", "f64",
+                 "--idx", "12", "--no-lossless", "--quiet"]))
+            .unwrap();
+        // Pristine stream verifies clean.
+        run(&w(&["info", "--input", packed.to_str().unwrap(), "--verify"])).unwrap();
+        // Flip the stream's last byte (tail of the last chunk payload).
+        let mut bytes = std::fs::read(&packed).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&packed, &bytes).unwrap();
+        let err = run(&w(&["info", "--input", packed.to_str().unwrap(), "--verify"]))
+            .unwrap_err();
+        assert!(matches!(&err, CliError::Compress(CompressError::Corrupt(_))), "{err:?}");
+        assert_eq!(exit_code(&err), 5);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -118,6 +118,11 @@ pub enum CompressError {
     Corrupt(String),
     /// The input cannot be processed (dimension constraints etc.).
     Invalid(String),
+    /// The stream ended before the declared payload was complete.
+    Truncated(String),
+    /// A header-declared size exceeds what the decoder is willing to
+    /// allocate or what the remaining stream could possibly hold.
+    LimitExceeded(String),
 }
 
 impl fmt::Display for CompressError {
@@ -126,6 +131,8 @@ impl fmt::Display for CompressError {
             CompressError::Unsupported(what) => write!(f, "unsupported bound: {what}"),
             CompressError::Corrupt(msg) => write!(f, "corrupt stream: {msg}"),
             CompressError::Invalid(msg) => write!(f, "invalid input: {msg}"),
+            CompressError::Truncated(msg) => write!(f, "truncated stream: {msg}"),
+            CompressError::LimitExceeded(msg) => write!(f, "resource limit exceeded: {msg}"),
         }
     }
 }
@@ -134,7 +141,10 @@ impl std::error::Error for CompressError {}
 
 impl From<sperr_bitstream::Error> for CompressError {
     fn from(e: sperr_bitstream::Error) -> Self {
-        CompressError::Corrupt(e.to_string())
+        match e {
+            sperr_bitstream::Error::UnexpectedEof => CompressError::Truncated(e.to_string()),
+            sperr_bitstream::Error::Corrupt(_) => CompressError::Corrupt(e.to_string()),
+        }
     }
 }
 

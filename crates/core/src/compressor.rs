@@ -2,7 +2,8 @@
 //! driver (§III-D), container assembly and the lossless post-pass (§V).
 
 use crate::chunk::{chunk_grid, extract_chunk, insert_chunk};
-use crate::container::{read_container, write_container, Header, Mode};
+use crate::container::{read_container, write_container, ChunkEntry, Header, Mode};
+use crate::crc32::crc32;
 use crate::pipeline::{
     compress_chunk_bpp, compress_chunk_pwe, compress_chunk_rmse, decompress_chunk,
     decompress_chunk_multires, ChunkEncoding,
@@ -208,17 +209,108 @@ impl Sperr {
     /// chunking and per-chunk stream sizes.
     pub fn inspect(&self, stream: &[u8]) -> Result<StreamInfo, CompressError> {
         let (container, lossless) = Self::unwrap_outer(stream)?;
-        let (header, entries, _) = read_container(&container)?;
+        let parsed = read_container(&container)?;
         Ok(StreamInfo {
-            dims: header.dims,
-            chunk_dims: header.chunk_dims,
-            mode: header.mode,
-            bound_value: header.bound_value,
-            n_chunks: header.n_chunks,
+            dims: parsed.header.dims,
+            chunk_dims: parsed.header.chunk_dims,
+            mode: parsed.header.mode,
+            bound_value: parsed.header.bound_value,
+            n_chunks: parsed.header.n_chunks,
             lossless,
-            speck_bytes: entries.iter().map(|e| e.speck_len).sum(),
-            outlier_bytes: entries.iter().map(|e| e.outlier_len).sum(),
+            speck_bytes: parsed.entries.iter().map(|e| e.speck_len).sum(),
+            outlier_bytes: parsed.entries.iter().map(|e| e.outlier_len).sum(),
+            version: parsed.version,
+            payload_offset: parsed.payload_start,
+            chunk_payload_sizes: parsed
+                .entries
+                .iter()
+                .map(|e| e.speck_len + e.outlier_len)
+                .collect(),
         })
+    }
+
+    /// Verifies a v2 stream's integrity checksums without running the
+    /// (much more expensive) SPECK decode: the header CRC is checked by
+    /// the container parser, then each chunk's payload CRC is recomputed.
+    /// v1 streams carry no checksums — the report says so via
+    /// [`VerifyReport::checksummed`] and trivially lists no corruption.
+    pub fn verify(&self, stream: &[u8]) -> Result<VerifyReport, CompressError> {
+        let (container, _) = Self::unwrap_outer(stream)?;
+        let parsed = read_container(&container)?;
+        let mut corrupt_chunks = Vec::new();
+        if let Some(crcs) = &parsed.chunk_crcs {
+            let offsets = chunk_offsets(&parsed.entries, parsed.payload_start);
+            for (i, (e, &start)) in parsed.entries.iter().zip(&offsets).enumerate() {
+                let payload = &container[start..start + e.speck_len + e.outlier_len];
+                if crc32(payload) != crcs[i] {
+                    corrupt_chunks.push(i);
+                }
+            }
+        }
+        Ok(VerifyReport {
+            version: parsed.version,
+            checksummed: parsed.chunk_crcs.is_some(),
+            n_chunks: parsed.header.n_chunks,
+            corrupt_chunks,
+        })
+    }
+
+    /// Best-effort decompression of a damaged stream: chunks whose payload
+    /// checksum mismatches (v2) or whose decode fails are skipped and
+    /// their region of the volume left neutrally zero-filled, while every
+    /// healthy chunk is reconstructed normally. The per-chunk outcome is
+    /// returned alongside the field. Header-level damage (bad magic,
+    /// unreadable chunk table, failed header CRC, or a corrupted lossless
+    /// outer wrapper) still fails outright — without the table there is
+    /// nothing to salvage.
+    pub fn decompress_resilient(
+        &self,
+        stream: &[u8],
+    ) -> Result<(Field, ResilientReport), CompressError> {
+        let (container, _) = Self::unwrap_outer(stream)?;
+        let parsed = read_container(&container)?;
+        let chunks_spec = chunk_grid(parsed.header.dims, parsed.header.chunk_dims);
+        if chunks_spec.len() != parsed.entries.len() {
+            return Err(CompressError::Corrupt("chunk table size mismatch".into()));
+        }
+        let tolerance = match parsed.header.mode {
+            Mode::Pwe => parsed.header.bound_value,
+            Mode::Bpp | Mode::Rmse => 0.0,
+        };
+        let offsets = chunk_offsets(&parsed.entries, parsed.payload_start);
+        let mut volume = vec![0.0f64; parsed.header.dims.iter().product()];
+        let mut statuses = Vec::with_capacity(parsed.entries.len());
+        for (i, (spec, e)) in chunks_spec.iter().zip(&parsed.entries).enumerate() {
+            let start = offsets[i];
+            let payload = &container[start..start + e.speck_len + e.outlier_len];
+            if let Some(crcs) = &parsed.chunk_crcs {
+                if crc32(payload) != crcs[i] {
+                    // Known-bad payload: don't even hand it to the coders.
+                    statuses.push(ChunkStatus::ChecksumMismatch);
+                    continue;
+                }
+            }
+            let (speck, outlier) = payload.split_at(e.speck_len);
+            match decompress_chunk(
+                speck,
+                outlier,
+                spec.dims,
+                e.q,
+                e.num_planes,
+                e.max_n,
+                tolerance,
+                parsed.header.kernel,
+            ) {
+                Ok(chunk) => {
+                    insert_chunk(&mut volume, parsed.header.dims, spec, &chunk);
+                    statuses.push(ChunkStatus::Ok);
+                }
+                Err(e) => statuses.push(ChunkStatus::DecodeFailed(e)),
+            }
+        }
+        let field =
+            Field::new(parsed.header.dims, volume).with_precision(parsed.header.precision);
+        Ok((field, ResilientReport { statuses }))
     }
 
     /// Multi-resolution decompression (§VII): reconstructs the field at
@@ -236,39 +328,33 @@ impl Sperr {
             return self.decompress(stream);
         }
         let (container, _) = Self::unwrap_outer(stream)?;
-        let (header, entries, payload_start) = read_container(&container)?;
-        let chunks_spec = chunk_grid(header.dims, header.chunk_dims);
-        if chunks_spec.len() != header.n_chunks || entries.len() != header.n_chunks {
+        let parsed = read_container(&container)?;
+        verify_chunk_crcs(&container, &parsed)?;
+        let Header { dims, chunk_dims, kernel, precision, .. } = parsed.header;
+        let entries = parsed.entries;
+        let payload_start = parsed.payload_start;
+        let chunks_spec = chunk_grid(dims, chunk_dims);
+        if chunks_spec.len() != entries.len() {
             return Err(CompressError::Corrupt("chunk table size mismatch".into()));
         }
         let step = 1usize << level;
         // Offsets are multiples of chunk_dims; they must stay aligned
         // after coarsening (single-chunk streams are always fine).
-        if chunks_spec.len() > 1 && header.chunk_dims.iter().any(|&d| d % step != 0) {
+        if chunks_spec.len() > 1 && chunk_dims.iter().any(|&d| d % step != 0) {
             return Err(CompressError::Invalid(format!(
-                "chunk dims {:?} not divisible by 2^{level}",
-                header.chunk_dims
+                "chunk dims {chunk_dims:?} not divisible by 2^{level}"
             )));
         }
         // Coarse volume geometry: iterated ceil-halving == ceil(n / 2^l).
-        let cdims = [
-            header.dims[0].div_ceil(step),
-            header.dims[1].div_ceil(step),
-            header.dims[2].div_ceil(step),
-        ];
+        let cdims =
+            [dims[0].div_ceil(step), dims[1].div_ceil(step), dims[2].div_ceil(step)];
         let mut volume = vec![0.0f64; cdims.iter().product()];
         let mut cursor = payload_start;
         for (spec, e) in chunks_spec.iter().zip(&entries) {
             let speck = &container[cursor..cursor + e.speck_len];
             cursor += e.speck_len + e.outlier_len;
-            let (chunk, chunk_cdims) = decompress_chunk_multires(
-                speck,
-                spec.dims,
-                e.q,
-                e.num_planes,
-                level,
-                header.kernel,
-            )?;
+            let (chunk, chunk_cdims) =
+                decompress_chunk_multires(speck, spec.dims, e.q, e.num_planes, level, kernel)?;
             let coffset = [spec.offset[0] / step, spec.offset[1] / step, spec.offset[2] / step];
             insert_chunk(
                 &mut volume,
@@ -277,7 +363,7 @@ impl Sperr {
                 &chunk,
             );
         }
-        Ok(Field::new(cdims, volume).with_precision(header.precision))
+        Ok(Field::new(cdims, volume).with_precision(precision))
     }
 
     /// Region-of-interest decompression: reconstructs only the sub-box
@@ -291,7 +377,11 @@ impl Sperr {
         hi: [usize; 3],
     ) -> Result<Field, CompressError> {
         let (container, _) = Self::unwrap_outer(stream)?;
-        let (header, entries, payload_start) = read_container(&container)?;
+        let parsed = read_container(&container)?;
+        verify_chunk_crcs(&container, &parsed)?;
+        let header = parsed.header;
+        let entries = parsed.entries;
+        let payload_start = parsed.payload_start;
         for d in 0..3 {
             if lo[d] >= hi[d] || hi[d] > header.dims[d] {
                 return Err(CompressError::Invalid(format!(
@@ -361,7 +451,11 @@ impl Sperr {
             return Err(CompressError::Invalid(format!("invalid bitrate {bpp}")));
         }
         let (container, lossless) = Self::unwrap_outer(stream)?;
-        let (header, entries, payload_start) = read_container(&container)?;
+        let parsed = read_container(&container)?;
+        verify_chunk_crcs(&container, &parsed)?;
+        let header = parsed.header;
+        let entries = parsed.entries;
+        let payload_start = parsed.payload_start;
         let chunks_spec = chunk_grid(header.dims, header.chunk_dims);
         if chunks_spec.len() != entries.len() {
             return Err(CompressError::Corrupt("chunk table size mismatch".into()));
@@ -408,6 +502,90 @@ impl Sperr {
     }
 }
 
+/// Byte offset of each chunk's payload within the container.
+fn chunk_offsets(entries: &[ChunkEntry], payload_start: usize) -> Vec<usize> {
+    let mut offsets = Vec::with_capacity(entries.len());
+    let mut cursor = payload_start;
+    for e in entries {
+        offsets.push(cursor);
+        cursor += e.speck_len + e.outlier_len;
+    }
+    offsets
+}
+
+/// Checks every chunk payload against its v2 CRC; no-op for v1 streams.
+fn verify_chunk_crcs(
+    container: &[u8],
+    parsed: &crate::container::Parsed,
+) -> Result<(), CompressError> {
+    let Some(crcs) = &parsed.chunk_crcs else { return Ok(()) };
+    let offsets = chunk_offsets(&parsed.entries, parsed.payload_start);
+    for (i, (e, &start)) in parsed.entries.iter().zip(&offsets).enumerate() {
+        let payload = &container[start..start + e.speck_len + e.outlier_len];
+        if crc32(payload) != crcs[i] {
+            return Err(CompressError::Corrupt(format!("chunk {i} payload checksum mismatch")));
+        }
+    }
+    Ok(())
+}
+
+/// Outcome of one chunk in [`Sperr::decompress_resilient`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChunkStatus {
+    /// Decoded normally.
+    Ok,
+    /// The v2 payload checksum failed; the chunk was not decoded.
+    ChecksumMismatch,
+    /// The payload passed its checksum (or the stream is v1) but the
+    /// coders rejected it.
+    DecodeFailed(CompressError),
+}
+
+/// Per-chunk outcomes of a resilient decode.
+#[derive(Debug, Clone)]
+pub struct ResilientReport {
+    /// One status per chunk, in chunk-grid order.
+    pub statuses: Vec<ChunkStatus>,
+}
+
+impl ResilientReport {
+    /// True when every chunk decoded cleanly.
+    pub fn all_ok(&self) -> bool {
+        self.statuses.iter().all(|s| matches!(s, ChunkStatus::Ok))
+    }
+
+    /// Indices of chunks that failed (either way).
+    pub fn failed_chunks(&self) -> Vec<usize> {
+        self.statuses
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !matches!(s, ChunkStatus::Ok))
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Result of a checksum-only integrity pass (see [`Sperr::verify`]).
+#[derive(Debug, Clone)]
+pub struct VerifyReport {
+    /// Container format version (1 or 2).
+    pub version: u8,
+    /// Whether the stream carries checksums at all (v2 only).
+    pub checksummed: bool,
+    /// Number of chunks in the stream.
+    pub n_chunks: usize,
+    /// Indices of chunks whose payload CRC failed.
+    pub corrupt_chunks: Vec<usize>,
+}
+
+impl VerifyReport {
+    /// True when no checksum failed (vacuously true for v1 streams —
+    /// check [`Self::checksummed`] to tell the difference).
+    pub fn is_ok(&self) -> bool {
+        self.corrupt_chunks.is_empty()
+    }
+}
+
 /// Metadata describing a SPERR stream (see [`Sperr::inspect`]).
 #[derive(Debug, Clone)]
 pub struct StreamInfo {
@@ -428,6 +606,15 @@ pub struct StreamInfo {
     pub speck_bytes: usize,
     /// Total outlier payload bytes across chunks.
     pub outlier_bytes: usize,
+    /// Container format version (1 = legacy, 2 = checksummed).
+    pub version: u8,
+    /// Byte offset of the first chunk payload *within the container*
+    /// (add 1 for the outer flag byte when `lossless` is false; for
+    /// lossless streams the container is not byte-addressable from the
+    /// outside).
+    pub payload_offset: usize,
+    /// Per-chunk payload sizes (SPECK + outlier bytes), in chunk order.
+    pub chunk_payload_sizes: Vec<usize>,
 }
 
 impl LossyCompressor for Sperr {
@@ -452,19 +639,19 @@ impl LossyCompressor for Sperr {
             OUTER_LOSSLESS => sperr_lossless::decompress(rest)?,
             f => return Err(CompressError::Corrupt(format!("unknown outer flag {f}"))),
         };
-        let (header, entries, payload_start) = read_container(&container)?;
+        let parsed = read_container(&container)?;
+        // Strict mode: any checksummed chunk failing its CRC fails the
+        // whole decode (use `decompress_resilient` to salvage the rest).
+        verify_chunk_crcs(&container, &parsed)?;
+        let header = parsed.header;
+        let entries = parsed.entries;
         let chunks_spec = chunk_grid(header.dims, header.chunk_dims);
-        if chunks_spec.len() != header.n_chunks || entries.len() != header.n_chunks {
+        if chunks_spec.len() != entries.len() {
             return Err(CompressError::Corrupt("chunk table size mismatch".into()));
         }
 
         // Pre-slice each chunk's payload region.
-        let mut offsets = Vec::with_capacity(entries.len());
-        let mut cursor = payload_start;
-        for e in &entries {
-            offsets.push(cursor);
-            cursor += e.speck_len + e.outlier_len;
-        }
+        let offsets = chunk_offsets(&entries, parsed.payload_start);
 
         let tolerance = match header.mode {
             Mode::Pwe => header.bound_value,
@@ -550,6 +737,104 @@ mod tests {
     #[test]
     fn parallel_map_single_item() {
         assert_eq!(parallel_map(1, 8, |i| i + 1), vec![1]);
+    }
+
+    fn test_field(dims: [usize; 3]) -> Field {
+        Field::from_fn(dims, |x, y, z| {
+            (x as f64 * 0.3).sin() * 20.0 + (y as f64 * 0.2).cos() * 10.0 + z as f64 * 0.5
+        })
+    }
+
+    fn raw_sperr() -> Sperr {
+        Sperr::new(SperrConfig {
+            chunk_dims: [16, 16, 16],
+            lossless: false,
+            ..SperrConfig::default()
+        })
+    }
+
+    #[test]
+    fn v1_stream_decodes_back_compat() {
+        // Re-emit a freshly compressed stream in the legacy v1 layout and
+        // check the reader still accepts it, byte-identically.
+        let field = test_field([16, 16, 16]);
+        let sperr = raw_sperr();
+        let v2 = sperr.compress(&field, Bound::Pwe(1e-3)).unwrap();
+        let parsed = read_container(&v2[1..]).unwrap();
+        let offsets = chunk_offsets(&parsed.entries, parsed.payload_start);
+        let chunks: Vec<ChunkEncoding> = parsed
+            .entries
+            .iter()
+            .zip(&offsets)
+            .map(|(e, &s)| ChunkEncoding {
+                speck_stream: v2[1 + s..1 + s + e.speck_len].to_vec(),
+                outlier_stream:
+                    v2[1 + s + e.speck_len..1 + s + e.speck_len + e.outlier_len].to_vec(),
+                q: e.q,
+                num_planes: e.num_planes,
+                max_n: e.max_n,
+                num_outliers: e.num_outliers,
+                speck_bits: e.speck_len * 8,
+                outlier_bits: e.outlier_len * 8,
+                times: Default::default(),
+                coeff_sq_error: 0.0,
+            })
+            .collect();
+        let v1 = crate::container::write_container_v1(&parsed.header, &chunks);
+        let mut legacy = vec![OUTER_RAW];
+        legacy.extend_from_slice(&v1);
+        assert_eq!(
+            sperr.decompress(&legacy).unwrap().data,
+            sperr.decompress(&v2).unwrap().data
+        );
+        assert_eq!(sperr.inspect(&legacy).unwrap().version, 1);
+        let report = sperr.verify(&legacy).unwrap();
+        assert!(!report.checksummed);
+        assert!(report.is_ok());
+    }
+
+    #[test]
+    fn resilient_decode_isolates_damaged_chunk() {
+        // Two chunks; flip a byte inside the second chunk's payload. The
+        // strict decoder must reject the stream, verify() must name the
+        // chunk, and the resilient decoder must return chunk 0
+        // bit-identical with chunk 1 zero-filled.
+        let field = test_field([32, 16, 16]);
+        let sperr = raw_sperr();
+        let stream = sperr.compress(&field, Bound::Pwe(1e-3)).unwrap();
+        let info = sperr.inspect(&stream).unwrap();
+        assert_eq!(info.n_chunks, 2);
+        let clean = sperr.decompress(&stream).unwrap();
+
+        let mut bad = stream.clone();
+        let target = 1 + info.payload_offset + info.chunk_payload_sizes[0] + 2;
+        bad[target] ^= 0xFF;
+
+        assert!(matches!(sperr.decompress(&bad), Err(CompressError::Corrupt(_))));
+        assert_eq!(sperr.verify(&bad).unwrap().corrupt_chunks, vec![1]);
+
+        let (rec, report) = sperr.decompress_resilient(&bad).unwrap();
+        assert_eq!(report.statuses[0], ChunkStatus::Ok);
+        assert_eq!(report.statuses[1], ChunkStatus::ChecksumMismatch);
+        assert_eq!(report.failed_chunks(), vec![1]);
+        assert!(!report.all_ok());
+        // Chunk 0 spans x in 0..16; chunk 1 spans x in 16..32.
+        for z in 0..16 {
+            for y in 0..16 {
+                for x in 0..32 {
+                    let i = x + 32 * (y + 16 * z);
+                    if x < 16 {
+                        assert_eq!(rec.data[i], clean.data[i], "healthy chunk altered at {i}");
+                    } else {
+                        assert_eq!(rec.data[i], 0.0, "damaged chunk not neutral at {i}");
+                    }
+                }
+            }
+        }
+        // An undamaged stream reports all chunks Ok and matches strict.
+        let (rec2, report2) = sperr.decompress_resilient(&stream).unwrap();
+        assert!(report2.all_ok());
+        assert_eq!(rec2.data, clean.data);
     }
 
     #[test]

@@ -2,14 +2,44 @@
 //! a fixed twenty-byte header whose cost is included in all evaluations),
 //! an extended header, per-chunk tables, and the concatenated chunk
 //! bitstreams.
+//!
+//! Two format versions exist:
+//!
+//! * **v1** — header, chunk table, payloads (the original layout).
+//! * **v2** — identical through the chunk table, then one CRC-32 per
+//!   chunk payload, then a CRC-32 over everything preceding it (the
+//!   "header CRC"), then payloads. The checksums let a reader detect
+//!   corruption cheaply ([`crate::Sperr::verify`]) and localize damage to
+//!   individual chunks ([`crate::Sperr::decompress_resilient`]).
+//!
+//! The writer emits v2; the reader accepts both versions (v1 streams have
+//! no checksums, so `chunk_crcs` parses as `None`).
 
+use crate::crc32::crc32;
 use crate::pipeline::ChunkEncoding;
 use sperr_bitstream::{ByteReader, ByteWriter};
 use sperr_compress_api::{CompressError, Precision};
 use sperr_wavelet::Kernel;
 
 pub(crate) const MAGIC: &[u8; 4] = b"SPRR";
-pub(crate) const VERSION: u8 = 1;
+/// Version written by [`write_container`].
+pub(crate) const VERSION: u8 = 2;
+/// Legacy checksum-free version, still accepted by [`read_container`].
+pub(crate) const VERSION_V1: u8 = 1;
+
+/// Serialized size of one chunk-table entry: f64 q, u8 num_planes,
+/// u8 max_n, u32 num_outliers, u32 speck_len, u32 outlier_len.
+pub(crate) const CHUNK_ENTRY_BYTES: usize = 22;
+
+/// Hard ceiling on the total number of points a container may declare;
+/// matches the SPECK coder's u32-index domain and keeps a corrupted
+/// header from driving giant allocations.
+const MAX_VOLUME_ELEMENTS: u64 = u32::MAX as u64;
+
+/// Hard ceiling on the number of chunks in one container. The chunk grid
+/// is materialized in memory, so a corrupt header must not be able to
+/// declare an absurd grid.
+const MAX_CHUNKS: u64 = 1 << 22;
 
 /// Termination mode recorded in the stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,6 +80,18 @@ pub(crate) struct ChunkEntry {
     pub outlier_len: usize,
 }
 
+/// Everything [`read_container`] extracts from a stream.
+#[derive(Debug, Clone)]
+pub(crate) struct Parsed {
+    pub version: u8,
+    pub header: Header,
+    pub entries: Vec<ChunkEntry>,
+    /// Byte offset of the first payload byte.
+    pub payload_start: usize,
+    /// Per-chunk payload CRC-32s (v2 streams only).
+    pub chunk_crcs: Option<Vec<u32>>,
+}
+
 fn kernel_tag(k: Kernel) -> u8 {
     match k {
         Kernel::Cdf97 => 0,
@@ -67,12 +109,12 @@ fn kernel_from_tag(tag: u8) -> Result<Kernel, CompressError> {
     }
 }
 
-/// Serializes header + chunk table + payloads.
-pub(crate) fn write_container(header: &Header, chunks: &[ChunkEncoding]) -> Vec<u8> {
+/// Serializes header + chunk table (+ v2 checksums) + payloads.
+fn write_container_versioned(header: &Header, chunks: &[ChunkEncoding], version: u8) -> Vec<u8> {
     let mut w = ByteWriter::new();
     // Fixed 20-byte header.
     w.put_bytes(MAGIC);
-    w.put_u8(VERSION);
+    w.put_u8(version);
     w.put_u8(match header.mode {
         Mode::Pwe => 0,
         Mode::Bpp => 1,
@@ -102,6 +144,20 @@ pub(crate) fn write_container(header: &Header, chunks: &[ChunkEncoding]) -> Vec<
         w.put_u32(c.speck_stream.len() as u32);
         w.put_u32(c.outlier_stream.len() as u32);
     }
+    if version >= 2 {
+        // One CRC per chunk, over the chunk's concatenated payload bytes
+        // (SPECK stream then outlier stream).
+        for c in chunks {
+            let mut crc_input = Vec::with_capacity(c.speck_stream.len() + c.outlier_stream.len());
+            crc_input.extend_from_slice(&c.speck_stream);
+            crc_input.extend_from_slice(&c.outlier_stream);
+            w.put_u32(crc32(&crc_input));
+        }
+        // Header CRC over every byte written so far (fixed + extended
+        // headers, chunk table, chunk CRCs).
+        let header_crc = crc32(w.as_slice());
+        w.put_u32(header_crc);
+    }
     // Payloads.
     for c in chunks {
         w.put_bytes(&c.speck_stream);
@@ -110,18 +166,31 @@ pub(crate) fn write_container(header: &Header, chunks: &[ChunkEncoding]) -> Vec<
     w.into_bytes()
 }
 
-/// Parses a container, returning metadata, the chunk table and the
-/// payload cursor (as byte offsets into `bytes`).
-pub(crate) fn read_container(
-    bytes: &[u8],
-) -> Result<(Header, Vec<ChunkEntry>, usize), CompressError> {
+/// Serializes a current-version (v2) container.
+pub(crate) fn write_container(header: &Header, chunks: &[ChunkEncoding]) -> Vec<u8> {
+    write_container_versioned(header, chunks, VERSION)
+}
+
+/// Serializes a legacy v1 container (no checksums). Kept for back-compat
+/// tests: every reader must keep accepting v1 streams.
+#[cfg(test)]
+pub(crate) fn write_container_v1(header: &Header, chunks: &[ChunkEncoding]) -> Vec<u8> {
+    write_container_versioned(header, chunks, VERSION_V1)
+}
+
+/// Parses a container (v1 or v2), returning metadata, the chunk table,
+/// the payload offset, and the v2 checksums when present. For v2 streams
+/// the header CRC is verified here; per-chunk payload CRCs are left to
+/// the caller, which may want per-chunk granularity (resilient decode)
+/// rather than all-or-nothing failure.
+pub(crate) fn read_container(bytes: &[u8]) -> Result<Parsed, CompressError> {
     let mut r = ByteReader::new(bytes);
     if r.get_bytes(4)? != MAGIC {
         return Err(CompressError::Corrupt("bad magic".into()));
     }
     let version = r.get_u8()?;
-    if version != VERSION {
-        return Err(CompressError::Corrupt(format!("unsupported version {version}")));
+    if version != VERSION_V1 && version != VERSION {
+        return Err(CompressError::Unsupported("unsupported container version"));
     }
     let mode = match r.get_u8()? {
         0 => Mode::Pwe,
@@ -139,18 +208,39 @@ pub(crate) fn read_container(
     if dims.iter().any(|&d| d == 0) {
         return Err(CompressError::Corrupt("zero dimension".into()));
     }
+    let n_total = dims.iter().fold(1u64, |acc, &d| acc.saturating_mul(d as u64));
+    if n_total > MAX_VOLUME_ELEMENTS {
+        return Err(CompressError::LimitExceeded(format!(
+            "declared volume of {n_total} points exceeds the {MAX_VOLUME_ELEMENTS} limit"
+        )));
+    }
     let bound_value = r.get_f64()?;
-    let chunk_dims =
-        [r.get_u32()? as usize, r.get_u32()? as usize, r.get_u32()? as usize];
+    let chunk_dims = [r.get_u32()? as usize, r.get_u32()? as usize, r.get_u32()? as usize];
     if chunk_dims.iter().any(|&d| d == 0) {
         return Err(CompressError::Corrupt("zero chunk dimension".into()));
     }
     let n_chunks = r.get_u32()? as usize;
-    let expected = crate::chunk::chunk_grid(dims, chunk_dims).len();
-    if n_chunks != expected {
-        return Err(CompressError::Corrupt(format!(
-            "chunk count {n_chunks} does not match grid {expected}"
+    // Validate the chunk count against the grid the dims imply, without
+    // materializing the grid first (a corrupt header must not drive the
+    // allocation inside `chunk_grid`).
+    let grid_size = dims
+        .iter()
+        .zip(&chunk_dims)
+        .fold(1u64, |acc, (&d, &c)| acc.saturating_mul(d.div_ceil(c) as u64));
+    if grid_size > MAX_CHUNKS {
+        return Err(CompressError::LimitExceeded(format!(
+            "declared chunk grid of {grid_size} chunks exceeds the {MAX_CHUNKS} limit"
         )));
+    }
+    if n_chunks as u64 != grid_size {
+        return Err(CompressError::Corrupt(format!(
+            "chunk count {n_chunks} does not match grid {grid_size}"
+        )));
+    }
+    // The chunk table must physically fit in the remaining stream before
+    // any reservation sized by it.
+    if n_chunks.saturating_mul(CHUNK_ENTRY_BYTES) > r.remaining() {
+        return Err(CompressError::Truncated("chunk table extends past end of stream".into()));
     }
     let mut entries = Vec::with_capacity(n_chunks);
     for _ in 0..n_chunks {
@@ -165,16 +255,38 @@ pub(crate) fn read_container(
         }
         entries.push(ChunkEntry { q, num_planes, max_n, num_outliers, speck_len, outlier_len });
     }
+    let chunk_crcs = if version >= 2 {
+        if n_chunks.saturating_mul(4) + 4 > r.remaining() {
+            return Err(CompressError::Truncated("checksum table extends past end of stream".into()));
+        }
+        let mut crcs = Vec::with_capacity(n_chunks);
+        for _ in 0..n_chunks {
+            crcs.push(r.get_u32()?);
+        }
+        // Header CRC covers every byte before the CRC field itself.
+        let covered = &bytes[..r.position()];
+        let stored = r.get_u32()?;
+        if crc32(covered) != stored {
+            return Err(CompressError::Corrupt("header checksum mismatch".into()));
+        }
+        Some(crcs)
+    } else {
+        None
+    };
     let payload_start = r.position();
-    let payload_total: usize = entries.iter().map(|e| e.speck_len + e.outlier_len).sum();
-    if bytes.len() < payload_start + payload_total {
-        return Err(CompressError::Corrupt("truncated payload section".into()));
+    let payload_total = entries
+        .iter()
+        .fold(0u64, |acc, e| acc.saturating_add(e.speck_len as u64 + e.outlier_len as u64));
+    if (bytes.len() as u64) < payload_start as u64 + payload_total {
+        return Err(CompressError::Truncated("payload section shorter than declared".into()));
     }
-    Ok((
-        Header { mode, kernel, precision, dims, chunk_dims, bound_value, n_chunks },
+    Ok(Parsed {
+        version,
+        header: Header { mode, kernel, precision, dims, chunk_dims, bound_value, n_chunks },
         entries,
         payload_start,
-    ))
+        chunk_crcs,
+    })
 }
 
 #[cfg(test)]
@@ -197,9 +309,8 @@ mod tests {
         }
     }
 
-    #[test]
-    fn header_is_exactly_20_bytes_before_extension() {
-        let header = Header {
+    fn dummy_header() -> Header {
+        Header {
             mode: Mode::Pwe,
             kernel: Kernel::Cdf97,
             precision: Precision::Double,
@@ -207,14 +318,19 @@ mod tests {
             chunk_dims: [8, 8, 8],
             bound_value: 0.25,
             n_chunks: 1,
-        };
-        let bytes = write_container(&header, &[dummy_chunk(vec![1, 2, 3], vec![])]);
+        }
+    }
+
+    #[test]
+    fn header_is_exactly_20_bytes_before_extension() {
+        let bytes = write_container(&dummy_header(), &[dummy_chunk(vec![1, 2, 3], vec![])]);
         assert_eq!(&bytes[..4], MAGIC);
         // dims start at offset 8, occupy 12 bytes -> fixed header = 20.
-        let (parsed, entries, payload_start) = read_container(&bytes).unwrap();
-        assert_eq!(parsed.dims, [8, 8, 8]);
-        assert_eq!(entries.len(), 1);
-        assert_eq!(&bytes[payload_start..payload_start + 3], &[1, 2, 3]);
+        let parsed = read_container(&bytes).unwrap();
+        assert_eq!(parsed.version, VERSION);
+        assert_eq!(parsed.header.dims, [8, 8, 8]);
+        assert_eq!(parsed.entries.len(), 1);
+        assert_eq!(&bytes[parsed.payload_start..parsed.payload_start + 3], &[1, 2, 3]);
     }
 
     #[test]
@@ -230,29 +346,61 @@ mod tests {
         };
         let chunks = vec![dummy_chunk(vec![9; 5], vec![7; 2]), dummy_chunk(vec![1; 3], vec![])];
         let bytes = write_container(&header, &chunks);
-        let (parsed, entries, payload_start) = read_container(&bytes).unwrap();
-        assert_eq!(parsed.mode, Mode::Bpp);
-        assert_eq!(parsed.kernel, Kernel::Cdf53);
-        assert_eq!(parsed.precision, Precision::Single);
-        assert_eq!(entries[0].speck_len, 5);
-        assert_eq!(entries[0].outlier_len, 2);
-        assert_eq!(entries[1].speck_len, 3);
-        let payload = &bytes[payload_start..];
+        let parsed = read_container(&bytes).unwrap();
+        assert_eq!(parsed.header.mode, Mode::Bpp);
+        assert_eq!(parsed.header.kernel, Kernel::Cdf53);
+        assert_eq!(parsed.header.precision, Precision::Single);
+        assert_eq!(parsed.entries[0].speck_len, 5);
+        assert_eq!(parsed.entries[0].outlier_len, 2);
+        assert_eq!(parsed.entries[1].speck_len, 3);
+        let payload = &bytes[parsed.payload_start..];
         assert_eq!(payload, &[9, 9, 9, 9, 9, 7, 7, 1, 1, 1]);
+        // v2 checksums are present and match the payloads.
+        let crcs = parsed.chunk_crcs.unwrap();
+        assert_eq!(crcs.len(), 2);
+        assert_eq!(crcs[0], crc32(&[9, 9, 9, 9, 9, 7, 7]));
+        assert_eq!(crcs[1], crc32(&[1, 1, 1]));
+    }
+
+    #[test]
+    fn v1_stream_still_parses_without_checksums() {
+        let bytes = write_container_v1(&dummy_header(), &[dummy_chunk(vec![1, 2, 3], vec![4])]);
+        let parsed = read_container(&bytes).unwrap();
+        assert_eq!(parsed.version, VERSION_V1);
+        assert!(parsed.chunk_crcs.is_none());
+        assert_eq!(parsed.entries[0].speck_len, 3);
+        assert_eq!(&bytes[parsed.payload_start..], &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn v2_is_v1_plus_checksum_block() {
+        // The two layouts agree byte-for-byte up to the checksum block
+        // (modulo the version byte), so v1 readers of the future could at
+        // worst skip checksums, and sizes differ by exactly 4(n+1) bytes.
+        let chunks = vec![dummy_chunk(vec![1, 2, 3], vec![4])];
+        let v1 = write_container_v1(&dummy_header(), &chunks);
+        let v2 = write_container(&dummy_header(), &chunks);
+        assert_eq!(v2.len(), v1.len() + 4 * (chunks.len() + 1));
+        let table_end = 20 + 24 + CHUNK_ENTRY_BYTES * chunks.len();
+        assert_eq!(v1[5..table_end], v2[5..table_end]);
+    }
+
+    #[test]
+    fn header_checksum_detects_any_header_byte_flip() {
+        let bytes = write_container(&dummy_header(), &[dummy_chunk(vec![1, 2, 3], vec![])]);
+        let parsed = read_container(&bytes).unwrap();
+        // Flip each byte of the protected region (skipping none): every
+        // mutation must be rejected, never panic.
+        for i in 0..parsed.payload_start {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0xA5;
+            assert!(read_container(&bad).is_err(), "header flip at byte {i} accepted");
+        }
     }
 
     #[test]
     fn corrupt_inputs_rejected() {
-        let header = Header {
-            mode: Mode::Pwe,
-            kernel: Kernel::Cdf97,
-            precision: Precision::Double,
-            dims: [8, 8, 8],
-            chunk_dims: [8, 8, 8],
-            bound_value: 0.25,
-            n_chunks: 1,
-        };
-        let good = write_container(&header, &[dummy_chunk(vec![1, 2, 3], vec![])]);
+        let good = write_container(&dummy_header(), &[dummy_chunk(vec![1, 2, 3], vec![])]);
         // magic
         let mut bad = good.clone();
         bad[0] = b'X';
@@ -260,7 +408,7 @@ mod tests {
         // version
         let mut bad = good.clone();
         bad[4] = 99;
-        assert!(read_container(&bad).is_err());
+        assert!(matches!(read_container(&bad), Err(CompressError::Unsupported(_))));
         // truncated payload
         let bad = &good[..good.len() - 2];
         assert!(read_container(bad).is_err());
@@ -268,5 +416,24 @@ mod tests {
         let mut bad = good.clone();
         bad[8..12].fill(0);
         assert!(read_container(&bad).is_err());
+    }
+
+    #[test]
+    fn absurd_headers_hit_limits_not_allocations() {
+        // Craft a v1 stream (no header CRC to fix up) with huge dims.
+        let good = write_container_v1(&dummy_header(), &[dummy_chunk(vec![1, 2, 3], vec![])]);
+        // Volume limit: dims -> u32::MAX on every axis.
+        let mut bad = good.clone();
+        bad[8..20].fill(0xFF);
+        assert!(matches!(read_container(&bad), Err(CompressError::LimitExceeded(_))));
+        // Chunk-grid limit: big volume, 1x1x1 chunks.
+        let mut bad = good.clone();
+        bad[8..12].copy_from_slice(&4096u32.to_le_bytes());
+        bad[12..16].copy_from_slice(&4096u32.to_le_bytes());
+        bad[16..20].copy_from_slice(&64u32.to_le_bytes());
+        bad[28..32].copy_from_slice(&1u32.to_le_bytes());
+        bad[32..36].copy_from_slice(&1u32.to_le_bytes());
+        bad[36..40].copy_from_slice(&1u32.to_le_bytes());
+        assert!(matches!(read_container(&bad), Err(CompressError::LimitExceeded(_))));
     }
 }

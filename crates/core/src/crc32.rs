@@ -1,0 +1,61 @@
+//! From-scratch CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) used
+//! by the v2 container format for header and per-chunk payload integrity
+//! checks. A table-driven byte-at-a-time implementation: the 256-entry
+//! table is built once at first use.
+
+use std::sync::OnceLock;
+
+const POLY: u32 = 0xEDB8_8320;
+
+fn table() -> &'static [u32; 256] {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, e) in t.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            }
+            *e = crc;
+        }
+        t
+    })
+}
+
+/// CRC-32 of `data` (initial value 0xFFFFFFFF, final XOR 0xFFFFFFFF — the
+/// standard zlib/PNG convention).
+pub(crate) fn crc32(data: &[u8]) -> u32 {
+    let t = table();
+    let mut crc = !0u32;
+    for &b in data {
+        crc = (crc >> 8) ^ t[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check value for "123456789" under CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let base = crc32(data);
+        let mut copy = data.to_vec();
+        for i in 0..copy.len() {
+            for bit in 0..8 {
+                copy[i] ^= 1 << bit;
+                assert_ne!(crc32(&copy), base, "flip at byte {i} bit {bit} undetected");
+                copy[i] ^= 1 << bit;
+            }
+        }
+    }
+}

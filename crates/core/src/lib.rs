@@ -56,11 +56,14 @@ pub mod archive;
 mod chunk;
 mod compressor;
 mod container;
+mod crc32;
 mod pipeline;
 mod stats;
 
 pub use chunk::{chunk_grid, ChunkSpec};
-pub use compressor::{Sperr, SperrConfig, StreamInfo};
+pub use compressor::{
+    ChunkStatus, ResilientReport, Sperr, SperrConfig, StreamInfo, VerifyReport,
+};
 pub use container::Mode;
 pub use pipeline::{
     compress_chunk_pwe, compress_chunk_rmse, decompress_chunk, decompress_chunk_multires,

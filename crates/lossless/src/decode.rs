@@ -1,0 +1,111 @@
+//! The SLZ1 container decoder, kept in its own module so the whole decode
+//! path can be audited for panic-freedom (see the repo's
+//! `tests/panic_audit.rs`): nothing in this file may `unwrap`, `expect`,
+//! `panic!` or `assert` — all failures on untrusted input surface as
+//! [`DecodeError`].
+
+use crate::{lz77, BLOCK_SIZE, MAGIC};
+use sperr_bitstream::ByteReader;
+use std::fmt;
+
+/// Upper bound on the output bytes a stream may declare per input byte.
+/// The LZ77 back end tops out near 207x (a 259-byte match costs at least
+/// 10 bits); anything above this factor cannot be a genuine SLZ1 stream
+/// and is rejected before any allocation.
+const MAX_EXPANSION: usize = 1024;
+
+/// Cap on the up-front reservation for the output buffer; growth beyond
+/// this is paid for by actual decoded blocks, so a huge declared raw
+/// length cannot allocate memory the stream does not back.
+const MAX_PREALLOC: usize = 16 * 1024 * 1024;
+
+/// Typed decoder-side failure. Untrusted streams must never panic the
+/// decoder; every structural problem maps to one of these.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The stream ended before the declared structure was complete.
+    Truncated(&'static str),
+    /// The stream or its declared parameters are structurally invalid.
+    Corrupt(&'static str),
+    /// A declared size exceeds what the decoder is willing to allocate.
+    LimitExceeded(&'static str),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated(msg) => write!(f, "truncated SLZ1 stream: {msg}"),
+            DecodeError::Corrupt(msg) => write!(f, "corrupt SLZ1 stream: {msg}"),
+            DecodeError::LimitExceeded(msg) => write!(f, "SLZ1 decode limit exceeded: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl From<sperr_bitstream::Error> for DecodeError {
+    fn from(e: sperr_bitstream::Error) -> Self {
+        match e {
+            sperr_bitstream::Error::UnexpectedEof => {
+                DecodeError::Truncated("unexpected end of stream")
+            }
+            sperr_bitstream::Error::Corrupt(msg) => DecodeError::Corrupt(msg),
+        }
+    }
+}
+
+impl From<DecodeError> for sperr_compress_api::CompressError {
+    fn from(e: DecodeError) -> Self {
+        use sperr_compress_api::CompressError;
+        match e {
+            DecodeError::Truncated(_) => CompressError::Truncated(e.to_string()),
+            DecodeError::Corrupt(_) => CompressError::Corrupt(e.to_string()),
+            DecodeError::LimitExceeded(_) => CompressError::LimitExceeded(e.to_string()),
+        }
+    }
+}
+
+/// Decompresses a stream produced by [`crate::compress`]. Corrupt or
+/// truncated input returns a typed error; the declared raw length is
+/// treated as untrusted and never allocated blindly.
+pub fn decompress(data: &[u8]) -> Result<Vec<u8>, DecodeError> {
+    let mut r = ByteReader::new(data);
+    if r.get_bytes(4)? != MAGIC {
+        return Err(DecodeError::Corrupt("bad SLZ1 magic"));
+    }
+    let raw_len_u64 = r.get_u64()?;
+    if raw_len_u64 > (data.len().saturating_mul(MAX_EXPANSION).saturating_add(BLOCK_SIZE)) as u64
+    {
+        return Err(DecodeError::LimitExceeded("declared raw length implausibly large"));
+    }
+    let raw_len = raw_len_u64 as usize;
+    let mut out = Vec::with_capacity(raw_len.min(MAX_PREALLOC));
+    loop {
+        let flags = r.get_u8()?;
+        let block_len = r.get_u32()? as usize;
+        if block_len > BLOCK_SIZE {
+            return Err(DecodeError::Corrupt("block exceeds maximum block size"));
+        }
+        if out.len() + block_len > raw_len {
+            return Err(DecodeError::Corrupt("blocks overrun declared raw length"));
+        }
+        if flags & 0b01 != 0 {
+            let payload_len = r.get_u32()? as usize;
+            let payload = r.get_bytes(payload_len)?;
+            let block = lz77::decompress_block(payload, block_len)?;
+            out.extend_from_slice(&block);
+        } else {
+            out.extend_from_slice(r.get_bytes(block_len)?);
+        }
+        if flags & 0b10 != 0 {
+            break;
+        }
+        if r.is_empty() {
+            return Err(DecodeError::Truncated("missing last-block flag"));
+        }
+    }
+    if out.len() != raw_len {
+        return Err(DecodeError::Corrupt("raw length mismatch"));
+    }
+    Ok(out)
+}

@@ -127,16 +127,20 @@ fn huffman_lengths(freqs: &[u64]) -> Vec<u8> {
 /// bit patterns).
 pub fn canonical_codes(lengths: &[u8]) -> Vec<u32> {
     let max = lengths.iter().copied().max().unwrap_or(0);
-    let mut count = vec![0u32; max as usize + 1];
+    let mut count = vec![0u64; max as usize + 1];
     for &l in lengths {
         if l > 0 {
             count[l as usize] += 1;
         }
     }
-    let mut next = vec![0u32; max as usize + 2];
-    let mut code = 0u32;
+    // Wrapping u64 arithmetic: adversarial length tables (decoder side)
+    // need not satisfy Kraft, and the canonical recurrence can overflow on
+    // them. A wrapped code yields a garbage-but-harmless table whose
+    // lookups simply fail to match.
+    let mut next = vec![0u64; max as usize + 2];
+    let mut code = 0u64;
     for l in 1..=max as usize {
-        code = (code + count[l - 1]) << 1;
+        code = code.wrapping_add(count[l - 1]).wrapping_shl(1);
         next[l] = code;
     }
     lengths
@@ -146,8 +150,8 @@ pub fn canonical_codes(lengths: &[u8]) -> Vec<u32> {
                 0
             } else {
                 let c = next[l as usize];
-                next[l as usize] += 1;
-                c
+                next[l as usize] = c.wrapping_add(1);
+                c as u32
             }
         })
         .collect()
@@ -161,7 +165,7 @@ pub struct CanonicalCode {
     /// Decoding tables: for each length, the first canonical code, the
     /// index (into `sorted_symbols`) of its first symbol, and the number
     /// of codes of that length.
-    first_code: Vec<u32>,
+    first_code: Vec<u64>,
     first_index: Vec<u32>,
     count: Vec<u32>,
     sorted_symbols: Vec<u32>,
@@ -179,15 +183,17 @@ impl CanonicalCode {
                 count[l as usize] += 1;
             }
         }
-        let mut first_code = vec![0u32; max_len as usize + 2];
+        // u64 wrapping arithmetic for the same reason as in
+        // [`canonical_codes`]: decoder-side length tables are untrusted.
+        let mut first_code = vec![0u64; max_len as usize + 2];
         let mut first_index = vec![0u32; max_len as usize + 2];
-        let mut code = 0u32;
+        let mut code = 0u64;
         let mut index = 0u32;
         for l in 1..=max_len as usize {
-            code = (code + count[l - 1]) << 1;
+            code = code.wrapping_add(count[l - 1] as u64).wrapping_shl(1);
             first_code[l] = code;
             first_index[l] = index;
-            index += count[l];
+            index = index.wrapping_add(count[l]);
         }
         // Symbols sorted by (length, symbol).
         let mut sorted: Vec<u32> = (0..lengths.len() as u32).filter(|&s| lengths[s as usize] > 0).collect();
@@ -227,13 +233,18 @@ impl CanonicalCode {
     /// Reads one symbol from the bit source.
     #[inline]
     pub fn decode_symbol(&self, input: &mut BitReader<'_>) -> Result<u32, Error> {
-        let mut code = 0u32;
-        for len in 1..=self.max_len as usize {
-            code = (code << 1) | input.get_bit()? as u32;
+        let mut code = 0u64;
+        // Cap at 63 so the shift below cannot overflow even if an
+        // adversarial length table declared absurd depths.
+        for len in 1..=(self.max_len as usize).min(63) {
+            code = (code << 1) | input.get_bit()? as u64;
             let fc = self.first_code[len];
-            if code >= fc && code - fc < self.count[len] {
-                let idx = self.first_index[len] + (code - fc);
-                return Ok(self.sorted_symbols[idx as usize]);
+            if code >= fc && code.wrapping_sub(fc) < self.count[len] as u64 {
+                let idx = self.first_index[len] as u64 + (code - fc);
+                return match self.sorted_symbols.get(idx as usize) {
+                    Some(&s) => Ok(s),
+                    None => Err(Error::Corrupt("invalid Huffman code")),
+                };
             }
         }
         Err(Error::Corrupt("invalid Huffman code"))
@@ -265,15 +276,26 @@ pub fn encode_symbols(symbols: &[u32], alphabet: usize) -> Vec<u8> {
 pub fn decode_symbols(bytes: &[u8]) -> Result<Vec<u32>, Error> {
     let mut r = BitReader::new(bytes);
     let alphabet = r.get_bits(32)? as usize;
-    let count = r.get_bits(64)? as usize;
-    if alphabet > (1 << 24) || count > (1 << 40) {
-        return Err(Error::Corrupt("implausible Huffman header"));
+    let count = r.get_bits(64)?;
+    if alphabet > (1 << 24) {
+        return Err(Error::Corrupt("implausible Huffman alphabet"));
+    }
+    // Each length costs LENGTH_FIELD_BITS bits; a header declaring more
+    // lengths than the stream can hold is rejected before any allocation.
+    if (alphabet as u64).saturating_mul(LENGTH_FIELD_BITS as u64) > r.remaining_bits() as u64 {
+        return Err(Error::UnexpectedEof);
     }
     let mut lengths = Vec::with_capacity(alphabet);
     for _ in 0..alphabet {
         lengths.push(r.get_bits(LENGTH_FIELD_BITS)? as u8);
     }
     let code = CanonicalCode::from_lengths(&lengths);
+    // Every coded symbol costs at least one bit, so the remaining stream
+    // bounds the symbol count; this keeps the reservation honest.
+    if count > r.remaining_bits() as u64 {
+        return Err(Error::UnexpectedEof);
+    }
+    let count = count as usize;
     let mut out = Vec::with_capacity(count);
     for _ in 0..count {
         out.push(code.decode_symbol(&mut r)?);

@@ -32,9 +32,13 @@
 //! ```
 
 pub mod huffman;
+
+mod decode;
 mod lz77;
 
-use sperr_bitstream::{ByteReader, ByteWriter, Error};
+pub use decode::{decompress, DecodeError};
+
+use sperr_bitstream::ByteWriter;
 
 const MAGIC: &[u8; 4] = b"SLZ1";
 const BLOCK_SIZE: usize = 128 * 1024;
@@ -70,38 +74,6 @@ pub fn compress(data: &[u8]) -> Vec<u8> {
         offset = end;
     }
     out.into_bytes()
-}
-
-/// Decompresses a stream produced by [`compress`].
-pub fn decompress(data: &[u8]) -> Result<Vec<u8>, Error> {
-    let mut r = ByteReader::new(data);
-    if r.get_bytes(4)? != MAGIC {
-        return Err(Error::Corrupt("bad SLZ1 magic"));
-    }
-    let raw_len = r.get_u64()? as usize;
-    let mut out = Vec::with_capacity(raw_len);
-    loop {
-        let flags = r.get_u8()?;
-        let block_len = r.get_u32()? as usize;
-        if flags & 0b01 != 0 {
-            let payload_len = r.get_u32()? as usize;
-            let payload = r.get_bytes(payload_len)?;
-            let block = lz77::decompress_block(payload, block_len)?;
-            out.extend_from_slice(&block);
-        } else {
-            out.extend_from_slice(r.get_bytes(block_len)?);
-        }
-        if flags & 0b10 != 0 {
-            break;
-        }
-        if r.is_empty() {
-            return Err(Error::Corrupt("missing last-block flag"));
-        }
-    }
-    if out.len() != raw_len {
-        return Err(Error::Corrupt("raw length mismatch"));
-    }
-    Ok(out)
 }
 
 #[cfg(test)]

@@ -1,0 +1,46 @@
+//! Property tests for the lossless stage's decode path: arbitrary payloads
+//! round-trip, and corrupt or truncated streams produce typed errors —
+//! never panics, never runaway allocations.
+
+use proptest::prelude::*;
+use sperr_lossless::{compress, decompress};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn roundtrip_arbitrary_payloads(data in prop::collection::vec(any::<u8>(), 0..2000)) {
+        let stream = compress(&data);
+        prop_assert_eq!(decompress(&stream).unwrap(), data);
+    }
+
+    #[test]
+    fn truncation_at_every_byte_boundary_never_panics(
+        data in prop::collection::vec(any::<u8>(), 0..600)
+    ) {
+        // Unlike the embedded coders, a truncated lossless stream is NOT
+        // decodable — but every proper prefix must fail with a clean error
+        // (or, for a handful of prefixes that still parse, decode to some
+        // byte vector), never a panic.
+        let stream = compress(&data);
+        for cut in 0..stream.len() {
+            let _ = decompress(&stream[..cut]);
+        }
+    }
+
+    #[test]
+    fn bit_flips_never_panic(data in prop::collection::vec(any::<u8>(), 1..600),
+                             pos_seed in any::<u64>(),
+                             bit in 0u8..8) {
+        let stream = compress(&data);
+        let mut bad = stream.clone();
+        let pos = (pos_seed as usize) % bad.len();
+        bad[pos] ^= 1 << bit;
+        let _ = decompress(&bad); // any Result; a panic is a bug
+    }
+
+    #[test]
+    fn random_garbage_never_panics(garbage in prop::collection::vec(any::<u8>(), 0..300)) {
+        let _ = decompress(&garbage);
+    }
+}

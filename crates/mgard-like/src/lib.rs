@@ -142,13 +142,21 @@ impl LossyCompressor for MgardLike {
         if dims.iter().any(|&d| d == 0) {
             return Err(CompressError::Corrupt("zero dimension".into()));
         }
+        // Untrusted header: cap the declared volume before sizing any
+        // allocation by it (u32-index domain, like the SPERR container).
+        let n = dims
+            .iter()
+            .try_fold(1u64, |acc, &d| acc.checked_mul(d as u64))
+            .filter(|&n| n <= u32::MAX as u64)
+            .ok_or_else(|| {
+                CompressError::LimitExceeded("declared volume too large".into())
+            })? as usize;
         let max_level = max_level_for(dims);
         let bin = t;
         let coarse = coarse_grid(dims, max_level);
         if r.get_u32()? as usize != coarse.len() {
             return Err(CompressError::Corrupt("coarse grid size mismatch".into()));
         }
-        let n: usize = dims.iter().product();
         let recon = RefCell::new(vec![0.0f64; n]);
         {
             let mut rc = recon.borrow_mut();

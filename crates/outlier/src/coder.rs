@@ -1,7 +1,7 @@
 //! Encoder/decoder implementing Listings 1–3 of the paper.
 
 use crate::rangemax::SparseMax;
-use sperr_bitstream::{BitReader, BitWriter, Error};
+use sperr_bitstream::BitWriter;
 
 /// One outlier: its position in the linearized array and the correction
 /// value `corr = x − x̃` (original minus wavelet reconstruction).
@@ -28,18 +28,17 @@ pub struct EncodedOutliers {
     pub num_outliers: usize,
 }
 
-struct Stop;
 
 /// An insignificant set: a half-open position range plus (encoder only)
 /// the index range of outliers it contains in the position-sorted arrays.
 #[derive(Debug, Clone, Copy)]
-struct SetR {
-    start: usize,
-    len: usize,
+pub(crate) struct SetR {
+    pub(crate) start: usize,
+    pub(crate) len: usize,
     /// Outlier index range `[olo, ohi)`; decoder carries `0, 0`.
-    olo: u32,
-    ohi: u32,
-    level: u16,
+    pub(crate) olo: u32,
+    pub(crate) ohi: u32,
+    pub(crate) level: u16,
 }
 
 // ---------------------------------------------------------------- encoder
@@ -218,134 +217,4 @@ pub fn encode(outliers: &[Outlier], array_len: usize, t: f64) -> EncodedOutliers
         bits_used,
         num_outliers: outliers.len(),
     }
-}
-
-// ---------------------------------------------------------------- decoder
-
-struct DecPoint {
-    pos: usize,
-    negative: bool,
-    corr: f64,
-}
-
-struct Decoder<'a> {
-    input: BitReader<'a>,
-    lis: Vec<Vec<SetR>>,
-    /// Indices into `points` of previously significant entries.
-    lsp: Vec<u32>,
-    lnsp: Vec<u32>,
-    points: Vec<DecPoint>,
-}
-
-impl<'a> Decoder<'a> {
-    fn read_bit(&mut self) -> Result<bool, Stop> {
-        self.input.get_bit().map_err(|_| Stop)
-    }
-
-    fn push_lis(&mut self, set: SetR) {
-        let lvl = set.level as usize;
-        if self.lis.len() <= lvl {
-            self.lis.resize_with(lvl + 1, Vec::new);
-        }
-        self.lis[lvl].push(set);
-    }
-
-    fn sorting_pass(&mut self, thrd: f64) -> Result<(), Stop> {
-        for lvl in (0..self.lis.len()).rev() {
-            let bucket = std::mem::take(&mut self.lis[lvl]);
-            for (i, set) in bucket.iter().enumerate() {
-                if let Err(stop) = self.process(*set, thrd) {
-                    for rest in &bucket[i + 1..] {
-                        self.push_lis(*rest);
-                    }
-                    return Err(stop);
-                }
-            }
-        }
-        Ok(())
-    }
-
-    fn process(&mut self, set: SetR, thrd: f64) -> Result<(), Stop> {
-        let sig = self.read_bit()?;
-        if sig {
-            if set.len == 1 {
-                let negative = self.read_bit()?;
-                // Listing 3 line 12: reconstruct at 3/2 of the discovery
-                // threshold (centre of (thrd, 2·thrd]).
-                self.points.push(DecPoint { pos: set.start, negative, corr: 1.5 * thrd });
-                let idx = (self.points.len() - 1) as u32;
-                self.lnsp.push(idx);
-            } else {
-                self.code(set, thrd)?;
-            }
-        } else {
-            self.push_lis(set);
-        }
-        Ok(())
-    }
-
-    fn code(&mut self, set: SetR, thrd: f64) -> Result<(), Stop> {
-        // Decoder-side split mirrors the encoder geometrically; outlier
-        // index ranges are unknown (and unused) here.
-        let second = set.len / 2;
-        let first = set.len - second;
-        let a = SetR { start: set.start, len: first, olo: 0, ohi: 0, level: set.level + 1 };
-        let b = SetR { start: set.start + first, len: second, olo: 0, ohi: 0, level: set.level + 1 };
-        self.process(a, thrd)?;
-        self.process(b, thrd)
-    }
-
-    fn refinement_pass(&mut self, thrd: f64) -> Result<(), Stop> {
-        for i in 0..self.lsp.len() {
-            let idx = self.lsp[i] as usize;
-            let bit = self.read_bit()?;
-            // Listing 3 lines 5/7: move to the centre of the narrowed
-            // interval.
-            if bit {
-                self.points[idx].corr += thrd / 2.0;
-            } else {
-                self.points[idx].corr -= thrd / 2.0;
-            }
-        }
-        let new = std::mem::take(&mut self.lnsp);
-        self.lsp.extend(new);
-        Ok(())
-    }
-}
-
-/// Decodes a stream produced by [`encode`] with the same `array_len`, `t`
-/// and the `max_n` it returned. Positions are exact; correction values are
-/// within `t/2` of the originals when the stream is complete. A truncated
-/// stream yields a partial (coarser) set of corrections without error.
-pub fn decode(
-    stream: &[u8],
-    array_len: usize,
-    t: f64,
-    max_n: u8,
-) -> Result<Vec<Outlier>, Error> {
-    assert!(t > 0.0 && t.is_finite(), "tolerance must be positive and finite");
-    if stream.is_empty() {
-        return Ok(Vec::new());
-    }
-    let mut dec = Decoder {
-        input: BitReader::new(stream),
-        lis: vec![vec![SetR { start: 0, len: array_len, olo: 0, ohi: 0, level: 0 }]],
-        lsp: Vec::new(),
-        lnsp: Vec::new(),
-        points: Vec::new(),
-    };
-    'outer: for n in (0..=max_n as i64).rev() {
-        let thrd = f64::exp2(n as f64) * t;
-        if dec.sorting_pass(thrd).is_err() {
-            break 'outer;
-        }
-        if dec.refinement_pass(thrd).is_err() {
-            break 'outer;
-        }
-    }
-    Ok(dec
-        .points
-        .into_iter()
-        .map(|p| Outlier { pos: p.pos, corr: if p.negative { -p.corr } else { p.corr } })
-        .collect())
 }

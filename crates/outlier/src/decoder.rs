@@ -1,0 +1,203 @@
+//! The outlier decoder (Listings 2–3, decoder side), kept in its own
+//! module so the whole decode path can be audited for panic-freedom (see
+//! the repo's `tests/panic_audit.rs`): nothing in this file may `unwrap`,
+//! `expect`, `panic!` or `assert` — all failures on untrusted input
+//! surface as [`DecodeError`].
+
+use crate::coder::{Outlier, SetR};
+use sperr_bitstream::BitReader;
+use std::fmt;
+
+/// Typed decoder-side failure. Untrusted streams must never panic the
+/// decoder; every structural problem maps to one of these.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The stream ended before the declared structure was complete.
+    Truncated(&'static str),
+    /// The stream or its declared parameters are structurally invalid.
+    Corrupt(&'static str),
+    /// A declared size exceeds what the decoder is willing to allocate.
+    LimitExceeded(&'static str),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated(msg) => write!(f, "truncated outlier stream: {msg}"),
+            DecodeError::Corrupt(msg) => write!(f, "corrupt outlier stream: {msg}"),
+            DecodeError::LimitExceeded(msg) => {
+                write!(f, "outlier decode limit exceeded: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl From<sperr_bitstream::Error> for DecodeError {
+    fn from(e: sperr_bitstream::Error) -> Self {
+        match e {
+            sperr_bitstream::Error::UnexpectedEof => {
+                DecodeError::Truncated("unexpected end of stream")
+            }
+            sperr_bitstream::Error::Corrupt(msg) => DecodeError::Corrupt(msg),
+        }
+    }
+}
+
+impl From<DecodeError> for sperr_compress_api::CompressError {
+    fn from(e: DecodeError) -> Self {
+        use sperr_compress_api::CompressError;
+        match e {
+            DecodeError::Truncated(_) => CompressError::Truncated(e.to_string()),
+            DecodeError::Corrupt(_) => CompressError::Corrupt(e.to_string()),
+            DecodeError::LimitExceeded(_) => CompressError::LimitExceeded(e.to_string()),
+        }
+    }
+}
+
+/// Signals that the stream ran out mid-pass; unwinds the pass cleanly (a
+/// truncated stream yields a coarser partial set of corrections).
+struct Stop;
+
+struct DecPoint {
+    pos: usize,
+    negative: bool,
+    corr: f64,
+}
+
+struct Decoder<'a> {
+    input: BitReader<'a>,
+    lis: Vec<Vec<SetR>>,
+    /// Indices into `points` of previously significant entries.
+    lsp: Vec<u32>,
+    lnsp: Vec<u32>,
+    points: Vec<DecPoint>,
+}
+
+impl<'a> Decoder<'a> {
+    fn read_bit(&mut self) -> Result<bool, Stop> {
+        self.input.get_bit().map_err(|_| Stop)
+    }
+
+    fn push_lis(&mut self, set: SetR) {
+        let lvl = set.level as usize;
+        if self.lis.len() <= lvl {
+            self.lis.resize_with(lvl + 1, Vec::new);
+        }
+        self.lis[lvl].push(set);
+    }
+
+    fn sorting_pass(&mut self, thrd: f64) -> Result<(), Stop> {
+        for lvl in (0..self.lis.len()).rev() {
+            let bucket = std::mem::take(&mut self.lis[lvl]);
+            for (i, set) in bucket.iter().enumerate() {
+                if let Err(stop) = self.process(*set, thrd) {
+                    for rest in &bucket[i + 1..] {
+                        self.push_lis(*rest);
+                    }
+                    return Err(stop);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn process(&mut self, set: SetR, thrd: f64) -> Result<(), Stop> {
+        let sig = self.read_bit()?;
+        if sig {
+            if set.len == 1 {
+                let negative = self.read_bit()?;
+                // Listing 3 line 12: reconstruct at 3/2 of the discovery
+                // threshold (centre of (thrd, 2·thrd]).
+                self.points.push(DecPoint { pos: set.start, negative, corr: 1.5 * thrd });
+                let idx = (self.points.len() - 1) as u32;
+                self.lnsp.push(idx);
+            } else {
+                self.code(set, thrd)?;
+            }
+        } else {
+            self.push_lis(set);
+        }
+        Ok(())
+    }
+
+    fn code(&mut self, set: SetR, thrd: f64) -> Result<(), Stop> {
+        // Decoder-side split mirrors the encoder geometrically; outlier
+        // index ranges are unknown (and unused) here. `set.len >= 2` here,
+        // so both halves are non-empty and the recursion depth is bounded
+        // by log2(array_len).
+        let second = set.len / 2;
+        let first = set.len - second;
+        let a = SetR { start: set.start, len: first, olo: 0, ohi: 0, level: set.level + 1 };
+        let b =
+            SetR { start: set.start + first, len: second, olo: 0, ohi: 0, level: set.level + 1 };
+        self.process(a, thrd)?;
+        self.process(b, thrd)
+    }
+
+    fn refinement_pass(&mut self, thrd: f64) -> Result<(), Stop> {
+        for i in 0..self.lsp.len() {
+            let idx = self.lsp[i] as usize;
+            let bit = self.read_bit()?;
+            // Listing 3 lines 5/7: move to the centre of the narrowed
+            // interval.
+            if bit {
+                self.points[idx].corr += thrd / 2.0;
+            } else {
+                self.points[idx].corr -= thrd / 2.0;
+            }
+        }
+        let new = std::mem::take(&mut self.lnsp);
+        self.lsp.extend(new);
+        Ok(())
+    }
+}
+
+/// Decodes a stream produced by [`crate::encode`] with the same
+/// `array_len`, `t` and the `max_n` it returned. Positions are exact;
+/// correction values are within `t/2` of the originals when the stream is
+/// complete. A truncated stream yields a partial (coarser) set of
+/// corrections without error. Invalid parameters — a non-positive or
+/// non-finite tolerance, or a non-empty stream over an empty array —
+/// return a typed error instead of panicking, so header fields from
+/// untrusted containers can be passed through unchecked.
+pub fn decode(
+    stream: &[u8],
+    array_len: usize,
+    t: f64,
+    max_n: u8,
+) -> Result<Vec<Outlier>, DecodeError> {
+    if !(t > 0.0) || !t.is_finite() {
+        return Err(DecodeError::Corrupt("tolerance must be positive and finite"));
+    }
+    if stream.is_empty() {
+        return Ok(Vec::new());
+    }
+    if array_len == 0 {
+        // The encoder never emits bits over an empty array; a degenerate
+        // root set would otherwise recurse once per garbage bit.
+        return Err(DecodeError::Corrupt("non-empty stream over an empty array"));
+    }
+    let mut dec = Decoder {
+        input: BitReader::new(stream),
+        lis: vec![vec![SetR { start: 0, len: array_len, olo: 0, ohi: 0, level: 0 }]],
+        lsp: Vec::new(),
+        lnsp: Vec::new(),
+        points: Vec::new(),
+    };
+    'outer: for n in (0..=max_n as i64).rev() {
+        let thrd = f64::exp2(n as f64) * t;
+        if dec.sorting_pass(thrd).is_err() {
+            break 'outer;
+        }
+        if dec.refinement_pass(thrd).is_err() {
+            break 'outer;
+        }
+    }
+    Ok(dec
+        .points
+        .into_iter()
+        .map(|p| Outlier { pos: p.pos, corr: if p.negative { -p.corr } else { p.corr } })
+        .collect())
+}

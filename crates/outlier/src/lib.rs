@@ -45,9 +45,11 @@
 
 pub mod alternatives;
 mod coder;
+mod decoder;
 mod rangemax;
 
-pub use coder::{decode, encode, EncodedOutliers, Outlier};
+pub use coder::{encode, EncodedOutliers, Outlier};
+pub use decoder::{decode, DecodeError};
 
 #[cfg(test)]
 mod tests {

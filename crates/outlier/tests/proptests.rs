@@ -63,6 +63,40 @@ proptest! {
     }
 
     #[test]
+    fn truncation_at_every_byte_boundary_never_panics((outliers, n, t) in outlier_set()) {
+        // Exhaustive sweep: every proper prefix decodes to a valid subset
+        // (the coder is embedded) and never panics.
+        let enc = encode(&outliers, n, t);
+        for cut in 0..=enc.stream.len() {
+            let dec = decode(&enc.stream[..cut], n, t, enc.max_n);
+            match dec {
+                Ok(subset) => {
+                    prop_assert!(subset.len() <= outliers.len());
+                    for d in &subset {
+                        prop_assert!(d.pos < n);
+                    }
+                }
+                Err(_) => prop_assert!(false, "embedded prefix rejected at {}", cut),
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_streams_never_panic((outliers, n, t) in outlier_set(),
+                                     pos_seed in any::<u64>(),
+                                     max_n in 0u8..=64) {
+        // Bit flips and adversarial max_n: any Result is fine, panics are not.
+        let enc = encode(&outliers, n, t);
+        if !enc.stream.is_empty() {
+            let mut bad = enc.stream.clone();
+            let pos = (pos_seed as usize) % bad.len();
+            bad[pos] ^= 1 << (pos_seed % 8);
+            let _ = decode(&bad, n, t, enc.max_n);
+        }
+        let _ = decode(&enc.stream, n, t, max_n);
+    }
+
+    #[test]
     fn truncation_is_graceful((outliers, n, t) in outlier_set(), frac in 0.0f64..1.0) {
         let enc = encode(&outliers, n, t);
         let cut = ((enc.stream.len() as f64) * frac) as usize;

@@ -3,7 +3,7 @@
 
 use crate::pyramid::MaxPyramid;
 use crate::set::SetS;
-use sperr_bitstream::{BitReader, BitWriter, Error};
+use sperr_bitstream::BitWriter;
 
 /// When the encoder stops producing bits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -250,158 +250,4 @@ pub fn encode<const D: usize>(
         num_planes,
         bits_used,
     }
-}
-
-// ---------------------------------------------------------------- decoder
-
-struct Decoder<'a, const D: usize> {
-    dims: [usize; D],
-    k_rec: Vec<u64>,
-    negative: Vec<bool>,
-    /// Plane index below which a found coefficient's bits are unknown.
-    uncert: Vec<u8>,
-    lis: Vec<Vec<SetS<D>>>,
-    lsp: Vec<u32>,
-    lsp_new: Vec<u32>,
-    input: BitReader<'a>,
-}
-
-impl<'a, const D: usize> Decoder<'a, D> {
-    #[inline]
-    fn read_bit(&mut self) -> Result<bool, Stop> {
-        self.input.get_bit().map_err(|_| Stop)
-    }
-
-    fn push_lis(&mut self, set: SetS<D>) {
-        let lvl = set.part_level as usize;
-        if self.lis.len() <= lvl {
-            self.lis.resize_with(lvl + 1, Vec::new);
-        }
-        self.lis[lvl].push(set);
-    }
-
-    fn sorting_pass(&mut self, n: u32) -> Result<(), Stop> {
-        for lvl in (0..self.lis.len()).rev() {
-            let bucket = std::mem::take(&mut self.lis[lvl]);
-            for (i, set) in bucket.iter().enumerate() {
-                if let Err(stop) = self.process_s(*set, n) {
-                    // Put the unprocessed remainder back so state stays sane
-                    // (reconstruction happens right after a Stop anyway).
-                    for rest in &bucket[i + 1..] {
-                        self.push_lis(*rest);
-                    }
-                    return Err(stop);
-                }
-            }
-        }
-        Ok(())
-    }
-
-    fn process_s(&mut self, set: SetS<D>, n: u32) -> Result<(), Stop> {
-        let sig = self.read_bit()?;
-        if sig {
-            if set.is_pixel() {
-                let idx = set.pixel_index(self.dims);
-                let neg = self.read_bit()?;
-                self.negative[idx] = neg;
-                self.k_rec[idx] = 1u64 << n;
-                self.uncert[idx] = n as u8;
-                self.lsp_new.push(idx as u32);
-            } else {
-                self.code_s(&set, n)?;
-            }
-        } else {
-            self.push_lis(set);
-        }
-        Ok(())
-    }
-
-    fn code_s(&mut self, set: &SetS<D>, n: u32) -> Result<(), Stop> {
-        let mut children = [*set; 8];
-        let mut count = 0usize;
-        set.split(|c| {
-            children[count] = c;
-            count += 1;
-        });
-        for child in children.iter().take(count) {
-            self.process_s(*child, n)?;
-        }
-        Ok(())
-    }
-
-    fn refinement_pass(&mut self, n: u32) -> Result<(), Stop> {
-        for i in 0..self.lsp.len() {
-            let idx = self.lsp[i] as usize;
-            let bit = self.read_bit()?;
-            if bit {
-                self.k_rec[idx] |= 1u64 << n;
-            }
-            self.uncert[idx] = n as u8;
-        }
-        let new = std::mem::take(&mut self.lsp_new);
-        self.lsp.extend(new);
-        Ok(())
-    }
-
-    /// Mid-riser reconstruction: a coefficient whose bits below plane
-    /// `uncert` are unknown lies in `[k_rec·q, (k_rec + 2^uncert)·q)`;
-    /// reconstruct at the interval centre.
-    fn reconstruct(&self, q: f64) -> Vec<f64> {
-        self.k_rec
-            .iter()
-            .zip(&self.negative)
-            .zip(&self.uncert)
-            .map(|((&k, &neg), &u)| {
-                if k == 0 {
-                    0.0
-                } else {
-                    let mag = (k as f64 + 0.5 * (1u64 << u) as f64) * q;
-                    if neg {
-                        -mag
-                    } else {
-                        mag
-                    }
-                }
-            })
-            .collect()
-    }
-}
-
-/// Decodes a SPECK stream produced by [`encode`] with the same `dims`, `q`
-/// and `num_planes`. A truncated stream (embedded prefix, or a bit-budget
-/// encode) decodes to a coarser but valid reconstruction; decoding never
-/// fails on short input.
-pub fn decode<const D: usize>(
-    stream: &[u8],
-    dims: [usize; D],
-    q: f64,
-    num_planes: u8,
-) -> Result<Vec<f64>, Error> {
-    assert!(q > 0.0 && q.is_finite(), "quantization step must be positive");
-    let n_total: usize = dims.iter().product();
-    if num_planes == 0 {
-        return Ok(vec![0.0; n_total]);
-    }
-    if num_planes > 64 {
-        return Err(Error::Corrupt("num_planes exceeds 64"));
-    }
-    let mut dec = Decoder {
-        dims,
-        k_rec: vec![0u64; n_total],
-        negative: vec![false; n_total],
-        uncert: vec![0u8; n_total],
-        lis: vec![vec![SetS::root(dims)]],
-        lsp: Vec::new(),
-        lsp_new: Vec::new(),
-        input: BitReader::new(stream),
-    };
-    'planes: for n in (0..num_planes as u32).rev() {
-        if dec.sorting_pass(n).is_err() {
-            break 'planes;
-        }
-        if dec.refinement_pass(n).is_err() {
-            break 'planes;
-        }
-    }
-    Ok(dec.reconstruct(q))
 }

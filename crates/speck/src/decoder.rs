@@ -1,0 +1,235 @@
+//! The SPECK decoder, kept in its own module so the whole decode path can
+//! be audited for panic-freedom (see the repo's `tests/panic_audit.rs`):
+//! nothing in this file may `unwrap`, `expect`, `panic!` or `assert` — all
+//! failures on untrusted input surface as [`DecodeError`].
+
+use crate::set::SetS;
+use sperr_bitstream::BitReader;
+use std::fmt;
+
+/// Hard ceiling on the number of coefficients a decoder will allocate
+/// reconstruction buffers for. Matches the encoder's own u32-index domain
+/// limit: a stream claiming more could never have been produced by
+/// [`crate::encode`].
+pub const MAX_DECODE_ELEMENTS: u64 = u32::MAX as u64;
+
+/// Typed decoder-side failure. Untrusted streams must never panic the
+/// decoder; every structural problem maps to one of these.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The stream ended before the declared structure was complete.
+    Truncated(&'static str),
+    /// The stream or its declared parameters are structurally invalid.
+    Corrupt(&'static str),
+    /// A declared size exceeds what the decoder is willing to allocate.
+    LimitExceeded(&'static str),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated(msg) => write!(f, "truncated SPECK stream: {msg}"),
+            DecodeError::Corrupt(msg) => write!(f, "corrupt SPECK stream: {msg}"),
+            DecodeError::LimitExceeded(msg) => write!(f, "SPECK decode limit exceeded: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl From<sperr_bitstream::Error> for DecodeError {
+    fn from(e: sperr_bitstream::Error) -> Self {
+        match e {
+            sperr_bitstream::Error::UnexpectedEof => {
+                DecodeError::Truncated("unexpected end of stream")
+            }
+            sperr_bitstream::Error::Corrupt(msg) => DecodeError::Corrupt(msg),
+        }
+    }
+}
+
+impl From<DecodeError> for sperr_compress_api::CompressError {
+    fn from(e: DecodeError) -> Self {
+        use sperr_compress_api::CompressError;
+        match e {
+            DecodeError::Truncated(_) => CompressError::Truncated(e.to_string()),
+            DecodeError::Corrupt(_) => CompressError::Corrupt(e.to_string()),
+            DecodeError::LimitExceeded(_) => CompressError::LimitExceeded(e.to_string()),
+        }
+    }
+}
+
+/// Signals that the stream ran out mid-pass; unwinds the pass cleanly (a
+/// truncated embedded stream is a *valid* coarser encoding, not an error).
+struct Stop;
+
+struct Decoder<'a, const D: usize> {
+    dims: [usize; D],
+    k_rec: Vec<u64>,
+    negative: Vec<bool>,
+    /// Plane index below which a found coefficient's bits are unknown.
+    uncert: Vec<u8>,
+    lis: Vec<Vec<SetS<D>>>,
+    lsp: Vec<u32>,
+    lsp_new: Vec<u32>,
+    input: BitReader<'a>,
+}
+
+impl<'a, const D: usize> Decoder<'a, D> {
+    #[inline]
+    fn read_bit(&mut self) -> Result<bool, Stop> {
+        self.input.get_bit().map_err(|_| Stop)
+    }
+
+    fn push_lis(&mut self, set: SetS<D>) {
+        let lvl = set.part_level as usize;
+        if self.lis.len() <= lvl {
+            self.lis.resize_with(lvl + 1, Vec::new);
+        }
+        self.lis[lvl].push(set);
+    }
+
+    fn sorting_pass(&mut self, n: u32) -> Result<(), Stop> {
+        for lvl in (0..self.lis.len()).rev() {
+            let bucket = std::mem::take(&mut self.lis[lvl]);
+            for (i, set) in bucket.iter().enumerate() {
+                if let Err(stop) = self.process_s(*set, n) {
+                    // Put the unprocessed remainder back so state stays sane
+                    // (reconstruction happens right after a Stop anyway).
+                    for rest in &bucket[i + 1..] {
+                        self.push_lis(*rest);
+                    }
+                    return Err(stop);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn process_s(&mut self, set: SetS<D>, n: u32) -> Result<(), Stop> {
+        let sig = self.read_bit()?;
+        if sig {
+            if set.is_pixel() {
+                let idx = set.pixel_index(self.dims);
+                let neg = self.read_bit()?;
+                self.negative[idx] = neg;
+                self.k_rec[idx] = 1u64 << n;
+                self.uncert[idx] = n as u8;
+                self.lsp_new.push(idx as u32);
+            } else {
+                self.code_s(&set, n)?;
+            }
+        } else {
+            self.push_lis(set);
+        }
+        Ok(())
+    }
+
+    fn code_s(&mut self, set: &SetS<D>, n: u32) -> Result<(), Stop> {
+        let mut children = [*set; 8];
+        let mut count = 0usize;
+        set.split(|c| {
+            children[count] = c;
+            count += 1;
+        });
+        for child in children.iter().take(count) {
+            self.process_s(*child, n)?;
+        }
+        Ok(())
+    }
+
+    fn refinement_pass(&mut self, n: u32) -> Result<(), Stop> {
+        for i in 0..self.lsp.len() {
+            let idx = self.lsp[i] as usize;
+            let bit = self.read_bit()?;
+            if bit {
+                self.k_rec[idx] |= 1u64 << n;
+            }
+            self.uncert[idx] = n as u8;
+        }
+        let new = std::mem::take(&mut self.lsp_new);
+        self.lsp.extend(new);
+        Ok(())
+    }
+
+    /// Mid-riser reconstruction: a coefficient whose bits below plane
+    /// `uncert` are unknown lies in `[k_rec·q, (k_rec + 2^uncert)·q)`;
+    /// reconstruct at the interval centre.
+    fn reconstruct(&self, q: f64) -> Vec<f64> {
+        self.k_rec
+            .iter()
+            .zip(&self.negative)
+            .zip(&self.uncert)
+            .map(|((&k, &neg), &u)| {
+                if k == 0 {
+                    0.0
+                } else {
+                    let mag = (k as f64 + 0.5 * (1u64 << u) as f64) * q;
+                    if neg {
+                        -mag
+                    } else {
+                        mag
+                    }
+                }
+            })
+            .collect()
+    }
+}
+
+/// Decodes a SPECK stream produced by [`crate::encode`] with the same
+/// `dims`, `q` and `num_planes`. A truncated stream (embedded prefix, or a
+/// bit-budget encode) decodes to a coarser but valid reconstruction;
+/// decoding never fails on short input. Invalid parameters — a
+/// non-positive or non-finite `q`, more than 64 bitplanes, or dims whose
+/// product exceeds [`MAX_DECODE_ELEMENTS`] — return a typed error instead
+/// of panicking, so header fields from untrusted containers can be passed
+/// through unchecked.
+pub fn decode<const D: usize>(
+    stream: &[u8],
+    dims: [usize; D],
+    q: f64,
+    num_planes: u8,
+) -> Result<Vec<f64>, DecodeError> {
+    if !(q > 0.0) || !q.is_finite() {
+        return Err(DecodeError::Corrupt("quantization step must be positive and finite"));
+    }
+    let n_total = dims
+        .iter()
+        .try_fold(1u64, |acc, &d| acc.checked_mul(d as u64))
+        .ok_or(DecodeError::LimitExceeded("dimension product overflows"))?;
+    if n_total > MAX_DECODE_ELEMENTS {
+        return Err(DecodeError::LimitExceeded("domain too large for u32 indices"));
+    }
+    let n_total = n_total as usize;
+    if num_planes == 0 {
+        return Ok(vec![0.0; n_total]);
+    }
+    if num_planes > 64 {
+        return Err(DecodeError::Corrupt("num_planes exceeds 64"));
+    }
+    if n_total == 0 {
+        // A zero-extent domain encodes to an empty stream with zero
+        // planes; claiming coded planes over it is structurally invalid
+        // (and the degenerate root set would recurse on garbage bits).
+        return Err(DecodeError::Corrupt("coded planes over an empty domain"));
+    }
+    let mut dec = Decoder {
+        dims,
+        k_rec: vec![0u64; n_total],
+        negative: vec![false; n_total],
+        uncert: vec![0u8; n_total],
+        lis: vec![vec![SetS::root(dims)]],
+        lsp: Vec::new(),
+        lsp_new: Vec::new(),
+        input: BitReader::new(stream),
+    };
+    'planes: for n in (0..num_planes as u32).rev() {
+        if dec.sorting_pass(n).is_err() {
+            break 'planes;
+        }
+        if dec.refinement_pass(n).is_err() {
+            break 'planes;
+        }
+    }
+    Ok(dec.reconstruct(q))
+}

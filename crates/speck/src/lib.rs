@@ -40,10 +40,12 @@
 //! ```
 
 mod coder;
+mod decoder;
 mod pyramid;
 mod set;
 
-pub use coder::{decode, encode, reconstruct_quantized, EncodedSpeck, Termination};
+pub use coder::{encode, reconstruct_quantized, EncodedSpeck, Termination};
+pub use decoder::{decode, DecodeError, MAX_DECODE_ELEMENTS};
 pub use pyramid::MaxPyramid;
 
 #[cfg(test)]

@@ -61,6 +61,39 @@ proptest! {
     }
 
     #[test]
+    fn truncation_at_every_byte_boundary_never_panics((coeffs, dims) in field_strategy(),
+                                                      q in 1e-2f64..1e2) {
+        // Exhaustive sweep: EVERY proper prefix must decode cleanly (the
+        // stream is embedded — truncation means lower quality, not error)
+        // and must never panic.
+        let enc = encode(&coeffs, dims, q, Termination::Quality);
+        let n: usize = dims.iter().product();
+        for cut in 0..=enc.stream.len() {
+            let rec = decode(&enc.stream[..cut], dims, q, enc.num_planes);
+            match rec {
+                Ok(v) => prop_assert_eq!(v.len(), n),
+                Err(_) => prop_assert!(false, "embedded prefix rejected at {}", cut),
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_streams_never_panic((coeffs, dims) in field_strategy(),
+                                     q in 1e-2f64..1e2,
+                                     pos_seed in any::<u64>(),
+                                     planes in 0u8..=64) {
+        // Bit flips and adversarial plane counts: any Result is fine.
+        let enc = encode(&coeffs, dims, q, Termination::Quality);
+        if !enc.stream.is_empty() {
+            let mut bad = enc.stream.clone();
+            let pos = (pos_seed as usize) % bad.len();
+            bad[pos] ^= 1 << (pos_seed % 8);
+            let _ = decode(&bad, dims, q, enc.num_planes);
+        }
+        let _ = decode(&enc.stream, dims, q, planes);
+    }
+
+    #[test]
     fn budget_prefix_of_quality_stream((coeffs, dims) in field_strategy(), q in 1e-2f64..1e2,
                                        frac in 0.05f64..1.0) {
         // A bit-budget encode must be a strict prefix of the quality-mode

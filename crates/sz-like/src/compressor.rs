@@ -169,7 +169,15 @@ impl LossyCompressor for SzLike {
         if dims.iter().any(|&d| d == 0) {
             return Err(CompressError::Corrupt("zero dimension".into()));
         }
-        let n: usize = dims.iter().product();
+        // Untrusted header: cap the declared volume before sizing any
+        // allocation by it (u32-index domain, like the SPERR container).
+        let n = dims
+            .iter()
+            .try_fold(1u64, |acc, &d| acc.checked_mul(d as u64))
+            .filter(|&n| n <= u32::MAX as u64)
+            .ok_or_else(|| {
+                CompressError::LimitExceeded("declared volume too large".into())
+            })? as usize;
         let bin = 2.0 * t;
 
         let anchor_idx = match predictor {

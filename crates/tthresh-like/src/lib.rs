@@ -133,13 +133,32 @@ impl LossyCompressor for TthreshLike {
         }
         let num_planes = r.get_u8()?;
         let dims = [r.get_u32()? as usize, r.get_u32()? as usize, r.get_u32()? as usize];
-        if dims.iter().any(|&d| d == 0) || dims.iter().product::<usize>() > (1 << 30) {
+        if dims.iter().any(|&d| d == 0) {
             return Err(CompressError::Corrupt("bad dimensions".into()));
         }
+        // Untrusted header: checked product (three u32 dims can overflow
+        // even u64-sized debug arithmetic when multiplied naively).
+        let n = dims
+            .iter()
+            .try_fold(1u64, |acc, &d| acc.checked_mul(d as u64))
+            .filter(|&n| n <= 1 << 30)
+            .ok_or_else(|| {
+                CompressError::LimitExceeded("declared volume too large".into())
+            })? as usize;
+        let elem_size: u64 = if factor_f64 { 8 } else { 4 };
         let mut factors: Vec<Vec<f64>> = Vec::with_capacity(3);
         for &d in &dims {
-            let mut f = Vec::with_capacity(d * d);
-            for _ in 0..d * d {
+            // Each factor matrix is d x d; it must physically fit in the
+            // remaining stream before any reservation sized by it.
+            let count = (d as u64) * (d as u64);
+            if count.saturating_mul(elem_size) > r.remaining() as u64 {
+                return Err(CompressError::Truncated(
+                    "factor matrices extend past end of stream".into(),
+                ));
+            }
+            let count = count as usize;
+            let mut f = Vec::with_capacity(count);
+            for _ in 0..count {
                 let v = if factor_f64 {
                     r.get_f64()?
                 } else {
@@ -151,7 +170,6 @@ impl LossyCompressor for TthreshLike {
         }
         let core_len = r.get_u64()? as usize;
         let core_stream = r.get_bytes(core_len)?;
-        let n: usize = dims.iter().product();
         let mut data = sperr_speck::decode(core_stream, [n], q, num_planes)?;
         // Reverse TTM order: factors applied forward (not transposed).
         for mode in (0..3).rev() {

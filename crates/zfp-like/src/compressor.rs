@@ -311,10 +311,24 @@ impl LossyCompressor for ZfpLike {
         if dims.iter().any(|&d| d == 0) {
             return Err(CompressError::Corrupt("zero dimension".into()));
         }
+        // Untrusted header: cap the declared volume before sizing any
+        // allocation by it (u32-index domain, like the SPERR container).
+        if dims
+            .iter()
+            .try_fold(1u64, |acc, &d| acc.checked_mul(d as u64))
+            .map_or(true, |n| n > u32::MAX as u64)
+        {
+            return Err(CompressError::LimitExceeded("declared volume too large".into()));
+        }
         let n_slabs = r.get_u32()? as usize;
         let grid = block_grid(dims);
         if n_slabs == 0 || n_slabs > grid[2] {
             return Err(CompressError::Corrupt("bad slab count".into()));
+        }
+        // The slab-length table must physically fit the remaining stream
+        // before reserving for it.
+        if n_slabs.saturating_mul(4) > r.remaining() {
+            return Err(CompressError::Truncated("slab table extends past end of stream".into()));
         }
         let mut slab_lens = Vec::with_capacity(n_slabs);
         for _ in 0..n_slabs {

@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# CI gauntlet: build everything, run the full test suite (which includes the
+# decoder panic audit, the corruption campaign and all property tests), then
+# re-run the panic audit by name so a violation is called out explicitly.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --workspace --release"
+cargo build --workspace --release
+
+echo "==> cargo test --workspace"
+cargo test --workspace --quiet
+
+echo "==> decoder panic audit"
+cargo test --quiet --test panic_audit
+
+echo "CI OK"

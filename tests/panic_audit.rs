@@ -1,0 +1,118 @@
+//! Static panic audit of the decoder-side code paths.
+//!
+//! The corruption-resilience contract is that decoding untrusted bytes
+//! never panics: every failure surfaces as a typed error. The decode
+//! paths are deliberately isolated in dedicated source files so this test
+//! can enforce the contract mechanically — if a `unwrap`/`expect`/
+//! `panic!`/`assert` sneaks into any of them, CI fails with a pointer to
+//! the offending line.
+
+use std::path::{Path, PathBuf};
+
+/// Decoder-side files that must stay free of panicking constructs. Paths
+/// are relative to the workspace root (= this package's manifest dir).
+const AUDITED_FILES: &[&str] = &[
+    "crates/bitstream/src/reader.rs",
+    "crates/bitstream/src/byteio.rs",
+    "crates/speck/src/decoder.rs",
+    "crates/outlier/src/decoder.rs",
+    "crates/lossless/src/decode.rs",
+];
+
+/// Tokens that can panic at runtime. `assert!(` also catches
+/// `debug_assert!(` and friends as a substring.
+const FORBIDDEN: &[&str] = &[
+    ".unwrap()",
+    ".expect(",
+    "panic!(",
+    "unreachable!(",
+    "todo!(",
+    "unimplemented!(",
+    "assert!(",
+    "assert_eq!(",
+    "assert_ne!(",
+];
+
+/// Strips `//` line comments and `/* */` block comments (handles nesting,
+/// which Rust allows) so tokens mentioned in prose don't trip the audit.
+/// String literals are left in place — decoder error messages must simply
+/// avoid the forbidden spellings, which is fine for this codebase.
+fn strip_comments(source: &str) -> String {
+    let bytes = source.as_bytes();
+    let mut out = String::with_capacity(source.len());
+    let mut i = 0;
+    let mut block_depth = 0usize;
+    while i < bytes.len() {
+        if block_depth > 0 {
+            if bytes[i..].starts_with(b"*/") {
+                block_depth -= 1;
+                i += 2;
+            } else if bytes[i..].starts_with(b"/*") {
+                block_depth += 1;
+                i += 2;
+            } else {
+                if bytes[i] == b'\n' {
+                    out.push('\n');
+                }
+                i += 1;
+            }
+        } else if bytes[i..].starts_with(b"//") {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+        } else if bytes[i..].starts_with(b"/*") {
+            block_depth += 1;
+            i += 2;
+        } else {
+            out.push(bytes[i] as char);
+            i += 1;
+        }
+    }
+    out
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).to_path_buf()
+}
+
+#[test]
+fn decoder_files_contain_no_panicking_constructs() {
+    let root = workspace_root();
+    let mut violations = Vec::new();
+    for rel in AUDITED_FILES {
+        let path = root.join(rel);
+        let source = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("audited file {rel} unreadable: {e}"));
+        let code = strip_comments(&source);
+        for (lineno, line) in code.lines().enumerate() {
+            for token in FORBIDDEN {
+                if line.contains(token) {
+                    violations.push(format!("{rel}:{}: contains `{token}`", lineno + 1));
+                }
+            }
+        }
+    }
+    assert!(
+        violations.is_empty(),
+        "panicking constructs in decoder-side code (decode paths must return \
+         typed errors on untrusted input):\n{}",
+        violations.join("\n")
+    );
+}
+
+#[test]
+fn audit_catches_violations_and_ignores_comments() {
+    // Self-test of the scanner: live tokens are caught...
+    let live = strip_comments("let x = y.unwrap();\nassert!(cond);\n");
+    assert!(FORBIDDEN.iter().any(|t| live.contains(t)));
+    // ...commented tokens are not.
+    let commented = strip_comments(
+        "// never .unwrap() here\n/* assert!(x) is banned\n/* nested */ panic!( too */\nlet a = 1;\n",
+    );
+    assert!(
+        !FORBIDDEN.iter().any(|t| commented.contains(t)),
+        "comment stripping failed: {commented:?}"
+    );
+    // debug_assert! is caught by the assert! substring.
+    assert!(strip_comments("debug_assert!(x > 0);").contains("assert!("));
+}

@@ -74,4 +74,45 @@ proptest! {
         let cut = ((stream.len() as f64) * frac) as usize;
         let _ = sperr.decompress(&stream[..cut]); // Err is fine; panic is not
     }
+
+    #[test]
+    fn container_v2_header_and_chunk_table_roundtrip(field in field_strategy(),
+                                                     idx in 1u32..20,
+                                                     chunk_edge in 4usize..16,
+                                                     lossless in any::<bool>()) {
+        // Whatever the shape and chunking, the v2 container must carry the
+        // header and chunk table faithfully: inspect() recovers them, the
+        // per-chunk payload sizes tile the payload region exactly, and
+        // verify() confirms every checksum on an undamaged stream.
+        let t = field.range() / f64::exp2(idx as f64);
+        prop_assume!(t > 0.0);
+        let sperr = Sperr::new(SperrConfig {
+            chunk_dims: [chunk_edge, chunk_edge, chunk_edge],
+            lossless,
+            ..SperrConfig::default()
+        });
+        let stream = sperr.compress(&field, Bound::Pwe(t)).unwrap();
+        let info = sperr.inspect(&stream).unwrap();
+        prop_assert_eq!(info.version, 2);
+        prop_assert_eq!(info.dims, field.dims);
+        prop_assert_eq!(info.chunk_dims, [chunk_edge, chunk_edge, chunk_edge]);
+        prop_assert_eq!(info.lossless, lossless);
+        let expected_chunks: usize = field
+            .dims
+            .iter()
+            .map(|&d| d.div_ceil(chunk_edge))
+            .product();
+        prop_assert_eq!(info.n_chunks, expected_chunks);
+        prop_assert_eq!(info.chunk_payload_sizes.len(), expected_chunks);
+        let payload_total: usize = info.chunk_payload_sizes.iter().sum();
+        prop_assert_eq!(payload_total, info.speck_bytes + info.outlier_bytes);
+        if !lossless {
+            // Raw container: offsets are literal, regions must tile the stream.
+            prop_assert_eq!(1 + info.payload_offset + payload_total, stream.len());
+        }
+        let report = sperr.verify(&stream).unwrap();
+        prop_assert!(report.checksummed);
+        prop_assert!(report.is_ok(), "clean stream flagged: {:?}", report);
+        prop_assert_eq!(report.n_chunks, expected_chunks);
+    }
 }
