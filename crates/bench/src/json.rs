@@ -1,0 +1,405 @@
+//! Minimal JSON writer + validator for the tracked `BENCH_*.json`
+//! artifacts. Hand-rolled (the build environment has no serde); supports
+//! the subset the bench harness emits — objects, arrays, strings, finite
+//! numbers, booleans, null — and a strict parser so CI can fail on a
+//! malformed or truncated artifact.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A JSON value. Object keys keep insertion order on write; the parser
+/// returns them sorted (BTreeMap) — order is irrelevant for validation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience: an object from key/value pairs.
+    pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Looks up a key in an object value.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Pretty-prints with two-space indentation and a trailing newline.
+    ///
+    /// # Panics
+    ///
+    /// On non-finite numbers — the harness must not emit NaN/inf (JSON
+    /// has no encoding for them).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                assert!(n.is_finite(), "JSON cannot represent {n}");
+                // Integers render without a fraction; everything else via
+                // the shortest roundtrip representation Rust prints.
+                if n.fract() == 0.0 && n.abs() < 1e15 {
+                    let _ = write!(out, "{}", *n as i64);
+                } else {
+                    let _ = write!(out, "{n}");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    pad(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                pad(out, indent);
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    pad(out, indent + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                }
+                out.push('\n');
+                pad(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn pad(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses `text` as a single JSON value followed only by whitespace.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut pairs = Vec::new();
+            let mut seen = BTreeMap::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(pairs));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = match parse_value(bytes, pos)? {
+                    Json::Str(s) => s,
+                    other => return Err(format!("object key must be a string, got {other:?}")),
+                };
+                if seen.insert(key.clone(), ()).is_some() {
+                    return Err(format!("duplicate key {key:?}"));
+                }
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}", pos = *pos));
+                }
+                *pos += 1;
+                let value = parse_value(bytes, pos)?;
+                pairs.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(pairs));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(b'"') => {
+            *pos += 1;
+            let mut s = String::new();
+            loop {
+                match bytes.get(*pos) {
+                    None => return Err("unterminated string".into()),
+                    Some(b'"') => {
+                        *pos += 1;
+                        return Ok(Json::Str(s));
+                    }
+                    Some(b'\\') => {
+                        *pos += 1;
+                        match bytes.get(*pos) {
+                            Some(b'"') => s.push('"'),
+                            Some(b'\\') => s.push('\\'),
+                            Some(b'/') => s.push('/'),
+                            Some(b'n') => s.push('\n'),
+                            Some(b'r') => s.push('\r'),
+                            Some(b't') => s.push('\t'),
+                            Some(b'b') => s.push('\u{8}'),
+                            Some(b'f') => s.push('\u{c}'),
+                            Some(b'u') => {
+                                let hex = bytes
+                                    .get(*pos + 1..*pos + 5)
+                                    .ok_or("truncated \\u escape")?;
+                                let hex = std::str::from_utf8(hex)
+                                    .map_err(|_| "bad \\u escape".to_string())?;
+                                let code = u32::from_str_radix(hex, 16)
+                                    .map_err(|_| "bad \\u escape".to_string())?;
+                                // Surrogates unsupported — the writer never
+                                // emits them.
+                                s.push(
+                                    char::from_u32(code)
+                                        .ok_or_else(|| "invalid \\u codepoint".to_string())?,
+                                );
+                                *pos += 4;
+                            }
+                            _ => return Err("bad escape".into()),
+                        }
+                        *pos += 1;
+                    }
+                    Some(&b) if b < 0x20 => return Err("raw control char in string".into()),
+                    Some(_) => {
+                        // Consume one UTF-8 scalar (input is valid UTF-8:
+                        // it came from &str).
+                        let start = *pos;
+                        *pos += 1;
+                        while *pos < bytes.len() && bytes[*pos] & 0xC0 == 0x80 {
+                            *pos += 1;
+                        }
+                        s.push_str(std::str::from_utf8(&bytes[start..*pos]).unwrap());
+                    }
+                }
+            }
+        }
+        Some(b't') if bytes[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') if bytes[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Json::Bool(false))
+        }
+        Some(b'n') if bytes[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(Json::Null)
+        }
+        Some(_) => {
+            let start = *pos;
+            while *pos < bytes.len()
+                && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            if start == *pos {
+                return Err(format!("unexpected character at byte {start}"));
+            }
+            let text = std::str::from_utf8(&bytes[start..*pos]).unwrap();
+            text.parse::<f64>()
+                .map(Json::Num)
+                .map_err(|_| format!("bad number {text:?}"))
+        }
+    }
+}
+
+/// Schema check for a `BENCH_pr2.json` artifact: well-formed JSON with
+/// the tracked structure (schema tag, host info, a non-empty workload
+/// list where every entry has a name and an MB/s figure, and the derived
+/// ratios the acceptance criteria reference). Returns a description of
+/// the first problem found.
+pub fn validate_bench_artifact(text: &str) -> Result<(), String> {
+    let root = parse(text)?;
+    match root.get("schema") {
+        Some(Json::Str(s)) if s.starts_with("sperr-bench") => {}
+        other => return Err(format!("missing/invalid \"schema\": {other:?}")),
+    }
+    for key in ["host_threads", "points"] {
+        match root.get(key).and_then(Json::as_num) {
+            Some(n) if n >= 1.0 => {}
+            other => return Err(format!("missing/invalid \"{key}\": {other:?}")),
+        }
+    }
+    let dims = root.get("dims").and_then(Json::as_arr).ok_or("missing \"dims\"")?;
+    if dims.len() != 3 || dims.iter().any(|d| d.as_num().is_none_or(|n| n < 1.0)) {
+        return Err("\"dims\" must be three positive numbers".into());
+    }
+    let workloads =
+        root.get("workloads").and_then(Json::as_arr).ok_or("missing \"workloads\"")?;
+    if workloads.is_empty() {
+        return Err("\"workloads\" is empty".into());
+    }
+    for (i, w) in workloads.iter().enumerate() {
+        match w.get("name") {
+            Some(Json::Str(_)) => {}
+            other => return Err(format!("workload {i}: missing \"name\": {other:?}")),
+        }
+        match w.get("mb_per_s").and_then(Json::as_num) {
+            Some(n) if n > 0.0 => {}
+            other => return Err(format!("workload {i}: missing/invalid \"mb_per_s\": {other:?}")),
+        }
+    }
+    let derived = root.get("derived").ok_or("missing \"derived\"")?;
+    for key in ["zaxis_blocked_vs_per_line", "pwe_8t_vs_pre_pr_1t"] {
+        match derived.get(key).and_then(Json::as_num) {
+            Some(n) if n > 0.0 => {}
+            other => return Err(format!("derived.{key} missing/invalid: {other:?}")),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let v = Json::obj(vec![
+            ("a", Json::Num(1.5)),
+            ("b", Json::Arr(vec![Json::Bool(true), Json::Null, Json::Str("x\"y".into())])),
+            ("c", Json::obj(vec![("n", Json::Num(-3.0))])),
+        ]);
+        let text = v.render();
+        assert_eq!(parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(parse("{").is_err());
+        assert!(parse("{\"a\": }").is_err());
+        assert!(parse("[1, 2,]").is_err());
+        assert!(parse("{\"a\":1}x").is_err());
+        assert!(parse("{\"a\":1, \"a\":2}").is_err());
+    }
+
+    #[test]
+    fn validator_demands_schema_fields() {
+        assert!(validate_bench_artifact("{}").is_err());
+        let good = Json::obj(vec![
+            ("schema", Json::Str("sperr-bench-pr2/v1".into())),
+            ("host_threads", Json::Num(8.0)),
+            ("points", Json::Num(64.0)),
+            ("dims", Json::Arr(vec![Json::Num(4.0), Json::Num(4.0), Json::Num(4.0)])),
+            (
+                "workloads",
+                Json::Arr(vec![Json::obj(vec![
+                    ("name", Json::Str("x".into())),
+                    ("mb_per_s", Json::Num(10.0)),
+                ])]),
+            ),
+            (
+                "derived",
+                Json::obj(vec![
+                    ("zaxis_blocked_vs_per_line", Json::Num(1.4)),
+                    ("pwe_8t_vs_pre_pr_1t", Json::Num(2.5)),
+                ]),
+            ),
+        ]);
+        validate_bench_artifact(&good.render()).unwrap();
+    }
+}

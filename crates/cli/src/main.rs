@@ -76,8 +76,10 @@ USAGE:
   sperr compress   --input RAW --output SPERR --dims NX,NY[,NZ] --type f32|f64
                    (--pwe T | --idx N | --bpp R | --psnr P)
                    [--chunk CX,CY,CZ] [--threads N] [--q-factor F] [--no-lossless]
+                   [--verbose]
   sperr decompress --input SPERR --output RAW --type f32|f64 [--level L]
-  sperr info       --input SPERR [--verify]
+                   [--threads N] [--verbose]
+  sperr info       --input SPERR [--verify] [--verbose]
   sperr gen        --field NAME --dims NX,NY[,NZ] --output RAW --type f32|f64 [--seed S]
   sperr eval       --original RAW --reconstructed RAW --dims NX,NY[,NZ] --type f32|f64
 
@@ -87,6 +89,8 @@ guarantee); --psnr targets an average error in dB.
 
 --verify checks the stream's integrity checksums (container v2) without
 decompressing; corrupt chunks are listed and reflected in the exit code.
+--verbose adds per-stage wall times (wavelet / SPECK / outlier detection
+and coding); for info it runs a timed decode to produce them.
 
 Exit codes: 0 ok, 1 I/O, 2 usage, 3 invalid input, 4 unsupported,
 5 corrupt stream, 6 truncated stream, 7 resource limit exceeded.
@@ -130,6 +134,28 @@ fn run(argv: &[String]) -> Result<(), CliError> {
         }
         other => Err(CliError::Usage(format!("unknown command {other}; run `sperr help`"))),
     }
+}
+
+/// Per-stage timing table for `--verbose`. Times are summed across chunks
+/// (serial CPU time, not wall time when threads overlap); MB/s is computed
+/// over the full volume's f64 footprint.
+fn print_stage_times(stages: &sperr_core::StageTimes, num_points: usize) {
+    let mb = (num_points * 8) as f64 / 1e6;
+    let row = |name: &str, d: std::time::Duration| {
+        let s = d.as_secs_f64();
+        if s > 0.0 {
+            println!("  {name:<16} {s:>9.4} s  {:>9.1} MB/s", mb / s);
+        } else {
+            // Stage skipped in this mode (e.g. outlier pass in BPP decode).
+            println!("  {name:<16} {s:>9.4} s          -");
+        }
+    };
+    println!("stage times (per-stage CPU, summed over chunks):");
+    row("wavelet", stages.wavelet);
+    row("speck", stages.speck);
+    row("locate-outliers", stages.locate_outliers);
+    row("outlier-coding", stages.outlier_coding);
+    row("total", stages.total());
 }
 
 fn build_sperr(args: &Args) -> Result<Sperr, String> {
@@ -193,6 +219,9 @@ fn cmd_compress(args: &Args) -> Result<(), CliError> {
             stats.outlier_bpp(),
             stats.num_outliers,
         );
+        if args.flag("verbose") {
+            print_stage_times(&stats.stage_times, field.len());
+        }
     }
     Ok(())
 }
@@ -204,7 +233,15 @@ fn cmd_decompress(args: &Args) -> Result<(), CliError> {
     let level = args.opt_usize("level")?.unwrap_or(0);
     let stream = std::fs::read(&input).map_err(|e| CliError::Io(e.to_string()))?;
     let sperr = build_sperr(args)?;
-    let field = sperr.decompress_multires(&stream, level)?;
+    // Per-stage times only exist for the full-resolution path; multires
+    // decode skips stages, so its timings would not be comparable.
+    let verbose = args.flag("verbose") && level == 0;
+    let (field, stats) = if verbose {
+        let (field, stats) = sperr.decompress_with_stats(&stream)?;
+        (field, Some(stats))
+    } else {
+        (sperr.decompress_multires(&stream, level)?, None)
+    };
     rawio::write_field(&output, &field, ty).map_err(|e| CliError::Io(e.to_string()))?;
     if !args.flag("quiet") {
         println!(
@@ -217,6 +254,9 @@ fn cmd_decompress(args: &Args) -> Result<(), CliError> {
             ty,
             if level > 0 { format!(" (resolution level {level})") } else { String::new() },
         );
+        if let Some(stats) = &stats {
+            print_stage_times(&stats.stage_times, field.len());
+        }
     }
     Ok(())
 }
@@ -240,6 +280,14 @@ fn cmd_info(args: &Args) -> Result<(), CliError> {
     println!("payloads:    speck {} B, outliers {} B", info.speck_bytes, info.outlier_bytes);
     let n: usize = info.dims.iter().product();
     println!("bitrate:     {:.4} bpp", stream.len() as f64 * 8.0 / n as f64);
+    if args.flag("verbose") {
+        // A timed full decode, to report where decompression time goes.
+        let t0 = std::time::Instant::now();
+        let (field, stats) = sperr.decompress_with_stats(&stream)?;
+        let wall = t0.elapsed();
+        println!("decode:      {:.4} s wall", wall.as_secs_f64());
+        print_stage_times(&stats.stage_times, field.len());
+    }
     if args.flag("verify") {
         let report = sperr.verify(&stream)?;
         if !report.checksummed {
@@ -348,6 +396,28 @@ mod tests {
         let b = rawio::read_field(&restored, [24, 24, 16], ScalarType::F64).unwrap();
         let t = a.range() / f64::exp2(15.0);
         assert!(sperr_metrics::max_pwe(&a.data, &b.data) <= t);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn verbose_stage_times_paths_succeed() {
+        let dir = std::env::temp_dir().join("sperr_cli_verbose_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let raw = dir.join("x.raw");
+        let packed = dir.join("x.sperr");
+        let restored = dir.join("y.raw");
+        run(&w(&["gen", "--field", "qmcpack", "--dims", "16,16,16", "--output",
+                 raw.to_str().unwrap(), "--type", "f64", "--quiet"]))
+            .unwrap();
+        run(&w(&["compress", "--input", raw.to_str().unwrap(), "--output",
+                 packed.to_str().unwrap(), "--dims", "16,16,16", "--type", "f64",
+                 "--idx", "12", "--threads", "2", "--verbose"]))
+            .unwrap();
+        run(&w(&["info", "--input", packed.to_str().unwrap(), "--verbose"])).unwrap();
+        run(&w(&["decompress", "--input", packed.to_str().unwrap(), "--output",
+                 restored.to_str().unwrap(), "--type", "f64", "--threads", "2",
+                 "--verbose"]))
+            .unwrap();
         std::fs::remove_dir_all(&dir).ok();
     }
 

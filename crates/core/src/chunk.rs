@@ -55,6 +55,21 @@ pub fn chunk_grid(volume_dims: [usize; 3], chunk_dims: [usize; 3]) -> Vec<ChunkS
 /// Copies a chunk out of the row-major volume into a dense buffer.
 pub fn extract_chunk(volume: &[f64], volume_dims: [usize; 3], spec: &ChunkSpec) -> Vec<f64> {
     let mut out = Vec::with_capacity(spec.len());
+    extract_chunk_into(volume, volume_dims, spec, &mut out);
+    out
+}
+
+/// [`extract_chunk`] into a reusable buffer (cleared first, capacity kept)
+/// — the per-chunk hot path extracts into a per-worker buffer instead of
+/// allocating.
+pub fn extract_chunk_into(
+    volume: &[f64],
+    volume_dims: [usize; 3],
+    spec: &ChunkSpec,
+    out: &mut Vec<f64>,
+) {
+    out.clear();
+    out.reserve(spec.len());
     for z in 0..spec.dims[2] {
         for y in 0..spec.dims[1] {
             let row_start = spec.offset[0]
@@ -62,7 +77,6 @@ pub fn extract_chunk(volume: &[f64], volume_dims: [usize; 3], spec: &ChunkSpec) 
             out.extend_from_slice(&volume[row_start..row_start + spec.dims[0]]);
         }
     }
-    out
 }
 
 /// Writes a dense chunk buffer back into the row-major volume.

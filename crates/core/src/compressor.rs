@@ -1,18 +1,17 @@
 //! The top-level SPERR compressor: chunking, the embarrassingly parallel
 //! driver (§III-D), container assembly and the lossless post-pass (§V).
 
-use crate::chunk::{chunk_grid, extract_chunk, insert_chunk};
+use crate::chunk::{chunk_grid, extract_chunk_into, insert_chunk};
 use crate::container::{read_container, write_container, ChunkEntry, Header, Mode};
 use crate::crc32::crc32;
 use crate::pipeline::{
-    compress_chunk_bpp, compress_chunk_pwe, compress_chunk_rmse, decompress_chunk,
-    decompress_chunk_multires, ChunkEncoding,
+    compress_chunk_bpp_with, compress_chunk_pwe_with, compress_chunk_rmse_with, decompress_chunk,
+    decompress_chunk_multires, decompress_chunk_with, ChunkEncoding, ScratchArena,
 };
-use crate::stats::CompressionStats;
-use parking_lot::Mutex;
+use crate::pool::{PerWorker, WorkerPool};
+use crate::stats::{CompressionStats, StageTimes};
 use sperr_compress_api::{Bound, CompressError, Field, LossyCompressor};
 use sperr_wavelet::Kernel;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Outer stream framing: one flag byte telling whether the container is
 /// wrapped by the lossless codec.
@@ -70,13 +69,16 @@ impl Sperr {
         &self.config
     }
 
-    fn effective_threads(&self, n_chunks: usize) -> usize {
+    /// Worker count for the pool. Deliberately *not* clamped to the chunk
+    /// count: a single-chunk volume still uses every thread through the
+    /// intra-chunk (wavelet-panel / elementwise-sweep) parallelism.
+    fn effective_threads(&self) -> usize {
         let t = if self.config.num_threads == 0 {
             std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
         } else {
             self.config.num_threads
         };
-        t.min(n_chunks).max(1)
+        t.max(1)
     }
 
     /// Compresses and returns the stream together with cost/timing
@@ -138,20 +140,38 @@ impl Sperr {
         let data = &field.data;
 
         let n_chunks = chunks_spec.len();
-        let threads = self.effective_threads(n_chunks);
-        let encoded: Vec<ChunkEncoding> = parallel_map(n_chunks, threads, |i| {
-            let spec = &chunks_spec[i];
-            let chunk_data = extract_chunk(data, volume_dims, spec);
-            match mode {
-                Mode::Pwe => {
-                    compress_chunk_pwe(&chunk_data, spec.dims, bound_value, q_factor, kernel)
+        let threads = self.effective_threads();
+        let encoded: Vec<ChunkEncoding> = WorkerPool::scoped(threads, |pool| {
+            let arenas = PerWorker::new(pool.threads(), ScratchArena::new);
+            let inputs = PerWorker::new(pool.threads(), Vec::new);
+            let encode_one = |i: usize, w: usize| {
+                // SAFETY: concurrent jobs see distinct worker slots (pool
+                // contract), so each arena/input buffer has one user.
+                let (arena, input) = unsafe { (arenas.get(w), inputs.get(w)) };
+                let spec = &chunks_spec[i];
+                extract_chunk_into(data, volume_dims, spec, input);
+                match mode {
+                    Mode::Pwe => compress_chunk_pwe_with(
+                        input, spec.dims, bound_value, q_factor, kernel, pool, arena,
+                    ),
+                    Mode::Bpp => {
+                        let budget = ((bound_value * spec.len() as f64) as usize)
+                            .saturating_sub(per_chunk_header_bits);
+                        compress_chunk_bpp_with(input, spec.dims, budget, kernel, pool, arena)
+                    }
+                    Mode::Rmse => {
+                        compress_chunk_rmse_with(input, spec.dims, rmse_target, kernel, pool, arena)
+                    }
                 }
-                Mode::Bpp => {
-                    let budget = ((bound_value * spec.len() as f64) as usize)
-                        .saturating_sub(per_chunk_header_bits);
-                    compress_chunk_bpp(&chunk_data, spec.dims, budget, kernel)
-                }
-                Mode::Rmse => compress_chunk_rmse(&chunk_data, spec.dims, rmse_target, kernel),
+            };
+            if n_chunks >= pool.threads() {
+                // Enough chunks to saturate the pool: parallelize the outer
+                // loop; each chunk's inner stages then run inline.
+                pool.map(n_chunks, |i, w| encode_one(i, w))
+            } else {
+                // Few chunks: serial outer loop so each chunk's wavelet
+                // panels and elementwise sweeps fan out across the pool.
+                (0..n_chunks).map(|i| encode_one(i, 0)).collect()
             }
         });
 
@@ -500,6 +520,86 @@ impl Sperr {
         }
         Ok(out)
     }
+
+    /// Decompresses and returns the field together with per-stage timing
+    /// statistics (surfaced by the CLI's `info --verbose`).
+    pub fn decompress_with_stats(
+        &self,
+        stream: &[u8],
+    ) -> Result<(Field, CompressionStats), CompressError> {
+        let (container, _) = Self::unwrap_outer(stream)?;
+        let parsed = read_container(&container)?;
+        // Strict mode: any checksummed chunk failing its CRC fails the
+        // whole decode (use `decompress_resilient` to salvage the rest).
+        verify_chunk_crcs(&container, &parsed)?;
+        let header = parsed.header;
+        let entries = parsed.entries;
+        let chunks_spec = chunk_grid(header.dims, header.chunk_dims);
+        if chunks_spec.len() != entries.len() {
+            return Err(CompressError::Corrupt("chunk table size mismatch".into()));
+        }
+
+        // Pre-slice each chunk's payload region.
+        let offsets = chunk_offsets(&entries, parsed.payload_start);
+
+        let tolerance = match header.mode {
+            Mode::Pwe => header.bound_value,
+            Mode::Bpp | Mode::Rmse => 0.0,
+        };
+        let n_chunks = entries.len();
+        let threads = self.effective_threads();
+        let container_ref = &container;
+        let entries_ref = &entries;
+        let offsets_ref = &offsets;
+        let specs_ref = &chunks_spec;
+        let kernel = header.kernel;
+        type Decoded = Result<(Vec<f64>, StageTimes), CompressError>;
+        let decoded: Vec<Decoded> = WorkerPool::scoped(threads, |pool| {
+            let arenas = PerWorker::new(pool.threads(), ScratchArena::new);
+            let decode_one = |i: usize, w: usize| {
+                // SAFETY: concurrent jobs see distinct worker slots.
+                let arena = unsafe { arenas.get(w) };
+                let e = &entries_ref[i];
+                let start = offsets_ref[i];
+                let speck = &container_ref[start..start + e.speck_len];
+                let outlier =
+                    &container_ref[start + e.speck_len..start + e.speck_len + e.outlier_len];
+                decompress_chunk_with(
+                    speck,
+                    outlier,
+                    specs_ref[i].dims,
+                    e.q,
+                    e.num_planes,
+                    e.max_n,
+                    tolerance,
+                    kernel,
+                    pool,
+                    arena,
+                )
+            };
+            if n_chunks >= pool.threads() {
+                pool.map(n_chunks, |i, w| decode_one(i, w))
+            } else {
+                (0..n_chunks).map(|i| decode_one(i, 0)).collect()
+            }
+        });
+
+        let mut stats = CompressionStats {
+            num_points: header.dims.iter().product(),
+            num_chunks: n_chunks,
+            container_bytes: container.len(),
+            output_bytes: stream.len(),
+            ..CompressionStats::default()
+        };
+        let mut volume = vec![0.0f64; header.dims.iter().product()];
+        for (spec, result) in chunks_spec.iter().zip(decoded) {
+            let (chunk, times) = result?;
+            stats.stage_times.accumulate(&times);
+            insert_chunk(&mut volume, header.dims, spec, &chunk);
+        }
+        let field = Field::new(header.dims, volume).with_precision(header.precision);
+        Ok((field, stats))
+    }
 }
 
 /// Byte offset of each chunk's payload within the container.
@@ -631,113 +731,13 @@ impl LossyCompressor for Sperr {
     }
 
     fn decompress(&self, stream: &[u8]) -> Result<Field, CompressError> {
-        let (&flag, rest) = stream
-            .split_first()
-            .ok_or_else(|| CompressError::Corrupt("empty stream".into()))?;
-        let container: Vec<u8> = match flag {
-            OUTER_RAW => rest.to_vec(),
-            OUTER_LOSSLESS => sperr_lossless::decompress(rest)?,
-            f => return Err(CompressError::Corrupt(format!("unknown outer flag {f}"))),
-        };
-        let parsed = read_container(&container)?;
-        // Strict mode: any checksummed chunk failing its CRC fails the
-        // whole decode (use `decompress_resilient` to salvage the rest).
-        verify_chunk_crcs(&container, &parsed)?;
-        let header = parsed.header;
-        let entries = parsed.entries;
-        let chunks_spec = chunk_grid(header.dims, header.chunk_dims);
-        if chunks_spec.len() != entries.len() {
-            return Err(CompressError::Corrupt("chunk table size mismatch".into()));
-        }
-
-        // Pre-slice each chunk's payload region.
-        let offsets = chunk_offsets(&entries, parsed.payload_start);
-
-        let tolerance = match header.mode {
-            Mode::Pwe => header.bound_value,
-            Mode::Bpp | Mode::Rmse => 0.0,
-        };
-        let n_chunks = entries.len();
-        let threads = self.effective_threads(n_chunks);
-        let container_ref = &container;
-        let entries_ref = &entries;
-        let offsets_ref = &offsets;
-        let specs_ref = &chunks_spec;
-        let kernel = header.kernel;
-        let decoded: Vec<Result<Vec<f64>, CompressError>> =
-            parallel_map(n_chunks, threads, move |i| {
-                let e = &entries_ref[i];
-                let start = offsets_ref[i];
-                let speck = &container_ref[start..start + e.speck_len];
-                let outlier = &container_ref[start + e.speck_len..start + e.speck_len + e.outlier_len];
-                decompress_chunk(
-                    speck,
-                    outlier,
-                    specs_ref[i].dims,
-                    e.q,
-                    e.num_planes,
-                    e.max_n,
-                    tolerance,
-                    kernel,
-                )
-            });
-
-        let mut volume = vec![0.0f64; header.dims.iter().product()];
-        for (spec, result) in chunks_spec.iter().zip(decoded) {
-            let chunk = result?;
-            insert_chunk(&mut volume, header.dims, spec, &chunk);
-        }
-        Ok(Field::new(header.dims, volume).with_precision(header.precision))
+        self.decompress_with_stats(stream).map(|(field, _)| field)
     }
-}
-
-/// Runs `f(0..n)` on up to `threads` scoped workers pulling indices from a
-/// shared atomic counter; results land in input order. With one thread the
-/// calls happen inline (used by the timing experiments to measure serial
-/// stage costs without thread noise).
-fn parallel_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(usize) -> T + Sync,
-{
-    if threads <= 1 || n <= 1 {
-        return (0..n).map(f).collect();
-    }
-    let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
-    let next = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..threads.min(n) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let value = f(i);
-                slots.lock()[i] = Some(value);
-            });
-        }
-    });
-    slots
-        .into_inner()
-        .into_iter()
-        .map(|s| s.expect("worker failed to fill slot"))
-        .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn parallel_map_preserves_order() {
-        let out = parallel_map(100, 8, |i| i * i);
-        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn parallel_map_single_item() {
-        assert_eq!(parallel_map(1, 8, |i| i + 1), vec![1]);
-    }
 
     fn test_field(dims: [usize; 3]) -> Field {
         Field::from_fn(dims, |x, y, z| {
@@ -835,6 +835,46 @@ mod tests {
         let (rec2, report2) = sperr.decompress_resilient(&stream).unwrap();
         assert!(report2.all_ok());
         assert_eq!(rec2.data, clean.data);
+    }
+
+    #[test]
+    fn stream_bytes_identical_across_thread_counts() {
+        // The acceptance bar for the parallel overhaul: the container bytes
+        // must not depend on the thread count, for multi-chunk volumes
+        // (outer parallelism) and single-chunk volumes (intra-chunk
+        // parallelism) alike, in every mode.
+        for (dims, bound) in [
+            ([32usize, 16, 16], Bound::Pwe(1e-3)), // 2 chunks
+            ([20, 20, 20], Bound::Pwe(1e-3)),      // 1 chunk: intra-chunk path
+            ([20, 20, 20], Bound::Bpp(2.0)),
+            ([20, 20, 20], Bound::Psnr(60.0)),
+        ] {
+            let field = test_field(dims);
+            let streams: Vec<Vec<u8>> = [1usize, 2, 4, 8]
+                .iter()
+                .map(|&t| {
+                    Sperr::new(SperrConfig {
+                        chunk_dims: [16, 16, 16],
+                        lossless: false,
+                        num_threads: t,
+                        ..SperrConfig::default()
+                    })
+                    .compress(&field, bound)
+                    .unwrap()
+                })
+                .collect();
+            for (i, s) in streams.iter().enumerate().skip(1) {
+                assert_eq!(&streams[0], s, "threads=1 vs threads={}", [1, 2, 4, 8][i]);
+            }
+            // Decompression is also thread-count independent.
+            let rec1 = Sperr::new(SperrConfig { num_threads: 1, ..SperrConfig::default() })
+                .decompress(&streams[0])
+                .unwrap();
+            let rec8 = Sperr::new(SperrConfig { num_threads: 8, ..SperrConfig::default() })
+                .decompress(&streams[0])
+                .unwrap();
+            assert_eq!(rec1.data, rec8.data);
+        }
     }
 
     #[test]

@@ -58,17 +58,20 @@ mod compressor;
 mod container;
 mod crc32;
 mod pipeline;
+mod pool;
 mod stats;
 
-pub use chunk::{chunk_grid, ChunkSpec};
+pub use chunk::{chunk_grid, extract_chunk, extract_chunk_into, ChunkSpec};
 pub use compressor::{
     ChunkStatus, ResilientReport, Sperr, SperrConfig, StreamInfo, VerifyReport,
 };
 pub use container::Mode;
 pub use pipeline::{
-    compress_chunk_pwe, compress_chunk_rmse, decompress_chunk, decompress_chunk_multires,
-    ChunkEncoding,
+    compress_chunk_bpp, compress_chunk_bpp_with, compress_chunk_pwe, compress_chunk_pwe_with,
+    compress_chunk_rmse, compress_chunk_rmse_with, decompress_chunk, decompress_chunk_multires,
+    decompress_chunk_with, ChunkEncoding, ScratchArena,
 };
+pub use pool::WorkerPool;
 pub use stats::{CompressionStats, StageTimes};
 
 #[cfg(test)]

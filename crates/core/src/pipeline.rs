@@ -1,12 +1,63 @@
 //! The per-chunk SPERR pipeline: transform → SPECK → outlier detection →
 //! outlier coding (compression) and the mirror image (decompression).
+//!
+//! Each stage comes in two flavours: the classic allocating entry points
+//! (`compress_chunk_pwe`, `decompress_chunk`, …) kept for API
+//! compatibility and tests, and the hot-path `_with` variants that take a
+//! [`WorkerPool`] plus a reusable [`ScratchArena`] so that compressing a
+//! stream of chunks performs no per-chunk allocations and can fan the
+//! elementwise and wavelet work out across the pool.
+//!
+//! # Determinism
+//!
+//! The parallel sweeps split work into *fixed-size* blocks
+//! ([`ELEM_BLOCK`]) independent of the thread count, and reduce block
+//! results in block order. Outlier lists and error accumulators — and
+//! therefore the compressed bytes — are identical for any `--threads`
+//! value, and identical to the serial reference path.
 
+use crate::pool::WorkerPool;
 use crate::stats::StageTimes;
 use sperr_compress_api::CompressError;
 use sperr_outlier::Outlier;
 use sperr_speck::Termination;
-use sperr_wavelet::{forward_3d, inverse_3d, levels_for_dims, Kernel};
+use sperr_wavelet::{
+    forward_3d_with, inverse_3d_with, levels_for_dims, Kernel, TransformScratch,
+};
 use std::time::Instant;
+
+/// Block length (in samples) for parallel elementwise sweeps. Fixed — not
+/// derived from the thread count — so that floating-point reduction order
+/// and outlier-list order are identical for every `--threads` value.
+const ELEM_BLOCK: usize = 1 << 16;
+
+/// Reusable per-worker scratch for the `_with` pipeline entry points.
+///
+/// Holds the coefficient buffer, the reconstruction buffer and the wavelet
+/// transform's panel/line scratch. Buffers grow to the largest chunk seen
+/// and are never shrunk; a compressor keeps one arena per worker slot so
+/// that a multi-gigabyte run allocates a bounded, chunk-count-independent
+/// amount.
+#[derive(Default)]
+pub struct ScratchArena {
+    coeffs: Vec<f64>,
+    recon: Vec<f64>,
+    wavelet: TransformScratch,
+}
+
+impl ScratchArena {
+    /// An empty arena; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fills `coeffs` with a copy of `data` (the transform is in-place and
+    /// must not clobber the caller's input), reusing capacity.
+    fn load_coeffs(&mut self, data: &[f64]) {
+        self.coeffs.clear();
+        self.coeffs.extend_from_slice(data);
+    }
+}
 
 /// Everything produced by compressing one chunk.
 #[derive(Debug, Clone)]
@@ -37,14 +88,103 @@ pub struct ChunkEncoding {
     pub coeff_sq_error: f64,
 }
 
+/// Raw-pointer wrapper for disjoint block writes from pool jobs. The
+/// method (not field) access makes closures capture the `Sync` wrapper.
+struct BlockPtr(*mut f64);
+unsafe impl Send for BlockPtr {}
+unsafe impl Sync for BlockPtr {}
+impl BlockPtr {
+    /// # Safety
+    ///
+    /// Caller guarantees `start..start + len` is in bounds and disjoint
+    /// from every other concurrently accessed block.
+    unsafe fn block(&self, start: usize, len: usize) -> &mut [f64] {
+        std::slice::from_raw_parts_mut(self.0.add(start), len)
+    }
+}
+
+/// Mid-riser reconstruction of `coeffs` into `out` (same length), block-
+/// parallel over the pool. Bit-identical to the serial sweep.
+fn reconstruct_blocks(coeffs: &[f64], q: f64, out: &mut [f64], pool: &WorkerPool) {
+    let len = coeffs.len();
+    debug_assert_eq!(len, out.len());
+    let n_blocks = len.div_ceil(ELEM_BLOCK).max(1);
+    let dst = BlockPtr(out.as_mut_ptr());
+    pool.run(n_blocks, &|b, _| {
+        let start = b * ELEM_BLOCK;
+        let n = ELEM_BLOCK.min(len - start);
+        // SAFETY: blocks are disjoint and in bounds.
+        let dst = unsafe { dst.block(start, n) };
+        sperr_speck::reconstruct_quantized_into(&coeffs[start..start + n], q, dst);
+    });
+}
+
+/// Compares `data` with `recon` block-parallel, returning the outliers
+/// (positions ascending) and the total squared error. Fixed blocks +
+/// block-order reduction keep both deterministic across thread counts.
+fn scan_outliers(
+    data: &[f64],
+    recon: &[f64],
+    t: f64,
+    pool: &WorkerPool,
+) -> (Vec<Outlier>, f64) {
+    let len = data.len();
+    let n_blocks = len.div_ceil(ELEM_BLOCK).max(1);
+    let per_block = pool.map(n_blocks, |b, _| {
+        let start = b * ELEM_BLOCK;
+        let end = (start + ELEM_BLOCK).min(len);
+        let mut sq = 0.0;
+        let mut found = Vec::new();
+        for pos in start..end {
+            let corr = data[pos] - recon[pos];
+            sq += corr * corr;
+            if corr.abs() > t {
+                found.push(Outlier { pos, corr });
+            }
+        }
+        (found, sq)
+    });
+    let mut outliers = Vec::new();
+    let mut coeff_sq_error = 0.0;
+    for (found, sq) in per_block {
+        outliers.extend(found);
+        coeff_sq_error += sq;
+    }
+    (outliers, coeff_sq_error)
+}
+
 /// PWE-bounded compression of one chunk (§IV): SPECK at `q = q_factor · t`
 /// followed by outlier correction so every point lands within `t`.
+/// Allocating compatibility wrapper around [`compress_chunk_pwe_with`].
 pub fn compress_chunk_pwe(
     data: &[f64],
     dims: [usize; 3],
     t: f64,
     q_factor: f64,
     kernel: Kernel,
+) -> ChunkEncoding {
+    compress_chunk_pwe_with(
+        data,
+        dims,
+        t,
+        q_factor,
+        kernel,
+        &WorkerPool::inline(),
+        &mut ScratchArena::new(),
+    )
+}
+
+/// Hot-path PWE compression: wavelet panels, the mid-riser reconstruction
+/// and the outlier scan all run on `pool`; every buffer comes from
+/// `arena`. Output is bit-identical to [`compress_chunk_pwe`].
+pub fn compress_chunk_pwe_with(
+    data: &[f64],
+    dims: [usize; 3],
+    t: f64,
+    q_factor: f64,
+    kernel: Kernel,
+    pool: &WorkerPool,
+    arena: &mut ScratchArena,
 ) -> ChunkEncoding {
     assert!(t > 0.0 && t.is_finite(), "PWE tolerance must be positive");
     assert!(q_factor > 0.0, "q factor must be positive");
@@ -53,31 +193,24 @@ pub fn compress_chunk_pwe(
 
     // Stage 1: forward wavelet transform.
     let t0 = Instant::now();
-    let mut coeffs = data.to_vec();
-    forward_3d(&mut coeffs, dims, levels, kernel);
+    arena.load_coeffs(data);
+    let ScratchArena { coeffs, recon, wavelet } = arena;
+    forward_3d_with(coeffs, dims, levels, kernel, pool, wavelet);
     let wavelet_time = t0.elapsed();
 
     // Stage 2: SPECK coding of coefficients, all planes down to q.
     let t1 = Instant::now();
-    let enc = sperr_speck::encode(&coeffs, dims, q, Termination::Quality);
+    let enc = sperr_speck::encode(coeffs, dims, q, Termination::Quality);
     let speck_time = t1.elapsed();
 
     // Stage 3: locate outliers — reconstruct (quantized coefficients +
     // inverse transform) and compare with the original input.
     let t2 = Instant::now();
-    let mut recon = sperr_speck::reconstruct_quantized(&coeffs, q);
-    inverse_3d(&mut recon, dims, levels, kernel);
-    let mut coeff_sq_error = 0.0;
-    let outliers: Vec<Outlier> = data
-        .iter()
-        .zip(&recon)
-        .enumerate()
-        .filter_map(|(pos, (&orig, &rec))| {
-            let corr = orig - rec;
-            coeff_sq_error += corr * corr;
-            (corr.abs() > t).then_some(Outlier { pos, corr })
-        })
-        .collect();
+    recon.clear();
+    recon.resize(coeffs.len(), 0.0);
+    reconstruct_blocks(coeffs, q, recon, pool);
+    inverse_3d_with(recon, dims, levels, kernel, pool, wavelet);
+    let (outliers, coeff_sq_error) = scan_outliers(data, recon, t, pool);
     let locate_time = t2.elapsed();
 
     // Stage 4: encode the outliers.
@@ -112,17 +245,37 @@ const BPP_MODE_PLANES: i32 = 48;
 /// Size-bounded compression of one chunk: SPECK's embedded stream is cut
 /// at `budget_bits`; no error guarantee, no outlier pass (§III-B: "the
 /// encoding process can terminate whenever a user-prescribed output size
-/// is reached").
+/// is reached"). Allocating wrapper around [`compress_chunk_bpp_with`].
 pub fn compress_chunk_bpp(
     data: &[f64],
     dims: [usize; 3],
     budget_bits: usize,
     kernel: Kernel,
 ) -> ChunkEncoding {
+    compress_chunk_bpp_with(
+        data,
+        dims,
+        budget_bits,
+        kernel,
+        &WorkerPool::inline(),
+        &mut ScratchArena::new(),
+    )
+}
+
+/// Hot-path size-bounded compression; see [`compress_chunk_bpp`].
+pub fn compress_chunk_bpp_with(
+    data: &[f64],
+    dims: [usize; 3],
+    budget_bits: usize,
+    kernel: Kernel,
+    pool: &WorkerPool,
+    arena: &mut ScratchArena,
+) -> ChunkEncoding {
     let levels = levels_for_dims(dims);
     let t0 = Instant::now();
-    let mut coeffs = data.to_vec();
-    forward_3d(&mut coeffs, dims, levels, kernel);
+    arena.load_coeffs(data);
+    let ScratchArena { coeffs, wavelet, .. } = arena;
+    forward_3d_with(coeffs, dims, levels, kernel, pool, wavelet);
     let wavelet_time = t0.elapsed();
 
     let max_mag = coeffs.iter().fold(0.0f64, |m, &c| m.max(c.abs()));
@@ -131,7 +284,7 @@ pub fn compress_chunk_bpp(
     let q = if max_mag > 0.0 { max_mag * f64::exp2(-f64::from(BPP_MODE_PLANES)) } else { 1.0 };
 
     let t1 = Instant::now();
-    let enc = sperr_speck::encode(&coeffs, dims, q, Termination::BitBudget(budget_bits));
+    let enc = sperr_speck::encode(coeffs, dims, q, Termination::BitBudget(budget_bits));
     let speck_time = t1.elapsed();
 
     ChunkEncoding {
@@ -159,31 +312,66 @@ pub fn compress_chunk_bpp(
 /// `q = target_rmse`, whose mid-riser error (≤ q/2 per coded coefficient,
 /// < q in the dead zone) keeps the reconstruction RMSE at or below the
 /// target thanks to the transform's near-orthogonality. No outlier pass.
+/// Allocating wrapper around [`compress_chunk_rmse_with`].
 pub fn compress_chunk_rmse(
     data: &[f64],
     dims: [usize; 3],
     target_rmse: f64,
     kernel: Kernel,
 ) -> ChunkEncoding {
+    compress_chunk_rmse_with(
+        data,
+        dims,
+        target_rmse,
+        kernel,
+        &WorkerPool::inline(),
+        &mut ScratchArena::new(),
+    )
+}
+
+/// Hot-path average-error compression; see [`compress_chunk_rmse`].
+pub fn compress_chunk_rmse_with(
+    data: &[f64],
+    dims: [usize; 3],
+    target_rmse: f64,
+    kernel: Kernel,
+    pool: &WorkerPool,
+    arena: &mut ScratchArena,
+) -> ChunkEncoding {
     assert!(target_rmse > 0.0 && target_rmse.is_finite());
     let levels = levels_for_dims(dims);
     let t0 = Instant::now();
-    let mut coeffs = data.to_vec();
-    forward_3d(&mut coeffs, dims, levels, kernel);
+    arena.load_coeffs(data);
+    let ScratchArena { coeffs, recon, wavelet } = arena;
+    forward_3d_with(coeffs, dims, levels, kernel, pool, wavelet);
     let wavelet_time = t0.elapsed();
 
     let q = target_rmse;
     let t1 = Instant::now();
-    let enc = sperr_speck::encode(&coeffs, dims, q, Termination::Quality);
+    let enc = sperr_speck::encode(coeffs, dims, q, Termination::Quality);
     let speck_time = t1.elapsed();
 
     // Wavelet-domain quantization error ~ reconstruction error (§III-A).
-    let recon = sperr_speck::reconstruct_quantized(&coeffs, q);
-    let coeff_sq_error: f64 = coeffs
-        .iter()
-        .zip(&recon)
-        .map(|(c, r)| (c - r) * (c - r))
-        .sum();
+    recon.clear();
+    recon.resize(coeffs.len(), 0.0);
+    reconstruct_blocks(coeffs, q, recon, pool);
+    let coeff_sq_error: f64 = {
+        // Same fixed-block reduction order as the outlier scan.
+        let len = coeffs.len();
+        let n_blocks = len.div_ceil(ELEM_BLOCK).max(1);
+        pool.map(n_blocks, |b, _| {
+            let start = b * ELEM_BLOCK;
+            let end = (start + ELEM_BLOCK).min(len);
+            let mut sq = 0.0;
+            for i in start..end {
+                let d = coeffs[i] - recon[i];
+                sq += d * d;
+            }
+            sq
+        })
+        .into_iter()
+        .sum()
+    };
 
     ChunkEncoding {
         speck_stream: enc.stream,
@@ -237,7 +425,9 @@ pub fn decompress_chunk_multires(
 
 /// Decompresses one chunk. `tolerance` must be the compression-time `t`
 /// for PWE streams (used to scale outlier thresholds); it is ignored when
-/// the outlier stream is empty.
+/// the outlier stream is empty. Allocating compatibility wrapper around
+/// [`decompress_chunk_with`].
+#[allow(clippy::too_many_arguments)]
 pub fn decompress_chunk(
     speck_stream: &[u8],
     outlier_stream: &[u8],
@@ -248,9 +438,47 @@ pub fn decompress_chunk(
     tolerance: f64,
     kernel: Kernel,
 ) -> Result<Vec<f64>, CompressError> {
+    decompress_chunk_with(
+        speck_stream,
+        outlier_stream,
+        dims,
+        q,
+        num_planes,
+        max_n,
+        tolerance,
+        kernel,
+        &WorkerPool::inline(),
+        &mut ScratchArena::new(),
+    )
+    .map(|(data, _)| data)
+}
+
+/// Hot-path decompression: the inverse wavelet transform runs on `pool`
+/// using `arena`'s panel scratch. Also reports per-stage wall times
+/// (SPECK decode / wavelet / outlier correction) for `info --verbose`.
+#[allow(clippy::too_many_arguments)]
+pub fn decompress_chunk_with(
+    speck_stream: &[u8],
+    outlier_stream: &[u8],
+    dims: [usize; 3],
+    q: f64,
+    num_planes: u8,
+    max_n: u8,
+    tolerance: f64,
+    kernel: Kernel,
+    pool: &WorkerPool,
+    arena: &mut ScratchArena,
+) -> Result<(Vec<f64>, StageTimes), CompressError> {
     let levels = levels_for_dims(dims);
+    let t0 = Instant::now();
     let mut coeffs = sperr_speck::decode(speck_stream, dims, q, num_planes)?;
-    inverse_3d(&mut coeffs, dims, levels, kernel);
+    let speck_time = t0.elapsed();
+
+    let t1 = Instant::now();
+    inverse_3d_with(&mut coeffs, dims, levels, kernel, pool, &mut arena.wavelet);
+    let wavelet_time = t1.elapsed();
+
+    let t2 = Instant::now();
     if !outlier_stream.is_empty() {
         if !(tolerance > 0.0) {
             return Err(CompressError::Corrupt(
@@ -267,7 +495,15 @@ pub fn decompress_chunk(
             coeffs[c.pos] += c.corr;
         }
     }
-    Ok(coeffs)
+    let outlier_time = t2.elapsed();
+
+    let times = StageTimes {
+        wavelet: wavelet_time,
+        speck: speck_time,
+        outlier_coding: outlier_time,
+        ..StageTimes::default()
+    };
+    Ok((coeffs, times))
 }
 
 #[cfg(test)]
@@ -370,5 +606,64 @@ mod tests {
         )
         .unwrap();
         assert_eq!(rec, data);
+    }
+
+    #[test]
+    fn pooled_pwe_matches_serial_bit_for_bit() {
+        // The `_with` path on a real multi-worker pool must produce the
+        // exact bytes of the allocating serial path — for every stream and
+        // for an arena reused across differently-sized chunks.
+        let t = 0.004;
+        let mut arena = ScratchArena::new();
+        WorkerPool::scoped(4, |pool| {
+            for dims in [[24usize, 16, 12], [16, 16, 16], [7, 5, 3]] {
+                let data = test_data(dims);
+                let serial = compress_chunk_pwe(&data, dims, t, 1.5, Kernel::Cdf97);
+                let pooled =
+                    compress_chunk_pwe_with(&data, dims, t, 1.5, Kernel::Cdf97, pool, &mut arena);
+                assert_eq!(serial.speck_stream, pooled.speck_stream, "dims {dims:?}");
+                assert_eq!(serial.outlier_stream, pooled.outlier_stream, "dims {dims:?}");
+                assert_eq!(serial.num_outliers, pooled.num_outliers);
+                assert_eq!(serial.q, pooled.q);
+                assert_eq!(serial.coeff_sq_error, pooled.coeff_sq_error, "fp order changed");
+            }
+        });
+    }
+
+    #[test]
+    fn pooled_decompress_matches_serial() {
+        let dims = [20usize, 14, 9];
+        let data = test_data(dims);
+        let t = 0.002;
+        let enc = compress_chunk_pwe(&data, dims, t, 1.5, Kernel::Cdf97);
+        let serial = decompress_chunk(
+            &enc.speck_stream,
+            &enc.outlier_stream,
+            dims,
+            enc.q,
+            enc.num_planes,
+            enc.max_n,
+            t,
+            Kernel::Cdf97,
+        )
+        .unwrap();
+        let mut arena = ScratchArena::new();
+        WorkerPool::scoped(3, |pool| {
+            let (pooled, times) = decompress_chunk_with(
+                &enc.speck_stream,
+                &enc.outlier_stream,
+                dims,
+                enc.q,
+                enc.num_planes,
+                enc.max_n,
+                t,
+                Kernel::Cdf97,
+                pool,
+                &mut arena,
+            )
+            .unwrap();
+            assert_eq!(serial, pooled);
+            assert!(times.speck + times.wavelet > std::time::Duration::ZERO);
+        });
     }
 }

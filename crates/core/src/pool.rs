@@ -1,0 +1,412 @@
+//! Shared worker pool for chunk- and line-level parallelism.
+//!
+//! Replaces the old per-call `parallel_map` (which spawned fresh OS
+//! threads on every invocation) with one set of workers per compression
+//! call, used at *two* levels: chunks in the outer loop, and wavelet
+//! line-panels / elementwise sweeps inside a chunk when too few chunks
+//! exist to keep the workers busy.
+//!
+//! # Nesting and oversubscription
+//!
+//! There is exactly one pool per [`scoped`] region and `threads` worker
+//! slots (the caller thread is slot 0; spawned workers are 1..threads).
+//! A [`WorkerPool::run`] issued *from inside a pool job* executes its
+//! jobs inline on the calling worker — nested parallelism never spawns
+//! or wakes anything, so the thread count is bounded by `threads` no
+//! matter how deeply batches nest (regression-tested). A top-level `run`
+//! with a single job also executes inline, but *without* entering job
+//! context, so parallelism engaged deeper in the call tree (e.g. the
+//! wavelet passes of a single-chunk volume) still fans out.
+//!
+//! # Determinism
+//!
+//! Jobs race only for *which worker runs them*; each job's inputs and
+//! outputs are independent of scheduling, so results are identical for
+//! any thread count — the compressed-stream determinism tests rely on
+//! this.
+
+use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+thread_local! {
+    /// Worker slot of the pool job currently executing on this thread,
+    /// if any. `Some` means "inline any nested batch".
+    static CURRENT_SLOT: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// One in-flight batch of jobs, published to the workers. The pointers
+/// reference stack data of the `run` call, which cannot return before
+/// every job has finished — see the completion protocol in `run`.
+#[derive(Clone, Copy)]
+struct Batch {
+    f: *const (dyn Fn(usize, usize) + Sync),
+    n: usize,
+    next: *const AtomicUsize,
+    finished: *const AtomicUsize,
+    panicked: *const AtomicBool,
+}
+unsafe impl Send for Batch {}
+
+#[derive(Default)]
+struct State {
+    batch: Option<Batch>,
+    generation: u64,
+    shutdown: bool,
+}
+
+#[derive(Default)]
+struct Shared {
+    state: Mutex<State>,
+    /// Signals workers: new batch available or shutdown.
+    work: Condvar,
+    /// Signals callers: batch finished (or batch slot freed).
+    done: Condvar,
+}
+
+/// Scoped worker pool; see the module docs. Construct via
+/// [`WorkerPool::scoped`] (spawns workers) or [`WorkerPool::inline`]
+/// (zero workers, every batch runs on the caller — the serial executor
+/// used by the compatibility wrappers).
+pub struct WorkerPool {
+    threads: usize,
+    shared: Shared,
+}
+
+impl WorkerPool {
+    /// A pool with no spawned workers: all jobs run inline on the caller.
+    pub fn inline() -> WorkerPool {
+        WorkerPool { threads: 1, shared: Shared::default() }
+    }
+
+    /// Runs `body` with a pool of `threads` worker slots (min 1). Workers
+    /// are spawned once, live for the whole region (scoped threads — they
+    /// may borrow from the caller), and are joined before `scoped`
+    /// returns, even if `body` panics.
+    pub fn scoped<R>(threads: usize, body: impl FnOnce(&WorkerPool) -> R) -> R {
+        let threads = threads.max(1);
+        let pool = WorkerPool { threads, shared: Shared::default() };
+        if threads == 1 {
+            return body(&pool);
+        }
+        std::thread::scope(|scope| {
+            for slot in 1..threads {
+                let shared = &pool.shared;
+                scope.spawn(move || worker_loop(shared, slot));
+            }
+            // Shut workers down when `body` finishes OR unwinds —
+            // otherwise `scope` would join forever.
+            struct Shutdown<'a>(&'a Shared);
+            impl Drop for Shutdown<'_> {
+                fn drop(&mut self) {
+                    self.0.state.lock().unwrap().shutdown = true;
+                    self.0.work.notify_all();
+                }
+            }
+            let _guard = Shutdown(&pool.shared);
+            body(&pool)
+        })
+    }
+
+    /// Number of worker slots (including the caller, slot 0).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f(job, worker)` for every `job in 0..n`, returning when all
+    /// are done. `worker < threads()`; concurrent jobs always see
+    /// distinct worker values (they index per-worker scratch). Nested
+    /// calls from inside a job run inline on that job's worker slot.
+    ///
+    /// Panics in `f` are caught on the worker, and `run` panics on the
+    /// caller after the batch drains — the pool stays usable.
+    pub fn run(&self, n: usize, f: &(dyn Fn(usize, usize) + Sync)) {
+        if n == 0 {
+            return;
+        }
+        // Inside a pool job: inline on the current slot (no oversubscription,
+        // no deadlock on the single batch slot).
+        if let Some(slot) = CURRENT_SLOT.with(|c| c.get()) {
+            for i in 0..n {
+                f(i, slot);
+            }
+            return;
+        }
+        // Trivial batches run on the caller as slot 0 *without* entering
+        // job context, so deeper batches can still go parallel.
+        if self.threads == 1 || n == 1 {
+            for i in 0..n {
+                f(i, 0);
+            }
+            return;
+        }
+
+        let next = AtomicUsize::new(0);
+        let finished = AtomicUsize::new(0);
+        let panicked = AtomicBool::new(false);
+        let batch = Batch {
+            // SAFETY (lifetime erasure): the batch is cleared from the
+            // shared state below before `run` returns, and workers only
+            // dereference `f`/counters while executing a claimed job of
+            // this batch, which the completion wait below outlives.
+            f: unsafe {
+                std::mem::transmute::<
+                    *const (dyn Fn(usize, usize) + Sync),
+                    *const (dyn Fn(usize, usize) + Sync),
+                >(f as *const _)
+            },
+            n,
+            next: &next,
+            finished: &finished,
+            panicked: &panicked,
+        };
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            // Another top-level caller may have a batch in flight (pools
+            // are per compression call, but the API does not forbid it).
+            while st.batch.is_some() {
+                st = self.shared.done.wait(st).unwrap();
+            }
+            st.batch = Some(batch);
+            st.generation += 1;
+        }
+        self.shared.work.notify_all();
+
+        // The caller participates as worker 0.
+        execute_batch(&batch, 0);
+
+        // Wait for stragglers, then free the batch slot.
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            while finished.load(Ordering::Acquire) < n {
+                st = self.shared.done.wait(st).unwrap();
+            }
+            st.batch = None;
+        }
+        self.shared.done.notify_all();
+        if panicked.load(Ordering::Acquire) {
+            panic!("a worker-pool job panicked");
+        }
+    }
+
+    /// Ordered parallel map: `f(job, worker)` for `job in 0..n`, results
+    /// collected in job order.
+    pub fn map<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize, usize) -> T + Sync,
+    {
+        let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        let slots = SendPtr(out.as_mut_ptr());
+        self.run(n, &|i, w| {
+            let v = f(i, w);
+            // SAFETY: each job index writes exactly its own slot.
+            unsafe { *slots.at(i) = Some(v) };
+        });
+        out.into_iter()
+            .map(|s| s.expect("worker failed to fill slot"))
+            .collect()
+    }
+}
+
+/// Raw pointer wrapper for the disjoint-slot writes in [`WorkerPool::map`].
+struct SendPtr<T>(*mut T);
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+impl<T> SendPtr<T> {
+    /// Method (not field) access so closures capture the Sync wrapper.
+    unsafe fn at(&self, i: usize) -> *mut T {
+        self.0.add(i)
+    }
+}
+
+/// Claims and executes jobs of `batch` until its counter drains; sets the
+/// thread's job context so nested `run`s inline onto `slot`.
+fn execute_batch(batch: &Batch, slot: usize) {
+    // SAFETY: `run` keeps the referents alive until every job finished.
+    let f = unsafe { &*batch.f };
+    let next = unsafe { &*batch.next };
+    let finished = unsafe { &*batch.finished };
+    let panicked = unsafe { &*batch.panicked };
+
+    let prev = CURRENT_SLOT.with(|c| c.replace(Some(slot)));
+    loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= batch.n {
+            break;
+        }
+        if catch_unwind(AssertUnwindSafe(|| f(i, slot))).is_err() {
+            panicked.store(true, Ordering::Release);
+        }
+        finished.fetch_add(1, Ordering::AcqRel);
+    }
+    CURRENT_SLOT.with(|c| c.set(prev));
+}
+
+fn worker_loop(shared: &Shared, slot: usize) {
+    let mut seen_generation = 0u64;
+    loop {
+        let batch = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.generation != seen_generation {
+                    if let Some(batch) = st.batch {
+                        seen_generation = st.generation;
+                        break batch;
+                    }
+                }
+                st = shared.work.wait(st).unwrap();
+            }
+        };
+        execute_batch(&batch, slot);
+        // Wake the caller (and any queued caller) once the batch drains.
+        // The lock round-trip orders the notify after the caller's
+        // check-then-wait, avoiding a lost wakeup.
+        let finished = unsafe { &*batch.finished };
+        if finished.load(Ordering::Acquire) >= batch.n {
+            drop(shared.state.lock().unwrap());
+            shared.done.notify_all();
+        }
+    }
+}
+
+impl sperr_wavelet::LineExecutor for WorkerPool {
+    fn width(&self) -> usize {
+        self.threads
+    }
+
+    fn run(&self, n_jobs: usize, f: &(dyn Fn(usize, usize) + Sync)) {
+        WorkerPool::run(self, n_jobs, f);
+    }
+}
+
+/// One value per worker slot, handed out mutably by slot index — the
+/// core-side twin of the wavelet crate's internal scratch keying. Used
+/// for per-worker [`ScratchArena`](crate::pipeline::ScratchArena)s.
+pub(crate) struct PerWorker<T> {
+    slots: Box<[std::cell::UnsafeCell<T>]>,
+}
+
+// SAFETY: `get` callers uphold one-thread-per-slot (pool contract).
+unsafe impl<T: Send> Sync for PerWorker<T> {}
+
+impl<T> PerWorker<T> {
+    pub(crate) fn new(n: usize, mut init: impl FnMut() -> T) -> Self {
+        PerWorker { slots: (0..n).map(|_| std::cell::UnsafeCell::new(init())).collect() }
+    }
+
+    /// # Safety
+    ///
+    /// No two threads may use the same `worker` index concurrently.
+    #[allow(clippy::mut_from_ref)]
+    pub(crate) unsafe fn get(&self, worker: usize) -> &mut T {
+        &mut *self.slots[worker].get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn map_preserves_order() {
+        WorkerPool::scoped(4, |pool| {
+            let out = pool.map(100, |i, _| i * i);
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        });
+    }
+
+    #[test]
+    fn single_thread_pool_is_inline() {
+        let pool = WorkerPool::inline();
+        let out = pool.map(5, |i, w| {
+            assert_eq!(w, 0);
+            i + 1
+        });
+        assert_eq!(out, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn nested_run_inlines_on_callers_slot() {
+        // Regression test for the old parallel_map's failure mode: nested
+        // use must neither deadlock nor run on extra threads.
+        WorkerPool::scoped(4, |pool| {
+            let inner_threads = Mutex::new(std::collections::HashSet::new());
+            pool.run(8, &|outer, outer_worker| {
+                // Nested batch: must execute inline, same thread, same slot.
+                let tid = std::thread::current().id();
+                pool.run(16, &|_, inner_worker| {
+                    assert_eq!(inner_worker, outer_worker, "nested job changed slot");
+                    assert_eq!(std::thread::current().id(), tid, "nested job changed thread");
+                    inner_threads.lock().unwrap().insert(std::thread::current().id());
+                });
+                let _ = outer;
+            });
+            // Nested jobs ran on at most `threads` distinct OS threads.
+            assert!(inner_threads.lock().unwrap().len() <= 4);
+        });
+    }
+
+    #[test]
+    fn single_job_batch_leaves_room_for_deeper_parallelism() {
+        WorkerPool::scoped(4, |pool| {
+            let distinct = Mutex::new(std::collections::HashSet::new());
+            // n == 1 runs inline without job context...
+            pool.run(1, &|_, w| {
+                assert_eq!(w, 0);
+                // ...so this deeper batch may still fan out.
+                pool.run(64, &|_, _| {
+                    distinct.lock().unwrap().insert(std::thread::current().id());
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                });
+            });
+            assert!(distinct.lock().unwrap().len() >= 1);
+        });
+    }
+
+    #[test]
+    fn pool_reusable_across_batches() {
+        WorkerPool::scoped(3, |pool| {
+            for round in 0..50 {
+                let count = AtomicUsize::new(0);
+                pool.run(round % 7 + 1, &|_, _| {
+                    count.fetch_add(1, Ordering::Relaxed);
+                });
+                assert_eq!(count.load(Ordering::Relaxed), round % 7 + 1);
+            }
+        });
+    }
+
+    #[test]
+    fn concurrent_jobs_see_distinct_workers() {
+        WorkerPool::scoped(4, |pool| {
+            let in_flight: Vec<AtomicUsize> = (0..4).map(|_| AtomicUsize::new(0)).collect();
+            pool.run(64, &|_, w| {
+                assert_eq!(in_flight[w].fetch_add(1, Ordering::SeqCst), 0, "slot {w} shared");
+                std::thread::sleep(std::time::Duration::from_micros(200));
+                in_flight[w].fetch_sub(1, Ordering::SeqCst);
+            });
+        });
+    }
+
+    #[test]
+    fn job_panic_propagates_without_deadlock() {
+        WorkerPool::scoped(2, |pool| {
+            let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                pool.run(8, &|i, _| {
+                    if i == 3 {
+                        panic!("boom");
+                    }
+                });
+            }));
+            assert!(result.is_err());
+            // Pool still works after a failed batch.
+            assert_eq!(pool.map(3, |i, _| i), vec![0, 1, 2]);
+        });
+    }
+}

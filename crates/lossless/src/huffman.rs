@@ -259,7 +259,11 @@ pub fn encode_symbols(symbols: &[u32], alphabet: usize) -> Vec<u8> {
         freqs[s as usize] += 1;
     }
     let code = CanonicalCode::from_freqs(&freqs);
-    let mut w = BitWriter::new();
+    // Exact output size: fixed header + length table + Σ freq·code-length.
+    let payload_bits: u64 =
+        freqs.iter().zip(code.lengths()).map(|(&f, &l)| f * u64::from(l)).sum();
+    let table_bits = 32 + 64 + alphabet * LENGTH_FIELD_BITS as usize;
+    let mut w = BitWriter::with_capacity_bits(table_bits + payload_bits as usize);
     // Table: alphabet size (u32), then LENGTH_FIELD_BITS per length.
     w.put_bits(alphabet as u64, 32);
     w.put_bits(symbols.len() as u64, 64);

@@ -200,7 +200,10 @@ pub fn encode(outliers: &[Outlier], array_len: usize, t: f64) -> EncodedOutliers
         lis: vec![vec![SetR { start: 0, len: array_len, olo: 0, ohi: pos.len() as u32, level: 0 }]],
         lsp: Vec::new(),
         lnsp: Vec::new(),
-        out: BitWriter::new(),
+        // Size hint: each outlier costs roughly its significance-search
+        // path plus sign and refinement bits — a few dozen bits in
+        // practice; the writer grows if a pathological set exceeds this.
+        out: BitWriter::with_capacity_bits(64 + pos.len() * 48),
     };
     let _ = enc.mag; // magnitudes are owned by the sparse table path
 

@@ -53,24 +53,30 @@ fn quantize_one(c: f64, inv_q: f64) -> u64 {
 /// to locate outliers without a decode pass; equality with [`decode`] is
 /// enforced by tests.
 pub fn reconstruct_quantized(coeffs: &[f64], q: f64) -> Vec<f64> {
+    let mut out = vec![0.0; coeffs.len()];
+    reconstruct_quantized_into(coeffs, q, &mut out);
+    out
+}
+
+/// Allocation-free variant of [`reconstruct_quantized`]: writes into a
+/// caller-provided slice of the same length (hot-path buffer reuse).
+pub fn reconstruct_quantized_into(coeffs: &[f64], q: f64, out: &mut [f64]) {
     assert!(q > 0.0 && q.is_finite(), "quantization step must be positive");
+    assert_eq!(coeffs.len(), out.len());
     let inv_q = 1.0 / q;
-    coeffs
-        .iter()
-        .map(|&c| {
-            let k = quantize_one(c, inv_q);
-            if k == 0 {
-                0.0
+    for (o, &c) in out.iter_mut().zip(coeffs) {
+        let k = quantize_one(c, inv_q);
+        *o = if k == 0 {
+            0.0
+        } else {
+            let mag = (k as f64 + 0.5) * q;
+            if c < 0.0 {
+                -mag
             } else {
-                let mag = (k as f64 + 0.5) * q;
-                if c < 0.0 {
-                    -mag
-                } else {
-                    mag
-                }
+                mag
             }
-        })
-        .collect()
+        };
+    }
 }
 
 /// Signals that the bit budget has been exhausted (encoder) or the stream

@@ -44,7 +44,9 @@ mod decoder;
 mod pyramid;
 mod set;
 
-pub use coder::{encode, reconstruct_quantized, EncodedSpeck, Termination};
+pub use coder::{
+    encode, reconstruct_quantized, reconstruct_quantized_into, EncodedSpeck, Termination,
+};
 pub use decoder::{decode, DecodeError, MAX_DECODE_ELEMENTS};
 pub use pyramid::MaxPyramid;
 

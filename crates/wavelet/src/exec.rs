@@ -1,0 +1,163 @@
+//! Execution abstraction for the transform drivers.
+//!
+//! The multilevel transform is a sequence of axis passes; within one pass
+//! every line (or panel of lines) is independent. [`LineExecutor`] lets a
+//! caller supply a parallel runtime (e.g. `sperr-core`'s worker pool)
+//! without this crate depending on one: the driver describes the pass as
+//! `n_jobs` independent jobs and the executor decides how to run them.
+//! [`Serial`] is the built-in single-threaded executor.
+//!
+//! Bit-exactness: every job performs the same per-line arithmetic as the
+//! serial reference path, and jobs touch disjoint samples, so the output
+//! is identical regardless of executor, worker count or scheduling order
+//! (enforced by the equivalence proptests).
+
+use std::cell::UnsafeCell;
+
+/// Runs batches of independent jobs, possibly in parallel.
+///
+/// # Contract
+///
+/// * `run(n_jobs, f)` must call `f(job, worker)` exactly once for every
+///   `job in 0..n_jobs`, with `worker < width()`, and must not return
+///   before every call has completed.
+/// * Two jobs executing *concurrently* must be passed distinct `worker`
+///   values — `worker` indexes per-worker scratch buffers.
+pub trait LineExecutor: Sync {
+    /// Upper bound (exclusive) on the `worker` indices passed to jobs.
+    fn width(&self) -> usize {
+        1
+    }
+
+    /// Runs `f(job, worker)` for every `job in 0..n_jobs`.
+    fn run(&self, n_jobs: usize, f: &(dyn Fn(usize, usize) + Sync));
+}
+
+/// The trivial executor: every job runs on the calling thread as worker 0.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Serial;
+
+impl LineExecutor for Serial {
+    fn run(&self, n_jobs: usize, f: &(dyn Fn(usize, usize) + Sync)) {
+        for job in 0..n_jobs {
+            f(job, 0);
+        }
+    }
+}
+
+/// One value per worker slot, accessed mutably through a shared reference.
+///
+/// Safety rests on the [`LineExecutor`] contract: concurrent jobs see
+/// distinct `worker` indices, so `get(worker)` never hands out two live
+/// `&mut` to the same slot.
+pub(crate) struct PerWorker<T> {
+    slots: Box<[UnsafeCell<T>]>,
+}
+
+// SAFETY: slots are only accessed through `get`, whose caller guarantees
+// (via the executor contract) that each index is used by one thread at a
+// time.
+unsafe impl<T: Send> Sync for PerWorker<T> {}
+
+impl<T> PerWorker<T> {
+    pub(crate) fn new(n: usize, mut init: impl FnMut() -> T) -> Self {
+        PerWorker { slots: (0..n).map(|_| UnsafeCell::new(init())).collect() }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// # Safety
+    ///
+    /// No two threads may call `get` with the same `worker` concurrently,
+    /// and the returned reference must not outlive the current job.
+    #[allow(clippy::mut_from_ref)]
+    pub(crate) unsafe fn get(&self, worker: usize) -> &mut T {
+        &mut *self.slots[worker].get()
+    }
+}
+
+/// Number of adjacent lines gathered into one contiguous panel for the
+/// strided (y/z) axis passes. A panel is `PANEL_W · n` doubles; at the
+/// default 256-long lines that is 64 KiB — small enough to live in L2
+/// while the gather/scatter streams through it, wide enough that every
+/// byte of a fetched cache line is used (8 doubles per 64-byte line).
+pub const PANEL_W: usize = 32;
+
+/// Per-worker scratch owned by [`TransformScratch`]: one panel plus the
+/// kernel's de/interleave line buffer.
+pub(crate) struct WorkerScratch {
+    /// `PANEL_W` lines, line-major (`panel[w*n + i]` is sample `i` of
+    /// panel line `w`).
+    pub panel: Vec<f64>,
+    /// Kernel line scratch (`Kernel::forward_line`'s `scratch` argument).
+    pub line: Vec<f64>,
+}
+
+/// Reusable scratch for the `_with` transform drivers: per-worker panel
+/// and line buffers sized for the largest axis seen so far. Create once,
+/// reuse across chunks/calls — the whole point is that repeated
+/// transforms allocate nothing.
+pub struct TransformScratch {
+    pub(crate) workers: PerWorker<WorkerScratch>,
+    max_dim: usize,
+}
+
+impl Default for TransformScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TransformScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        TransformScratch { workers: PerWorker::new(0, || unreachable!()), max_dim: 0 }
+    }
+
+    /// Grows the scratch to serve `workers` concurrent jobs on axes up to
+    /// `max_dim` long. Shrinking never happens — reuse keeps capacity.
+    pub fn ensure(&mut self, max_dim: usize, workers: usize) {
+        let workers = workers.max(1);
+        if workers > self.workers.len() || max_dim > self.max_dim {
+            let dim = max_dim.max(self.max_dim);
+            self.workers = PerWorker::new(workers.max(self.workers.len()), || WorkerScratch {
+                panel: vec![0.0; PANEL_W * dim],
+                line: vec![0.0; dim],
+            });
+            self.max_dim = dim;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_runs_every_job_once() {
+        let hits: Vec<std::sync::atomic::AtomicUsize> =
+            (0..17).map(|_| std::sync::atomic::AtomicUsize::new(0)).collect();
+        Serial.run(17, &|j, w| {
+            assert_eq!(w, 0);
+            hits[j].fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(std::sync::atomic::Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn scratch_grows_monotonically() {
+        let mut s = TransformScratch::new();
+        s.ensure(16, 1);
+        s.ensure(8, 4); // more workers, smaller dim: keeps the larger dim
+        unsafe {
+            assert_eq!(s.workers.get(3).panel.len(), PANEL_W * 16);
+            assert_eq!(s.workers.get(0).line.len(), 16);
+        }
+        s.ensure(64, 2); // grows dim, keeps 4 workers
+        unsafe {
+            assert_eq!(s.workers.get(3).panel.len(), PANEL_W * 64);
+        }
+    }
+}

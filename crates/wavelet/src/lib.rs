@@ -43,13 +43,17 @@
 //! }
 //! ```
 
+mod exec;
 mod kernels;
 mod transform;
 
+pub use exec::{LineExecutor, Serial, TransformScratch, PANEL_W};
 pub use kernels::Kernel;
+pub use transform::reference;
 pub use transform::{
-    approx_len, coarse_dims, coarse_scale, forward_1d, forward_2d, forward_3d, inverse_1d,
-    inverse_2d, inverse_3d, inverse_3d_partial, levels_for_dims, num_levels,
+    approx_len, coarse_dims, coarse_scale, forward_1d, forward_1d_with, forward_2d, forward_3d,
+    forward_3d_with, inverse_1d, inverse_1d_with, inverse_2d, inverse_3d, inverse_3d_partial,
+    inverse_3d_partial_with, inverse_3d_with, levels_for_dims, num_levels,
 };
 
 #[cfg(test)]

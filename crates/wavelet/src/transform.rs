@@ -5,7 +5,23 @@
 //! separately applied along each axis", §III-A), then halves the
 //! transformed axes. Axes with fewer levels (short dimensions) simply stop
 //! participating once their level budget is exhausted.
+//!
+//! # Hot path
+//!
+//! The strided (y/z) passes are *panel-blocked*: instead of gathering one
+//! stride-`N` line at a time (one cache miss per sample), a panel of up to
+//! [`PANEL_W`](crate::PANEL_W) adjacent lines is transposed into a
+//! contiguous line-major scratch buffer, the lifting kernel runs over the
+//! whole panel, and the panel is scattered back. Because the lines of a
+//! panel are adjacent along x, the gather/scatter reads and writes
+//! `PANEL_W` *contiguous* doubles per touched row — every fetched cache
+//! line is fully used, amortizing the strided walk across the panel.
+//! Panels are independent, so passes parallelize through
+//! [`LineExecutor`]; per-line arithmetic is exactly the reference path's,
+//! so output is bit-identical to [`reference`] for any executor (enforced
+//! by proptests).
 
+use crate::exec::{LineExecutor, Serial, TransformScratch, WorkerScratch, PANEL_W};
 use crate::kernels::Kernel;
 
 /// Number of recursive transform passes for an axis of length `n`:
@@ -31,34 +47,49 @@ pub fn approx_len(n: usize) -> usize {
 
 /// Forward multilevel transform of a 1D signal in place.
 pub fn forward_1d(data: &mut [f64], n: usize, levels: usize, kernel: Kernel) {
-    assert!(data.len() >= n);
     let mut scratch = vec![0.0; n];
+    forward_1d_with(data, n, levels, kernel, &mut scratch);
+}
+
+/// [`forward_1d`] with caller-provided scratch (`scratch.len() >= n`), so
+/// repeated calls allocate nothing.
+pub fn forward_1d_with(data: &mut [f64], n: usize, levels: usize, kernel: Kernel, scratch: &mut [f64]) {
+    assert!(data.len() >= n);
+    assert!(scratch.len() >= n, "scratch too short: {} < {n}", scratch.len());
     let mut len = n;
     for _ in 0..levels {
         if len < 2 {
             break;
         }
-        kernel.forward_line(data, len, &mut scratch);
+        kernel.forward_line(data, len, scratch);
         len = approx_len(len);
     }
 }
 
 /// Inverse of [`forward_1d`].
 pub fn inverse_1d(data: &mut [f64], n: usize, levels: usize, kernel: Kernel) {
-    assert!(data.len() >= n);
     let mut scratch = vec![0.0; n];
+    inverse_1d_with(data, n, levels, kernel, &mut scratch);
+}
+
+/// [`inverse_1d`] with caller-provided scratch (`scratch.len() >= n`).
+pub fn inverse_1d_with(data: &mut [f64], n: usize, levels: usize, kernel: Kernel, scratch: &mut [f64]) {
+    assert!(data.len() >= n);
+    assert!(scratch.len() >= n, "scratch too short: {} < {n}", scratch.len());
     // Recompute the per-level lengths, then undo them in reverse order.
-    let mut lens = Vec::with_capacity(levels);
+    let mut lens = [0usize; 64];
+    let mut n_lens = 0;
     let mut len = n;
     for _ in 0..levels {
         if len < 2 {
             break;
         }
-        lens.push(len);
+        lens[n_lens] = len;
+        n_lens += 1;
         len = approx_len(len);
     }
-    for &len in lens.iter().rev() {
-        kernel.inverse_line(data, len, &mut scratch);
+    for &len in lens[..n_lens].iter().rev() {
+        kernel.inverse_line(data, len, scratch);
     }
 }
 
@@ -79,18 +110,28 @@ pub fn inverse_2d(data: &mut [f64], dims: [usize; 2], levels: [usize; 2], kernel
 /// `dims = [nx, ny, nz]` with `x` fastest-varying (index
 /// `x + nx*(y + ny*z)`).
 pub fn forward_3d(data: &mut [f64], dims: [usize; 3], levels: [usize; 3], kernel: Kernel) {
+    forward_3d_with(data, dims, levels, kernel, &Serial, &mut TransformScratch::new());
+}
+
+/// [`forward_3d`] with a caller-supplied executor (for intra-volume
+/// parallelism) and reusable scratch (for allocation-free repetition).
+pub fn forward_3d_with(
+    data: &mut [f64],
+    dims: [usize; 3],
+    levels: [usize; 3],
+    kernel: Kernel,
+    exec: &dyn LineExecutor,
+    scratch: &mut TransformScratch,
+) {
     assert_eq!(data.len(), dims[0] * dims[1] * dims[2], "data/dims mismatch");
     let max_levels = levels.iter().copied().max().unwrap_or(0);
     let max_dim = dims.iter().copied().max().unwrap_or(0);
-    let mut line = vec![0.0; max_dim];
-    let mut scratch = vec![0.0; max_dim];
+    scratch.ensure(max_dim, exec.width());
     let mut cur = dims;
     for level in 0..max_levels {
         for axis in 0..3 {
             if level < levels[axis] && cur[axis] >= 2 {
-                apply_axis(data, dims, cur, axis, &mut line, &mut scratch, |buf, n, s| {
-                    kernel.forward_line(buf, n, s)
-                });
+                apply_axis_blocked(data, dims, cur, axis, kernel, true, exec, scratch);
                 cur[axis] = approx_len(cur[axis]);
             }
         }
@@ -100,6 +141,18 @@ pub fn forward_3d(data: &mut [f64], dims: [usize; 3], levels: [usize; 3], kernel
 /// Inverse of [`forward_3d`].
 pub fn inverse_3d(data: &mut [f64], dims: [usize; 3], levels: [usize; 3], kernel: Kernel) {
     inverse_3d_partial(data, dims, levels, 0, kernel);
+}
+
+/// [`inverse_3d`] with executor + reusable scratch.
+pub fn inverse_3d_with(
+    data: &mut [f64],
+    dims: [usize; 3],
+    levels: [usize; 3],
+    kernel: Kernel,
+    exec: &dyn LineExecutor,
+    scratch: &mut TransformScratch,
+) {
+    inverse_3d_partial_with(data, dims, levels, 0, kernel, exec, scratch);
 }
 
 /// Partial inverse supporting multi-resolution reconstruction (paper
@@ -118,11 +171,23 @@ pub fn inverse_3d_partial(
     skip_finest: usize,
     kernel: Kernel,
 ) {
+    inverse_3d_partial_with(data, dims, levels, skip_finest, kernel, &Serial, &mut TransformScratch::new());
+}
+
+/// [`inverse_3d_partial`] with executor + reusable scratch.
+pub fn inverse_3d_partial_with(
+    data: &mut [f64],
+    dims: [usize; 3],
+    levels: [usize; 3],
+    skip_finest: usize,
+    kernel: Kernel,
+    exec: &dyn LineExecutor,
+    scratch: &mut TransformScratch,
+) {
     assert_eq!(data.len(), dims[0] * dims[1] * dims[2], "data/dims mismatch");
     let max_levels = levels.iter().copied().max().unwrap_or(0);
     let max_dim = dims.iter().copied().max().unwrap_or(0);
-    let mut line = vec![0.0; max_dim];
-    let mut scratch = vec![0.0; max_dim];
+    scratch.ensure(max_dim, exec.width());
 
     // Replay the forward schedule to learn each step's box size, then undo
     // the steps last-to-first, stopping before the finest `skip_finest`
@@ -142,9 +207,7 @@ pub fn inverse_3d_partial(
             continue;
         }
         cur[axis] = len_before;
-        apply_axis(data, dims, cur, axis, &mut line, &mut scratch, |buf, n, s| {
-            kernel.inverse_line(buf, n, s)
-        });
+        apply_axis_blocked(data, dims, cur, axis, kernel, false, exec, scratch);
     }
 }
 
@@ -180,40 +243,206 @@ pub fn coarse_scale(dims: [usize; 3], levels: [usize; 3], skip_finest: usize) ->
     f64::exp2(transformed_axis_levels as f64 / 2.0)
 }
 
-/// Applies `f` to every line along `axis` within the sub-box
-/// `[0, cur[0]) x [0, cur[1]) x [0, cur[2])` of the full `dims` array.
-fn apply_axis(
+/// Raw pointer wrapper letting independent jobs write disjoint samples of
+/// the shared volume. Soundness argument at the use sites.
+#[derive(Clone, Copy)]
+struct VolPtr(*mut f64);
+unsafe impl Send for VolPtr {}
+unsafe impl Sync for VolPtr {}
+
+impl VolPtr {
+    /// Pointer to sample `off`. Method (not field) access so closures
+    /// capture the whole Sync wrapper, not the raw pointer field.
+    unsafe fn at(self, off: usize) -> *mut f64 {
+        self.0.add(off)
+    }
+}
+
+/// Lines per job on the contiguous x-axis pass: enough to amortize job
+/// dispatch, few enough to load-balance across workers.
+const X_LINES_PER_JOB: usize = 8;
+
+/// Applies one lifting pass (`forward` or inverse) to every line along
+/// `axis` within the sub-box `[0, cur)` of the full `dims` array,
+/// dispatching independent line batches / panels through `exec`.
+#[allow(clippy::too_many_arguments)]
+fn apply_axis_blocked(
     data: &mut [f64],
     dims: [usize; 3],
     cur: [usize; 3],
     axis: usize,
-    line: &mut [f64],
-    scratch: &mut [f64],
-    mut f: impl FnMut(&mut [f64], usize, &mut [f64]),
+    kernel: Kernel,
+    forward: bool,
+    exec: &dyn LineExecutor,
+    scratch: &TransformScratch,
 ) {
     let n = cur[axis];
-    let (stride_x, stride_y, stride_z) = (1, dims[0], dims[0] * dims[1]);
-    let strides = [stride_x, stride_y, stride_z];
+    let strides = [1, dims[0], dims[0] * dims[1]];
     let stride = strides[axis];
-    // The two non-transformed axes.
-    let (a, b) = match axis {
-        0 => (1, 2),
-        1 => (0, 2),
-        _ => (0, 1),
-    };
-    for jb in 0..cur[b] {
-        for ja in 0..cur[a] {
-            let base = ja * strides[a] + jb * strides[b];
-            if stride == 1 {
-                // Contiguous fast path along x.
-                f(&mut data[base..base + n], n, scratch);
-            } else {
-                for (i, slot) in line[..n].iter_mut().enumerate() {
-                    *slot = data[base + i * stride];
+    let vol = VolPtr(data.as_mut_ptr());
+    let workers = &scratch.workers;
+
+    if axis == 0 {
+        // Contiguous fast path along x: each job takes a batch of whole
+        // lines. Jobs touch disjoint `[base, base + n)` ranges, so the
+        // raw-pointer writes never alias.
+        let n_lines = cur[1] * cur[2];
+        let n_jobs = n_lines.div_ceil(X_LINES_PER_JOB);
+        exec.run(n_jobs, &|job, worker| {
+            // SAFETY: one live &mut per worker slot (executor contract).
+            let ws: &mut WorkerScratch = unsafe { workers.get(worker) };
+            let start = job * X_LINES_PER_JOB;
+            for li in start..(start + X_LINES_PER_JOB).min(n_lines) {
+                let (jy, jz) = (li % cur[1], li / cur[1]);
+                let base = jy * strides[1] + jz * strides[2];
+                // SAFETY: this job exclusively owns lines `start..end`.
+                let line = unsafe { std::slice::from_raw_parts_mut(vol.at(base), n) };
+                if forward {
+                    kernel.forward_line(line, n, &mut ws.line);
+                } else {
+                    kernel.inverse_line(line, n, &mut ws.line);
                 }
-                f(line, n, scratch);
-                for (i, &v) in line[..n].iter().enumerate() {
-                    data[base + i * stride] = v;
+            }
+        });
+        return;
+    }
+
+    // Strided passes (y: stride nx, z: stride nx*ny). The non-transformed
+    // axes are x (stride 1, always one of them for axis != 0) and `b`.
+    // A panel is up to PANEL_W lines adjacent along x: sample i of every
+    // panel line lives in one contiguous run of `wlen` doubles, so the
+    // transpose in/out of the line-major panel buffer streams through
+    // memory instead of striding.
+    let b = if axis == 1 { 2 } else { 1 };
+    let nx = cur[0];
+    let panels_per_row = nx.div_ceil(PANEL_W);
+    let n_jobs = cur[b] * panels_per_row;
+    exec.run(n_jobs, &|job, worker| {
+        // SAFETY: one live &mut per worker slot (executor contract).
+        let ws: &mut WorkerScratch = unsafe { workers.get(worker) };
+        let WorkerScratch { panel, line } = ws;
+        let jb = job / panels_per_row;
+        let x0 = (job % panels_per_row) * PANEL_W;
+        let wlen = PANEL_W.min(nx - x0);
+        let base = jb * strides[b] + x0;
+        // SAFETY: this job exclusively owns samples
+        // `{base + i*stride + w : i in 0..n, w in 0..wlen}` — jobs differ
+        // in `jb` (disjoint b-slices) or `x0` (disjoint x-ranges).
+        unsafe {
+            // Gather: transpose wlen contiguous doubles per row into the
+            // line-major panel.
+            for i in 0..n {
+                let row = vol.at(base + i * stride);
+                for w in 0..wlen {
+                    *panel.get_unchecked_mut(w * n + i) = *row.add(w);
+                }
+            }
+            // Lift every line of the panel.
+            for w in 0..wlen {
+                let buf = &mut panel[w * n..(w + 1) * n];
+                if forward {
+                    kernel.forward_line(buf, n, line);
+                } else {
+                    kernel.inverse_line(buf, n, line);
+                }
+            }
+            // Scatter back.
+            for i in 0..n {
+                let row = vol.at(base + i * stride);
+                for w in 0..wlen {
+                    *row.add(w) = *panel.get_unchecked(w * n + i);
+                }
+            }
+        }
+    });
+}
+
+/// The pre-blocking per-line driver, kept as the equivalence oracle: the
+/// blocked path must produce bit-identical output (proptests) and the
+/// benchmark harness measures blocked vs per-line on the strided passes.
+pub mod reference {
+    use super::*;
+
+    /// Per-line forward multilevel transform (original implementation).
+    pub fn forward_3d(data: &mut [f64], dims: [usize; 3], levels: [usize; 3], kernel: Kernel) {
+        assert_eq!(data.len(), dims[0] * dims[1] * dims[2], "data/dims mismatch");
+        let max_levels = levels.iter().copied().max().unwrap_or(0);
+        let max_dim = dims.iter().copied().max().unwrap_or(0);
+        let mut line = vec![0.0; max_dim];
+        let mut scratch = vec![0.0; max_dim];
+        let mut cur = dims;
+        for level in 0..max_levels {
+            for axis in 0..3 {
+                if level < levels[axis] && cur[axis] >= 2 {
+                    apply_axis_per_line(data, dims, cur, axis, &mut line, &mut scratch, |buf, n, s| {
+                        kernel.forward_line(buf, n, s)
+                    });
+                    cur[axis] = approx_len(cur[axis]);
+                }
+            }
+        }
+    }
+
+    /// Per-line inverse multilevel transform (original implementation).
+    pub fn inverse_3d(data: &mut [f64], dims: [usize; 3], levels: [usize; 3], kernel: Kernel) {
+        assert_eq!(data.len(), dims[0] * dims[1] * dims[2], "data/dims mismatch");
+        let max_levels = levels.iter().copied().max().unwrap_or(0);
+        let max_dim = dims.iter().copied().max().unwrap_or(0);
+        let mut line = vec![0.0; max_dim];
+        let mut scratch = vec![0.0; max_dim];
+        let mut schedule: Vec<(usize, usize)> = Vec::new(); // (axis, len before)
+        let mut cur = dims;
+        for level in 0..max_levels {
+            for axis in 0..3 {
+                if level < levels[axis] && cur[axis] >= 2 {
+                    schedule.push((axis, cur[axis]));
+                    cur[axis] = approx_len(cur[axis]);
+                }
+            }
+        }
+        for &(axis, len_before) in schedule.iter().rev() {
+            cur[axis] = len_before;
+            apply_axis_per_line(data, dims, cur, axis, &mut line, &mut scratch, |buf, n, s| {
+                kernel.inverse_line(buf, n, s)
+            });
+        }
+    }
+
+    /// Applies `f` to every line along `axis` within the sub-box
+    /// `[0, cur)`, gathering/scattering one strided line at a time.
+    fn apply_axis_per_line(
+        data: &mut [f64],
+        dims: [usize; 3],
+        cur: [usize; 3],
+        axis: usize,
+        line: &mut [f64],
+        scratch: &mut [f64],
+        mut f: impl FnMut(&mut [f64], usize, &mut [f64]),
+    ) {
+        let n = cur[axis];
+        let (stride_x, stride_y, stride_z) = (1, dims[0], dims[0] * dims[1]);
+        let strides = [stride_x, stride_y, stride_z];
+        let stride = strides[axis];
+        // The two non-transformed axes.
+        let (a, b) = match axis {
+            0 => (1, 2),
+            1 => (0, 2),
+            _ => (0, 1),
+        };
+        for jb in 0..cur[b] {
+            for ja in 0..cur[a] {
+                let base = ja * strides[a] + jb * strides[b];
+                if stride == 1 {
+                    // Contiguous fast path along x.
+                    f(&mut data[base..base + n], n, scratch);
+                } else {
+                    for (i, slot) in line[..n].iter_mut().enumerate() {
+                        *slot = data[base + i * stride];
+                    }
+                    f(line, n, scratch);
+                    for (i, &v) in line[..n].iter().enumerate() {
+                        data[base + i * stride] = v;
+                    }
                 }
             }
         }

@@ -3,8 +3,35 @@
 
 use proptest::prelude::*;
 use sperr_wavelet::{
-    coarse_dims, forward_3d, inverse_3d, inverse_3d_partial, levels_for_dims, num_levels, Kernel,
+    coarse_dims, forward_1d, forward_1d_with, forward_3d, forward_3d_with, inverse_1d,
+    inverse_1d_with, inverse_3d, inverse_3d_partial, inverse_3d_partial_with, inverse_3d_with,
+    levels_for_dims, num_levels, reference, Kernel, LineExecutor, TransformScratch, PANEL_W,
 };
+
+/// Runs jobs in reverse order — still serial, still worker 0. The blocked
+/// drivers must produce identical bytes under any job scheduling order.
+struct ReverseOrder;
+impl LineExecutor for ReverseOrder {
+    fn run(&self, n_jobs: usize, f: &(dyn Fn(usize, usize) + Sync)) {
+        for job in (0..n_jobs).rev() {
+            f(job, 0);
+        }
+    }
+}
+
+/// Serial executor that cycles jobs over three worker slots — exercises
+/// per-worker scratch keying without real threads.
+struct StripedWorkers;
+impl LineExecutor for StripedWorkers {
+    fn width(&self) -> usize {
+        3
+    }
+    fn run(&self, n_jobs: usize, f: &(dyn Fn(usize, usize) + Sync)) {
+        for job in 0..n_jobs {
+            f(job, job % 3);
+        }
+    }
+}
 
 fn kernel_strategy() -> impl Strategy<Value = Kernel> {
     prop_oneof![Just(Kernel::Cdf97), Just(Kernel::Cdf53), Just(Kernel::Haar)]
@@ -84,5 +111,135 @@ proptest! {
         let l = num_levels(n);
         prop_assert!(l <= 6);
         prop_assert!(num_levels(n + 1) >= l);
+    }
+}
+
+/// Shapes that stress the panel machinery: axes crossing [`PANEL_W`]
+/// (full + partial panels), prime and odd lengths, and axes shorter than
+/// 8 where `num_levels` is 0 and the pass must be skipped identically.
+fn panel_axis() -> impl Strategy<Value = usize> {
+    prop_oneof![
+        1usize..8,                          // below the level-rule threshold
+        Just(7usize),                       // prime
+        Just(13usize),
+        Just(PANEL_W - 1),                  // one line short of a panel
+        Just(PANEL_W),
+        Just(PANEL_W + 1),
+        8usize..=2 * PANEL_W + 3,
+    ]
+}
+
+fn panel_volume_strategy() -> impl Strategy<Value = (Vec<f64>, [usize; 3])> {
+    (panel_axis(), panel_axis(), panel_axis()).prop_flat_map(|(nx, ny, nz)| {
+        let n = nx * ny * nz;
+        prop::collection::vec(-1e4f64..1e4, n..=n).prop_map(move |v| (v, [nx, ny, nz]))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn blocked_forward_bit_identical_to_reference((data, dims) in panel_volume_strategy(),
+                                                  kernel in kernel_strategy()) {
+        let levels = levels_for_dims(dims);
+        let mut per_line = data.clone();
+        reference::forward_3d(&mut per_line, dims, levels, kernel);
+        let mut blocked = data.clone();
+        forward_3d(&mut blocked, dims, levels, kernel);
+        // Bit-identical, not approximately equal: the panel scheme must
+        // perform the exact same arithmetic as the per-line reference.
+        prop_assert_eq!(per_line, blocked, "forward mismatch, dims {:?}", dims);
+    }
+
+    #[test]
+    fn blocked_inverse_bit_identical_to_reference((data, dims) in panel_volume_strategy(),
+                                                  kernel in kernel_strategy()) {
+        let levels = levels_for_dims(dims);
+        let mut coeffs = data.clone();
+        forward_3d(&mut coeffs, dims, levels, kernel);
+        let mut per_line = coeffs.clone();
+        reference::inverse_3d(&mut per_line, dims, levels, kernel);
+        let mut blocked = coeffs;
+        inverse_3d(&mut blocked, dims, levels, kernel);
+        prop_assert_eq!(per_line, blocked, "inverse mismatch, dims {:?}", dims);
+    }
+
+    #[test]
+    fn blocked_2d_fields_bit_identical((data, dims) in (2usize..=2 * PANEL_W + 3, 2usize..=2 * PANEL_W + 3)
+            .prop_flat_map(|(nx, ny)| {
+                let n = nx * ny;
+                prop::collection::vec(-1e3f64..1e3, n..=n).prop_map(move |v| (v, [nx, ny, 1]))
+            }),
+            kernel in kernel_strategy()) {
+        // A 2D field is a dims[2] == 1 volume: the z pass is a no-op and
+        // the y pass runs the strided panel path.
+        let levels = levels_for_dims(dims);
+        let mut per_line = data.clone();
+        reference::forward_3d(&mut per_line, dims, levels, kernel);
+        let mut blocked = data.clone();
+        forward_3d(&mut blocked, dims, levels, kernel);
+        prop_assert_eq!(per_line, blocked);
+    }
+
+    #[test]
+    fn executor_order_and_worker_keying_do_not_change_bytes((data, dims) in panel_volume_strategy()) {
+        let levels = levels_for_dims(dims);
+        let kernel = Kernel::Cdf97;
+        let mut serial = data.clone();
+        forward_3d(&mut serial, dims, levels, kernel);
+
+        let mut reversed = data.clone();
+        let mut scratch = TransformScratch::new();
+        forward_3d_with(&mut reversed, dims, levels, kernel, &ReverseOrder, &mut scratch);
+        prop_assert_eq!(&serial, &reversed, "job order changed output");
+
+        let mut striped = data.clone();
+        let mut scratch = TransformScratch::new();
+        forward_3d_with(&mut striped, dims, levels, kernel, &StripedWorkers, &mut scratch);
+        prop_assert_eq!(&serial, &striped, "worker keying changed output");
+
+        // Same for the inverse, reusing the (already grown) scratch.
+        let mut inv_serial = serial.clone();
+        inverse_3d(&mut inv_serial, dims, levels, kernel);
+        let mut inv_striped = striped;
+        inverse_3d_with(&mut inv_striped, dims, levels, kernel, &StripedWorkers, &mut scratch);
+        prop_assert_eq!(inv_serial, inv_striped);
+    }
+
+    #[test]
+    fn partial_inverse_with_matches_allocating((data, dims) in panel_volume_strategy(),
+                                               skip in 0usize..3) {
+        let levels = levels_for_dims(dims);
+        prop_assume!(levels.iter().all(|&l| l >= skip));
+        let mut coeffs = data.clone();
+        forward_3d(&mut coeffs, dims, levels, Kernel::Cdf97);
+        let mut a = coeffs.clone();
+        inverse_3d_partial(&mut a, dims, levels, skip, Kernel::Cdf97);
+        let mut b = coeffs;
+        let mut scratch = TransformScratch::new();
+        inverse_3d_partial_with(
+            &mut b, dims, levels, skip, Kernel::Cdf97, &StripedWorkers, &mut scratch,
+        );
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scratch_1d_variants_match_allocating(data in prop::collection::vec(-1e4f64..1e4, 2..300),
+                                            kernel in kernel_strategy()) {
+        let n = data.len();
+        let levels = num_levels(n).max(1);
+        let mut alloc = data.clone();
+        forward_1d(&mut alloc, n, levels, kernel);
+        let mut scratch = vec![0.0; n];
+        let mut reuse = data.clone();
+        forward_1d_with(&mut reuse, n, levels, kernel, &mut scratch);
+        prop_assert_eq!(&alloc, &reuse);
+
+        let mut alloc_inv = alloc.clone();
+        inverse_1d(&mut alloc_inv, n, levels, kernel);
+        let mut reuse_inv = reuse;
+        inverse_1d_with(&mut reuse_inv, n, levels, kernel, &mut scratch);
+        prop_assert_eq!(alloc_inv, reuse_inv);
     }
 }

@@ -222,7 +222,16 @@ impl ZfpLike {
                 .iter()
                 .map(|&(z0, z1)| {
                     scope.spawn(move || {
-                        let mut w = BitWriter::new();
+                        // Size hint: exact for fixed-rate; a mid-range
+                        // per-block guess otherwise (grows if exceeded).
+                        let blocks = (z1 - z0) * grid[1] * grid[0];
+                        let per_block = match mode {
+                            Mode::Rate(bpp) => {
+                                ((bpp * BLOCK_SIZE as f64) as usize).max(HEADER_BITS)
+                            }
+                            _ => HEADER_BITS + BLOCK_SIZE * 8,
+                        };
+                        let mut w = BitWriter::with_capacity_bits(blocks * per_block);
                         for bz in z0..z1 {
                             for by in 0..grid[1] {
                                 for bx in 0..grid[0] {

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Hot-path throughput benchmark; writes the tracked BENCH_pr2.json
+# artifact (see crates/bench/src/bin/hotpath.rs for what is measured).
+#
+# Usage:
+#   scripts/bench.sh            # full run (256^3), writes BENCH_pr2.json
+#   scripts/bench.sh --smoke    # tiny dims, writes target/bench_smoke.json
+#   scripts/bench.sh --out F    # override the output path
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="BENCH_pr2.json"
+SMOKE=()
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --smoke)
+      SMOKE=(--smoke)
+      OUT="target/bench_smoke.json"
+      ;;
+    --out)
+      OUT="$2"
+      shift
+      ;;
+    *)
+      echo "unknown argument: $1" >&2
+      echo "usage: scripts/bench.sh [--smoke] [--out FILE]" >&2
+      exit 2
+      ;;
+  esac
+  shift
+done
+
+cargo build --release -q -p sperr-bench --bin hotpath
+target/release/hotpath "${SMOKE[@]}" --out "$OUT"
+# Self-check: the artifact we just wrote must validate.
+target/release/hotpath --check "$OUT"

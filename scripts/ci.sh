@@ -15,4 +15,13 @@ cargo test --workspace --quiet
 echo "==> decoder panic audit"
 cargo test --quiet --test panic_audit
 
+echo "==> bench smoke (release)"
+# Tiny-dims run so the harness itself cannot rot; writes
+# target/bench_smoke.json and self-validates it.
+sh scripts/bench.sh --smoke
+
+echo "==> tracked bench artifact is well-formed"
+# The committed BENCH_pr2.json must parse and carry the expected schema.
+target/release/hotpath --check BENCH_pr2.json
+
 echo "CI OK"
