@@ -1,7 +1,7 @@
 //! The top-level SPERR compressor: chunking, the embarrassingly parallel
 //! driver (§III-D), container assembly and the lossless post-pass (§V).
 
-use crate::chunk::{chunk_grid, extract_chunk_into, insert_chunk};
+use crate::chunk::{chunk_grid, extract_chunk_into, insert_chunk, ChunkSpec};
 use crate::container::{read_container, write_container, ChunkEntry, Header, Mode};
 use crate::crc32::crc32;
 use crate::pipeline::{
@@ -11,7 +11,7 @@ use crate::pipeline::{
 use crate::pool::{PerWorker, WorkerPool};
 use crate::stats::{CompressionStats, StageTimes};
 use sperr_compress_api::{Bound, CompressError, Field, LossyCompressor};
-use sperr_wavelet::Kernel;
+use sperr_wavelet::{Kernel, PANEL_W};
 
 /// Outer stream framing: one flag byte telling whether the container is
 /// wrapped by the lossless codec.
@@ -69,16 +69,30 @@ impl Sperr {
         &self.config
     }
 
-    /// Worker count for the pool. Deliberately *not* clamped to the chunk
-    /// count: a single-chunk volume still uses every thread through the
-    /// intra-chunk (wavelet-panel / elementwise-sweep) parallelism.
-    fn effective_threads(&self) -> usize {
+    /// Worker count for the pool, clamped to the parallelism actually
+    /// available in `chunks`. Deliberately *not* clamped to the chunk
+    /// count alone — a single-chunk volume still uses every thread
+    /// through the intra-chunk (wavelet-panel / elementwise-sweep)
+    /// parallelism — but bounded by those inner job counts, so a tiny
+    /// volume on a many-core machine does not spawn workers that
+    /// outnumber the jobs they would run.
+    fn effective_threads(&self, chunks: &[ChunkSpec]) -> usize {
         let t = if self.config.num_threads == 0 {
             std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
         } else {
             self.config.num_threads
         };
-        t.max(1)
+        // Useful-worker ceiling: the outer chunk jobs, or — in the
+        // few-chunk regime where the inner levels fan out instead — the
+        // strided-pass job count of the largest chunk (lines along the
+        // non-transformed axis × panels along x; see `apply_axis_blocked`
+        // in `sperr-wavelet`).
+        let panel_jobs = chunks
+            .iter()
+            .map(|c| c.dims[1].max(c.dims[2]) * c.dims[0].div_ceil(PANEL_W))
+            .max()
+            .unwrap_or(1);
+        t.min(chunks.len().max(panel_jobs)).max(1)
     }
 
     /// Compresses and returns the stream together with cost/timing
@@ -140,7 +154,7 @@ impl Sperr {
         let data = &field.data;
 
         let n_chunks = chunks_spec.len();
-        let threads = self.effective_threads();
+        let threads = self.effective_threads(&chunks_spec);
         let encoded: Vec<ChunkEncoding> = WorkerPool::scoped(threads, |pool| {
             let arenas = PerWorker::new(pool.threads(), ScratchArena::new);
             let inputs = PerWorker::new(pool.threads(), Vec::new);
@@ -547,7 +561,7 @@ impl Sperr {
             Mode::Bpp | Mode::Rmse => 0.0,
         };
         let n_chunks = entries.len();
-        let threads = self.effective_threads();
+        let threads = self.effective_threads(&chunks_spec);
         let container_ref = &container;
         let entries_ref = &entries;
         let offsets_ref = &offsets;

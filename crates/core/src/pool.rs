@@ -28,7 +28,7 @@
 use std::cell::Cell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 thread_local! {
     /// Worker slot of the pool job currently executing on this thread,
@@ -36,16 +36,28 @@ thread_local! {
     static CURRENT_SLOT: Cell<Option<usize>> = const { Cell::new(None) };
 }
 
-/// One in-flight batch of jobs, published to the workers. The pointers
-/// reference stack data of the `run` call, which cannot return before
-/// every job has finished — see the completion protocol in `run`.
-#[derive(Clone, Copy)]
+/// Per-batch counters. Heap-allocated and kept alive by `Arc` strong
+/// references — `run`'s own plus one per worker holding a copy of the
+/// batch — so a straggler that grabs the batch from the shared slot just
+/// before the caller retires it still touches live memory: it finds the
+/// job counter drained, breaks out, and drops its reference. (These used
+/// to live on `run`'s stack frame, which a late claimant could touch
+/// after `run` returned — a use-after-free.)
+struct BatchState {
+    n: usize,
+    next: AtomicUsize,
+    finished: AtomicUsize,
+    panicked: AtomicBool,
+}
+
+/// One in-flight batch of jobs, published to the workers. Only the job
+/// closure pointer references the caller's stack; it is dereferenced
+/// solely after claiming a job index `< n`, which can happen only while
+/// `run` is still blocked on that job — see SAFETY in [`execute_batch`].
+#[derive(Clone)]
 struct Batch {
     f: *const (dyn Fn(usize, usize) + Sync),
-    n: usize,
-    next: *const AtomicUsize,
-    finished: *const AtomicUsize,
-    panicked: *const AtomicBool,
+    state: Arc<BatchState>,
 }
 unsafe impl Send for Batch {}
 
@@ -142,24 +154,25 @@ impl WorkerPool {
             return;
         }
 
-        let next = AtomicUsize::new(0);
-        let finished = AtomicUsize::new(0);
-        let panicked = AtomicBool::new(false);
+        let state = Arc::new(BatchState {
+            n,
+            next: AtomicUsize::new(0),
+            finished: AtomicUsize::new(0),
+            panicked: AtomicBool::new(false),
+        });
         let batch = Batch {
-            // SAFETY (lifetime erasure): the batch is cleared from the
-            // shared state below before `run` returns, and workers only
-            // dereference `f`/counters while executing a claimed job of
-            // this batch, which the completion wait below outlives.
+            // SAFETY (lifetime erasure): workers dereference `f` only
+            // after claiming a job index < n, and `run` cannot return
+            // before all n jobs finish — so every such dereference happens
+            // while the closure is alive. A late claimant that misses the
+            // jobs entirely touches only the Arc-held counters.
             f: unsafe {
                 std::mem::transmute::<
                     *const (dyn Fn(usize, usize) + Sync),
                     *const (dyn Fn(usize, usize) + Sync),
                 >(f as *const _)
             },
-            n,
-            next: &next,
-            finished: &finished,
-            panicked: &panicked,
+            state: Arc::clone(&state),
         };
         {
             let mut st = self.shared.state.lock().unwrap();
@@ -168,7 +181,7 @@ impl WorkerPool {
             while st.batch.is_some() {
                 st = self.shared.done.wait(st).unwrap();
             }
-            st.batch = Some(batch);
+            st.batch = Some(batch.clone());
             st.generation += 1;
         }
         self.shared.work.notify_all();
@@ -176,16 +189,19 @@ impl WorkerPool {
         // The caller participates as worker 0.
         execute_batch(&batch, 0);
 
-        // Wait for stragglers, then free the batch slot.
+        // Wait for stragglers, then free the batch slot. Workers that
+        // copied the batch but have not run yet keep their own Arc and
+        // find the job counter drained — retiring the slot never races
+        // with their counter accesses.
         {
             let mut st = self.shared.state.lock().unwrap();
-            while finished.load(Ordering::Acquire) < n {
+            while state.finished.load(Ordering::Acquire) < n {
                 st = self.shared.done.wait(st).unwrap();
             }
             st.batch = None;
         }
         self.shared.done.notify_all();
-        if panicked.load(Ordering::Acquire) {
+        if state.panicked.load(Ordering::Acquire) {
             panic!("a worker-pool job panicked");
         }
     }
@@ -224,22 +240,21 @@ impl<T> SendPtr<T> {
 /// Claims and executes jobs of `batch` until its counter drains; sets the
 /// thread's job context so nested `run`s inline onto `slot`.
 fn execute_batch(batch: &Batch, slot: usize) {
-    // SAFETY: `run` keeps the referents alive until every job finished.
-    let f = unsafe { &*batch.f };
-    let next = unsafe { &*batch.next };
-    let finished = unsafe { &*batch.finished };
-    let panicked = unsafe { &*batch.panicked };
-
+    let st = &*batch.state;
     let prev = CURRENT_SLOT.with(|c| c.replace(Some(slot)));
     loop {
-        let i = next.fetch_add(1, Ordering::Relaxed);
-        if i >= batch.n {
+        let i = st.next.fetch_add(1, Ordering::Relaxed);
+        if i >= st.n {
             break;
         }
+        // SAFETY: job `i < n` was claimed, so `finished` stays below `n`
+        // at least until this job completes — `run` is still blocked in
+        // its completion wait and the closure it borrows is alive.
+        let f = unsafe { &*batch.f };
         if catch_unwind(AssertUnwindSafe(|| f(i, slot))).is_err() {
-            panicked.store(true, Ordering::Release);
+            st.panicked.store(true, Ordering::Release);
         }
-        finished.fetch_add(1, Ordering::AcqRel);
+        st.finished.fetch_add(1, Ordering::AcqRel);
     }
     CURRENT_SLOT.with(|c| c.set(prev));
 }
@@ -254,9 +269,9 @@ fn worker_loop(shared: &Shared, slot: usize) {
                     return;
                 }
                 if st.generation != seen_generation {
-                    if let Some(batch) = st.batch {
+                    if let Some(batch) = &st.batch {
                         seen_generation = st.generation;
-                        break batch;
+                        break batch.clone();
                     }
                 }
                 st = shared.work.wait(st).unwrap();
@@ -265,9 +280,10 @@ fn worker_loop(shared: &Shared, slot: usize) {
         execute_batch(&batch, slot);
         // Wake the caller (and any queued caller) once the batch drains.
         // The lock round-trip orders the notify after the caller's
-        // check-then-wait, avoiding a lost wakeup.
-        let finished = unsafe { &*batch.finished };
-        if finished.load(Ordering::Acquire) >= batch.n {
+        // check-then-wait, avoiding a lost wakeup. The counters are held
+        // alive by this worker's own Arc even if the caller has already
+        // retired the batch.
+        if batch.state.finished.load(Ordering::Acquire) >= batch.state.n {
             drop(shared.state.lock().unwrap());
             shared.done.notify_all();
         }
@@ -390,6 +406,32 @@ mod tests {
                 assert_eq!(in_flight[w].fetch_add(1, Ordering::SeqCst), 0, "slot {w} shared");
                 std::thread::sleep(std::time::Duration::from_micros(200));
                 in_flight[w].fetch_sub(1, Ordering::SeqCst);
+            });
+        });
+    }
+
+    #[test]
+    fn batch_retirement_does_not_race_late_claimants() {
+        // Regression test for a use-after-free: a worker could grab the
+        // batch from the shared slot just before the caller retired it,
+        // then touch the (then stack-allocated) counters after `run`
+        // returned, corrupting the next batch. Hammer the slot with rapid
+        // back-to-back batches from several top-level callers — under the
+        // old code this corrupted job counts or dropped jobs.
+        WorkerPool::scoped(4, |pool| {
+            std::thread::scope(|s| {
+                for _ in 0..3 {
+                    s.spawn(|| {
+                        for round in 0..300 {
+                            let jobs = round % 5 + 1;
+                            let count = AtomicUsize::new(0);
+                            pool.run(jobs, &|_, _| {
+                                count.fetch_add(1, Ordering::Relaxed);
+                            });
+                            assert_eq!(count.load(Ordering::Relaxed), jobs);
+                        }
+                    });
+                }
             });
         });
     }

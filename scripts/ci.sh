@@ -17,8 +17,9 @@ cargo test --quiet --test panic_audit
 
 echo "==> bench smoke (release)"
 # Tiny-dims run so the harness itself cannot rot; writes
-# target/bench_smoke.json and self-validates it.
-sh scripts/bench.sh --smoke
+# target/bench_smoke.json and self-validates it. Invoked via its own
+# shebang (bash): running it under plain `sh` breaks on bash-isms.
+scripts/bench.sh --smoke
 
 echo "==> tracked bench artifact is well-formed"
 # The committed BENCH_pr2.json must parse and carry the expected schema.
