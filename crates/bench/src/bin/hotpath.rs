@@ -18,11 +18,10 @@
 
 use sperr_bench::json::{validate_bench_artifact, Json};
 use sperr_compress_api::Bound;
+use sperr_conformance::oracle;
 use sperr_core::{CompressionStats, Sperr, SperrConfig, StageTimes};
 use sperr_datagen::SyntheticField;
-use sperr_outlier::Outlier;
-use sperr_speck::Termination;
-use sperr_wavelet::{levels_for_dims, reference, Kernel};
+use sperr_wavelet::{reference, Kernel};
 use std::time::{Duration, Instant};
 
 const FULL_DIMS: [usize; 3] = [256, 256, 256];
@@ -132,55 +131,6 @@ fn workload(name: &str, points: usize, d: Duration, stages: Option<&StageTimes>)
     Json::obj(pairs)
 }
 
-/// The pre-PR single-chunk PWE pipeline, reassembled from public APIs the
-/// way `pipeline.rs` was before this change: per-line (reference) wavelet
-/// transforms, a fresh allocation per intermediate buffer, one thread,
-/// serial elementwise sweeps. Returns the streams (for the bit-identity
-/// check) and the stage times.
-fn pre_pr_compress_pwe(
-    data: &[f64],
-    dims: [usize; 3],
-    t: f64,
-    q_factor: f64,
-) -> (Vec<u8>, Vec<u8>, StageTimes) {
-    let levels = levels_for_dims(dims);
-    let q = q_factor * t;
-    let kernel = Kernel::Cdf97;
-
-    let t0 = Instant::now();
-    let mut coeffs = data.to_vec();
-    reference::forward_3d(&mut coeffs, dims, levels, kernel);
-    let wavelet = t0.elapsed();
-
-    let t1 = Instant::now();
-    let enc = sperr_speck::encode(&coeffs, dims, q, Termination::Quality);
-    let speck = t1.elapsed();
-
-    let t2 = Instant::now();
-    let mut recon = sperr_speck::reconstruct_quantized(&coeffs, q);
-    reference::inverse_3d(&mut recon, dims, levels, kernel);
-    let outliers: Vec<Outlier> = data
-        .iter()
-        .zip(&recon)
-        .enumerate()
-        .filter_map(|(pos, (&orig, &rec))| {
-            let corr = orig - rec;
-            (corr.abs() > t).then_some(Outlier { pos, corr })
-        })
-        .collect();
-    let locate_outliers = t2.elapsed();
-
-    let t3 = Instant::now();
-    let out_enc = sperr_outlier::encode(&outliers, data.len(), t);
-    let outlier_coding = t3.elapsed();
-
-    (
-        enc.stream,
-        out_enc.stream,
-        StageTimes { wavelet, speck, locate_outliers, outlier_coding },
-    )
-}
-
 fn single_chunk_sperr(dims: [usize; 3], threads: usize) -> Sperr {
     Sperr::new(SperrConfig {
         chunk_dims: dims,
@@ -224,17 +174,31 @@ fn run_benchmarks(dims: [usize; 3], smoke: bool) -> Json {
     );
 
     // --- end-to-end PWE, single chunk ------------------------------------
-    // Pre-PR emulation (1 thread, per-line wavelet, fresh allocations):
-    let (pre_pr_time, (pre_speck, pre_outlier, pre_stages)) =
-        time_best_with(reps, || pre_pr_compress_pwe(&field.data, dims, t, 1.5));
+    // Pre-PR emulation (1 thread, per-line wavelet, fresh allocations),
+    // timed through the conformance oracle's reference pipeline — the
+    // same implementation the tier-2 oracle tests diff the encoder
+    // against:
+    let (pre_pr_time, reference_chunk) =
+        time_best_with(reps, || oracle::reference_chunk_pwe(&field.data, dims, t, 1.5, Kernel::Cdf97));
+    let pre_stages = reference_chunk.times.clone();
     eprintln!("pre-PR PWE 1t: {:.3}s", pre_pr_time.as_secs_f64());
 
-    // Bit-identity of the overhauled encoder against the pre-PR path:
+    // Bit-identity of the overhauled encoder against the reference path:
     let new_chunk = sperr_core::compress_chunk_pwe(&field.data, dims, t, 1.5, Kernel::Cdf97);
-    let bit_identical =
-        new_chunk.speck_stream == pre_speck && new_chunk.outlier_stream == pre_outlier;
-    assert!(bit_identical, "overhauled encoder diverged from the pre-PR bitstream");
-    drop((pre_speck, pre_outlier, new_chunk));
+    oracle::streams_bit_identical(
+        "reference vs pooled SPECK stream",
+        &reference_chunk.speck_stream,
+        &new_chunk.speck_stream,
+    )
+    .unwrap();
+    oracle::streams_bit_identical(
+        "reference vs pooled outlier stream",
+        &reference_chunk.outlier_stream,
+        &new_chunk.outlier_stream,
+    )
+    .unwrap();
+    let bit_identical = true;
+    drop((reference_chunk, new_chunk));
 
     let run_compress = |threads: usize, bound: Bound| -> (Duration, (CompressionStats, Vec<u8>)) {
         let sperr = single_chunk_sperr(dims, threads);
@@ -246,7 +210,8 @@ fn run_benchmarks(dims: [usize; 3], smoke: bool) -> Json {
 
     let (pwe_1t_time, (pwe_1t_stats, pwe_stream)) = run_compress(1, Bound::Pwe(t));
     let (pwe_8t_time, (pwe_8t_stats, pwe_stream_8t)) = run_compress(8, Bound::Pwe(t));
-    assert_eq!(pwe_stream, pwe_stream_8t, "stream depends on thread count");
+    oracle::streams_bit_identical("1-thread vs 8-thread container", &pwe_stream, &pwe_stream_8t)
+        .unwrap();
     drop(pwe_stream_8t);
     eprintln!(
         "PWE 1t: {:.3}s, PWE 8t: {:.3}s",

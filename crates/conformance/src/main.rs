@@ -1,0 +1,131 @@
+//! Conformance driver.
+//!
+//! ```text
+//! cargo run -p sperr-conformance -- regen         # rewrite golden/ + manifest
+//! cargo run -p sperr-conformance -- check         # verify committed goldens
+//! cargo run -p sperr-conformance -- oracles       # run the differential oracles
+//! cargo run -p sperr-conformance -- campaign [N]  # N randomized PWE cases (default 200)
+//! ```
+//!
+//! `check`, `oracles` and `campaign` exit nonzero on any failure, so CI
+//! can call them directly. `regen` is the only subcommand that writes to
+//! the source tree — remember to bump `GOLDEN_VERSION` when committing
+//! its output.
+
+use sperr_conformance::corpus::{corpus_inputs, documented_budget, CodecId};
+use sperr_conformance::oracle;
+use sperr_conformance::pwe::{run_campaign, CampaignConfig};
+use sperr_conformance::{golden, CheckFailure};
+use sperr_compress_api::Bound;
+use sperr_core::{Sperr, SperrConfig};
+use sperr_wavelet::Kernel;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("regen") => regen(),
+        Some("check") => report("golden check", &golden::check(&golden::golden_dir())),
+        Some("oracles") => report("oracles", &run_oracles()),
+        Some("campaign") => {
+            let n = args.get(1).map_or(Ok(200), |s| s.parse()).unwrap_or_else(|_| {
+                eprintln!("campaign: case count must be a number");
+                std::process::exit(2);
+            });
+            campaign(n)
+        }
+        _ => {
+            eprintln!("usage: sperr-conformance regen | check | oracles | campaign [N]");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn regen() -> i32 {
+    let dir = golden::golden_dir();
+    match golden::regenerate(&dir) {
+        Ok(n) => {
+            println!(
+                "wrote {n} golden streams + v1 fixture + manifest to {} \
+                 (GOLDEN_VERSION {})",
+                dir.display(),
+                golden::GOLDEN_VERSION
+            );
+            println!("remember: commit these together with a GOLDEN_VERSION bump");
+            0
+        }
+        Err(e) => {
+            eprintln!("regen failed: {e}");
+            1
+        }
+    }
+}
+
+fn report(what: &str, failures: &[CheckFailure]) -> i32 {
+    if failures.is_empty() {
+        println!("{what}: OK");
+        0
+    } else {
+        for f in failures {
+            eprintln!("FAIL {f}");
+        }
+        eprintln!("{what}: {} failure(s)", failures.len());
+        1
+    }
+}
+
+/// The full differential-oracle sweep over the corpus: blocked lifting,
+/// encoder-vs-reference, thread identity (1/2/4/8), resilient decode,
+/// re-encode stability.
+fn run_oracles() -> Vec<CheckFailure> {
+    let mut failures = Vec::new();
+    fn run(failures: &mut Vec<CheckFailure>, r: oracle::CheckResult) {
+        if let Err(f) = r {
+            failures.push(f);
+        }
+    }
+    for input in corpus_inputs() {
+        let field = input.generate();
+        let t = field.tolerance_for_idx(15);
+        run(&mut failures, oracle::blocked_lifting_matches_reference(&field.data, field.dims, Kernel::Cdf97));
+        run(&mut failures, oracle::encoder_matches_reference(&field.data, field.dims, t, 1.5, Kernel::Cdf97));
+        match oracle::thread_count_bit_identity(&field, Bound::Pwe(t), [16, 16, 16], &[1, 2, 4, 8])
+        {
+            Ok(stream) => {
+                let sperr = Sperr::new(SperrConfig {
+                    chunk_dims: [16, 16, 16],
+                    num_threads: 1,
+                    ..SperrConfig::default()
+                });
+                run(&mut failures, oracle::resilient_matches_strict(&sperr, &stream));
+            }
+            Err(f) => failures.push(f),
+        }
+        for codec in CodecId::ALL {
+            let compressor = codec.build();
+            let bound = if compressor.supports(&Bound::Pwe(t)) {
+                Bound::Pwe(t)
+            } else {
+                Bound::Psnr(60.0)
+            };
+            let budget = documented_budget(codec, bound, field.dims);
+            run(&mut failures, oracle::reencode_idempotent(compressor.as_ref(), &field, bound, budget));
+        }
+    }
+    failures
+}
+
+fn campaign(cases: usize) -> i32 {
+    let config = CampaignConfig::tier2(cases);
+    let r = run_campaign(&config);
+    if r.clean() {
+        println!("campaign: {} cases, 0 violations", r.cases);
+        0
+    } else {
+        for f in &r.violations {
+            eprintln!("FAIL {f}");
+        }
+        eprintln!("campaign: {} cases, {} violation(s)", r.cases, r.violations.len());
+        1
+    }
+}

@@ -1,0 +1,459 @@
+//! Differential oracles: named equivalence checks between independent
+//! implementations of the same computation.
+//!
+//! Each check is a plain function returning [`CheckResult`], so tests,
+//! the bench binary, and future fuzz targets can all assert the same
+//! property through one implementation. A failure names the check and
+//! carries a human-readable detail string; callers decide whether to
+//! panic, collect, or shrink.
+
+use crate::corpus::{check_budget, ErrorBudget};
+use sperr_compress_api::{Bound, Field, LossyCompressor};
+use sperr_core::{compress_chunk_pwe, Sperr, SperrConfig, StageTimes};
+use sperr_outlier::Outlier;
+use sperr_speck::Termination;
+use sperr_wavelet::{levels_for_dims, reference, Kernel, LineExecutor, Serial, TransformScratch};
+use std::time::Instant;
+
+/// A named oracle violation.
+#[derive(Debug, Clone)]
+pub struct CheckFailure {
+    /// The oracle that fired (stable name, e.g. `"blocked-lifting"`).
+    pub check: &'static str,
+    /// What diverged, with enough numbers to start debugging.
+    pub detail: String,
+}
+
+impl std::fmt::Display for CheckFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.check, self.detail)
+    }
+}
+
+/// Outcome of one oracle run.
+pub type CheckResult = Result<(), CheckFailure>;
+
+fn fail(check: &'static str, detail: String) -> CheckResult {
+    Err(CheckFailure { check, detail })
+}
+
+/// Index and values of the first mismatch between two equal-length
+/// slices, bit-compared (NaN-safe, sign-of-zero-sensitive — the blocked
+/// scheme claims *bit* identity, not approximate equality).
+fn first_bit_mismatch(a: &[f64], b: &[f64]) -> Option<(usize, f64, f64)> {
+    a.iter()
+        .zip(b)
+        .position(|(x, y)| x.to_bits() != y.to_bits())
+        .map(|i| (i, a[i], b[i]))
+}
+
+// ---------------------------------------------------------------------
+// Oracle 1: blocked panel lifting vs the per-line reference transform.
+// ---------------------------------------------------------------------
+
+/// Forward + inverse blocked lifting must be **bit-identical** to the
+/// per-line `wavelet::reference` implementation on the same input, for
+/// any [`LineExecutor`] (the executor only reorders whole independent
+/// lines, so the arithmetic per line is the same).
+pub fn blocked_lifting_matches_reference_with(
+    data: &[f64],
+    dims: [usize; 3],
+    kernel: Kernel,
+    exec: &dyn LineExecutor,
+) -> CheckResult {
+    let levels = levels_for_dims(dims);
+
+    let mut want = data.to_vec();
+    reference::forward_3d(&mut want, dims, levels, kernel);
+
+    let mut got = data.to_vec();
+    let mut scratch = TransformScratch::default();
+    sperr_wavelet::forward_3d_with(&mut got, dims, levels, kernel, exec, &mut scratch);
+    if let Some((i, g, w)) = first_bit_mismatch(&got, &want) {
+        return fail(
+            "blocked-lifting",
+            format!("forward dims {dims:?} {kernel:?}: blocked[{i}]={g:e} != reference[{i}]={w:e}"),
+        );
+    }
+
+    reference::inverse_3d(&mut want, dims, levels, kernel);
+    sperr_wavelet::inverse_3d_with(&mut got, dims, levels, kernel, exec, &mut scratch);
+    if let Some((i, g, w)) = first_bit_mismatch(&got, &want) {
+        return fail(
+            "blocked-lifting",
+            format!("inverse dims {dims:?} {kernel:?}: blocked[{i}]={g:e} != reference[{i}]={w:e}"),
+        );
+    }
+    Ok(())
+}
+
+/// [`blocked_lifting_matches_reference_with`] under the default serial
+/// executor.
+pub fn blocked_lifting_matches_reference(
+    data: &[f64],
+    dims: [usize; 3],
+    kernel: Kernel,
+) -> CheckResult {
+    blocked_lifting_matches_reference_with(data, dims, kernel, &Serial)
+}
+
+// ---------------------------------------------------------------------
+// Oracle 2: the overhauled chunk encoder vs a from-parts reference
+// pipeline (the pre-overhaul implementation reassembled from public
+// APIs).
+// ---------------------------------------------------------------------
+
+/// Output of [`reference_chunk_pwe`]: the two bitstreams plus per-stage
+/// wall time (the bench binary charts reference-vs-current throughput
+/// from the same run that proves bit identity).
+#[derive(Debug, Clone)]
+pub struct ReferenceChunk {
+    /// SPECK coefficient stream.
+    pub speck_stream: Vec<u8>,
+    /// Outlier correction stream.
+    pub outlier_stream: Vec<u8>,
+    /// Wall time per pipeline stage.
+    pub times: StageTimes,
+}
+
+/// The single-chunk PWE pipeline assembled step-by-step from public
+/// APIs, the way `pipeline.rs` worked before the hot-path overhaul:
+/// per-line (reference) wavelet transforms, a fresh allocation per
+/// intermediate buffer, one thread, serial elementwise sweeps. This is
+/// the oracle the production [`compress_chunk_pwe`] must match
+/// bit-for-bit.
+pub fn reference_chunk_pwe(
+    data: &[f64],
+    dims: [usize; 3],
+    t: f64,
+    q_factor: f64,
+    kernel: Kernel,
+) -> ReferenceChunk {
+    let levels = levels_for_dims(dims);
+    let q = q_factor * t;
+
+    let t0 = Instant::now();
+    let mut coeffs = data.to_vec();
+    reference::forward_3d(&mut coeffs, dims, levels, kernel);
+    let wavelet = t0.elapsed();
+
+    let t1 = Instant::now();
+    let enc = sperr_speck::encode(&coeffs, dims, q, Termination::Quality);
+    let speck = t1.elapsed();
+
+    let t2 = Instant::now();
+    let mut recon = sperr_speck::reconstruct_quantized(&coeffs, q);
+    reference::inverse_3d(&mut recon, dims, levels, kernel);
+    let outliers: Vec<Outlier> = data
+        .iter()
+        .zip(&recon)
+        .enumerate()
+        .filter_map(|(pos, (&orig, &rec))| {
+            let corr = orig - rec;
+            (corr.abs() > t).then_some(Outlier { pos, corr })
+        })
+        .collect();
+    let locate_outliers = t2.elapsed();
+
+    let t3 = Instant::now();
+    let out_enc = sperr_outlier::encode(&outliers, data.len(), t);
+    let outlier_coding = t3.elapsed();
+
+    ReferenceChunk {
+        speck_stream: enc.stream,
+        outlier_stream: out_enc.stream,
+        times: StageTimes { wavelet, speck, locate_outliers, outlier_coding },
+    }
+}
+
+/// The production chunk encoder must emit the same SPECK and outlier
+/// bytes as [`reference_chunk_pwe`].
+pub fn encoder_matches_reference(
+    data: &[f64],
+    dims: [usize; 3],
+    t: f64,
+    q_factor: f64,
+    kernel: Kernel,
+) -> CheckResult {
+    let want = reference_chunk_pwe(data, dims, t, q_factor, kernel);
+    let got = compress_chunk_pwe(data, dims, t, q_factor, kernel);
+    if got.speck_stream != want.speck_stream {
+        return fail(
+            "encoder-vs-reference",
+            format!(
+                "SPECK stream diverged on dims {dims:?} t={t:e}: {} vs {} bytes",
+                got.speck_stream.len(),
+                want.speck_stream.len()
+            ),
+        );
+    }
+    if got.outlier_stream != want.outlier_stream {
+        return fail(
+            "encoder-vs-reference",
+            format!(
+                "outlier stream diverged on dims {dims:?} t={t:e}: {} vs {} bytes",
+                got.outlier_stream.len(),
+                want.outlier_stream.len()
+            ),
+        );
+    }
+    Ok(())
+}
+
+/// Two independently produced streams that claim to be the same encoding
+/// must be the same bytes. `label` names the pair in the failure (e.g.
+/// `"pre-PR vs pooled"`); callers that already hold both streams (the
+/// bench binary times its own compressions) assert through this instead
+/// of an ad-hoc `assert_eq!`.
+pub fn streams_bit_identical(label: &str, a: &[u8], b: &[u8]) -> CheckResult {
+    if a == b {
+        return Ok(());
+    }
+    let first = a.iter().zip(b.iter()).position(|(x, y)| x != y).unwrap_or(a.len().min(b.len()));
+    fail(
+        "stream-identity",
+        format!(
+            "{label}: streams diverge ({} vs {} bytes, first difference at byte {first})",
+            a.len(),
+            b.len()
+        ),
+    )
+}
+
+// ---------------------------------------------------------------------
+// Oracle 3: thread-count bit identity of the full container.
+// ---------------------------------------------------------------------
+
+/// Compressing the same field with the same configuration must produce
+/// the **same bytes** at every worker-pool width — parallelism is a
+/// scheduling decision, never an encoding decision. Returns the
+/// (identical) stream so callers can feed it to further checks without
+/// recompressing.
+pub fn thread_count_bit_identity(
+    field: &Field,
+    bound: Bound,
+    chunk_dims: [usize; 3],
+    thread_counts: &[usize],
+) -> Result<Vec<u8>, CheckFailure> {
+    let build = |threads: usize| {
+        Sperr::new(SperrConfig { chunk_dims, num_threads: threads, ..SperrConfig::default() })
+    };
+    let (&first, rest) = thread_counts
+        .split_first()
+        .expect("thread_count_bit_identity needs at least one thread count");
+    let baseline = build(first).compress(field, bound).map_err(|e| CheckFailure {
+        check: "thread-identity",
+        detail: format!("{first}-thread compress failed: {e}"),
+    })?;
+    for &threads in rest {
+        let stream = build(threads).compress(field, bound).map_err(|e| CheckFailure {
+            check: "thread-identity",
+            detail: format!("{threads}-thread compress failed: {e}"),
+        })?;
+        if stream != baseline {
+            return Err(CheckFailure {
+                check: "thread-identity",
+                detail: format!(
+                    "stream differs between {first} and {threads} threads \
+                     (dims {:?}, chunk {chunk_dims:?}, {} vs {} bytes)",
+                    field.dims,
+                    baseline.len(),
+                    stream.len()
+                ),
+            });
+        }
+    }
+    Ok(baseline)
+}
+
+// ---------------------------------------------------------------------
+// Oracle 4: the resilient decoder vs the strict decoder on clean input.
+// ---------------------------------------------------------------------
+
+/// On an *undamaged* stream, [`Sperr::decompress_resilient`] must agree
+/// bit-for-bit with the strict [`Sperr::decompress`] and report every
+/// chunk healthy — degradation paths must cost nothing when nothing is
+/// degraded.
+pub fn resilient_matches_strict(sperr: &Sperr, stream: &[u8]) -> CheckResult {
+    let strict = sperr.decompress(stream).map_err(|e| CheckFailure {
+        check: "resilient-vs-strict",
+        detail: format!("strict decode failed on clean stream: {e}"),
+    })?;
+    let (resilient, report) = sperr.decompress_resilient(stream).map_err(|e| CheckFailure {
+        check: "resilient-vs-strict",
+        detail: format!("resilient decode failed on clean stream: {e}"),
+    })?;
+    if !report.all_ok() {
+        return fail(
+            "resilient-vs-strict",
+            format!("clean stream reported damaged chunks: {:?}", report.failed_chunks()),
+        );
+    }
+    if resilient.dims != strict.dims {
+        return fail(
+            "resilient-vs-strict",
+            format!("dims diverged: {:?} vs {:?}", resilient.dims, strict.dims),
+        );
+    }
+    if let Some((i, r, s)) = first_bit_mismatch(&resilient.data, &strict.data) {
+        return fail(
+            "resilient-vs-strict",
+            format!("value diverged at {i}: resilient {r:e} vs strict {s:e}"),
+        );
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Oracle 5: encode → decode → re-encode stability.
+// ---------------------------------------------------------------------
+
+/// Re-encoding a reconstruction under the same bound must keep honoring
+/// the codec's documented budget *relative to that reconstruction* —
+/// i.e. a decompress→compress cycle drifts by at most one budget, never
+/// compounds unboundedly. `budget` is the guarantee for `bound` (see
+/// [`crate::corpus::documented_budget`]).
+pub fn reencode_idempotent(
+    codec: &dyn LossyCompressor,
+    field: &Field,
+    bound: Bound,
+    budget: ErrorBudget,
+) -> CheckResult {
+    let err = |what: &str, e: sperr_compress_api::CompressError| CheckFailure {
+        check: "reencode-idempotent",
+        detail: format!("{what} failed on dims {:?}: {e}", field.dims),
+    };
+    let first = codec.compress(field, bound).map_err(|e| err("first compress", e))?;
+    let recon = codec.decompress(&first).map_err(|e| err("first decompress", e))?;
+    let second = codec.compress(&recon, bound).map_err(|e| err("re-compress", e))?;
+    let recon2 = codec.decompress(&second).map_err(|e| err("second decompress", e))?;
+    if let Err((observed, allowed)) = check_budget(&recon.data, &recon2.data, budget) {
+        return fail(
+            "reencode-idempotent",
+            format!(
+                "{} re-encode drifted past its budget on dims {:?}: observed {observed:e}, \
+                 allowed {allowed:e}",
+                codec.name(),
+                field.dims
+            ),
+        );
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Oracle 6 & 7: stage-level round trips (SPECK, outlier coder).
+// ---------------------------------------------------------------------
+
+/// A quality-terminated SPECK stream must decode to exactly the midpoint
+/// reconstruction of the encoder's own quantization — the decoder's
+/// documented contract.
+pub fn speck_roundtrip_stable(coeffs: &[f64], dims: [usize; 3], q: f64) -> CheckResult {
+    let enc = sperr_speck::encode(coeffs, dims, q, Termination::Quality);
+    let want = sperr_speck::reconstruct_quantized(coeffs, q);
+    let got = sperr_speck::decode(&enc.stream, dims, q, enc.num_planes).map_err(|e| {
+        CheckFailure {
+            check: "speck-roundtrip",
+            detail: format!("decode failed on own stream (dims {dims:?}, q {q:e}): {e}"),
+        }
+    })?;
+    if let Some((i, g, w)) = first_bit_mismatch(&got, &want) {
+        return fail(
+            "speck-roundtrip",
+            format!("dims {dims:?} q {q:e}: decoded[{i}]={g:e} != quantized[{i}]={w:e}"),
+        );
+    }
+    Ok(())
+}
+
+/// The outlier coder must return corrections at exactly the encoded
+/// positions, each within `t` of the original correction (its refinement
+/// contract: residual error after correction is at most the tolerance).
+pub fn outlier_roundtrip_exact(outliers: &[Outlier], array_len: usize, t: f64) -> CheckResult {
+    let enc = sperr_outlier::encode(outliers, array_len, t);
+    let mut got =
+        sperr_outlier::decode(&enc.stream, array_len, t, enc.max_n).map_err(|e| CheckFailure {
+            check: "outlier-roundtrip",
+            detail: format!("decode failed on own stream (n {array_len}, t {t:e}): {e}"),
+        })?;
+    // The decoder emits corrections in refinement order, not position
+    // order; normalize before pairing up.
+    got.sort_by_key(|o| o.pos);
+    let mut want: Vec<Outlier> = outliers.to_vec();
+    want.sort_by_key(|o| o.pos);
+    if got.len() != want.len() {
+        return fail(
+            "outlier-roundtrip",
+            format!("{} outliers in, {} out (n {array_len}, t {t:e})", want.len(), got.len()),
+        );
+    }
+    for (g, w) in got.iter().zip(&want) {
+        if g.pos != w.pos {
+            return fail(
+                "outlier-roundtrip",
+                format!("position drifted: encoded {} decoded {}", w.pos, g.pos),
+            );
+        }
+        let residual = (g.corr - w.corr).abs();
+        if residual > t {
+            return fail(
+                "outlier-roundtrip",
+                format!("correction at {} off by {residual:e} > t {t:e}", g.pos),
+            );
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sperr_datagen::SyntheticField;
+    use sperr_wavelet::stress::{ReverseOrder, StripedWorkers};
+
+    fn small_field() -> Field {
+        SyntheticField::MirandaPressure.generate([13, 10, 11], 3)
+    }
+
+    #[test]
+    fn lifting_oracle_accepts_all_executors() {
+        let f = small_field();
+        for exec in [&Serial as &dyn LineExecutor, &ReverseOrder, &StripedWorkers(3)] {
+            blocked_lifting_matches_reference_with(&f.data, f.dims, Kernel::Cdf97, exec)
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn encoder_oracle_accepts_production_encoder() {
+        let f = small_field();
+        let t = f.range() * 1e-3;
+        encoder_matches_reference(&f.data, f.dims, t, 1.5, Kernel::Cdf97).unwrap();
+    }
+
+    #[test]
+    fn encoder_oracle_rejects_perturbed_input() {
+        // Sanity: the oracle actually discriminates — reference on one
+        // input vs production on a different input must fail.
+        let f = small_field();
+        let t = f.range() * 1e-3;
+        let want = reference_chunk_pwe(&f.data, f.dims, t, 1.5, Kernel::Cdf97);
+        let mut perturbed = f.data.clone();
+        perturbed[0] += 10.0 * f.range();
+        let got = compress_chunk_pwe(&perturbed, f.dims, t, 1.5, Kernel::Cdf97);
+        assert_ne!(got.speck_stream, want.speck_stream);
+    }
+
+    #[test]
+    fn stage_roundtrip_oracles_hold() {
+        let f = small_field();
+        let t = f.range() * 1e-3;
+        speck_roundtrip_stable(&f.data, f.dims, 1.5 * t).unwrap();
+        let outliers = vec![
+            Outlier { pos: 0, corr: 5.0 * t },
+            Outlier { pos: 7, corr: -3.2 * t },
+            Outlier { pos: f.data.len() - 1, corr: 40.0 * t },
+        ];
+        outlier_roundtrip_exact(&outliers, f.data.len(), t).unwrap();
+    }
+}

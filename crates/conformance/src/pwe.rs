@@ -1,0 +1,347 @@
+//! The PWE-guarantee campaign: randomized adversarial inputs against the
+//! paper's headline claim (`max |x − x̂| ≤ ε`, §IV-C) and each baseline's
+//! documented bound.
+//!
+//! Every case draws a random shape (1D/2D/3D), synthesizes a smooth
+//! field, then injects spike outliers — precisely the data SPERR's
+//! outlier coder exists for — and sweeps the tolerance across three
+//! decades of the field's range. The assertion per case comes from
+//! [`documented_budget`]: SPERR/ZFP/SZ must hold `≤ t` exactly, MGARD
+//! must hold its hard `(L+1)·t/2` stacking bound, TTHRESH must reach its
+//! PSNR target.
+//!
+//! On a violation the campaign *shrinks*: it repeatedly crops the field
+//! to the half-box (along each axis in turn) that still violates, then
+//! dumps the minimal reproducer — raw f64 little-endian samples plus a
+//! config sidecar — under `target/conformance-failures/`, so a failure
+//! in CI is immediately replayable locally.
+
+use crate::corpus::{bound_tag, check_budget, documented_budget, CodecId};
+use crate::oracle::{CheckFailure, CheckResult};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use sperr_compress_api::{Bound, Field};
+use std::path::PathBuf;
+
+/// Tolerance decades swept by the campaign: `t = range × 10^-d`.
+pub const DECADES: [u32; 3] = [2, 3, 4];
+
+/// Campaign parameters.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Number of randomized cases. Each case is one (field, codec,
+    /// tolerance) triple; codecs and decades cycle so every combination
+    /// appears every `5 × 3` cases.
+    pub cases: usize,
+    /// Master seed; case `i` derives its own RNG from `seed ^ i`.
+    pub seed: u64,
+    /// Where to dump shrunk reproducers (`None` = don't dump).
+    pub failure_dir: Option<PathBuf>,
+}
+
+impl CampaignConfig {
+    /// The tier-2 configuration: the ISSUE's floor of 200 cases, dumping
+    /// reproducers under the workspace `target/` directory.
+    pub fn tier2(cases: usize) -> Self {
+        CampaignConfig { cases, seed: 0x5be2_2023, failure_dir: Some(default_failure_dir()) }
+    }
+}
+
+/// `target/conformance-failures` in the workspace root.
+pub fn default_failure_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/conformance-failures")
+}
+
+/// One fully-determined campaign case.
+#[derive(Debug, Clone)]
+pub struct CampaignCase {
+    /// Case index (names the reproducer directory on failure).
+    pub index: usize,
+    /// The synthesized spiky field.
+    pub field: Field,
+    /// Codec under test.
+    pub codec: CodecId,
+    /// The bound handed to the codec.
+    pub bound: Bound,
+    /// Tolerance decade this case exercises.
+    pub decade: u32,
+}
+
+/// Campaign outcome.
+#[derive(Debug)]
+pub struct CampaignReport {
+    /// Cases executed.
+    pub cases: usize,
+    /// One failure per violating case (after shrinking), each naming the
+    /// codec, shape and observed/allowed error.
+    pub violations: Vec<CheckFailure>,
+}
+
+impl CampaignReport {
+    /// True when every case honored its documented budget.
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+fn rand_in(rng: &mut StdRng, lo: usize, hi: usize) -> usize {
+    lo + (rng.next_u64() as usize) % (hi - lo + 1)
+}
+
+/// Random shape: a third each 1D (prime-ish lengths included), 2D and 3D,
+/// all small enough for debug-mode test runs.
+fn random_dims(rng: &mut StdRng) -> [usize; 3] {
+    match rng.next_u64() % 3 {
+        0 => [rand_in(rng, 17, 70), 1, 1],
+        1 => [rand_in(rng, 5, 24), rand_in(rng, 5, 24), 1],
+        _ => [rand_in(rng, 4, 12), rand_in(rng, 4, 12), rand_in(rng, 4, 12)],
+    }
+}
+
+/// Smooth random sinusoid mixture plus low-level noise plus injected
+/// spike outliers — the spikes are what force SPERR's outlier coder to
+/// actually earn the guarantee rather than coast on SPECK alone.
+fn random_spiky_field(rng: &mut StdRng, dims: [usize; 3]) -> Field {
+    let [nx, ny, nz] = dims;
+    let n = nx * ny * nz;
+    // Three random plane waves.
+    let waves: Vec<[f64; 4]> = (0..3)
+        .map(|_| {
+            [
+                0.5 + 4.0 * rng.random::<f64>(), // frequency scale
+                rng.random::<f64>(),             // direction mix x
+                rng.random::<f64>(),             // direction mix y
+                rng.random::<f64>(),             // phase
+            ]
+        })
+        .collect();
+    let amp = 1.0 + 9.0 * rng.random::<f64>();
+    let mut data = Vec::with_capacity(n);
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                let (fx, fy, fz) = (
+                    x as f64 / nx as f64,
+                    y as f64 / ny.max(2) as f64,
+                    z as f64 / nz.max(2) as f64,
+                );
+                let mut v = 0.0;
+                for w in &waves {
+                    v += (std::f64::consts::TAU
+                        * (w[0] * (fx + w[1] * fy + w[2] * fz) + w[3]))
+                        .sin();
+                }
+                data.push(amp * v);
+            }
+        }
+    }
+    // Low-amplitude white noise (defeats trivially-sparse spectra).
+    for v in &mut data {
+        *v += amp * 0.01 * (rng.random::<f64>() - 0.5);
+    }
+    // Spike outliers: ~2% of samples, magnitudes up to 5× the smooth
+    // amplitude, both signs.
+    let spikes = (n / 50).max(1);
+    for _ in 0..spikes {
+        let pos = (rng.next_u64() as usize) % n;
+        let sign = if rng.random::<bool>() { 1.0 } else { -1.0 };
+        data[pos] += sign * amp * (1.0 + 4.0 * rng.random::<f64>());
+    }
+    Field::new(dims, data)
+}
+
+/// Builds case `index` deterministically from the master seed.
+pub fn make_case(index: usize, seed: u64) -> CampaignCase {
+    let mut rng = StdRng::seed_from_u64(seed ^ (index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    let dims = random_dims(&mut rng);
+    let field = random_spiky_field(&mut rng, dims);
+    let codec = CodecId::ALL[index % CodecId::ALL.len()];
+    let decade = DECADES[(index / CodecId::ALL.len()) % DECADES.len()];
+    // TTHRESH is PSNR-bounded only; its "decades" sweep PSNR targets
+    // instead (50/60/70 dB track decades 2/3/4 — ~20 dB per decade of
+    // RMS error on unit-range data).
+    let bound = match codec {
+        CodecId::TthreshLike => Bound::Psnr(30.0 + 10.0 * decade as f64),
+        _ => Bound::Pwe(field.range() * 10f64.powi(-(decade as i32))),
+    };
+    CampaignCase { index, field, codec, bound, decade }
+}
+
+/// Crops `field` to a half-open sub-box starting at `lo`, `len` per axis.
+fn crop(field: &Field, lo: [usize; 3], len: [usize; 3]) -> Field {
+    let [nx, ny, _nz] = field.dims;
+    let mut data = Vec::with_capacity(len[0] * len[1] * len[2]);
+    for z in lo[2]..lo[2] + len[2] {
+        for y in lo[1]..lo[1] + len[1] {
+            for x in lo[0]..lo[0] + len[0] {
+                data.push(field.data[(z * ny + y) * nx + x]);
+            }
+        }
+    }
+    Field::new(len, data)
+}
+
+/// Does `field` still violate the codec's budget under `bound`? Errors
+/// (compress/decompress failures) count as violations — a codec
+/// crashing on a shrunk input is still a reproducer worth keeping.
+fn violates(codec: CodecId, field: &Field, bound: Bound) -> Option<(f64, f64)> {
+    let c = codec.build();
+    let stream = match c.compress(field, bound) {
+        Ok(s) => s,
+        Err(_) => return Some((f64::INFINITY, 0.0)),
+    };
+    let recon = match c.decompress(&stream) {
+        Ok(r) => r,
+        Err(_) => return Some((f64::INFINITY, 0.0)),
+    };
+    let budget = documented_budget(codec, bound, field.dims);
+    check_budget(&field.data, &recon.data, budget).err()
+}
+
+/// Shrinks a violating field by repeatedly keeping whichever axis
+/// half-box still violates, until no half does. Greedy and bounded: at
+/// most `log2(n)` rounds.
+pub fn shrink_violation(codec: CodecId, field: &Field, bound: Bound) -> Field {
+    let mut cur = field.clone();
+    'outer: loop {
+        for axis in 0..3 {
+            if cur.dims[axis] < 2 {
+                continue;
+            }
+            let half = cur.dims[axis] / 2;
+            for (start, len) in [(0, half), (cur.dims[axis] - half, half)] {
+                let mut lo = [0; 3];
+                lo[axis] = start;
+                let mut dims = cur.dims;
+                dims[axis] = len;
+                let candidate = crop(&cur, lo, dims);
+                if violates(codec, &candidate, bound).is_some() {
+                    cur = candidate;
+                    continue 'outer;
+                }
+            }
+        }
+        return cur;
+    }
+}
+
+/// Writes the reproducer for a shrunk violation: `input.bin` (raw f64
+/// little-endian, x fastest) and `config.txt` (replay parameters).
+fn dump_reproducer(
+    dir: &std::path::Path,
+    case: &CampaignCase,
+    shrunk: &Field,
+    observed: f64,
+    allowed: f64,
+) -> std::io::Result<PathBuf> {
+    let case_dir = dir.join(format!("case-{:04}-{}", case.index, case.codec.tag()));
+    std::fs::create_dir_all(&case_dir)?;
+    let mut bytes = Vec::with_capacity(shrunk.data.len() * 8);
+    for v in &shrunk.data {
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    std::fs::write(case_dir.join("input.bin"), &bytes)?;
+    let bound_val = match case.bound {
+        Bound::Pwe(v) | Bound::Bpp(v) | Bound::Psnr(v) => v,
+    };
+    let config = format!(
+        "case_index {}\ncodec {}\nmode {}\nbound {bound_val:e}\nbound_bits {:016x}\n\
+         dims {} {} {}\nobserved {observed:e}\nallowed {allowed:e}\n\
+         replay: decode input.bin as little-endian f64, x fastest, \
+         compress with the codec/mode/bound above, assert the budget\n",
+        case.index,
+        case.codec.tag(),
+        bound_tag(case.bound),
+        bound_val.to_bits(),
+        shrunk.dims[0],
+        shrunk.dims[1],
+        shrunk.dims[2],
+    );
+    std::fs::write(case_dir.join("config.txt"), config)?;
+    Ok(case_dir)
+}
+
+/// Runs one case end-to-end; on violation, shrinks and (if configured)
+/// dumps a reproducer.
+pub fn run_case(case: &CampaignCase, failure_dir: Option<&std::path::Path>) -> CheckResult {
+    let Some((observed, allowed)) = violates(case.codec, &case.field, case.bound) else {
+        return Ok(());
+    };
+    let shrunk = shrink_violation(case.codec, &case.field, case.bound);
+    let (observed, allowed) =
+        violates(case.codec, &shrunk, case.bound).unwrap_or((observed, allowed));
+    let mut detail = format!(
+        "case {} {} {:?} dims {:?}: observed {observed:e} > allowed {allowed:e} \
+         (shrunk to dims {:?})",
+        case.index,
+        case.codec.tag(),
+        case.bound,
+        case.field.dims,
+        shrunk.dims,
+    );
+    if let Some(dir) = failure_dir {
+        match dump_reproducer(dir, case, &shrunk, observed, allowed) {
+            Ok(path) => detail.push_str(&format!("; reproducer at {}", path.display())),
+            Err(e) => detail.push_str(&format!("; reproducer dump FAILED: {e}")),
+        }
+    }
+    Err(CheckFailure { check: "pwe-campaign", detail })
+}
+
+/// Runs the full campaign.
+pub fn run_campaign(config: &CampaignConfig) -> CampaignReport {
+    let mut violations = Vec::new();
+    for i in 0..config.cases {
+        let case = make_case(i, config.seed);
+        if let Err(f) = run_case(&case, config.failure_dir.as_deref()) {
+            violations.push(f);
+        }
+    }
+    CampaignReport { cases: config.cases, violations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cases_are_deterministic_and_cover_the_matrix() {
+        let a = make_case(7, 1);
+        let b = make_case(7, 1);
+        assert_eq!(a.field.data, b.field.data);
+        assert_eq!(a.codec, b.codec);
+        // 15 consecutive cases hit all 5 codecs × 3 decades.
+        let mut combos = std::collections::BTreeSet::new();
+        for i in 0..15 {
+            let c = make_case(i, 1);
+            combos.insert((c.codec.tag(), c.decade));
+        }
+        assert_eq!(combos.len(), 15);
+    }
+
+    #[test]
+    fn fields_contain_genuine_outliers() {
+        // The injected spikes must survive as actual field extremes,
+        // otherwise the campaign never exercises the outlier coder.
+        let case = make_case(0, 99);
+        let f = &case.field;
+        let mean = f.data.iter().sum::<f64>() / f.data.len() as f64;
+        let peak = f.data.iter().map(|v| (v - mean).abs()).fold(0.0, f64::max);
+        let rms = (f.data.iter().map(|v| (v - mean).powi(2)).sum::<f64>()
+            / f.data.len() as f64)
+            .sqrt();
+        assert!(peak > 3.0 * rms, "no spike stands out: peak {peak:e} rms {rms:e}");
+    }
+
+    #[test]
+    fn shrinker_reduces_a_synthetic_violation() {
+        // Shrinking is driven by `violates`, which treats codec errors as
+        // violations; an input that *always* fails shrinks to 1×1×1.
+        // MGARD-like at an impossible (negative-range-free) setup isn't
+        // available, so instead verify the crop helper directly.
+        let f = Field::from_fn([4, 3, 2], |x, y, z| (x + 10 * y + 100 * z) as f64);
+        let c = crop(&f, [1, 1, 0], [2, 2, 2]);
+        assert_eq!(c.dims, [2, 2, 2]);
+        assert_eq!(c.data, vec![11.0, 12.0, 21.0, 22.0, 111.0, 112.0, 121.0, 122.0]);
+    }
+}

@@ -535,6 +535,48 @@ impl Sperr {
         Ok(out)
     }
 
+    /// Re-frames a stream as a legacy **container v1** (checksum-free)
+    /// stream with byte-identical chunk payloads, preserving the outer
+    /// lossless framing. Real v1 streams predate this repo's checksummed
+    /// container; this is how the conformance suite regenerates its
+    /// committed v1 back-compat fixture without keeping an old encoder
+    /// around. The result must always decode to exactly the same field as
+    /// the input stream.
+    pub fn downgrade_to_v1(&self, stream: &[u8]) -> Result<Vec<u8>, CompressError> {
+        let (container, lossless) = Self::unwrap_outer(stream)?;
+        let parsed = read_container(&container)?;
+        verify_chunk_crcs(&container, &parsed)?;
+        let offsets = chunk_offsets(&parsed.entries, parsed.payload_start);
+        let chunks: Vec<ChunkEncoding> = parsed
+            .entries
+            .iter()
+            .zip(&offsets)
+            .map(|(e, &s)| ChunkEncoding {
+                speck_stream: container[s..s + e.speck_len].to_vec(),
+                outlier_stream: container[s + e.speck_len..s + e.speck_len + e.outlier_len]
+                    .to_vec(),
+                q: e.q,
+                num_planes: e.num_planes,
+                max_n: e.max_n,
+                num_outliers: e.num_outliers,
+                speck_bits: e.speck_len * 8,
+                outlier_bits: e.outlier_len * 8,
+                times: Default::default(),
+                coeff_sq_error: 0.0,
+            })
+            .collect();
+        let v1 = crate::container::write_container_v1(&parsed.header, &chunks);
+        let mut out = Vec::with_capacity(v1.len() + 1);
+        if lossless {
+            out.push(OUTER_LOSSLESS);
+            out.extend_from_slice(&sperr_lossless::compress(&v1));
+        } else {
+            out.push(OUTER_RAW);
+            out.extend_from_slice(&v1);
+        }
+        Ok(out)
+    }
+
     /// Decompresses and returns the field together with per-stage timing
     /// statistics (surfaced by the CLI's `info --verbose`).
     pub fn decompress_with_stats(

@@ -22,8 +22,10 @@ use sperr_compress_api::{CompressError, Precision};
 use sperr_wavelet::Kernel;
 
 pub(crate) const MAGIC: &[u8; 4] = b"SPRR";
-/// Version written by [`write_container`].
-pub(crate) const VERSION: u8 = 2;
+/// Version written by [`write_container`] (public so the conformance
+/// manifest can record which container format its goldens were cut
+/// against).
+pub const VERSION: u8 = 2;
 /// Legacy checksum-free version, still accepted by [`read_container`].
 pub(crate) const VERSION_V1: u8 = 1;
 
@@ -172,8 +174,8 @@ pub(crate) fn write_container(header: &Header, chunks: &[ChunkEncoding]) -> Vec<
 }
 
 /// Serializes a legacy v1 container (no checksums). Kept for back-compat
-/// tests: every reader must keep accepting v1 streams.
-#[cfg(test)]
+/// tests and the conformance v1 fixture ([`crate::Sperr::downgrade_to_v1`]):
+/// every reader must keep accepting v1 streams.
 pub(crate) fn write_container_v1(header: &Header, chunks: &[ChunkEncoding]) -> Vec<u8> {
     write_container_versioned(header, chunks, VERSION_V1)
 }

@@ -23,8 +23,10 @@ fn table() -> &'static [u32; 256] {
 }
 
 /// CRC-32 of `data` (initial value 0xFFFFFFFF, final XOR 0xFFFFFFFF — the
-/// standard zlib/PNG convention).
-pub(crate) fn crc32(data: &[u8]) -> u32 {
+/// standard zlib/PNG convention). Public because it is the repo's one
+/// checksum: the container uses it for integrity, and external integrity
+/// tooling (the conformance golden-stream manifest) uses it for digests.
+pub fn crc32(data: &[u8]) -> u32 {
     let t = table();
     let mut crc = !0u32;
     for &b in data {

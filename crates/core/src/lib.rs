@@ -66,6 +66,8 @@ pub use compressor::{
     ChunkStatus, ResilientReport, Sperr, SperrConfig, StreamInfo, VerifyReport,
 };
 pub use container::Mode;
+pub use container::VERSION as CONTAINER_VERSION;
+pub use crc32::crc32;
 pub use pipeline::{
     compress_chunk_bpp, compress_chunk_bpp_with, compress_chunk_pwe, compress_chunk_pwe_with,
     compress_chunk_rmse, compress_chunk_rmse_with, decompress_chunk, decompress_chunk_multires,

@@ -437,6 +437,102 @@ mod tests {
     }
 
     #[test]
+    fn zero_job_batch_is_noop() {
+        // n == 0 must return immediately without publishing a batch,
+        // waking a worker, or poisoning the pool — from the top level,
+        // from inside a job, and through `map`.
+        WorkerPool::scoped(4, |pool| {
+            pool.run(0, &|_, _| panic!("zero-job batch ran a job"));
+            assert_eq!(pool.map(0, |i, _| i), Vec::<usize>::new());
+            pool.run(3, &|_, _| {
+                // Nested zero-job batch inside job context.
+                pool.run(0, &|_, _| panic!("nested zero-job batch ran a job"));
+            });
+            // Pool still fully functional afterwards.
+            assert_eq!(pool.map(5, |i, _| i * 2), vec![0, 2, 4, 6, 8]);
+        });
+    }
+
+    #[test]
+    fn single_job_with_many_threads() {
+        // One job on a wide pool runs inline on the caller (slot 0), never
+        // waits on the workers, and leaves them usable for later batches.
+        WorkerPool::scoped(8, |pool| {
+            let caller = std::thread::current().id();
+            for _ in 0..100 {
+                pool.run(1, &|i, w| {
+                    assert_eq!(i, 0);
+                    assert_eq!(w, 0, "single job ran off the caller slot");
+                    assert_eq!(std::thread::current().id(), caller);
+                });
+            }
+            // The workers were not consumed: a wide batch still fans out.
+            let out = pool.map(64, |i, _| i);
+            assert_eq!(out, (0..64).collect::<Vec<_>>());
+        });
+    }
+
+    #[test]
+    fn panic_in_nested_job_propagates_to_outer_run() {
+        // A panic in a batch issued from *inside* a pool job unwinds
+        // through the outer job; the outer `run` must report it and the
+        // pool must survive.
+        WorkerPool::scoped(4, |pool| {
+            let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                pool.run(4, &|outer, _| {
+                    pool.run(8, &|inner, _| {
+                        if outer == 2 && inner == 5 {
+                            panic!("nested boom");
+                        }
+                    });
+                });
+            }));
+            assert!(result.is_err(), "nested panic was swallowed");
+            assert_eq!(pool.map(4, |i, _| i + 1), vec![1, 2, 3, 4]);
+        });
+    }
+
+    #[test]
+    fn every_job_still_runs_when_several_panic() {
+        // Panicking jobs are caught per-job: the batch drains fully (no
+        // job skipped, no deadlock) and the caller panics exactly once at
+        // the end, even with many panicking jobs racing many threads.
+        WorkerPool::scoped(8, |pool| {
+            let ran = AtomicUsize::new(0);
+            let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                pool.run(64, &|i, _| {
+                    ran.fetch_add(1, Ordering::SeqCst);
+                    if i % 3 == 0 {
+                        panic!("boom {i}");
+                    }
+                });
+            }));
+            assert!(result.is_err());
+            assert_eq!(ran.load(Ordering::SeqCst), 64, "a job was skipped");
+            assert_eq!(pool.map(2, |i, _| i), vec![0, 1]);
+        });
+    }
+
+    #[test]
+    fn map_panic_propagates_not_unfilled_slot() {
+        // A panic inside `map`'s closure must surface as the pool's batch
+        // panic, not as the "worker failed to fill slot" expect on a
+        // missing result.
+        WorkerPool::scoped(4, |pool| {
+            let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                pool.map(16, |i, _| {
+                    if i == 7 {
+                        panic!("map boom");
+                    }
+                    i
+                })
+            }));
+            let msg = *result.unwrap_err().downcast::<&'static str>().unwrap();
+            assert_eq!(msg, "a worker-pool job panicked");
+        });
+    }
+
+    #[test]
     fn job_panic_propagates_without_deadlock() {
         WorkerPool::scoped(2, |pool| {
             let result = std::panic::catch_unwind(AssertUnwindSafe(|| {

@@ -51,6 +51,13 @@ mod rangemax;
 pub use coder::{encode, EncodedOutliers, Outlier};
 pub use decoder::{decode, DecodeError};
 
+/// Version of the outlier bitstream layout produced by [`encode`]. Bump
+/// whenever an intentional change alters the emitted bits for the same
+/// input — the `sperr-conformance` golden-stream manifest records it, so a
+/// silent format drift fails conformance while a deliberate one leaves a
+/// paper trail (new constant here, regenerated goldens there).
+pub const BITSTREAM_FORMAT: u32 = 1;
+
 #[cfg(test)]
 mod tests {
     use super::*;

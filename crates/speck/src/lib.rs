@@ -50,6 +50,13 @@ pub use coder::{
 pub use decoder::{decode, DecodeError, MAX_DECODE_ELEMENTS};
 pub use pyramid::MaxPyramid;
 
+/// Version of the SPECK bitstream layout produced by [`encode`]. Bump this
+/// whenever an intentional change alters the emitted bits for the same
+/// input — the `sperr-conformance` golden-stream manifest records it, so a
+/// silent format drift fails conformance while a deliberate one leaves a
+/// paper trail (new constant here, regenerated goldens there).
+pub const BITSTREAM_FORMAT: u32 = 1;
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -45,6 +45,46 @@ impl LineExecutor for Serial {
     }
 }
 
+/// Adversarial executors for differential testing.
+///
+/// The blocked transform drivers promise byte-identical output under any
+/// legal [`LineExecutor`] — any scheduling order, any worker keying. These
+/// executors deliberately stress both axes of that contract without real
+/// threads, so the check is deterministic. They are shared by this crate's
+/// proptests, the `sperr-conformance` oracles and future fuzz targets.
+pub mod stress {
+    use super::LineExecutor;
+
+    /// Runs jobs in reverse order — still serial, still worker 0. Output
+    /// must not depend on job scheduling order.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct ReverseOrder;
+
+    impl LineExecutor for ReverseOrder {
+        fn run(&self, n_jobs: usize, f: &(dyn Fn(usize, usize) + Sync)) {
+            for job in (0..n_jobs).rev() {
+                f(job, 0);
+            }
+        }
+    }
+
+    /// Serial executor that cycles jobs over `width` worker slots —
+    /// exercises per-worker scratch keying without real threads.
+    #[derive(Debug, Clone, Copy)]
+    pub struct StripedWorkers(pub usize);
+
+    impl LineExecutor for StripedWorkers {
+        fn width(&self) -> usize {
+            self.0.max(1)
+        }
+        fn run(&self, n_jobs: usize, f: &(dyn Fn(usize, usize) + Sync)) {
+            for job in 0..n_jobs {
+                f(job, job % self.0.max(1));
+            }
+        }
+    }
+}
+
 /// One value per worker slot, accessed mutably through a shared reference.
 ///
 /// Safety rests on the [`LineExecutor`] contract: concurrent jobs see

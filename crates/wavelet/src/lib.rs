@@ -47,7 +47,7 @@ mod exec;
 mod kernels;
 mod transform;
 
-pub use exec::{LineExecutor, Serial, TransformScratch, PANEL_W};
+pub use exec::{stress, LineExecutor, Serial, TransformScratch, PANEL_W};
 pub use kernels::Kernel;
 pub use transform::reference;
 pub use transform::{

@@ -5,33 +5,9 @@ use proptest::prelude::*;
 use sperr_wavelet::{
     coarse_dims, forward_1d, forward_1d_with, forward_3d, forward_3d_with, inverse_1d,
     inverse_1d_with, inverse_3d, inverse_3d_partial, inverse_3d_partial_with, inverse_3d_with,
-    levels_for_dims, num_levels, reference, Kernel, LineExecutor, TransformScratch, PANEL_W,
+    levels_for_dims, num_levels, reference, stress::ReverseOrder, stress::StripedWorkers, Kernel,
+    TransformScratch, PANEL_W,
 };
-
-/// Runs jobs in reverse order — still serial, still worker 0. The blocked
-/// drivers must produce identical bytes under any job scheduling order.
-struct ReverseOrder;
-impl LineExecutor for ReverseOrder {
-    fn run(&self, n_jobs: usize, f: &(dyn Fn(usize, usize) + Sync)) {
-        for job in (0..n_jobs).rev() {
-            f(job, 0);
-        }
-    }
-}
-
-/// Serial executor that cycles jobs over three worker slots — exercises
-/// per-worker scratch keying without real threads.
-struct StripedWorkers;
-impl LineExecutor for StripedWorkers {
-    fn width(&self) -> usize {
-        3
-    }
-    fn run(&self, n_jobs: usize, f: &(dyn Fn(usize, usize) + Sync)) {
-        for job in 0..n_jobs {
-            f(job, job % 3);
-        }
-    }
-}
 
 fn kernel_strategy() -> impl Strategy<Value = Kernel> {
     prop_oneof![Just(Kernel::Cdf97), Just(Kernel::Cdf53), Just(Kernel::Haar)]
@@ -196,14 +172,14 @@ proptest! {
 
         let mut striped = data.clone();
         let mut scratch = TransformScratch::new();
-        forward_3d_with(&mut striped, dims, levels, kernel, &StripedWorkers, &mut scratch);
+        forward_3d_with(&mut striped, dims, levels, kernel, &StripedWorkers(3), &mut scratch);
         prop_assert_eq!(&serial, &striped, "worker keying changed output");
 
         // Same for the inverse, reusing the (already grown) scratch.
         let mut inv_serial = serial.clone();
         inverse_3d(&mut inv_serial, dims, levels, kernel);
         let mut inv_striped = striped;
-        inverse_3d_with(&mut inv_striped, dims, levels, kernel, &StripedWorkers, &mut scratch);
+        inverse_3d_with(&mut inv_striped, dims, levels, kernel, &StripedWorkers(3), &mut scratch);
         prop_assert_eq!(inv_serial, inv_striped);
     }
 
@@ -219,7 +195,7 @@ proptest! {
         let mut b = coeffs;
         let mut scratch = TransformScratch::new();
         inverse_3d_partial_with(
-            &mut b, dims, levels, skip, Kernel::Cdf97, &StripedWorkers, &mut scratch,
+            &mut b, dims, levels, skip, Kernel::Cdf97, &StripedWorkers(3), &mut scratch,
         );
         prop_assert_eq!(a, b);
     }

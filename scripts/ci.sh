@@ -15,6 +15,37 @@ cargo test --workspace --quiet
 echo "==> decoder panic audit"
 cargo test --quiet --test panic_audit
 
+echo "==> conformance: golden streams + differential oracles + PWE campaign"
+# Tier-2 gate. `check` regenerates the whole golden matrix in memory and
+# diffs it byte-for-byte against the committed artifacts (so stale or
+# hand-edited goldens fail even before the governance check below);
+# `oracles` runs the differential equivalence checks over the corpus;
+# `campaign 200` is the randomized PWE-guarantee sweep.
+target/release/sperr-conformance check
+target/release/sperr-conformance oracles
+target/release/sperr-conformance campaign 200
+
+echo "==> golden-stream governance"
+# A change to the committed golden artifacts is only legitimate when the
+# same commit bumps GOLDEN_VERSION (see DESIGN.md §9). Skipped gracefully
+# when history is unavailable (fresh clone with depth 1, or pre-first
+# commit).
+if git rev-parse --verify HEAD~1 >/dev/null 2>&1; then
+    if [ -n "$(git diff --name-only HEAD~1 HEAD -- crates/conformance/golden/)" ]; then
+        if git diff HEAD~1 HEAD -- crates/conformance/src/golden.rs | grep -q "GOLDEN_VERSION"; then
+            echo "golden streams changed together with a GOLDEN_VERSION edit: OK"
+        else
+            echo "ERROR: crates/conformance/golden/ changed without a GOLDEN_VERSION bump" >&2
+            echo "       (bump it in crates/conformance/src/golden.rs in the same commit)" >&2
+            exit 1
+        fi
+    else
+        echo "no golden-stream changes in HEAD"
+    fi
+else
+    echo "no parent commit available; skipping"
+fi
+
 echo "==> bench smoke (release)"
 # Tiny-dims run so the harness itself cannot rot; writes
 # target/bench_smoke.json and self-validates it. Invoked via its own

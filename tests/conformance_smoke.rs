@@ -1,0 +1,43 @@
+//! Tier-1 smoke of the conformance subsystem: fast spot checks that the
+//! golden manifest is loadable and version-pinned, the differential
+//! oracles hold on one corpus input, and a slice of the PWE campaign
+//! runs clean. The exhaustive versions live in
+//! `crates/conformance/tests/` (tier-2, run by `scripts/ci.sh` via
+//! `cargo test --workspace`).
+
+use sperr_conformance::corpus::corpus_inputs;
+use sperr_conformance::pwe::{run_campaign, CampaignConfig};
+use sperr_conformance::{golden, oracle, GOLDEN_VERSION};
+use sperr_wavelet::Kernel;
+
+#[test]
+fn golden_manifest_loads_and_matches_code_versions() {
+    let manifest = golden::load_manifest(&golden::golden_dir()).expect("manifest loads");
+    assert_eq!(manifest.golden_version, GOLDEN_VERSION);
+    assert_eq!(manifest.container_version, sperr_core::CONTAINER_VERSION);
+    assert_eq!(manifest.speck_format, sperr_speck::BITSTREAM_FORMAT);
+    assert_eq!(manifest.outlier_format, sperr_outlier::BITSTREAM_FORMAT);
+    assert!(!manifest.entries.is_empty(), "golden matrix is empty");
+}
+
+#[test]
+fn oracles_hold_on_one_corpus_input() {
+    let input = corpus_inputs().into_iter().find(|i| i.id == "press-3d21x10x11").unwrap();
+    let field = input.generate();
+    let t = field.tolerance_for_idx(15);
+    oracle::blocked_lifting_matches_reference(&field.data, field.dims, Kernel::Cdf97).unwrap();
+    oracle::encoder_matches_reference(&field.data, field.dims, t, 1.5, Kernel::Cdf97).unwrap();
+}
+
+#[test]
+fn short_pwe_campaign_slice_is_clean() {
+    // 30 cases = every codec × decade combination twice; the full
+    // 200-case sweep is tier-2.
+    let config = CampaignConfig { cases: 30, ..CampaignConfig::tier2(30) };
+    let report = run_campaign(&config);
+    assert!(
+        report.clean(),
+        "PWE campaign violations:\n{}",
+        report.violations.iter().map(|f| format!("  {f}\n")).collect::<String>()
+    );
+}
