@@ -1,10 +1,16 @@
-//! Hot-path throughput benchmark backing the tracked `BENCH_pr2.json`
-//! artifact (run via `scripts/bench.sh`).
+//! Hot-path throughput benchmark backing the tracked `BENCH_pr4.json`
+//! artifact (run via `scripts/bench.sh`; `BENCH_pr2.json` is the
+//! frozen PR 2 edition of the same measurements).
 //!
 //! Measures, on a synthetic 256³ volume (48³ with `--smoke`):
 //!
 //! * the z-axis wavelet pass, per-line gather/scatter (`reference`) vs
-//!   the blocked panel scheme — the tentpole's cache win in isolation;
+//!   the blocked panel scheme — the PR 2 tentpole's cache win in
+//!   isolation;
+//! * the SPECK stage in isolation: encode and decode over the real
+//!   wavelet coefficients of the volume, at the PWE pipeline's
+//!   quantization step — the PR 4 tentpole's target, ratioed against
+//!   the stage throughput recorded in `BENCH_pr2.json`;
 //! * end-to-end PWE compression: the pre-PR pipeline (per-line wavelet,
 //!   per-call allocations, single thread — emulated from public APIs)
 //!   vs the pooled/arena pipeline at 1 and 8 threads, with per-stage
@@ -12,35 +18,57 @@
 //! * a BPP (size-bounded) workload and decompression.
 //!
 //! `--check FILE` validates an artifact instead of benchmarking (CI uses
-//! this to fail on malformed JSON). All numbers are measured on the host
-//! that runs the script; `host_threads` records its parallelism so the
-//! artifact stays interpretable.
+//! this to fail on malformed JSON). `--perf-gate NEW BASELINE` compares
+//! the derived ratios of two artifacts and prints a loud, non-fatal
+//! warning when any regressed by more than 20% (CI's soft perf gate).
+//! All numbers are measured on the host that runs the script;
+//! `host_threads` records its parallelism so the artifact stays
+//! interpretable.
 
-use sperr_bench::json::{validate_bench_artifact, Json};
+use sperr_bench::json::{parse, validate_bench_artifact, Json};
 use sperr_compress_api::Bound;
 use sperr_conformance::oracle;
 use sperr_core::{CompressionStats, Sperr, SperrConfig, StageTimes};
 use sperr_datagen::SyntheticField;
-use sperr_wavelet::{reference, Kernel};
+use sperr_speck::Termination;
+use sperr_wavelet::{levels_for_dims, reference, Kernel};
 use std::time::{Duration, Instant};
 
 const FULL_DIMS: [usize; 3] = [256, 256, 256];
 const SMOKE_DIMS: [usize; 3] = [48, 48, 48];
 const SEED: u64 = 20230512;
 
+/// SPECK stage throughput recorded in the committed `BENCH_pr2.json`
+/// (full 256³ run): the `speck` stage of `pwe_compress_1t` and of
+/// `pwe_decompress_8t`. The PR 4 artifact's `speck_encode_vs_pr2` /
+/// `speck_decode_vs_pr2` ratios divide the freshly measured stage-only
+/// numbers by these, so the speedup claim is pinned to a tracked
+/// baseline rather than to whatever happens to be in the working tree.
+const PR2_SPECK_ENCODE_MB_S: f64 = 17.19887796951931;
+const PR2_SPECK_DECODE_MB_S: f64 = 35.5861463463988;
+
 fn main() {
-    let mut out_path = String::from("BENCH_pr2.json");
+    let mut out_path = String::from("BENCH_pr4.json");
     let mut smoke = false;
     let mut check: Option<String> = None;
+    let mut gate: Option<(String, String)> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
             "--out" => out_path = args.next().expect("--out needs a path"),
             "--check" => check = Some(args.next().expect("--check needs a path")),
+            "--perf-gate" => {
+                let new = args.next().expect("--perf-gate needs NEW and BASELINE paths");
+                let base = args.next().expect("--perf-gate needs NEW and BASELINE paths");
+                gate = Some((new, base));
+            }
             other => {
                 eprintln!("unknown argument {other:?}");
-                eprintln!("usage: hotpath [--smoke] [--out FILE] | --check FILE");
+                eprintln!(
+                    "usage: hotpath [--smoke] [--out FILE] | --check FILE | \
+                     --perf-gate NEW BASELINE"
+                );
                 std::process::exit(2);
             }
         }
@@ -56,6 +84,11 @@ fn main() {
         return;
     }
 
+    if let Some((new_path, base_path)) = gate {
+        perf_gate(&new_path, &base_path);
+        return;
+    }
+
     let dims = if smoke { SMOKE_DIMS } else { FULL_DIMS };
     let artifact = run_benchmarks(dims, smoke);
     std::fs::write(&out_path, artifact.render())
@@ -66,6 +99,62 @@ fn main() {
 fn fatal(msg: &str) -> ! {
     eprintln!("{msg}");
     std::process::exit(1);
+}
+
+/// The soft perf gate: every numeric `derived` ratio present in BOTH
+/// artifacts must not have regressed by more than 20%. Regressions print
+/// a loud warning but never fail the process — bench numbers on shared
+/// CI hosts are too noisy for a hard gate (see DESIGN.md §10); the gate
+/// exists so a real cliff is impossible to miss in the log, not to
+/// block merges on scheduler jitter. Unreadable or malformed artifacts
+/// DO fail: that is harness rot, not noise.
+fn perf_gate(new_path: &str, base_path: &str) {
+    let load = |path: &str| -> Json {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| fatal(&format!("perf gate: cannot read {path}: {e}")));
+        parse(&text).unwrap_or_else(|e| fatal(&format!("perf gate: {path}: {e}")))
+    };
+    let new = load(new_path);
+    let base = load(base_path);
+    let (Some(Json::Obj(base_derived)), Some(new_derived)) =
+        (base.get("derived"), new.get("derived"))
+    else {
+        fatal("perf gate: both artifacts need a \"derived\" object");
+    };
+    let mut compared = 0usize;
+    let mut regressed = 0usize;
+    for (key, base_val) in base_derived {
+        let (Some(b), Some(n)) =
+            (base_val.as_num(), new_derived.get(key).and_then(Json::as_num))
+        else {
+            continue; // non-numeric or baseline-only key: nothing to gate
+        };
+        compared += 1;
+        if n < 0.8 * b {
+            regressed += 1;
+            eprintln!(
+                "##### PERF WARNING ########################################"
+            );
+            eprintln!(
+                "# derived.{key}: {n:.3} vs baseline {b:.3} ({:.0}% regression)",
+                (1.0 - n / b) * 100.0
+            );
+            eprintln!(
+                "# (>20% below {base_path}; non-fatal — investigate before merging)"
+            );
+            eprintln!(
+                "###########################################################"
+            );
+        } else {
+            println!("perf gate: derived.{key}: {n:.3} vs baseline {b:.3}: OK");
+        }
+    }
+    if compared == 0 {
+        fatal("perf gate: no comparable derived ratios between the two artifacts");
+    }
+    println!(
+        "perf gate: {compared} ratio(s) compared, {regressed} regression warning(s) (non-fatal)"
+    );
 }
 
 /// Best-of-`reps` wall time of `f`.
@@ -173,6 +262,31 @@ fn run_benchmarks(dims: [usize; 3], smoke: bool) -> Json {
         per_line.as_secs_f64() / blocked.as_secs_f64()
     );
 
+    // --- SPECK stage in isolation: encode + decode ----------------------
+    // The PR 4 tentpole target. Runs on the volume's real wavelet
+    // coefficients at the PWE pipeline's quantization step (q = 1.5·t,
+    // the production q_factor), so the bitplane count and significance
+    // structure match what the end-to-end pipeline feeds the coder.
+    let q = 1.5 * t;
+    let mut coeffs = field.data.clone();
+    reference::forward_3d(&mut coeffs, dims, levels_for_dims(dims), Kernel::Cdf97);
+    let (speck_enc_time, speck_enc) =
+        time_best_with(reps, || sperr_speck::encode(&coeffs, dims, q, Termination::Quality));
+    let speck_dec_time = time_best(reps, || {
+        let rec = sperr_speck::decode(&speck_enc.stream, dims, q, speck_enc.num_planes).unwrap();
+        assert_eq!(rec.len(), points);
+    });
+    drop(coeffs);
+    eprintln!(
+        "speck stage: encode {:.3}s ({:.2} MB/s, {:.2}x vs PR2), decode {:.3}s ({:.2} MB/s, {:.2}x vs PR2)",
+        speck_enc_time.as_secs_f64(),
+        mb_per_s(points, speck_enc_time),
+        mb_per_s(points, speck_enc_time) / PR2_SPECK_ENCODE_MB_S,
+        speck_dec_time.as_secs_f64(),
+        mb_per_s(points, speck_dec_time),
+        mb_per_s(points, speck_dec_time) / PR2_SPECK_DECODE_MB_S,
+    );
+
     // --- end-to-end PWE, single chunk ------------------------------------
     // Pre-PR emulation (1 thread, per-line wavelet, fresh allocations),
     // timed through the conformance oracle's reference pipeline — the
@@ -247,11 +361,19 @@ fn run_benchmarks(dims: [usize; 3], smoke: bool) -> Json {
             "pwe_1t_vs_pre_pr_1t",
             Json::Num(pre_pr_time.as_secs_f64() / pwe_1t_time.as_secs_f64()),
         ),
+        (
+            "speck_encode_vs_pr2",
+            Json::Num(mb_per_s(points, speck_enc_time) / PR2_SPECK_ENCODE_MB_S),
+        ),
+        (
+            "speck_decode_vs_pr2",
+            Json::Num(mb_per_s(points, speck_dec_time) / PR2_SPECK_DECODE_MB_S),
+        ),
         ("pre_pr_bit_identical", Json::Bool(bit_identical)),
     ]);
 
     Json::obj(vec![
-        ("schema", Json::Str("sperr-bench-pr2/v1".into())),
+        ("schema", Json::Str("sperr-bench-pr4/v1".into())),
         ("smoke", Json::Bool(smoke)),
         ("host_threads", Json::Num(host_threads as f64)),
         ("dims", Json::Arr(dims.iter().map(|&d| Json::Num(d as f64)).collect())),
@@ -263,6 +385,8 @@ fn run_benchmarks(dims: [usize; 3], smoke: bool) -> Json {
             Json::Arr(vec![
                 workload("zaxis_pass_per_line", points, per_line, None),
                 workload("zaxis_pass_blocked", points, blocked, None),
+                workload("speck_encode", points, speck_enc_time, None),
+                workload("speck_decode", points, speck_dec_time, None),
                 workload("pwe_compress_pre_pr_1t", points, pre_pr_time, Some(&pre_stages)),
                 workload("pwe_compress_1t", points, pwe_1t_time, Some(&pwe_1t_stats.stage_times)),
                 workload("pwe_compress_8t", points, pwe_8t_time, Some(&pwe_8t_stats.stage_times)),

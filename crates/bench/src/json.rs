@@ -344,7 +344,15 @@ pub fn validate_bench_artifact(text: &str) -> Result<(), String> {
         }
     }
     let derived = root.get("derived").ok_or("missing \"derived\"")?;
-    for key in ["zaxis_blocked_vs_per_line", "pwe_8t_vs_pre_pr_1t"] {
+    let mut required = vec!["zaxis_blocked_vs_per_line", "pwe_8t_vs_pre_pr_1t"];
+    // PR 4 artifacts additionally pin the SPECK-stage speedup ratios the
+    // acceptance criteria reference; PR 2 artifacts predate them and stay
+    // valid without (the committed BENCH_pr2.json is the baseline the
+    // ratios divide by).
+    if matches!(root.get("schema"), Some(Json::Str(s)) if s.starts_with("sperr-bench-pr4")) {
+        required.extend(["speck_encode_vs_pr2", "speck_decode_vs_pr2"]);
+    }
+    for key in required {
         match derived.get(key).and_then(Json::as_num) {
             Some(n) if n > 0.0 => {}
             other => return Err(format!("derived.{key} missing/invalid: {other:?}")),
@@ -401,5 +409,44 @@ mod tests {
             ),
         ]);
         validate_bench_artifact(&good.render()).unwrap();
+    }
+
+    #[test]
+    fn pr4_schema_demands_speck_ratios() {
+        // The same derived set that satisfies a pr2 artifact must fail
+        // under the pr4 schema tag until the SPECK stage ratios appear.
+        let build = |schema: &str, derived: Json| {
+            Json::obj(vec![
+                ("schema", Json::Str(schema.into())),
+                ("host_threads", Json::Num(8.0)),
+                ("points", Json::Num(64.0)),
+                ("dims", Json::Arr(vec![Json::Num(4.0), Json::Num(4.0), Json::Num(4.0)])),
+                (
+                    "workloads",
+                    Json::Arr(vec![Json::obj(vec![
+                        ("name", Json::Str("x".into())),
+                        ("mb_per_s", Json::Num(10.0)),
+                    ])]),
+                ),
+                ("derived", derived),
+            ])
+            .render()
+        };
+        let pr2_derived = || {
+            vec![
+                ("zaxis_blocked_vs_per_line", Json::Num(1.4)),
+                ("pwe_8t_vs_pre_pr_1t", Json::Num(2.5)),
+            ]
+        };
+        assert!(validate_bench_artifact(&build("sperr-bench-pr2/v1", Json::obj(pr2_derived())))
+            .is_ok());
+        assert!(validate_bench_artifact(&build("sperr-bench-pr4/v1", Json::obj(pr2_derived())))
+            .is_err());
+        let mut full = pr2_derived();
+        full.push(("speck_encode_vs_pr2", Json::Num(3.5)));
+        full.push(("speck_decode_vs_pr2", Json::Num(2.2)));
+        assert!(
+            validate_bench_artifact(&build("sperr-bench-pr4/v1", Json::obj(full))).is_ok()
+        );
     }
 }

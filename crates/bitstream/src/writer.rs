@@ -65,6 +65,27 @@ impl BitWriter {
         }
     }
 
+    /// Appends `n` zero bits in one call. Equivalent to `n` calls of
+    /// `put_bit(false)` but O(n/8): the accumulator is topped up (its
+    /// unused high bits are already zero by invariant), whole zero bytes
+    /// are appended directly, and the remainder becomes the new partial
+    /// accumulator. This is the bulk path behind SPECK's run-coalesced
+    /// emission of guaranteed-insignificant significance bits.
+    pub fn put_zeros(&mut self, n: usize) {
+        let room = (64 - self.acc_len) as usize;
+        if n < room {
+            self.acc_len += n as u32;
+            return;
+        }
+        let rest = n - room;
+        self.acc_len = 64;
+        self.flush_acc();
+        // acc == 0 and acc_len == 0 now; append whole zero bytes, then
+        // leave the sub-byte remainder as pending accumulator bits.
+        self.bytes.resize(self.bytes.len() + rest / 8, 0);
+        self.acc_len = (rest % 8) as u32;
+    }
+
     /// Pads with zero bits up to the next byte boundary.
     pub fn align_to_byte(&mut self) {
         let rem = self.len_bits() % 8;

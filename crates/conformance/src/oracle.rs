@@ -366,6 +366,52 @@ pub fn speck_roundtrip_stable(coeffs: &[f64], dims: [usize; 3], q: f64) -> Check
     Ok(())
 }
 
+/// The word-granular SPECK hot path (cached set significance, coalesced
+/// zero runs, packed refinement words) must emit the **same bytes and
+/// the same bit counters** as the retained bit-at-a-time encoder in
+/// `sperr_speck::reference`, in both termination modes. This is the
+/// stage-level oracle behind the PR 4 fast-path overhaul; the golden
+/// corpus then pins the same property end-to-end.
+pub fn speck_matches_reference(coeffs: &[f64], dims: [usize; 3], q: f64) -> CheckResult {
+    let mismatch = |mode: &str, what: &str, got: usize, want: usize| {
+        fail(
+            "speck-vs-reference",
+            format!("dims {dims:?} q {q:e} ({mode}): {what} diverged, {got} vs {want}"),
+        )
+    };
+    let fast = sperr_speck::encode(coeffs, dims, q, Termination::Quality);
+    let slow = sperr_speck::reference::encode(coeffs, dims, q, Termination::Quality);
+    if fast.stream != slow.stream {
+        return mismatch("quality", "stream bytes", fast.stream.len(), slow.stream.len());
+    }
+    if fast.bits_used != slow.bits_used {
+        return mismatch("quality", "bits_used", fast.bits_used, slow.bits_used);
+    }
+    if fast.significance_bits != slow.significance_bits {
+        return mismatch(
+            "quality",
+            "significance_bits",
+            fast.significance_bits,
+            slow.significance_bits,
+        );
+    }
+    if fast.refinement_bits != slow.refinement_bits {
+        return mismatch("quality", "refinement_bits", fast.refinement_bits, slow.refinement_bits);
+    }
+    // A budget cut mid-stream exercises the run-truncation and partial-word
+    // paths; two-thirds of the full length lands inside the coded body.
+    let budget = fast.bits_used * 2 / 3;
+    let fast_b = sperr_speck::encode(coeffs, dims, q, Termination::BitBudget(budget));
+    let slow_b = sperr_speck::reference::encode(coeffs, dims, q, Termination::BitBudget(budget));
+    if fast_b.stream != slow_b.stream {
+        return mismatch("budget", "stream bytes", fast_b.stream.len(), slow_b.stream.len());
+    }
+    if fast_b.bits_used != slow_b.bits_used {
+        return mismatch("budget", "bits_used", fast_b.bits_used, slow_b.bits_used);
+    }
+    Ok(())
+}
+
 /// The outlier coder must return corrections at exactly the encoded
 /// positions, each within `t` of the original correction (its refinement
 /// contract: residual error after correction is at most the tolerance).
@@ -442,6 +488,13 @@ mod tests {
         perturbed[0] += 10.0 * f.range();
         let got = compress_chunk_pwe(&perturbed, f.dims, t, 1.5, Kernel::Cdf97);
         assert_ne!(got.speck_stream, want.speck_stream);
+    }
+
+    #[test]
+    fn speck_fast_path_oracle_accepts_production_encoder() {
+        let f = small_field();
+        let t = f.range() * 1e-3;
+        speck_matches_reference(&f.data, f.dims, 1.5 * t).unwrap();
     }
 
     #[test]

@@ -39,6 +39,11 @@ pub(crate) struct SetR {
     pub(crate) olo: u32,
     pub(crate) ohi: u32,
     pub(crate) level: u16,
+    /// Encoder-side cache of the set's max outlier magnitude
+    /// (`NEG_INFINITY` for an empty outlier range), computed once at
+    /// creation so each plane's significance test is a float compare
+    /// instead of a sparse-table query. Decoder carries `0.0` (unused).
+    pub(crate) max_mag: f64,
 }
 
 // ---------------------------------------------------------------- encoder
@@ -67,19 +72,45 @@ impl<'a> Encoder<'a> {
     /// Listing 2: one significance bit per set; significant sets split
     /// recursively down to single positions, which emit a sign and join
     /// the newly-significant list.
+    ///
+    /// Hot path mirrors the SPECK sorting pass: buckets are compacted in
+    /// place (no per-plane drain/refill allocation churn), the cached
+    /// `max_mag` turns each significance test into a float compare, and
+    /// runs of guaranteed-insignificant sets emit their zero bits through
+    /// one bulk `put_zeros` call. Splits only create deeper sets, which
+    /// this pass already finished, so in-place mutation is safe.
     fn sorting_pass(&mut self, thrd: f64) {
         // "In increasing order of their sizes": deepest buckets first.
         for lvl in (0..self.lis.len()).rev() {
-            let bucket = std::mem::take(&mut self.lis[lvl]);
-            for set in bucket {
-                self.process(set, thrd);
+            let len = self.lis[lvl].len();
+            let mut write = 0usize;
+            let mut run = 0usize; // pending guaranteed-zero significance bits
+            for read in 0..len {
+                let set = self.lis[lvl][read];
+                if !(set.max_mag > thrd) {
+                    run += 1;
+                    self.lis[lvl][write] = set;
+                    write += 1;
+                    continue;
+                }
+                self.out.put_zeros(std::mem::take(&mut run));
+                self.out.put_bit(true);
+                if set.len == 1 {
+                    debug_assert_eq!(set.ohi - set.olo, 1);
+                    let idx = set.olo;
+                    self.out.put_bit(self.negative[idx as usize]);
+                    self.lnsp.push(idx);
+                } else {
+                    self.code(set, thrd);
+                }
             }
+            self.out.put_zeros(run);
+            self.lis[lvl].truncate(write);
         }
     }
 
     fn process(&mut self, set: SetR, thrd: f64) {
-        let sig =
-            set.olo < set.ohi && self.sparse.query(set.olo as usize, set.ohi as usize) > thrd;
+        let sig = set.max_mag > thrd;
         self.out.put_bit(sig);
         if sig {
             if set.len == 1 {
@@ -96,24 +127,44 @@ impl<'a> Encoder<'a> {
     }
 
     /// Listing 2's `Code(S)`: equally divide into two disjoint subsets and
-    /// process both immediately.
+    /// process both immediately. Each child's `max_mag` cache is computed
+    /// here, once in its lifetime, from the sparse range-max table.
     fn code(&mut self, set: SetR, thrd: f64) {
-        let (a, b) = split(set, self.pos);
+        let (mut a, mut b) = split(set, self.pos);
+        a.max_mag = self.cached_max(&a);
+        b.max_mag = self.cached_max(&b);
         self.process(a, thrd);
         self.process(b, thrd);
     }
 
+    fn cached_max(&self, set: &SetR) -> f64 {
+        if set.olo < set.ohi {
+            self.sparse.query(set.olo as usize, set.ohi as usize)
+        } else {
+            f64::NEG_INFINITY
+        }
+    }
+
     /// Listing 3: refine previously significant points by one bit, then
     /// quantize the newly found ones (no bits — their value is implied by
-    /// the discovery threshold) and merge them into the LSP.
+    /// the discovery threshold) and merge them into the LSP. Refinement
+    /// bits are gathered 64 at a time into a word and emitted with one
+    /// bulk write, mirroring the SPECK refinement pass.
     fn refinement_pass(&mut self, thrd: f64) {
-        for i in 0..self.lsp.len() {
-            let idx = self.lsp[i] as usize;
-            let bit = self.residual[idx] > thrd;
-            self.out.put_bit(bit);
-            if bit {
-                self.residual[idx] -= thrd;
+        let len = self.lsp.len();
+        let mut i = 0usize;
+        while i < len {
+            let w = (len - i).min(64);
+            let mut word = 0u64;
+            for j in 0..w {
+                let idx = self.lsp[i + j] as usize;
+                if self.residual[idx] > thrd {
+                    self.residual[idx] -= thrd;
+                    word |= 1u64 << j;
+                }
             }
+            self.out.put_bits(word, w as u32);
+            i += w;
         }
         for i in 0..self.lnsp.len() {
             let idx = self.lnsp[i] as usize;
@@ -126,6 +177,8 @@ impl<'a> Encoder<'a> {
 
 /// Splits a set into two halves, the first taking `len - len/2` positions,
 /// and partitions its outlier index range at the position boundary.
+/// `max_mag` is left for the caller ([`Encoder::code`]) to fill in — the
+/// decoder-side split in `decoder.rs` has no magnitudes to consult.
 fn split(set: SetR, pos: &[usize]) -> (SetR, SetR) {
     let second = set.len / 2;
     let first = set.len - second;
@@ -134,8 +187,22 @@ fn split(set: SetR, pos: &[usize]) -> (SetR, SetR) {
     let cut = set.olo
         + pos[set.olo as usize..set.ohi as usize].partition_point(|&p| p < mid) as u32;
     (
-        SetR { start: set.start, len: first, olo: set.olo, ohi: cut, level: set.level + 1 },
-        SetR { start: mid, len: second, olo: cut, ohi: set.ohi, level: set.level + 1 },
+        SetR {
+            start: set.start,
+            len: first,
+            olo: set.olo,
+            ohi: cut,
+            level: set.level + 1,
+            max_mag: 0.0,
+        },
+        SetR {
+            start: mid,
+            len: second,
+            olo: cut,
+            ohi: set.ohi,
+            level: set.level + 1,
+            max_mag: 0.0,
+        },
     )
 }
 
@@ -197,7 +264,14 @@ pub fn encode(outliers: &[Outlier], array_len: usize, t: f64) -> EncodedOutliers
         negative: &negative,
         residual: mag.clone(),
         sparse: SparseMax::build(&mag),
-        lis: vec![vec![SetR { start: 0, len: array_len, olo: 0, ohi: pos.len() as u32, level: 0 }]],
+        lis: vec![vec![SetR {
+            start: 0,
+            len: array_len,
+            olo: 0,
+            ohi: pos.len() as u32,
+            level: 0,
+            max_mag,
+        }]],
         lsp: Vec::new(),
         lnsp: Vec::new(),
         // Size hint: each outlier costs roughly its significance-search

@@ -88,64 +88,153 @@ impl<'a> Decoder<'a> {
         self.lis[lvl].push(set);
     }
 
+    /// One sorting pass. Mirrors the encoder's in-place LIS bookkeeping:
+    /// still-insignificant sets are compacted to the front of their bucket
+    /// instead of being drained into a fresh vector, so bucket storage is
+    /// allocated once and reused across planes. Splits only create deeper
+    /// sets, which this pass already finished, so in-place mutation never
+    /// aliases the iteration.
+    /// Insignificance bits come in runs (the encoder emits them through
+    /// `put_zeros`); `count_zero_run` consumes each run through the refill
+    /// register in bulk and the corresponding sets are retained with one
+    /// `copy_within`, instead of one `get_bit` + one element move per set.
     fn sorting_pass(&mut self, thrd: f64) -> Result<(), Stop> {
         for lvl in (0..self.lis.len()).rev() {
-            let bucket = std::mem::take(&mut self.lis[lvl]);
-            for (i, set) in bucket.iter().enumerate() {
-                if let Err(stop) = self.process(*set, thrd) {
-                    for rest in &bucket[i + 1..] {
-                        self.push_lis(*rest);
+            let len = self.lis[lvl].len();
+            let mut write = 0usize;
+            let mut read = 0usize;
+            while read < len {
+                let run = self.input.count_zero_run(len - read);
+                if run > 0 {
+                    // A run of 0 bits retains a run of sets unchanged.
+                    self.lis[lvl].copy_within(read..read + run, write);
+                    write += run;
+                    read += run;
+                    if read == len {
+                        break;
                     }
-                    return Err(stop);
+                }
+                // The run stopped short: next bit is a 1, or EOF.
+                let keep_or_err = match self.input.get_bit() {
+                    Err(_) => Err(Stop),
+                    Ok(false) => Ok(true), // unreachable after count_zero_run
+                    Ok(true) => {
+                        let set = self.lis[lvl][read];
+                        self.process_significant(set, thrd).map(|()| false)
+                    }
+                };
+                match keep_or_err {
+                    Ok(true) => {
+                        self.lis[lvl][write] = self.lis[lvl][read];
+                        write += 1;
+                        read += 1;
+                    }
+                    Ok(false) => {
+                        read += 1;
+                    }
+                    Err(stop) => {
+                        // Keep the unprocessed remainder so state stays
+                        // sane; the set being processed when the stream ran
+                        // out is dropped, matching the historical
+                        // take-and-repush behavior.
+                        self.lis[lvl].copy_within(read + 1..len, write);
+                        let kept = write + (len - read - 1);
+                        self.lis[lvl].truncate(kept);
+                        return Err(stop);
+                    }
                 }
             }
+            self.lis[lvl].truncate(write);
         }
         Ok(())
+    }
+
+    /// Handles a set whose significance bit was 1: a single position
+    /// records its sign and discovery value, a longer range splits.
+    fn process_significant(&mut self, set: SetR, thrd: f64) -> Result<(), Stop> {
+        if set.len == 1 {
+            let negative = self.read_bit()?;
+            // Listing 3 line 12: reconstruct at 3/2 of the discovery
+            // threshold (centre of (thrd, 2·thrd]).
+            self.points.push(DecPoint { pos: set.start, negative, corr: 1.5 * thrd });
+            let idx = (self.points.len() - 1) as u32;
+            self.lnsp.push(idx);
+            Ok(())
+        } else {
+            self.code(set, thrd)
+        }
     }
 
     fn process(&mut self, set: SetR, thrd: f64) -> Result<(), Stop> {
         let sig = self.read_bit()?;
         if sig {
-            if set.len == 1 {
-                let negative = self.read_bit()?;
-                // Listing 3 line 12: reconstruct at 3/2 of the discovery
-                // threshold (centre of (thrd, 2·thrd]).
-                self.points.push(DecPoint { pos: set.start, negative, corr: 1.5 * thrd });
-                let idx = (self.points.len() - 1) as u32;
-                self.lnsp.push(idx);
-            } else {
-                self.code(set, thrd)?;
-            }
+            self.process_significant(set, thrd)
         } else {
             self.push_lis(set);
+            Ok(())
         }
-        Ok(())
     }
 
     fn code(&mut self, set: SetR, thrd: f64) -> Result<(), Stop> {
         // Decoder-side split mirrors the encoder geometrically; outlier
-        // index ranges are unknown (and unused) here. `set.len >= 2` here,
-        // so both halves are non-empty and the recursion depth is bounded
-        // by log2(array_len).
+        // index ranges and the `max_mag` cache are unknown (and unused)
+        // here. `set.len >= 2` here, so both halves are non-empty and the
+        // recursion depth is bounded by log2(array_len).
         let second = set.len / 2;
         let first = set.len - second;
-        let a = SetR { start: set.start, len: first, olo: 0, ohi: 0, level: set.level + 1 };
-        let b =
-            SetR { start: set.start + first, len: second, olo: 0, ohi: 0, level: set.level + 1 };
+        let a = SetR {
+            start: set.start,
+            len: first,
+            olo: 0,
+            ohi: 0,
+            level: set.level + 1,
+            max_mag: 0.0,
+        };
+        let b = SetR {
+            start: set.start + first,
+            len: second,
+            olo: 0,
+            ohi: 0,
+            level: set.level + 1,
+            max_mag: 0.0,
+        };
         self.process(a, thrd)?;
         self.process(b, thrd)
     }
 
+    /// One refinement pass: bits are consumed up to 64 at a time through
+    /// the reader's refill register and scattered to their corrections,
+    /// mirroring the encoder's word-packed emission. A truncated stream
+    /// applies exactly the bits that exist (the reader's remaining budget
+    /// is checked up front per word) and then stops, matching the
+    /// bit-at-a-time behavior.
     fn refinement_pass(&mut self, thrd: f64) -> Result<(), Stop> {
-        for i in 0..self.lsp.len() {
-            let idx = self.lsp[i] as usize;
-            let bit = self.read_bit()?;
-            // Listing 3 lines 5/7: move to the centre of the narrowed
-            // interval.
-            if bit {
-                self.points[idx].corr += thrd / 2.0;
-            } else {
-                self.points[idx].corr -= thrd / 2.0;
+        let len = self.lsp.len();
+        let mut i = 0usize;
+        while i < len {
+            let want = (len - i).min(64);
+            let avail = self.input.remaining_bits().min(want);
+            if avail > 0 {
+                let word = self.input.get_bits(avail as u32).map_err(|_| Stop)?;
+                for j in 0..avail {
+                    let Some(&idx) = self.lsp.get(i + j) else {
+                        return Err(Stop); // unreachable: i + j < len
+                    };
+                    let idx = idx as usize;
+                    // Listing 3 lines 5/7: move to the centre of the
+                    // narrowed interval.
+                    if let Some(p) = self.points.get_mut(idx) {
+                        if (word >> j) & 1 == 1 {
+                            p.corr += thrd / 2.0;
+                        } else {
+                            p.corr -= thrd / 2.0;
+                        }
+                    }
+                }
+                i += avail;
+            }
+            if avail < want {
+                return Err(Stop);
             }
         }
         let new = std::mem::take(&mut self.lnsp);
@@ -181,7 +270,7 @@ pub fn decode(
     }
     let mut dec = Decoder {
         input: BitReader::new(stream),
-        lis: vec![vec![SetR { start: 0, len: array_len, olo: 0, ohi: 0, level: 0 }]],
+        lis: vec![vec![SetR { start: 0, len: array_len, olo: 0, ohi: 0, level: 0, max_mag: 0.0 }]],
         lsp: Vec::new(),
         lnsp: Vec::new(),
         points: Vec::new(),

@@ -1,5 +1,9 @@
-//! The SPECK encoder/decoder proper: quantization, sorting passes,
-//! refinement passes, and mid-riser reconstruction.
+//! The SPECK encoder proper: quantization, sorting passes, refinement
+//! passes, and mid-riser reconstruction — the hot-path (word-granular)
+//! implementation. The pre-overhaul bit-at-a-time path lives on in
+//! [`crate::reference`] as a differential oracle; both must produce
+//! byte-identical streams (see DESIGN.md §10 for the invariants that make
+//! this restructuring stream-neutral).
 
 use crate::pyramid::MaxPyramid;
 use crate::set::SetS;
@@ -48,10 +52,58 @@ fn quantize_one(c: f64, inv_q: f64) -> u64 {
     }
 }
 
+/// Quantizes every coefficient: magnitudes and sign flags. Shared by the
+/// production encoder and [`crate::reference`] so the two paths cannot
+/// drift in their dead-zone handling.
+pub(crate) fn quantize_all(coeffs: &[f64], q: f64) -> (Vec<u64>, Vec<bool>) {
+    let inv_q = 1.0 / q;
+    let mut k = Vec::with_capacity(coeffs.len());
+    let mut negative = Vec::with_capacity(coeffs.len());
+    for &c in coeffs {
+        k.push(quantize_one(c, inv_q));
+        negative.push(c < 0.0);
+    }
+    (k, negative)
+}
+
+/// `64 - magnitude.leading_zeros()`: the number of significant bitplanes.
+/// A set with cached `msb_plus1 = planes_of(max)` is significant at plane
+/// `n` exactly when `msb_plus1 > n`, which is the same predicate as the
+/// reference path's `(max >> n) != 0`.
+#[inline]
+fn planes_of(magnitude: u64) -> u8 {
+    (64 - magnitude.leading_zeros()) as u8
+}
+
+/// Quantizes every coefficient into magnitudes plus a packed per-pixel
+/// byte `meta = planes_of(k) << 1 | sign`. The sorting passes only ever
+/// need a pixel's MSB position and its sign, both read at the same index
+/// at discovery time — packing them into one byte halves the number of
+/// random cache lines the hottest loop touches. Because the MSB occupies
+/// the high bits, `meta` values order exactly like their MSBs, so the
+/// max pyramid can be built over `meta` directly: `region_max(..) >> 1`
+/// is the region's true `planes_of` max. (`planes_of(k) <= 63` since
+/// magnitudes saturate at 2^62, so the packed byte cannot overflow.)
+/// Shares [`quantize_one`] with [`quantize_all`] so the production and
+/// reference paths cannot drift in their dead-zone handling.
+pub(crate) fn quantize_meta(coeffs: &[f64], q: f64) -> (Vec<u64>, Vec<u8>) {
+    let inv_q = 1.0 / q;
+    let mut k = Vec::with_capacity(coeffs.len());
+    let mut meta = Vec::with_capacity(coeffs.len());
+    for &c in coeffs {
+        let kv = quantize_one(c, inv_q);
+        k.push(kv);
+        meta.push((planes_of(kv) << 1) | (c < 0.0) as u8);
+    }
+    (k, meta)
+}
+
 /// The reconstruction the decoder produces from a *complete* (quality-mode)
 /// stream, computed directly from the input. The SPERR pipeline uses this
 /// to locate outliers without a decode pass; equality with [`decode`] is
 /// enforced by tests.
+///
+/// [`decode`]: crate::decode
 pub fn reconstruct_quantized(coeffs: &[f64], q: f64) -> Vec<f64> {
     let mut out = vec![0.0; coeffs.len()];
     reconstruct_quantized_into(coeffs, q, &mut out);
@@ -85,16 +137,36 @@ struct Stop;
 
 // ---------------------------------------------------------------- encoder
 
-struct Encoder<'a, const D: usize> {
+/// The word-granular encoder. `CHECKED` selects the budget discipline at
+/// monomorphization time: `true` for [`Termination::BitBudget`] (every
+/// write is bounds-checked against the budget, at run granularity for
+/// bulk writes), `false` for [`Termination::Quality`] (no budget exists,
+/// so the per-bit `len_bits() >= budget` comparison the old path paid on
+/// every single bit compiles out entirely; a debug assertion documents
+/// the invariant).
+struct Encoder<'a, const D: usize, const CHECKED: bool> {
     dims: [usize; D],
     k: &'a [u64],
-    negative: &'a [bool],
-    pyramid: &'a MaxPyramid<D>,
+    /// Per-coefficient `planes_of(k) << 1 | sign` (see [`quantize_meta`]).
+    /// Significance only ever compares MSB positions, so the sorting
+    /// passes run entirely on this `u8` array (and the `u8` pyramid
+    /// below) — 8× less memory traffic than gathering from `k`, which
+    /// matters once `k` outgrows the cache; the full magnitudes are only
+    /// read once per coefficient, at discovery.
+    meta: &'a [u8],
+    pyramid: &'a MaxPyramid<'a, u8, D>,
     /// Insignificant sets, bucketed by partition level (deeper == smaller;
     /// deeper buckets are processed first, i.e. smallest sets first).
+    /// Every stored set carries its cached `msb_plus1`.
     lis: Vec<Vec<SetS<D>>>,
-    lsp: Vec<u32>,
-    lsp_new: Vec<u32>,
+    /// Magnitudes of previously significant coefficients, in discovery
+    /// order. The refinement pass only ever needs bit `n` of each
+    /// magnitude, so the values are stored contiguously here (copied once
+    /// at discovery) and every refinement pass is a sequential scan —
+    /// storing indices instead would turn the hottest loop in the encoder
+    /// into a random gather over the full `k` array.
+    lsp_k: Vec<u64>,
+    lsp_new: Vec<u64>,
     out: BitWriter,
     budget: usize,
     significance_bits: usize,
@@ -102,13 +174,39 @@ struct Encoder<'a, const D: usize> {
     refinement_bits: usize,
 }
 
-impl<'a, const D: usize> Encoder<'a, D> {
+impl<'a, const D: usize, const CHECKED: bool> Encoder<'a, D, CHECKED> {
     #[inline]
     fn emit(&mut self, bit: bool) -> Result<(), Stop> {
-        if self.out.len_bits() >= self.budget {
-            return Err(Stop);
+        if CHECKED {
+            if self.out.len_bits() >= self.budget {
+                return Err(Stop);
+            }
+        } else {
+            debug_assert!(self.out.len_bits() < self.budget);
         }
         self.out.put_bit(bit);
+        Ok(())
+    }
+
+    /// Emits `run` guaranteed-zero significance bits in one bulk write.
+    /// In `CHECKED` mode the budget is enforced at run granularity: the
+    /// run is truncated to the remaining budget and the encoder stops at
+    /// exactly the bit the per-bit reference path would have stopped at.
+    #[inline]
+    fn emit_zero_run(&mut self, run: usize) -> Result<(), Stop> {
+        if run == 0 {
+            return Ok(());
+        }
+        if CHECKED {
+            let room = self.budget - self.out.len_bits();
+            if run > room {
+                self.out.put_zeros(room);
+                self.significance_bits += room;
+                return Err(Stop);
+            }
+        }
+        self.out.put_zeros(run);
+        self.significance_bits += run;
         Ok(())
     }
 
@@ -120,43 +218,77 @@ impl<'a, const D: usize> Encoder<'a, D> {
         self.lis[lvl].push(set);
     }
 
+    /// One sorting pass at plane `n`. Smallest sets first (paper, Listing
+    /// 2: "in increasing order of their sizes"): iterate buckets from the
+    /// deepest partition level.
+    ///
+    /// Each bucket is compacted in place — surviving (still-insignificant)
+    /// sets slide to the front instead of being drained into a fresh
+    /// vector, so bucket storage is allocated once and reused across
+    /// planes. Thanks to the cached `msb_plus1`, an insignificant set
+    /// costs one integer compare and contributes one bit to a pending
+    /// zero-run; only significant sets take the (rare) slow path. New sets
+    /// created by splits always land in *deeper* buckets, which this pass
+    /// already finished, so in-place mutation never aliases the iteration.
     fn sorting_pass(&mut self, n: u32) -> Result<(), Stop> {
-        // Smallest sets first (paper, Listing 2: "in increasing order of
-        // their sizes"): iterate buckets from the deepest partition level.
         for lvl in (0..self.lis.len()).rev() {
-            let bucket = std::mem::take(&mut self.lis[lvl]);
-            for set in bucket {
-                self.process_s(set, n)?;
+            let len = self.lis[lvl].len();
+            let mut write = 0usize;
+            let mut run = 0usize; // pending guaranteed-zero significance bits
+            for read in 0..len {
+                let set = self.lis[lvl][read];
+                if (set.msb_plus1 as u32) <= n {
+                    // Still insignificant: its bit is a guaranteed zero.
+                    run += 1;
+                    self.lis[lvl][write] = set;
+                    write += 1;
+                    continue;
+                }
+                self.emit_zero_run(std::mem::take(&mut run))?;
+                self.emit(true)?;
+                self.significance_bits += 1;
+                if set.is_pixel() {
+                    let idx = set.pixel_index(self.dims);
+                    self.emit(self.meta[idx] & 1 == 1)?;
+                    self.sign_bits += 1;
+                    self.lsp_new.push(self.k[idx]);
+                } else {
+                    self.code_s(&set, n)?;
+                }
+                // Significant sets are consumed (not kept in the LIS).
             }
+            self.emit_zero_run(run)?;
+            self.lis[lvl].truncate(write);
         }
         Ok(())
     }
 
-    fn process_s(&mut self, set: SetS<D>, n: u32) -> Result<(), Stop> {
-        let max = if set.is_pixel() {
-            self.k[set.pixel_index(self.dims)]
-        } else {
-            self.pyramid.region_max(set.origin, set.len)
-        };
-        let sig = (max >> n) != 0;
+    /// Processes a freshly split child set at plane `n` (children of a
+    /// significant set are examined immediately, per the paper).
+    fn process_child(&mut self, set: SetS<D>, n: u32) -> Result<(), Stop> {
+        let sig = (set.msb_plus1 as u32) > n;
         self.emit(sig)?;
         self.significance_bits += 1;
         if sig {
             if set.is_pixel() {
                 let idx = set.pixel_index(self.dims);
-                self.emit(self.negative[idx])?;
+                self.emit(self.meta[idx] & 1 == 1)?;
                 self.sign_bits += 1;
-                self.lsp_new.push(idx as u32);
+                self.lsp_new.push(self.k[idx]);
             } else {
                 self.code_s(&set, n)?;
             }
-            // Significant sets are consumed (not returned to the LIS).
         } else {
             self.push_lis(set);
         }
         Ok(())
     }
 
+    /// Splits a significant set and processes its children. Each child's
+    /// significance cache is computed here, exactly once in its lifetime:
+    /// pixels read the `msb` array directly, cuboids pay one (u8) pyramid
+    /// query — after which every future significance test on the child
+    /// (one per plane while it waits in the LIS) is a compare.
     fn code_s(&mut self, set: &SetS<D>, n: u32) -> Result<(), Stop> {
         let mut children = [*set; 8];
         let mut count = 0usize;
@@ -164,24 +296,96 @@ impl<'a, const D: usize> Encoder<'a, D> {
             children[count] = c;
             count += 1;
         });
-        for child in children.iter().take(count) {
-            self.process_s(*child, n)?;
+        for child in children.iter_mut().take(count) {
+            child.msb_plus1 = if child.is_pixel() {
+                self.meta[child.pixel_index(self.dims)] >> 1
+            } else {
+                self.pyramid.region_max(child.origin, child.len) >> 1
+            };
+            self.process_child(*child, n)?;
         }
         Ok(())
     }
 
+    /// One refinement pass at plane `n`: bit `n` of every previously
+    /// significant coefficient, gathered 64 at a time into a word and
+    /// emitted with a single bulk write. In `CHECKED` mode a word that
+    /// would overrun the budget is truncated to the remaining bits, so
+    /// termination lands on exactly the same bit as the per-bit path.
     fn refinement_pass(&mut self, n: u32) -> Result<(), Stop> {
-        for i in 0..self.lsp.len() {
-            let idx = self.lsp[i] as usize;
-            let bit = (self.k[idx] >> n) & 1 == 1;
-            self.emit(bit)?;
-            self.refinement_bits += 1;
+        let len = self.lsp_k.len();
+        let mut i = 0usize;
+        while i < len {
+            let w = (len - i).min(64);
+            let mut word = 0u64;
+            for (j, &kv) in self.lsp_k[i..i + w].iter().enumerate() {
+                word |= ((kv >> n) & 1) << j;
+            }
+            if CHECKED {
+                let room = self.budget - self.out.len_bits();
+                if w > room {
+                    self.out.put_bits(word, room as u32);
+                    self.refinement_bits += room;
+                    return Err(Stop);
+                }
+            }
+            self.out.put_bits(word, w as u32);
+            self.refinement_bits += w;
+            i += w;
         }
         // Newly significant points join the LSP *after* the refinement pass
         // (their bit `n` is implied by the significance test itself).
         let new = std::mem::take(&mut self.lsp_new);
-        self.lsp.extend(new);
+        self.lsp_k.extend(new);
         Ok(())
+    }
+
+    fn run(&mut self, num_planes: u8) {
+        for n in (0..num_planes as u32).rev() {
+            if self.sorting_pass(n).is_err() {
+                return;
+            }
+            if self.refinement_pass(n).is_err() {
+                return;
+            }
+        }
+    }
+}
+
+fn encode_with<const D: usize, const CHECKED: bool>(
+    dims: [usize; D],
+    k: &[u64],
+    meta: &[u8],
+    pyramid: &MaxPyramid<'_, u8, D>,
+    num_planes: u8,
+    budget: usize,
+    n_total: usize,
+) -> EncodedSpeck {
+    let mut root = SetS::root(dims);
+    root.msb_plus1 = num_planes;
+    let mut enc = Encoder::<'_, D, CHECKED> {
+        dims,
+        k,
+        meta,
+        pyramid,
+        lis: vec![vec![root]],
+        lsp_k: Vec::new(),
+        lsp_new: Vec::new(),
+        out: BitWriter::with_capacity_bits(n_total / 2),
+        budget,
+        significance_bits: 0,
+        sign_bits: 0,
+        refinement_bits: 0,
+    };
+    enc.run(num_planes);
+    let bits_used = enc.out.len_bits();
+    EncodedSpeck {
+        significance_bits: enc.significance_bits,
+        sign_bits: enc.sign_bits,
+        refinement_bits: enc.refinement_bits,
+        stream: enc.out.into_bytes(),
+        num_planes,
+        bits_used,
     }
 }
 
@@ -198,16 +402,10 @@ pub fn encode<const D: usize>(
     assert_eq!(coeffs.len(), n_total, "coeffs/dims mismatch");
     assert!(n_total as u64 <= u32::MAX as u64, "domain too large for u32 indices");
 
-    let inv_q = 1.0 / q;
-    let mut k = Vec::with_capacity(n_total);
-    let mut negative = Vec::with_capacity(n_total);
-    for &c in coeffs {
-        k.push(quantize_one(c, inv_q));
-        negative.push(c < 0.0);
-    }
-    let pyramid = MaxPyramid::build(&k, dims);
-    let max_k = pyramid.global_max();
-    if max_k == 0 {
+    let (k, meta) = quantize_meta(coeffs, q);
+    let pyramid = MaxPyramid::build(&meta, dims);
+    let num_planes = pyramid.global_max() >> 1;
+    if num_planes == 0 {
         return EncodedSpeck {
             stream: Vec::new(),
             num_planes: 0,
@@ -217,43 +415,13 @@ pub fn encode<const D: usize>(
             refinement_bits: 0,
         };
     }
-    let num_planes = (64 - max_k.leading_zeros()) as u8;
 
-    let budget = match term {
-        Termination::Quality => usize::MAX,
-        Termination::BitBudget(b) => b,
-    };
-    let mut enc = Encoder {
-        dims,
-        k: &k,
-        negative: &negative,
-        pyramid: &pyramid,
-        lis: vec![vec![SetS::root(dims)]],
-        lsp: Vec::new(),
-        lsp_new: Vec::new(),
-        out: BitWriter::with_capacity_bits(n_total / 2),
-        budget,
-        significance_bits: 0,
-        sign_bits: 0,
-        refinement_bits: 0,
-    };
-
-    'planes: for n in (0..num_planes as u32).rev() {
-        if enc.sorting_pass(n).is_err() {
-            break 'planes;
+    match term {
+        Termination::Quality => {
+            encode_with::<D, false>(dims, &k, &meta, &pyramid, num_planes, usize::MAX, n_total)
         }
-        if enc.refinement_pass(n).is_err() {
-            break 'planes;
+        Termination::BitBudget(b) => {
+            encode_with::<D, true>(dims, &k, &meta, &pyramid, num_planes, b, n_total)
         }
-    }
-
-    let bits_used = enc.out.len_bits();
-    EncodedSpeck {
-        significance_bits: enc.significance_bits,
-        sign_bits: enc.sign_bits,
-        refinement_bits: enc.refinement_bits,
-        stream: enc.out.into_bytes(),
-        num_planes,
-        bits_used,
     }
 }

@@ -63,15 +63,32 @@ impl From<DecodeError> for sperr_compress_api::CompressError {
 /// truncated embedded stream is a *valid* coarser encoding, not an error).
 struct Stop;
 
+/// A coefficient discovered in the current sorting pass, not yet merged
+/// into the LSP (its refinement starts on the next plane).
+struct NewPoint {
+    idx: u32,
+    negative: bool,
+    /// Discovery plane: initial magnitude is `1 << plane`.
+    plane: u8,
+}
+
 struct Decoder<'a, const D: usize> {
     dims: [usize; D],
-    k_rec: Vec<u64>,
-    negative: Vec<bool>,
-    /// Plane index below which a found coefficient's bits are unknown.
-    uncert: Vec<u8>,
     lis: Vec<Vec<SetS<D>>>,
-    lsp: Vec<u32>,
-    lsp_new: Vec<u32>,
+    /// Previously significant coefficients, one entry per discovery, in
+    /// discovery order — parallel arrays so the refinement pass updates
+    /// magnitudes with sequential writes. Keeping full-grid
+    /// `k_rec`/`uncert`/`negative` arrays instead (as the decoder once
+    /// did) turns every refinement plane into a random scatter over the
+    /// whole domain; here the grid is touched exactly once, at
+    /// reconstruction.
+    lsp_idx: Vec<u32>,
+    /// Reconstructed magnitude bits accumulated so far.
+    lsp_val: Vec<u64>,
+    /// Plane index below which this coefficient's bits are unknown.
+    lsp_unc: Vec<u8>,
+    lsp_neg: Vec<bool>,
+    lsp_new: Vec<NewPoint>,
     input: BitReader<'a>,
 }
 
@@ -89,40 +106,92 @@ impl<'a, const D: usize> Decoder<'a, D> {
         self.lis[lvl].push(set);
     }
 
+    /// One sorting pass at plane `n`. Mirrors the encoder's in-place LIS
+    /// bookkeeping: still-insignificant sets are compacted to the front of
+    /// their bucket instead of being drained into a fresh vector, so the
+    /// bucket storage is allocated once and reused across planes. Sets
+    /// created by splits always land in deeper buckets, which this pass
+    /// has already finished, so in-place mutation never aliases the
+    /// iteration.
+    ///
+    /// Insignificance bits come in runs (the encoder emits them through
+    /// `put_zeros`); `count_zero_run` consumes each run through the refill
+    /// register in bulk and the corresponding sets are retained with one
+    /// `copy_within`, instead of one `get_bit` + one element move per set.
     fn sorting_pass(&mut self, n: u32) -> Result<(), Stop> {
         for lvl in (0..self.lis.len()).rev() {
-            let bucket = std::mem::take(&mut self.lis[lvl]);
-            for (i, set) in bucket.iter().enumerate() {
-                if let Err(stop) = self.process_s(*set, n) {
-                    // Put the unprocessed remainder back so state stays sane
-                    // (reconstruction happens right after a Stop anyway).
-                    for rest in &bucket[i + 1..] {
-                        self.push_lis(*rest);
+            let len = self.lis[lvl].len();
+            let mut write = 0usize;
+            let mut read = 0usize;
+            while read < len {
+                let run = self.input.count_zero_run(len - read);
+                if run > 0 {
+                    // A run of 0 bits retains a run of sets unchanged.
+                    self.lis[lvl].copy_within(read..read + run, write);
+                    write += run;
+                    read += run;
+                    if read == len {
+                        break;
                     }
-                    return Err(stop);
+                }
+                // The run stopped short of `len - read` zeros: the next
+                // bit is a 1, or the stream is exhausted.
+                let keep_or_err = match self.input.get_bit() {
+                    Err(_) => Err(Stop),
+                    Ok(false) => Ok(true), // unreachable after count_zero_run
+                    Ok(true) => {
+                        let set = self.lis[lvl][read];
+                        self.process_significant(set, n).map(|()| false)
+                    }
+                };
+                match keep_or_err {
+                    Ok(true) => {
+                        self.lis[lvl][write] = self.lis[lvl][read];
+                        write += 1;
+                        read += 1;
+                    }
+                    Ok(false) => {
+                        read += 1;
+                    }
+                    Err(stop) => {
+                        // Keep the unprocessed remainder so state stays sane
+                        // (reconstruction happens right after a Stop anyway).
+                        // The set being processed when the stream ran out is
+                        // dropped, matching the historical take-and-repush
+                        // behavior.
+                        self.lis[lvl].copy_within(read + 1..len, write);
+                        let kept = write + (len - read - 1);
+                        self.lis[lvl].truncate(kept);
+                        return Err(stop);
+                    }
                 }
             }
+            self.lis[lvl].truncate(write);
         }
         Ok(())
+    }
+
+    /// Handles a set whose significance bit was 1: a pixel records its
+    /// sign and magnitude, a cuboid splits.
+    fn process_significant(&mut self, set: SetS<D>, n: u32) -> Result<(), Stop> {
+        if set.is_pixel() {
+            let idx = set.pixel_index(self.dims);
+            let negative = self.read_bit()?;
+            self.lsp_new.push(NewPoint { idx: idx as u32, negative, plane: n as u8 });
+            Ok(())
+        } else {
+            self.code_s(&set, n)
+        }
     }
 
     fn process_s(&mut self, set: SetS<D>, n: u32) -> Result<(), Stop> {
         let sig = self.read_bit()?;
         if sig {
-            if set.is_pixel() {
-                let idx = set.pixel_index(self.dims);
-                let neg = self.read_bit()?;
-                self.negative[idx] = neg;
-                self.k_rec[idx] = 1u64 << n;
-                self.uncert[idx] = n as u8;
-                self.lsp_new.push(idx as u32);
-            } else {
-                self.code_s(&set, n)?;
-            }
+            self.process_significant(set, n)
         } else {
             self.push_lis(set);
+            Ok(())
         }
-        Ok(())
     }
 
     fn code_s(&mut self, set: &SetS<D>, n: u32) -> Result<(), Stop> {
@@ -138,41 +207,63 @@ impl<'a, const D: usize> Decoder<'a, D> {
         Ok(())
     }
 
+    /// One refinement pass at plane `n`: bits are consumed up to 64 at a
+    /// time through the reader's refill register and applied to the LSP's
+    /// parallel magnitude array with sequential writes, mirroring the
+    /// encoder's word-packed emission. A truncated stream applies exactly
+    /// the bits that exist (the reader's remaining budget is checked up
+    /// front per word) and then stops, matching the bit-at-a-time
+    /// behavior: entries past the cut keep their previous uncertainty.
     fn refinement_pass(&mut self, n: u32) -> Result<(), Stop> {
-        for i in 0..self.lsp.len() {
-            let idx = self.lsp[i] as usize;
-            let bit = self.read_bit()?;
-            if bit {
-                self.k_rec[idx] |= 1u64 << n;
+        let len = self.lsp_val.len();
+        let mut i = 0usize;
+        while i < len {
+            let want = (len - i).min(64);
+            let avail = self.input.remaining_bits().min(want);
+            if avail > 0 {
+                let word = self.input.get_bits(avail as u32).map_err(|_| Stop)?;
+                for j in 0..avail {
+                    self.lsp_val[i + j] |= ((word >> j) & 1) << n;
+                    self.lsp_unc[i + j] = n as u8;
+                }
+                i += avail;
             }
-            self.uncert[idx] = n as u8;
+            if avail < want {
+                return Err(Stop);
+            }
         }
-        let new = std::mem::take(&mut self.lsp_new);
-        self.lsp.extend(new);
+        for p in std::mem::take(&mut self.lsp_new) {
+            self.lsp_idx.push(p.idx);
+            self.lsp_val.push(1u64 << p.plane);
+            self.lsp_unc.push(p.plane);
+            self.lsp_neg.push(p.negative);
+        }
         Ok(())
     }
 
     /// Mid-riser reconstruction: a coefficient whose bits below plane
-    /// `uncert` are unknown lies in `[k_rec·q, (k_rec + 2^uncert)·q)`;
-    /// reconstruct at the interval centre.
-    fn reconstruct(&self, q: f64) -> Vec<f64> {
-        self.k_rec
-            .iter()
-            .zip(&self.negative)
-            .zip(&self.uncert)
-            .map(|((&k, &neg), &u)| {
-                if k == 0 {
-                    0.0
-                } else {
-                    let mag = (k as f64 + 0.5 * (1u64 << u) as f64) * q;
-                    if neg {
-                        -mag
-                    } else {
-                        mag
-                    }
-                }
-            })
-            .collect()
+    /// `uncert` are unknown lies in `[val·q, (val + 2^uncert)·q)`;
+    /// reconstruct at the interval centre. Undiscovered coefficients stay
+    /// 0. This is the only place the full grid is written — one pass,
+    /// one scatter per discovered coefficient.
+    fn reconstruct(&self, q: f64, n_total: usize) -> Vec<f64> {
+        let mut out = vec![0.0; n_total];
+        let place = |out: &mut [f64], idx: u32, val: u64, unc: u8, neg: bool| {
+            let mag = (val as f64 + 0.5 * (1u64 << unc) as f64) * q;
+            if let Some(slot) = out.get_mut(idx as usize) {
+                *slot = if neg { -mag } else { mag };
+            }
+        };
+        for i in 0..self.lsp_idx.len() {
+            place(&mut out, self.lsp_idx[i], self.lsp_val[i], self.lsp_unc[i], self.lsp_neg[i]);
+        }
+        // Points discovered in a pass the stream ran out of were never
+        // merged into the LSP; they still reconstruct (at their discovery
+        // magnitude), exactly as when the grid was written at discovery.
+        for p in &self.lsp_new {
+            place(&mut out, p.idx, 1u64 << p.plane, p.plane, p.negative);
+        }
+        out
     }
 }
 
@@ -215,11 +306,11 @@ pub fn decode<const D: usize>(
     }
     let mut dec = Decoder {
         dims,
-        k_rec: vec![0u64; n_total],
-        negative: vec![false; n_total],
-        uncert: vec![0u8; n_total],
         lis: vec![vec![SetS::root(dims)]],
-        lsp: Vec::new(),
+        lsp_idx: Vec::new(),
+        lsp_val: Vec::new(),
+        lsp_unc: Vec::new(),
+        lsp_neg: Vec::new(),
         lsp_new: Vec::new(),
         input: BitReader::new(stream),
     };
@@ -231,5 +322,5 @@ pub fn decode<const D: usize>(
             break 'planes;
         }
     }
-    Ok(dec.reconstruct(q))
+    Ok(dec.reconstruct(q, n_total))
 }

@@ -42,6 +42,7 @@
 mod coder;
 mod decoder;
 mod pyramid;
+pub mod reference;
 mod set;
 
 pub use coder::{
@@ -268,6 +269,65 @@ mod tests {
         assert!(enc.significance_bits > 0);
         assert!(enc.sign_bits > 0);
         assert!(enc.refinement_bits > 0);
+    }
+
+    #[test]
+    fn budget_truncates_at_exactly_the_same_bit_as_quality_prefix() {
+        // Regression for the run-granular budget check: BitBudget(b) must
+        // stop at *exactly* bit b — the stream must be a bit-exact prefix
+        // of the quality stream, with bits_used == min(b, full bits), for
+        // budgets landing inside zero runs, inside packed refinement
+        // words, and on word/accumulator boundaries.
+        let dims = [13usize, 9, 5];
+        let n: usize = dims.iter().product();
+        let coeffs: Vec<f64> = (0..n)
+            .map(|i| ((i as f64 * 0.83).sin() * 90.0) * if i % 7 == 0 { 0.0 } else { 1.0 })
+            .collect();
+        let q = 0.05;
+        let full = encode(&coeffs, dims, q, Termination::Quality);
+        let bit_of = |stream: &[u8], i: usize| (stream[i / 8] >> (i % 8)) & 1;
+        for b in [0usize, 1, 7, 8, 63, 64, 65, 100, 511, 512, 513, 1000, full.bits_used - 1] {
+            let cut = encode(&coeffs, dims, q, Termination::BitBudget(b));
+            assert_eq!(cut.bits_used, b.min(full.bits_used), "budget {b}");
+            assert_eq!(
+                cut.significance_bits + cut.sign_bits + cut.refinement_bits,
+                cut.bits_used,
+                "budget {b}: bit-type accounting"
+            );
+            for i in 0..cut.bits_used {
+                assert_eq!(
+                    bit_of(&cut.stream, i),
+                    bit_of(&full.stream, i),
+                    "budget {b}: bit {i} diverged from quality prefix"
+                );
+            }
+        }
+        // A budget beyond the full stream must reproduce it bit for bit.
+        let ample = encode(&coeffs, dims, q, Termination::BitBudget(full.bits_used + 999));
+        assert_eq!(ample.stream, full.stream);
+        assert_eq!(ample.bits_used, full.bits_used);
+    }
+
+    #[test]
+    fn fast_path_matches_reference_encoder() {
+        // The word-granular production encoder vs the kept bit-at-a-time
+        // reference: byte-identical streams and identical counters, in
+        // both termination modes (see also the conformance oracle and the
+        // proptest sweep).
+        let dims = [11usize, 6, 7];
+        let n: usize = dims.iter().product();
+        let coeffs: Vec<f64> =
+            (0..n).map(|i| ((i * 31) % 113) as f64 - 56.0 + (i as f64 * 0.01)).collect();
+        for term in [Termination::Quality, Termination::BitBudget(777)] {
+            let fast = encode(&coeffs, dims, 0.25, term);
+            let slow = reference::encode(&coeffs, dims, 0.25, term);
+            assert_eq!(fast.stream, slow.stream, "{term:?}");
+            assert_eq!(fast.bits_used, slow.bits_used, "{term:?}");
+            assert_eq!(fast.num_planes, slow.num_planes, "{term:?}");
+            assert_eq!(fast.significance_bits, slow.significance_bits, "{term:?}");
+            assert_eq!(fast.sign_bits, slow.sign_bits, "{term:?}");
+            assert_eq!(fast.refinement_bits, slow.refinement_bits, "{term:?}");
+        }
     }
 
     #[test]

@@ -9,21 +9,44 @@
 
 /// Mip pyramid of running maxima over `2^level`-sized blocks of a
 /// `D`-dimensional row-major array.
+///
+/// Generic over the cell type: the reference encoder builds it over raw
+/// `u64` magnitudes, the production encoder over per-coefficient
+/// `msb_plus1` values (`u8`) — `planes_of` is monotone, so the max of the
+/// mapped values equals the mapped max and the two answer the same
+/// significance predicate, but the `u8` pyramid touches 8× less memory
+/// per build and per query. `T::default()` must be the minimum value
+/// (zero for the unsigned integers used here).
+///
+/// Memory: the base level (the coefficients themselves) is **borrowed**,
+/// not copied — only the coarser levels are owned, which together cost
+/// under `N / (2^D - 1)` cells. Before the hot-path overhaul the builder
+/// `to_vec()`-copied level 0, doubling the coder's peak magnitude
+/// footprint; pixel significance tests now read the caller's `k` slice
+/// directly, so the copy bought nothing.
 #[derive(Debug)]
-pub struct MaxPyramid<const D: usize> {
-    /// `levels[0]` is the input; each subsequent level halves every axis
-    /// (ceil). The last level is a single cell holding the global max.
-    levels: Vec<(Vec<u64>, [usize; D])>,
+pub struct MaxPyramid<'a, T, const D: usize> {
+    /// Level 0: the input magnitudes, borrowed.
+    base: &'a [T],
+    base_dims: [usize; D],
+    /// `levels[i]` is pyramid level `i + 1`; each level halves every axis
+    /// (ceil). The last entry is a single cell holding the global max.
+    /// Empty when the domain is a single cell per axis.
+    levels: Vec<(Vec<T>, [usize; D])>,
 }
 
-impl<const D: usize> MaxPyramid<D> {
+impl<'a, T: Copy + Ord + Default, const D: usize> MaxPyramid<'a, T, D> {
     /// Builds the pyramid over quantized magnitudes `values` with shape
-    /// `dims` (row-major, axis 0 fastest).
-    pub fn build(values: &[u64], dims: [usize; D]) -> Self {
+    /// `dims` (row-major, axis 0 fastest). `values` is borrowed for the
+    /// pyramid's lifetime.
+    pub fn build(values: &'a [T], dims: [usize; D]) -> Self {
         assert_eq!(values.len(), dims.iter().product::<usize>());
-        let mut levels: Vec<(Vec<u64>, [usize; D])> = vec![(values.to_vec(), dims)];
+        let mut levels: Vec<(Vec<T>, [usize; D])> = Vec::new();
         loop {
-            let (prev, pdims) = levels.last().unwrap();
+            let (prev, pdims): (&[T], [usize; D]) = match levels.last() {
+                None => (values, dims),
+                Some((v, d)) => (v, *d),
+            };
             if pdims.iter().all(|&d| d <= 1) {
                 break;
             }
@@ -31,9 +54,9 @@ impl<const D: usize> MaxPyramid<D> {
             for d in 0..D {
                 ndims[d] = pdims[d].div_ceil(2);
             }
-            let mut next = vec![0u64; ndims.iter().product()];
+            let mut next = vec![T::default(); ndims.iter().product()];
             // For each parent cell, max over its up-to-2^D children.
-            let pd = *pdims;
+            let pd = pdims;
             let mut coord = [0usize; D];
             for (pi, slot) in next.iter_mut().enumerate() {
                 // decompose pi into coord (row-major, axis 0 fastest)
@@ -42,7 +65,7 @@ impl<const D: usize> MaxPyramid<D> {
                     coord[d] = rest % ndims[d];
                     rest /= ndims[d];
                 }
-                let mut m = 0u64;
+                let mut m = T::default();
                 let combos = 1usize << D;
                 'combo: for c in 0..combos {
                     let mut idx = 0usize;
@@ -61,39 +84,121 @@ impl<const D: usize> MaxPyramid<D> {
             }
             levels.push((next, ndims));
         }
-        MaxPyramid { levels }
+        MaxPyramid { base: values, base_dims: dims, levels }
+    }
+
+    /// Data and dims of pyramid level `level` (0 = the borrowed base).
+    #[inline]
+    fn level(&self, level: usize) -> (&[T], &[usize; D]) {
+        if level == 0 {
+            (self.base, &self.base_dims)
+        } else {
+            let (v, d) = &self.levels[level - 1];
+            (v, d)
+        }
     }
 
     /// Maximum magnitude stored anywhere (top of the pyramid).
-    pub fn global_max(&self) -> u64 {
-        let (top, _) = self.levels.last().unwrap();
-        top.iter().copied().max().unwrap_or(0)
+    pub fn global_max(&self) -> T {
+        let (top, _) = self.level(self.levels.len());
+        top.iter().copied().max().unwrap_or_default()
     }
 
     /// Maximum over the half-open cuboid `[lo[d], lo[d]+len[d])`.
-    pub fn region_max(&self, lo: [u32; D], len: [u32; D]) -> u64 {
+    ///
+    /// The encoder calls this once per cuboid set, at creation (the
+    /// cached-significance scheme), and set sizes follow the partition
+    /// geometry: the overwhelming majority of queries are tiny. Tiny
+    /// regions therefore scan the base level directly — a few contiguous
+    /// rows beat a pyramid descent — and larger regions start the
+    /// recursive decomposition at the level whose cells match the region
+    /// scale (at most 2 cells per axis) instead of walking down from the
+    /// apex every time.
+    pub fn region_max(&self, lo: [u32; D], len: [u32; D]) -> T {
         let mut hi = [0usize; D];
         let mut lo_us = [0usize; D];
+        let mut volume = 1usize;
+        let mut max_len = 1usize;
         for d in 0..D {
             lo_us[d] = lo[d] as usize;
             hi[d] = lo[d] as usize + len[d] as usize;
+            volume *= len[d] as usize;
+            max_len = max_len.max(len[d] as usize);
         }
-        let top = self.levels.len() - 1;
-        self.recurse(top, [0usize; D], &lo_us, &hi)
+        if volume == 0 {
+            return T::default();
+        }
+        if volume <= 64 {
+            return self.scan_base(&lo_us, &hi);
+        }
+        // Cells of size 2^level cover the region with at most 2 cells per
+        // axis (2^level >= max_len).
+        let level =
+            ((usize::BITS - (max_len - 1).leading_zeros()) as usize).min(self.levels.len());
+        let mut cell = [0usize; D];
+        for d in 0..D {
+            cell[d] = lo_us[d] >> level;
+        }
+        let mut m = T::default();
+        loop {
+            m = m.max(self.recurse(level, cell, &lo_us, &hi));
+            let mut d = 0;
+            loop {
+                if d == D {
+                    return m;
+                }
+                cell[d] += 1;
+                if cell[d] <= (hi[d] - 1) >> level {
+                    break;
+                }
+                cell[d] = lo_us[d] >> level;
+                d += 1;
+            }
+        }
     }
 
-    fn recurse(&self, level: usize, cell: [usize; D], lo: &[usize; D], hi: &[usize; D]) -> u64 {
-        let (data, dims) = &self.levels[level];
+    /// Direct max over a small region of the base: row-at-a-time along
+    /// axis 0 (contiguous memory), odometer over the remaining axes.
+    fn scan_base(&self, lo: &[usize; D], hi: &[usize; D]) -> T {
+        let row = hi[0] - lo[0];
+        let mut coord = *lo;
+        let mut m = T::default();
+        loop {
+            let mut idx = 0usize;
+            let mut stride = 1usize;
+            for d in 0..D {
+                idx += coord[d] * stride;
+                stride *= self.base_dims[d];
+            }
+            for &v in &self.base[idx..idx + row] {
+                m = m.max(v);
+            }
+            let mut d = 1;
+            loop {
+                if d >= D {
+                    return m;
+                }
+                coord[d] += 1;
+                if coord[d] < hi[d] {
+                    break;
+                }
+                coord[d] = lo[d];
+                d += 1;
+            }
+        }
+    }
+
+    fn recurse(&self, level: usize, cell: [usize; D], lo: &[usize; D], hi: &[usize; D]) -> T {
+        let (data, dims) = self.level(level);
         // Extent of this cell in level-0 coordinates.
-        let base_dims = self.levels[0].1;
         let mut c_lo = [0usize; D];
         let mut c_hi = [0usize; D];
         for d in 0..D {
             c_lo[d] = cell[d] << level;
-            c_hi[d] = ((cell[d] + 1) << level).min(base_dims[d]);
+            c_hi[d] = ((cell[d] + 1) << level).min(self.base_dims[d]);
             // Disjoint?
             if c_lo[d] >= hi[d] || c_hi[d] <= lo[d] {
-                return 0;
+                return T::default();
             }
         }
         // Fully contained?
@@ -108,8 +213,9 @@ impl<const D: usize> MaxPyramid<D> {
         }
         debug_assert!(level > 0, "level-0 cells are single points, always contained");
         // Partial overlap: descend into children.
-        let child_dims = &self.levels[level - 1].1;
-        let mut m = 0u64;
+        let (_, child_dims) = self.level(level - 1);
+        let child_dims = *child_dims;
+        let mut m = T::default();
         let combos = 1usize << D;
         'combo: for c in 0..combos {
             let mut child = [0usize; D];

@@ -9,6 +9,13 @@ pub(crate) struct SetS<const D: usize> {
     pub origin: [u32; D],
     pub len: [u32; D],
     pub part_level: u16,
+    /// Encoder-side cache: number of significant bitplanes of the set's
+    /// max quantized magnitude, i.e. `64 - max.leading_zeros()`. The set
+    /// is significant at plane `n` iff `msb_plus1 > n` — an integer
+    /// compare instead of a pyramid query per plane. Filled exactly once,
+    /// when the set is created (at root init or at split time); the
+    /// decoder carries 0 (it learns significance from the stream).
+    pub msb_plus1: u8,
 }
 
 impl<const D: usize> SetS<D> {
@@ -20,7 +27,7 @@ impl<const D: usize> SetS<D> {
             origin[d] = 0;
             len[d] = dims[d] as u32;
         }
-        SetS { origin, len, part_level: 0 }
+        SetS { origin, len, part_level: 0, msb_plus1: 0 }
     }
 
     /// Number of coefficients in the set.
@@ -75,7 +82,7 @@ impl<const D: usize> SetS<D> {
                 origin[d] = self.origin[d] + off;
                 len[d] = l;
             }
-            f(SetS { origin, len, part_level: child_level });
+            f(SetS { origin, len, part_level: child_level, msb_plus1: 0 });
         }
     }
 }
@@ -135,7 +142,7 @@ mod tests {
 
     #[test]
     fn pixel_index_row_major() {
-        let s = SetS::<3> { origin: [2, 1, 3], len: [1, 1, 1], part_level: 9 };
+        let s = SetS::<3> { origin: [2, 1, 3], len: [1, 1, 1], part_level: 9, msb_plus1: 0 };
         assert!(s.is_pixel());
         assert_eq!(s.pixel_index([4, 5, 6]), 2 + 1 * 4 + 3 * 20);
     }

@@ -94,6 +94,29 @@ proptest! {
     }
 
     #[test]
+    fn fast_path_bit_identical_to_reference((coeffs, dims) in field_strategy(),
+                                            q in 1e-3f64..1e3,
+                                            budget_seed in any::<u64>()) {
+        // The word-granular hot path must emit the exact bytes (and bit
+        // counters) of the kept bit-at-a-time reference encoder, in both
+        // termination modes, for arbitrary inputs — the property that
+        // makes the PR 4 overhaul stream-neutral.
+        let fast = encode(&coeffs, dims, q, Termination::Quality);
+        let slow = sperr_speck::reference::encode(&coeffs, dims, q, Termination::Quality);
+        prop_assert_eq!(&fast.stream, &slow.stream);
+        prop_assert_eq!(fast.bits_used, slow.bits_used);
+        prop_assert_eq!(fast.significance_bits, slow.significance_bits);
+        prop_assert_eq!(fast.sign_bits, slow.sign_bits);
+        prop_assert_eq!(fast.refinement_bits, slow.refinement_bits);
+
+        let budget = (budget_seed as usize) % (fast.bits_used + 2);
+        let fast_b = encode(&coeffs, dims, q, Termination::BitBudget(budget));
+        let slow_b = sperr_speck::reference::encode(&coeffs, dims, q, Termination::BitBudget(budget));
+        prop_assert_eq!(&fast_b.stream, &slow_b.stream);
+        prop_assert_eq!(fast_b.bits_used, slow_b.bits_used);
+    }
+
+    #[test]
     fn budget_prefix_of_quality_stream((coeffs, dims) in field_strategy(), q in 1e-2f64..1e2,
                                        frac in 0.05f64..1.0) {
         // A bit-budget encode must be a strict prefix of the quality-mode
