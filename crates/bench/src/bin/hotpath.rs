@@ -1,6 +1,7 @@
-//! Hot-path throughput benchmark backing the tracked `BENCH_pr4.json`
-//! artifact (run via `scripts/bench.sh`; `BENCH_pr2.json` is the
-//! frozen PR 2 edition of the same measurements).
+//! Hot-path throughput benchmark backing the tracked `BENCH_pr5.json`
+//! artifact (run via `scripts/bench.sh`; `BENCH_pr2.json` and
+//! `BENCH_pr4.json` are the frozen earlier editions of the same
+//! measurements).
 //!
 //! Measures, on a synthetic 256³ volume (48³ with `--smoke`):
 //!
@@ -21,11 +22,14 @@
 //! this to fail on malformed JSON). `--perf-gate NEW BASELINE` compares
 //! the derived ratios of two artifacts and prints a loud, non-fatal
 //! warning when any regressed by more than 20% (CI's soft perf gate).
-//! All numbers are measured on the host that runs the script;
-//! `host_threads` records its parallelism so the artifact stays
-//! interpretable.
+//! `--trace FILE` records a telemetry trace of one PWE compression and
+//! writes Chrome trace-event JSON (needs the `telemetry` feature);
+//! `--check-trace FILE [label...]` validates such a file, requiring a
+//! span per given label. All numbers are measured on the host that runs
+//! the script; `host_threads`, `effective_workers` and `chunk_count`
+//! record its parallelism so the artifact stays interpretable.
 
-use sperr_bench::json::{parse, validate_bench_artifact, Json};
+use sperr_bench::json::{parse, validate_bench_artifact, validate_trace_artifact, Json};
 use sperr_compress_api::Bound;
 use sperr_conformance::oracle;
 use sperr_core::{CompressionStats, Sperr, SperrConfig, StageTimes};
@@ -48,10 +52,12 @@ const PR2_SPECK_ENCODE_MB_S: f64 = 17.19887796951931;
 const PR2_SPECK_DECODE_MB_S: f64 = 35.5861463463988;
 
 fn main() {
-    let mut out_path = String::from("BENCH_pr4.json");
+    let mut out_path = String::from("BENCH_pr5.json");
     let mut smoke = false;
     let mut check: Option<String> = None;
     let mut gate: Option<(String, String)> = None;
+    let mut trace_out: Option<String> = None;
+    let mut check_trace: Option<(String, Vec<String>)> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -63,11 +69,17 @@ fn main() {
                 let base = args.next().expect("--perf-gate needs NEW and BASELINE paths");
                 gate = Some((new, base));
             }
+            "--trace" => trace_out = Some(args.next().expect("--trace needs a path")),
+            "--check-trace" => {
+                let path = args.next().expect("--check-trace needs a path");
+                check_trace = Some((path, args.by_ref().collect()));
+            }
             other => {
                 eprintln!("unknown argument {other:?}");
                 eprintln!(
                     "usage: hotpath [--smoke] [--out FILE] | --check FILE | \
-                     --perf-gate NEW BASELINE"
+                     --perf-gate NEW BASELINE | --trace FILE | \
+                     --check-trace FILE [label...]"
                 );
                 std::process::exit(2);
             }
@@ -84,8 +96,24 @@ fn main() {
         return;
     }
 
+    if let Some((path, labels)) = check_trace {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| fatal(&format!("cannot read {path}: {e}")));
+        let labels: Vec<&str> = labels.iter().map(String::as_str).collect();
+        match validate_trace_artifact(&text, &labels) {
+            Ok(()) => println!("{path}: valid trace artifact ({} label(s) required)", labels.len()),
+            Err(e) => fatal(&format!("{path}: INVALID trace artifact: {e}")),
+        }
+        return;
+    }
+
     if let Some((new_path, base_path)) = gate {
         perf_gate(&new_path, &base_path);
+        return;
+    }
+
+    if let Some(path) = trace_out {
+        write_trace(&path, smoke);
         return;
     }
 
@@ -99,6 +127,40 @@ fn main() {
 fn fatal(msg: &str) -> ! {
     eprintln!("{msg}");
     std::process::exit(1);
+}
+
+/// Records a telemetry session around one multi-chunk PWE compression
+/// (lossless pass on, so every compress-side stage appears) and writes
+/// the Chrome trace-event JSON, self-validating it before returning.
+fn write_trace(path: &str, smoke: bool) {
+    if !sperr_telemetry::is_enabled() {
+        fatal(
+            "--trace needs a build with the `telemetry` feature:\n  \
+             cargo build --release -p sperr-bench --features telemetry --bin hotpath",
+        );
+    }
+    let dims = if smoke { SMOKE_DIMS } else { [128, 128, 128] };
+    let field = SyntheticField::MirandaDensity.generate(dims, SEED);
+    let t = field.range() * 1e-4;
+    // Chunks smaller than the volume so the worker pool fans out and the
+    // trace gets one timeline track per worker.
+    let sperr = Sperr::new(SperrConfig {
+        chunk_dims: [dims[0] / 2, dims[1] / 2, dims[2] / 2],
+        num_threads: 8,
+        ..SperrConfig::default()
+    });
+    sperr_telemetry::start();
+    sperr.compress_with_stats(&field, Bound::Pwe(t)).unwrap();
+    let report = sperr_telemetry::stop();
+    let json = report.chrome_trace();
+    validate_trace_artifact(&json, sperr_core::stage_labels::COMPRESS)
+        .unwrap_or_else(|e| fatal(&format!("emitted trace failed validation: {e}")));
+    std::fs::write(path, &json).unwrap_or_else(|e| fatal(&format!("cannot write {path}: {e}")));
+    println!(
+        "wrote {path}: {} events across {} track(s)",
+        report.event_count(),
+        report.tracks.len()
+    );
 }
 
 /// The soft perf gate: every numeric `derived` ratio present in BOTH
@@ -214,6 +276,8 @@ fn workload(name: &str, points: usize, d: Duration, stages: Option<&StageTimes>)
                 ("speck", stage(s.speck)),
                 ("locate_outliers", stage(s.locate_outliers)),
                 ("outlier_coding", stage(s.outlier_coding)),
+                ("container", stage(s.container)),
+                ("lossless", stage(s.lossless)),
             ]),
         ));
     }
@@ -372,10 +436,20 @@ fn run_benchmarks(dims: [usize; 3], smoke: bool) -> Json {
         ("pre_pr_bit_identical", Json::Bool(bit_identical)),
     ]);
 
+    // Host metadata: what the 8-thread workloads actually ran with, so
+    // the artifact is interpretable without re-deriving the clamping
+    // logic (`effective_workers` ≤ 8 on few-job volumes; the bench is
+    // single-chunk so `chunk_count` is 1 by construction).
+    let meta_sperr = single_chunk_sperr(dims, 8);
+    let effective_workers = meta_sperr.effective_workers(dims);
+    let chunk_count = meta_sperr.chunk_count(dims);
+
     Json::obj(vec![
-        ("schema", Json::Str("sperr-bench-pr4/v1".into())),
+        ("schema", Json::Str("sperr-bench-pr5/v1".into())),
         ("smoke", Json::Bool(smoke)),
         ("host_threads", Json::Num(host_threads as f64)),
+        ("effective_workers", Json::Num(effective_workers as f64)),
+        ("chunk_count", Json::Num(chunk_count as f64)),
         ("dims", Json::Arr(dims.iter().map(|&d| Json::Num(d as f64)).collect())),
         ("points", Json::Num(points as f64)),
         ("pwe_tolerance", Json::Num(t)),

@@ -307,18 +307,33 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
     }
 }
 
-/// Schema check for a `BENCH_pr2.json` artifact: well-formed JSON with
-/// the tracked structure (schema tag, host info, a non-empty workload
-/// list where every entry has a name and an MB/s figure, and the derived
-/// ratios the acceptance criteria reference). Returns a description of
-/// the first problem found.
+/// The PR number in a `sperr-bench-prN/vM` schema tag, used to decide
+/// which generation of requirements an artifact must satisfy (older
+/// committed baselines stay valid under their original schema).
+fn schema_pr(tag: &str) -> Option<u32> {
+    let rest = tag.strip_prefix("sperr-bench-pr")?;
+    let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().ok()
+}
+
+/// Schema check for a tracked `BENCH_*.json` artifact: well-formed JSON
+/// with the tracked structure (schema tag, host info, a non-empty
+/// workload list where every entry has a name and an MB/s figure, and
+/// the derived ratios the acceptance criteria reference). Requirements
+/// grow with the schema generation: pr4 added the SPECK stage ratios,
+/// pr5 the host-metadata keys (`effective_workers`, `chunk_count`).
+/// Returns a description of the first problem found.
 pub fn validate_bench_artifact(text: &str) -> Result<(), String> {
     let root = parse(text)?;
-    match root.get("schema") {
-        Some(Json::Str(s)) if s.starts_with("sperr-bench") => {}
+    let pr = match root.get("schema") {
+        Some(Json::Str(s)) if s.starts_with("sperr-bench") => schema_pr(s),
         other => return Err(format!("missing/invalid \"schema\": {other:?}")),
+    };
+    let mut host_keys = vec!["host_threads", "points"];
+    if pr.is_some_and(|n| n >= 5) {
+        host_keys.extend(["effective_workers", "chunk_count"]);
     }
-    for key in ["host_threads", "points"] {
+    for key in host_keys {
         match root.get(key).and_then(Json::as_num) {
             Some(n) if n >= 1.0 => {}
             other => return Err(format!("missing/invalid \"{key}\": {other:?}")),
@@ -349,13 +364,85 @@ pub fn validate_bench_artifact(text: &str) -> Result<(), String> {
     // acceptance criteria reference; PR 2 artifacts predate them and stay
     // valid without (the committed BENCH_pr2.json is the baseline the
     // ratios divide by).
-    if matches!(root.get("schema"), Some(Json::Str(s)) if s.starts_with("sperr-bench-pr4")) {
+    if pr.is_some_and(|n| n >= 4) {
         required.extend(["speck_encode_vs_pr2", "speck_decode_vs_pr2"]);
     }
     for key in required {
         match derived.get(key).and_then(Json::as_num) {
             Some(n) if n > 0.0 => {}
             other => return Err(format!("derived.{key} missing/invalid: {other:?}")),
+        }
+    }
+    Ok(())
+}
+
+/// Schema check for a Chrome trace-event JSON file as emitted by the
+/// telemetry exporter (`--trace`): a `traceEvents` array whose entries
+/// are structurally valid `X` (complete span), `M` (metadata) or `C`
+/// (counter) events, with at least one span, at least one named thread
+/// track, and — when `required_names` is non-empty — an `X` event for
+/// every required name. Returns the first problem found.
+pub fn validate_trace_artifact(text: &str, required_names: &[&str]) -> Result<(), String> {
+    let root = parse(text)?;
+    let events =
+        root.get("traceEvents").and_then(Json::as_arr).ok_or("missing \"traceEvents\"")?;
+    if events.is_empty() {
+        return Err("\"traceEvents\" is empty".into());
+    }
+    let mut span_names: Vec<String> = Vec::new();
+    let mut thread_tracks = 0usize;
+    for (i, ev) in events.iter().enumerate() {
+        let ph = match ev.get("ph") {
+            Some(Json::Str(s)) => s.as_str(),
+            other => return Err(format!("event {i}: missing/invalid \"ph\": {other:?}")),
+        };
+        let name = match ev.get("name") {
+            Some(Json::Str(s)) => s.clone(),
+            other => return Err(format!("event {i}: missing/invalid \"name\": {other:?}")),
+        };
+        match ph {
+            "X" => {
+                for key in ["ts", "dur", "pid", "tid"] {
+                    if ev.get(key).and_then(Json::as_num).is_none() {
+                        return Err(format!("event {i} ({name}): missing numeric \"{key}\""));
+                    }
+                }
+                span_names.push(name);
+            }
+            "M" => {
+                if !matches!(
+                    name.as_str(),
+                    "process_name" | "thread_name" | "thread_sort_index"
+                ) {
+                    return Err(format!("event {i}: unknown metadata record {name:?}"));
+                }
+                if ev.get("args").is_none() {
+                    return Err(format!("event {i} ({name}): metadata without \"args\""));
+                }
+                if name == "thread_name" {
+                    thread_tracks += 1;
+                }
+            }
+            "C" => {
+                if ev.get("ts").and_then(Json::as_num).is_none() {
+                    return Err(format!("event {i} ({name}): counter without numeric \"ts\""));
+                }
+                if ev.get("args").is_none() {
+                    return Err(format!("event {i} ({name}): counter without \"args\""));
+                }
+            }
+            other => return Err(format!("event {i}: unsupported phase {other:?}")),
+        }
+    }
+    if span_names.is_empty() {
+        return Err("trace has no complete (\"X\") span events".into());
+    }
+    if thread_tracks == 0 {
+        return Err("trace has no thread_name metadata (no timeline tracks)".into());
+    }
+    for required in required_names {
+        if !span_names.iter().any(|n| n == required) {
+            return Err(format!("trace has no span named {required:?}"));
         }
     }
     Ok(())
@@ -409,6 +496,81 @@ mod tests {
             ),
         ]);
         validate_bench_artifact(&good.render()).unwrap();
+    }
+
+    #[test]
+    fn trace_validator_checks_structure_and_names() {
+        let good = r#"{
+          "displayTimeUnit": "ms",
+          "traceEvents": [
+            {"ph":"M","pid":0,"tid":0,"name":"process_name","args":{"name":"sperr"}},
+            {"ph":"M","pid":0,"tid":0,"name":"thread_name","args":{"name":"worker 0"}},
+            {"ph":"X","pid":0,"tid":0,"name":"stage.speck.encode","cat":"sperr","ts":1.5,"dur":10},
+            {"ph":"C","pid":0,"tid":0,"name":"speck.zero_runs","ts":2,"args":{"value":7}}
+          ]
+        }"#;
+        validate_trace_artifact(good, &[]).unwrap();
+        validate_trace_artifact(good, &["stage.speck.encode"]).unwrap();
+        assert!(validate_trace_artifact(good, &["stage.wavelet.forward"])
+            .unwrap_err()
+            .contains("stage.wavelet.forward"));
+        // Structural failures.
+        assert!(validate_trace_artifact("{}", &[]).is_err());
+        assert!(validate_trace_artifact(r#"{"traceEvents": []}"#, &[]).is_err());
+        // Span missing "dur".
+        let bad = r#"{"traceEvents": [
+            {"ph":"M","pid":0,"tid":0,"name":"thread_name","args":{}},
+            {"ph":"X","pid":0,"tid":0,"name":"x","ts":1}
+        ]}"#;
+        assert!(validate_trace_artifact(bad, &[]).unwrap_err().contains("dur"));
+        // No thread track.
+        let no_track = r#"{"traceEvents": [
+            {"ph":"X","pid":0,"tid":0,"name":"x","ts":1,"dur":2}
+        ]}"#;
+        assert!(validate_trace_artifact(no_track, &[]).unwrap_err().contains("thread_name"));
+        // Unknown phase.
+        let bad_ph = r#"{"traceEvents": [{"ph":"B","name":"x","ts":1}]}"#;
+        assert!(validate_trace_artifact(bad_ph, &[]).is_err());
+    }
+
+    #[test]
+    fn pr5_schema_demands_host_metadata() {
+        let build = |schema: &str, extra: Vec<(&str, Json)>| {
+            let mut pairs = vec![
+                ("schema", Json::Str(schema.into())),
+                ("host_threads", Json::Num(8.0)),
+                ("points", Json::Num(64.0)),
+                ("dims", Json::Arr(vec![Json::Num(4.0), Json::Num(4.0), Json::Num(4.0)])),
+                (
+                    "workloads",
+                    Json::Arr(vec![Json::obj(vec![
+                        ("name", Json::Str("x".into())),
+                        ("mb_per_s", Json::Num(10.0)),
+                    ])]),
+                ),
+                (
+                    "derived",
+                    Json::obj(vec![
+                        ("zaxis_blocked_vs_per_line", Json::Num(1.4)),
+                        ("pwe_8t_vs_pre_pr_1t", Json::Num(2.5)),
+                        ("speck_encode_vs_pr2", Json::Num(3.5)),
+                        ("speck_decode_vs_pr2", Json::Num(2.2)),
+                    ]),
+                ),
+            ];
+            pairs.extend(extra);
+            Json::obj(pairs).render()
+        };
+        // pr4 does not need the metadata; pr5 does.
+        assert!(validate_bench_artifact(&build("sperr-bench-pr4/v1", vec![])).is_ok());
+        assert!(validate_bench_artifact(&build("sperr-bench-pr5/v1", vec![]))
+            .unwrap_err()
+            .contains("effective_workers"));
+        assert!(validate_bench_artifact(&build(
+            "sperr-bench-pr5/v1",
+            vec![("effective_workers", Json::Num(8.0)), ("chunk_count", Json::Num(1.0))],
+        ))
+        .is_ok());
     }
 
     #[test]

@@ -13,7 +13,7 @@ pub struct Args {
 }
 
 /// Option names that take no value.
-const BOOLEAN_FLAGS: &[&str] = &["no-lossless", "help", "quiet", "verify", "verbose"];
+const BOOLEAN_FLAGS: &[&str] = &["no-lossless", "help", "quiet", "verify", "verbose", "stats"];
 
 impl Args {
     /// Parses raw argv words (without the program/subcommand names).

@@ -76,9 +76,9 @@ USAGE:
   sperr compress   --input RAW --output SPERR --dims NX,NY[,NZ] --type f32|f64
                    (--pwe T | --idx N | --bpp R | --psnr P)
                    [--chunk CX,CY,CZ] [--threads N] [--q-factor F] [--no-lossless]
-                   [--verbose]
+                   [--verbose] [--stats] [--trace FILE]
   sperr decompress --input SPERR --output RAW --type f32|f64 [--level L]
-                   [--threads N] [--verbose]
+                   [--threads N] [--verbose] [--stats] [--trace FILE]
   sperr info       --input SPERR [--verify] [--verbose]
   sperr gen        --field NAME --dims NX,NY[,NZ] --output RAW --type f32|f64 [--seed S]
   sperr eval       --original RAW --reconstructed RAW --dims NX,NY[,NZ] --type f32|f64
@@ -90,7 +90,13 @@ guarantee); --psnr targets an average error in dB.
 --verify checks the stream's integrity checksums (container v2) without
 decompressing; corrupt chunks are listed and reflected in the exit code.
 --verbose adds per-stage wall times (wavelet / SPECK / outlier detection
-and coding); for info it runs a timed decode to produce them.
+and coding / container / lossless); for info it runs a timed decode to
+produce them.
+--stats prints a telemetry summary (per-span CPU vs wall time, counters,
+per-worker utilization); --trace FILE writes Chrome trace-event JSON
+loadable in Perfetto (ui.perfetto.dev) or chrome://tracing. Both need a
+build with the `telemetry` cargo feature; without it a warning is printed
+and nothing is recorded.
 
 Exit codes: 0 ok, 1 I/O, 2 usage, 3 invalid input, 4 unsupported,
 5 corrupt stream, 6 truncated stream, 7 resource limit exceeded.
@@ -155,7 +161,99 @@ fn print_stage_times(stages: &sperr_core::StageTimes, num_points: usize) {
     row("speck", stages.speck);
     row("locate-outliers", stages.locate_outliers);
     row("outlier-coding", stages.outlier_coding);
+    row("container", stages.container);
+    row("lossless", stages.lossless);
     row("total", stages.total());
+}
+
+/// Telemetry capture around one CLI operation: `--stats` prints an
+/// aggregate summary after the run, `--trace FILE` writes Chrome
+/// trace-event JSON. Both are inert (with a warning) when the binary was
+/// built without the `telemetry` feature.
+struct TelemetryScope {
+    stats: bool,
+    trace: Option<std::path::PathBuf>,
+}
+
+impl TelemetryScope {
+    /// Reads the flags and, when either is present, opens a recording
+    /// session (or warns that the build cannot record).
+    fn begin(args: &Args) -> TelemetryScope {
+        let scope = TelemetryScope {
+            stats: args.flag("stats"),
+            trace: args.opt("trace").map(|p| Path::new(p).to_path_buf()),
+        };
+        if scope.wanted() {
+            if sperr_telemetry::is_enabled() {
+                sperr_telemetry::start();
+            } else {
+                eprintln!(
+                    "warning: this build has no `telemetry` feature; \
+                     --stats/--trace will record nothing"
+                );
+            }
+        }
+        scope
+    }
+
+    fn wanted(&self) -> bool {
+        self.stats || self.trace.is_some()
+    }
+
+    /// Stops the session and emits whatever was requested.
+    fn finish(self) -> Result<(), CliError> {
+        if !self.wanted() || !sperr_telemetry::is_enabled() {
+            return Ok(());
+        }
+        let report = sperr_telemetry::stop();
+        if let Some(path) = &self.trace {
+            std::fs::write(path, report.chrome_trace())
+                .map_err(|e| CliError::Io(e.to_string()))?;
+            println!("trace:       {} events -> {}", report.event_count(), path.display());
+        }
+        if self.stats {
+            print_telemetry_stats(&report);
+        }
+        Ok(())
+    }
+}
+
+/// The `--stats` report: per-span CPU (summed across workers) vs wall
+/// (interval union) time, counter totals and per-worker utilization.
+fn print_telemetry_stats(report: &sperr_telemetry::Report) {
+    if report.is_empty() {
+        println!("telemetry:   nothing recorded");
+        return;
+    }
+    let session_ns = report.wall_ns();
+    println!(
+        "telemetry:   session {:.3} ms wall, {} events",
+        session_ns as f64 / 1e6,
+        report.event_count()
+    );
+    println!("  {:<28} {:>7} {:>11} {:>11} {:>6}", "span", "count", "cpu ms", "wall ms", "par");
+    for s in report.span_summary() {
+        let cpu = s.cpu_ns as f64 / 1e6;
+        let wall = s.wall_ns as f64 / 1e6;
+        let par = if s.wall_ns > 0 { s.cpu_ns as f64 / s.wall_ns as f64 } else { 0.0 };
+        println!("  {:<28} {:>7} {:>11.3} {:>11.3} {:>5.2}x", s.label, s.count, cpu, wall, par);
+    }
+    let counters = report.counter_totals();
+    if !counters.is_empty() {
+        println!("  counters:");
+        for (label, total) in counters {
+            println!("    {label:<30} {total}");
+        }
+    }
+    println!("  workers:");
+    for (name, busy_ns) in report.track_busy_ns() {
+        let pct =
+            if session_ns > 0 { 100.0 * busy_ns as f64 / session_ns as f64 } else { 0.0 };
+        println!("    {name:<12} busy {:>9.3} ms  ({pct:>5.1}% of session)", busy_ns as f64 / 1e6);
+    }
+    if report.dropped > 0 {
+        println!("  dropped events: {} (ring buffers filled)", report.dropped);
+    }
 }
 
 fn build_sperr(args: &Args) -> Result<Sperr, String> {
@@ -203,7 +301,9 @@ fn cmd_compress(args: &Args) -> Result<(), CliError> {
     };
 
     let sperr = build_sperr(args)?;
+    let scope = TelemetryScope::begin(args);
     let (stream, stats) = sperr.compress_with_stats(&field, bound)?;
+    scope.finish()?;
     std::fs::write(&output, &stream).map_err(|e| CliError::Io(e.to_string()))?;
     if !args.flag("quiet") {
         let raw = field.len() * match ty { ScalarType::F32 => 4, ScalarType::F64 => 8 };
@@ -236,12 +336,14 @@ fn cmd_decompress(args: &Args) -> Result<(), CliError> {
     // Per-stage times only exist for the full-resolution path; multires
     // decode skips stages, so its timings would not be comparable.
     let verbose = args.flag("verbose") && level == 0;
+    let scope = TelemetryScope::begin(args);
     let (field, stats) = if verbose {
         let (field, stats) = sperr.decompress_with_stats(&stream)?;
         (field, Some(stats))
     } else {
         (sperr.decompress_multires(&stream, level)?, None)
     };
+    scope.finish()?;
     rawio::write_field(&output, &field, ty).map_err(|e| CliError::Io(e.to_string()))?;
     if !args.flag("quiet") {
         println!(
@@ -418,6 +520,35 @@ mod tests {
                  restored.to_str().unwrap(), "--type", "f64", "--threads", "2",
                  "--verbose"]))
             .unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stats_and_trace_flags_are_accepted() {
+        // Without the `telemetry` feature these flags warn and record
+        // nothing; with it, the trace file must be valid Chrome trace JSON
+        // naming the pipeline stages.
+        let dir = std::env::temp_dir().join("sperr_cli_telemetry_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let raw = dir.join("x.raw");
+        let packed = dir.join("x.sperr");
+        let trace = dir.join("trace.json");
+        run(&w(&["gen", "--field", "miranda-pressure", "--dims", "16,16,16",
+                 "--output", raw.to_str().unwrap(), "--type", "f64", "--quiet"]))
+            .unwrap();
+        run(&w(&["compress", "--input", raw.to_str().unwrap(), "--output",
+                 packed.to_str().unwrap(), "--dims", "16,16,16", "--type", "f64",
+                 "--idx", "12", "--stats", "--trace", trace.to_str().unwrap(),
+                 "--quiet"]))
+            .unwrap();
+        if sperr_telemetry::is_enabled() {
+            let json = std::fs::read_to_string(&trace).unwrap();
+            assert!(json.contains("\"traceEvents\""));
+            assert!(json.contains("stage.speck.encode"));
+            assert!(json.contains("stage.lossless.compress"));
+        } else {
+            assert!(!trace.exists(), "trace written by a telemetry-less build");
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -162,7 +162,13 @@ pub fn reference_chunk_pwe(
     ReferenceChunk {
         speck_stream: enc.stream,
         outlier_stream: out_enc.stream,
-        times: StageTimes { wavelet, speck, locate_outliers, outlier_coding },
+        times: StageTimes {
+            wavelet,
+            speck,
+            locate_outliers,
+            outlier_coding,
+            ..StageTimes::default()
+        },
     }
 }
 

@@ -9,8 +9,9 @@ use crate::pipeline::{
     decompress_chunk_multires, decompress_chunk_with, ChunkEncoding, ScratchArena,
 };
 use crate::pool::{PerWorker, WorkerPool};
-use crate::stats::{CompressionStats, StageTimes};
+use crate::stats::{stage_labels, CompressionStats, StageTimes};
 use sperr_compress_api::{Bound, CompressError, Field, LossyCompressor};
+use sperr_telemetry::timed;
 use sperr_wavelet::{Kernel, PANEL_W};
 
 /// Outer stream framing: one flag byte telling whether the container is
@@ -95,6 +96,20 @@ impl Sperr {
         t.min(chunks.len().max(panel_jobs)).max(1)
     }
 
+    /// The worker-pool size a run over a volume of `dims` would actually
+    /// use (thread config clamped to the available parallelism); surfaced
+    /// so benchmark artifacts can record it alongside the raw thread
+    /// count.
+    pub fn effective_workers(&self, dims: [usize; 3]) -> usize {
+        self.effective_threads(&chunk_grid(dims, self.config.chunk_dims))
+    }
+
+    /// Number of chunks a volume of `dims` partitions into under this
+    /// configuration.
+    pub fn chunk_count(&self, dims: [usize; 3]) -> usize {
+        chunk_grid(dims, self.config.chunk_dims).len()
+    }
+
     /// Compresses and returns the stream together with cost/timing
     /// statistics (the instrumentation behind Figs. 2, 4 and 6).
     pub fn compress_with_stats(
@@ -105,6 +120,7 @@ impl Sperr {
         if field.is_empty() {
             return Err(CompressError::Invalid("empty field".into()));
         }
+        let _run = sperr_telemetry::span!("sperr.compress", field.len());
         let chunks_spec = chunk_grid(field.dims, self.config.chunk_dims);
         let (mode, bound_value) = match bound {
             Bound::Pwe(t) => {
@@ -211,13 +227,18 @@ impl Sperr {
             bound_value,
             n_chunks,
         };
-        let container = write_container(&header, &encoded);
+        let (container, container_time) =
+            timed(stage_labels::CONTAINER_WRITE, || write_container(&header, &encoded));
         stats.container_bytes = container.len();
+        stats.stage_times.container = container_time;
 
         let mut out = Vec::with_capacity(container.len() + 1);
         if cfg.lossless {
+            let (packed, lossless_time) =
+                timed(stage_labels::LOSSLESS_COMPRESS, || sperr_lossless::compress(&container));
             out.push(OUTER_LOSSLESS);
-            out.extend_from_slice(&sperr_lossless::compress(&container));
+            out.extend_from_slice(&packed);
+            stats.stage_times.lossless = lossless_time;
         } else {
             out.push(OUTER_RAW);
             out.extend_from_slice(&container);
@@ -583,11 +604,18 @@ impl Sperr {
         &self,
         stream: &[u8],
     ) -> Result<(Field, CompressionStats), CompressError> {
-        let (container, _) = Self::unwrap_outer(stream)?;
-        let parsed = read_container(&container)?;
+        let _run = sperr_telemetry::span!("sperr.decompress", stream.len());
+        let (unwrapped, lossless_time) =
+            timed(stage_labels::LOSSLESS_DECOMPRESS, || Self::unwrap_outer(stream));
+        let (container, was_lossless) = unwrapped?;
         // Strict mode: any checksummed chunk failing its CRC fails the
         // whole decode (use `decompress_resilient` to salvage the rest).
-        verify_chunk_crcs(&container, &parsed)?;
+        let (parsed, container_time) = timed(stage_labels::CONTAINER_READ, || {
+            let parsed = read_container(&container)?;
+            verify_chunk_crcs(&container, &parsed)?;
+            Ok::<_, CompressError>(parsed)
+        });
+        let parsed = parsed?;
         let header = parsed.header;
         let entries = parsed.entries;
         let chunks_spec = chunk_grid(header.dims, header.chunk_dims);
@@ -647,6 +675,10 @@ impl Sperr {
             output_bytes: stream.len(),
             ..CompressionStats::default()
         };
+        if was_lossless {
+            stats.stage_times.lossless = lossless_time;
+        }
+        stats.stage_times.container = container_time;
         let mut volume = vec![0.0f64; header.dims.iter().product()];
         for (spec, result) in chunks_spec.iter().zip(decoded) {
             let (chunk, times) = result?;

@@ -60,6 +60,7 @@ mod crc32;
 mod pipeline;
 mod pool;
 mod stats;
+pub use stats::stage_labels;
 
 pub use chunk::{chunk_grid, extract_chunk, extract_chunk_into, ChunkSpec};
 pub use compressor::{

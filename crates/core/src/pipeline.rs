@@ -17,14 +17,14 @@
 //! value, and identical to the serial reference path.
 
 use crate::pool::WorkerPool;
-use crate::stats::StageTimes;
+use crate::stats::{stage_labels, StageTimes};
 use sperr_compress_api::CompressError;
 use sperr_outlier::Outlier;
 use sperr_speck::Termination;
+use sperr_telemetry::timed;
 use sperr_wavelet::{
     forward_3d_with, inverse_3d_with, levels_for_dims, Kernel, TransformScratch,
 };
-use std::time::Instant;
 
 /// Block length (in samples) for parallel elementwise sweeps. Fixed — not
 /// derived from the thread count — so that floating-point reduction order
@@ -50,13 +50,15 @@ impl ScratchArena {
     pub fn new() -> Self {
         Self::default()
     }
+}
 
-    /// Fills `coeffs` with a copy of `data` (the transform is in-place and
-    /// must not clobber the caller's input), reusing capacity.
-    fn load_coeffs(&mut self, data: &[f64]) {
-        self.coeffs.clear();
-        self.coeffs.extend_from_slice(data);
-    }
+/// Fills `coeffs` with a copy of `data` (the transform is in-place and
+/// must not clobber the caller's input), reusing capacity. Part of the
+/// wavelet stage's timed region, hence free-standing rather than a method
+/// (the arena is already destructured at the call sites).
+fn load_coeffs(coeffs: &mut Vec<f64>, data: &[f64]) {
+    coeffs.clear();
+    coeffs.extend_from_slice(data);
 }
 
 /// Everything produced by compressing one chunk.
@@ -191,32 +193,40 @@ pub fn compress_chunk_pwe_with(
     let levels = levels_for_dims(dims);
     let q = q_factor * t;
 
-    // Stage 1: forward wavelet transform.
-    let t0 = Instant::now();
-    arena.load_coeffs(data);
     let ScratchArena { coeffs, recon, wavelet } = arena;
-    forward_3d_with(coeffs, dims, levels, kernel, pool, wavelet);
-    let wavelet_time = t0.elapsed();
+
+    // Stage 1: forward wavelet transform.
+    let ((), wavelet_time) = timed(stage_labels::WAVELET_FORWARD, || {
+        load_coeffs(coeffs, data);
+        forward_3d_with(coeffs, dims, levels, kernel, pool, wavelet);
+    });
 
     // Stage 2: SPECK coding of coefficients, all planes down to q.
-    let t1 = Instant::now();
-    let enc = sperr_speck::encode(coeffs, dims, q, Termination::Quality);
-    let speck_time = t1.elapsed();
+    let (enc, speck_time) = timed(stage_labels::SPECK_ENCODE, || {
+        sperr_speck::encode(coeffs, dims, q, Termination::Quality)
+    });
+    sperr_telemetry::counter!("speck.sets_split", enc.sets_split);
+    sperr_telemetry::counter!("speck.zero_runs", enc.zero_runs);
+    sperr_telemetry::counter!("speck.significance_bits", enc.significance_bits);
+    sperr_telemetry::counter!("speck.sign_bits", enc.sign_bits);
+    sperr_telemetry::counter!("speck.refinement_bits", enc.refinement_bits);
 
     // Stage 3: locate outliers — reconstruct (quantized coefficients +
     // inverse transform) and compare with the original input.
-    let t2 = Instant::now();
-    recon.clear();
-    recon.resize(coeffs.len(), 0.0);
-    reconstruct_blocks(coeffs, q, recon, pool);
-    inverse_3d_with(recon, dims, levels, kernel, pool, wavelet);
-    let (outliers, coeff_sq_error) = scan_outliers(data, recon, t, pool);
-    let locate_time = t2.elapsed();
+    let ((outliers, coeff_sq_error), locate_time) = timed(stage_labels::OUTLIER_LOCATE, || {
+        recon.clear();
+        recon.resize(coeffs.len(), 0.0);
+        reconstruct_blocks(coeffs, q, recon, pool);
+        inverse_3d_with(recon, dims, levels, kernel, pool, wavelet);
+        scan_outliers(data, recon, t, pool)
+    });
+    sperr_telemetry::counter!("outlier.count", outliers.len());
 
     // Stage 4: encode the outliers.
-    let t3 = Instant::now();
-    let out_enc = sperr_outlier::encode(&outliers, data.len(), t);
-    let outlier_time = t3.elapsed();
+    let (out_enc, outlier_time) = timed(stage_labels::OUTLIER_ENCODE, || {
+        sperr_outlier::encode(&outliers, data.len(), t)
+    });
+    sperr_telemetry::counter!("outlier.correction_bits", out_enc.bits_used);
 
     ChunkEncoding {
         speck_stream: enc.stream,
@@ -232,6 +242,7 @@ pub fn compress_chunk_pwe_with(
             speck: speck_time,
             locate_outliers: locate_time,
             outlier_coding: outlier_time,
+            ..StageTimes::default()
         },
         coeff_sq_error,
     }
@@ -272,20 +283,20 @@ pub fn compress_chunk_bpp_with(
     arena: &mut ScratchArena,
 ) -> ChunkEncoding {
     let levels = levels_for_dims(dims);
-    let t0 = Instant::now();
-    arena.load_coeffs(data);
     let ScratchArena { coeffs, wavelet, .. } = arena;
-    forward_3d_with(coeffs, dims, levels, kernel, pool, wavelet);
-    let wavelet_time = t0.elapsed();
+    let ((), wavelet_time) = timed(stage_labels::WAVELET_FORWARD, || {
+        load_coeffs(coeffs, data);
+        forward_3d_with(coeffs, dims, levels, kernel, pool, wavelet);
+    });
 
     let max_mag = coeffs.iter().fold(0.0f64, |m, &c| m.max(c.abs()));
     // Quantization floor well below the budget's reach; degenerate
     // all-zero chunks encode to an empty stream with any positive q.
     let q = if max_mag > 0.0 { max_mag * f64::exp2(-f64::from(BPP_MODE_PLANES)) } else { 1.0 };
 
-    let t1 = Instant::now();
-    let enc = sperr_speck::encode(coeffs, dims, q, Termination::BitBudget(budget_bits));
-    let speck_time = t1.elapsed();
+    let (enc, speck_time) = timed(stage_labels::SPECK_ENCODE, || {
+        sperr_speck::encode(coeffs, dims, q, Termination::BitBudget(budget_bits))
+    });
 
     ChunkEncoding {
         speck_stream: enc.stream,
@@ -340,16 +351,16 @@ pub fn compress_chunk_rmse_with(
 ) -> ChunkEncoding {
     assert!(target_rmse > 0.0 && target_rmse.is_finite());
     let levels = levels_for_dims(dims);
-    let t0 = Instant::now();
-    arena.load_coeffs(data);
     let ScratchArena { coeffs, recon, wavelet } = arena;
-    forward_3d_with(coeffs, dims, levels, kernel, pool, wavelet);
-    let wavelet_time = t0.elapsed();
+    let ((), wavelet_time) = timed(stage_labels::WAVELET_FORWARD, || {
+        load_coeffs(coeffs, data);
+        forward_3d_with(coeffs, dims, levels, kernel, pool, wavelet);
+    });
 
     let q = target_rmse;
-    let t1 = Instant::now();
-    let enc = sperr_speck::encode(coeffs, dims, q, Termination::Quality);
-    let speck_time = t1.elapsed();
+    let (enc, speck_time) = timed(stage_labels::SPECK_ENCODE, || {
+        sperr_speck::encode(coeffs, dims, q, Termination::Quality)
+    });
 
     // Wavelet-domain quantization error ~ reconstruction error (§III-A).
     recon.clear();
@@ -470,32 +481,35 @@ pub fn decompress_chunk_with(
     arena: &mut ScratchArena,
 ) -> Result<(Vec<f64>, StageTimes), CompressError> {
     let levels = levels_for_dims(dims);
-    let t0 = Instant::now();
-    let mut coeffs = sperr_speck::decode(speck_stream, dims, q, num_planes)?;
-    let speck_time = t0.elapsed();
+    let (decoded, speck_time) = timed(stage_labels::SPECK_DECODE, || {
+        sperr_speck::decode(speck_stream, dims, q, num_planes)
+    });
+    let mut coeffs = decoded?;
 
-    let t1 = Instant::now();
-    inverse_3d_with(&mut coeffs, dims, levels, kernel, pool, &mut arena.wavelet);
-    let wavelet_time = t1.elapsed();
+    let ((), wavelet_time) = timed(stage_labels::WAVELET_INVERSE, || {
+        inverse_3d_with(&mut coeffs, dims, levels, kernel, pool, &mut arena.wavelet);
+    });
 
-    let t2 = Instant::now();
-    if !outlier_stream.is_empty() {
-        if !(tolerance > 0.0) {
-            return Err(CompressError::Corrupt(
-                "outlier stream present but tolerance missing".into(),
-            ));
-        }
-        let corrections =
-            sperr_outlier::decode(outlier_stream, coeffs.len(), tolerance, max_n)?;
-        for c in corrections {
-            if c.pos >= coeffs.len() {
-                return Err(CompressError::Corrupt("outlier position out of range".into()));
+    let (applied, outlier_time) = timed(stage_labels::OUTLIER_APPLY, || {
+        if !outlier_stream.is_empty() {
+            if !(tolerance > 0.0) {
+                return Err(CompressError::Corrupt(
+                    "outlier stream present but tolerance missing".into(),
+                ));
             }
-            // z = x̃ + corr (Eq. 1).
-            coeffs[c.pos] += c.corr;
+            let corrections =
+                sperr_outlier::decode(outlier_stream, coeffs.len(), tolerance, max_n)?;
+            for c in corrections {
+                if c.pos >= coeffs.len() {
+                    return Err(CompressError::Corrupt("outlier position out of range".into()));
+                }
+                // z = x̃ + corr (Eq. 1).
+                coeffs[c.pos] += c.corr;
+            }
         }
-    }
-    let outlier_time = t2.elapsed();
+        Ok(())
+    });
+    applied?;
 
     let times = StageTimes {
         wavelet: wavelet_time,

@@ -99,6 +99,9 @@ impl WorkerPool {
     pub fn scoped<R>(threads: usize, body: impl FnOnce(&WorkerPool) -> R) -> R {
         let threads = threads.max(1);
         let pool = WorkerPool { threads, shared: Shared::default() };
+        // The caller participates in every batch as worker slot 0; name
+        // its telemetry track accordingly (no-op without the feature).
+        sperr_telemetry::set_worker(0);
         if threads == 1 {
             return body(&pool);
         }
@@ -240,6 +243,9 @@ impl<T> SendPtr<T> {
 /// Claims and executes jobs of `batch` until its counter drains; sets the
 /// thread's job context so nested `run`s inline onto `slot`.
 fn execute_batch(batch: &Batch, slot: usize) {
+    // One span per batch per participating worker: the gaps between
+    // these spans on a worker's track are its idle time.
+    let _busy = sperr_telemetry::span!("pool.batch");
     let st = &*batch.state;
     let prev = CURRENT_SLOT.with(|c| c.replace(Some(slot)));
     loop {
@@ -260,6 +266,7 @@ fn execute_batch(batch: &Batch, slot: usize) {
 }
 
 fn worker_loop(shared: &Shared, slot: usize) {
+    sperr_telemetry::set_worker(slot);
     let mut seen_generation = 0u64;
     loop {
         let batch = {

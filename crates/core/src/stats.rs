@@ -2,7 +2,54 @@
 
 use std::time::Duration;
 
-/// Wall time spent in each pipeline stage (§V-C's four major steps).
+/// Canonical telemetry span labels for the pipeline stages, shared by the
+/// instrumentation sites (pipeline/compressor), the CLI `--stats` printer
+/// and the trace-schema checks in the bench harness. One label per
+/// [`StageTimes`] field, split by direction.
+pub mod stage_labels {
+    /// Forward wavelet transform of one chunk.
+    pub const WAVELET_FORWARD: &str = "stage.wavelet.forward";
+    /// SPECK encoding of one chunk's coefficients.
+    pub const SPECK_ENCODE: &str = "stage.speck.encode";
+    /// Outlier location: reconstruction + inverse transform + scan.
+    pub const OUTLIER_LOCATE: &str = "stage.outlier.locate";
+    /// Outlier correction encoding.
+    pub const OUTLIER_ENCODE: &str = "stage.outlier.encode";
+    /// Container serialization of the whole run.
+    pub const CONTAINER_WRITE: &str = "stage.container.write";
+    /// Lossless back end over the serialized container.
+    pub const LOSSLESS_COMPRESS: &str = "stage.lossless.compress";
+
+    /// Lossless decode of the outer framing.
+    pub const LOSSLESS_DECOMPRESS: &str = "stage.lossless.decompress";
+    /// Container parse + per-chunk CRC verification.
+    pub const CONTAINER_READ: &str = "stage.container.read";
+    /// SPECK decoding of one chunk.
+    pub const SPECK_DECODE: &str = "stage.speck.decode";
+    /// Inverse wavelet transform of one chunk.
+    pub const WAVELET_INVERSE: &str = "stage.wavelet.inverse";
+    /// Application of decoded outlier corrections.
+    pub const OUTLIER_APPLY: &str = "stage.outlier.apply";
+
+    /// Every compression-side stage, in pipeline order.
+    pub const COMPRESS: &[&str] = &[
+        WAVELET_FORWARD,
+        SPECK_ENCODE,
+        OUTLIER_LOCATE,
+        OUTLIER_ENCODE,
+        CONTAINER_WRITE,
+        LOSSLESS_COMPRESS,
+    ];
+
+    /// Every decompression-side stage, in pipeline order.
+    pub const DECOMPRESS: &[&str] =
+        &[LOSSLESS_DECOMPRESS, CONTAINER_READ, SPECK_DECODE, WAVELET_INVERSE, OUTLIER_APPLY];
+}
+
+/// Wall time spent in each pipeline stage (§V-C's four major steps, plus
+/// the container serialization and lossless back end that bracket them —
+/// with those included, `total()` reconciles with end-to-end time on a
+/// serial run).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct StageTimes {
     /// 1) forward wavelet transform.
@@ -13,12 +60,23 @@ pub struct StageTimes {
     pub locate_outliers: Duration,
     /// 4) encoding located outliers.
     pub outlier_coding: Duration,
+    /// 5) container serialization (write on compress, parse + CRC verify
+    /// on decompress). Run-level, not per-chunk.
+    pub container: Duration,
+    /// 6) lossless back end over the whole container (ZSTD stand-in).
+    /// Run-level; zero when the lossless pass is disabled.
+    pub lossless: Duration,
 }
 
 impl StageTimes {
     /// Sum of all stages.
     pub fn total(&self) -> Duration {
-        self.wavelet + self.speck + self.locate_outliers + self.outlier_coding
+        self.wavelet
+            + self.speck
+            + self.locate_outliers
+            + self.outlier_coding
+            + self.container
+            + self.lossless
     }
 
     /// Accumulates another chunk's times.
@@ -27,6 +85,8 @@ impl StageTimes {
         self.speck += other.speck;
         self.locate_outliers += other.locate_outliers;
         self.outlier_coding += other.outlier_coding;
+        self.container += other.container;
+        self.lossless += other.lossless;
     }
 }
 
@@ -122,9 +182,11 @@ mod tests {
             speck: Duration::from_millis(10),
             locate_outliers: Duration::from_millis(3),
             outlier_coding: Duration::from_millis(2),
+            container: Duration::from_millis(4),
+            lossless: Duration::from_millis(6),
         };
         let b = a;
         a.accumulate(&b);
-        assert_eq!(a.total(), Duration::from_millis(40));
+        assert_eq!(a.total(), Duration::from_millis(60));
     }
 }

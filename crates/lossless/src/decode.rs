@@ -69,6 +69,7 @@ impl From<DecodeError> for sperr_compress_api::CompressError {
 /// truncated input returns a typed error; the declared raw length is
 /// treated as untrusted and never allocated blindly.
 pub fn decompress(data: &[u8]) -> Result<Vec<u8>, DecodeError> {
+    let _span = sperr_telemetry::span!("lossless.decompress", data.len());
     let mut r = ByteReader::new(data);
     if r.get_bytes(4)? != MAGIC {
         return Err(DecodeError::Corrupt("bad SLZ1 magic"));

@@ -46,6 +46,8 @@ const BLOCK_SIZE: usize = 128 * 1024;
 /// Compresses `data`; never fails. Incompressible blocks are stored
 /// verbatim, so expansion is bounded by a few bytes per 128 KiB block.
 pub fn compress(data: &[u8]) -> Vec<u8> {
+    let _span = sperr_telemetry::span!("lossless.compress", data.len());
+    sperr_telemetry::counter!("lossless.bytes_in", data.len());
     let mut out = ByteWriter::new();
     out.put_bytes(MAGIC);
     out.put_u64(data.len() as u64);
@@ -73,7 +75,9 @@ pub fn compress(data: &[u8]) -> Vec<u8> {
         }
         offset = end;
     }
-    out.into_bytes()
+    let packed = out.into_bytes();
+    sperr_telemetry::counter!("lossless.bytes_out", packed.len());
+    packed
 }
 
 #[cfg(test)]

@@ -228,6 +228,7 @@ fn starting_exponent(t: f64, max_mag: f64) -> u8 {
 /// On caller bugs: positions out of range or duplicated, magnitudes not
 /// strictly above `t`, or a non-positive tolerance.
 pub fn encode(outliers: &[Outlier], array_len: usize, t: f64) -> EncodedOutliers {
+    let _span = sperr_telemetry::span!("outlier.encode", outliers.len());
     assert!(t > 0.0 && t.is_finite(), "tolerance must be positive and finite");
     if outliers.is_empty() {
         return EncodedOutliers { stream: Vec::new(), max_n: 0, bits_used: 0, num_outliers: 0 };

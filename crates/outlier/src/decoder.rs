@@ -257,6 +257,7 @@ pub fn decode(
     t: f64,
     max_n: u8,
 ) -> Result<Vec<Outlier>, DecodeError> {
+    let _span = sperr_telemetry::span!("outlier.decode");
     if !(t > 0.0) || !t.is_finite() {
         return Err(DecodeError::Corrupt("tolerance must be positive and finite"));
     }

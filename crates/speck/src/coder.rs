@@ -37,6 +37,12 @@ pub struct EncodedSpeck {
     pub sign_bits: usize,
     /// Bits spent on refinement (bit type 3).
     pub refinement_bits: usize,
+    /// Significant sets split into children during encoding. Zero on the
+    /// reference path, which does not track structural statistics.
+    pub sets_split: usize,
+    /// Guaranteed-zero significance runs emitted as bulk writes (the
+    /// word-granular fast path; zero on the reference path).
+    pub zero_runs: usize,
 }
 
 /// Quantizes `|c| / q` with floor, saturating at 2^62 so downstream shifts
@@ -172,6 +178,8 @@ struct Encoder<'a, const D: usize, const CHECKED: bool> {
     significance_bits: usize,
     sign_bits: usize,
     refinement_bits: usize,
+    sets_split: usize,
+    zero_runs: usize,
 }
 
 impl<'a, const D: usize, const CHECKED: bool> Encoder<'a, D, CHECKED> {
@@ -197,6 +205,7 @@ impl<'a, const D: usize, const CHECKED: bool> Encoder<'a, D, CHECKED> {
         if run == 0 {
             return Ok(());
         }
+        self.zero_runs += 1;
         if CHECKED {
             let room = self.budget - self.out.len_bits();
             if run > room {
@@ -290,6 +299,7 @@ impl<'a, const D: usize, const CHECKED: bool> Encoder<'a, D, CHECKED> {
     /// query — after which every future significance test on the child
     /// (one per plane while it waits in the LIS) is a compare.
     fn code_s(&mut self, set: &SetS<D>, n: u32) -> Result<(), Stop> {
+        self.sets_split += 1;
         let mut children = [*set; 8];
         let mut count = 0usize;
         set.split(|c| {
@@ -342,6 +352,7 @@ impl<'a, const D: usize, const CHECKED: bool> Encoder<'a, D, CHECKED> {
 
     fn run(&mut self, num_planes: u8) {
         for n in (0..num_planes as u32).rev() {
+            let _plane = sperr_telemetry::span!("speck.encode.plane", n);
             if self.sorting_pass(n).is_err() {
                 return;
             }
@@ -376,6 +387,8 @@ fn encode_with<const D: usize, const CHECKED: bool>(
         significance_bits: 0,
         sign_bits: 0,
         refinement_bits: 0,
+        sets_split: 0,
+        zero_runs: 0,
     };
     enc.run(num_planes);
     let bits_used = enc.out.len_bits();
@@ -383,6 +396,8 @@ fn encode_with<const D: usize, const CHECKED: bool>(
         significance_bits: enc.significance_bits,
         sign_bits: enc.sign_bits,
         refinement_bits: enc.refinement_bits,
+        sets_split: enc.sets_split,
+        zero_runs: enc.zero_runs,
         stream: enc.out.into_bytes(),
         num_planes,
         bits_used,
@@ -413,6 +428,8 @@ pub fn encode<const D: usize>(
             significance_bits: 0,
             sign_bits: 0,
             refinement_bits: 0,
+            sets_split: 0,
+            zero_runs: 0,
         };
     }
 

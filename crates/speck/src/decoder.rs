@@ -315,6 +315,7 @@ pub fn decode<const D: usize>(
         input: BitReader::new(stream),
     };
     'planes: for n in (0..num_planes as u32).rev() {
+        let _plane = sperr_telemetry::span!("speck.decode.plane", n);
         if dec.sorting_pass(n).is_err() {
             break 'planes;
         }

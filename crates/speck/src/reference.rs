@@ -139,6 +139,8 @@ pub fn encode<const D: usize>(
             significance_bits: 0,
             sign_bits: 0,
             refinement_bits: 0,
+            sets_split: 0,
+            zero_runs: 0,
         };
     }
     let num_planes = (64 - max_k.leading_zeros()) as u8;
@@ -176,6 +178,10 @@ pub fn encode<const D: usize>(
         significance_bits: enc.significance_bits,
         sign_bits: enc.sign_bits,
         refinement_bits: enc.refinement_bits,
+        // Structural statistics are a production-path concern; the oracle
+        // only compares streams and bit-type counters.
+        sets_split: 0,
+        zero_runs: 0,
         stream: enc.out.into_bytes(),
         num_planes,
         bits_used,

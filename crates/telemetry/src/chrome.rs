@@ -1,0 +1,153 @@
+//! Chrome trace-event JSON exporter. The output loads directly in
+//! Perfetto (ui.perfetto.dev) or chrome://tracing: one `tid` per
+//! recorded track, `X` (complete) events for spans, `C` events for
+//! counters, and `M` metadata events naming the tracks. Timestamps are
+//! microseconds relative to the session start, as the format requires.
+
+use crate::report::Report;
+
+pub(crate) fn render(report: &Report) -> String {
+    let mut out = String::with_capacity(256 + report.event_count() * 96);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+
+    push_event(&mut out, &mut first, |e| {
+        e.push_str("{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"process_name\",");
+        e.push_str("\"args\":{\"name\":\"sperr\"}}");
+    });
+
+    for (tid, track) in report.tracks.iter().enumerate() {
+        push_event(&mut out, &mut first, |e| {
+            e.push_str(&format!(
+                "{{\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\"name\":\"thread_name\",\"args\":{{\"name\":\"{}\"}}}}",
+                escape(&track.name)
+            ));
+        });
+        push_event(&mut out, &mut first, |e| {
+            // Order tracks workers-first in the viewer, matching the report.
+            let sort_index = track.worker.map(|w| w as i64).unwrap_or(1_000_000 + tid as i64);
+            e.push_str(&format!(
+                "{{\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\"name\":\"thread_sort_index\",\"args\":{{\"sort_index\":{sort_index}}}}}",
+            ));
+        });
+
+        for span in &track.spans {
+            push_event(&mut out, &mut first, |e| {
+                e.push_str(&format!(
+                    "{{\"ph\":\"X\",\"pid\":0,\"tid\":{tid},\"name\":\"{}\",\"cat\":\"sperr\",\"ts\":{},\"dur\":{}",
+                    escape(span.label),
+                    micros(span.start_ns.saturating_sub(report.t0_ns)),
+                    micros(span.dur_ns),
+                ));
+                if let Some(value) = span.value {
+                    e.push_str(&format!(",\"args\":{{\"v\":{value}}}"));
+                }
+                e.push('}');
+            });
+        }
+        for counter in &track.counters {
+            push_event(&mut out, &mut first, |e| {
+                e.push_str(&format!(
+                    "{{\"ph\":\"C\",\"pid\":0,\"tid\":{tid},\"name\":\"{}\",\"ts\":{},\"args\":{{\"value\":{}}}}}",
+                    escape(counter.label),
+                    micros(counter.t_ns.saturating_sub(report.t0_ns)),
+                    counter.value,
+                ));
+            });
+        }
+    }
+
+    out.push_str("]}");
+    out
+}
+
+fn push_event(out: &mut String, first: &mut bool, write: impl FnOnce(&mut String)) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    write(out);
+}
+
+/// Nanoseconds → microseconds with sub-µs precision preserved.
+fn micros(ns: u64) -> String {
+    if ns % 1000 == 0 {
+        format!("{}", ns / 1000)
+    } else {
+        format!("{}.{:03}", ns / 1000, ns % 1000)
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut escaped = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => escaped.push_str("\\\""),
+            '\\' => escaped.push_str("\\\\"),
+            c if (c as u32) < 0x20 => escaped.push_str(&format!("\\u{:04x}", c as u32)),
+            c => escaped.push(c),
+        }
+    }
+    escaped
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::report::{CounterEvent, Report, Span, Track};
+
+    #[test]
+    fn renders_all_event_kinds() {
+        let report = Report {
+            t0_ns: 1_000,
+            t1_ns: 100_000,
+            tracks: vec![Track {
+                name: "worker 0".to_string(),
+                worker: Some(0),
+                spans: vec![Span {
+                    label: "stage.speck.encode",
+                    start_ns: 2_500,
+                    dur_ns: 10_000,
+                    depth: 0,
+                    value: Some(7),
+                }],
+                counters: vec![CounterEvent { label: "speck.sets_split", t_ns: 3_000, value: 42 }],
+            }],
+            dropped: 0,
+        };
+        let json = report.chrome_trace();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"M\""));
+        assert!(json.contains("\"thread_name\""));
+        assert!(json.contains("\"worker 0\""));
+        // 2500 ns after t0=1000 ns → 1.5 µs.
+        assert!(json.contains("\"ph\":\"X\",\"pid\":0,\"tid\":0,\"name\":\"stage.speck.encode\",\"cat\":\"sperr\",\"ts\":1.500,\"dur\":10"));
+        assert!(json.contains("\"args\":{\"v\":7}"));
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("\"args\":{\"value\":42}"));
+    }
+
+    #[test]
+    fn empty_report_is_still_valid_json_shape() {
+        let json = Report::default().chrome_trace();
+        assert!(json.contains("\"traceEvents\":["));
+        assert!(json.contains("process_name"));
+    }
+
+    #[test]
+    fn escapes_label_metacharacters() {
+        let report = Report {
+            t0_ns: 0,
+            t1_ns: 10,
+            tracks: vec![Track {
+                name: "a\"b\\c".to_string(),
+                worker: None,
+                spans: Vec::new(),
+                counters: Vec::new(),
+            }],
+            dropped: 0,
+        };
+        let json = report.chrome_trace();
+        assert!(json.contains("a\\\"b\\\\c"));
+    }
+}

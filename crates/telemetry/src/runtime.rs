@@ -1,0 +1,377 @@
+//! The recording runtime behind the `enabled` feature: per-thread
+//! bounded ring buffers, a global registry, and the start/stop session
+//! machinery that drains rings into a [`Report`].
+//!
+//! Concurrency model: each ring has exactly one writer (its owning
+//! thread). `len` is the publication point — the writer stores a slot
+//! and then bumps `len` with `Release`; the drain loads `len` with
+//! `Acquire` and only reads slots below it, so a slot is never read
+//! while it is being written. When a ring fills up, further events are
+//! dropped and counted ([`Report::dropped`]) instead of blocking or
+//! allocating; a drop can orphan a span's exit event, in which case the
+//! span is closed at session end during pairing. There is a benign race
+//! at session boundaries (a thread that loaded the recording flag just
+//! before `stop()` may land one more event); since sessions bracket
+//! whole pipeline runs and `start()` resets every ring, this cannot leak
+//! events across sessions in practice.
+
+use std::cell::{Cell, OnceCell, UnsafeCell};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+use crate::report::{CounterEvent, Report, Span, Track};
+
+/// Events per thread before overflow. 64 Ki events × 40 B ≈ 2.5 MiB per
+/// recorded thread — enough for hundreds of chunks of per-stage,
+/// per-axis, and per-bitplane spans.
+const RING_CAPACITY: usize = 1 << 16;
+
+const K_ENTER: u8 = 0;
+const K_EXIT: u8 = 1;
+const K_COUNTER: u8 = 2;
+
+/// Sentinel for "span has no numeric payload".
+const NO_VALUE: u64 = u64::MAX;
+
+#[derive(Clone, Copy)]
+struct Event {
+    t_ns: u64,
+    value: u64,
+    label: &'static str,
+    kind: u8,
+}
+
+struct Ring {
+    slots: Box<[UnsafeCell<Event>]>,
+    /// Number of published slots. Written only by the owning thread.
+    len: AtomicUsize,
+    /// Events discarded because the ring was full.
+    dropped: AtomicUsize,
+    /// Worker slot + 1 as reported via [`set_worker`]; 0 = unnamed.
+    worker: AtomicUsize,
+}
+
+// SAFETY: slots are written only by the owning thread and read by the
+// drain strictly below the Acquire-loaded `len`, which the writer bumps
+// with Release only after the slot write completes.
+unsafe impl Send for Ring {}
+unsafe impl Sync for Ring {}
+
+impl Ring {
+    fn new(worker: usize) -> Ring {
+        let blank = Event { t_ns: 0, value: 0, label: "", kind: K_COUNTER };
+        let slots: Vec<UnsafeCell<Event>> =
+            (0..RING_CAPACITY).map(|_| UnsafeCell::new(blank)).collect();
+        Ring {
+            slots: slots.into_boxed_slice(),
+            len: AtomicUsize::new(0),
+            dropped: AtomicUsize::new(0),
+            worker: AtomicUsize::new(worker),
+        }
+    }
+
+    #[inline]
+    fn push(&self, ev: Event) {
+        let i = self.len.load(Ordering::Relaxed);
+        if i >= RING_CAPACITY {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        // SAFETY: only the owning thread writes, and slot `i` is not yet
+        // published (len is still `i`).
+        unsafe { *self.slots[i].get() = ev };
+        self.len.store(i + 1, Ordering::Release);
+    }
+
+    fn snapshot(&self) -> (Vec<Event>, usize, usize) {
+        let n = self.len.load(Ordering::Acquire).min(RING_CAPACITY);
+        // SAFETY: slots below the Acquire-loaded `len` are fully written.
+        let events = (0..n).map(|i| unsafe { *self.slots[i].get() }).collect();
+        (events, self.dropped.load(Ordering::Relaxed), self.worker.load(Ordering::Relaxed))
+    }
+}
+
+static RECORDING: AtomicBool = AtomicBool::new(false);
+static SESSION_T0: AtomicU64 = AtomicU64::new(0);
+static REGISTRY: Mutex<Vec<Arc<Ring>>> = Mutex::new(Vec::new());
+static ANCHOR: OnceLock<Instant> = OnceLock::new();
+
+#[inline]
+fn now_ns() -> u64 {
+    ANCHOR.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+fn lock_registry() -> MutexGuard<'static, Vec<Arc<Ring>>> {
+    REGISTRY.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+thread_local! {
+    /// Worker slot + 1 announced before the thread's ring exists (the
+    /// pool names its threads up front; the ring is only allocated on
+    /// the first recorded event, so an instrumented build that never
+    /// records never allocates).
+    static WORKER_HINT: Cell<usize> = const { Cell::new(0) };
+    static RING: OnceCell<Arc<Ring>> = const { OnceCell::new() };
+}
+
+fn register_ring() -> Arc<Ring> {
+    let ring = Arc::new(Ring::new(WORKER_HINT.with(|c| c.get())));
+    lock_registry().push(Arc::clone(&ring));
+    ring
+}
+
+#[inline]
+fn push_event(kind: u8, label: &'static str, value: u64) {
+    if !RECORDING.load(Ordering::Relaxed) {
+        return;
+    }
+    let t_ns = now_ns();
+    RING.with(|cell| {
+        cell.get_or_init(register_ring).push(Event { t_ns, value, label, kind });
+    });
+}
+
+/// Scoped span handle: records an enter event at construction and an
+/// exit event when dropped. Spans nest; pairing relies on drop order.
+pub struct SpanGuard {
+    label: &'static str,
+}
+
+impl SpanGuard {
+    #[inline]
+    pub fn new(label: &'static str) -> SpanGuard {
+        push_event(K_ENTER, label, NO_VALUE);
+        SpanGuard { label }
+    }
+
+    #[inline]
+    pub fn with_value(label: &'static str, value: u64) -> SpanGuard {
+        push_event(K_ENTER, label, if value == NO_VALUE { NO_VALUE - 1 } else { value });
+        SpanGuard { label }
+    }
+}
+
+impl Drop for SpanGuard {
+    #[inline]
+    fn drop(&mut self) {
+        push_event(K_EXIT, self.label, NO_VALUE);
+    }
+}
+
+/// Adds `value` to the named counter.
+#[inline]
+pub fn add_counter(label: &'static str, value: u64) {
+    push_event(K_COUNTER, label, value);
+}
+
+/// Names the calling thread's timeline track after a worker slot.
+/// Cheap and callable whether or not a session is active.
+pub fn set_worker(slot: usize) {
+    WORKER_HINT.with(|c| c.set(slot + 1));
+    RING.with(|cell| {
+        if let Some(ring) = cell.get() {
+            ring.worker.store(slot + 1, Ordering::Relaxed);
+        }
+    });
+}
+
+/// True while a recording session is active.
+#[inline]
+pub fn is_recording() -> bool {
+    RECORDING.load(Ordering::Relaxed)
+}
+
+/// Begins a recording session: prunes rings whose threads have exited,
+/// resets the survivors, and opens the gate.
+pub fn start() {
+    let mut registry = lock_registry();
+    // A ring whose owning thread is gone has strong_count == 1 (the
+    // registry's own reference); keeping it would only accumulate dead
+    // tracks and memory across sessions.
+    registry.retain(|ring| Arc::strong_count(ring) > 1);
+    for ring in registry.iter() {
+        ring.dropped.store(0, Ordering::Relaxed);
+        ring.len.store(0, Ordering::Release);
+    }
+    SESSION_T0.store(now_ns(), Ordering::Relaxed);
+    RECORDING.store(true, Ordering::Release);
+}
+
+/// Ends the session and drains every ring into a [`Report`]. Tracks are
+/// ordered workers-first (by slot), then unnamed threads.
+pub fn stop() -> Report {
+    RECORDING.store(false, Ordering::Release);
+    let t1_ns = now_ns();
+    let t0_ns = SESSION_T0.load(Ordering::Relaxed);
+    let registry = lock_registry();
+
+    let mut tracks = Vec::new();
+    let mut dropped = 0u64;
+    let mut unnamed = 0usize;
+    for ring in registry.iter() {
+        let (events, drops, worker) = ring.snapshot();
+        dropped += drops as u64;
+        if events.is_empty() {
+            continue;
+        }
+        let (spans, counters) = pair_events(&events, t1_ns);
+        let (name, worker_slot) = if worker > 0 {
+            (format!("worker {}", worker - 1), Some(worker - 1))
+        } else {
+            unnamed += 1;
+            (format!("thread {unnamed}"), None)
+        };
+        tracks.push(Track { name, worker: worker_slot, spans, counters });
+    }
+    tracks.sort_by_key(|t| (t.worker.is_none(), t.worker, t.name.clone()));
+    Report { t0_ns, t1_ns, tracks, dropped }
+}
+
+/// Folds a thread's raw event list into completed spans (via a nesting
+/// stack — guards guarantee LIFO order per thread) and counter events.
+/// Unmatched enters (still open at session end, or whose exit was
+/// dropped on overflow) are closed at `t_end`; unmatched exits (session
+/// started mid-span) are ignored.
+fn pair_events(events: &[Event], t_end: u64) -> (Vec<Span>, Vec<CounterEvent>) {
+    let mut stack: Vec<(&'static str, u64, u64)> = Vec::new();
+    let mut spans = Vec::new();
+    let mut counters = Vec::new();
+    for ev in events {
+        match ev.kind {
+            K_ENTER => stack.push((ev.label, ev.t_ns, ev.value)),
+            K_EXIT => {
+                if let Some((label, start_ns, value)) = stack.pop() {
+                    spans.push(Span {
+                        label,
+                        start_ns,
+                        dur_ns: ev.t_ns.saturating_sub(start_ns),
+                        depth: stack.len() as u16,
+                        value: (value != NO_VALUE).then_some(value),
+                    });
+                }
+            }
+            _ => counters.push(CounterEvent { label: ev.label, t_ns: ev.t_ns, value: ev.value }),
+        }
+    }
+    while let Some((label, start_ns, value)) = stack.pop() {
+        spans.push(Span {
+            label,
+            start_ns,
+            dur_ns: t_end.saturating_sub(start_ns),
+            depth: stack.len() as u16,
+            value: (value != NO_VALUE).then_some(value),
+        });
+    }
+    spans.sort_by_key(|s| (s.start_ns, s.depth));
+    (spans, counters)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Sessions are global; tests that record must not interleave.
+    fn session_lock() -> MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    #[test]
+    fn spans_and_counters_round_trip() {
+        let _serial = session_lock();
+        start();
+        {
+            let _outer = crate::span!("outer");
+            {
+                let _inner = crate::span!("inner", 3);
+            }
+            crate::counter!("widgets", 5);
+            crate::counter!("widgets", 7);
+        }
+        let report = stop();
+        assert_eq!(report.tracks.len(), 1);
+        let spans = &report.tracks[0].spans;
+        assert_eq!(spans.len(), 2);
+        let outer = spans.iter().find(|s| s.label == "outer").unwrap();
+        let inner = spans.iter().find(|s| s.label == "inner").unwrap();
+        assert_eq!(outer.depth, 0);
+        assert_eq!(inner.depth, 1);
+        assert_eq!(inner.value, Some(3));
+        assert!(inner.start_ns >= outer.start_ns);
+        assert!(inner.start_ns + inner.dur_ns <= outer.start_ns + outer.dur_ns);
+        assert_eq!(report.counter_totals(), vec![("widgets", 12)]);
+    }
+
+    #[test]
+    fn nothing_recorded_outside_sessions() {
+        let _serial = session_lock();
+        // Make sure no session is active, emit events, then check the
+        // next session starts empty.
+        let _ = stop();
+        {
+            let _g = crate::span!("ghost");
+            crate::counter!("ghost.counter", 1);
+        }
+        start();
+        let report = stop();
+        let total_events: usize =
+            report.tracks.iter().map(|t| t.spans.len() + t.counters.len()).sum();
+        assert_eq!(total_events, 0);
+    }
+
+    #[test]
+    fn worker_threads_become_named_tracks() {
+        let _serial = session_lock();
+        start();
+        std::thread::scope(|scope| {
+            for slot in 1..3usize {
+                scope.spawn(move || {
+                    set_worker(slot);
+                    let _g = crate::span!("pool.batch");
+                });
+            }
+            set_worker(0);
+            let _g = crate::span!("pool.batch");
+        });
+        let report = stop();
+        let workers: Vec<Option<usize>> = report.tracks.iter().map(|t| t.worker).collect();
+        assert!(workers.contains(&Some(0)));
+        assert!(workers.contains(&Some(1)));
+        assert!(workers.contains(&Some(2)));
+        // Workers-first ordering, ascending slots.
+        assert_eq!(report.tracks[0].worker, Some(0));
+        assert!(report.tracks.iter().all(|t| t.name.starts_with("worker ")));
+    }
+
+    #[test]
+    fn sessions_reset_between_runs() {
+        let _serial = session_lock();
+        start();
+        {
+            let _g = crate::span!("first.session");
+        }
+        let first = stop();
+        assert!(first.has_span("first.session"));
+        start();
+        {
+            let _g = crate::span!("second.session");
+        }
+        let second = stop();
+        assert!(second.has_span("second.session"));
+        assert!(!second.has_span("first.session"));
+    }
+
+    #[test]
+    fn open_spans_are_closed_at_session_end() {
+        let _serial = session_lock();
+        start();
+        let guard = crate::span!("left.open");
+        let report = stop();
+        drop(guard); // exit lands after the gate closed; ignored
+        assert!(report.has_span("left.open"));
+        let track = &report.tracks[0];
+        let span = track.spans.iter().find(|s| s.label == "left.open").unwrap();
+        assert!(span.start_ns + span.dur_ns <= report.t1_ns);
+    }
+}

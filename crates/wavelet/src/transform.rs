@@ -24,6 +24,12 @@
 use crate::exec::{LineExecutor, Serial, TransformScratch, WorkerScratch, PANEL_W};
 use crate::kernels::Kernel;
 
+/// Telemetry labels for per-axis lifting passes (span value = level).
+/// The `reference` module is deliberately not instrumented: it is the
+/// bit-identity oracle and its perf profile should stay untouched.
+const FWD_AXIS_SPAN: [&str; 3] = ["wavelet.fwd.x", "wavelet.fwd.y", "wavelet.fwd.z"];
+const INV_AXIS_SPAN: [&str; 3] = ["wavelet.inv.x", "wavelet.inv.y", "wavelet.inv.z"];
+
 /// Number of recursive transform passes for an axis of length `n`:
 /// `min(6, ⌊log2 n⌋ − 2)`, clamped to 0 for short axes (paper §III-A).
 pub fn num_levels(n: usize) -> usize {
@@ -131,6 +137,7 @@ pub fn forward_3d_with(
     for level in 0..max_levels {
         for axis in 0..3 {
             if level < levels[axis] && cur[axis] >= 2 {
+                let _pass = sperr_telemetry::span!(FWD_AXIS_SPAN[axis], level);
                 apply_axis_blocked(data, dims, cur, axis, kernel, true, exec, scratch);
                 cur[axis] = approx_len(cur[axis]);
             }
@@ -207,6 +214,7 @@ pub fn inverse_3d_partial_with(
             continue;
         }
         cur[axis] = len_before;
+        let _pass = sperr_telemetry::span!(INV_AXIS_SPAN[axis], level);
         apply_axis_blocked(data, dims, cur, axis, kernel, false, exec, scratch);
     }
 }

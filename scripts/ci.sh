@@ -56,6 +56,7 @@ echo "==> tracked bench artifacts are well-formed"
 # The committed baselines must parse and carry their expected schemas.
 target/release/hotpath --check BENCH_pr2.json
 target/release/hotpath --check BENCH_pr4.json
+target/release/hotpath --check BENCH_pr5.json
 
 echo "==> soft perf gate (non-fatal)"
 # Compare the smoke run's derived speedup ratios against the committed
@@ -66,6 +67,35 @@ echo "==> soft perf gate (non-fatal)"
 # stream stability of the overhauled SPECK/outlier coders is enforced
 # hard by `sperr-conformance check` + the golden governance step above
 # (the goldens exercise every coder path and fail on any byte change).
-target/release/hotpath --perf-gate target/bench_smoke.json BENCH_pr4.json
+target/release/hotpath --perf-gate target/bench_smoke.json BENCH_pr5.json
+
+echo "==> telemetry matrix: rebuild with the feature compiled in"
+# Everything above ran with telemetry compiled OUT (the default, and the
+# configuration whose perf numbers we track). Now flip the feature on and
+# prove observability changes nothing except what it reports.
+# (The feature-off workspace build is the first step of this script.)
+cargo build --workspace --release --features telemetry
+
+echo "==> telemetry on: goldens stay byte-identical"
+# The telemetry-enabled decoder/encoder must produce the exact committed
+# golden streams — instrumenting the pipeline may not perturb output.
+target/release/sperr-conformance check
+
+echo "==> telemetry on: identity, overhead and trace-coverage tests"
+cargo test --quiet --features telemetry --test telemetry
+
+echo "==> telemetry on: --stats/--trace smoke on a 128^3 PWE run"
+# End-to-end acceptance: a traced CLI compression emits Chrome trace JSON
+# with a span for every compress stage and per-worker timeline tracks.
+target/release/sperr gen --field miranda-density --dims 128,128,128 \
+    --output /tmp/ci_trace_input.f64 --type f64 --quiet
+target/release/sperr compress --input /tmp/ci_trace_input.f64 \
+    --output /tmp/ci_trace_out.sperr --dims 128,128,128 --type f64 \
+    --idx 13 --chunk 64,64,64 --threads 8 \
+    --stats --trace /tmp/ci_trace.json --quiet
+target/release/hotpath --check-trace /tmp/ci_trace.json \
+    stage.wavelet.forward stage.speck.encode stage.outlier.locate \
+    stage.outlier.encode stage.container.write stage.lossless.compress
+rm -f /tmp/ci_trace_input.f64 /tmp/ci_trace_out.sperr /tmp/ci_trace.json
 
 echo "CI OK"

@@ -1,0 +1,169 @@
+//! Telemetry-observability guarantees (compiled only with the
+//! `telemetry` feature; `scripts/ci.sh` runs this target explicitly):
+//!
+//! 1. Recording MUST NOT change compressed output — streams are
+//!    byte-identical with a telemetry session active vs. inactive, over
+//!    the conformance corpus and over random fields (property test).
+//! 2. The recording overhead on a 64³ hot-path workload stays under 2%.
+//! 3. A traced run produces Chrome trace-event JSON with a span for
+//!    every compress-side pipeline stage and one track per pool worker.
+#![cfg(feature = "telemetry")]
+
+use proptest::prelude::*;
+use sperr_compress_api::{Bound, Field, LossyCompressor};
+use sperr_core::{stage_labels, Sperr, SperrConfig};
+use std::sync::{Mutex, OnceLock};
+
+/// Telemetry sessions are process-global; every test that starts one
+/// holds this lock so parallel test threads cannot interleave sessions.
+fn session_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// The conformance goldens' compressor configuration.
+fn golden_sperr() -> Sperr {
+    Sperr::new(SperrConfig {
+        chunk_dims: [16, 16, 16],
+        num_threads: 1,
+        ..SperrConfig::default()
+    })
+}
+
+fn compress_recorded(sperr: &Sperr, field: &Field, bound: Bound) -> Vec<u8> {
+    sperr_telemetry::start();
+    let stream = sperr.compress(field, bound).unwrap();
+    let report = sperr_telemetry::stop();
+    assert!(!report.is_empty(), "session recorded nothing");
+    stream
+}
+
+#[test]
+fn corpus_streams_identical_with_recording_on_and_off() {
+    let _guard = session_lock();
+    let sperr = golden_sperr();
+    for input in sperr_conformance::corpus::corpus_inputs() {
+        let field = input.generate();
+        for bound in [Bound::Pwe(field.tolerance_for_idx(15)), Bound::Bpp(2.0)] {
+            let quiet = sperr.compress(&field, bound).unwrap();
+            let recorded = compress_recorded(&sperr, &field, bound);
+            assert_eq!(
+                quiet, recorded,
+                "{}: stream bytes differ when telemetry records ({bound:?})",
+                input.id
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_field_streams_identical_with_recording(
+        (nx, ny, nz) in (2usize..=12, 2usize..=12, 1usize..=8),
+        seed in 0u64..1000,
+        idx in 4u32..24,
+    ) {
+        let _guard = session_lock();
+        let n = nx * ny * nz;
+        // Cheap deterministic pseudo-random field from the seed.
+        let data: Vec<f64> = (0..n)
+            .map(|i| {
+                let x = (i as u64).wrapping_mul(6364136223846793005).wrapping_add(seed);
+                ((x >> 11) as f64 / (1u64 << 53) as f64 - 0.5) * 2e4
+            })
+            .collect();
+        let field = Field::new([nx, ny, nz], data);
+        let t = field.range() / f64::exp2(idx as f64);
+        prop_assume!(t > 0.0);
+        let sperr = golden_sperr();
+        let quiet = sperr.compress(&field, Bound::Pwe(t)).unwrap();
+        let recorded = compress_recorded(&sperr, &field, Bound::Pwe(t));
+        prop_assert_eq!(quiet, recorded);
+    }
+}
+
+#[test]
+fn recording_overhead_stays_under_two_percent() {
+    let _guard = session_lock();
+    let dims = [64usize, 64, 64];
+    let field = sperr_datagen::SyntheticField::MirandaDensity.generate(dims, 20230512);
+    let t = field.range() * 1e-4;
+    let sperr = Sperr::new(SperrConfig {
+        chunk_dims: dims,
+        lossless: false,
+        num_threads: 1,
+        ..SperrConfig::default()
+    });
+    // Warm-up (page in buffers, JIT nothing — just allocator growth).
+    sperr.compress(&field, Bound::Pwe(t)).unwrap();
+    // Alternate recording-off and recording-on reps and take the best of
+    // each, so slow-host noise hits both sides equally.
+    let reps = 7;
+    let mut best_off = std::time::Duration::MAX;
+    let mut best_on = std::time::Duration::MAX;
+    for _ in 0..reps {
+        let t0 = std::time::Instant::now();
+        sperr.compress(&field, Bound::Pwe(t)).unwrap();
+        best_off = best_off.min(t0.elapsed());
+
+        sperr_telemetry::start();
+        let t0 = std::time::Instant::now();
+        sperr.compress(&field, Bound::Pwe(t)).unwrap();
+        best_on = best_on.min(t0.elapsed());
+        sperr_telemetry::stop();
+    }
+    // <2% slowdown, with a small absolute floor so timer granularity on
+    // very fast debug-skipping runs cannot produce false failures.
+    let limit = best_off.mul_f64(1.02) + std::time::Duration::from_millis(2);
+    assert!(
+        best_on <= limit,
+        "telemetry recording overhead too high: off {:?}, on {:?}",
+        best_off,
+        best_on
+    );
+}
+
+#[test]
+fn trace_covers_all_stages_and_worker_tracks() {
+    let _guard = session_lock();
+    let dims = [32usize, 32, 32];
+    let field = sperr_datagen::SyntheticField::MirandaPressure.generate(dims, 7);
+    let t = field.range() * 1e-4;
+    // 8 chunks across 4 workers: the pool fans out, so the report must
+    // carry one named track per worker slot.
+    let threads = 4;
+    let sperr = Sperr::new(SperrConfig {
+        chunk_dims: [16, 16, 16],
+        num_threads: threads,
+        ..SperrConfig::default()
+    });
+    sperr_telemetry::start();
+    let stream = sperr.compress(&field, Bound::Pwe(t)).unwrap();
+    sperr.decompress(&stream).unwrap();
+    let report = sperr_telemetry::stop();
+
+    for label in stage_labels::COMPRESS.iter().chain(stage_labels::DECOMPRESS) {
+        assert!(report.has_span(label), "no span recorded for stage {label}");
+    }
+    let worker_tracks: Vec<usize> =
+        report.tracks.iter().filter_map(|track| track.worker).collect();
+    for slot in 0..threads {
+        assert!(
+            worker_tracks.contains(&slot),
+            "no timeline track for worker {slot} (have {worker_tracks:?})"
+        );
+    }
+
+    // The rendered Chrome trace passes the bench harness's schema check,
+    // including every stage label of both directions.
+    let all_labels: Vec<&str> = stage_labels::COMPRESS
+        .iter()
+        .chain(stage_labels::DECOMPRESS)
+        .copied()
+        .collect();
+    sperr_bench::json::validate_trace_artifact(&report.chrome_trace(), &all_labels).unwrap();
+}
