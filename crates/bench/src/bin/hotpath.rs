@@ -19,9 +19,12 @@
 //! * a BPP (size-bounded) workload and decompression.
 //!
 //! `--check FILE` validates an artifact instead of benchmarking (CI uses
-//! this to fail on malformed JSON). `--perf-gate NEW BASELINE` compares
-//! the derived ratios of two artifacts and prints a loud, non-fatal
-//! warning when any regressed by more than 20% (CI's soft perf gate).
+//! this to fail on malformed JSON). `--perf-gate NEW BASELINE...`
+//! compares the derived ratios of an artifact against the *best* value
+//! each ratio ever reached across one or more historical baseline
+//! artifacts, prints the full per-ratio delta table unconditionally, and
+//! adds a loud, non-fatal warning when any ratio regressed by more than
+//! 20% (CI's soft perf gate).
 //! `--trace FILE` records a telemetry trace of one PWE compression and
 //! writes Chrome trace-event JSON (needs the `telemetry` feature);
 //! `--check-trace FILE [label...]` validates such a file, requiring a
@@ -55,7 +58,7 @@ fn main() {
     let mut out_path = String::from("BENCH_pr5.json");
     let mut smoke = false;
     let mut check: Option<String> = None;
-    let mut gate: Option<(String, String)> = None;
+    let mut gate: Option<(String, Vec<String>)> = None;
     let mut trace_out: Option<String> = None;
     let mut check_trace: Option<(String, Vec<String>)> = None;
     let mut args = std::env::args().skip(1);
@@ -65,9 +68,12 @@ fn main() {
             "--out" => out_path = args.next().expect("--out needs a path"),
             "--check" => check = Some(args.next().expect("--check needs a path")),
             "--perf-gate" => {
-                let new = args.next().expect("--perf-gate needs NEW and BASELINE paths");
-                let base = args.next().expect("--perf-gate needs NEW and BASELINE paths");
-                gate = Some((new, base));
+                let new = args.next().expect("--perf-gate needs NEW and BASELINE... paths");
+                let bases: Vec<String> = args.by_ref().collect();
+                if bases.is_empty() {
+                    panic!("--perf-gate needs NEW and at least one BASELINE path");
+                }
+                gate = Some((new, bases));
             }
             "--trace" => trace_out = Some(args.next().expect("--trace needs a path")),
             "--check-trace" => {
@@ -78,7 +84,7 @@ fn main() {
                 eprintln!("unknown argument {other:?}");
                 eprintln!(
                     "usage: hotpath [--smoke] [--out FILE] | --check FILE | \
-                     --perf-gate NEW BASELINE | --trace FILE | \
+                     --perf-gate NEW BASELINE... | --trace FILE | \
                      --check-trace FILE [label...]"
                 );
                 std::process::exit(2);
@@ -107,8 +113,9 @@ fn main() {
         return;
     }
 
-    if let Some((new_path, base_path)) = gate {
-        perf_gate(&new_path, &base_path);
+    if let Some((new_path, base_paths)) = gate {
+        let base_refs: Vec<&str> = base_paths.iter().map(String::as_str).collect();
+        perf_gate(&new_path, &base_refs);
         return;
     }
 
@@ -163,56 +170,94 @@ fn write_trace(path: &str, smoke: bool) {
     );
 }
 
-/// The soft perf gate: every numeric `derived` ratio present in BOTH
-/// artifacts must not have regressed by more than 20%. Regressions print
-/// a loud warning but never fail the process — bench numbers on shared
-/// CI hosts are too noisy for a hard gate (see DESIGN.md §10); the gate
-/// exists so a real cliff is impossible to miss in the log, not to
-/// block merges on scheduler jitter. Unreadable or malformed artifacts
-/// DO fail: that is harness rot, not noise.
-fn perf_gate(new_path: &str, base_path: &str) {
+/// The soft perf gate: every numeric `derived` ratio present in the new
+/// artifact AND at least one baseline must not have regressed by more
+/// than 20% against the *best* value that ratio ever reached across the
+/// given baselines (so a slow PR can't quietly lower the bar for the
+/// next one). The full per-ratio delta table prints unconditionally —
+/// green runs included — so drift below the warning threshold is still
+/// visible in every CI log. Regressions print a loud warning but never
+/// fail the process: bench numbers on shared CI hosts are too noisy for
+/// a hard gate (see DESIGN.md §10); the gate exists so a real cliff is
+/// impossible to miss, not to block merges on scheduler jitter.
+/// Unreadable or malformed artifacts DO fail: that is harness rot, not
+/// noise.
+fn perf_gate(new_path: &str, base_paths: &[&str]) {
     let load = |path: &str| -> Json {
         let text = std::fs::read_to_string(path)
             .unwrap_or_else(|e| fatal(&format!("perf gate: cannot read {path}: {e}")));
         parse(&text).unwrap_or_else(|e| fatal(&format!("perf gate: {path}: {e}")))
     };
     let new = load(new_path);
-    let base = load(base_path);
-    let (Some(Json::Obj(base_derived)), Some(new_derived)) =
-        (base.get("derived"), new.get("derived"))
-    else {
-        fatal("perf gate: both artifacts need a \"derived\" object");
+    let Some(new_derived) = new.get("derived") else {
+        fatal(&format!("perf gate: {new_path} has no \"derived\" object"));
     };
+
+    // Best value per ratio key across all baselines, remembering which
+    // artifact set it so the table names the bar it's comparing against.
+    // Keys keep first-seen order so the table is stable across runs.
+    let mut keys: Vec<String> = Vec::new();
+    let mut best: std::collections::HashMap<String, (f64, &str)> =
+        std::collections::HashMap::new();
+    for &path in base_paths {
+        let base = load(path);
+        let Some(Json::Obj(derived)) = base.get("derived") else {
+            fatal(&format!("perf gate: {path} has no \"derived\" object"));
+        };
+        for (key, val) in derived {
+            let Some(b) = val.as_num() else { continue };
+            match best.get(key.as_str()) {
+                Some((prev, _)) if *prev >= b => {}
+                _ => {
+                    if !best.contains_key(key.as_str()) {
+                        keys.push(key.clone());
+                    }
+                    best.insert(key.clone(), (b, path));
+                }
+            }
+        }
+    }
+
+    println!(
+        "perf gate: {new_path} vs best-of {} baseline(s): {}",
+        base_paths.len(),
+        base_paths.join(", ")
+    );
+    println!(
+        "{:<28} {:>10} {:>10} {:>8}  {}",
+        "derived ratio", "new", "best", "delta", "baseline"
+    );
     let mut compared = 0usize;
     let mut regressed = 0usize;
-    for (key, base_val) in base_derived {
-        let (Some(b), Some(n)) =
-            (base_val.as_num(), new_derived.get(key).and_then(Json::as_num))
-        else {
-            continue; // non-numeric or baseline-only key: nothing to gate
+    for key in &keys {
+        let (b, origin) = best[key.as_str()];
+        let Some(n) = new_derived.get(key).and_then(Json::as_num) else {
+            println!("{key:<28} {:>10} {b:>10.3} {:>8}  {origin} (missing in new)", "-", "-");
+            continue;
         };
         compared += 1;
+        let delta = (n / b - 1.0) * 100.0;
+        let mark = if n < 0.8 * b { "REGRESSED" } else { "ok" };
+        println!("{key:<28} {n:>10.3} {b:>10.3} {delta:>+7.1}%  {origin} [{mark}]");
         if n < 0.8 * b {
             regressed += 1;
             eprintln!(
                 "##### PERF WARNING ########################################"
             );
             eprintln!(
-                "# derived.{key}: {n:.3} vs baseline {b:.3} ({:.0}% regression)",
+                "# derived.{key}: {n:.3} vs best baseline {b:.3} ({:.0}% regression)",
                 (1.0 - n / b) * 100.0
             );
             eprintln!(
-                "# (>20% below {base_path}; non-fatal — investigate before merging)"
+                "# (>20% below {origin}; non-fatal — investigate before merging)"
             );
             eprintln!(
                 "###########################################################"
             );
-        } else {
-            println!("perf gate: derived.{key}: {n:.3} vs baseline {b:.3}: OK");
         }
     }
     if compared == 0 {
-        fatal("perf gate: no comparable derived ratios between the two artifacts");
+        fatal("perf gate: no comparable derived ratios between the artifacts");
     }
     println!(
         "perf gate: {compared} ratio(s) compared, {regressed} regression warning(s) (non-fatal)"

@@ -13,7 +13,8 @@ pub struct Args {
 }
 
 /// Option names that take no value.
-const BOOLEAN_FLAGS: &[&str] = &["no-lossless", "help", "quiet", "verify", "verbose", "stats"];
+const BOOLEAN_FLAGS: &[&str] =
+    &["no-lossless", "help", "quiet", "verify", "verbose", "stats", "stream", "resilient"];
 
 impl Args {
     /// Parses raw argv words (without the program/subcommand names).

@@ -14,9 +14,10 @@ mod args;
 mod rawio;
 
 use args::{parse_type, Args, ScalarType};
-use sperr_compress_api::{Bound, CompressError};
-use sperr_core::{Sperr, SperrConfig};
+use sperr_compress_api::{Bound, CompressError, Precision};
+use sperr_core::{Sperr, SperrConfig, SperrError};
 use sperr_datagen::SyntheticField;
+use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path;
 use std::process::ExitCode;
 
@@ -29,6 +30,9 @@ enum CliError {
     Io(String),
     /// A typed failure from the compression library.
     Compress(CompressError),
+    /// A typed failure from the streaming pipeline: carries the stage,
+    /// chunk and failure class (I/O, codec, or captured worker panic).
+    Stream(SperrError),
 }
 
 impl From<String> for CliError {
@@ -43,28 +47,49 @@ impl From<CompressError> for CliError {
     }
 }
 
+impl From<SperrError> for CliError {
+    fn from(e: SperrError) -> Self {
+        CliError::Stream(e)
+    }
+}
+
 impl std::fmt::Display for CliError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CliError::Usage(msg) | CliError::Io(msg) => write!(f, "{msg}"),
             CliError::Compress(e) => write!(f, "{e}"),
+            CliError::Stream(e) => write!(f, "{e}"),
         }
     }
 }
 
+/// Exit code for each codec failure class (shared by the in-memory and
+/// streaming paths).
+fn compress_error_code(c: &CompressError) -> u8 {
+    match c {
+        CompressError::Invalid(_) => 3,
+        CompressError::Unsupported(_) => 4,
+        CompressError::Corrupt(_) => 5,
+        CompressError::Truncated(_) => 6,
+        CompressError::LimitExceeded(_) => 7,
+    }
+}
+
 /// Distinct exit codes per failure class, so scripts can react without
-/// parsing stderr: 0 success, 1 I/O, 2 usage, then one code per
-/// `CompressError` variant.
+/// parsing stderr: 0 success, 1 I/O, 2 usage, one code per
+/// `CompressError` variant, 8 for an internal error (captured worker
+/// panic). Streaming errors map to the same classes as their in-memory
+/// counterparts — a broken pipe or ENOSPC on stdout is exit 1, not a
+/// panic backtrace.
 fn exit_code(e: &CliError) -> u8 {
     match e {
         CliError::Io(_) => 1,
         CliError::Usage(_) => 2,
-        CliError::Compress(c) => match c {
-            CompressError::Invalid(_) => 3,
-            CompressError::Unsupported(_) => 4,
-            CompressError::Corrupt(_) => 5,
-            CompressError::Truncated(_) => 6,
-            CompressError::LimitExceeded(_) => 7,
+        CliError::Compress(c) => compress_error_code(c),
+        CliError::Stream(s) => match s {
+            SperrError::Io { .. } => 1,
+            SperrError::Codec { source, .. } => compress_error_code(source),
+            SperrError::Panic { .. } => 8,
         },
     }
 }
@@ -76,8 +101,9 @@ USAGE:
   sperr compress   --input RAW --output SPERR --dims NX,NY[,NZ] --type f32|f64
                    (--pwe T | --idx N | --bpp R | --psnr P)
                    [--chunk CX,CY,CZ] [--threads N] [--q-factor F] [--no-lossless]
-                   [--verbose] [--stats] [--trace FILE]
+                   [--stream] [--in-flight N] [--verbose] [--stats] [--trace FILE]
   sperr decompress --input SPERR --output RAW --type f32|f64 [--level L]
+                   [--stream] [--in-flight N] [--resilient]
                    [--threads N] [--verbose] [--stats] [--trace FILE]
   sperr info       --input SPERR [--verify] [--verbose]
   sperr gen        --field NAME --dims NX,NY[,NZ] --output RAW --type f32|f64 [--seed S]
@@ -98,8 +124,18 @@ loadable in Perfetto (ui.perfetto.dev) or chrome://tracing. Both need a
 build with the `telemetry` cargo feature; without it a warning is printed
 and nothing is recorded.
 
+Streaming: --stream (implied when --input or --output is \"-\") drives a
+bounded-memory pipeline instead of loading the whole volume; \"-\" means
+stdin/stdout, and the summary moves to stderr when data goes to stdout.
+--in-flight N caps raw chunk buffers in flight (0 = 2x threads; never
+below one chunk layer). Streaming compress takes --pwe or --bpp (--idx
+and --psnr need full-volume statistics); streaming decompress rejects
+--level, and --resilient zero-fills corrupt chunks and keeps going
+instead of failing.
+
 Exit codes: 0 ok, 1 I/O, 2 usage, 3 invalid input, 4 unsupported,
-5 corrupt stream, 6 truncated stream, 7 resource limit exceeded.
+5 corrupt stream, 6 truncated stream, 7 resource limit exceeded,
+8 internal error (captured worker panic).
 
 Fields for gen: miranda-pressure miranda-viscosity miranda-vx miranda-density
 s3d-ch4 s3d-temp s3d-vx nyx-dm nyx-vx qmcpack image2d";
@@ -144,26 +180,66 @@ fn run(argv: &[String]) -> Result<(), CliError> {
 
 /// Per-stage timing table for `--verbose`. Times are summed across chunks
 /// (serial CPU time, not wall time when threads overlap); MB/s is computed
-/// over the full volume's f64 footprint.
-fn print_stage_times(stages: &sperr_core::StageTimes, num_points: usize) {
+/// over the full volume's f64 footprint. Writes to `out` so streaming
+/// mode can keep stdout clean for data.
+fn print_stage_times_to(out: &mut dyn Write, stages: &sperr_core::StageTimes, num_points: usize) {
     let mb = (num_points * 8) as f64 / 1e6;
-    let row = |name: &str, d: std::time::Duration| {
+    fn row(out: &mut dyn Write, mb: f64, name: &str, d: std::time::Duration) {
         let s = d.as_secs_f64();
         if s > 0.0 {
-            println!("  {name:<16} {s:>9.4} s  {:>9.1} MB/s", mb / s);
+            writeln!(out, "  {name:<16} {s:>9.4} s  {:>9.1} MB/s", mb / s).ok();
         } else {
             // Stage skipped in this mode (e.g. outlier pass in BPP decode).
-            println!("  {name:<16} {s:>9.4} s          -");
+            writeln!(out, "  {name:<16} {s:>9.4} s          -").ok();
         }
-    };
-    println!("stage times (per-stage CPU, summed over chunks):");
-    row("wavelet", stages.wavelet);
-    row("speck", stages.speck);
-    row("locate-outliers", stages.locate_outliers);
-    row("outlier-coding", stages.outlier_coding);
-    row("container", stages.container);
-    row("lossless", stages.lossless);
-    row("total", stages.total());
+    }
+    writeln!(out, "stage times (per-stage CPU, summed over chunks):").ok();
+    row(out, mb, "wavelet", stages.wavelet);
+    row(out, mb, "speck", stages.speck);
+    row(out, mb, "locate-outliers", stages.locate_outliers);
+    row(out, mb, "outlier-coding", stages.outlier_coding);
+    row(out, mb, "container", stages.container);
+    row(out, mb, "lossless", stages.lossless);
+    row(out, mb, "total", stages.total());
+}
+
+fn print_stage_times(stages: &sperr_core::StageTimes, num_points: usize) {
+    print_stage_times_to(&mut std::io::stdout(), stages, num_points);
+}
+
+/// Opens a streaming input endpoint: `-` is stdin, anything else a file
+/// (buffered).
+fn open_reader(path: &str) -> Result<Box<dyn Read>, CliError> {
+    if path == "-" {
+        Ok(Box::new(std::io::stdin().lock()))
+    } else {
+        let f = std::fs::File::open(path).map_err(|e| CliError::Io(format!("{path}: {e}")))?;
+        Ok(Box::new(BufReader::new(f)))
+    }
+}
+
+/// Opens a streaming output endpoint: `-` is stdout, anything else a file
+/// (buffered).
+fn open_writer(path: &str) -> Result<Box<dyn Write>, CliError> {
+    if path == "-" {
+        Ok(Box::new(std::io::stdout().lock()))
+    } else {
+        let f = std::fs::File::create(path).map_err(|e| CliError::Io(format!("{path}: {e}")))?;
+        Ok(Box::new(BufWriter::new(f)))
+    }
+}
+
+/// Human-readable run summary for streaming mode; routed to stderr when
+/// the data stream owns stdout.
+fn stream_say(output: &str, quiet: bool, msg: String) {
+    if quiet {
+        return;
+    }
+    if output == "-" {
+        eprintln!("{msg}");
+    } else {
+        println!("{msg}");
+    }
 }
 
 /// Telemetry capture around one CLI operation: `--stats` prints an
@@ -273,12 +349,20 @@ fn build_sperr(args: &Args) -> Result<Sperr, String> {
     if args.flag("no-lossless") {
         cfg.lossless = false;
     }
+    if let Some(n) = args.opt_usize("in-flight")? {
+        cfg.in_flight_chunks = n;
+    }
     Ok(Sperr::new(cfg))
 }
 
 fn cmd_compress(args: &Args) -> Result<(), CliError> {
-    let input = Path::new(args.req("input")?).to_path_buf();
-    let output = Path::new(args.req("output")?).to_path_buf();
+    let input_arg = args.req("input")?.to_string();
+    let output_arg = args.req("output")?.to_string();
+    if args.flag("stream") || input_arg == "-" || output_arg == "-" {
+        return cmd_compress_stream(args, &input_arg, &output_arg);
+    }
+    let input = Path::new(&input_arg).to_path_buf();
+    let output = Path::new(&output_arg).to_path_buf();
     let dims = args.req_dims("dims")?;
     let ty = parse_type(args.req("type")?)?;
     let field = rawio::read_field(&input, dims, ty).map_err(|e| CliError::Io(e.to_string()))?;
@@ -326,9 +410,143 @@ fn cmd_compress(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Streaming compression: raw scalars in from a file or stdin, SPERR
+/// stream out to a file or stdout, bounded raw-chunk memory throughout.
+fn cmd_compress_stream(args: &Args, input: &str, output: &str) -> Result<(), CliError> {
+    let dims = args.req_dims("dims")?;
+    let ty = parse_type(args.req("type")?)?;
+    let precision = match ty {
+        ScalarType::F32 => Precision::Single,
+        ScalarType::F64 => Precision::Double,
+    };
+    let bound = match (
+        args.opt_f64("pwe")?,
+        args.opt_usize("idx")?,
+        args.opt_f64("bpp")?,
+        args.opt_f64("psnr")?,
+    ) {
+        (Some(t), None, None, None) => Bound::Pwe(t),
+        (None, None, Some(r), None) => Bound::Bpp(r),
+        (None, Some(_), None, None) => {
+            return Err(CliError::Usage(
+                "--idx derives the tolerance from the full volume's range; \
+                 streaming mode needs an absolute --pwe (or --bpp)"
+                    .into(),
+            ))
+        }
+        (None, None, None, Some(_)) => {
+            return Err(CliError::Usage(
+                "--psnr needs full-volume statistics; streaming mode supports --pwe and --bpp"
+                    .into(),
+            ))
+        }
+        _ => {
+            return Err(CliError::Usage(
+                "give exactly one of --pwe, --bpp in streaming mode".into(),
+            ))
+        }
+    };
+    let sperr = build_sperr(args)?;
+    let scope = TelemetryScope::begin(args);
+    let reader = open_reader(input)?;
+    let writer = open_writer(output)?;
+    let report = sperr.compress_stream(reader, writer, dims, precision, bound)?;
+    scope.finish()?;
+    stream_say(
+        output,
+        args.flag("quiet"),
+        format!(
+            "{input} -> {output}: {} -> {} bytes ({:.2}x, {:.3} bpp; {} chunks, \
+             in-flight peak {}/{})",
+            report.bytes_in,
+            report.bytes_out,
+            report.bytes_in as f64 / report.bytes_out as f64,
+            report.stats.bpp(),
+            report.n_chunks,
+            report.peak_in_flight,
+            report.in_flight_budget,
+        ),
+    );
+    if args.flag("verbose") && !args.flag("quiet") {
+        let n: usize = dims.iter().product();
+        if output == "-" {
+            print_stage_times_to(&mut std::io::stderr(), &report.stats.stage_times, n);
+        } else {
+            print_stage_times(&report.stats.stage_times, n);
+        }
+    }
+    Ok(())
+}
+
+/// Streaming decompression: SPERR stream in, raw scalars out, decoded
+/// chunks bounded by the in-flight budget. `--resilient` zero-fills
+/// corrupt chunks and keeps the stream going instead of failing.
+fn cmd_decompress_stream(args: &Args, input: &str, output: &str) -> Result<(), CliError> {
+    let ty = parse_type(args.req("type")?)?;
+    let precision = match ty {
+        ScalarType::F32 => Precision::Single,
+        ScalarType::F64 => Precision::Double,
+    };
+    if args.opt_usize("level")?.unwrap_or(0) > 0 {
+        return Err(CliError::Usage(
+            "--level (multiresolution) needs random access; not available in streaming mode"
+                .into(),
+        ));
+    }
+    let sperr = build_sperr(args)?;
+    let scope = TelemetryScope::begin(args);
+    let reader = open_reader(input)?;
+    let writer = open_writer(output)?;
+    let quiet = args.flag("quiet");
+    let report = if args.flag("resilient") {
+        let res = sperr.decompress_stream_resilient(reader, writer, Some(precision))?;
+        let bad: Vec<usize> = res
+            .statuses
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !matches!(s, sperr_core::ChunkStatus::Ok))
+            .map(|(i, _)| i)
+            .collect();
+        if !bad.is_empty() {
+            eprintln!(
+                "warning: {} of {} chunks corrupt, zero-filled: {bad:?}",
+                bad.len(),
+                res.report.n_chunks
+            );
+        }
+        res.report
+    } else {
+        sperr.decompress_stream(reader, writer, Some(precision))?
+    };
+    scope.finish()?;
+    stream_say(
+        output,
+        quiet,
+        format!(
+            "{input} -> {output}: {} -> {} bytes ({} chunks, in-flight peak {}/{})",
+            report.bytes_in,
+            report.bytes_out,
+            report.n_chunks,
+            report.peak_in_flight,
+            report.in_flight_budget,
+        ),
+    );
+    Ok(())
+}
+
 fn cmd_decompress(args: &Args) -> Result<(), CliError> {
-    let input = Path::new(args.req("input")?).to_path_buf();
-    let output = Path::new(args.req("output")?).to_path_buf();
+    let input_arg = args.req("input")?.to_string();
+    let output_arg = args.req("output")?.to_string();
+    if args.flag("stream") || input_arg == "-" || output_arg == "-" {
+        return cmd_decompress_stream(args, &input_arg, &output_arg);
+    }
+    if args.flag("resilient") {
+        return Err(CliError::Usage(
+            "--resilient is a streaming-mode option; add --stream".into(),
+        ));
+    }
+    let input = Path::new(&input_arg).to_path_buf();
+    let output = Path::new(&output_arg).to_path_buf();
     let ty = parse_type(args.req("type")?)?;
     let level = args.opt_usize("level")?.unwrap_or(0);
     let stream = std::fs::read(&input).map_err(|e| CliError::Io(e.to_string()))?;
@@ -439,7 +657,7 @@ fn cmd_gen(args: &Args) -> Result<(), CliError> {
     let field = field_by_name(name)?.generate(dims, seed);
     rawio::write_field(&output, &field, ty).map_err(|e| CliError::Io(e.to_string()))?;
     if !args.flag("quiet") {
-        println!(
+        let msg = format!(
             "generated {name} {}x{}x{} (range {:.4e}) -> {}",
             dims[0],
             dims[1],
@@ -447,6 +665,12 @@ fn cmd_gen(args: &Args) -> Result<(), CliError> {
             field.range(),
             output.display()
         );
+        // The raw volume owns stdout when writing to `-`.
+        if output.as_os_str() == "-" {
+            eprintln!("{msg}");
+        } else {
+            println!("{msg}");
+        }
     }
     Ok(())
 }
@@ -618,6 +842,129 @@ mod tests {
             Err(CliError::Compress(_))
         ));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn streaming_compress_matches_in_memory_and_roundtrips() {
+        let dir = std::env::temp_dir().join("sperr_cli_stream_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let raw = dir.join("x.raw");
+        let packed = dir.join("x.sperr");
+        let packed_stream = dir.join("x_stream.sperr");
+        let restored = dir.join("y.raw");
+
+        run(&w(&["gen", "--field", "miranda-density", "--dims", "40,28,20",
+                 "--output", raw.to_str().unwrap(), "--type", "f64", "--quiet"]))
+            .unwrap();
+        run(&w(&["compress", "--input", raw.to_str().unwrap(), "--output",
+                 packed.to_str().unwrap(), "--dims", "40,28,20", "--type", "f64",
+                 "--pwe", "1e-3", "--chunk", "16,16,16", "--quiet"]))
+            .unwrap();
+        run(&w(&["compress", "--input", raw.to_str().unwrap(), "--output",
+                 packed_stream.to_str().unwrap(), "--dims", "40,28,20", "--type",
+                 "f64", "--pwe", "1e-3", "--chunk", "16,16,16", "--threads", "4",
+                 "--in-flight", "6", "--stream", "--quiet"]))
+            .unwrap();
+        assert_eq!(
+            std::fs::read(&packed).unwrap(),
+            std::fs::read(&packed_stream).unwrap(),
+            "streaming output must be byte-identical to the in-memory path"
+        );
+        run(&w(&["decompress", "--input", packed_stream.to_str().unwrap(),
+                 "--output", restored.to_str().unwrap(), "--type", "f64",
+                 "--threads", "4", "--stream", "--quiet"]))
+            .unwrap();
+        let a = rawio::read_field(&raw, [40, 28, 20], ScalarType::F64).unwrap();
+        let b = rawio::read_field(&restored, [40, 28, 20], ScalarType::F64).unwrap();
+        assert!(sperr_metrics::max_pwe(&a.data, &b.data) <= 1e-3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn streaming_rejects_full_volume_options() {
+        let base = |extra: &[&str]| {
+            let mut v = vec![
+                "compress", "--input", "/dev/null", "--output", "/dev/null",
+                "--dims", "8,8,8", "--type", "f64", "--stream",
+            ];
+            v.extend_from_slice(extra);
+            run(&w(&v))
+        };
+        assert!(matches!(base(&["--idx", "12"]), Err(CliError::Usage(_))));
+        assert!(matches!(base(&["--psnr", "60"]), Err(CliError::Usage(_))));
+        assert!(matches!(base(&[]), Err(CliError::Usage(_))));
+        assert!(matches!(
+            run(&w(&["decompress", "--input", "/dev/null", "--output", "/dev/null",
+                     "--type", "f64", "--stream", "--level", "1"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&w(&["decompress", "--input", "/dev/null", "--output", "/dev/null",
+                     "--type", "f64", "--resilient"])),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn streaming_io_failures_exit_with_io_code_not_panic() {
+        // Truncated input: typed I/O error, exit code 1.
+        let dir = std::env::temp_dir().join("sperr_cli_stream_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let short = dir.join("short.raw");
+        std::fs::write(&short, vec![0u8; 128]).unwrap();
+        let err = run(&w(&["compress", "--input", short.to_str().unwrap(),
+                           "--output", dir.join("o.sperr").to_str().unwrap(),
+                           "--dims", "16,16,16", "--type", "f64", "--pwe", "1e-3",
+                           "--stream", "--quiet"]))
+            .unwrap_err();
+        assert!(matches!(&err, CliError::Stream(SperrError::Io { .. })), "{err:?}");
+        assert_eq!(exit_code(&err), 1);
+
+        // ENOSPC on the output (only meaningful where /dev/full exists).
+        if std::path::Path::new("/dev/full").exists() {
+            let raw = dir.join("x.raw");
+            run(&w(&["gen", "--field", "qmcpack", "--dims", "16,16,16", "--output",
+                     raw.to_str().unwrap(), "--type", "f64", "--quiet"]))
+                .unwrap();
+            let err = run(&w(&["compress", "--input", raw.to_str().unwrap(),
+                               "--output", "/dev/full", "--dims", "16,16,16",
+                               "--type", "f64", "--pwe", "1e-3", "--stream",
+                               "--quiet"]))
+                .unwrap_err();
+            assert!(matches!(&err, CliError::Stream(SperrError::Io { .. })), "{err:?}");
+            assert_eq!(exit_code(&err), 1);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stream_error_classes_map_to_exit_codes() {
+        let s = |e| exit_code(&CliError::Stream(e));
+        assert_eq!(
+            s(SperrError::Io {
+                stage: sperr_core::STAGE_EMIT,
+                chunk: None,
+                kind: std::io::ErrorKind::BrokenPipe,
+                message: "broken pipe".into(),
+            }),
+            1
+        );
+        assert_eq!(
+            s(SperrError::Codec {
+                stage: sperr_core::STAGE_CONTAINER,
+                chunk: None,
+                source: CompressError::Truncated("x".into()),
+            }),
+            6
+        );
+        assert_eq!(
+            s(SperrError::Panic {
+                stage: "stage.speck.encode",
+                chunk: Some(3),
+                message: "boom".into(),
+            }),
+            8
+        );
     }
 
     #[test]

@@ -64,6 +64,12 @@ pub fn write_field(path: &Path, field: &Field, ty: ScalarType) -> io::Result<()>
             }
         }
     }
+    if path.as_os_str() == "-" {
+        use io::Write;
+        let mut out = io::stdout().lock();
+        out.write_all(&bytes)?;
+        return out.flush();
+    }
     fs::write(path, bytes)
 }
 

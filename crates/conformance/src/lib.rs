@@ -25,7 +25,15 @@
 //!    reference PWE pipeline the bench binary measures against. Tests,
 //!    `crates/bench`, and future fuzz targets all call the same
 //!    implementations, so "what counts as equivalent" is defined once.
-//! 3. **PWE-guarantee campaign** ([`pwe`]): randomized fields with
+//! 3. **Fault-injection campaign** ([`fault`]): adversarial I/O
+//!    endpoints (short reads, scripted `ErrorKind` injection, zero-
+//!    progress writers) and scripted worker-panic injection at every
+//!    pipeline stage, driven against the streaming API's contract — clean
+//!    typed errors, no escaping panics, no hangs (watchdog-enforced), no
+//!    partial container that verifies, bounded in-flight memory, and
+//!    byte-identity with the in-memory path on every successful run.
+//!    `sperr-conformance faults [N]`.
+//! 4. **PWE-guarantee campaign** ([`pwe`]): randomized fields with
 //!    injected outliers, swept across tolerance decades, asserting
 //!    `max|x − x̂| ≤ ε` for SPERR and each baseline's *documented* bound
 //!    (ZFP/SZ: ≤ t; MGARD: ≤ its hard `(L+1)·t/2` bound; TTHRESH:
@@ -38,10 +46,12 @@
 //! verification of the bound itself, not just unit tests.
 
 pub mod corpus;
+pub mod fault;
 pub mod golden;
 pub mod oracle;
 pub mod pwe;
 
 pub use corpus::{documented_budget, CodecId, CorpusInput, ErrorBudget};
+pub use fault::{run_fault_campaign, FaultyReader, FaultyWriter};
 pub use golden::GOLDEN_VERSION;
 pub use oracle::{CheckFailure, CheckResult};

@@ -5,6 +5,7 @@
 //! cargo run -p sperr-conformance -- check         # verify committed goldens
 //! cargo run -p sperr-conformance -- oracles       # run the differential oracles
 //! cargo run -p sperr-conformance -- campaign [N]  # N randomized PWE cases (default 200)
+//! cargo run -p sperr-conformance -- faults [N]    # streaming fault injection (default 12)
 //! ```
 //!
 //! `check`, `oracles` and `campaign` exit nonzero on any failure, so CI
@@ -33,8 +34,17 @@ fn main() {
             });
             campaign(n)
         }
+        Some("faults") => {
+            let n = args.get(1).map_or(Ok(12), |s| s.parse()).unwrap_or_else(|_| {
+                eprintln!("faults: case count must be a number");
+                std::process::exit(2);
+            });
+            report("fault campaign", &sperr_conformance::fault::run_fault_campaign(n))
+        }
         _ => {
-            eprintln!("usage: sperr-conformance regen | check | oracles | campaign [N]");
+            eprintln!(
+                "usage: sperr-conformance regen | check | oracles | campaign [N] | faults [N]"
+            );
             2
         }
     };

@@ -16,8 +16,12 @@ use sperr_wavelet::{Kernel, PANEL_W};
 
 /// Outer stream framing: one flag byte telling whether the container is
 /// wrapped by the lossless codec.
-const OUTER_RAW: u8 = 0;
-const OUTER_LOSSLESS: u8 = 1;
+pub(crate) const OUTER_RAW: u8 = 0;
+pub(crate) const OUTER_LOSSLESS: u8 = 1;
+
+/// Amortized per-chunk container overhead charged against the bit budget
+/// in size-bounded mode (chunk-table entry + share of the header).
+pub(crate) const PER_CHUNK_HEADER_BITS: usize = 26 * 8;
 
 /// Configuration for [`Sperr`].
 #[derive(Debug, Clone)]
@@ -37,6 +41,14 @@ pub struct SperrConfig {
     /// Worker threads for chunk-parallel execution; 0 = one per available
     /// core.
     pub num_threads: usize,
+    /// Bound on the number of raw chunk buffers the streaming pipeline
+    /// ([`Sperr::compress_stream`] / [`Sperr::decompress_stream`]) keeps
+    /// in flight at once; back-pressure blocks the ingest/emit side when
+    /// the budget is exhausted. 0 = auto (2 × worker threads). The
+    /// effective budget is never below the number of chunks in one
+    /// z-layer of the chunk grid — a row-major stream cannot complete any
+    /// chunk of a layer without buffering the whole layer.
+    pub in_flight_chunks: usize,
 }
 
 impl Default for SperrConfig {
@@ -47,6 +59,7 @@ impl Default for SperrConfig {
             kernel: Kernel::Cdf97,
             lossless: true,
             num_threads: 0,
+            in_flight_chunks: 0,
         }
     }
 }
@@ -77,7 +90,7 @@ impl Sperr {
     /// parallelism — but bounded by those inner job counts, so a tiny
     /// volume on a many-core machine does not spawn workers that
     /// outnumber the jobs they would run.
-    fn effective_threads(&self, chunks: &[ChunkSpec]) -> usize {
+    pub(crate) fn effective_threads(&self, chunks: &[ChunkSpec]) -> usize {
         let t = if self.config.num_threads == 0 {
             std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
         } else {
@@ -162,7 +175,7 @@ impl Sperr {
         // Per-chunk bit budget for size mode: the raw target minus the
         // amortized chunk-table overhead, so the final container lands at
         // or under the requested rate.
-        let per_chunk_header_bits = 26 * 8;
+        let per_chunk_header_bits = PER_CHUNK_HEADER_BITS;
         let cfg = &self.config;
         let q_factor = cfg.q_factor;
         let kernel = cfg.kernel;
@@ -249,7 +262,7 @@ impl Sperr {
 
     /// Strips the outer framing, undoing the lossless pass when present.
     /// Returns the raw container and whether the lossless pass was on.
-    fn unwrap_outer(stream: &[u8]) -> Result<(Vec<u8>, bool), CompressError> {
+    pub(crate) fn unwrap_outer(stream: &[u8]) -> Result<(Vec<u8>, bool), CompressError> {
         let (&flag, rest) = stream
             .split_first()
             .ok_or_else(|| CompressError::Corrupt("empty stream".into()))?;
@@ -691,7 +704,7 @@ impl Sperr {
 }
 
 /// Byte offset of each chunk's payload within the container.
-fn chunk_offsets(entries: &[ChunkEntry], payload_start: usize) -> Vec<usize> {
+pub(crate) fn chunk_offsets(entries: &[ChunkEntry], payload_start: usize) -> Vec<usize> {
     let mut offsets = Vec::with_capacity(entries.len());
     let mut cursor = payload_start;
     for e in entries {
@@ -702,7 +715,7 @@ fn chunk_offsets(entries: &[ChunkEntry], payload_start: usize) -> Vec<usize> {
 }
 
 /// Checks every chunk payload against its v2 CRC; no-op for v1 streams.
-fn verify_chunk_crcs(
+pub(crate) fn verify_chunk_crcs(
     container: &[u8],
     parsed: &crate::container::Parsed,
 ) -> Result<(), CompressError> {

@@ -57,9 +57,12 @@ mod chunk;
 mod compressor;
 mod container;
 mod crc32;
+#[doc(hidden)]
+pub mod faultpoint;
 mod pipeline;
 mod pool;
 mod stats;
+mod stream;
 pub use stats::stage_labels;
 
 pub use chunk::{chunk_grid, extract_chunk, extract_chunk_into, ChunkSpec};
@@ -74,8 +77,12 @@ pub use pipeline::{
     compress_chunk_rmse, compress_chunk_rmse_with, decompress_chunk, decompress_chunk_multires,
     decompress_chunk_with, ChunkEncoding, ScratchArena,
 };
-pub use pool::WorkerPool;
+pub use pool::{JobPanic, WorkerPool};
 pub use stats::{CompressionStats, StageTimes};
+pub use stream::{
+    SperrError, StreamReport, StreamResilientReport, STAGE_CONTAINER, STAGE_EMIT, STAGE_INGEST,
+    STAGE_PIPELINE,
+};
 
 #[cfg(test)]
 mod tests {

@@ -196,12 +196,14 @@ pub fn compress_chunk_pwe_with(
     let ScratchArena { coeffs, recon, wavelet } = arena;
 
     // Stage 1: forward wavelet transform.
+    crate::faultpoint::stage(stage_labels::WAVELET_FORWARD);
     let ((), wavelet_time) = timed(stage_labels::WAVELET_FORWARD, || {
         load_coeffs(coeffs, data);
         forward_3d_with(coeffs, dims, levels, kernel, pool, wavelet);
     });
 
     // Stage 2: SPECK coding of coefficients, all planes down to q.
+    crate::faultpoint::stage(stage_labels::SPECK_ENCODE);
     let (enc, speck_time) = timed(stage_labels::SPECK_ENCODE, || {
         sperr_speck::encode(coeffs, dims, q, Termination::Quality)
     });
@@ -213,6 +215,7 @@ pub fn compress_chunk_pwe_with(
 
     // Stage 3: locate outliers — reconstruct (quantized coefficients +
     // inverse transform) and compare with the original input.
+    crate::faultpoint::stage(stage_labels::OUTLIER_LOCATE);
     let ((outliers, coeff_sq_error), locate_time) = timed(stage_labels::OUTLIER_LOCATE, || {
         recon.clear();
         recon.resize(coeffs.len(), 0.0);
@@ -223,6 +226,7 @@ pub fn compress_chunk_pwe_with(
     sperr_telemetry::counter!("outlier.count", outliers.len());
 
     // Stage 4: encode the outliers.
+    crate::faultpoint::stage(stage_labels::OUTLIER_ENCODE);
     let (out_enc, outlier_time) = timed(stage_labels::OUTLIER_ENCODE, || {
         sperr_outlier::encode(&outliers, data.len(), t)
     });
@@ -284,6 +288,7 @@ pub fn compress_chunk_bpp_with(
 ) -> ChunkEncoding {
     let levels = levels_for_dims(dims);
     let ScratchArena { coeffs, wavelet, .. } = arena;
+    crate::faultpoint::stage(stage_labels::WAVELET_FORWARD);
     let ((), wavelet_time) = timed(stage_labels::WAVELET_FORWARD, || {
         load_coeffs(coeffs, data);
         forward_3d_with(coeffs, dims, levels, kernel, pool, wavelet);
@@ -294,6 +299,7 @@ pub fn compress_chunk_bpp_with(
     // all-zero chunks encode to an empty stream with any positive q.
     let q = if max_mag > 0.0 { max_mag * f64::exp2(-f64::from(BPP_MODE_PLANES)) } else { 1.0 };
 
+    crate::faultpoint::stage(stage_labels::SPECK_ENCODE);
     let (enc, speck_time) = timed(stage_labels::SPECK_ENCODE, || {
         sperr_speck::encode(coeffs, dims, q, Termination::BitBudget(budget_bits))
     });
@@ -352,12 +358,14 @@ pub fn compress_chunk_rmse_with(
     assert!(target_rmse > 0.0 && target_rmse.is_finite());
     let levels = levels_for_dims(dims);
     let ScratchArena { coeffs, recon, wavelet } = arena;
+    crate::faultpoint::stage(stage_labels::WAVELET_FORWARD);
     let ((), wavelet_time) = timed(stage_labels::WAVELET_FORWARD, || {
         load_coeffs(coeffs, data);
         forward_3d_with(coeffs, dims, levels, kernel, pool, wavelet);
     });
 
     let q = target_rmse;
+    crate::faultpoint::stage(stage_labels::SPECK_ENCODE);
     let (enc, speck_time) = timed(stage_labels::SPECK_ENCODE, || {
         sperr_speck::encode(coeffs, dims, q, Termination::Quality)
     });
@@ -481,15 +489,18 @@ pub fn decompress_chunk_with(
     arena: &mut ScratchArena,
 ) -> Result<(Vec<f64>, StageTimes), CompressError> {
     let levels = levels_for_dims(dims);
+    crate::faultpoint::stage(stage_labels::SPECK_DECODE);
     let (decoded, speck_time) = timed(stage_labels::SPECK_DECODE, || {
         sperr_speck::decode(speck_stream, dims, q, num_planes)
     });
     let mut coeffs = decoded?;
 
+    crate::faultpoint::stage(stage_labels::WAVELET_INVERSE);
     let ((), wavelet_time) = timed(stage_labels::WAVELET_INVERSE, || {
         inverse_3d_with(&mut coeffs, dims, levels, kernel, pool, &mut arena.wavelet);
     });
 
+    crate::faultpoint::stage(stage_labels::OUTLIER_APPLY);
     let (applied, outlier_time) = timed(stage_labels::OUTLIER_APPLY, || {
         if !outlier_stream.is_empty() {
             if !(tolerance > 0.0) {

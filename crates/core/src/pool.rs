@@ -28,13 +28,54 @@
 use std::cell::Cell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 
 thread_local! {
     /// Worker slot of the pool job currently executing on this thread,
     /// if any. `Some` means "inline any nested batch".
     static CURRENT_SLOT: Cell<Option<usize>> = const { Cell::new(None) };
 }
+
+/// Locks a mutex, recovering the guard if a previous holder panicked.
+/// Every mutex in this module protects state whose invariants hold at
+/// every await point (plain counters / Option slots mutated atomically
+/// under the lock), so a poisoned lock carries no torn data — treating
+/// poison as fatal would turn one caught job panic into a cascade that
+/// wedges every later compression on the same pool.
+pub(crate) fn lock_ignore_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Extracts a human-readable message from a caught panic payload.
+/// `panic!("...")` yields `&'static str`; `panic!("{x}")` yields
+/// `String`; anything else gets a placeholder.
+pub(crate) fn panic_payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// A worker job panicked during [`WorkerPool::try_run`] /
+/// [`WorkerPool::run_with_producer`]. Carries the first captured panic
+/// message so callers can surface *what* failed instead of a generic
+/// marker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobPanic {
+    /// Message of the first panic observed in the batch.
+    pub message: String,
+}
+
+impl std::fmt::Display for JobPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "worker-pool job panicked: {}", self.message)
+    }
+}
+
+impl std::error::Error for JobPanic {}
 
 /// Per-batch counters. Heap-allocated and kept alive by `Arc` strong
 /// references — `run`'s own plus one per worker holding a copy of the
@@ -48,6 +89,9 @@ struct BatchState {
     next: AtomicUsize,
     finished: AtomicUsize,
     panicked: AtomicBool,
+    /// First panic message captured by [`execute_batch`] (first writer
+    /// wins; later panics in the same batch are dropped).
+    panic_msg: Mutex<Option<String>>,
 }
 
 /// One in-flight batch of jobs, published to the workers. Only the job
@@ -115,7 +159,7 @@ impl WorkerPool {
             struct Shutdown<'a>(&'a Shared);
             impl Drop for Shutdown<'_> {
                 fn drop(&mut self) {
-                    self.0.state.lock().unwrap().shutdown = true;
+                    lock_ignore_poison(&self.0.state).shutdown = true;
                     self.0.work.notify_all();
                 }
             }
@@ -135,26 +179,62 @@ impl WorkerPool {
     /// calls from inside a job run inline on that job's worker slot.
     ///
     /// Panics in `f` are caught on the worker, and `run` panics on the
-    /// caller after the batch drains — the pool stays usable.
+    /// caller after the batch drains — with the first captured panic
+    /// message — and the pool stays usable.
     pub fn run(&self, n: usize, f: &(dyn Fn(usize, usize) + Sync)) {
+        if let Err(p) = self.try_run(n, f) {
+            panic!("worker-pool job panicked: {}", p.message);
+        }
+    }
+
+    /// Non-panicking variant of [`run`](Self::run): a panic in any job is
+    /// caught, the batch still drains fully, and the first captured panic
+    /// message is returned as [`JobPanic`]. The streaming pipeline uses
+    /// this so a worker panic becomes a typed error instead of an unwind.
+    pub fn try_run(&self, n: usize, f: &(dyn Fn(usize, usize) + Sync)) -> Result<(), JobPanic> {
+        self.run_with_producer(n, || {}, f)
+    }
+
+    /// Runs a batch like [`try_run`](Self::try_run), but executes
+    /// `producer` on the caller thread *after* publishing the batch and
+    /// *before* the caller joins in as worker slot 0. Spawned workers
+    /// start claiming jobs as soon as the batch is published, so the
+    /// producer overlaps with them — this is the seam the streaming
+    /// pipeline uses: the producer feeds a bounded queue (ingest) while
+    /// replicated stage workers drain it.
+    ///
+    /// A panic in `producer` is caught so the published batch is never
+    /// orphaned: the caller still joins the batch, drains it, and the
+    /// producer's panic message is returned (taking precedence over any
+    /// job panic, since cancellation noise usually follows the root
+    /// cause).
+    pub fn run_with_producer(
+        &self,
+        n: usize,
+        producer: impl FnOnce(),
+        f: &(dyn Fn(usize, usize) + Sync),
+    ) -> Result<(), JobPanic> {
         if n == 0 {
-            return;
+            producer();
+            return Ok(());
         }
         // Inside a pool job: inline on the current slot (no oversubscription,
         // no deadlock on the single batch slot).
         if let Some(slot) = CURRENT_SLOT.with(|c| c.get()) {
+            producer();
             for i in 0..n {
                 f(i, slot);
             }
-            return;
+            return Ok(());
         }
         // Trivial batches run on the caller as slot 0 *without* entering
         // job context, so deeper batches can still go parallel.
         if self.threads == 1 || n == 1 {
+            producer();
             for i in 0..n {
                 f(i, 0);
             }
-            return;
+            return Ok(());
         }
 
         let state = Arc::new(BatchState {
@@ -162,6 +242,7 @@ impl WorkerPool {
             next: AtomicUsize::new(0),
             finished: AtomicUsize::new(0),
             panicked: AtomicBool::new(false),
+            panic_msg: Mutex::new(None),
         });
         let batch = Batch {
             // SAFETY (lifetime erasure): workers dereference `f` only
@@ -178,16 +259,28 @@ impl WorkerPool {
             state: Arc::clone(&state),
         };
         {
-            let mut st = self.shared.state.lock().unwrap();
+            let mut st = lock_ignore_poison(&self.shared.state);
             // Another top-level caller may have a batch in flight (pools
             // are per compression call, but the API does not forbid it).
             while st.batch.is_some() {
-                st = self.shared.done.wait(st).unwrap();
+                st = self
+                    .shared
+                    .done
+                    .wait(st)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
             st.batch = Some(batch.clone());
             st.generation += 1;
         }
         self.shared.work.notify_all();
+
+        // Run the producer while workers chew on the batch. Catch its
+        // unwind: the batch is already published, so bailing out here
+        // would leave the slot occupied forever and deadlock the next
+        // caller. The batch must drain regardless.
+        let producer_panic = catch_unwind(AssertUnwindSafe(producer))
+            .err()
+            .map(|p| panic_payload_message(p.as_ref()));
 
         // The caller participates as worker 0.
         execute_batch(&batch, 0);
@@ -197,16 +290,27 @@ impl WorkerPool {
         // find the job counter drained — retiring the slot never races
         // with their counter accesses.
         {
-            let mut st = self.shared.state.lock().unwrap();
+            let mut st = lock_ignore_poison(&self.shared.state);
             while state.finished.load(Ordering::Acquire) < n {
-                st = self.shared.done.wait(st).unwrap();
+                st = self
+                    .shared
+                    .done
+                    .wait(st)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
             st.batch = None;
         }
         self.shared.done.notify_all();
-        if state.panicked.load(Ordering::Acquire) {
-            panic!("a worker-pool job panicked");
+        if let Some(message) = producer_panic {
+            return Err(JobPanic { message });
         }
+        if state.panicked.load(Ordering::Acquire) {
+            let message = lock_ignore_poison(&state.panic_msg)
+                .take()
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            return Err(JobPanic { message });
+        }
+        Ok(())
     }
 
     /// Ordered parallel map: `f(job, worker)` for `job in 0..n`, results
@@ -257,7 +361,13 @@ fn execute_batch(batch: &Batch, slot: usize) {
         // at least until this job completes — `run` is still blocked in
         // its completion wait and the closure it borrows is alive.
         let f = unsafe { &*batch.f };
-        if catch_unwind(AssertUnwindSafe(|| f(i, slot))).is_err() {
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(i, slot))) {
+            let message = panic_payload_message(payload.as_ref());
+            let mut slot_msg = lock_ignore_poison(&st.panic_msg);
+            if slot_msg.is_none() {
+                *slot_msg = Some(message);
+            }
+            drop(slot_msg);
             st.panicked.store(true, Ordering::Release);
         }
         st.finished.fetch_add(1, Ordering::AcqRel);
@@ -270,7 +380,7 @@ fn worker_loop(shared: &Shared, slot: usize) {
     let mut seen_generation = 0u64;
     loop {
         let batch = {
-            let mut st = shared.state.lock().unwrap();
+            let mut st = lock_ignore_poison(&shared.state);
             loop {
                 if st.shutdown {
                     return;
@@ -281,7 +391,7 @@ fn worker_loop(shared: &Shared, slot: usize) {
                         break batch.clone();
                     }
                 }
-                st = shared.work.wait(st).unwrap();
+                st = shared.work.wait(st).unwrap_or_else(PoisonError::into_inner);
             }
         };
         execute_batch(&batch, slot);
@@ -291,7 +401,7 @@ fn worker_loop(shared: &Shared, slot: usize) {
         // alive by this worker's own Arc even if the caller has already
         // retired the batch.
         if batch.state.finished.load(Ordering::Acquire) >= batch.state.n {
-            drop(shared.state.lock().unwrap());
+            drop(lock_ignore_poison(&shared.state));
             shared.done.notify_all();
         }
     }
@@ -534,8 +644,109 @@ mod tests {
                     i
                 })
             }));
-            let msg = *result.unwrap_err().downcast::<&'static str>().unwrap();
-            assert_eq!(msg, "a worker-pool job panicked");
+            let msg = *result.unwrap_err().downcast::<String>().unwrap();
+            assert!(
+                msg.contains("map boom"),
+                "panic message lost the original payload: {msg:?}"
+            );
+        });
+    }
+
+    #[test]
+    fn try_run_returns_first_panic_message() {
+        WorkerPool::scoped(4, |pool| {
+            let err = pool
+                .try_run(16, &|i, _| {
+                    if i == 5 {
+                        panic!("stage exploded on job {i}");
+                    }
+                })
+                .unwrap_err();
+            assert!(
+                err.message.contains("stage exploded"),
+                "lost payload: {:?}",
+                err.message
+            );
+            // Pool is reusable; a clean batch succeeds.
+            assert!(pool.try_run(8, &|_, _| {}).is_ok());
+        });
+    }
+
+    #[test]
+    fn try_run_non_string_payload_gets_placeholder() {
+        WorkerPool::scoped(2, |pool| {
+            let err = pool
+                .try_run(4, &|i, _| {
+                    if i == 1 {
+                        std::panic::panic_any(42u32);
+                    }
+                })
+                .unwrap_err();
+            assert_eq!(err.message, "non-string panic payload");
+        });
+    }
+
+    #[test]
+    fn run_with_producer_overlaps_and_survives_job_panic() {
+        WorkerPool::scoped(4, |pool| {
+            let produced = AtomicBool::new(false);
+            let ran = AtomicUsize::new(0);
+            let err = pool
+                .run_with_producer(
+                    8,
+                    || produced.store(true, Ordering::SeqCst),
+                    &|i, _| {
+                        ran.fetch_add(1, Ordering::SeqCst);
+                        if i == 3 {
+                            panic!("mid-stream boom");
+                        }
+                    },
+                )
+                .unwrap_err();
+            assert!(produced.load(Ordering::SeqCst));
+            assert_eq!(ran.load(Ordering::SeqCst), 8, "batch did not drain");
+            assert!(err.message.contains("mid-stream boom"));
+        });
+    }
+
+    #[test]
+    fn run_with_producer_panicking_producer_does_not_orphan_batch() {
+        // The batch is published before the producer runs; a producer
+        // panic must not leave the batch slot occupied (which would
+        // deadlock the next caller) and its message must win.
+        WorkerPool::scoped(4, |pool| {
+            let ran = AtomicUsize::new(0);
+            let err = pool
+                .run_with_producer(
+                    8,
+                    || panic!("producer boom"),
+                    &|_, _| {
+                        ran.fetch_add(1, Ordering::SeqCst);
+                    },
+                )
+                .unwrap_err();
+            assert_eq!(ran.load(Ordering::SeqCst), 8);
+            assert!(err.message.contains("producer boom"));
+            // Next batch proceeds — the slot was freed.
+            assert_eq!(pool.map(4, |i, _| i), vec![0, 1, 2, 3]);
+        });
+    }
+
+    #[test]
+    fn pool_survives_poisoned_external_state_after_caught_panic() {
+        // A caught job panic may poison unrelated user mutexes; the pool's
+        // own locks must keep working (lock_ignore_poison) so back-to-back
+        // batches after a panic don't cascade into PoisonError unwraps.
+        WorkerPool::scoped(4, |pool| {
+            for round in 0..10 {
+                let r = pool.try_run(8, &|i, _| {
+                    if i == 2 {
+                        panic!("round {round} boom");
+                    }
+                });
+                assert!(r.unwrap_err().message.contains("boom"));
+                assert_eq!(pool.map(3, |i, _| i * 10), vec![0, 10, 20]);
+            }
         });
     }
 

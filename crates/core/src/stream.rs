@@ -1,0 +1,1427 @@
+//! Staged streaming pipeline: bounded-memory compress/decompress over
+//! `Read`/`Write` endpoints.
+//!
+//! The non-streaming API ([`Sperr::compress`]) holds the whole volume in
+//! RAM. This module drives the same per-chunk pipeline — ingest →
+//! wavelet → SPECK → outlier → lossless → ordered container emit —
+//! incrementally: the producer (caller thread) reads raw scalars row by
+//! row and assembles chunk buffers, replicated middle stages encode or
+//! decode chunks on the [`WorkerPool`], and an in-flight budget enforces
+//! back-pressure so peak raw-data memory is `O(in_flight × chunk)`
+//! instead of `O(volume)`. (Compressed chunk payloads still accumulate
+//! until the container header — which precedes them — can be written, so
+//! total memory is `O(in_flight × chunk + compressed_output)`.)
+//!
+//! # Back-pressure protocol
+//!
+//! One mutex-guarded [`PipeState`] plus two condvars per direction:
+//!
+//! * compress: the producer blocks acquiring a chunk buffer while
+//!   `in_flight ≥ budget`; workers wake it when they return a buffer.
+//!   Workers block waiting for *their* chunk index to appear in the
+//!   ready mailbox; the producer wakes them as chunks complete.
+//! * decompress: workers block acquiring a decode token (granted in
+//!   strict chunk-index order — see below); the emitter wakes them after
+//!   writing out a layer. The emitter blocks waiting for the decoded
+//!   chunks of the current layer.
+//!
+//! Decode tokens are granted in ascending chunk order: the pool's job
+//! counter hands indices out in order, but lock-acquisition races could
+//! otherwise let later chunks hog the whole budget while the emitter
+//! waits on an earlier layer — a deadlock. With ordered grants the
+//! lowest un-emitted layer always makes progress.
+//!
+//! # Cancellation semantics
+//!
+//! The first failure — reader/writer error, decode error (strict mode) or
+//! a caught worker panic — stores a typed [`SperrError`] in the shared
+//! state and broadcasts both condvars. Every wait loop re-checks the
+//! error and bails; chunks already being encoded/decoded run to
+//! completion (draining, not aborting, keeps buffer accounting exact);
+//! the producer stops at the next row boundary. The pool batch always
+//! drains fully, so no worker is left blocked and the pool stays usable.
+//!
+//! # Fault taxonomy
+//!
+//! * [`SperrError::Io`] — a `Read`/`Write` endpoint failed; carries the
+//!   pipeline stage (`stream.ingest` / `stream.emit`) and chunk index
+//!   when attributable.
+//! * [`SperrError::Codec`] — a typed codec error (corrupt stream,
+//!   truncation, limit violations); carries the stage label that raised
+//!   it and the chunk index when per-chunk.
+//! * [`SperrError::Panic`] — a worker panicked; carries the captured
+//!   panic message and the last stage label the panicking thread
+//!   entered. Never escapes as an unwind.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex};
+
+use crate::chunk::{chunk_grid, ChunkSpec};
+use crate::compressor::{
+    chunk_offsets, verify_chunk_crcs, Sperr, OUTER_LOSSLESS, OUTER_RAW, PER_CHUNK_HEADER_BITS,
+};
+use crate::container::{read_container, write_container, ChunkEntry, Header, Mode};
+use crate::crc32::crc32;
+use crate::faultpoint;
+use crate::pipeline::{
+    compress_chunk_bpp_with, compress_chunk_pwe_with, decompress_chunk_with, ChunkEncoding,
+    ScratchArena,
+};
+use crate::pool::{lock_ignore_poison, panic_payload_message, PerWorker, WorkerPool};
+use crate::stats::{stage_labels, CompressionStats, StageTimes};
+use crate::ChunkStatus;
+use sperr_compress_api::{Bound, CompressError, Precision};
+use sperr_telemetry::timed;
+
+/// Stage labels specific to the streaming pipeline (the per-chunk codec
+/// stages reuse [`stage_labels`]).
+pub const STAGE_INGEST: &str = "stream.ingest";
+/// See [`STAGE_INGEST`].
+pub const STAGE_EMIT: &str = "stream.emit";
+/// See [`STAGE_INGEST`].
+pub const STAGE_CONTAINER: &str = "stream.container";
+/// Fallback stage label when a panic cannot be attributed more precisely.
+pub const STAGE_PIPELINE: &str = "stream.pipeline";
+
+/// Typed error for the streaming pipeline. Every failure mode of
+/// [`Sperr::compress_stream`] / [`Sperr::decompress_stream`] surfaces as
+/// one of these — never a panic, never a hang.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SperrError {
+    /// A codec-level failure (corrupt/truncated/limit-violating stream,
+    /// invalid parameters).
+    Codec {
+        /// Pipeline stage that raised the error.
+        stage: &'static str,
+        /// Chunk index, when the failure is attributable to one chunk.
+        chunk: Option<usize>,
+        /// The underlying typed codec error.
+        source: CompressError,
+    },
+    /// A `Read`/`Write` endpoint failed.
+    Io {
+        /// Pipeline stage performing the I/O (`stream.ingest` or
+        /// `stream.emit`).
+        stage: &'static str,
+        /// Chunk index, when attributable.
+        chunk: Option<usize>,
+        /// The I/O error kind, preserved for caller dispatch (e.g. the
+        /// CLI's exit-code mapping).
+        kind: std::io::ErrorKind,
+        /// The error's display text.
+        message: String,
+    },
+    /// A worker panicked; the pipeline cancelled deterministically and
+    /// captured the payload.
+    Panic {
+        /// Last stage label the panicking thread entered.
+        stage: &'static str,
+        /// Chunk index being processed, when known.
+        chunk: Option<usize>,
+        /// The captured panic message.
+        message: String,
+    },
+}
+
+impl SperrError {
+    fn io(stage: &'static str, chunk: Option<usize>, e: &std::io::Error) -> Self {
+        SperrError::Io { stage, chunk, kind: e.kind(), message: e.to_string() }
+    }
+
+    /// The underlying codec error, when this is a codec failure.
+    pub fn codec_source(&self) -> Option<&CompressError> {
+        match self {
+            SperrError::Codec { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for SperrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let chunk = |c: &Option<usize>| match c {
+            Some(i) => format!(" (chunk {i})"),
+            None => String::new(),
+        };
+        match self {
+            SperrError::Codec { stage, chunk: c, source } => {
+                write!(f, "[{stage}{}] {source}", chunk(c))
+            }
+            SperrError::Io { stage, chunk: c, kind, message } => {
+                write!(f, "[{stage}{}] i/o error ({kind:?}): {message}", chunk(c))
+            }
+            SperrError::Panic { stage, chunk: c, message } => {
+                write!(f, "[{stage}{}] worker panicked: {message}", chunk(c))
+            }
+        }
+    }
+}
+
+impl std::error::Error for SperrError {}
+
+/// Outcome accounting for one streaming run.
+#[derive(Debug, Clone, Default)]
+pub struct StreamReport {
+    /// Raw bytes consumed from the reader.
+    pub bytes_in: u64,
+    /// Bytes written to the writer.
+    pub bytes_out: u64,
+    /// Chunks processed.
+    pub n_chunks: usize,
+    /// The effective in-flight chunk budget the run enforced (config
+    /// value clamped up to one chunk layer; see
+    /// [`SperrConfig::in_flight_chunks`](crate::SperrConfig)).
+    pub in_flight_budget: usize,
+    /// Highest number of raw chunk buffers simultaneously in flight —
+    /// always `≤ in_flight_budget`; the bounded-memory tests assert on
+    /// this.
+    pub peak_in_flight: usize,
+    /// Codec statistics (same accounting as the non-streaming path).
+    pub stats: CompressionStats,
+}
+
+/// Report of a resilient streaming decompression: the usual accounting
+/// plus one [`ChunkStatus`] per chunk, in chunk order.
+#[derive(Debug, Clone)]
+pub struct StreamResilientReport {
+    /// Run accounting.
+    pub report: StreamReport,
+    /// Per-chunk outcome, in chunk-grid order.
+    pub statuses: Vec<ChunkStatus>,
+}
+
+impl StreamResilientReport {
+    /// True when every chunk decoded cleanly.
+    pub fn all_ok(&self) -> bool {
+        self.statuses.iter().all(|s| matches!(s, ChunkStatus::Ok))
+    }
+}
+
+/// Geometry of the chunk grid as seen by the streaming drivers: chunks
+/// arrive (and leave) in z-layers because the raw volume is streamed in
+/// x-fastest row-major order.
+struct LayerGeometry {
+    dims: [usize; 3],
+    chunk_dims: [usize; 3],
+    /// Chunk-grid extent per axis.
+    nx: usize,
+    ny: usize,
+    nz: usize,
+}
+
+impl LayerGeometry {
+    fn new(dims: [usize; 3], chunk_dims: [usize; 3]) -> Self {
+        LayerGeometry {
+            dims,
+            chunk_dims,
+            nx: dims[0].div_ceil(chunk_dims[0]),
+            ny: dims[1].div_ceil(chunk_dims[1]),
+            nz: dims[2].div_ceil(chunk_dims[2]),
+        }
+    }
+
+    /// Chunks per z-layer.
+    fn layer_len(&self) -> usize {
+        self.nx * self.ny
+    }
+
+    /// Inclusive-exclusive z range of layer `l`.
+    fn z_range(&self, l: usize) -> (usize, usize) {
+        let z0 = l * self.chunk_dims[2];
+        (z0, (z0 + self.chunk_dims[2]).min(self.dims[2]))
+    }
+
+    /// Last volume-y covered by chunk row `cy`.
+    fn last_y(&self, cy: usize) -> usize {
+        ((cy + 1) * self.chunk_dims[1]).min(self.dims[1]) - 1
+    }
+}
+
+/// Reads raw little-endian scalars row by row, converting to `f64`
+/// exactly like the CLI's file reader (so streaming output is
+/// byte-identical to the file path).
+struct ScalarReader<R: Read> {
+    inner: R,
+    precision: Precision,
+    row_bytes: Vec<u8>,
+    row: Vec<f64>,
+    bytes_in: u64,
+}
+
+impl<R: Read> ScalarReader<R> {
+    fn new(inner: R, precision: Precision, row_len: usize) -> Self {
+        let scalar = match precision {
+            Precision::Single => 4,
+            Precision::Double => 8,
+        };
+        ScalarReader {
+            inner,
+            precision,
+            row_bytes: vec![0u8; row_len * scalar],
+            row: vec![0.0; row_len],
+            bytes_in: 0,
+        }
+    }
+
+    /// Reads one x-row of scalars; short reads surface as
+    /// `ErrorKind::UnexpectedEof`.
+    fn read_row(&mut self) -> Result<&[f64], SperrError> {
+        self.inner
+            .read_exact(&mut self.row_bytes)
+            .map_err(|e| SperrError::io(STAGE_INGEST, None, &e))?;
+        self.bytes_in += self.row_bytes.len() as u64;
+        match self.precision {
+            Precision::Single => {
+                for (dst, src) in self.row.iter_mut().zip(self.row_bytes.chunks_exact(4)) {
+                    *dst = f32::from_le_bytes([src[0], src[1], src[2], src[3]]) as f64;
+                }
+            }
+            Precision::Double => {
+                for (dst, src) in self.row.iter_mut().zip(self.row_bytes.chunks_exact(8)) {
+                    *dst = f64::from_le_bytes([
+                        src[0], src[1], src[2], src[3], src[4], src[5], src[6], src[7],
+                    ]);
+                }
+            }
+        }
+        Ok(&self.row)
+    }
+}
+
+/// Writes `f64` rows as raw little-endian scalars, matching the CLI's
+/// file writer byte for byte.
+struct ScalarWriter<W: Write> {
+    inner: W,
+    precision: Precision,
+    buf: Vec<u8>,
+    bytes_out: u64,
+}
+
+impl<W: Write> ScalarWriter<W> {
+    fn new(inner: W, precision: Precision) -> Self {
+        ScalarWriter { inner, precision, buf: Vec::new(), bytes_out: 0 }
+    }
+
+    fn write_row(&mut self, row: &[f64]) -> Result<(), SperrError> {
+        self.buf.clear();
+        match self.precision {
+            Precision::Single => {
+                for &v in row {
+                    self.buf.extend_from_slice(&(v as f32).to_le_bytes());
+                }
+            }
+            Precision::Double => {
+                for &v in row {
+                    self.buf.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+        }
+        self.inner
+            .write_all(&self.buf)
+            .map_err(|e| SperrError::io(STAGE_EMIT, None, &e))?;
+        self.bytes_out += self.buf.len() as u64;
+        Ok(())
+    }
+
+    fn write_all_at_once(&mut self, bytes: &[u8]) -> Result<(), SperrError> {
+        self.inner
+            .write_all(bytes)
+            .map_err(|e| SperrError::io(STAGE_EMIT, None, &e))?;
+        self.bytes_out += bytes.len() as u64;
+        Ok(())
+    }
+
+    fn flush(&mut self) -> Result<(), SperrError> {
+        self.inner.flush().map_err(|e| SperrError::io(STAGE_EMIT, None, &e))
+    }
+}
+
+/// Sink for the ingest loop: hands out chunk buffers and receives them
+/// back filled. The serial driver encodes inline; the parallel driver's
+/// sink is the back-pressured handoff to the worker stages.
+trait ChunkSink {
+    fn acquire(&mut self, idx: usize) -> Result<Vec<f64>, SperrError>;
+    fn complete(&mut self, idx: usize, buf: Vec<f64>) -> Result<(), SperrError>;
+}
+
+/// Streams the raw volume row by row, assembling each chunk's x-fastest
+/// buffer in exactly the order `extract_chunk_into` would, and handing
+/// completed chunks to the sink. Chunks complete as early as possible
+/// (during the layer's last z-plane, per chunk row) so downstream stages
+/// overlap with ingest.
+fn ingest_volume<R: Read>(
+    rd: &mut ScalarReader<R>,
+    geo: &LayerGeometry,
+    grid: &[ChunkSpec],
+    sink: &mut dyn ChunkSink,
+) -> Result<(), SperrError> {
+    let layer_len = geo.layer_len();
+    for l in 0..geo.nz {
+        let (z0, z1) = geo.z_range(l);
+        let base = l * layer_len;
+        let mut bufs: Vec<Option<Vec<f64>>> = Vec::with_capacity(layer_len);
+        for p in 0..layer_len {
+            let idx = base + p;
+            let mut b = sink.acquire(idx)?;
+            b.clear();
+            b.reserve(grid[idx].len());
+            bufs.push(Some(b));
+        }
+        for z in z0..z1 {
+            faultpoint::stage(STAGE_INGEST);
+            for y in 0..geo.dims[1] {
+                let row = rd.read_row()?;
+                let cy = y / geo.chunk_dims[1];
+                for cx in 0..geo.nx {
+                    let p = cy * geo.nx + cx;
+                    let spec = &grid[base + p];
+                    let ox = spec.offset[0];
+                    if let Some(buf) = bufs[p].as_mut() {
+                        buf.extend_from_slice(&row[ox..ox + spec.dims[0]]);
+                    }
+                }
+                // Chunk row (cy, all cx) completes on its last (y, z).
+                if z + 1 == z1 && y == geo.last_y(cy) {
+                    for cx in 0..geo.nx {
+                        let p = cy * geo.nx + cx;
+                        if let Some(buf) = bufs[p].take() {
+                            sink.complete(base + p, buf)?;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Shared state of one parallel streaming run.
+struct PipeState {
+    /// Completed chunk buffers awaiting their worker (compress) or the
+    /// emitter (decompress): index → payload.
+    ready: HashMap<usize, ReadyChunk>,
+    /// Returned raw buffers for reuse (compress only).
+    free: Vec<Vec<f64>>,
+    /// Buffers/tokens currently in flight.
+    in_flight: usize,
+    /// High-water mark of `in_flight`.
+    peak: usize,
+    /// Next chunk index allowed to take a decode token (decompress);
+    /// tokens are granted in ascending order to keep the lowest
+    /// un-emitted layer progressing.
+    next_token: usize,
+    /// First failure; set once, checked by every wait loop.
+    error: Option<SperrError>,
+}
+
+enum ReadyChunk {
+    Raw(Vec<f64>),
+    Decoded { data: Vec<f64>, status: ChunkStatus, times: StageTimes },
+}
+
+struct PipeShared {
+    state: Mutex<PipeState>,
+    /// Wakes the producer/emitter side.
+    caller_cv: Condvar,
+    /// Wakes worker-side waits.
+    worker_cv: Condvar,
+    budget: usize,
+}
+
+impl PipeShared {
+    fn new(budget: usize) -> Self {
+        PipeShared {
+            state: Mutex::new(PipeState {
+                ready: HashMap::new(),
+                free: Vec::new(),
+                in_flight: 0,
+                peak: 0,
+                next_token: 0,
+                error: None,
+            }),
+            caller_cv: Condvar::new(),
+            worker_cv: Condvar::new(),
+            budget,
+        }
+    }
+
+    /// Records the first error and wakes every waiter on both sides.
+    fn cancel(&self, err: SperrError) {
+        let mut st = lock_ignore_poison(&self.state);
+        if st.error.is_none() {
+            st.error = Some(err);
+        }
+        drop(st);
+        self.caller_cv.notify_all();
+        self.worker_cv.notify_all();
+    }
+
+    fn take_error(&self) -> Option<SperrError> {
+        lock_ignore_poison(&self.state).error.take()
+    }
+
+    fn peak_in_flight(&self) -> usize {
+        lock_ignore_poison(&self.state).peak
+    }
+}
+
+/// Raw pointer wrapper for disjoint per-chunk result writes from pool
+/// jobs (same pattern as `WorkerPool::map`).
+struct SlotPtr<T>(*mut Option<T>);
+unsafe impl<T> Send for SlotPtr<T> {}
+unsafe impl<T> Sync for SlotPtr<T> {}
+impl<T> SlotPtr<T> {
+    /// # Safety
+    ///
+    /// `i` in bounds; each index written by exactly one job.
+    unsafe fn put(&self, i: usize, v: T) {
+        *self.0.add(i) = Some(v);
+    }
+}
+
+impl Sperr {
+    /// Resolved in-flight chunk budget: the configured value (0 = auto,
+    /// 2 × worker threads), clamped up to one chunk layer — a row-major
+    /// stream cannot complete any chunk without buffering its whole
+    /// z-layer.
+    fn resolve_budget(&self, threads: usize, layer_len: usize) -> usize {
+        let configured = if self.config().in_flight_chunks == 0 {
+            2 * threads
+        } else {
+            self.config().in_flight_chunks
+        };
+        configured.max(layer_len).max(1)
+    }
+
+    /// Streaming compression: reads `dims[0]·dims[1]·dims[2]` raw
+    /// little-endian scalars (f32 or f64 per `precision`, x fastest) from
+    /// `reader` and writes a SPERR stream to `writer`. Output is
+    /// byte-identical to [`Sperr::compress`] on the same data; peak
+    /// raw-data memory is bounded by the in-flight chunk budget (times
+    /// chunk size) rather than the volume size.
+    ///
+    /// PSNR bounds are rejected: they require full-volume statistics
+    /// (the data range) that a single pass cannot provide.
+    pub fn compress_stream<R: Read, W: Write>(
+        &self,
+        reader: R,
+        writer: W,
+        dims: [usize; 3],
+        precision: Precision,
+        bound: Bound,
+    ) -> Result<StreamReport, SperrError> {
+        // Outer guard: a panic anywhere on the caller thread (e.g. in
+        // container assembly, after the pool has drained) still surfaces
+        // as a typed error — nothing unwinds out of the public API.
+        catch_unwind(AssertUnwindSafe(|| {
+            self.compress_stream_inner(reader, writer, dims, precision, bound)
+        }))
+        .unwrap_or_else(|p| {
+            Err(SperrError::Panic {
+                stage: faultpoint::last_stage(),
+                chunk: None,
+                message: panic_payload_message(p.as_ref()),
+            })
+        })
+    }
+
+    fn compress_stream_inner<R: Read, W: Write>(
+        &self,
+        reader: R,
+        writer: W,
+        dims: [usize; 3],
+        precision: Precision,
+        bound: Bound,
+    ) -> Result<StreamReport, SperrError> {
+        let invalid = |msg: String| SperrError::Codec {
+            stage: STAGE_INGEST,
+            chunk: None,
+            source: CompressError::Invalid(msg),
+        };
+        if dims.iter().any(|&d| d == 0) {
+            return Err(invalid("empty field".into()));
+        }
+        let (mode, bound_value) = match bound {
+            Bound::Pwe(t) => {
+                if !(t > 0.0) || !t.is_finite() {
+                    return Err(invalid(format!("invalid tolerance {t}")));
+                }
+                (Mode::Pwe, t)
+            }
+            Bound::Bpp(r) => {
+                if !(r > 0.0) || !r.is_finite() {
+                    return Err(invalid(format!("invalid bitrate {r}")));
+                }
+                (Mode::Bpp, r)
+            }
+            Bound::Psnr(_) => {
+                return Err(SperrError::Codec {
+                    stage: STAGE_INGEST,
+                    chunk: None,
+                    source: CompressError::Unsupported(
+                        "PSNR-bounded compression needs the full-volume data range; \
+                         unavailable in single-pass streaming",
+                    ),
+                });
+            }
+        };
+        let total_points: usize = dims.iter().product();
+        let _run = sperr_telemetry::span!("sperr.compress_stream", total_points);
+
+        let cfg = self.config().clone();
+        let grid = chunk_grid(dims, cfg.chunk_dims);
+        let geo = LayerGeometry::new(dims, cfg.chunk_dims);
+        let n_chunks = grid.len();
+        let threads = self.effective_threads(&grid);
+        let budget = self.resolve_budget(threads, geo.layer_len());
+
+        let mut rd = ScalarReader::new(reader, precision, dims[0]);
+        let mut results: Vec<Option<ChunkEncoding>> = (0..n_chunks).map(|_| None).collect();
+        let encode_chunk = |data: &[f64],
+                            spec: &ChunkSpec,
+                            pool: &WorkerPool,
+                            arena: &mut ScratchArena|
+         -> ChunkEncoding {
+            match mode {
+                Mode::Pwe => compress_chunk_pwe_with(
+                    data, spec.dims, bound_value, cfg.q_factor, cfg.kernel, pool, arena,
+                ),
+                Mode::Bpp => {
+                    let bits = ((bound_value * spec.len() as f64) as usize)
+                        .saturating_sub(PER_CHUNK_HEADER_BITS);
+                    compress_chunk_bpp_with(data, spec.dims, bits, cfg.kernel, pool, arena)
+                }
+                // PSNR was rejected above; this arm cannot execute.
+                Mode::Rmse => unreachable!("PSNR mode rejected for streaming"),
+            }
+        };
+
+        let peak_in_flight;
+        if threads == 1 {
+            // Serial driver: ingest a layer, encode its chunks inline,
+            // reuse the buffers. In flight = one layer by construction.
+            struct SerialSink<'a> {
+                free: Vec<Vec<f64>>,
+                in_flight: usize,
+                peak: usize,
+                grid: &'a [ChunkSpec],
+                results: &'a mut [Option<ChunkEncoding>],
+                encode: &'a dyn Fn(
+                    &[f64],
+                    &ChunkSpec,
+                    &WorkerPool,
+                    &mut ScratchArena,
+                ) -> ChunkEncoding,
+                pool: &'a WorkerPool,
+                arena: ScratchArena,
+            }
+            impl ChunkSink for SerialSink<'_> {
+                fn acquire(&mut self, _idx: usize) -> Result<Vec<f64>, SperrError> {
+                    self.in_flight += 1;
+                    self.peak = self.peak.max(self.in_flight);
+                    Ok(self.free.pop().unwrap_or_default())
+                }
+                fn complete(&mut self, idx: usize, buf: Vec<f64>) -> Result<(), SperrError> {
+                    let r = catch_unwind(AssertUnwindSafe(|| {
+                        (self.encode)(&buf, &self.grid[idx], self.pool, &mut self.arena)
+                    }));
+                    self.in_flight -= 1;
+                    self.free.push(buf);
+                    match r {
+                        Ok(enc) => {
+                            self.results[idx] = Some(enc);
+                            Ok(())
+                        }
+                        Err(p) => Err(SperrError::Panic {
+                            stage: faultpoint::last_stage(),
+                            chunk: Some(idx),
+                            message: panic_payload_message(p.as_ref()),
+                        }),
+                    }
+                }
+            }
+            let pool = WorkerPool::inline();
+            let mut sink = SerialSink {
+                free: Vec::new(),
+                in_flight: 0,
+                peak: 0,
+                grid: &grid,
+                results: &mut results,
+                encode: &encode_chunk,
+                pool: &pool,
+                arena: ScratchArena::new(),
+            };
+            ingest_volume(&mut rd, &geo, &grid, &mut sink)?;
+            peak_in_flight = sink.peak;
+        } else {
+            let shared = PipeShared::new(budget);
+            let results_ptr = SlotPtr(results.as_mut_ptr());
+            let grid_ref = &grid;
+            let shared_ref = &shared;
+            let run = WorkerPool::scoped(threads, |pool| {
+                let arenas = PerWorker::new(pool.threads(), ScratchArena::new);
+                let worker = |i: usize, w: usize| {
+                    // Wait for chunk i (or cancellation).
+                    let buf = {
+                        let mut st = lock_ignore_poison(&shared_ref.state);
+                        loop {
+                            if st.error.is_some() {
+                                return;
+                            }
+                            if let Some(ReadyChunk::Raw(b)) = st.ready.remove(&i) {
+                                break b;
+                            }
+                            st = shared_ref
+                                .worker_cv
+                                .wait(st)
+                                .unwrap_or_else(std::sync::PoisonError::into_inner);
+                        }
+                    };
+                    // SAFETY: one thread per worker slot (pool contract).
+                    let arena = unsafe { arenas.get(w) };
+                    let r = catch_unwind(AssertUnwindSafe(|| {
+                        encode_chunk(&buf, &grid_ref[i], pool, arena)
+                    }));
+                    match r {
+                        // SAFETY: each job writes exactly its own slot.
+                        Ok(enc) => unsafe { results_ptr.put(i, enc) },
+                        Err(p) => shared_ref.cancel(SperrError::Panic {
+                            stage: faultpoint::last_stage(),
+                            chunk: Some(i),
+                            message: panic_payload_message(p.as_ref()),
+                        }),
+                    }
+                    // Return the buffer and unblock the producer.
+                    let mut st = lock_ignore_poison(&shared_ref.state);
+                    st.free.push(buf);
+                    st.in_flight -= 1;
+                    drop(st);
+                    shared_ref.caller_cv.notify_all();
+                };
+                let producer = || {
+                    struct ParallelSink<'a> {
+                        shared: &'a PipeShared,
+                    }
+                    impl ChunkSink for ParallelSink<'_> {
+                        fn acquire(&mut self, _idx: usize) -> Result<Vec<f64>, SperrError> {
+                            let mut st = lock_ignore_poison(&self.shared.state);
+                            loop {
+                                if let Some(e) = &st.error {
+                                    return Err(e.clone());
+                                }
+                                if st.in_flight < self.shared.budget {
+                                    st.in_flight += 1;
+                                    st.peak = st.peak.max(st.in_flight);
+                                    return Ok(st.free.pop().unwrap_or_default());
+                                }
+                                st = self
+                                    .shared
+                                    .caller_cv
+                                    .wait(st)
+                                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                            }
+                        }
+                        fn complete(&mut self, idx: usize, buf: Vec<f64>) -> Result<(), SperrError> {
+                            let mut st = lock_ignore_poison(&self.shared.state);
+                            if let Some(e) = &st.error {
+                                return Err(e.clone());
+                            }
+                            st.ready.insert(idx, ReadyChunk::Raw(buf));
+                            drop(st);
+                            self.shared.worker_cv.notify_all();
+                            Ok(())
+                        }
+                    }
+                    let mut sink = ParallelSink { shared: shared_ref };
+                    let body = catch_unwind(AssertUnwindSafe(|| {
+                        ingest_volume(&mut rd, &geo, grid_ref, &mut sink)
+                    }));
+                    match body {
+                        Ok(Ok(())) => {}
+                        Ok(Err(e)) => shared_ref.cancel(e),
+                        Err(p) => shared_ref.cancel(SperrError::Panic {
+                            stage: faultpoint::last_stage(),
+                            chunk: None,
+                            message: panic_payload_message(p.as_ref()),
+                        }),
+                    }
+                };
+                pool.run_with_producer(n_chunks, producer, &worker)
+            });
+            if let Some(e) = shared.take_error() {
+                return Err(e);
+            }
+            if let Err(jp) = run {
+                return Err(SperrError::Panic {
+                    stage: STAGE_PIPELINE,
+                    chunk: None,
+                    message: jp.message,
+                });
+            }
+            peak_in_flight = shared.peak_in_flight();
+        }
+
+        // All chunks encoded (any failure returned above); assemble and
+        // emit the container exactly like the non-streaming path.
+        let mut encoded = Vec::with_capacity(n_chunks);
+        for (i, slot) in results.into_iter().enumerate() {
+            match slot {
+                Some(enc) => encoded.push(enc),
+                None => {
+                    return Err(SperrError::Panic {
+                        stage: STAGE_PIPELINE,
+                        chunk: Some(i),
+                        message: "chunk result missing after pipeline drain".into(),
+                    })
+                }
+            }
+        }
+        let mut stats = CompressionStats {
+            num_points: total_points,
+            num_chunks: n_chunks,
+            ..CompressionStats::default()
+        };
+        for enc in &encoded {
+            stats.speck_bits += enc.speck_bits;
+            stats.outlier_bits += enc.outlier_bits;
+            stats.num_outliers += enc.num_outliers as usize;
+            stats.stage_times.accumulate(&enc.times);
+            stats.coeff_sq_error += enc.coeff_sq_error;
+        }
+        faultpoint::stage(STAGE_CONTAINER);
+        let header = Header {
+            mode,
+            kernel: cfg.kernel,
+            precision,
+            dims,
+            chunk_dims: cfg.chunk_dims,
+            bound_value,
+            n_chunks,
+        };
+        let (container, container_time) =
+            timed(stage_labels::CONTAINER_WRITE, || write_container(&header, &encoded));
+        stats.container_bytes = container.len();
+        stats.stage_times.container = container_time;
+        let mut out = Vec::with_capacity(container.len() + 1);
+        if cfg.lossless {
+            let (packed, lossless_time) =
+                timed(stage_labels::LOSSLESS_COMPRESS, || sperr_lossless::compress(&container));
+            out.push(OUTER_LOSSLESS);
+            out.extend_from_slice(&packed);
+            stats.stage_times.lossless = lossless_time;
+        } else {
+            out.push(OUTER_RAW);
+            out.extend_from_slice(&container);
+        }
+        stats.output_bytes = out.len();
+
+        faultpoint::stage(STAGE_EMIT);
+        let mut wr = ScalarWriter::new(writer, precision);
+        wr.write_all_at_once(&out)?;
+        wr.flush()?;
+        Ok(StreamReport {
+            bytes_in: rd.bytes_in,
+            bytes_out: wr.bytes_out,
+            n_chunks,
+            in_flight_budget: budget,
+            peak_in_flight,
+            stats,
+        })
+    }
+
+    /// Streaming strict decompression: reads a SPERR stream from `reader`
+    /// and writes the raw little-endian scalar volume (x fastest) to
+    /// `writer`, in `out_precision` (or the stream's recorded precision
+    /// when `None`). Any chunk failure (checksum mismatch, decode error)
+    /// fails the whole run with a typed error; see
+    /// [`Sperr::decompress_stream_resilient`] for the
+    /// salvage-what-you-can variant. Decoded chunks held in memory are
+    /// bounded by the in-flight budget.
+    pub fn decompress_stream<R: Read, W: Write>(
+        &self,
+        reader: R,
+        writer: W,
+        out_precision: Option<Precision>,
+    ) -> Result<StreamReport, SperrError> {
+        self.decompress_stream_impl(reader, writer, out_precision, false).map(|r| r.report)
+    }
+
+    /// Streaming resilient decompression: like
+    /// [`Sperr::decompress_stream`], but a corrupt chunk yields its
+    /// [`ChunkStatus`] and a neutral zero-filled region while the stream
+    /// continues — the streaming form of
+    /// [`Sperr::decompress_resilient`].
+    pub fn decompress_stream_resilient<R: Read, W: Write>(
+        &self,
+        reader: R,
+        writer: W,
+        out_precision: Option<Precision>,
+    ) -> Result<StreamResilientReport, SperrError> {
+        self.decompress_stream_impl(reader, writer, out_precision, true)
+    }
+
+    fn decompress_stream_impl<R: Read, W: Write>(
+        &self,
+        reader: R,
+        writer: W,
+        out_precision: Option<Precision>,
+        resilient: bool,
+    ) -> Result<StreamResilientReport, SperrError> {
+        // Outer guard: see `compress_stream`.
+        catch_unwind(AssertUnwindSafe(|| {
+            self.decompress_stream_inner(reader, writer, out_precision, resilient)
+        }))
+        .unwrap_or_else(|p| {
+            Err(SperrError::Panic {
+                stage: faultpoint::last_stage(),
+                chunk: None,
+                message: panic_payload_message(p.as_ref()),
+            })
+        })
+    }
+
+    fn decompress_stream_inner<R: Read, W: Write>(
+        &self,
+        mut reader: R,
+        writer: W,
+        out_precision: Option<Precision>,
+        resilient: bool,
+    ) -> Result<StreamResilientReport, SperrError> {
+        // The container places header + chunk table + checksums before
+        // the payloads, and the lossless outer pass spans everything, so
+        // the compressed input must be held whole; what stays bounded is
+        // the *decoded* side.
+        let mut stream = Vec::new();
+        faultpoint::stage(STAGE_INGEST);
+        reader
+            .read_to_end(&mut stream)
+            .map_err(|e| SperrError::io(STAGE_INGEST, None, &e))?;
+        let bytes_in = stream.len() as u64;
+        let _run = sperr_telemetry::span!("sperr.decompress_stream", stream.len());
+
+        let codec_err = |stage: &'static str, chunk: Option<usize>, source: CompressError| {
+            SperrError::Codec { stage, chunk, source }
+        };
+        faultpoint::stage(STAGE_CONTAINER);
+        let (container, _) = Sperr::unwrap_outer(&stream)
+            .map_err(|e| codec_err(STAGE_CONTAINER, None, e))?;
+        let parsed =
+            read_container(&container).map_err(|e| codec_err(STAGE_CONTAINER, None, e))?;
+        if !resilient {
+            verify_chunk_crcs(&container, &parsed)
+                .map_err(|e| codec_err(STAGE_CONTAINER, None, e))?;
+        }
+        let header = parsed.header.clone();
+        let grid = chunk_grid(header.dims, header.chunk_dims);
+        if grid.len() != parsed.entries.len() {
+            return Err(codec_err(
+                STAGE_CONTAINER,
+                None,
+                CompressError::Corrupt("chunk table size mismatch".into()),
+            ));
+        }
+        let offsets = chunk_offsets(&parsed.entries, parsed.payload_start);
+        let tolerance = match header.mode {
+            Mode::Pwe => header.bound_value,
+            Mode::Bpp | Mode::Rmse => 0.0,
+        };
+        let geo = LayerGeometry::new(header.dims, header.chunk_dims);
+        let n_chunks = grid.len();
+        let threads = self.effective_threads(&grid);
+        let budget = self.resolve_budget(threads, geo.layer_len());
+        let kernel = header.kernel;
+
+        // Decodes chunk i, honoring resilient semantics: Ok(status) with
+        // a data buffer (zero-filled on per-chunk failure), Err on a
+        // strict-mode failure.
+        let decode_chunk = |i: usize,
+                            pool: &WorkerPool,
+                            arena: &mut ScratchArena|
+         -> Result<(Vec<f64>, ChunkStatus, StageTimes), SperrError> {
+            let e: &ChunkEntry = &parsed.entries[i];
+            let start = offsets[i];
+            let payload = &container[start..start + e.speck_len + e.outlier_len];
+            let spec = &grid[i];
+            if resilient {
+                if let Some(crcs) = &parsed.chunk_crcs {
+                    if crc32(payload) != crcs[i] {
+                        return Ok((
+                            vec![0.0; spec.len()],
+                            ChunkStatus::ChecksumMismatch,
+                            StageTimes::default(),
+                        ));
+                    }
+                }
+            }
+            let (speck, outlier) = payload.split_at(e.speck_len);
+            let r = catch_unwind(AssertUnwindSafe(|| {
+                decompress_chunk_with(
+                    speck,
+                    outlier,
+                    spec.dims,
+                    e.q,
+                    e.num_planes,
+                    e.max_n,
+                    tolerance,
+                    kernel,
+                    pool,
+                    arena,
+                )
+            }));
+            match r {
+                Ok(Ok((data, times))) => Ok((data, ChunkStatus::Ok, times)),
+                Ok(Err(ce)) => {
+                    if resilient {
+                        Ok((
+                            vec![0.0; spec.len()],
+                            ChunkStatus::DecodeFailed(ce),
+                            StageTimes::default(),
+                        ))
+                    } else {
+                        Err(codec_err(faultpoint::last_stage(), Some(i), ce))
+                    }
+                }
+                Err(p) => Err(SperrError::Panic {
+                    stage: faultpoint::last_stage(),
+                    chunk: Some(i),
+                    message: panic_payload_message(p.as_ref()),
+                }),
+            }
+        };
+
+        let mut wr = ScalarWriter::new(writer, out_precision.unwrap_or(header.precision));
+        let mut statuses: Vec<ChunkStatus> = Vec::with_capacity(n_chunks);
+        let mut stats = CompressionStats {
+            num_points: header.dims.iter().product(),
+            num_chunks: n_chunks,
+            container_bytes: container.len(),
+            output_bytes: stream.len(),
+            ..CompressionStats::default()
+        };
+        let mut row = vec![0.0f64; header.dims[0]];
+
+        let peak_in_flight;
+        // `n_chunks == 1` must use the serial driver too: the pool's
+        // single-job fast path runs the producer to completion before the
+        // job, and this direction's producer (the emitter) blocks waiting
+        // for the decoded chunk — producer-first would deadlock.
+        if threads == 1 || n_chunks == 1 {
+            // Chunks decode inline on the caller, but inside a scoped
+            // pool so a lone chunk still fans its wavelet/SPECK passes
+            // out across workers (decode_chunk nests `pool.run`).
+            peak_in_flight = WorkerPool::scoped(threads, |pool| {
+                let mut arena = ScratchArena::new();
+                let mut peak = 0usize;
+                for l in 0..geo.nz {
+                    let base = l * geo.layer_len();
+                    let mut layer: Vec<Vec<f64>> = Vec::with_capacity(geo.layer_len());
+                    for p in 0..geo.layer_len() {
+                        let (data, status, times) = decode_chunk(base + p, pool, &mut arena)?;
+                        stats.stage_times.accumulate(&times);
+                        statuses.push(status);
+                        layer.push(data);
+                    }
+                    peak = peak.max(layer.len());
+                    emit_layer(&mut wr, &geo, &grid, base, &layer, &mut row)?;
+                }
+                Ok::<usize, SperrError>(peak)
+            })?;
+        } else {
+            let shared = PipeShared::new(budget);
+            let shared_ref = &shared;
+            let statuses_ref = &mut statuses;
+            let stats_ref = &mut stats;
+            let wr_ref = &mut wr;
+            let row_ref = &mut row;
+            let geo_ref = &geo;
+            let grid_ref = &grid;
+            let decode_ref = &decode_chunk;
+            let run = WorkerPool::scoped(threads, |pool| {
+                let arenas = PerWorker::new(pool.threads(), ScratchArena::new);
+                let worker = |i: usize, w: usize| {
+                    // Ordered token grant (see module docs).
+                    {
+                        let mut st = lock_ignore_poison(&shared_ref.state);
+                        loop {
+                            if st.error.is_some() {
+                                return;
+                            }
+                            if st.next_token == i && st.in_flight < shared_ref.budget {
+                                st.in_flight += 1;
+                                st.next_token += 1;
+                                st.peak = st.peak.max(st.in_flight);
+                                break;
+                            }
+                            st = shared_ref
+                                .worker_cv
+                                .wait(st)
+                                .unwrap_or_else(std::sync::PoisonError::into_inner);
+                        }
+                        drop(st);
+                        // The grant advanced next_token: other waiters
+                        // (including the next index) must re-check.
+                        shared_ref.worker_cv.notify_all();
+                    }
+                    // SAFETY: one thread per worker slot (pool contract).
+                    let arena = unsafe { arenas.get(w) };
+                    match decode_ref(i, pool, arena) {
+                        Ok((data, status, times)) => {
+                            let mut st = lock_ignore_poison(&shared_ref.state);
+                            st.ready.insert(i, ReadyChunk::Decoded { data, status, times });
+                            drop(st);
+                            shared_ref.caller_cv.notify_all();
+                        }
+                        Err(e) => {
+                            // Token stays accounted; cancellation stops
+                            // the run, so the budget is moot.
+                            shared_ref.cancel(e);
+                        }
+                    }
+                };
+                let emitter = || {
+                    let body = catch_unwind(AssertUnwindSafe(
+                        || -> Result<(), SperrError> {
+                            for l in 0..geo_ref.nz {
+                                let base = l * geo_ref.layer_len();
+                                let mut layer: Vec<Vec<f64>> =
+                                    Vec::with_capacity(geo_ref.layer_len());
+                                for p in 0..geo_ref.layer_len() {
+                                    let idx = base + p;
+                                    let chunk = {
+                                        let mut st = lock_ignore_poison(&shared_ref.state);
+                                        loop {
+                                            if let Some(e) = &st.error {
+                                                return Err(e.clone());
+                                            }
+                                            if let Some(c) = st.ready.remove(&idx) {
+                                                break c;
+                                            }
+                                            st = shared_ref
+                                                .caller_cv
+                                                .wait(st)
+                                                .unwrap_or_else(
+                                                    std::sync::PoisonError::into_inner,
+                                                );
+                                        }
+                                    };
+                                    let ReadyChunk::Decoded { data, status, times } = chunk
+                                    else {
+                                        // Only decoded chunks enter the
+                                        // mailbox on this path.
+                                        continue;
+                                    };
+                                    stats_ref.stage_times.accumulate(&times);
+                                    statuses_ref.push(status);
+                                    layer.push(data);
+                                }
+                                emit_layer(wr_ref, geo_ref, grid_ref, base, &layer, row_ref)?;
+                                // Layer written: release its decode
+                                // tokens and wake token waiters.
+                                let mut st = lock_ignore_poison(&shared_ref.state);
+                                st.in_flight -= layer.len();
+                                drop(st);
+                                shared_ref.worker_cv.notify_all();
+                            }
+                            Ok(())
+                        },
+                    ));
+                    match body {
+                        Ok(Ok(())) => {}
+                        Ok(Err(e)) => shared_ref.cancel(e),
+                        Err(p) => shared_ref.cancel(SperrError::Panic {
+                            stage: faultpoint::last_stage(),
+                            chunk: None,
+                            message: panic_payload_message(p.as_ref()),
+                        }),
+                    }
+                };
+                pool.run_with_producer(n_chunks, emitter, &worker)
+            });
+            if let Some(e) = shared.take_error() {
+                return Err(e);
+            }
+            if let Err(jp) = run {
+                return Err(SperrError::Panic {
+                    stage: STAGE_PIPELINE,
+                    chunk: None,
+                    message: jp.message,
+                });
+            }
+            peak_in_flight = shared.peak_in_flight();
+        }
+
+        wr.flush()?;
+        Ok(StreamResilientReport {
+            report: StreamReport {
+                bytes_in,
+                bytes_out: wr.bytes_out,
+                n_chunks,
+                in_flight_budget: budget,
+                peak_in_flight,
+                stats,
+            },
+            statuses,
+        })
+    }
+}
+
+/// Writes one chunk layer's z-planes to the writer, interleaving the
+/// per-chunk buffers back into x-fastest volume rows.
+fn emit_layer<W: Write>(
+    wr: &mut ScalarWriter<W>,
+    geo: &LayerGeometry,
+    grid: &[ChunkSpec],
+    base: usize,
+    layer: &[Vec<f64>],
+    row: &mut [f64],
+) -> Result<(), SperrError> {
+    let l = base / geo.layer_len();
+    let (z0, z1) = geo.z_range(l);
+    for z in z0..z1 {
+        faultpoint::stage(STAGE_EMIT);
+        for y in 0..geo.dims[1] {
+            let cy = y / geo.chunk_dims[1];
+            for cx in 0..geo.nx {
+                let p = cy * geo.nx + cx;
+                let spec = &grid[base + p];
+                let lz = z - spec.offset[2];
+                let ly = y - spec.offset[1];
+                let cdx = spec.dims[0];
+                let src = &layer[p][cdx * (ly + spec.dims[1] * lz)..][..cdx];
+                row[spec.offset[0]..spec.offset[0] + cdx].copy_from_slice(src);
+            }
+            wr.write_row(row)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SperrConfig;
+    use sperr_compress_api::{Field, LossyCompressor};
+
+    fn wavy(dims: [usize; 3]) -> Field {
+        Field::from_fn(dims, |x, y, z| {
+            (x as f64 * 0.29).sin() * 30.0
+                + (y as f64 * 0.15).cos() * 12.0
+                + ((x * z) as f64 * 0.013).sin() * 5.0
+                + z as f64 * 0.4
+        })
+    }
+
+    fn raw_bytes(field: &Field, precision: Precision) -> Vec<u8> {
+        let mut out = Vec::new();
+        for &v in &field.data {
+            match precision {
+                Precision::Single => out.extend_from_slice(&(v as f32).to_le_bytes()),
+                Precision::Double => out.extend_from_slice(&v.to_le_bytes()),
+            }
+        }
+        out
+    }
+
+    fn cfg(threads: usize) -> SperrConfig {
+        SperrConfig {
+            chunk_dims: [16, 16, 16],
+            num_threads: threads,
+            ..SperrConfig::default()
+        }
+    }
+
+    #[test]
+    fn stream_compress_matches_in_memory_across_threads() {
+        // Non-divisible dims: boundary chunks on every axis, 2 z-layers.
+        let dims = [40usize, 28, 20];
+        let field = wavy(dims);
+        for precision in [Precision::Double, Precision::Single] {
+            let raw = raw_bytes(&field, precision);
+            // The in-memory reference must see exactly the f64 values the
+            // stream reader reconstructs (f32 roundtrip for Single).
+            let mut ref_field = field.clone().with_precision(precision);
+            if precision == Precision::Single {
+                for v in &mut ref_field.data {
+                    *v = *v as f32 as f64;
+                }
+            }
+            for bound in [Bound::Pwe(1e-3), Bound::Bpp(2.0)] {
+                let reference = Sperr::new(cfg(1)).compress(&ref_field, bound).unwrap();
+                for threads in [1usize, 2, 4, 8] {
+                    let sperr = Sperr::new(cfg(threads));
+                    let mut out = Vec::new();
+                    let report = sperr
+                        .compress_stream(&raw[..], &mut out, dims, precision, bound)
+                        .unwrap();
+                    assert_eq!(out, reference, "threads={threads} {bound:?} {precision:?}");
+                    assert_eq!(report.bytes_in, raw.len() as u64);
+                    assert_eq!(report.bytes_out, out.len() as u64);
+                    assert!(report.peak_in_flight <= report.in_flight_budget);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stream_decompress_matches_in_memory() {
+        let dims = [40usize, 28, 20];
+        let field = wavy(dims);
+        let sperr = Sperr::new(cfg(4));
+        let stream = sperr.compress(&field, Bound::Pwe(1e-3)).unwrap();
+        let decoded = sperr.decompress(&stream).unwrap();
+        let want = raw_bytes(&decoded, decoded.precision);
+        for threads in [1usize, 2, 4, 8] {
+            let mut out = Vec::new();
+            let report = Sperr::new(cfg(threads))
+                .decompress_stream(&stream[..], &mut out, None)
+                .unwrap();
+            assert_eq!(out, want, "threads={threads}");
+            assert!(report.peak_in_flight <= report.in_flight_budget);
+            assert_eq!(report.n_chunks, 3 * 2 * 2);
+        }
+    }
+
+    #[test]
+    fn bounded_in_flight_budget_is_honored() {
+        // 8 z-layers of 1 chunk each with a budget of 2: the producer
+        // must block rather than buffer ahead.
+        let dims = [16usize, 16, 128];
+        let field = wavy(dims);
+        let raw = raw_bytes(&field, Precision::Double);
+        let sperr = Sperr::new(SperrConfig {
+            chunk_dims: [16, 16, 16],
+            num_threads: 4,
+            in_flight_chunks: 2,
+            ..SperrConfig::default()
+        });
+        let mut out = Vec::new();
+        let report = sperr
+            .compress_stream(&raw[..], &mut out, dims, Precision::Double, Bound::Pwe(1e-3))
+            .unwrap();
+        assert_eq!(report.n_chunks, 8);
+        assert_eq!(report.in_flight_budget, 2);
+        assert!(
+            report.peak_in_flight <= 2,
+            "budget 2 but peak {}",
+            report.peak_in_flight
+        );
+        // And the output is still the reference bytes.
+        let reference = Sperr::new(cfg(1)).compress(&field, Bound::Pwe(1e-3)).unwrap();
+        assert_eq!(out, reference);
+    }
+
+    #[test]
+    fn short_read_is_typed_io_error() {
+        let dims = [16usize, 16, 32];
+        let field = wavy(dims);
+        let raw = raw_bytes(&field, Precision::Double);
+        let sperr = Sperr::new(cfg(4));
+        let mut out = Vec::new();
+        let err = sperr
+            .compress_stream(
+                &raw[..raw.len() / 2],
+                &mut out,
+                dims,
+                Precision::Double,
+                Bound::Pwe(1e-3),
+            )
+            .unwrap_err();
+        match err {
+            SperrError::Io { stage, kind, .. } => {
+                assert_eq!(stage, STAGE_INGEST);
+                assert_eq!(kind, std::io::ErrorKind::UnexpectedEof);
+            }
+            other => panic!("expected Io error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn psnr_bound_rejected_with_typed_error() {
+        let sperr = Sperr::new(cfg(2));
+        let err = sperr
+            .compress_stream(
+                &[][..],
+                Vec::new(),
+                [8, 8, 8],
+                Precision::Double,
+                Bound::Psnr(60.0),
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SperrError::Codec { source: CompressError::Unsupported(_), .. }
+        ));
+    }
+
+    #[test]
+    fn resilient_stream_decode_neutral_fills_corrupt_chunk() {
+        let dims = [32usize, 16, 16];
+        let field = wavy(dims);
+        let sperr = Sperr::new(SperrConfig {
+            chunk_dims: [16, 16, 16],
+            lossless: false,
+            num_threads: 4,
+            ..SperrConfig::default()
+        });
+        let stream = sperr.compress(&field, Bound::Pwe(1e-3)).unwrap();
+        let info = sperr.inspect(&stream).unwrap();
+        let mut bad = stream.clone();
+        bad[1 + info.payload_offset + info.chunk_payload_sizes[0] + 3] ^= 0xFF;
+
+        // Strict streaming fails typed.
+        let mut out = Vec::new();
+        let err = sperr.decompress_stream(&bad[..], &mut out, None).unwrap_err();
+        assert!(matches!(err, SperrError::Codec { .. }), "{err:?}");
+
+        // Resilient streaming matches the in-memory resilient decode.
+        let (ref_field, ref_report) = sperr.decompress_resilient(&bad).unwrap();
+        let mut out = Vec::new();
+        let res = sperr.decompress_stream_resilient(&bad[..], &mut out, None).unwrap();
+        assert_eq!(res.statuses, ref_report.statuses);
+        assert!(!res.all_ok());
+        assert_eq!(out, raw_bytes(&ref_field, ref_field.precision));
+    }
+
+    #[test]
+    fn injected_worker_panic_cancels_with_stage_and_message() {
+        let dims = [16usize, 16, 64];
+        let field = wavy(dims);
+        let raw = raw_bytes(&field, Precision::Double);
+        for threads in [1usize, 4] {
+            faultpoint::arm(stage_labels::SPECK_ENCODE, 1);
+            let sperr = Sperr::new(cfg(threads));
+            let mut out = Vec::new();
+            let err = sperr
+                .compress_stream(&raw[..], &mut out, dims, Precision::Double, Bound::Pwe(1e-3))
+                .unwrap_err();
+            faultpoint::disarm();
+            match err {
+                SperrError::Panic { stage, message, .. } => {
+                    assert_eq!(stage, stage_labels::SPECK_ENCODE, "threads={threads}");
+                    assert!(message.contains("injected fault"), "{message}");
+                }
+                other => panic!("expected Panic, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn single_chunk_volume_streams() {
+        let dims = [12usize, 10, 8];
+        let field = wavy(dims);
+        let raw = raw_bytes(&field, Precision::Double);
+        let sperr = Sperr::new(cfg(4));
+        let reference = Sperr::new(cfg(1)).compress(&field, Bound::Pwe(1e-3)).unwrap();
+        let mut out = Vec::new();
+        sperr
+            .compress_stream(&raw[..], &mut out, dims, Precision::Double, Bound::Pwe(1e-3))
+            .unwrap();
+        assert_eq!(out, reference);
+        let mut round = Vec::new();
+        sperr.decompress_stream(&out[..], &mut round, None).unwrap();
+        let rec = sperr.decompress(&reference).unwrap();
+        assert_eq!(round, raw_bytes(&rec, rec.precision));
+    }
+}

@@ -25,6 +25,13 @@ target/release/sperr-conformance check
 target/release/sperr-conformance oracles
 target/release/sperr-conformance campaign 200
 
+echo "==> conformance: streaming fault-injection campaign"
+# Adversarial I/O endpoints and scripted worker panics against the
+# streaming API: typed errors only, no escaping panics, no hangs
+# (watchdog-enforced), no partial container that verifies, bounded
+# in-flight memory, byte-identity with the in-memory path on success.
+target/release/sperr-conformance faults 12
+
 echo "==> golden-stream governance"
 # A change to the committed golden artifacts is only legitimate when the
 # same commit bumps GOLDEN_VERSION (see DESIGN.md §9). Skipped gracefully
@@ -59,15 +66,19 @@ target/release/hotpath --check BENCH_pr4.json
 target/release/hotpath --check BENCH_pr5.json
 
 echo "==> soft perf gate (non-fatal)"
-# Compare the smoke run's derived speedup ratios against the committed
-# full-size baseline. A >20% regression prints a loud warning but does
-# not fail CI: smoke dims and shared-host noise make a hard gate flaky,
-# and the goal is that a real performance cliff cannot land silently.
+# Compare the smoke run's derived speedup ratios against the BEST value
+# each ratio ever reached across all committed full-size baselines, so a
+# slow PR cannot quietly lower the bar for the next one. The per-ratio
+# delta table prints even when everything is green; a >20% regression
+# adds a loud warning but does not fail CI: smoke dims and shared-host
+# noise make a hard gate flaky, and the goal is that a real performance
+# cliff cannot land silently.
 # Note the coder-path *correctness* gate is NOT this: byte-for-byte
 # stream stability of the overhauled SPECK/outlier coders is enforced
 # hard by `sperr-conformance check` + the golden governance step above
 # (the goldens exercise every coder path and fail on any byte change).
-target/release/hotpath --perf-gate target/bench_smoke.json BENCH_pr5.json
+target/release/hotpath --perf-gate target/bench_smoke.json \
+    BENCH_pr2.json BENCH_pr4.json BENCH_pr5.json
 
 echo "==> telemetry matrix: rebuild with the feature compiled in"
 # Everything above ran with telemetry compiled OUT (the default, and the
@@ -84,6 +95,11 @@ target/release/sperr-conformance check
 echo "==> telemetry on: identity, overhead and trace-coverage tests"
 cargo test --quiet --features telemetry --test telemetry
 
+echo "==> telemetry on: streaming worker timelines overlap"
+# The staged streaming pipeline must actually fan out: at least two pool
+# workers with concurrent spans during a streaming compression.
+cargo test --quiet --features telemetry --test streaming
+
 echo "==> telemetry on: --stats/--trace smoke on a 128^3 PWE run"
 # End-to-end acceptance: a traced CLI compression emits Chrome trace JSON
 # with a span for every compress stage and per-worker timeline tracks.
@@ -97,5 +113,27 @@ target/release/hotpath --check-trace /tmp/ci_trace.json \
     stage.wavelet.forward stage.speck.encode stage.outlier.locate \
     stage.outlier.encode stage.container.write stage.lossless.compress
 rm -f /tmp/ci_trace_input.f64 /tmp/ci_trace_out.sperr /tmp/ci_trace.json
+
+echo "==> ThreadSanitizer: pool + streaming pipeline tests"
+# The streaming pipeline is the one place the codebase hand-rolls
+# cross-thread synchronization (condvar back-pressure, ordered decode
+# tokens, cancellation broadcast), so run its tests and the worker-pool
+# tests under TSan. Needs nightly with the rust-src component
+# (-Zbuild-std rebuilds std with the sanitizer); CI must never install
+# toolchain pieces, so skip gracefully — loudly — when absent.
+if command -v rustup >/dev/null 2>&1 \
+    && rustup toolchain list 2>/dev/null | grep -q nightly \
+    && rustup component list --toolchain nightly 2>/dev/null \
+        | grep -q "rust-src (installed)"; then
+    TSAN_TARGET="$(rustc -vV | sed -n 's/^host: //p')"
+    echo "tsan: nightly + rust-src present, target ${TSAN_TARGET}"
+    RUSTFLAGS="-Zsanitizer=thread" RUST_TEST_THREADS=1 \
+        cargo +nightly test -Zbuild-std --target "${TSAN_TARGET}" \
+        -p sperr-core --quiet pool:: stream::
+else
+    echo "tsan: SKIPPED (nightly toolchain with rust-src not installed;"
+    echo "      install is forbidden in this environment — run locally with"
+    echo "      'rustup component add rust-src --toolchain nightly')"
+fi
 
 echo "CI OK"

@@ -1,0 +1,171 @@
+//! Streaming-pipeline integration tests: the public `compress_stream` /
+//! `decompress_stream` API end to end, container edge cases fed through
+//! the streaming reader (a corrupt header must produce a typed error
+//! before it can drive any allocation), and — with the `telemetry`
+//! feature — proof that the staged pipeline actually overlaps work
+//! across pool workers.
+
+use sperr_compress_api::{Bound, Field, LossyCompressor, Precision};
+use sperr_core::{Sperr, SperrConfig, SperrError, STAGE_CONTAINER};
+use sperr_datagen::SyntheticField;
+
+fn sperr(threads: usize) -> Sperr {
+    Sperr::new(SperrConfig {
+        chunk_dims: [16, 16, 16],
+        num_threads: threads,
+        lossless: false, // OUTER_RAW framing: container bytes start at offset 1
+        ..SperrConfig::default()
+    })
+}
+
+fn raw_f64(field: &Field) -> Vec<u8> {
+    field.data.iter().flat_map(|v| v.to_le_bytes()).collect()
+}
+
+/// A small in-memory stream for header-tampering tests: compressed with
+/// the v2 path, then downgraded to the CRC-free v1 container so header
+/// edits reach the parser instead of tripping the v2 header checksum.
+fn v1_stream() -> (Sperr, Vec<u8>) {
+    let field = SyntheticField::MirandaDensity.generate([24, 20, 16], 3);
+    let t = field.range() * 1e-3;
+    let s = sperr(1);
+    let stream = s.compress(&field, Bound::Pwe(t)).unwrap();
+    let v1 = s.downgrade_to_v1(&stream).unwrap();
+    assert_eq!(v1[0], 0, "expected OUTER_RAW framing");
+    (s, v1)
+}
+
+fn stream_decode_err(s: &Sperr, bytes: &[u8]) -> SperrError {
+    let mut out = Vec::new();
+    s.decompress_stream(bytes, &mut out, None)
+        .expect_err("tampered container must not decode")
+}
+
+// Container-relative byte offsets (stream offset = +1 for the outer
+// framing byte): magic 0..4, version 4, mode 5, kernel 6, precision 7,
+// dims 8..20, bound 20..28, chunk_dims 28..40, n_chunks 40..44.
+const STREAM_DIMS: usize = 1 + 8;
+const STREAM_CHUNK_DIMS: usize = 1 + 28;
+const STREAM_N_CHUNKS: usize = 1 + 40;
+
+#[test]
+fn streaming_roundtrip_matches_in_memory_api() {
+    let dims = [24usize, 20, 16];
+    let field = SyntheticField::S3dTemperature.generate(dims, 9);
+    let t = field.range() * 1e-3;
+    let s = sperr(2);
+
+    let reference = s.compress(&field, Bound::Pwe(t)).unwrap();
+    let mut compressed = Vec::new();
+    let report = s
+        .compress_stream(&raw_f64(&field)[..], &mut compressed, dims, Precision::Double, Bound::Pwe(t))
+        .unwrap();
+    assert_eq!(compressed, reference, "streaming output must be byte-identical");
+    assert_eq!(report.n_chunks, 4);
+
+    let mut decoded = Vec::new();
+    s.decompress_stream(&compressed[..], &mut decoded, None).unwrap();
+    let restored = s.decompress(&reference).unwrap();
+    assert_eq!(decoded, raw_f64(&restored), "streaming decode must match in-memory decode");
+}
+
+#[test]
+fn zero_chunk_container_is_typed_error() {
+    let (s, mut v1) = v1_stream();
+    v1[STREAM_N_CHUNKS..STREAM_N_CHUNKS + 4].fill(0);
+    match stream_decode_err(&s, &v1) {
+        SperrError::Codec { stage, source, .. } => {
+            assert_eq!(stage, STAGE_CONTAINER);
+            let msg = source.to_string();
+            assert!(msg.contains("chunk count 0"), "unexpected error: {msg}");
+        }
+        other => panic!("expected typed container error, got {other:?}"),
+    }
+}
+
+#[test]
+fn chunk_table_past_end_of_stream_is_typed_error() {
+    // Header declares a full chunk grid but the stream ends right after
+    // the chunk count: the declared table cannot physically fit, and the
+    // parser must say so before reserving anything sized by the count.
+    let (s, v1) = v1_stream();
+    let truncated = &v1[..STREAM_N_CHUNKS + 4];
+    match stream_decode_err(&s, truncated) {
+        SperrError::Codec { stage, source, .. } => {
+            assert_eq!(stage, STAGE_CONTAINER);
+            let msg = source.to_string();
+            assert!(
+                msg.contains("chunk table extends past end of stream"),
+                "unexpected error: {msg}"
+            );
+        }
+        other => panic!("expected typed truncation error, got {other:?}"),
+    }
+}
+
+#[test]
+fn oversized_chunk_grid_is_limit_error_without_allocation() {
+    // dims 2048×2048×2 with 1³ chunks declares an 8.4M-chunk grid —
+    // over the 2^22 limit, but a volume small enough to pass the
+    // element-count check. The parser must reject on the *declared*
+    // grid arithmetic, never by materializing the grid.
+    let (s, mut v1) = v1_stream();
+    for (i, d) in [2048u32, 2048, 2].iter().enumerate() {
+        v1[STREAM_DIMS + 4 * i..STREAM_DIMS + 4 * i + 4].copy_from_slice(&d.to_le_bytes());
+    }
+    for i in 0..3 {
+        v1[STREAM_CHUNK_DIMS + 4 * i..STREAM_CHUNK_DIMS + 4 * i + 4]
+            .copy_from_slice(&1u32.to_le_bytes());
+    }
+    match stream_decode_err(&s, &v1) {
+        SperrError::Codec { stage, source, .. } => {
+            assert_eq!(stage, STAGE_CONTAINER);
+            let msg = source.to_string();
+            assert!(msg.contains("exceeds the"), "unexpected error: {msg}");
+        }
+        other => panic!("expected typed limit error, got {other:?}"),
+    }
+}
+
+/// Tentpole acceptance: with telemetry compiled in, a streaming
+/// compression's worker timelines must show stages genuinely
+/// overlapping — at least two pool workers with recorded spans, and at
+/// least one pair of spans from different workers concurrent in wall
+/// time. Runtime-gated so the default (telemetry-off) test run skips it.
+#[test]
+fn streaming_worker_timelines_overlap() {
+    if !sperr_telemetry::is_enabled() {
+        return;
+    }
+    let dims = [32usize, 32, 32]; // 8 chunks of 16³ across 4 workers
+    let field = SyntheticField::MirandaPressure.generate(dims, 11);
+    let t = field.range() * 1e-4;
+    let s = sperr(4);
+
+    sperr_telemetry::start();
+    let mut out = Vec::new();
+    s.compress_stream(&raw_f64(&field)[..], &mut out, dims, Precision::Double, Bound::Pwe(t))
+        .unwrap();
+    let report = sperr_telemetry::stop();
+
+    let busy: Vec<_> = report
+        .tracks
+        .iter()
+        .filter(|tr| tr.worker.is_some() && !tr.spans.is_empty())
+        .collect();
+    assert!(
+        busy.len() >= 2,
+        "streaming run used {} busy worker track(s); expected overlap across >= 2",
+        busy.len()
+    );
+    let overlapping = busy.iter().enumerate().any(|(i, a)| {
+        busy.iter().skip(i + 1).any(|b| {
+            a.spans.iter().any(|sa| {
+                b.spans.iter().any(|sb| {
+                    sa.start_ns < sb.start_ns + sb.dur_ns && sb.start_ns < sa.start_ns + sa.dur_ns
+                })
+            })
+        })
+    });
+    assert!(overlapping, "no concurrent spans across worker timelines: stages never overlapped");
+}
