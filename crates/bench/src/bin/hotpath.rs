@@ -1,7 +1,7 @@
-//! Hot-path throughput benchmark backing the tracked `BENCH_pr5.json`
-//! artifact (run via `scripts/bench.sh`; `BENCH_pr2.json` and
-//! `BENCH_pr4.json` are the frozen earlier editions of the same
-//! measurements).
+//! Hot-path throughput benchmark backing the tracked `BENCH_pr7.json`
+//! artifact (run via `scripts/bench.sh`; `BENCH_pr2.json`,
+//! `BENCH_pr4.json` and `BENCH_pr5.json` are the frozen earlier editions
+//! of the same measurements).
 //!
 //! Measures, on a synthetic 256³ volume (48³ with `--smoke`):
 //!
@@ -16,15 +16,21 @@
 //!   per-call allocations, single thread — emulated from public APIs)
 //!   vs the pooled/arena pipeline at 1 and 8 threads, with per-stage
 //!   MB/s from `StageTimes`;
-//! * a BPP (size-bounded) workload and decompression.
+//! * a BPP (size-bounded) workload and decompression;
+//! * the PR 7 SIMD kernels in isolation (sign/magnitude split, pyramid
+//!   build, significance scan, lifting, refinement gather), each also
+//!   ratioed against its scalar twin so an autovectorization failure
+//!   shows up as a tracked number.
 //!
 //! `--check FILE` validates an artifact instead of benchmarking (CI uses
 //! this to fail on malformed JSON). `--perf-gate NEW BASELINE...`
 //! compares the derived ratios of an artifact against the *best* value
 //! each ratio ever reached across one or more historical baseline
-//! artifacts, prints the full per-ratio delta table unconditionally, and
-//! adds a loud, non-fatal warning when any ratio regressed by more than
-//! 20% (CI's soft perf gate).
+//! artifacts and prints the full per-ratio delta table unconditionally.
+//! Regressions beyond 20% on the SPECK stage ratios (`HARD_GATE_KEYS`)
+//! are fatal for full-size artifacts; everything else — and everything
+//! on `--smoke` artifacts, whose 48³ ratios are not comparable to 256³
+//! baselines — is a loud, non-fatal warning.
 //! `--trace FILE` records a telemetry trace of one PWE compression and
 //! writes Chrome trace-event JSON (needs the `telemetry` feature);
 //! `--check-trace FILE [label...]` validates such a file, requiring a
@@ -54,8 +60,29 @@ const SEED: u64 = 20230512;
 const PR2_SPECK_ENCODE_MB_S: f64 = 17.19887796951931;
 const PR2_SPECK_DECODE_MB_S: f64 = 35.5861463463988;
 
+/// SPECK stage throughput recorded in the committed `BENCH_pr4.json` —
+/// the PR 7 SIMD overhaul's baseline (its target was 2× the PR 4 encode
+/// number). Same pinning rationale as the PR 2 constants above.
+const PR4_SPECK_ENCODE_MB_S: f64 = 63.61039594004794;
+const PR4_SPECK_DECODE_MB_S: f64 = 96.0054858786558;
+
+/// Derived-ratio keys the perf gate enforces HARD (process exit 1 on a
+/// >20% regression): the SPECK stage ratios, which PR 5 showed can
+/// silently drift (its recorded `speck_encode` came in 21% under PR 4's
+/// — later bisected to host noise, but the episode proved a soft warning
+/// is too easy to scroll past for exactly the stage this repo's perf
+/// story is built on). Everything else stays soft: end-to-end numbers
+/// fold in thread-pool scheduling and lossless passes that are far
+/// noisier than the single-thread stage loops.
+const HARD_GATE_KEYS: [&str; 4] = [
+    "speck_encode_vs_pr2",
+    "speck_decode_vs_pr2",
+    "speck_encode_vs_pr4",
+    "speck_decode_vs_pr4",
+];
+
 fn main() {
-    let mut out_path = String::from("BENCH_pr5.json");
+    let mut out_path = String::from("BENCH_pr7.json");
     let mut smoke = false;
     let mut check: Option<String> = None;
     let mut gate: Option<(String, Vec<String>)> = None;
@@ -170,18 +197,21 @@ fn write_trace(path: &str, smoke: bool) {
     );
 }
 
-/// The soft perf gate: every numeric `derived` ratio present in the new
+/// The perf gate: every numeric `derived` ratio present in the new
 /// artifact AND at least one baseline must not have regressed by more
 /// than 20% against the *best* value that ratio ever reached across the
 /// given baselines (so a slow PR can't quietly lower the bar for the
 /// next one). The full per-ratio delta table prints unconditionally —
 /// green runs included — so drift below the warning threshold is still
-/// visible in every CI log. Regressions print a loud warning but never
-/// fail the process: bench numbers on shared CI hosts are too noisy for
-/// a hard gate (see DESIGN.md §10); the gate exists so a real cliff is
-/// impossible to miss, not to block merges on scheduler jitter.
-/// Unreadable or malformed artifacts DO fail: that is harness rot, not
-/// noise.
+/// visible in every CI log.
+///
+/// Regressions on the [`HARD_GATE_KEYS`] ratios (the SPECK stage, the
+/// perf-critical core) FAIL the process; all other ratios print a loud
+/// but non-fatal warning — end-to-end numbers on shared CI hosts are too
+/// noisy for a hard gate (see DESIGN.md §10), while the single-thread
+/// SPECK stage ratios proved stable enough across the PR 4/5/7 history
+/// to enforce. Unreadable or malformed artifacts also fail: that is
+/// harness rot, not noise.
 fn perf_gate(new_path: &str, base_paths: &[&str]) {
     let load = |path: &str| -> Json {
         let text = std::fs::read_to_string(path)
@@ -192,6 +222,17 @@ fn perf_gate(new_path: &str, base_paths: &[&str]) {
     let Some(new_derived) = new.get("derived") else {
         fatal(&format!("perf gate: {new_path} has no \"derived\" object"));
     };
+    // Hard enforcement only makes sense for a full-size artifact: a
+    // --smoke run measures different dims than the committed baselines,
+    // so its ratios are advisory by construction. CI gets determinism by
+    // also gating the *committed* full artifact against its predecessors.
+    let new_is_smoke = matches!(new.get("smoke"), Some(Json::Bool(true)));
+    if new_is_smoke {
+        println!(
+            "perf gate: {new_path} is a --smoke artifact; hard-gated keys \
+             downgraded to warnings (full-size artifacts enforce them)"
+        );
+    }
 
     // Best value per ratio key across all baselines, remembering which
     // artifact set it so the table names the bar it's comparing against.
@@ -229,6 +270,7 @@ fn perf_gate(new_path: &str, base_paths: &[&str]) {
     );
     let mut compared = 0usize;
     let mut regressed = 0usize;
+    let mut hard_failures: Vec<String> = Vec::new();
     for key in &keys {
         let (b, origin) = best[key.as_str()];
         let Some(n) = new_derived.get(key).and_then(Json::as_num) else {
@@ -236,21 +278,36 @@ fn perf_gate(new_path: &str, base_paths: &[&str]) {
             continue;
         };
         compared += 1;
+        let hard = !new_is_smoke && HARD_GATE_KEYS.contains(&key.as_str());
         let delta = (n / b - 1.0) * 100.0;
-        let mark = if n < 0.8 * b { "REGRESSED" } else { "ok" };
+        let mark = if n < 0.8 * b {
+            if hard {
+                "REGRESSED (hard)"
+            } else {
+                "REGRESSED"
+            }
+        } else {
+            "ok"
+        };
         println!("{key:<28} {n:>10.3} {b:>10.3} {delta:>+7.1}%  {origin} [{mark}]");
         if n < 0.8 * b {
             regressed += 1;
+            let kind = if hard { "PERF FAILURE" } else { "PERF WARNING" };
             eprintln!(
-                "##### PERF WARNING ########################################"
+                "##### {kind} ########################################"
             );
             eprintln!(
                 "# derived.{key}: {n:.3} vs best baseline {b:.3} ({:.0}% regression)",
                 (1.0 - n / b) * 100.0
             );
-            eprintln!(
-                "# (>20% below {origin}; non-fatal — investigate before merging)"
-            );
+            if hard {
+                eprintln!("# (>20% below {origin} on a hard-gated SPECK ratio — CI fails)");
+                hard_failures.push(key.clone());
+            } else {
+                eprintln!(
+                    "# (>20% below {origin}; non-fatal — investigate before merging)"
+                );
+            }
             eprintln!(
                 "###########################################################"
             );
@@ -260,8 +317,16 @@ fn perf_gate(new_path: &str, base_paths: &[&str]) {
         fatal("perf gate: no comparable derived ratios between the artifacts");
     }
     println!(
-        "perf gate: {compared} ratio(s) compared, {regressed} regression warning(s) (non-fatal)"
+        "perf gate: {compared} ratio(s) compared, {regressed} regression(s) \
+         ({} hard)",
+        hard_failures.len()
     );
+    if !hard_failures.is_empty() {
+        fatal(&format!(
+            "perf gate: hard-gated ratio(s) regressed >20%: {}",
+            hard_failures.join(", ")
+        ));
+    }
 }
 
 /// Best-of-`reps` wall time of `f`.
@@ -385,7 +450,96 @@ fn run_benchmarks(dims: [usize; 3], smoke: bool) -> Json {
         let rec = sperr_speck::decode(&speck_enc.stream, dims, q, speck_enc.num_planes).unwrap();
         assert_eq!(rec.len(), points);
     });
+
+    // --- per-kernel micro-workloads -------------------------------------
+    // The individual SIMD kernels the PR 7 overhaul introduced, each over
+    // the same real wavelet coefficients (or the meta bytes derived from
+    // them) so lane distributions match production, timed blocked AND
+    // through its scalar twin. The derived `kernel_*_vs_scalar` ratios
+    // make an autovectorization failure (a toolchain update deciding not
+    // to vectorize a kernel) visible as a tracked number instead of a
+    // silent end-to-end slowdown.
+    let inv_q = 1.0 / q;
+    let mut meta = vec![0u8; points];
+    let k_split = time_best(reps, || {
+        sperr_simd::quantize_meta_into(&coeffs, inv_q, &mut meta);
+    });
+    let k_split_scalar = time_best(reps, || {
+        sperr_simd::scalar::scalar_quantize_meta_into(&coeffs, inv_q, &mut meta);
+    });
+    sperr_simd::quantize_meta_into(&coeffs, inv_q, &mut meta);
     drop(coeffs);
+
+    let k_pyramid = time_best(reps, || {
+        let p = sperr_speck::MaxPyramid::build(&meta, dims);
+        assert!(p.global_max() > 0);
+    });
+
+    // Significance scan: walk the meta array the way the sorting pass
+    // walks an LIS bucket — jump over each run, step past the significant
+    // byte, repeat. A mid-range threshold keeps runs realistically short.
+    let scan_t = {
+        let m = sperr_simd::max_elem(&meta);
+        m / 2
+    };
+    let scan_walk = |f: &dyn Fn(&[u8], u8) -> usize| {
+        let mut i = 0usize;
+        let mut found = 0usize;
+        while i < meta.len() {
+            i += f(&meta[i..], scan_t) + 1;
+            found += 1;
+        }
+        found
+    };
+    let k_scan = time_best(reps, || {
+        assert!(scan_walk(&sperr_simd::run_le) > 0);
+    });
+    let k_scan_scalar = time_best(reps, || {
+        assert!(scan_walk(&sperr_simd::scalar::scalar_run_le) > 0);
+    });
+
+    // Lifting kernel: one detail-band update at full-volume scale, the
+    // inner loop of every wavelet level.
+    let half = points / 2;
+    let approx: Vec<f64> = (0..half + 1).map(|i| (i as f64 * 0.37).sin()).collect();
+    let mut detail: Vec<f64> = (0..half).map(|i| (i as f64 * 0.11).cos()).collect();
+    let k_lift = time_best(reps, || {
+        sperr_simd::lift_pairs(&mut detail, &approx[..half], &approx[1..], -1.586);
+    });
+    let k_lift_scalar = time_best(reps, || {
+        sperr_simd::scalar::scalar_lift_pairs(&mut detail, &approx[..half], &approx[1..], -1.586);
+    });
+    drop((approx, detail));
+
+    // Refinement gather: pack one bitplane of a full-volume u32 LSP.
+    let ks: Vec<u32> = (0..points as u32).map(|i| i.wrapping_mul(2654435761)).collect();
+    let gather_words = |f: &dyn Fn(&[u32], u32) -> u64| {
+        let mut acc = 0u64;
+        for c in ks.chunks(64) {
+            acc ^= f(c, 13);
+        }
+        acc
+    };
+    let k_refine = time_best(reps, || {
+        std::hint::black_box(gather_words(&sperr_simd::plane_word_u32));
+    });
+    let k_refine_scalar = time_best(reps, || {
+        std::hint::black_box(gather_words(&sperr_simd::scalar::scalar_plane_word_u32));
+    });
+    drop(ks);
+    eprintln!(
+        "kernels (blocked vs scalar): split {:.0}ms/{:.0}ms, pyramid {:.0}ms, \
+         scan {:.0}ms/{:.0}ms, lift {:.0}ms/{:.0}ms, refine {:.0}ms/{:.0}ms",
+        k_split.as_secs_f64() * 1e3,
+        k_split_scalar.as_secs_f64() * 1e3,
+        k_pyramid.as_secs_f64() * 1e3,
+        k_scan.as_secs_f64() * 1e3,
+        k_scan_scalar.as_secs_f64() * 1e3,
+        k_lift.as_secs_f64() * 1e3,
+        k_lift_scalar.as_secs_f64() * 1e3,
+        k_refine.as_secs_f64() * 1e3,
+        k_refine_scalar.as_secs_f64() * 1e3,
+    );
     eprintln!(
         "speck stage: encode {:.3}s ({:.2} MB/s, {:.2}x vs PR2), decode {:.3}s ({:.2} MB/s, {:.2}x vs PR2)",
         speck_enc_time.as_secs_f64(),
@@ -478,6 +632,30 @@ fn run_benchmarks(dims: [usize; 3], smoke: bool) -> Json {
             "speck_decode_vs_pr2",
             Json::Num(mb_per_s(points, speck_dec_time) / PR2_SPECK_DECODE_MB_S),
         ),
+        (
+            "speck_encode_vs_pr4",
+            Json::Num(mb_per_s(points, speck_enc_time) / PR4_SPECK_ENCODE_MB_S),
+        ),
+        (
+            "speck_decode_vs_pr4",
+            Json::Num(mb_per_s(points, speck_dec_time) / PR4_SPECK_DECODE_MB_S),
+        ),
+        (
+            "kernel_split_vs_scalar",
+            Json::Num(k_split_scalar.as_secs_f64() / k_split.as_secs_f64()),
+        ),
+        (
+            "kernel_scan_vs_scalar",
+            Json::Num(k_scan_scalar.as_secs_f64() / k_scan.as_secs_f64()),
+        ),
+        (
+            "kernel_lift_vs_scalar",
+            Json::Num(k_lift_scalar.as_secs_f64() / k_lift.as_secs_f64()),
+        ),
+        (
+            "kernel_refine_vs_scalar",
+            Json::Num(k_refine_scalar.as_secs_f64() / k_refine.as_secs_f64()),
+        ),
         ("pre_pr_bit_identical", Json::Bool(bit_identical)),
     ]);
 
@@ -490,7 +668,7 @@ fn run_benchmarks(dims: [usize; 3], smoke: bool) -> Json {
     let chunk_count = meta_sperr.chunk_count(dims);
 
     Json::obj(vec![
-        ("schema", Json::Str("sperr-bench-pr5/v1".into())),
+        ("schema", Json::Str("sperr-bench-pr7/v1".into())),
         ("smoke", Json::Bool(smoke)),
         ("host_threads", Json::Num(host_threads as f64)),
         ("effective_workers", Json::Num(effective_workers as f64)),
@@ -506,6 +684,11 @@ fn run_benchmarks(dims: [usize; 3], smoke: bool) -> Json {
                 workload("zaxis_pass_blocked", points, blocked, None),
                 workload("speck_encode", points, speck_enc_time, None),
                 workload("speck_decode", points, speck_dec_time, None),
+                workload("kernel_sign_magnitude_split", points, k_split, None),
+                workload("kernel_pyramid_build", points / 8, k_pyramid, None),
+                workload("kernel_significance_scan", points / 8, k_scan, None),
+                workload("kernel_lift_pairs", points / 2, k_lift, None),
+                workload("kernel_refine_gather", points / 2, k_refine, None),
                 workload("pwe_compress_pre_pr_1t", points, pre_pr_time, Some(&pre_stages)),
                 workload("pwe_compress_1t", points, pwe_1t_time, Some(&pwe_1t_stats.stage_times)),
                 workload("pwe_compress_8t", points, pwe_8t_time, Some(&pwe_8t_stats.stage_times)),

@@ -367,6 +367,19 @@ pub fn validate_bench_artifact(text: &str) -> Result<(), String> {
     if pr.is_some_and(|n| n >= 4) {
         required.extend(["speck_encode_vs_pr2", "speck_decode_vs_pr2"]);
     }
+    // PR 7 artifacts additionally pin the SPECK ratios against the PR 4
+    // baseline (the SIMD overhaul's acceptance target) and the per-kernel
+    // blocked-vs-scalar ratios.
+    if pr.is_some_and(|n| n >= 7) {
+        required.extend([
+            "speck_encode_vs_pr4",
+            "speck_decode_vs_pr4",
+            "kernel_split_vs_scalar",
+            "kernel_scan_vs_scalar",
+            "kernel_lift_vs_scalar",
+            "kernel_refine_vs_scalar",
+        ]);
+    }
     for key in required {
         match derived.get(key).and_then(Json::as_num) {
             Some(n) if n > 0.0 => {}
@@ -569,6 +582,53 @@ mod tests {
         assert!(validate_bench_artifact(&build(
             "sperr-bench-pr5/v1",
             vec![("effective_workers", Json::Num(8.0)), ("chunk_count", Json::Num(1.0))],
+        ))
+        .is_ok());
+    }
+
+    #[test]
+    fn pr7_schema_demands_kernel_and_pr4_ratios() {
+        let build = |schema: &str, extra_derived: Vec<(&str, Json)>| {
+            let mut derived = vec![
+                ("zaxis_blocked_vs_per_line", Json::Num(1.4)),
+                ("pwe_8t_vs_pre_pr_1t", Json::Num(2.5)),
+                ("speck_encode_vs_pr2", Json::Num(3.5)),
+                ("speck_decode_vs_pr2", Json::Num(2.2)),
+            ];
+            derived.extend(extra_derived);
+            Json::obj(vec![
+                ("schema", Json::Str(schema.into())),
+                ("host_threads", Json::Num(8.0)),
+                ("effective_workers", Json::Num(8.0)),
+                ("chunk_count", Json::Num(1.0)),
+                ("points", Json::Num(64.0)),
+                ("dims", Json::Arr(vec![Json::Num(4.0), Json::Num(4.0), Json::Num(4.0)])),
+                (
+                    "workloads",
+                    Json::Arr(vec![Json::obj(vec![
+                        ("name", Json::Str("x".into())),
+                        ("mb_per_s", Json::Num(10.0)),
+                    ])]),
+                ),
+                ("derived", Json::obj(derived)),
+            ])
+            .render()
+        };
+        // The pr5 requirement set is not enough under the pr7 tag.
+        assert!(validate_bench_artifact(&build("sperr-bench-pr5/v1", vec![])).is_ok());
+        assert!(validate_bench_artifact(&build("sperr-bench-pr7/v1", vec![]))
+            .unwrap_err()
+            .contains("speck_encode_vs_pr4"));
+        assert!(validate_bench_artifact(&build(
+            "sperr-bench-pr7/v1",
+            vec![
+                ("speck_encode_vs_pr4", Json::Num(2.0)),
+                ("speck_decode_vs_pr4", Json::Num(1.0)),
+                ("kernel_split_vs_scalar", Json::Num(1.5)),
+                ("kernel_scan_vs_scalar", Json::Num(3.0)),
+                ("kernel_lift_vs_scalar", Json::Num(1.1)),
+                ("kernel_refine_vs_scalar", Json::Num(2.0)),
+            ],
         ))
         .is_ok());
     }

@@ -1,0 +1,147 @@
+//! Bitplane gather/scatter kernels for SPECK's word-packed refinement:
+//! collect bit `n` of up to 64 magnitudes into one packed word (encoder)
+//! and apply a packed word of refinement bits back onto magnitude /
+//! uncertainty arrays (decoder).
+
+/// Packs bit `n` of each magnitude into one word, lane `j` = bit `n` of
+/// `ks[j]`. `ks.len()` must be at most 64. Scalar twin:
+/// [`scalar_plane_word_u64`].
+pub fn plane_word_u64(ks: &[u64], n: u32) -> u64 {
+    debug_assert!(ks.len() <= 64);
+    #[cfg(feature = "force-scalar")]
+    return scalar_plane_word_u64(ks, n);
+    #[cfg(not(feature = "force-scalar"))]
+    {
+        // Per-lane shift/mask then a lane-indexed OR-reduction. Written
+        // as two fixed-width passes (extract into a block, fold the
+        // block) so the extraction loop vectorizes even when the
+        // reduction does not.
+        const W: usize = 8;
+        let mut word = 0u64;
+        let mut base = 0usize;
+        let mut chunks = ks.chunks_exact(W);
+        for c in chunks.by_ref() {
+            let mut lanes = [0u64; W];
+            for (l, &kv) in lanes.iter_mut().zip(c) {
+                *l = (kv >> n) & 1;
+            }
+            for (j, &l) in lanes.iter().enumerate() {
+                word |= l << (base + j);
+            }
+            base += W;
+        }
+        for (j, &kv) in chunks.remainder().iter().enumerate() {
+            word |= ((kv >> n) & 1) << (base + j);
+        }
+        word
+    }
+}
+
+/// Scalar reference for [`plane_word_u64`].
+pub fn scalar_plane_word_u64(ks: &[u64], n: u32) -> u64 {
+    let mut word = 0u64;
+    for (j, &kv) in ks.iter().enumerate() {
+        word |= ((kv >> n) & 1) << j;
+    }
+    word
+}
+
+/// [`plane_word_u64`] over narrow magnitudes (the coder stores the LSP
+/// as `u32` when every magnitude fits, halving refinement memory
+/// traffic). Scalar twin: [`scalar_plane_word_u32`].
+pub fn plane_word_u32(ks: &[u32], n: u32) -> u64 {
+    debug_assert!(ks.len() <= 64);
+    #[cfg(feature = "force-scalar")]
+    return scalar_plane_word_u32(ks, n);
+    #[cfg(not(feature = "force-scalar"))]
+    {
+        const W: usize = 8;
+        let mut word = 0u64;
+        let mut base = 0usize;
+        let mut chunks = ks.chunks_exact(W);
+        for c in chunks.by_ref() {
+            let mut lanes = [0u32; W];
+            for (l, &kv) in lanes.iter_mut().zip(c) {
+                *l = (kv >> n) & 1;
+            }
+            for (j, &l) in lanes.iter().enumerate() {
+                word |= (l as u64) << (base + j);
+            }
+            base += W;
+        }
+        for (j, &kv) in chunks.remainder().iter().enumerate() {
+            word |= (((kv >> n) & 1) as u64) << (base + j);
+        }
+        word
+    }
+}
+
+/// Scalar reference for [`plane_word_u32`].
+pub fn scalar_plane_word_u32(ks: &[u32], n: u32) -> u64 {
+    let mut word = 0u64;
+    for (j, &kv) in ks.iter().enumerate() {
+        word |= (((kv >> n) & 1) as u64) << j;
+    }
+    word
+}
+
+/// Decoder-side scatter: for each of the first `count` lanes, OR bit `j`
+/// of `word` (shifted to plane `n`) into `vals[j]` and stamp `unc[j] = n`.
+/// `count <= 64`, `vals.len() == unc.len() >= count`. Scalar twin:
+/// [`scalar_apply_plane_bits`].
+pub fn apply_plane_bits(vals: &mut [u64], unc: &mut [u8], word: u64, count: usize, n: u32) {
+    assert!(count <= vals.len() && count <= unc.len() && count <= 64);
+    #[cfg(feature = "force-scalar")]
+    return scalar_apply_plane_bits(vals, unc, word, count, n);
+    #[cfg(not(feature = "force-scalar"))]
+    {
+        let nv = n as u8;
+        // Equal-length subslices so the bounds checks hoist; both loops
+        // are independent elementwise updates (vectorizable).
+        for (j, v) in vals[..count].iter_mut().enumerate() {
+            *v |= ((word >> j) & 1) << n;
+        }
+        for u in unc[..count].iter_mut() {
+            *u = nv;
+        }
+    }
+}
+
+/// Scalar reference for [`apply_plane_bits`].
+pub fn scalar_apply_plane_bits(vals: &mut [u64], unc: &mut [u8], word: u64, count: usize, n: u32) {
+    assert!(count <= vals.len() && count <= unc.len() && count <= 64);
+    for j in 0..count {
+        vals[j] |= ((word >> j) & 1) << n;
+        unc[j] = n as u8;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plane_word_matches_scalar() {
+        let ks: Vec<u64> = (0..64).map(|i| (i * 2654435761u64) >> 3).collect();
+        for n in [0u32, 1, 13, 31, 62] {
+            assert_eq!(plane_word_u64(&ks, n), scalar_plane_word_u64(&ks, n));
+        }
+        let ks32: Vec<u32> = ks.iter().map(|&k| k as u32).collect();
+        for n in [0u32, 7, 31] {
+            assert_eq!(plane_word_u32(&ks32, n), scalar_plane_word_u32(&ks32, n));
+        }
+    }
+
+    #[test]
+    fn apply_matches_scalar() {
+        let word = 0xdead_beef_1234_5678u64;
+        let mut v1 = vec![1u64; 64];
+        let mut u1 = vec![0u8; 64];
+        let mut v2 = v1.clone();
+        let mut u2 = u1.clone();
+        apply_plane_bits(&mut v1, &mut u1, word, 50, 9);
+        scalar_apply_plane_bits(&mut v2, &mut u2, word, 50, 9);
+        assert_eq!(v1, v2);
+        assert_eq!(u1, u2);
+    }
+}

@@ -3,7 +3,14 @@
 //! implementation. The pre-overhaul bit-at-a-time path lives on in
 //! [`crate::reference`] as a differential oracle; both must produce
 //! byte-identical streams (see DESIGN.md §10 for the invariants that make
-//! this restructuring stream-neutral).
+//! this restructuring stream-neutral, and §13 for the vectorized kernels
+//! the hot loops lean on).
+//!
+//! Two encoder bodies share the emission machinery in this module:
+//! the general [`Encoder`] below handles any domain shape, and the
+//! cache-oriented Morton-layout encoder in [`crate::morton`] takes over
+//! for power-of-two cubic domains (where all partitions are aligned
+//! dyadic cubes). Both produce identical streams; [`encode`] dispatches.
 
 use crate::pyramid::MaxPyramid;
 use crate::set::SetS;
@@ -45,63 +52,42 @@ pub struct EncodedSpeck {
     pub zero_runs: usize,
 }
 
-/// Quantizes `|c| / q` with floor, saturating at 2^62 so downstream shifts
-/// cannot overflow. NaNs quantize to 0 (dead zone).
-#[inline]
-fn quantize_one(c: f64, inv_q: f64) -> u64 {
-    const CAP: f64 = (1u64 << 62) as f64;
-    let r = c.abs() * inv_q;
-    if r >= CAP {
-        1u64 << 62
-    } else {
-        r as u64 // saturating f64 -> u64 cast; truncation == floor for r >= 0
-    }
-}
-
 /// Quantizes every coefficient: magnitudes and sign flags. Shared by the
 /// production encoder and [`crate::reference`] so the two paths cannot
-/// drift in their dead-zone handling.
+/// drift in their dead-zone handling; the per-element semantics live in
+/// [`sperr_simd::quantize_magnitude`].
 pub(crate) fn quantize_all(coeffs: &[f64], q: f64) -> (Vec<u64>, Vec<bool>) {
     let inv_q = 1.0 / q;
     let mut k = Vec::with_capacity(coeffs.len());
     let mut negative = Vec::with_capacity(coeffs.len());
     for &c in coeffs {
-        k.push(quantize_one(c, inv_q));
+        k.push(sperr_simd::quantize_magnitude(c, inv_q));
         negative.push(c < 0.0);
     }
     (k, negative)
 }
 
-/// `64 - magnitude.leading_zeros()`: the number of significant bitplanes.
-/// A set with cached `msb_plus1 = planes_of(max)` is significant at plane
-/// `n` exactly when `msb_plus1 > n`, which is the same predicate as the
-/// reference path's `(max >> n) != 0`.
-#[inline]
-fn planes_of(magnitude: u64) -> u8 {
-    (64 - magnitude.leading_zeros()) as u8
-}
-
-/// Quantizes every coefficient into magnitudes plus a packed per-pixel
-/// byte `meta = planes_of(k) << 1 | sign`. The sorting passes only ever
-/// need a pixel's MSB position and its sign, both read at the same index
-/// at discovery time — packing them into one byte halves the number of
-/// random cache lines the hottest loop touches. Because the MSB occupies
-/// the high bits, `meta` values order exactly like their MSBs, so the
-/// max pyramid can be built over `meta` directly: `region_max(..) >> 1`
-/// is the region's true `planes_of` max. (`planes_of(k) <= 63` since
-/// magnitudes saturate at 2^62, so the packed byte cannot overflow.)
-/// Shares [`quantize_one`] with [`quantize_all`] so the production and
-/// reference paths cannot drift in their dead-zone handling.
-pub(crate) fn quantize_meta(coeffs: &[f64], q: f64) -> (Vec<u64>, Vec<u8>) {
-    let inv_q = 1.0 / q;
-    let mut k = Vec::with_capacity(coeffs.len());
-    let mut meta = Vec::with_capacity(coeffs.len());
-    for &c in coeffs {
-        let kv = quantize_one(c, inv_q);
-        k.push(kv);
-        meta.push((planes_of(kv) << 1) | (c < 0.0) as u8);
-    }
-    (k, meta)
+/// Quantizes every coefficient into a packed per-pixel byte
+/// `meta = planes_of(k) << 1 | sign`. The sorting passes only ever need
+/// a pixel's MSB position and its sign, both read at the same index at
+/// discovery time — packing them into one byte cuts the footprint of the
+/// hottest random reads 8× versus gathering `u64` magnitudes. Because
+/// the MSB occupies the high bits, `meta` values order exactly like
+/// their MSBs, so the max pyramid can be built over `meta` directly:
+/// `region_max(..) >> 1` is the region's true `planes_of` max.
+/// (`planes_of(k) <= 63` since magnitudes saturate at 2^62, so the
+/// packed byte cannot overflow.) No magnitude array is materialized at
+/// all: the encoder requantizes LSP admissions straight from `coeffs`
+/// (see [`Lsp::admit`]), which both removes a full-size `u64` plane from
+/// peak memory and turns a scattered 8-byte gather in the discovery hot
+/// loop into a dense batched one. Shares
+/// [`sperr_simd::quantize_magnitude`] with [`quantize_all`] so the
+/// production and reference paths cannot drift in their dead-zone
+/// handling.
+pub(crate) fn quantize_meta(coeffs: &[f64], q: f64) -> Vec<u8> {
+    let mut meta = vec![0u8; coeffs.len()];
+    sperr_simd::quantize_meta_into(coeffs, 1.0 / q, &mut meta);
+    meta
 }
 
 /// The reconstruction the decoder produces from a *complete* (quality-mode)
@@ -121,90 +107,119 @@ pub fn reconstruct_quantized(coeffs: &[f64], q: f64) -> Vec<f64> {
 pub fn reconstruct_quantized_into(coeffs: &[f64], q: f64, out: &mut [f64]) {
     assert!(q > 0.0 && q.is_finite(), "quantization step must be positive");
     assert_eq!(coeffs.len(), out.len());
-    let inv_q = 1.0 / q;
-    for (o, &c) in out.iter_mut().zip(coeffs) {
-        let k = quantize_one(c, inv_q);
-        *o = if k == 0 {
-            0.0
-        } else {
-            let mag = (k as f64 + 0.5) * q;
-            if c < 0.0 {
-                -mag
-            } else {
-                mag
-            }
-        };
-    }
+    sperr_simd::reconstruct_mid_riser_into(coeffs, q, 1.0 / q, out);
 }
 
 /// Signals that the bit budget has been exhausted (encoder) or the stream
 /// ran out (decoder); unwinds the pass cleanly.
-struct Stop;
+pub(crate) struct Stop;
 
-// ---------------------------------------------------------------- encoder
+// --------------------------------------------------------------- bit sink
 
-/// The word-granular encoder. `CHECKED` selects the budget discipline at
-/// monomorphization time: `true` for [`Termination::BitBudget`] (every
-/// write is bounds-checked against the budget, at run granularity for
-/// bulk writes), `false` for [`Termination::Quality`] (no budget exists,
-/// so the per-bit `len_bits() >= budget` comparison the old path paid on
-/// every single bit compiles out entirely; a debug assertion documents
-/// the invariant).
-struct Encoder<'a, const D: usize, const CHECKED: bool> {
-    dims: [usize; D],
-    k: &'a [u64],
-    /// Per-coefficient `planes_of(k) << 1 | sign` (see [`quantize_meta`]).
-    /// Significance only ever compares MSB positions, so the sorting
-    /// passes run entirely on this `u8` array (and the `u8` pyramid
-    /// below) — 8× less memory traffic than gathering from `k`, which
-    /// matters once `k` outgrows the cache; the full magnitudes are only
-    /// read once per coefficient, at discovery.
-    meta: &'a [u8],
-    pyramid: &'a MaxPyramid<'a, u8, D>,
-    /// Insignificant sets, bucketed by partition level (deeper == smaller;
-    /// deeper buckets are processed first, i.e. smallest sets first).
-    /// Every stored set carries its cached `msb_plus1`.
-    lis: Vec<Vec<SetS<D>>>,
-    /// Magnitudes of previously significant coefficients, in discovery
-    /// order. The refinement pass only ever needs bit `n` of each
-    /// magnitude, so the values are stored contiguously here (copied once
-    /// at discovery) and every refinement pass is a sequential scan —
-    /// storing indices instead would turn the hottest loop in the encoder
-    /// into a random gather over the full `k` array.
-    lsp_k: Vec<u64>,
-    lsp_new: Vec<u64>,
+/// The encoder's output side: a [`BitWriter`] plus the pending bit batch,
+/// the budget discipline, and the per-type bit statistics. Shared by the
+/// general [`Encoder`] and the Morton fast path so their emission
+/// semantics (and therefore their streams) cannot diverge.
+///
+/// `CHECKED` selects the budget discipline at monomorphization time:
+/// `true` for [`Termination::BitBudget`] (every write is bounds-checked
+/// against the budget, at batch granularity for bulk writes), `false`
+/// for [`Termination::Quality`] (no budget exists, so the per-bit
+/// `len_bits() >= budget` comparison the old path paid on every single
+/// bit compiles out entirely; a debug assertion documents the invariant).
+///
+/// Individual significance/sign bits are not written one at a time: they
+/// accumulate in a 64-bit pending word (`pend`) and reach the writer in
+/// batches — child-significance runs, signs, and LIS exit bits all
+/// coalesce into `put_bits` calls. The batch is flushed before any bulk
+/// write (zero runs, refinement words) so bits always land in stream
+/// order, and in `CHECKED` mode a flush that would overrun the budget
+/// truncates to exactly the remaining room, landing on the same bit the
+/// per-bit reference path stops at. `pend_signs` marks which pending
+/// positions are sign bits so the statistics split stays exact even
+/// across truncation.
+pub(crate) struct BitSink<const CHECKED: bool> {
     out: BitWriter,
     budget: usize,
-    significance_bits: usize,
-    sign_bits: usize,
-    refinement_bits: usize,
-    sets_split: usize,
-    zero_runs: usize,
+    /// Pending bit batch: LSB-first bits not yet handed to the writer.
+    pend: u64,
+    pend_signs: u64,
+    pend_len: u32,
+    pub(crate) significance_bits: usize,
+    pub(crate) sign_bits: usize,
+    pub(crate) refinement_bits: usize,
+    pub(crate) zero_runs: usize,
 }
 
-impl<'a, const D: usize, const CHECKED: bool> Encoder<'a, D, CHECKED> {
-    #[inline]
-    fn emit(&mut self, bit: bool) -> Result<(), Stop> {
-        if CHECKED {
-            if self.out.len_bits() >= self.budget {
-                return Err(Stop);
-            }
-        } else {
-            debug_assert!(self.out.len_bits() < self.budget);
+impl<const CHECKED: bool> BitSink<CHECKED> {
+    pub(crate) fn new(budget: usize, capacity_bits: usize) -> Self {
+        BitSink {
+            out: BitWriter::with_capacity_bits(capacity_bits),
+            budget,
+            pend: 0,
+            pend_signs: 0,
+            pend_len: 0,
+            significance_bits: 0,
+            sign_bits: 0,
+            refinement_bits: 0,
+            zero_runs: 0,
         }
-        self.out.put_bit(bit);
+    }
+
+    /// Appends one bit to the pending batch, flushing first if full.
+    #[inline]
+    pub(crate) fn emit(&mut self, bit: bool, is_sign: bool) -> Result<(), Stop> {
+        if self.pend_len == 64 {
+            self.flush()?;
+        }
+        self.pend |= (bit as u64) << self.pend_len;
+        self.pend_signs |= (is_sign as u64) << self.pend_len;
+        self.pend_len += 1;
         Ok(())
     }
 
-    /// Emits `run` guaranteed-zero significance bits in one bulk write.
-    /// In `CHECKED` mode the budget is enforced at run granularity: the
-    /// run is truncated to the remaining budget and the encoder stops at
+    /// Writes the pending batch to the stream in one `put_bits` call.
+    pub(crate) fn flush(&mut self) -> Result<(), Stop> {
+        if self.pend_len == 0 {
+            return Ok(());
+        }
+        let nbits = self.pend_len as usize;
+        let word = self.pend;
+        let signs = self.pend_signs;
+        self.pend = 0;
+        self.pend_signs = 0;
+        self.pend_len = 0;
+        if CHECKED {
+            let room = self.budget - self.out.len_bits();
+            if nbits > room {
+                self.out.put_bits(word, room as u32);
+                let kept = if room == 0 { 0 } else { !0u64 >> (64 - room) };
+                let sc = (signs & kept).count_ones() as usize;
+                self.sign_bits += sc;
+                self.significance_bits += room - sc;
+                return Err(Stop);
+            }
+        } else {
+            debug_assert!(self.out.len_bits() + nbits <= self.budget);
+        }
+        self.out.put_bits(word, nbits as u32);
+        let sc = signs.count_ones() as usize;
+        self.sign_bits += sc;
+        self.significance_bits += nbits - sc;
+        Ok(())
+    }
+
+    /// Emits `run` guaranteed-zero significance bits in one bulk write
+    /// (after flushing any pending batch, preserving stream order). In
+    /// `CHECKED` mode the budget is enforced at run granularity: the run
+    /// is truncated to the remaining budget and the encoder stops at
     /// exactly the bit the per-bit reference path would have stopped at.
     #[inline]
-    fn emit_zero_run(&mut self, run: usize) -> Result<(), Stop> {
+    pub(crate) fn emit_zero_run(&mut self, run: usize) -> Result<(), Stop> {
         if run == 0 {
             return Ok(());
         }
+        self.flush()?;
         self.zero_runs += 1;
         if CHECKED {
             let room = self.budget - self.out.len_bits();
@@ -219,12 +234,172 @@ impl<'a, const D: usize, const CHECKED: bool> Encoder<'a, D, CHECKED> {
         Ok(())
     }
 
+    /// One refinement word write. In `CHECKED` mode a word that would
+    /// overrun the budget is truncated to the remaining bits, so
+    /// termination lands on exactly the same bit as the per-bit path.
+    #[inline]
+    fn put_refine_word(&mut self, word: u64, w: usize) -> Result<(), Stop> {
+        debug_assert_eq!(self.pend_len, 0, "sorting pass leaves the batch empty");
+        if CHECKED {
+            let room = self.budget - self.out.len_bits();
+            if w > room {
+                self.out.put_bits(word, room as u32);
+                self.refinement_bits += room;
+                return Err(Stop);
+            }
+        }
+        self.out.put_bits(word, w as u32);
+        self.refinement_bits += w;
+        Ok(())
+    }
+
+    pub(crate) fn len_bits(&self) -> usize {
+        self.out.len_bits()
+    }
+
+    pub(crate) fn into_bytes(self) -> Vec<u8> {
+        self.out.into_bytes()
+    }
+}
+
+// -------------------------------------------------------------------- LSP
+
+/// The list of significant pixels: magnitudes of previously significant
+/// coefficients, in discovery order. The refinement pass only ever needs
+/// bit `n` of each magnitude, so the values are stored contiguously here
+/// and every refinement pass is a sequential scan — storing indices would
+/// turn the hottest loop in the encoder into a per-plane random gather
+/// over the full domain. When every magnitude fits in 32 bits
+/// (`num_planes <= 32`, the overwhelmingly common case) the LSP narrows
+/// to `k32`, halving the traffic of the pass that dominates bit volume;
+/// `k64` serves the rest. Exactly one of the two is ever non-empty.
+///
+/// `new_idx` holds the current plane's discoveries as pixel *indices*
+/// (row-major), staged until the refinement pass (their bit `n` is
+/// implied by the significance test itself). The magnitudes are
+/// requantized from the coefficient array in one dense batch when the
+/// plane's discoveries join the LSP ([`Lsp::admit`]): the discovery hot
+/// loop then only appends a 4-byte index (sequential write), and the
+/// unavoidable random reads of `coeffs` happen in a tight pure-gather
+/// loop where the out-of-order window keeps many cache misses in flight,
+/// instead of one serialized miss inside the branchy sorting pass per
+/// discovered pixel.
+pub(crate) struct Lsp {
+    narrow: bool,
+    k32: Vec<u32>,
+    k64: Vec<u64>,
+    pub(crate) new_idx: Vec<u32>,
+}
+
+impl Lsp {
+    pub(crate) fn new(num_planes: u8) -> Self {
+        Lsp { narrow: num_planes <= 32, k32: Vec::new(), k64: Vec::new(), new_idx: Vec::new() }
+    }
+
+    /// One refinement pass at plane `n`: bit `n` of every previously
+    /// significant coefficient, gathered 64 at a time into a word
+    /// ([`sperr_simd::plane_word_u64`] / [`plane_word_u32`][u32]) and
+    /// emitted with a single bulk write.
+    ///
+    /// [u32]: sperr_simd::plane_word_u32
+    pub(crate) fn refine<const CHECKED: bool>(
+        &self,
+        sink: &mut BitSink<CHECKED>,
+        n: u32,
+    ) -> Result<(), Stop> {
+        if self.narrow {
+            let len = self.k32.len();
+            let mut i = 0usize;
+            while i < len {
+                let w = (len - i).min(64);
+                let word = sperr_simd::plane_word_u32(&self.k32[i..i + w], n);
+                sink.put_refine_word(word, w)?;
+                i += w;
+            }
+        } else {
+            let len = self.k64.len();
+            let mut i = 0usize;
+            while i < len {
+                let w = (len - i).min(64);
+                let word = sperr_simd::plane_word_u64(&self.k64[i..i + w], n);
+                sink.put_refine_word(word, w)?;
+                i += w;
+            }
+        }
+        Ok(())
+    }
+
+    /// Admits the current plane's discoveries into the LSP (called after
+    /// the plane's refinement pass): one dense requantizing gather over
+    /// the staged indices.
+    pub(crate) fn admit(&mut self, coeffs: &[f64], inv_q: f64) {
+        if self.narrow {
+            self.k32.extend(
+                self.new_idx
+                    .iter()
+                    .map(|&i| sperr_simd::quantize_magnitude(coeffs[i as usize], inv_q) as u32),
+            );
+        } else {
+            self.k64.extend(
+                self.new_idx
+                    .iter()
+                    .map(|&i| sperr_simd::quantize_magnitude(coeffs[i as usize], inv_q)),
+            );
+        }
+        self.new_idx.clear();
+    }
+}
+
+// ----------------------------------------------- encoder (general shapes)
+
+/// One LIS bucket (all insignificant sets at one partition level), stored
+/// as parallel arrays: the set geometry and its cached `msb_plus1` side
+/// by side. The sorting pass only reads `msb` until a set turns
+/// significant, so splitting the 1-byte significance key out of the
+/// 20-odd-byte `SetS` lets the insignificance scan run over a dense byte
+/// array — one cache line answers 64 sets, and the SWAR run scan
+/// ([`sperr_simd::run_le`]) tests 8 per step instead of branching on each.
+struct LisBucket<const D: usize> {
+    sets: Vec<SetS<D>>,
+    msb: Vec<u8>,
+}
+
+impl<const D: usize> LisBucket<D> {
+    fn new() -> Self {
+        LisBucket { sets: Vec::new(), msb: Vec::new() }
+    }
+}
+
+/// The word-granular encoder for arbitrary domain shapes. Power-of-two
+/// cubic domains take the Morton fast path in [`crate::morton`] instead;
+/// the two produce identical streams.
+struct Encoder<'a, const D: usize, const CHECKED: bool> {
+    dims: [usize; D],
+    coeffs: &'a [f64],
+    inv_q: f64,
+    /// Per-coefficient `planes_of(k) << 1 | sign` (see [`quantize_meta`]).
+    /// Significance only ever compares MSB positions, so the sorting
+    /// passes run entirely on this `u8` array (and the `u8` pyramid
+    /// below); the full magnitudes are only computed once per
+    /// coefficient, at LSP admission.
+    meta: &'a [u8],
+    pyramid: &'a MaxPyramid<'a, u8, D>,
+    /// Insignificant sets, bucketed by partition level (deeper == smaller;
+    /// deeper buckets are processed first, i.e. smallest sets first).
+    lis: Vec<LisBucket<D>>,
+    lsp: Lsp,
+    sink: BitSink<CHECKED>,
+    sets_split: usize,
+}
+
+impl<'a, const D: usize, const CHECKED: bool> Encoder<'a, D, CHECKED> {
     fn push_lis(&mut self, set: SetS<D>) {
         let lvl = set.part_level as usize;
         if self.lis.len() <= lvl {
-            self.lis.resize_with(lvl + 1, Vec::new);
+            self.lis.resize_with(lvl + 1, LisBucket::new);
         }
-        self.lis[lvl].push(set);
+        self.lis[lvl].sets.push(set);
+        self.lis[lvl].msb.push(set.msb_plus1);
     }
 
     /// One sorting pass at plane `n`. Smallest sets first (paper, Listing
@@ -232,72 +407,67 @@ impl<'a, const D: usize, const CHECKED: bool> Encoder<'a, D, CHECKED> {
     /// deepest partition level.
     ///
     /// Each bucket is compacted in place — surviving (still-insignificant)
-    /// sets slide to the front instead of being drained into a fresh
-    /// vector, so bucket storage is allocated once and reused across
-    /// planes. Thanks to the cached `msb_plus1`, an insignificant set
-    /// costs one integer compare and contributes one bit to a pending
-    /// zero-run; only significant sets take the (rare) slow path. New sets
-    /// created by splits always land in *deeper* buckets, which this pass
-    /// already finished, so in-place mutation never aliases the iteration.
+    /// sets slide to the front with bulk `copy_within` instead of being
+    /// drained into a fresh vector, so bucket storage is allocated once
+    /// and reused across planes. Thanks to the parallel `msb` byte array,
+    /// a maximal run of insignificant sets is located by one SWAR scan
+    /// ([`sperr_simd::run_le`]: a set is insignificant at plane `n`
+    /// exactly when `msb_plus1 <= n`; both sides are < 128 so the
+    /// movemask trick applies), retained with two `copy_within`s, and
+    /// emitted as one zero run; only significant sets take the (rare)
+    /// slow path. New sets created by splits always land in *deeper*
+    /// buckets, which this pass already finished, so in-place mutation
+    /// never aliases the iteration.
     fn sorting_pass(&mut self, n: u32) -> Result<(), Stop> {
+        debug_assert!(n < 64);
+        let t = n as u8;
         for lvl in (0..self.lis.len()).rev() {
-            let len = self.lis[lvl].len();
+            let len = self.lis[lvl].sets.len();
+            let mut read = 0usize;
             let mut write = 0usize;
-            let mut run = 0usize; // pending guaranteed-zero significance bits
-            for read in 0..len {
-                let set = self.lis[lvl][read];
-                if (set.msb_plus1 as u32) <= n {
-                    // Still insignificant: its bit is a guaranteed zero.
-                    run += 1;
-                    self.lis[lvl][write] = set;
-                    write += 1;
-                    continue;
+            while read < len {
+                let run = sperr_simd::run_le(&self.lis[lvl].msb[read..len], t);
+                if run > 0 {
+                    if write != read {
+                        let b = &mut self.lis[lvl];
+                        b.sets.copy_within(read..read + run, write);
+                        b.msb.copy_within(read..read + run, write);
+                    }
+                    write += run;
+                    read += run;
+                    self.sink.emit_zero_run(run)?;
                 }
-                self.emit_zero_run(std::mem::take(&mut run))?;
-                self.emit(true)?;
-                self.significance_bits += 1;
-                if set.is_pixel() {
-                    let idx = set.pixel_index(self.dims);
-                    self.emit(self.meta[idx] & 1 == 1)?;
-                    self.sign_bits += 1;
-                    self.lsp_new.push(self.k[idx]);
-                } else {
-                    self.code_s(&set, n)?;
+                if read < len {
+                    // First significant set after the run.
+                    let set = self.lis[lvl].sets[read];
+                    read += 1;
+                    self.sink.emit(true, false)?;
+                    if set.is_pixel() {
+                        let idx = set.pixel_index(self.dims);
+                        self.sink.emit(self.meta[idx] & 1 == 1, true)?;
+                        self.lsp.new_idx.push(idx as u32);
+                    } else {
+                        self.code_s(&set, n)?;
+                    }
+                    // Significant sets are consumed (not kept in the LIS).
                 }
-                // Significant sets are consumed (not kept in the LIS).
             }
-            self.emit_zero_run(run)?;
-            self.lis[lvl].truncate(write);
+            let b = &mut self.lis[lvl];
+            b.sets.truncate(write);
+            b.msb.truncate(write);
         }
-        Ok(())
+        self.sink.flush()
     }
 
-    /// Processes a freshly split child set at plane `n` (children of a
-    /// significant set are examined immediately, per the paper).
-    fn process_child(&mut self, set: SetS<D>, n: u32) -> Result<(), Stop> {
-        let sig = (set.msb_plus1 as u32) > n;
-        self.emit(sig)?;
-        self.significance_bits += 1;
-        if sig {
-            if set.is_pixel() {
-                let idx = set.pixel_index(self.dims);
-                self.emit(self.meta[idx] & 1 == 1)?;
-                self.sign_bits += 1;
-                self.lsp_new.push(self.k[idx]);
-            } else {
-                self.code_s(&set, n)?;
-            }
-        } else {
-            self.push_lis(set);
-        }
-        Ok(())
-    }
-
-    /// Splits a significant set and processes its children. Each child's
-    /// significance cache is computed here, exactly once in its lifetime:
-    /// pixels read the `msb` array directly, cuboids pay one (u8) pyramid
-    /// query — after which every future significance test on the child
-    /// (one per plane while it waits in the LIS) is a compare.
+    /// Splits a significant set and processes its children immediately
+    /// (per the paper). Each child's significance cache is computed here,
+    /// exactly once in its lifetime: pixels read the `meta` array
+    /// directly, cuboids pay one (u8) pyramid query — after which every
+    /// future significance test on the child (one per plane while it
+    /// waits in the LIS) is a byte compare in the bucket scan. Child
+    /// significance and sign bits accumulate in the pending batch;
+    /// recursion appends to the same batch, so an entire split subtree
+    /// typically reaches the writer as a handful of word writes.
     fn code_s(&mut self, set: &SetS<D>, n: u32) -> Result<(), Stop> {
         self.sets_split += 1;
         let mut children = [*set; 8];
@@ -307,46 +477,30 @@ impl<'a, const D: usize, const CHECKED: bool> Encoder<'a, D, CHECKED> {
             count += 1;
         });
         for child in children.iter_mut().take(count) {
-            child.msb_plus1 = if child.is_pixel() {
-                self.meta[child.pixel_index(self.dims)] >> 1
+            if child.is_pixel() {
+                let idx = child.pixel_index(self.dims);
+                let m = self.meta[idx]; // one random read: MSB and sign together
+                let sig = (m >> 1) as u32 > n;
+                self.sink.emit(sig, false)?;
+                if sig {
+                    self.sink.emit(m & 1 == 1, true)?;
+                    self.lsp.new_idx.push(idx as u32);
+                } else {
+                    child.msb_plus1 = m >> 1;
+                    self.push_lis(*child);
+                }
             } else {
-                self.pyramid.region_max(child.origin, child.len) >> 1
-            };
-            self.process_child(*child, n)?;
-        }
-        Ok(())
-    }
-
-    /// One refinement pass at plane `n`: bit `n` of every previously
-    /// significant coefficient, gathered 64 at a time into a word and
-    /// emitted with a single bulk write. In `CHECKED` mode a word that
-    /// would overrun the budget is truncated to the remaining bits, so
-    /// termination lands on exactly the same bit as the per-bit path.
-    fn refinement_pass(&mut self, n: u32) -> Result<(), Stop> {
-        let len = self.lsp_k.len();
-        let mut i = 0usize;
-        while i < len {
-            let w = (len - i).min(64);
-            let mut word = 0u64;
-            for (j, &kv) in self.lsp_k[i..i + w].iter().enumerate() {
-                word |= ((kv >> n) & 1) << j;
-            }
-            if CHECKED {
-                let room = self.budget - self.out.len_bits();
-                if w > room {
-                    self.out.put_bits(word, room as u32);
-                    self.refinement_bits += room;
-                    return Err(Stop);
+                let msb = self.pyramid.region_max(child.origin, child.len) >> 1;
+                let sig = (msb as u32) > n;
+                self.sink.emit(sig, false)?;
+                if sig {
+                    self.code_s(child, n)?;
+                } else {
+                    child.msb_plus1 = msb;
+                    self.push_lis(*child);
                 }
             }
-            self.out.put_bits(word, w as u32);
-            self.refinement_bits += w;
-            i += w;
         }
-        // Newly significant points join the LSP *after* the refinement pass
-        // (their bit `n` is implied by the significance test itself).
-        let new = std::mem::take(&mut self.lsp_new);
-        self.lsp_k.extend(new);
         Ok(())
     }
 
@@ -354,18 +508,20 @@ impl<'a, const D: usize, const CHECKED: bool> Encoder<'a, D, CHECKED> {
         for n in (0..num_planes as u32).rev() {
             let _plane = sperr_telemetry::span!("speck.encode.plane", n);
             if self.sorting_pass(n).is_err() {
-                return;
+                break;
             }
-            if self.refinement_pass(n).is_err() {
-                return;
+            if self.lsp.refine(&mut self.sink, n).is_err() {
+                break;
             }
+            self.lsp.admit(self.coeffs, self.inv_q);
         }
     }
 }
 
 fn encode_with<const D: usize, const CHECKED: bool>(
     dims: [usize; D],
-    k: &[u64],
+    coeffs: &[f64],
+    inv_q: f64,
     meta: &[u8],
     pyramid: &MaxPyramid<'_, u8, D>,
     num_planes: u8,
@@ -376,31 +532,49 @@ fn encode_with<const D: usize, const CHECKED: bool>(
     root.msb_plus1 = num_planes;
     let mut enc = Encoder::<'_, D, CHECKED> {
         dims,
-        k,
+        coeffs,
+        inv_q,
         meta,
         pyramid,
-        lis: vec![vec![root]],
-        lsp_k: Vec::new(),
-        lsp_new: Vec::new(),
-        out: BitWriter::with_capacity_bits(n_total / 2),
-        budget,
+        lis: vec![LisBucket { sets: vec![root], msb: vec![num_planes] }],
+        lsp: Lsp::new(num_planes),
+        sink: BitSink::new(budget, n_total / 2),
+        sets_split: 0,
+    };
+    enc.run(num_planes);
+    finish(enc.sink, enc.sets_split, num_planes)
+}
+
+/// Packages a finished sink into the [`EncodedSpeck`] result.
+pub(crate) fn finish<const CHECKED: bool>(
+    sink: BitSink<CHECKED>,
+    sets_split: usize,
+    num_planes: u8,
+) -> EncodedSpeck {
+    let bits_used = sink.len_bits();
+    EncodedSpeck {
+        significance_bits: sink.significance_bits,
+        sign_bits: sink.sign_bits,
+        refinement_bits: sink.refinement_bits,
+        sets_split,
+        zero_runs: sink.zero_runs,
+        stream: sink.into_bytes(),
+        num_planes,
+        bits_used,
+    }
+}
+
+/// An all-dead-zone result (no planes, empty stream).
+pub(crate) fn empty_result() -> EncodedSpeck {
+    EncodedSpeck {
+        stream: Vec::new(),
+        num_planes: 0,
+        bits_used: 0,
         significance_bits: 0,
         sign_bits: 0,
         refinement_bits: 0,
         sets_split: 0,
         zero_runs: 0,
-    };
-    enc.run(num_planes);
-    let bits_used = enc.out.len_bits();
-    EncodedSpeck {
-        significance_bits: enc.significance_bits,
-        sign_bits: enc.sign_bits,
-        refinement_bits: enc.refinement_bits,
-        sets_split: enc.sets_split,
-        zero_runs: enc.zero_runs,
-        stream: enc.out.into_bytes(),
-        num_planes,
-        bits_used,
     }
 }
 
@@ -417,28 +591,38 @@ pub fn encode<const D: usize>(
     assert_eq!(coeffs.len(), n_total, "coeffs/dims mismatch");
     assert!(n_total as u64 <= u32::MAX as u64, "domain too large for u32 indices");
 
-    let (k, meta) = quantize_meta(coeffs, q);
+    let meta = quantize_meta(coeffs, q);
+    let inv_q = 1.0 / q;
+
+    // Power-of-two cubes (the dominant case in practice) take the
+    // Morton-layout fast path: every partition the coder creates is an
+    // aligned dyadic cube there, so the Z-order layout makes each split's
+    // child block one contiguous load. Identical streams by construction;
+    // enforced by the conformance goldens and the reference oracle.
+    if crate::morton::applicable(dims) {
+        let r = match term {
+            Termination::Quality => {
+                crate::morton::encode_morton::<D, false>(coeffs, dims, inv_q, meta, usize::MAX)
+            }
+            Termination::BitBudget(b) => {
+                crate::morton::encode_morton::<D, true>(coeffs, dims, inv_q, meta, b)
+            }
+        };
+        return r;
+    }
+
     let pyramid = MaxPyramid::build(&meta, dims);
     let num_planes = pyramid.global_max() >> 1;
     if num_planes == 0 {
-        return EncodedSpeck {
-            stream: Vec::new(),
-            num_planes: 0,
-            bits_used: 0,
-            significance_bits: 0,
-            sign_bits: 0,
-            refinement_bits: 0,
-            sets_split: 0,
-            zero_runs: 0,
-        };
+        return empty_result();
     }
 
     match term {
-        Termination::Quality => {
-            encode_with::<D, false>(dims, &k, &meta, &pyramid, num_planes, usize::MAX, n_total)
-        }
+        Termination::Quality => encode_with::<D, false>(
+            dims, coeffs, inv_q, &meta, &pyramid, num_planes, usize::MAX, n_total,
+        ),
         Termination::BitBudget(b) => {
-            encode_with::<D, true>(dims, &k, &meta, &pyramid, num_planes, b, n_total)
+            encode_with::<D, true>(dims, coeffs, inv_q, &meta, &pyramid, num_planes, b, n_total)
         }
     }
 }

@@ -222,10 +222,13 @@ impl<'a, const D: usize> Decoder<'a, D> {
             let avail = self.input.remaining_bits().min(want);
             if avail > 0 {
                 let word = self.input.get_bits(avail as u32).map_err(|_| Stop)?;
-                for j in 0..avail {
-                    self.lsp_val[i + j] |= ((word >> j) & 1) << n;
-                    self.lsp_unc[i + j] = n as u8;
-                }
+                sperr_simd::apply_plane_bits(
+                    &mut self.lsp_val[i..],
+                    &mut self.lsp_unc[i..],
+                    word,
+                    avail,
+                    n,
+                );
                 i += avail;
             }
             if avail < want {

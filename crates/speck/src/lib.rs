@@ -41,6 +41,7 @@
 
 mod coder;
 mod decoder;
+mod morton;
 mod pyramid;
 pub mod reference;
 mod set;

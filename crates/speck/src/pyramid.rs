@@ -7,6 +7,8 @@
 //! block decomposition — O(1) for aligned sets, O(boundary · levels) worst
 //! case.
 
+use sperr_simd::Lane;
+
 /// Mip pyramid of running maxima over `2^level`-sized blocks of a
 /// `D`-dimensional row-major array.
 ///
@@ -24,6 +26,13 @@
 /// `to_vec()`-copied level 0, doubling the coder's peak magnitude
 /// footprint; pixel significance tests now read the caller's `k` slice
 /// directly, so the copy bought nothing.
+///
+/// Construction is row-based rather than cell-based: each output row
+/// folds its up-to-`2^(D-1)` source rows with an elementwise max
+/// ([`sperr_simd::max_assign`]) and then halves along axis 0 with a
+/// pairwise max ([`sperr_simd::pairwise_max_into`]) — both chunked
+/// vector kernels — instead of paying a full odometer decomposition
+/// (div/mod per axis) per *cell* as the original builder did.
 #[derive(Debug)]
 pub struct MaxPyramid<'a, T, const D: usize> {
     /// Level 0: the input magnitudes, borrowed.
@@ -35,13 +44,17 @@ pub struct MaxPyramid<'a, T, const D: usize> {
     levels: Vec<(Vec<T>, [usize; D])>,
 }
 
-impl<'a, T: Copy + Ord + Default, const D: usize> MaxPyramid<'a, T, D> {
+impl<'a, T: Lane, const D: usize> MaxPyramid<'a, T, D> {
     /// Builds the pyramid over quantized magnitudes `values` with shape
     /// `dims` (row-major, axis 0 fastest). `values` is borrowed for the
     /// pyramid's lifetime.
     pub fn build(values: &'a [T], dims: [usize; D]) -> Self {
         assert_eq!(values.len(), dims.iter().product::<usize>());
         let mut levels: Vec<(Vec<T>, [usize; D])> = Vec::new();
+        // Row scratch: the elementwise fold of one output row's source
+        // rows, before the axis-0 pairwise halving. Sized for the finest
+        // level, reused throughout.
+        let mut folded: Vec<T> = vec![T::default(); dims[0]];
         loop {
             let (prev, pdims): (&[T], [usize; D]) = match levels.last() {
                 None => (values, dims),
@@ -55,32 +68,53 @@ impl<'a, T: Copy + Ord + Default, const D: usize> MaxPyramid<'a, T, D> {
                 ndims[d] = pdims[d].div_ceil(2);
             }
             let mut next = vec![T::default(); ndims.iter().product()];
-            // For each parent cell, max over its up-to-2^D children.
-            let pd = pdims;
-            let mut coord = [0usize; D];
-            for (pi, slot) in next.iter_mut().enumerate() {
-                // decompose pi into coord (row-major, axis 0 fastest)
-                let mut rest = pi;
-                for d in 0..D {
-                    coord[d] = rest % ndims[d];
-                    rest /= ndims[d];
-                }
-                let mut m = T::default();
-                let combos = 1usize << D;
+
+            // Strides of the source level, and the number of output rows
+            // (the product of the output dims over axes 1..D).
+            let mut pstride = [0usize; D];
+            let mut s = 1usize;
+            for d in 0..D {
+                pstride[d] = s;
+                s *= pdims[d];
+            }
+            let n_rows: usize = ndims.iter().skip(1).product();
+            let row_len = pdims[0];
+            let out_len = ndims[0];
+
+            let mut coord = [0usize; D]; // output coords over axes 1..D
+            for (out_row_i, out_row) in next.chunks_exact_mut(out_len).enumerate() {
+                debug_assert!(out_row_i < n_rows.max(1));
+                // Fold the up-to-2^(D-1) source rows of this output row.
+                let mut first = true;
+                let combos = 1usize << (D - 1);
                 'combo: for c in 0..combos {
-                    let mut idx = 0usize;
-                    let mut stride = 1usize;
-                    for d in 0..D {
-                        let x = coord[d] * 2 + ((c >> d) & 1);
-                        if x >= pd[d] {
+                    let mut base = 0usize;
+                    for d in 1..D {
+                        let x = coord[d] * 2 + ((c >> (d - 1)) & 1);
+                        if x >= pdims[d] {
                             continue 'combo;
                         }
-                        idx += x * stride;
-                        stride *= pd[d];
+                        base += x * pstride[d];
                     }
-                    m = m.max(prev[idx]);
+                    let src = &prev[base..base + row_len];
+                    if first {
+                        folded[..row_len].copy_from_slice(src);
+                        first = false;
+                    } else {
+                        sperr_simd::max_assign(&mut folded[..row_len], src);
+                    }
                 }
-                *slot = m;
+                debug_assert!(!first, "every output row has at least one source row");
+                // Halve along axis 0.
+                sperr_simd::pairwise_max_into(&folded[..row_len], out_row);
+                // Advance the output-row odometer (axes 1..D).
+                for d in 1..D {
+                    coord[d] += 1;
+                    if coord[d] < ndims[d] {
+                        break;
+                    }
+                    coord[d] = 0;
+                }
             }
             levels.push((next, ndims));
         }
@@ -101,19 +135,21 @@ impl<'a, T: Copy + Ord + Default, const D: usize> MaxPyramid<'a, T, D> {
     /// Maximum magnitude stored anywhere (top of the pyramid).
     pub fn global_max(&self) -> T {
         let (top, _) = self.level(self.levels.len());
-        top.iter().copied().max().unwrap_or_default()
+        sperr_simd::max_elem(top)
     }
 
     /// Maximum over the half-open cuboid `[lo[d], lo[d]+len[d])`.
     ///
     /// The encoder calls this once per cuboid set, at creation (the
     /// cached-significance scheme), and set sizes follow the partition
-    /// geometry: the overwhelming majority of queries are tiny. Tiny
-    /// regions therefore scan the base level directly — a few contiguous
-    /// rows beat a pyramid descent — and larger regions start the
-    /// recursive decomposition at the level whose cells match the region
-    /// scale (at most 2 cells per axis) instead of walking down from the
-    /// apex every time.
+    /// geometry. At power-of-two dims every split is dyadic, so the
+    /// overwhelming majority of queries are *aligned cubes* — for those
+    /// one pyramid cell holds exactly the region's max and the query is
+    /// a single load. Unaligned tiny regions scan the base level
+    /// directly (a few contiguous rows beat a pyramid descent); larger
+    /// irregular regions start the recursive decomposition at the level
+    /// whose cells match the region scale (at most 2 cells per axis)
+    /// instead of walking down from the apex every time.
     pub fn region_max(&self, lo: [u32; D], len: [u32; D]) -> T {
         let mut hi = [0usize; D];
         let mut lo_us = [0usize; D];
@@ -127,6 +163,26 @@ impl<'a, T: Copy + Ord + Default, const D: usize> MaxPyramid<'a, T, D> {
         }
         if volume == 0 {
             return T::default();
+        }
+        // Aligned power-of-two cube: level-L cells have extent 2^L per
+        // axis, so the cell at `lo >> L` covers exactly this region (the
+        // region is inside the domain; boundary clipping only trims past
+        // it). One load answers the query.
+        let l0 = len[0];
+        if l0.is_power_of_two() && len.iter().all(|&l| l == l0) {
+            let lvl = l0.trailing_zeros() as usize;
+            if lvl <= self.levels.len()
+                && (0..D).all(|d| lo_us[d] & (l0 as usize - 1) == 0)
+            {
+                let (data, dims) = self.level(lvl);
+                let mut idx = 0usize;
+                let mut stride = 1usize;
+                for d in 0..D {
+                    idx += (lo_us[d] >> lvl) * stride;
+                    stride *= dims[d];
+                }
+                return data[idx];
+            }
         }
         if volume <= 64 {
             return self.scan_base(&lo_us, &hi);
@@ -170,9 +226,7 @@ impl<'a, T: Copy + Ord + Default, const D: usize> MaxPyramid<'a, T, D> {
                 idx += coord[d] * stride;
                 stride *= self.base_dims[d];
             }
-            for &v in &self.base[idx..idx + row] {
-                m = m.max(v);
-            }
+            m = m.max(sperr_simd::max_elem(&self.base[idx..idx + row]));
             let mut d = 1;
             loop {
                 if d >= D {
@@ -317,15 +371,42 @@ mod tests {
     }
 
     #[test]
+    fn aligned_cube_fast_path_matches_brute_force() {
+        // Power-of-two domain: every dyadic cube must hit the one-load
+        // fast path and still agree with brute force.
+        let dims = [16usize, 16, 8];
+        let values: Vec<u64> =
+            (0..16 * 16 * 8).map(|i| ((i as u64) * 2654435761) >> 9).collect();
+        let p = MaxPyramid::build(&values, dims);
+        for l in [1u32, 2, 4, 8] {
+            for x0 in (0..16).step_by(l as usize) {
+                for y0 in (0..16).step_by(l as usize) {
+                    for z0 in (0..8.min(16)).step_by(l as usize) {
+                        if z0 + l <= 8 {
+                            let lo = [x0 as u32, y0 as u32, z0 as u32];
+                            let len = [l, l, l];
+                            assert_eq!(
+                                p.region_max(lo, len),
+                                brute_max(&values, dims, lo, len),
+                                "lo={lo:?} len={len:?}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     fn single_cell_domain() {
-        let p = MaxPyramid::build(&[42], [1usize]);
+        let p = MaxPyramid::build(&[42u64], [1usize]);
         assert_eq!(p.global_max(), 42);
         assert_eq!(p.region_max([0], [1]), 42);
     }
 
     #[test]
     fn all_zeros() {
-        let p = MaxPyramid::build(&[0; 64], [4usize, 4, 4]);
+        let p = MaxPyramid::build(&[0u64; 64], [4usize, 4, 4]);
         assert_eq!(p.global_max(), 0);
         assert_eq!(p.region_max([1, 1, 1], [2, 2, 2]), 0);
     }

@@ -1,9 +1,19 @@
 //! Lifting kernels: CDF 9/7 (the paper's choice), CDF 5/3 and Haar
 //! (ablation alternatives).
 //!
-//! All kernels operate *in place* on an interleaved signal
-//! `[s0 d0 s1 d1 ...]` and finish by de-interleaving into the dyadic
-//! `[approx... | detail...]` packing (forward) or the reverse (inverse).
+//! All kernels split a line into its even/odd bands *first*
+//! ([`sperr_simd::split_even_odd`]) and then run every lifting step as a
+//! contiguous elementwise pass over the bands
+//! ([`sperr_simd::lift_pairs`]): the historical stride-2 loops over the
+//! interleaved signal `[s0 d0 s1 d1 ...]` defeated vectorization, while
+//! `d[i] += c * (s[i] + s[i+1])` over contiguous halves is a textbook
+//! vector loop. Each output element computes the *same expression with
+//! the same operand order* as the strided original, so the results are
+//! bit-identical (the SPECK conformance goldens depend on this). A
+//! pleasant side effect: the forward de-interleave into the dyadic
+//! `[approx... | detail...]` packing is now free — the bands are built
+//! directly in that layout.
+//!
 //! Boundary handling is whole-sample symmetric extension: index `-i`
 //! reflects to `i` and index `n-1+i` to `n-1-i`, matching QccPack.
 
@@ -46,34 +56,38 @@ impl Kernel {
         if n < 2 {
             return;
         }
+        let half = n.div_ceil(2);
+        let (s, rest) = scratch.split_at_mut(half);
+        let d = &mut rest[..n - half];
+        sperr_simd::split_even_odd(&buf[..n], s, d);
         match self {
             Kernel::Cdf97 => {
-                lift_odd(buf, n, ALPHA);
-                lift_even(buf, n, BETA);
-                lift_odd(buf, n, GAMMA);
-                lift_even(buf, n, DELTA);
-                scale(buf, n, ZETA, INV_ZETA);
+                lift_detail(s, d, ALPHA);
+                lift_approx(s, d, BETA);
+                lift_detail(s, d, GAMMA);
+                lift_approx(s, d, DELTA);
+                sperr_simd::scale_in_place(s, ZETA);
+                sperr_simd::scale_in_place(d, INV_ZETA);
             }
             Kernel::Cdf53 => {
-                lift_odd(buf, n, -0.5);
-                lift_even(buf, n, 0.25);
-                scale(buf, n, std::f64::consts::SQRT_2, std::f64::consts::FRAC_1_SQRT_2);
+                lift_detail(s, d, -0.5);
+                lift_approx(s, d, 0.25);
+                sperr_simd::scale_in_place(s, std::f64::consts::SQRT_2);
+                sperr_simd::scale_in_place(d, std::f64::consts::FRAC_1_SQRT_2);
             }
             Kernel::Haar => {
                 // Pairwise orthonormal butterfly; a trailing unpaired sample
-                // passes through to the approximation band unchanged.
-                let s = std::f64::consts::FRAC_1_SQRT_2;
-                let mut i = 0;
-                while i + 1 < n {
-                    let a = buf[i];
-                    let b = buf[i + 1];
-                    buf[i] = (a + b) * s;
-                    buf[i + 1] = (a - b) * s;
-                    i += 2;
+                // (which the split parked in the approx band) passes through.
+                let c = std::f64::consts::FRAC_1_SQRT_2;
+                for (e, o) in s.iter_mut().zip(d.iter_mut()) {
+                    let (a, b) = (*e, *o);
+                    *e = (a + b) * c;
+                    *o = (a - b) * c;
                 }
             }
         }
-        deinterleave(buf, n, scratch);
+        // The bands already sit in dyadic [approx | detail] order.
+        buf[..n].copy_from_slice(&scratch[..n]);
     }
 
     /// One inverse level on `buf[..n]`, consuming `[approx | detail]`.
@@ -82,106 +96,73 @@ impl Kernel {
         if n < 2 {
             return;
         }
-        interleave(buf, n, scratch);
+        // The dyadic packing *is* the band split — no gather needed.
+        let half = n.div_ceil(2);
+        let (s, d) = buf[..n].split_at_mut(half);
         match self {
             Kernel::Cdf97 => {
-                scale(buf, n, INV_ZETA, ZETA);
-                lift_even(buf, n, -DELTA);
-                lift_odd(buf, n, -GAMMA);
-                lift_even(buf, n, -BETA);
-                lift_odd(buf, n, -ALPHA);
+                sperr_simd::scale_in_place(s, INV_ZETA);
+                sperr_simd::scale_in_place(d, ZETA);
+                lift_approx(s, d, -DELTA);
+                lift_detail(s, d, -GAMMA);
+                lift_approx(s, d, -BETA);
+                lift_detail(s, d, -ALPHA);
             }
             Kernel::Cdf53 => {
-                scale(buf, n, std::f64::consts::FRAC_1_SQRT_2, std::f64::consts::SQRT_2);
-                lift_even(buf, n, -0.25);
-                lift_odd(buf, n, 0.5);
+                sperr_simd::scale_in_place(s, std::f64::consts::FRAC_1_SQRT_2);
+                sperr_simd::scale_in_place(d, std::f64::consts::SQRT_2);
+                lift_approx(s, d, -0.25);
+                lift_detail(s, d, 0.5);
             }
             Kernel::Haar => {
-                let s = std::f64::consts::FRAC_1_SQRT_2;
-                let mut i = 0;
-                while i + 1 < n {
-                    let lo = buf[i];
-                    let hi = buf[i + 1];
-                    buf[i] = (lo + hi) * s;
-                    buf[i + 1] = (lo - hi) * s;
-                    i += 2;
+                let c = std::f64::consts::FRAC_1_SQRT_2;
+                for (e, o) in s.iter_mut().zip(d.iter_mut()) {
+                    let (lo, hi) = (*e, *o);
+                    *e = (lo + hi) * c;
+                    *o = (lo - hi) * c;
                 }
             }
         }
+        sperr_simd::merge_even_odd(s, d, &mut scratch[..n]);
+        buf[..n].copy_from_slice(&scratch[..n]);
     }
 }
 
-/// `x[i] += c * (x[i-1] + x[i+1])` for odd `i`, symmetric extension.
+/// Detail (odd-sample) lifting step on the split bands:
+/// `d[i] += c * (s[i] + s[i+1])`, i.e. the strided
+/// `x[2i+1] += c * (x[2i] + x[2i+2])` with both neighbours now adjacent
+/// approx samples. When the line length is even the last detail sample's
+/// right neighbour reflects (`x[n] -> x[n-2]`), which in band terms is
+/// its own left neighbour.
 #[inline]
-fn lift_odd(x: &mut [f64], n: usize, c: f64) {
-    // Interior odd samples always have both neighbours in range except the
-    // last sample when n is even.
-    let mut i = 1;
-    while i + 1 < n {
-        x[i] += c * (x[i - 1] + x[i + 1]);
-        i += 2;
+fn lift_detail(s: &[f64], d: &mut [f64], c: f64) {
+    let ho = d.len();
+    if ho == 0 {
+        return;
     }
-    if n % 2 == 0 {
-        // i == n-1: right neighbour n reflects to n-2.
-        x[n - 1] += c * 2.0 * x[n - 2];
+    if s.len() > ho {
+        // Odd line length: every detail sample has both neighbours.
+        sperr_simd::lift_pairs(d, &s[..ho], &s[1..ho + 1], c);
+    } else {
+        sperr_simd::lift_pairs(&mut d[..ho - 1], &s[..ho - 1], &s[1..ho], c);
+        d[ho - 1] += c * 2.0 * s[ho - 1];
     }
 }
 
-/// `x[i] += c * (x[i-1] + x[i+1])` for even `i`, symmetric extension.
+/// Approx (even-sample) lifting step on the split bands:
+/// `s[i] += c * (d[i-1] + d[i])`, i.e. the strided
+/// `x[2i] += c * (x[2i-1] + x[2i+1])`. The first approx sample's left
+/// neighbour reflects (`x[-1] -> x[1]`); when the line length is odd the
+/// last one's right neighbour reflects too.
 #[inline]
-fn lift_even(x: &mut [f64], n: usize, c: f64) {
-    // i == 0: left neighbour -1 reflects to 1.
-    x[0] += c * 2.0 * x[1];
-    let mut i = 2;
-    while i + 1 < n {
-        x[i] += c * (x[i - 1] + x[i + 1]);
-        i += 2;
+fn lift_approx(s: &mut [f64], d: &[f64], c: f64) {
+    let ho = d.len();
+    debug_assert!(ho >= 1);
+    s[0] += c * 2.0 * d[0];
+    sperr_simd::lift_pairs(&mut s[1..ho], &d[..ho - 1], &d[1..ho], c);
+    if s.len() > ho {
+        s[ho] += c * 2.0 * d[ho - 1];
     }
-    if n % 2 == 1 {
-        // i == n-1 (even index): right neighbour reflects to n-2.
-        x[n - 1] += c * 2.0 * x[n - 2];
-    }
-}
-
-/// Scales even samples by `se` and odd samples by `so`.
-#[inline]
-fn scale(x: &mut [f64], n: usize, se: f64, so: f64) {
-    let mut i = 0;
-    while i < n {
-        x[i] *= se;
-        i += 2;
-    }
-    let mut i = 1;
-    while i < n {
-        x[i] *= so;
-        i += 2;
-    }
-}
-
-/// `[s0 d0 s1 d1 ...]` -> `[s0 s1 ... | d0 d1 ...]`.
-#[inline]
-fn deinterleave(x: &mut [f64], n: usize, scratch: &mut [f64]) {
-    let half = n.div_ceil(2);
-    for i in 0..half {
-        scratch[i] = x[2 * i];
-    }
-    for i in 0..n / 2 {
-        scratch[half + i] = x[2 * i + 1];
-    }
-    x[..n].copy_from_slice(&scratch[..n]);
-}
-
-/// `[s... | d...]` -> `[s0 d0 s1 d1 ...]`.
-#[inline]
-fn interleave(x: &mut [f64], n: usize, scratch: &mut [f64]) {
-    let half = n.div_ceil(2);
-    for i in 0..half {
-        scratch[2 * i] = x[i];
-    }
-    for i in 0..n / 2 {
-        scratch[2 * i + 1] = x[half + i];
-    }
-    x[..n].copy_from_slice(&scratch[..n]);
 }
 
 #[cfg(test)]
@@ -189,23 +170,30 @@ mod tests {
     use super::*;
 
     #[test]
-    fn deinterleave_then_interleave_is_identity() {
-        for n in 1..20 {
-            let orig: Vec<f64> = (0..n).map(|i| i as f64).collect();
-            let mut x = orig.clone();
-            let mut scratch = vec![0.0; n];
-            deinterleave(&mut x, n, &mut scratch);
-            interleave(&mut x, n, &mut scratch);
-            assert_eq!(x, orig, "n={n}");
-        }
+    fn forward_layout_is_dyadic() {
+        // forward(identity ramp) with Haar keeps the unpaired tail in the
+        // approx band: [e0 e1 e2 | d0 d1] for n = 5.
+        let mut x = vec![0.0, 1.0, 2.0, 3.0, 4.0];
+        let mut scratch = vec![0.0; 5];
+        Kernel::Haar.forward_line(&mut x, 5, &mut scratch);
+        let c = std::f64::consts::FRAC_1_SQRT_2;
+        assert_eq!(x, vec![1.0 * c, 5.0 * c, 4.0, -1.0 * c, -1.0 * c]);
     }
 
     #[test]
-    fn deinterleave_layout() {
-        let mut x = vec![0.0, 1.0, 2.0, 3.0, 4.0];
-        let mut scratch = vec![0.0; 5];
-        deinterleave(&mut x, 5, &mut scratch);
-        assert_eq!(x, vec![0.0, 2.0, 4.0, 1.0, 3.0]);
+    fn line_roundtrips_all_kernels_all_lengths() {
+        for kernel in [Kernel::Cdf97, Kernel::Cdf53, Kernel::Haar] {
+            for n in 2..40usize {
+                let orig: Vec<f64> = (0..n).map(|i| ((i * 29 % 13) as f64) - 6.0).collect();
+                let mut x = orig.clone();
+                let mut scratch = vec![0.0; n];
+                kernel.forward_line(&mut x, n, &mut scratch);
+                kernel.inverse_line(&mut x, n, &mut scratch);
+                for (a, b) in x.iter().zip(&orig) {
+                    assert!((a - b).abs() < 1e-10, "{kernel:?} n={n}: {a} vs {b}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -15,6 +15,30 @@ cargo test --workspace --quiet
 echo "==> decoder panic audit"
 cargo test --quiet --test panic_audit
 
+echo "==> force-scalar matrix: build + full test suite on the scalar twins"
+# The sperr-simd force-scalar feature routes every kernel entry point to
+# its scalar twin — the portability escape hatch for targets where the
+# blocked loops don't pay off. The whole workspace must build and pass
+# (including the conformance goldens, which prove the scalar path is
+# bit-identical to the blocked one end-to-end).
+cargo build --workspace --release --features sperr-simd/force-scalar
+cargo test --workspace --quiet --features sperr-simd/force-scalar
+
+echo "==> cross-target check: aarch64 (NEON lane widths)"
+# Type-check the workspace for a 128-bit-SIMD target so a portability
+# break (x86-only assumption, pointer-width slip) is caught even though
+# this host can't run the result. Needs the target's rustc component
+# only (no linking: cargo check); installs are forbidden in CI, so skip
+# gracefully — loudly — when the target stdlib is absent.
+if rustc --target aarch64-unknown-linux-gnu --print sysroot >/dev/null 2>&1 \
+    && [ -d "$(rustc --print sysroot)/lib/rustlib/aarch64-unknown-linux-gnu" ]; then
+    cargo check --workspace --quiet --target aarch64-unknown-linux-gnu
+else
+    echo "aarch64 check: SKIPPED (target stdlib not installed; install is"
+    echo "      forbidden in this environment — run locally with"
+    echo "      'rustup target add aarch64-unknown-linux-gnu')"
+fi
+
 echo "==> conformance: golden streams + differential oracles + PWE campaign"
 # Tier-2 gate. `check` regenerates the whole golden matrix in memory and
 # diffs it byte-for-byte against the committed artifacts (so stale or
@@ -64,21 +88,33 @@ echo "==> tracked bench artifacts are well-formed"
 target/release/hotpath --check BENCH_pr2.json
 target/release/hotpath --check BENCH_pr4.json
 target/release/hotpath --check BENCH_pr5.json
+target/release/hotpath --check BENCH_pr7.json
 
-echo "==> soft perf gate (non-fatal)"
+echo "==> perf gate: committed BENCH_pr7.json vs PR 4 + PR 5 baselines (hard)"
+# The committed full-size artifact must not record a >20% regression on
+# the SPECK stage ratios relative to the best committed baseline — this
+# is the deterministic hard gate (it compares tracked files, so it never
+# flakes on host noise; it fails exactly when someone commits a slower
+# artifact). Satellite of the PR 7 overhaul: the PR 5 episode showed a
+# soft warning on these ratios is too easy to scroll past.
+target/release/hotpath --perf-gate BENCH_pr7.json \
+    BENCH_pr2.json BENCH_pr4.json BENCH_pr5.json
+
+echo "==> perf gate: fresh smoke run vs baselines (soft)"
 # Compare the smoke run's derived speedup ratios against the BEST value
 # each ratio ever reached across all committed full-size baselines, so a
 # slow PR cannot quietly lower the bar for the next one. The per-ratio
 # delta table prints even when everything is green; a >20% regression
 # adds a loud warning but does not fail CI: smoke dims and shared-host
-# noise make a hard gate flaky, and the goal is that a real performance
-# cliff cannot land silently.
+# noise make a hard gate flaky (the gate binary downgrades the hard keys
+# for --smoke artifacts), and the goal is that a real performance cliff
+# cannot land silently.
 # Note the coder-path *correctness* gate is NOT this: byte-for-byte
 # stream stability of the overhauled SPECK/outlier coders is enforced
 # hard by `sperr-conformance check` + the golden governance step above
 # (the goldens exercise every coder path and fail on any byte change).
 target/release/hotpath --perf-gate target/bench_smoke.json \
-    BENCH_pr2.json BENCH_pr4.json BENCH_pr5.json
+    BENCH_pr2.json BENCH_pr4.json BENCH_pr5.json BENCH_pr7.json
 
 echo "==> telemetry matrix: rebuild with the feature compiled in"
 # Everything above ran with telemetry compiled OUT (the default, and the
