@@ -1,7 +1,7 @@
-//! Hot-path throughput benchmark backing the tracked `BENCH_pr7.json`
+//! Hot-path throughput benchmark backing the tracked `BENCH_pr8.json`
 //! artifact (run via `scripts/bench.sh`; `BENCH_pr2.json`,
-//! `BENCH_pr4.json` and `BENCH_pr5.json` are the frozen earlier editions
-//! of the same measurements).
+//! `BENCH_pr4.json`, `BENCH_pr5.json` and `BENCH_pr7.json` are the
+//! frozen earlier editions of the same measurements).
 //!
 //! Measures, on a synthetic 256³ volume (48³ with `--smoke`):
 //!
@@ -17,6 +17,11 @@
 //!   vs the pooled/arena pipeline at 1 and 8 threads, with per-stage
 //!   MB/s from `StageTimes`;
 //! * a BPP (size-bounded) workload and decompression;
+//! * random access on an 8-chunk container (PR 8): `decode_region` over
+//!   bboxes touching 1 of 8 chunks (~1% and exactly 1/8 of the volume)
+//!   and over the whole volume, each ratioed against a full multi-chunk
+//!   decompress, plus a `decode_at_bpp` preview at 1 bpp — so the
+//!   index-seek work-avoidance claim is a tracked number;
 //! * the PR 7 SIMD kernels in isolation (sign/magnitude split, pyramid
 //!   build, significance scan, lifting, refinement gather), each also
 //!   ratioed against its scalar twin so an autovectorization failure
@@ -82,7 +87,7 @@ const HARD_GATE_KEYS: [&str; 4] = [
 ];
 
 fn main() {
-    let mut out_path = String::from("BENCH_pr7.json");
+    let mut out_path = String::from("BENCH_pr8.json");
     let mut smoke = false;
     let mut check: Option<String> = None;
     let mut gate: Option<(String, Vec<String>)> = None;
@@ -610,6 +615,63 @@ fn run_benchmarks(dims: [usize; 3], smoke: bool) -> Json {
         .map(|(a, b)| (a - b).abs())
         .fold(0.0f64, f64::max);
     assert!(max_err <= t, "PWE bound violated: {max_err} > {t}");
+    drop(rec);
+
+    // --- random access on a multi-chunk container (PR 8) -----------------
+    // Half-extent chunks partition the volume into 8, so the 1/8 bbox
+    // (half per axis) intersects exactly one chunk and the measured
+    // speedup is pure decode-work avoidance: the index seek skips 7 of 8
+    // chunk payloads. The ~1% bbox also lands in one chunk — it shows
+    // that whole-chunk decode granularity bounds how far tiny queries can
+    // win. All three region reads are checked bit-identical to the same
+    // slice of a full decompress before their time is trusted.
+    let region_chunk = [dims[0] / 2, dims[1] / 2, dims[2] / 2];
+    let chunked = Sperr::new(SperrConfig {
+        chunk_dims: region_chunk,
+        lossless: false,
+        num_threads: 8,
+        ..SperrConfig::default()
+    });
+    let multi_stream = chunked.compress_with_stats(&field, Bound::Pwe(t)).unwrap().0;
+    let (multi_dec_time, multi_rec) =
+        time_best_with(reps, || chunked.decompress_with_stats(&multi_stream).unwrap().0);
+    let run_region = |lo: [usize; 3], hi: [usize; 3]| -> (Duration, usize) {
+        let (d, (part, report)) =
+            time_best_with(reps, || chunked.decode_region(&multi_stream, lo, hi).unwrap());
+        assert!(report.all_ok(), "region decode reported damaged chunks");
+        assert!(report.used_index, "v3 stream must answer regions via the index");
+        let rdims = [hi[0] - lo[0], hi[1] - lo[1], hi[2] - lo[2]];
+        for z in 0..rdims[2] {
+            for y in 0..rdims[1] {
+                for x in 0..rdims[0] {
+                    let got = part.data[(z * rdims[1] + y) * rdims[0] + x];
+                    let want = multi_rec.data
+                        [((z + lo[2]) * dims[1] + y + lo[1]) * dims[0] + x + lo[0]];
+                    assert_eq!(got.to_bits(), want.to_bits(), "region voxel mismatch");
+                }
+            }
+        }
+        (d, rdims.iter().product())
+    };
+    let (region_1pct_time, region_1pct_pts) =
+        run_region([0; 3], [dims[0] / 5, dims[1] / 5, dims[2] / 5]);
+    let (region_eighth_time, region_eighth_pts) = run_region([0; 3], region_chunk);
+    let (region_full_time, region_full_pts) = run_region([0; 3], dims);
+    let (preview_time, preview_field) =
+        time_best_with(reps, || chunked.decode_at_bpp(&multi_stream, 1.0).unwrap());
+    assert_eq!(preview_field.data.len(), points);
+    drop((multi_rec, preview_field));
+    eprintln!(
+        "region decode (8 chunks): full decompress {:.3}s, 1pct {:.3}s ({:.2}x), \
+         eighth {:.3}s ({:.2}x), full-bbox {:.3}s, preview@1bpp {:.3}s",
+        multi_dec_time.as_secs_f64(),
+        region_1pct_time.as_secs_f64(),
+        multi_dec_time.as_secs_f64() / region_1pct_time.as_secs_f64(),
+        region_eighth_time.as_secs_f64(),
+        multi_dec_time.as_secs_f64() / region_eighth_time.as_secs_f64(),
+        region_full_time.as_secs_f64(),
+        preview_time.as_secs_f64(),
+    );
 
     let derived = Json::obj(vec![
         (
@@ -656,6 +718,18 @@ fn run_benchmarks(dims: [usize; 3], smoke: bool) -> Json {
             "kernel_refine_vs_scalar",
             Json::Num(k_refine_scalar.as_secs_f64() / k_refine.as_secs_f64()),
         ),
+        (
+            "region_1pct_speedup_vs_full",
+            Json::Num(multi_dec_time.as_secs_f64() / region_1pct_time.as_secs_f64()),
+        ),
+        (
+            "region_eighth_speedup_vs_full",
+            Json::Num(multi_dec_time.as_secs_f64() / region_eighth_time.as_secs_f64()),
+        ),
+        (
+            "region_full_vs_decompress",
+            Json::Num(multi_dec_time.as_secs_f64() / region_full_time.as_secs_f64()),
+        ),
         ("pre_pr_bit_identical", Json::Bool(bit_identical)),
     ]);
 
@@ -668,7 +742,7 @@ fn run_benchmarks(dims: [usize; 3], smoke: bool) -> Json {
     let chunk_count = meta_sperr.chunk_count(dims);
 
     Json::obj(vec![
-        ("schema", Json::Str("sperr-bench-pr7/v1".into())),
+        ("schema", Json::Str("sperr-bench-pr8/v1".into())),
         ("smoke", Json::Bool(smoke)),
         ("host_threads", Json::Num(host_threads as f64)),
         ("effective_workers", Json::Num(effective_workers as f64)),
@@ -694,6 +768,11 @@ fn run_benchmarks(dims: [usize; 3], smoke: bool) -> Json {
                 workload("pwe_compress_8t", points, pwe_8t_time, Some(&pwe_8t_stats.stage_times)),
                 workload("bpp_compress_8t", points, bpp_8t_time, Some(&bpp_8t_stats.stage_times)),
                 workload("pwe_decompress_8t", points, dec_8t_time, Some(&dec_stats.stage_times)),
+                workload("pwe_decompress_8chunk", points, multi_dec_time, None),
+                workload("decode_region_1pct", region_1pct_pts, region_1pct_time, None),
+                workload("decode_region_eighth", region_eighth_pts, region_eighth_time, None),
+                workload("decode_region_full", region_full_pts, region_full_time, None),
+                workload("decode_at_bpp_preview", points, preview_time, None),
             ]),
         ),
         ("derived", derived),

@@ -380,6 +380,15 @@ pub fn validate_bench_artifact(text: &str) -> Result<(), String> {
             "kernel_refine_vs_scalar",
         ]);
     }
+    // PR 8 artifacts additionally pin the random-access speedups (the
+    // chunk-index tentpole's acceptance numbers).
+    if pr.is_some_and(|n| n >= 8) {
+        required.extend([
+            "region_1pct_speedup_vs_full",
+            "region_eighth_speedup_vs_full",
+            "region_full_vs_decompress",
+        ]);
+    }
     for key in required {
         match derived.get(key).and_then(Json::as_num) {
             Some(n) if n > 0.0 => {}
@@ -628,6 +637,56 @@ mod tests {
                 ("kernel_scan_vs_scalar", Json::Num(3.0)),
                 ("kernel_lift_vs_scalar", Json::Num(1.1)),
                 ("kernel_refine_vs_scalar", Json::Num(2.0)),
+            ],
+        ))
+        .is_ok());
+    }
+
+    #[test]
+    fn pr8_schema_demands_region_ratios() {
+        let build = |schema: &str, extra_derived: Vec<(&str, Json)>| {
+            let mut derived = vec![
+                ("zaxis_blocked_vs_per_line", Json::Num(1.4)),
+                ("pwe_8t_vs_pre_pr_1t", Json::Num(2.5)),
+                ("speck_encode_vs_pr2", Json::Num(3.5)),
+                ("speck_decode_vs_pr2", Json::Num(2.2)),
+                ("speck_encode_vs_pr4", Json::Num(2.0)),
+                ("speck_decode_vs_pr4", Json::Num(1.0)),
+                ("kernel_split_vs_scalar", Json::Num(1.5)),
+                ("kernel_scan_vs_scalar", Json::Num(3.0)),
+                ("kernel_lift_vs_scalar", Json::Num(1.1)),
+                ("kernel_refine_vs_scalar", Json::Num(2.0)),
+            ];
+            derived.extend(extra_derived);
+            Json::obj(vec![
+                ("schema", Json::Str(schema.into())),
+                ("host_threads", Json::Num(8.0)),
+                ("effective_workers", Json::Num(8.0)),
+                ("chunk_count", Json::Num(8.0)),
+                ("points", Json::Num(64.0)),
+                ("dims", Json::Arr(vec![Json::Num(4.0), Json::Num(4.0), Json::Num(4.0)])),
+                (
+                    "workloads",
+                    Json::Arr(vec![Json::obj(vec![
+                        ("name", Json::Str("x".into())),
+                        ("mb_per_s", Json::Num(10.0)),
+                    ])]),
+                ),
+                ("derived", Json::obj(derived)),
+            ])
+            .render()
+        };
+        // The pr7 requirement set is not enough under the pr8 tag.
+        assert!(validate_bench_artifact(&build("sperr-bench-pr7/v1", vec![])).is_ok());
+        assert!(validate_bench_artifact(&build("sperr-bench-pr8/v1", vec![]))
+            .unwrap_err()
+            .contains("region_1pct_speedup_vs_full"));
+        assert!(validate_bench_artifact(&build(
+            "sperr-bench-pr8/v1",
+            vec![
+                ("region_1pct_speedup_vs_full", Json::Num(6.0)),
+                ("region_eighth_speedup_vs_full", Json::Num(5.5)),
+                ("region_full_vs_decompress", Json::Num(1.0)),
             ],
         ))
         .is_ok());

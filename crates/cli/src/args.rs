@@ -88,6 +88,13 @@ impl Args {
             .transpose()
     }
 
+    /// Optional voxel-region option (`X0:X1,Y0:Y1,Z0:Z1`).
+    pub fn opt_region(&self, name: &str) -> Result<Option<([usize; 3], [usize; 3])>, String> {
+        self.opt(name)
+            .map(|v| parse_region(v).map_err(|e| format!("--{name}: {e}")))
+            .transpose()
+    }
+
     /// Unconsumed positional words (should be empty for our commands).
     pub fn positional(&self) -> &[String] {
         &self.positional
@@ -111,6 +118,29 @@ pub fn parse_dims(s: &str) -> Result<[usize; 3], String> {
         }
     }
     Ok(dims)
+}
+
+/// Parses `X0:X1,Y0:Y1,Z0:Z1` — half-open voxel ranges per axis, lower
+/// bound inclusive, upper exclusive. Axes left out default to `0:1`
+/// (so a 2D slice can be named `X0:X1,Y0:Y1`). Returns `(lo, hi)`.
+pub fn parse_region(s: &str) -> Result<([usize; 3], [usize; 3]), String> {
+    let parts: Vec<&str> = s.split(',').collect();
+    if parts.is_empty() || parts.len() > 3 {
+        return Err(format!("expected X0:X1,Y0:Y1,Z0:Z1, got {s}"));
+    }
+    let mut lo = [0usize; 3];
+    let mut hi = [1usize; 3];
+    for (i, p) in parts.iter().enumerate() {
+        let Some((a, b)) = p.split_once(':') else {
+            return Err(format!("axis range {p} is not of the form LO:HI"));
+        };
+        lo[i] = a.trim().parse::<usize>().map_err(|_| format!("bad coordinate {a}"))?;
+        hi[i] = b.trim().parse::<usize>().map_err(|_| format!("bad coordinate {b}"))?;
+        if hi[i] <= lo[i] {
+            return Err(format!("axis range {p} is empty (upper bound is exclusive)"));
+        }
+    }
+    Ok((lo, hi))
 }
 
 /// Scalar element type of raw files.
@@ -172,6 +202,17 @@ mod tests {
         assert!(parse_dims("0,1,1").is_err());
         assert!(parse_dims("1,2,3,4").is_err());
         assert!(parse_dims("a,b").is_err());
+    }
+
+    #[test]
+    fn region_parsing() {
+        assert_eq!(parse_region("0:4,2:6,1:3").unwrap(), ([0, 2, 1], [4, 6, 3]));
+        assert_eq!(parse_region("3:17,0:9").unwrap(), ([3, 0, 0], [17, 9, 1]));
+        assert!(parse_region("4:4,0:1,0:1").is_err(), "empty range");
+        assert!(parse_region("5:3,0:1,0:1").is_err(), "inverted range");
+        assert!(parse_region("1,2,3").is_err(), "no colon");
+        assert!(parse_region("0:a,0:1,0:1").is_err(), "non-numeric");
+        assert!(parse_region("0:1,0:1,0:1,0:1").is_err(), "too many axes");
     }
 
     #[test]

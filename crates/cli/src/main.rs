@@ -103,6 +103,7 @@ USAGE:
                    [--chunk CX,CY,CZ] [--threads N] [--q-factor F] [--no-lossless]
                    [--stream] [--in-flight N] [--verbose] [--stats] [--trace FILE]
   sperr decompress --input SPERR --output RAW --type f32|f64 [--level L]
+                   [--region X0:X1,Y0:Y1,Z0:Z1] [--preview-bpp R]
                    [--stream] [--in-flight N] [--resilient]
                    [--threads N] [--verbose] [--stats] [--trace FILE]
   sperr info       --input SPERR [--verify] [--verbose]
@@ -113,7 +114,16 @@ Bounds: --pwe is an absolute point-wise error tolerance; --idx N sets it to
 range/2^N (paper Table I); --bpp targets a size in bits per point (no error
 guarantee); --psnr targets an average error in dB.
 
---verify checks the stream's integrity checksums (container v2) without
+Random access: --region decodes only the chunks intersecting the given
+half-open voxel box (axes left out default to 0:1) and writes just that
+sub-volume; container v3 streams seek via the chunk index, older streams
+fall back to a chunk-table walk. --preview-bpp decodes a coarse preview
+by truncating each chunk's embedded SPECK stream at the given bitrate
+(no error guarantee; outlier corrections are skipped). Both need random
+access and are rejected in --stream mode; --region, --preview-bpp and
+--level are mutually exclusive.
+
+--verify checks the stream's integrity checksums (container v2+) without
 decompressing; corrupt chunks are listed and reflected in the exit code.
 --verbose adds per-stage wall times (wavelet / SPECK / outlier detection
 and coding / container / lossless); for info it runs a timed decode to
@@ -493,6 +503,13 @@ fn cmd_decompress_stream(args: &Args, input: &str, output: &str) -> Result<(), C
                 .into(),
         ));
     }
+    if args.opt("region").is_some() || args.opt("preview-bpp").is_some() {
+        return Err(CliError::Usage(
+            "--region/--preview-bpp need random access into the container; \
+             not available in streaming mode"
+                .into(),
+        ));
+    }
     let sperr = build_sperr(args)?;
     let scope = TelemetryScope::begin(args);
     let reader = open_reader(input)?;
@@ -549,13 +566,47 @@ fn cmd_decompress(args: &Args) -> Result<(), CliError> {
     let output = Path::new(&output_arg).to_path_buf();
     let ty = parse_type(args.req("type")?)?;
     let level = args.opt_usize("level")?.unwrap_or(0);
+    let region = args.opt_region("region")?;
+    let preview_bpp = args.opt_f64("preview-bpp")?;
+    let exclusive = (level > 0) as u8 + region.is_some() as u8 + preview_bpp.is_some() as u8;
+    if exclusive > 1 {
+        return Err(CliError::Usage(
+            "--region, --preview-bpp and --level are mutually exclusive".into(),
+        ));
+    }
     let stream = std::fs::read(&input).map_err(|e| CliError::Io(e.to_string()))?;
     let sperr = build_sperr(args)?;
-    // Per-stage times only exist for the full-resolution path; multires
-    // decode skips stages, so its timings would not be comparable.
-    let verbose = args.flag("verbose") && level == 0;
+    // Per-stage times only exist for the full-resolution path; multires,
+    // region and preview decodes skip stages, so their timings would not
+    // be comparable.
+    let verbose = args.flag("verbose") && exclusive == 0;
     let scope = TelemetryScope::begin(args);
-    let (field, stats) = if verbose {
+    let mut note = String::new();
+    let (field, stats) = if let Some((lo, hi)) = region {
+        let (field, report) = sperr.decode_region(&stream, lo, hi)?;
+        if !report.all_ok() {
+            let bad: Vec<usize> = report
+                .chunk_ids
+                .iter()
+                .zip(&report.statuses)
+                .filter(|(_, s)| !matches!(s, sperr_core::ChunkStatus::Ok))
+                .map(|(&id, _)| id)
+                .collect();
+            return Err(CliError::Compress(CompressError::Corrupt(format!(
+                "region decode hit damaged chunks {bad:?}"
+            ))));
+        }
+        note = format!(
+            " (region {}:{},{}:{},{}:{} — {} chunk(s) via {})",
+            lo[0], hi[0], lo[1], hi[1], lo[2], hi[2],
+            report.chunk_ids.len(),
+            if report.used_index { "index seek" } else { "chunk-table scan" },
+        );
+        (field, None)
+    } else if let Some(bpp) = preview_bpp {
+        note = format!(" (preview at {bpp} bpp)");
+        (sperr.decode_at_bpp(&stream, bpp)?, None)
+    } else if verbose {
         let (field, stats) = sperr.decompress_with_stats(&stream)?;
         (field, Some(stats))
     } else {
@@ -564,15 +615,17 @@ fn cmd_decompress(args: &Args) -> Result<(), CliError> {
     scope.finish()?;
     rawio::write_field(&output, &field, ty).map_err(|e| CliError::Io(e.to_string()))?;
     if !args.flag("quiet") {
+        if level > 0 {
+            note = format!(" (resolution level {level})");
+        }
         println!(
-            "{} -> {}: {}x{}x{} {:?}{}",
+            "{} -> {}: {}x{}x{} {:?}{note}",
             input.display(),
             output.display(),
             field.dims[0],
             field.dims[1],
             field.dims[2],
             ty,
-            if level > 0 { format!(" (resolution level {level})") } else { String::new() },
         );
         if let Some(stats) = &stats {
             print_stage_times(&stats.stage_times, field.len());
@@ -600,6 +653,36 @@ fn cmd_info(args: &Args) -> Result<(), CliError> {
     println!("payloads:    speck {} B, outliers {} B", info.speck_bytes, info.outlier_bytes);
     let n: usize = info.dims.iter().product();
     println!("bitrate:     {:.4} bpp", stream.len() as f64 * 8.0 / n as f64);
+    match &info.chunk_index {
+        Some(index) => {
+            println!("index:       {} entries (random access: indexed seek)", index.len());
+            println!("  {:>5}  {:<12} {:>10}  {:>9}  {:>12}", "chunk", "coords", "offset", "bytes", "max err");
+            let shown = if args.flag("verbose") { index.len() } else { index.len().min(8) };
+            for (i, e) in index.iter().take(shown).enumerate() {
+                let err = if e.max_err.is_nan() {
+                    "-".to_string()
+                } else {
+                    format!("{:.3e}", e.max_err)
+                };
+                println!(
+                    "  {i:>5}  {:<12} {:>10}  {:>9}  {err:>12}",
+                    format!("{},{},{}", e.coords[0], e.coords[1], e.coords[2]),
+                    e.offset,
+                    e.len,
+                );
+            }
+            if shown < index.len() {
+                println!("  ... {} more (use --verbose for all)", index.len() - shown);
+            }
+        }
+        None => {
+            println!(
+                "index:       none (container v{} predates the chunk index; \
+                 random access falls back to a chunk-table scan)",
+                info.version
+            );
+        }
+    }
     if args.flag("verbose") {
         // A timed full decode, to report where decompression time goes.
         let t0 = std::time::Instant::now();
@@ -992,6 +1075,119 @@ mod tests {
             .unwrap_err();
         assert!(matches!(&err, CliError::Compress(CompressError::Corrupt(_))), "{err:?}");
         assert_eq!(exit_code(&err), 5);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn region_decode_matches_full_decode_slice() {
+        let dir = std::env::temp_dir().join("sperr_cli_region_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let raw = dir.join("x.raw");
+        let packed = dir.join("x.sperr");
+        let full = dir.join("full.raw");
+        let region = dir.join("region.raw");
+        let dims = [40, 28, 20];
+        run(&w(&["gen", "--field", "miranda-pressure", "--dims", "40,28,20",
+                 "--output", raw.to_str().unwrap(), "--type", "f64", "--quiet"]))
+            .unwrap();
+        run(&w(&["compress", "--input", raw.to_str().unwrap(), "--output",
+                 packed.to_str().unwrap(), "--dims", "40,28,20", "--type", "f64",
+                 "--pwe", "1e-3", "--chunk", "16,16,16", "--quiet"]))
+            .unwrap();
+        run(&w(&["decompress", "--input", packed.to_str().unwrap(), "--output",
+                 full.to_str().unwrap(), "--type", "f64", "--quiet"]))
+            .unwrap();
+        // A chunk-straddling bbox: crosses the 16-boundary on every axis.
+        let (lo, hi) = ([5, 12, 3], [23, 20, 18]);
+        run(&w(&["decompress", "--input", packed.to_str().unwrap(), "--output",
+                 region.to_str().unwrap(), "--type", "f64", "--region",
+                 "5:23,12:20,3:18", "--quiet"]))
+            .unwrap();
+        let rdims = [hi[0] - lo[0], hi[1] - lo[1], hi[2] - lo[2]];
+        let f = rawio::read_field(&full, dims, ScalarType::F64).unwrap();
+        let r = rawio::read_field(&region, rdims, ScalarType::F64).unwrap();
+        for z in 0..rdims[2] {
+            for y in 0..rdims[1] {
+                for x in 0..rdims[0] {
+                    let got = r.data[(z * rdims[1] + y) * rdims[0] + x];
+                    let want = f.data
+                        [((z + lo[2]) * dims[1] + y + lo[1]) * dims[0] + x + lo[0]];
+                    assert_eq!(got.to_bits(), want.to_bits(), "voxel ({x},{y},{z})");
+                }
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn preview_bpp_decodes_full_dims_from_partial_budget() {
+        let dir = std::env::temp_dir().join("sperr_cli_preview_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let raw = dir.join("x.raw");
+        let packed = dir.join("x.sperr");
+        let preview = dir.join("preview.raw");
+        run(&w(&["gen", "--field", "s3d-ch4", "--dims", "24,24,16", "--output",
+                 raw.to_str().unwrap(), "--type", "f64", "--quiet"]))
+            .unwrap();
+        run(&w(&["compress", "--input", raw.to_str().unwrap(), "--output",
+                 packed.to_str().unwrap(), "--dims", "24,24,16", "--type", "f64",
+                 "--bpp", "8", "--chunk", "16,16,16", "--quiet"]))
+            .unwrap();
+        run(&w(&["decompress", "--input", packed.to_str().unwrap(), "--output",
+                 preview.to_str().unwrap(), "--type", "f64", "--preview-bpp",
+                 "1.5", "--quiet"]))
+            .unwrap();
+        // The preview is a valid full-dims field; coarse, but finite everywhere.
+        let p = rawio::read_field(&preview, [24, 24, 16], ScalarType::F64).unwrap();
+        assert_eq!(p.data.len(), 24 * 24 * 16);
+        assert!(p.data.iter().all(|v| v.is_finite()));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn region_preview_and_level_are_mutually_exclusive() {
+        let combos: &[&[&str]] = &[
+            &["--region", "0:4,0:4,0:4", "--level", "1"],
+            &["--region", "0:4,0:4,0:4", "--preview-bpp", "1"],
+            &["--preview-bpp", "1", "--level", "1"],
+        ];
+        for extra in combos {
+            let mut v = vec![
+                "decompress", "--input", "/dev/null", "--output", "/dev/null",
+                "--type", "f64",
+            ];
+            v.extend_from_slice(extra);
+            assert!(matches!(run(&w(&v)), Err(CliError::Usage(_))), "{extra:?}");
+        }
+        // Streaming decompress supports neither random-access option.
+        for extra in [&["--region", "0:4,0:4,0:4"][..], &["--preview-bpp", "1"][..]] {
+            let mut v = vec![
+                "decompress", "--input", "/dev/null", "--output", "/dev/null",
+                "--type", "f64", "--stream",
+            ];
+            v.extend_from_slice(extra);
+            assert!(matches!(run(&w(&v)), Err(CliError::Usage(_))), "{extra:?}");
+        }
+    }
+
+    #[test]
+    fn region_out_of_bounds_is_invalid() {
+        let dir = std::env::temp_dir().join("sperr_cli_region_oob_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let raw = dir.join("x.raw");
+        let packed = dir.join("x.sperr");
+        run(&w(&["gen", "--field", "image2d", "--dims", "16,16,1", "--output",
+                 raw.to_str().unwrap(), "--type", "f64", "--quiet"]))
+            .unwrap();
+        run(&w(&["compress", "--input", raw.to_str().unwrap(), "--output",
+                 packed.to_str().unwrap(), "--dims", "16,16,1", "--type", "f64",
+                 "--idx", "12", "--quiet"]))
+            .unwrap();
+        let err = run(&w(&["decompress", "--input", packed.to_str().unwrap(),
+                           "--output", "/dev/null", "--type", "f64", "--region",
+                           "0:32,0:16,0:1", "--quiet"]))
+            .unwrap_err();
+        assert!(matches!(&err, CliError::Compress(CompressError::Invalid(_))), "{err:?}");
         std::fs::remove_dir_all(&dir).ok();
     }
 }

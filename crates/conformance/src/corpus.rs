@@ -59,11 +59,15 @@ impl CodecId {
     /// interface. SPERR gets a fixed conformance configuration (16³
     /// chunks, lossless pass on, single thread — thread-count bit
     /// identity is the oracles' job, so goldens pin the 1-thread bytes).
+    /// The container version is pinned to 2: the 64 golden streams
+    /// predate the v3 chunk index and must stay byte-identical; v3 gets
+    /// its own dedicated fixture instead.
     pub fn build(self) -> Box<dyn LossyCompressor> {
         match self {
             CodecId::Sperr => Box::new(Sperr::new(SperrConfig {
                 chunk_dims: [16, 16, 16],
                 num_threads: 1,
+                container_version: 2,
                 ..SperrConfig::default()
             })),
             CodecId::ZfpLike => Box::new(ZfpLike { num_threads: 1 }),

@@ -26,21 +26,36 @@ use crate::corpus::{
 };
 use crate::oracle::CheckFailure;
 use sperr_compress_api::{Bound, LossyCompressor};
-use sperr_core::{crc32, Sperr, SperrConfig, CONTAINER_VERSION};
+use sperr_core::{crc32, Sperr, SperrConfig};
 use std::path::{Path, PathBuf};
 
 /// Version of the committed golden set. Bump this (and regenerate) when
 /// an intentional encoder change invalidates the committed bytes; CI
 /// fails if golden files change while this constant does not.
-pub const GOLDEN_VERSION: u32 = 1;
+///
+/// v2: the container grew a v3 chunk index; the 64 matrix streams stay
+/// pinned at container v2 bytes, and the set gained the indexed
+/// `fixture-v3.bin` plus its index CRC in the manifest.
+pub const GOLDEN_VERSION: u32 = 2;
+
+/// Container version the 64 matrix goldens are written in. Pinned at 2
+/// even though the default writer now emits v3: the committed bytes
+/// predate the chunk index and must not churn. The v3 format is pinned
+/// by its own dedicated fixture instead.
+pub const GOLDEN_CONTAINER_VERSION: u8 = 2;
 
 /// Manifest file name inside the golden directory.
 pub const MANIFEST_NAME: &str = "MANIFEST.txt";
 
 /// File name of the committed legacy (container v1) fixture, produced by
 /// [`Sperr::downgrade_to_v1`] from one of the SPERR goldens. Decoding it
-/// proves the v1 read path stays alive even though the writer emits v2.
+/// proves the v1 read path stays alive even though the writer emits v3.
 pub const V1_FIXTURE_NAME: &str = "fixture-v1.bin";
+
+/// File name of the committed container-v3 fixture: the first SPERR PWE
+/// corpus case re-encoded with the chunk index on. Pins the v3 byte
+/// layout (including the index block) the same way the matrix pins v2.
+pub const V3_FIXTURE_NAME: &str = "fixture-v3.bin";
 
 /// The committed golden directory (source-relative, so tests and the
 /// regen binary agree regardless of working directory).
@@ -92,6 +107,9 @@ pub struct Manifest {
     pub entries: Vec<GoldenEntry>,
     /// `(len, crc32)` of the committed v1 fixture.
     pub v1_fixture: (usize, u32),
+    /// `(len, crc32, index_crc32)` of the committed v3 fixture, where
+    /// `index_crc32` digests the serialized chunk-index entries.
+    pub v3_fixture: (usize, u32, u32),
 }
 
 fn digest_values(values: &[f64]) -> u32 {
@@ -103,18 +121,46 @@ fn digest_values(values: &[f64]) -> u32 {
 }
 
 /// The SPERR instance whose container layout the goldens pin (16³
-/// chunks, single thread — matches [`CodecId::build`] for SPERR).
+/// chunks, single thread, container v2 — matches [`CodecId::build`] for
+/// SPERR).
 fn golden_sperr() -> Sperr {
+    Sperr::new(SperrConfig {
+        chunk_dims: [16, 16, 16],
+        num_threads: 1,
+        container_version: GOLDEN_CONTAINER_VERSION,
+        ..SperrConfig::default()
+    })
+}
+
+/// Same configuration but writing the current (indexed) container —
+/// produces the v3 fixture.
+fn golden_sperr_v3() -> Sperr {
     Sperr::new(SperrConfig { chunk_dims: [16, 16, 16], num_threads: 1, ..SperrConfig::default() })
 }
 
+/// CRC-32 over the serialized chunk-index entries of an indexed stream.
+/// Pins the index block itself, not just the container bytes: an index
+/// that drifted while payloads stayed put would change this digest.
+pub fn index_crc(stream: &[u8]) -> Result<u32, String> {
+    let info = golden_sperr_v3()
+        .inspect(stream)
+        .map_err(|e| format!("v3 fixture does not inspect: {e}"))?;
+    let index = info.chunk_index.ok_or("v3 fixture carries no chunk index")?;
+    let mut bytes = Vec::new();
+    for e in &index {
+        bytes.extend_from_slice(&e.to_bytes());
+    }
+    Ok(crc32(&bytes))
+}
+
 /// Encodes the full golden matrix in memory. Returns `(entry, stream)`
-/// pairs plus the v1 fixture bytes. Panics if any codec fails to encode
-/// or violates its documented budget — a golden set must never pin a
-/// broken stream.
-pub fn generate() -> (Vec<(GoldenEntry, Vec<u8>)>, Vec<u8>) {
+/// pairs plus the v1 and v3 fixture bytes. Panics if any codec fails to
+/// encode or violates its documented budget — a golden set must never
+/// pin a broken stream.
+pub fn generate() -> (Vec<(GoldenEntry, Vec<u8>)>, Vec<u8>, Vec<u8>) {
     let mut out = Vec::new();
     let mut first_sperr_pwe: Option<Vec<u8>> = None;
+    let mut v3_fixture: Option<Vec<u8>> = None;
     for input in corpus_inputs() {
         let field = input.generate();
         for codec in CodecId::ALL {
@@ -139,6 +185,14 @@ pub fn generate() -> (Vec<(GoldenEntry, Vec<u8>)>, Vec<u8>) {
                     && first_sperr_pwe.is_none()
                 {
                     first_sperr_pwe = Some(stream.clone());
+                    // The v3 fixture is the same case re-encoded with the
+                    // chunk index on — its decode must match the v2 twin
+                    // and its downgrade must reproduce the v2 bytes.
+                    v3_fixture = Some(
+                        golden_sperr_v3()
+                            .compress(&field, bound)
+                            .unwrap_or_else(|e| panic!("v3 fixture ({case_id}): {e}")),
+                    );
                 }
                 let entry = GoldenEntry {
                     case_id,
@@ -158,7 +212,8 @@ pub fn generate() -> (Vec<(GoldenEntry, Vec<u8>)>, Vec<u8>) {
     let v1 = golden_sperr()
         .downgrade_to_v1(&v2)
         .expect("downgrading a fresh SPERR golden to container v1");
-    (out, v1)
+    let v3 = v3_fixture.expect("matrix contains at least one SPERR PWE golden");
+    (out, v1, v3)
 }
 
 fn bound_value(bound: Bound) -> f64 {
@@ -177,16 +232,28 @@ fn bound_from(tag: &str, value: f64) -> Option<Bound> {
 }
 
 /// Renders the manifest text for a generated set.
-pub fn render_manifest(entries: &[(GoldenEntry, Vec<u8>)], v1_fixture: &[u8]) -> String {
+pub fn render_manifest(
+    entries: &[(GoldenEntry, Vec<u8>)],
+    v1_fixture: &[u8],
+    v3_fixture: &[u8],
+    v3_index_crc: u32,
+) -> String {
     let mut s = String::new();
     s.push_str("# SPERR conformance golden manifest. Regenerate with\n");
     s.push_str("#   cargo run -p sperr-conformance -- regen\n");
     s.push_str("# and bump GOLDEN_VERSION in crates/conformance/src/golden.rs.\n");
     s.push_str(&format!("golden_version {GOLDEN_VERSION}\n"));
-    s.push_str(&format!("container_version {CONTAINER_VERSION}\n"));
+    s.push_str(&format!("container_version {GOLDEN_CONTAINER_VERSION}\n"));
     s.push_str(&format!("speck_format {}\n", sperr_speck::BITSTREAM_FORMAT));
     s.push_str(&format!("outlier_format {}\n", sperr_outlier::BITSTREAM_FORMAT));
     s.push_str(&format!("v1_fixture {} {} {:08x}\n", V1_FIXTURE_NAME, v1_fixture.len(), crc32(v1_fixture)));
+    s.push_str(&format!(
+        "v3_fixture {} {} {:08x} {:08x}\n",
+        V3_FIXTURE_NAME,
+        v3_fixture.len(),
+        crc32(v3_fixture),
+        v3_index_crc,
+    ));
     for (e, _) in entries {
         s.push_str(&format!(
             "entry {} {} {} {:016x} {} {:08x} {:08x} {:016x}\n",
@@ -210,6 +277,7 @@ pub fn parse_manifest(text: &str) -> Result<Manifest, String> {
     let mut speck_format = None;
     let mut outlier_format = None;
     let mut v1_fixture = None;
+    let mut v3_fixture = None;
     let mut entries = Vec::new();
     for (lineno, line) in text.lines().enumerate() {
         let line = line.trim();
@@ -244,6 +312,17 @@ pub fn parse_manifest(text: &str) -> Result<Manifest, String> {
                 let crc = u32::from_str_radix(rest[2], 16)
                     .map_err(|_| bad("unparseable fixture crc"))?;
                 v1_fixture = Some((len, crc));
+            }
+            "v3_fixture" => {
+                if rest.len() != 4 || rest[0] != V3_FIXTURE_NAME {
+                    return Err(bad("malformed v3_fixture line"));
+                }
+                let len = rest[1].parse().map_err(|_| bad("unparseable fixture length"))?;
+                let crc = u32::from_str_radix(rest[2], 16)
+                    .map_err(|_| bad("unparseable fixture crc"))?;
+                let icrc = u32::from_str_radix(rest[3], 16)
+                    .map_err(|_| bad("unparseable index crc"))?;
+                v3_fixture = Some((len, crc, icrc));
             }
             "entry" => {
                 if rest.len() != 8 {
@@ -283,15 +362,18 @@ pub fn parse_manifest(text: &str) -> Result<Manifest, String> {
         speck_format: speck_format.ok_or("manifest missing speck_format")?,
         outlier_format: outlier_format.ok_or("manifest missing outlier_format")?,
         v1_fixture: v1_fixture.ok_or("manifest missing v1_fixture")?,
+        v3_fixture: v3_fixture.ok_or("manifest missing v3_fixture")?,
         entries,
     })
 }
 
 /// Regenerates the golden directory on disk: every stream file, the v1
-/// fixture, and the manifest. Stale `.bin` files from a previous matrix
-/// are removed. Returns the number of streams written.
+/// and v3 fixtures, and the manifest. Stale `.bin` files from a previous
+/// matrix are removed. Returns the number of streams written.
 pub fn regenerate(dir: &Path) -> std::io::Result<usize> {
-    let (entries, v1) = generate();
+    let (entries, v1, v3) = generate();
+    let v3_index_crc = index_crc(&v3)
+        .map_err(|e| std::io::Error::other(format!("generated v3 fixture is unusable: {e}")))?;
     std::fs::create_dir_all(dir)?;
     for old in std::fs::read_dir(dir)? {
         let path = old?.path();
@@ -303,7 +385,8 @@ pub fn regenerate(dir: &Path) -> std::io::Result<usize> {
         std::fs::write(dir.join(e.file_name()), stream)?;
     }
     std::fs::write(dir.join(V1_FIXTURE_NAME), &v1)?;
-    std::fs::write(dir.join(MANIFEST_NAME), render_manifest(&entries, &v1))?;
+    std::fs::write(dir.join(V3_FIXTURE_NAME), &v3)?;
+    std::fs::write(dir.join(MANIFEST_NAME), render_manifest(&entries, &v1, &v3, v3_index_crc))?;
     Ok(entries.len())
 }
 
@@ -334,9 +417,10 @@ pub fn check(dir: &Path) -> Vec<CheckFailure> {
             manifest.golden_version
         )));
     }
-    if manifest.container_version != CONTAINER_VERSION {
+    if manifest.container_version != GOLDEN_CONTAINER_VERSION {
         failures.push(fail(format!(
-            "manifest container_version {} != code {CONTAINER_VERSION}",
+            "manifest container_version {} != pinned GOLDEN_CONTAINER_VERSION \
+             {GOLDEN_CONTAINER_VERSION}",
             manifest.container_version
         )));
     }
@@ -461,7 +545,99 @@ pub fn check(dir: &Path) -> Vec<CheckFailure> {
         Err(e) => failures.push(fail(format!("cannot read v1 fixture: {e}"))),
     }
 
+    // The v3 fixture pins the indexed container layout: bytes and index
+    // CRC must match the manifest, its decode must equal the committed
+    // v2 twin's decode bit-for-bit, and downgrading it back to v2 must
+    // reproduce the twin's exact bytes.
+    check_v3_fixture(dir, &manifest, &inputs, &mut failures, &fail);
+
     failures
+}
+
+/// The committed v2 golden the v3 fixture is a re-encode of: the first
+/// SPERR PWE cell in matrix order (mirrors [`generate`]).
+fn v3_twin_case_id(inputs: &[crate::corpus::CorpusInput]) -> Option<String> {
+    for input in inputs {
+        let field = input.generate();
+        for bound in golden_bounds(CodecId::Sperr, &field) {
+            if matches!(bound, Bound::Pwe(_)) {
+                return Some(format!("{}-sperr-pwe", input.id));
+            }
+        }
+    }
+    None
+}
+
+fn check_v3_fixture(
+    dir: &Path,
+    manifest: &Manifest,
+    inputs: &[crate::corpus::CorpusInput],
+    failures: &mut Vec<CheckFailure>,
+    fail: &dyn Fn(String) -> CheckFailure,
+) {
+    let v3 = match std::fs::read(dir.join(V3_FIXTURE_NAME)) {
+        Ok(v3) => v3,
+        Err(e) => {
+            failures.push(fail(format!("cannot read v3 fixture: {e}")));
+            return;
+        }
+    };
+    let (len, crc, want_index_crc) = manifest.v3_fixture;
+    if v3.len() != len || crc32(&v3) != crc {
+        failures.push(fail("v3 fixture does not match its manifest digest".into()));
+        return;
+    }
+    match index_crc(&v3) {
+        Ok(got) => {
+            if got != want_index_crc {
+                failures.push(fail(format!(
+                    "v3 fixture chunk-index CRC {got:08x} != manifest {want_index_crc:08x}"
+                )));
+            }
+        }
+        Err(e) => failures.push(fail(format!("v3 fixture index: {e}"))),
+    }
+    let Some(twin_id) = v3_twin_case_id(inputs) else {
+        failures.push(fail("matrix has no SPERR PWE cell to twin the v3 fixture".into()));
+        return;
+    };
+    let twin_bytes = match std::fs::read(dir.join(format!("{twin_id}.bin"))) {
+        Ok(b) => b,
+        Err(e) => {
+            failures.push(fail(format!("cannot read v3 twin {twin_id}: {e}")));
+            return;
+        }
+    };
+    let sperr = golden_sperr_v3();
+    match (sperr.decompress(&v3), sperr.decompress(&twin_bytes)) {
+        (Ok(from_v3), Ok(from_v2)) => {
+            let same = from_v3.data.len() == from_v2.data.len()
+                && from_v3
+                    .data
+                    .iter()
+                    .zip(&from_v2.data)
+                    .all(|(a, b)| a.to_bits() == b.to_bits());
+            if !same {
+                failures.push(fail(format!(
+                    "v3 fixture decode differs from its v2 twin {twin_id} — the index \
+                     changed decoded values"
+                )));
+            }
+        }
+        (Err(e), _) => failures.push(fail(format!("v3 fixture no longer decodes: {e}"))),
+        (_, Err(e)) => failures.push(fail(format!("v3 twin {twin_id} no longer decodes: {e}"))),
+    }
+    match sperr.downgrade_to_v2(&v3) {
+        Ok(down) => {
+            if down != twin_bytes {
+                failures.push(fail(format!(
+                    "downgrade_to_v2(v3 fixture) does not reproduce the committed {twin_id} \
+                     bytes — v2 writer or index layout drift"
+                )));
+            }
+        }
+        Err(e) => failures.push(fail(format!("downgrade_to_v2 on the v3 fixture failed: {e}"))),
+    }
 }
 
 #[cfg(test)]
@@ -484,11 +660,13 @@ mod tests {
             vec![],
         )];
         let v1 = vec![1u8, 2, 3];
-        let text = render_manifest(&entries, &v1);
+        let v3 = vec![4u8, 5, 6, 7];
+        let text = render_manifest(&entries, &v1, &v3, 0xabcd_1234);
         let m = parse_manifest(&text).unwrap();
         assert_eq!(m.golden_version, GOLDEN_VERSION);
-        assert_eq!(m.container_version, CONTAINER_VERSION);
+        assert_eq!(m.container_version, GOLDEN_CONTAINER_VERSION);
         assert_eq!(m.v1_fixture, (3, crc32(&v1)));
+        assert_eq!(m.v3_fixture, (4, crc32(&v3), 0xabcd_1234));
         assert_eq!(m.entries.len(), 1);
         let e = &m.entries[0];
         assert_eq!(e.case_id, "press-3d16-sperr-pwe");

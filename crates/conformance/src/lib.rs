@@ -39,6 +39,17 @@
 //!    (ZFP/SZ: ≤ t; MGARD: ≤ its hard `(L+1)·t/2` bound; TTHRESH:
 //!    achieved PSNR ≥ target). Failures shrink to a minimal reproducer
 //!    dumped under `target/conformance-failures/`.
+//! 5. **Region oracle** ([`oracle::region_vs_full`]): `decode_region`
+//!    over randomized bboxes (full-volume, single-voxel,
+//!    chunk-straddling, prime-offset) must be bit-identical to slicing
+//!    the full decode, at every thread count, on both indexed (v3) and
+//!    legacy containers. `sperr-conformance regions [N]`.
+//! 6. **Progressive-refinement campaign** ([`refine`]): size-bounded
+//!    streams decoded at budgets `b1 < b2 < full`; the achieved max
+//!    error must be monotone non-increasing, the unbounded budget must
+//!    be bit-identical to the strict decode, and truncation must never
+//!    error. Failures shrink and dump like the PWE campaign.
+//!    `sperr-conformance refine [N]`.
 //!
 //! The motivating literature: SDRBench (Zhao et al., 2021) on how lossy-
 //! compressor results drift without a pinned conformance corpus, and
@@ -50,8 +61,10 @@ pub mod fault;
 pub mod golden;
 pub mod oracle;
 pub mod pwe;
+pub mod refine;
 
 pub use corpus::{documented_budget, CodecId, CorpusInput, ErrorBudget};
 pub use fault::{run_fault_campaign, FaultyReader, FaultyWriter};
 pub use golden::GOLDEN_VERSION;
 pub use oracle::{CheckFailure, CheckResult};
+pub use refine::{run_refine_campaign, RefineConfig};

@@ -6,9 +6,11 @@
 //! cargo run -p sperr-conformance -- oracles       # run the differential oracles
 //! cargo run -p sperr-conformance -- campaign [N]  # N randomized PWE cases (default 200)
 //! cargo run -p sperr-conformance -- faults [N]    # streaming fault injection (default 12)
+//! cargo run -p sperr-conformance -- regions [N]   # N random bboxes per corpus field (default 50)
+//! cargo run -p sperr-conformance -- refine [N]    # N progressive-refinement cases (default 60)
 //! ```
 //!
-//! `check`, `oracles` and `campaign` exit nonzero on any failure, so CI
+//! Every subcommand except `regen` exits nonzero on any failure, so CI
 //! can call them directly. `regen` is the only subcommand that writes to
 //! the source tree — remember to bump `GOLDEN_VERSION` when committing
 //! its output.
@@ -17,7 +19,7 @@ use sperr_conformance::corpus::{corpus_inputs, documented_budget, CodecId};
 use sperr_conformance::oracle;
 use sperr_conformance::pwe::{run_campaign, CampaignConfig};
 use sperr_conformance::{golden, CheckFailure};
-use sperr_compress_api::Bound;
+use sperr_compress_api::{Bound, LossyCompressor};
 use sperr_core::{Sperr, SperrConfig};
 use sperr_wavelet::Kernel;
 
@@ -41,9 +43,24 @@ fn main() {
             });
             report("fault campaign", &sperr_conformance::fault::run_fault_campaign(n))
         }
+        Some("regions") => {
+            let n = args.get(1).map_or(Ok(50), |s| s.parse()).unwrap_or_else(|_| {
+                eprintln!("regions: bbox count must be a number");
+                std::process::exit(2);
+            });
+            report("region oracle", &run_regions(n))
+        }
+        Some("refine") => {
+            let n = args.get(1).map_or(Ok(60), |s| s.parse()).unwrap_or_else(|_| {
+                eprintln!("refine: case count must be a number");
+                std::process::exit(2);
+            });
+            refine(n)
+        }
         _ => {
             eprintln!(
-                "usage: sperr-conformance regen | check | oracles | campaign [N] | faults [N]"
+                "usage: sperr-conformance regen | check | oracles | campaign [N] | faults [N] \
+                 | regions [N] | refine [N]"
             );
             2
         }
@@ -56,7 +73,7 @@ fn regen() -> i32 {
     match golden::regenerate(&dir) {
         Ok(n) => {
             println!(
-                "wrote {n} golden streams + v1 fixture + manifest to {} \
+                "wrote {n} golden streams + v1/v3 fixtures + manifest to {} \
                  (GOLDEN_VERSION {})",
                 dir.display(),
                 golden::GOLDEN_VERSION
@@ -125,6 +142,68 @@ fn run_oracles() -> Vec<CheckFailure> {
         }
     }
     failures
+}
+
+/// The region oracle over the whole corpus: each field compressed once
+/// (PWE at the corpus-standard tolerance, indexed v3 container), then
+/// `decode_region` over `n` randomized bboxes at 1/2/4/8 threads must
+/// match the full decode bit-for-bit — and again through the legacy
+/// chunk-table scan after a `downgrade_to_v2`.
+fn run_regions(n: usize) -> Vec<CheckFailure> {
+    let chunk_dims = [16usize, 16, 16];
+    let sperr =
+        Sperr::new(SperrConfig { chunk_dims, num_threads: 1, ..SperrConfig::default() });
+    let threads = [1usize, 2, 4, 8];
+    let mut failures = Vec::new();
+    for (i, input) in corpus_inputs().iter().enumerate() {
+        let field = input.generate();
+        let t = field.tolerance_for_idx(15);
+        let stream = match sperr.compress(&field, Bound::Pwe(t)) {
+            Ok(s) => s,
+            Err(e) => {
+                failures.push(CheckFailure {
+                    check: "region-vs-full",
+                    detail: format!("{}: compress failed: {e}", input.id),
+                });
+                continue;
+            }
+        };
+        let bboxes = oracle::region_bboxes(field.dims, chunk_dims, n, 0x8e90_2026 ^ i as u64);
+        if let Err(mut f) = oracle::region_vs_full(&stream, chunk_dims, &bboxes, &threads, true) {
+            f.detail = format!("{} (v3): {}", input.id, f.detail);
+            failures.push(f);
+        }
+        match sperr.downgrade_to_v2(&stream) {
+            Ok(v2) => {
+                if let Err(mut f) =
+                    oracle::region_vs_full(&v2, chunk_dims, &bboxes, &threads, false)
+                {
+                    f.detail = format!("{} (v2 scan): {}", input.id, f.detail);
+                    failures.push(f);
+                }
+            }
+            Err(e) => failures.push(CheckFailure {
+                check: "region-vs-full",
+                detail: format!("{}: downgrade_to_v2 failed: {e}", input.id),
+            }),
+        }
+    }
+    failures
+}
+
+fn refine(cases: usize) -> i32 {
+    let config = sperr_conformance::RefineConfig::tier2(cases);
+    let r = sperr_conformance::run_refine_campaign(&config);
+    if r.clean() {
+        println!("refine: {} cases, 0 violations", r.cases);
+        0
+    } else {
+        for f in &r.violations {
+            eprintln!("FAIL {f}");
+        }
+        eprintln!("refine: {} cases, {} violation(s)", r.cases, r.violations.len());
+        1
+    }
 }
 
 fn campaign(cases: usize) -> i32 {

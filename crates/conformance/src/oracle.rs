@@ -418,6 +418,143 @@ pub fn speck_matches_reference(coeffs: &[f64], dims: [usize; 3], q: f64) -> Chec
     Ok(())
 }
 
+// ---------------------------------------------------------------------
+// Oracle 8: random-access region decode vs the full decode.
+// ---------------------------------------------------------------------
+
+/// Deterministic bbox sampler for the region oracle: always includes the
+/// degenerate extremes (full volume, single voxel, a chunk-straddling
+/// box, a prime-offset box), then fills up to `n` with seeded random
+/// boxes. Every box is half-open `[lo, hi)` and in-bounds by
+/// construction.
+pub fn region_bboxes(
+    dims: [usize; 3],
+    chunk_dims: [usize; 3],
+    n: usize,
+    seed: u64,
+) -> Vec<([usize; 3], [usize; 3])> {
+    use rand::{rngs::StdRng, Rng as _, SeedableRng};
+    let mut out = Vec::with_capacity(n);
+    // Full volume: region decode must degrade gracefully to a plain
+    // decompress.
+    out.push(([0; 3], dims));
+    // Single voxel, dead centre.
+    let c = [dims[0] / 2, dims[1] / 2, dims[2] / 2];
+    out.push((c, [c[0] + 1, c[1] + 1, c[2] + 1]));
+    // Chunk-straddling: one voxel either side of the first chunk
+    // boundary on every axis that has one.
+    let straddle_lo = [
+        chunk_dims[0].min(dims[0]).saturating_sub(1),
+        chunk_dims[1].min(dims[1]).saturating_sub(1),
+        chunk_dims[2].min(dims[2]).saturating_sub(1),
+    ];
+    let straddle_hi = [
+        (straddle_lo[0] + 2).min(dims[0]),
+        (straddle_lo[1] + 2).min(dims[1]),
+        (straddle_lo[2] + 2).min(dims[2]),
+    ];
+    out.push((straddle_lo, straddle_hi));
+    // Prime offsets and extents — misaligned with every power-of-two
+    // chunk grid.
+    let plo = [3 % dims[0].max(1), 5 % dims[1].max(1), 7 % dims[2].max(1)];
+    let phi = [
+        (plo[0] + 11).min(dims[0]).max(plo[0] + 1),
+        (plo[1] + 13).min(dims[1]).max(plo[1] + 1),
+        (plo[2] + 17).min(dims[2]).max(plo[2] + 1),
+    ];
+    out.push((plo, phi));
+    let mut rng = StdRng::seed_from_u64(seed);
+    while out.len() < n {
+        let mut lo = [0usize; 3];
+        let mut hi = [0usize; 3];
+        for a in 0..3 {
+            let x0 = rng.next_u64() as usize % dims[a];
+            let x1 = x0 + 1 + rng.next_u64() as usize % (dims[a] - x0);
+            lo[a] = x0;
+            hi[a] = x1;
+        }
+        out.push((lo, hi));
+    }
+    out.truncate(n);
+    out
+}
+
+/// `Sperr::decode_region` must be **bit-identical** to slicing the same
+/// bbox out of a full [`Sperr::decompress`], at every thread count, with
+/// a healthy per-chunk report. `expect_index` asserts how the region was
+/// located: via the v3 chunk index (`true`) or the legacy chunk-table
+/// scan (`false`) — catching a v3 stream that silently fell back.
+pub fn region_vs_full(
+    stream: &[u8],
+    chunk_dims: [usize; 3],
+    bboxes: &[([usize; 3], [usize; 3])],
+    thread_counts: &[usize],
+    expect_index: bool,
+) -> CheckResult {
+    let build = |threads: usize| {
+        Sperr::new(SperrConfig { chunk_dims, num_threads: threads, ..SperrConfig::default() })
+    };
+    let full = build(1).decompress(stream).map_err(|e| CheckFailure {
+        check: "region-vs-full",
+        detail: format!("full decompress failed: {e}"),
+    })?;
+    let [nx, ny, _] = full.dims;
+    for &(lo, hi) in bboxes {
+        let mut want = Vec::with_capacity((hi[0] - lo[0]) * (hi[1] - lo[1]) * (hi[2] - lo[2]));
+        for z in lo[2]..hi[2] {
+            for y in lo[1]..hi[1] {
+                let row = (z * ny + y) * nx + lo[0];
+                want.extend_from_slice(&full.data[row..row + (hi[0] - lo[0])]);
+            }
+        }
+        for &threads in thread_counts {
+            let (region, report) =
+                build(threads).decode_region(stream, lo, hi).map_err(|e| CheckFailure {
+                    check: "region-vs-full",
+                    detail: format!("decode_region {lo:?}..{hi:?} @{threads}t failed: {e}"),
+                })?;
+            if !report.all_ok() {
+                return fail(
+                    "region-vs-full",
+                    format!(
+                        "clean stream, bbox {lo:?}..{hi:?} @{threads}t: damaged chunks \
+                         reported: {:?}",
+                        report.statuses
+                    ),
+                );
+            }
+            if report.used_index != expect_index {
+                return fail(
+                    "region-vs-full",
+                    format!(
+                        "bbox {lo:?}..{hi:?} @{threads}t: used_index {} but expected {}",
+                        report.used_index, expect_index
+                    ),
+                );
+            }
+            let expect_dims = [hi[0] - lo[0], hi[1] - lo[1], hi[2] - lo[2]];
+            if region.dims != expect_dims {
+                return fail(
+                    "region-vs-full",
+                    format!(
+                        "bbox {lo:?}..{hi:?} @{threads}t: sub-volume dims {:?} != {expect_dims:?}",
+                        region.dims
+                    ),
+                );
+            }
+            if let Some((i, r, f)) = first_bit_mismatch(&region.data, &want) {
+                return fail(
+                    "region-vs-full",
+                    format!(
+                        "bbox {lo:?}..{hi:?} @{threads}t: region[{i}]={r:e} != full-slice[{i}]={f:e}"
+                    ),
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
 /// The outlier coder must return corrections at exactly the encoded
 /// positions, each within `t` of the original correction (its refinement
 /// contract: residual error after correction is at most the tolerance).
@@ -501,6 +638,27 @@ mod tests {
         let f = small_field();
         let t = f.range() * 1e-3;
         speck_matches_reference(&f.data, f.dims, 1.5 * t).unwrap();
+    }
+
+    #[test]
+    fn region_oracle_smoke() {
+        // Tier-1 smoke: a multi-chunk field, a handful of bboxes, both
+        // the indexed and the legacy-scan paths. The full sweep (50
+        // bboxes × corpus × 1/2/4/8 threads) runs tier-2 via
+        // `sperr-conformance regions`.
+        let f = SyntheticField::MirandaPressure.generate([21, 18, 17], 7);
+        let chunk_dims = [16, 16, 16];
+        let sperr = Sperr::new(SperrConfig {
+            chunk_dims,
+            num_threads: 1,
+            ..SperrConfig::default()
+        });
+        let t = f.range() * 1e-3;
+        let stream = sperr.compress(&f, Bound::Pwe(t)).unwrap();
+        let bboxes = region_bboxes(f.dims, chunk_dims, 8, 11);
+        region_vs_full(&stream, chunk_dims, &bboxes, &[1, 2], true).unwrap();
+        let v2 = sperr.downgrade_to_v2(&stream).unwrap();
+        region_vs_full(&v2, chunk_dims, &bboxes, &[1, 2], false).unwrap();
     }
 
     #[test]

@@ -90,7 +90,7 @@ fn rand_in(rng: &mut StdRng, lo: usize, hi: usize) -> usize {
 
 /// Random shape: a third each 1D (prime-ish lengths included), 2D and 3D,
 /// all small enough for debug-mode test runs.
-fn random_dims(rng: &mut StdRng) -> [usize; 3] {
+pub(crate) fn random_dims(rng: &mut StdRng) -> [usize; 3] {
     match rng.next_u64() % 3 {
         0 => [rand_in(rng, 17, 70), 1, 1],
         1 => [rand_in(rng, 5, 24), rand_in(rng, 5, 24), 1],
@@ -101,7 +101,7 @@ fn random_dims(rng: &mut StdRng) -> [usize; 3] {
 /// Smooth random sinusoid mixture plus low-level noise plus injected
 /// spike outliers — the spikes are what force SPERR's outlier coder to
 /// actually earn the guarantee rather than coast on SPECK alone.
-fn random_spiky_field(rng: &mut StdRng, dims: [usize; 3]) -> Field {
+pub(crate) fn random_spiky_field(rng: &mut StdRng, dims: [usize; 3]) -> Field {
     let [nx, ny, nz] = dims;
     let n = nx * ny * nz;
     // Three random plane waves.
@@ -168,7 +168,7 @@ pub fn make_case(index: usize, seed: u64) -> CampaignCase {
 }
 
 /// Crops `field` to a half-open sub-box starting at `lo`, `len` per axis.
-fn crop(field: &Field, lo: [usize; 3], len: [usize; 3]) -> Field {
+pub(crate) fn crop(field: &Field, lo: [usize; 3], len: [usize; 3]) -> Field {
     let [nx, ny, _nz] = field.dims;
     let mut data = Vec::with_capacity(len[0] * len[1] * len[2]);
     for z in lo[2]..lo[2] + len[2] {

@@ -2,11 +2,15 @@
 //! driver (§III-D), container assembly and the lossless post-pass (§V).
 
 use crate::chunk::{chunk_grid, extract_chunk_into, insert_chunk, ChunkSpec};
-use crate::container::{read_container, write_container, ChunkEntry, Header, Mode};
+use crate::container::{
+    read_container, write_container, ChunkEntry, ChunkIndexEntry, Header, Mode, VERSION,
+    VERSION_V2,
+};
 use crate::crc32::crc32;
 use crate::pipeline::{
     compress_chunk_bpp_with, compress_chunk_pwe_with, compress_chunk_rmse_with, decompress_chunk,
-    decompress_chunk_multires, decompress_chunk_with, ChunkEncoding, ScratchArena,
+    decompress_chunk_multires, decompress_chunk_region_with, decompress_chunk_with, ChunkEncoding,
+    ScratchArena,
 };
 use crate::pool::{PerWorker, WorkerPool};
 use crate::stats::{stage_labels, CompressionStats, StageTimes};
@@ -49,6 +53,11 @@ pub struct SperrConfig {
     /// z-layer of the chunk grid — a row-major stream cannot complete any
     /// chunk of a layer without buffering the whole layer.
     pub in_flight_chunks: usize,
+    /// Container format version to write: 3 (default; carries the chunk
+    /// index that makes [`Sperr::decode_region`] seek instead of scan) or
+    /// 2 (checksummed but index-free — the layout the conformance goldens
+    /// pin). The reader accepts 1–3 regardless of this setting.
+    pub container_version: u8,
 }
 
 impl Default for SperrConfig {
@@ -60,6 +69,7 @@ impl Default for SperrConfig {
             lossless: true,
             num_threads: 0,
             in_flight_chunks: 0,
+            container_version: VERSION,
         }
     }
 }
@@ -75,6 +85,10 @@ impl Sperr {
     pub fn new(config: SperrConfig) -> Self {
         assert!(config.q_factor > 0.0, "q_factor must be positive");
         assert!(config.chunk_dims.iter().all(|&d| d > 0), "chunk dims must be positive");
+        assert!(
+            (VERSION_V2..=VERSION).contains(&config.container_version),
+            "writable container versions are {VERSION_V2}..={VERSION}"
+        );
         Sperr { config }
     }
 
@@ -240,8 +254,9 @@ impl Sperr {
             bound_value,
             n_chunks,
         };
-        let (container, container_time) =
-            timed(stage_labels::CONTAINER_WRITE, || write_container(&header, &encoded));
+        let (container, container_time) = timed(stage_labels::CONTAINER_WRITE, || {
+            write_container(&header, &encoded, cfg.container_version)
+        });
         stats.container_bytes = container.len();
         stats.stage_times.container = container_time;
 
@@ -294,6 +309,7 @@ impl Sperr {
                 .iter()
                 .map(|e| e.speck_len + e.outlier_len)
                 .collect(),
+            chunk_index: parsed.index,
         })
     }
 
@@ -438,18 +454,56 @@ impl Sperr {
     /// `[lo, hi)` of the volume, decoding just the chunks that intersect
     /// it — the practical payoff of SPERR's chunked storage for
     /// explorative analysis. Returns a field of dims `hi - lo`.
+    ///
+    /// Strict wrapper around [`Sperr::decode_region`]: any intersecting
+    /// chunk that fails its checksum or decode fails the whole call.
     pub fn decompress_region(
         &self,
         stream: &[u8],
         lo: [usize; 3],
         hi: [usize; 3],
     ) -> Result<Field, CompressError> {
+        let (field, report) = self.decode_region(stream, lo, hi)?;
+        for (&id, status) in report.chunk_ids.iter().zip(&report.statuses) {
+            match status {
+                ChunkStatus::Ok => {}
+                ChunkStatus::ChecksumMismatch => {
+                    return Err(CompressError::Corrupt(format!(
+                        "chunk {id} payload checksum mismatch"
+                    )))
+                }
+                ChunkStatus::DecodeFailed(e) => return Err(e.clone()),
+            }
+        }
+        Ok(field)
+    }
+
+    /// Random-access decode of the sub-box `[lo, hi)`: maps the bbox to
+    /// the intersecting chunks through the chunk grid, seeks straight to
+    /// their payloads via the container-v3 chunk index (v1/v2 streams
+    /// fall back to a chunk-table scan — see [`RegionReport::used_index`]),
+    /// decodes only those chunks in parallel on the worker pool, and
+    /// assembles the sub-volume. Damage is contained per chunk, like
+    /// [`Sperr::decompress_resilient`]: a chunk failing its CRC or decode
+    /// leaves its intersection zero-filled and is reported in the
+    /// [`RegionReport`] instead of failing the call. Only the checksums
+    /// of *touched* chunks are inspected — corruption elsewhere in the
+    /// stream neither slows the query down nor fails it.
+    ///
+    /// Within the region the output is bit-identical to the same slice of
+    /// a full [`Sperr::decompress`] (chunks decode independently, and
+    /// skipped outlier corrections are point-local).
+    pub fn decode_region(
+        &self,
+        stream: &[u8],
+        lo: [usize; 3],
+        hi: [usize; 3],
+    ) -> Result<(Field, RegionReport), CompressError> {
+        let _run = sperr_telemetry::span!("sperr.decode_region", stream.len());
         let (container, _) = Self::unwrap_outer(stream)?;
         let parsed = read_container(&container)?;
-        verify_chunk_crcs(&container, &parsed)?;
         let header = parsed.header;
         let entries = parsed.entries;
-        let payload_start = parsed.payload_start;
         for d in 0..3 {
             if lo[d] >= hi[d] || hi[d] > header.dims[d] {
                 return Err(CompressError::Invalid(format!(
@@ -462,18 +516,35 @@ impl Sperr {
         if chunks_spec.len() != entries.len() {
             return Err(CompressError::Corrupt("chunk table size mismatch".into()));
         }
+        // Seek table. The v3 index gives each payload's offset directly;
+        // legacy v1/v2 streams force a full walk of the chunk table (the
+        // documented fallback — cheap relative to decode, but a scan all
+        // the same, hence the one-time nudge to re-encode).
+        let used_index = parsed.index.is_some();
+        let offsets: Vec<usize> = match &parsed.index {
+            Some(index) => {
+                index.iter().map(|e| parsed.payload_start + e.offset as usize).collect()
+            }
+            None => {
+                warn_legacy_region_scan(parsed.version);
+                chunk_offsets(&entries, parsed.payload_start)
+            }
+        };
         let tolerance = match header.mode {
             Mode::Pwe => header.bound_value,
             Mode::Bpp | Mode::Rmse => 0.0,
         };
-        let region_dims = [hi[0] - lo[0], hi[1] - lo[1], hi[2] - lo[2]];
-        let mut out = vec![0.0f64; region_dims.iter().product()];
-        let mut cursor = payload_start;
-        for (spec, e) in chunks_spec.iter().zip(&entries) {
-            let speck = &container[cursor..cursor + e.speck_len];
-            let outlier = &container[cursor + e.speck_len..cursor + e.speck_len + e.outlier_len];
-            cursor += e.speck_len + e.outlier_len;
-            // Intersect the chunk with the region.
+
+        // Clip the bbox against the grid: one decode job per intersecting
+        // chunk, carrying the chunk-local box to keep.
+        struct Target {
+            chunk: usize,
+            isect_lo: [usize; 3],
+            isect_hi: [usize; 3],
+        }
+        let mut targets = Vec::new();
+        let mut target_specs = Vec::new();
+        for (i, spec) in chunks_spec.iter().enumerate() {
             let c_lo = spec.offset;
             let c_hi = [
                 spec.offset[0] + spec.dims[0],
@@ -483,30 +554,195 @@ impl Sperr {
             let isect_lo = [lo[0].max(c_lo[0]), lo[1].max(c_lo[1]), lo[2].max(c_lo[2])];
             let isect_hi = [hi[0].min(c_hi[0]), hi[1].min(c_hi[1]), hi[2].min(c_hi[2])];
             if (0..3).any(|d| isect_lo[d] >= isect_hi[d]) {
-                continue; // chunk does not touch the region: skip decode
+                continue; // chunk does not touch the region
             }
-            let chunk = decompress_chunk(
-                speck,
-                outlier,
-                spec.dims,
-                e.q,
-                e.num_planes,
-                e.max_n,
-                tolerance,
-                header.kernel,
-            )?;
-            for z in isect_lo[2]..isect_hi[2] {
-                for y in isect_lo[1]..isect_hi[1] {
-                    let src_row = (isect_lo[0] - c_lo[0])
-                        + spec.dims[0] * ((y - c_lo[1]) + spec.dims[1] * (z - c_lo[2]));
-                    let dst_row = (isect_lo[0] - lo[0])
-                        + region_dims[0] * ((y - lo[1]) + region_dims[1] * (z - lo[2]));
-                    let len = isect_hi[0] - isect_lo[0];
-                    out[dst_row..dst_row + len].copy_from_slice(&chunk[src_row..src_row + len]);
+            targets.push(Target { chunk: i, isect_lo, isect_hi });
+            target_specs.push(*spec);
+        }
+
+        let n_targets = targets.len();
+        let threads = self.effective_threads(&target_specs);
+        let container_ref = &container;
+        let entries_ref = &entries;
+        let offsets_ref = &offsets;
+        let specs_ref = &chunks_spec;
+        let targets_ref = &targets;
+        let crcs_ref = &parsed.chunk_crcs;
+        let kernel = header.kernel;
+        let decoded: Vec<(Vec<f64>, ChunkStatus)> = WorkerPool::scoped(threads, |pool| {
+            let arenas = PerWorker::new(pool.threads(), ScratchArena::new);
+            let decode_one = |j: usize, w: usize| {
+                // SAFETY: concurrent jobs see distinct worker slots.
+                let arena = unsafe { arenas.get(w) };
+                let t = &targets_ref[j];
+                let spec = &specs_ref[t.chunk];
+                let e = &entries_ref[t.chunk];
+                let start = offsets_ref[t.chunk];
+                let payload = &container_ref[start..start + e.speck_len + e.outlier_len];
+                if let Some(crcs) = crcs_ref {
+                    if crc32(payload) != crcs[t.chunk] {
+                        return (vec![0.0; spec.len()], ChunkStatus::ChecksumMismatch);
+                    }
+                }
+                let (speck, outlier) = payload.split_at(e.speck_len);
+                // Chunk-local keep box: only corrections landing inside
+                // the intersection matter for the assembled output.
+                let keep_lo = [
+                    t.isect_lo[0] - spec.offset[0],
+                    t.isect_lo[1] - spec.offset[1],
+                    t.isect_lo[2] - spec.offset[2],
+                ];
+                let keep_hi = [
+                    t.isect_hi[0] - spec.offset[0],
+                    t.isect_hi[1] - spec.offset[1],
+                    t.isect_hi[2] - spec.offset[2],
+                ];
+                match decompress_chunk_region_with(
+                    speck,
+                    outlier,
+                    spec.dims,
+                    e.q,
+                    e.num_planes,
+                    e.max_n,
+                    tolerance,
+                    kernel,
+                    keep_lo,
+                    keep_hi,
+                    pool,
+                    arena,
+                ) {
+                    Ok((chunk, _)) => (chunk, ChunkStatus::Ok),
+                    Err(err) => (vec![0.0; spec.len()], ChunkStatus::DecodeFailed(err)),
+                }
+            };
+            if n_targets >= pool.threads() {
+                pool.map(n_targets, |j, w| decode_one(j, w))
+            } else {
+                (0..n_targets).map(|j| decode_one(j, 0)).collect()
+            }
+        });
+
+        let region_dims = [hi[0] - lo[0], hi[1] - lo[1], hi[2] - lo[2]];
+        let mut out = vec![0.0f64; region_dims.iter().product()];
+        let mut chunk_ids = Vec::with_capacity(n_targets);
+        let mut statuses = Vec::with_capacity(n_targets);
+        for (t, (chunk, status)) in targets.iter().zip(decoded) {
+            let spec = &chunks_spec[t.chunk];
+            if matches!(status, ChunkStatus::Ok) {
+                for z in t.isect_lo[2]..t.isect_hi[2] {
+                    for y in t.isect_lo[1]..t.isect_hi[1] {
+                        let src_row = (t.isect_lo[0] - spec.offset[0])
+                            + spec.dims[0]
+                                * ((y - spec.offset[1]) + spec.dims[1] * (z - spec.offset[2]));
+                        let dst_row = (t.isect_lo[0] - lo[0])
+                            + region_dims[0] * ((y - lo[1]) + region_dims[1] * (z - lo[2]));
+                        let len = t.isect_hi[0] - t.isect_lo[0];
+                        out[dst_row..dst_row + len]
+                            .copy_from_slice(&chunk[src_row..src_row + len]);
+                    }
                 }
             }
+            chunk_ids.push(t.chunk);
+            statuses.push(status);
         }
-        Ok(Field::new(region_dims, out).with_precision(header.precision))
+        let field = Field::new(region_dims, out).with_precision(header.precision);
+        Ok((field, RegionReport { chunk_ids, statuses, used_index }))
+    }
+
+    /// Progressive (preview) decode: reconstructs the full volume with
+    /// each chunk's embedded SPECK stream truncated at `budgets[chunk]`
+    /// bytes (clamped to the stream's actual length; `usize::MAX` means
+    /// "everything"). Truncation is the embedded-coding contract, not
+    /// corruption: the SPECK decoder treats budget exhaustion as clean
+    /// early exit, so any budget decodes without error to a coarser
+    /// field. Outlier corrections are full-fidelity data and are skipped
+    /// entirely — previews carry no point-wise error guarantee.
+    pub fn decode_at_budgets(
+        &self,
+        stream: &[u8],
+        budgets: &[usize],
+    ) -> Result<Field, CompressError> {
+        let _run = sperr_telemetry::span!("sperr.decode_at_budgets", stream.len());
+        let (container, _) = Self::unwrap_outer(stream)?;
+        let parsed = read_container(&container)?;
+        verify_chunk_crcs(&container, &parsed)?;
+        let header = parsed.header;
+        let entries = parsed.entries;
+        if budgets.len() != entries.len() {
+            return Err(CompressError::Invalid(format!(
+                "{} budgets for {} chunks",
+                budgets.len(),
+                entries.len()
+            )));
+        }
+        let chunks_spec = chunk_grid(header.dims, header.chunk_dims);
+        if chunks_spec.len() != entries.len() {
+            return Err(CompressError::Corrupt("chunk table size mismatch".into()));
+        }
+        let offsets = chunk_offsets(&entries, parsed.payload_start);
+        let n_chunks = entries.len();
+        let threads = self.effective_threads(&chunks_spec);
+        let container_ref = &container;
+        let entries_ref = &entries;
+        let offsets_ref = &offsets;
+        let specs_ref = &chunks_spec;
+        let kernel = header.kernel;
+        type Decoded = Result<(Vec<f64>, StageTimes), CompressError>;
+        let decoded: Vec<Decoded> = WorkerPool::scoped(threads, |pool| {
+            let arenas = PerWorker::new(pool.threads(), ScratchArena::new);
+            let decode_one = |i: usize, w: usize| {
+                // SAFETY: concurrent jobs see distinct worker slots.
+                let arena = unsafe { arenas.get(w) };
+                let e = &entries_ref[i];
+                let start = offsets_ref[i];
+                let keep = e.speck_len.min(budgets[i]);
+                let speck = &container_ref[start..start + keep];
+                // Empty outlier stream + zero tolerance: corrections do
+                // not apply to a truncated reconstruction.
+                decompress_chunk_with(
+                    speck,
+                    &[],
+                    specs_ref[i].dims,
+                    e.q,
+                    e.num_planes,
+                    0,
+                    0.0,
+                    kernel,
+                    pool,
+                    arena,
+                )
+            };
+            if n_chunks >= pool.threads() {
+                pool.map(n_chunks, |i, w| decode_one(i, w))
+            } else {
+                (0..n_chunks).map(|i| decode_one(i, 0)).collect()
+            }
+        });
+        let mut volume = vec![0.0f64; header.dims.iter().product()];
+        for (spec, result) in chunks_spec.iter().zip(decoded) {
+            let (chunk, _) = result?;
+            insert_chunk(&mut volume, header.dims, spec, &chunk);
+        }
+        Ok(Field::new(header.dims, volume).with_precision(header.precision))
+    }
+
+    /// Progressive (preview) decode at a uniform rate: truncates each
+    /// chunk's SPECK stream at the byte budget a `bpp` bits-per-point
+    /// target implies (the same per-chunk accounting as
+    /// [`Sperr::transcode_to_bpp`], so `decode_at_bpp(s, r)` is
+    /// bit-identical to `decompress(transcode_to_bpp(s, r))` without
+    /// materializing the transcoded stream). See
+    /// [`Sperr::decode_at_budgets`].
+    pub fn decode_at_bpp(&self, stream: &[u8], bpp: f64) -> Result<Field, CompressError> {
+        if !(bpp > 0.0) || !bpp.is_finite() {
+            return Err(CompressError::Invalid(format!("invalid bitrate {bpp}")));
+        }
+        let info = self.inspect(stream)?;
+        let budgets: Vec<usize> = chunk_grid(info.dims, info.chunk_dims)
+            .iter()
+            .map(|spec| ((bpp * spec.len() as f64) as usize / 8).saturating_sub(26))
+            .collect();
+        self.decode_at_budgets(stream, &budgets)
     }
 
     /// Re-rates an existing SPERR stream to a (lower) size target without
@@ -546,6 +782,7 @@ impl Sperr {
                 outlier_bits: 0,
                 times: Default::default(),
                 coeff_sq_error: 0.0,
+                max_err: f64::NAN, // truncation voids the recorded bound
             });
         }
         let new_header = Header {
@@ -557,7 +794,10 @@ impl Sperr {
             bound_value: bpp,
             n_chunks: new_chunks.len(),
         };
-        let new_container = write_container(&new_header, &new_chunks);
+        // Keep the source stream's container version (v1 sources stay at
+        // v2: the writer no longer emits v1 except via `downgrade_to_v1`).
+        let new_container =
+            write_container(&new_header, &new_chunks, parsed.version.max(VERSION_V2));
         let mut out = Vec::with_capacity(new_container.len() + 1);
         if lossless {
             out.push(OUTER_LOSSLESS);
@@ -597,6 +837,7 @@ impl Sperr {
                 outlier_bits: e.outlier_len * 8,
                 times: Default::default(),
                 coeff_sq_error: 0.0,
+                max_err: f64::NAN, // not representable in v1
             })
             .collect();
         let v1 = crate::container::write_container_v1(&parsed.header, &chunks);
@@ -607,6 +848,49 @@ impl Sperr {
         } else {
             out.push(OUTER_RAW);
             out.extend_from_slice(&v1);
+        }
+        Ok(out)
+    }
+
+    /// Re-frames a stream as a **container v2** (checksummed, index-free)
+    /// stream with byte-identical chunk payloads, preserving the outer
+    /// lossless framing. The v3 → v2 downgrade drops only the chunk
+    /// index, which is derived data — the result must always decode to
+    /// exactly the same field as the input stream. Used by the
+    /// conformance suite to prove the v3 fixtures are v2 goldens plus an
+    /// index and nothing else.
+    pub fn downgrade_to_v2(&self, stream: &[u8]) -> Result<Vec<u8>, CompressError> {
+        let (container, lossless) = Self::unwrap_outer(stream)?;
+        let parsed = read_container(&container)?;
+        verify_chunk_crcs(&container, &parsed)?;
+        let offsets = chunk_offsets(&parsed.entries, parsed.payload_start);
+        let chunks: Vec<ChunkEncoding> = parsed
+            .entries
+            .iter()
+            .zip(&offsets)
+            .map(|(e, &s)| ChunkEncoding {
+                speck_stream: container[s..s + e.speck_len].to_vec(),
+                outlier_stream: container[s + e.speck_len..s + e.speck_len + e.outlier_len]
+                    .to_vec(),
+                q: e.q,
+                num_planes: e.num_planes,
+                max_n: e.max_n,
+                num_outliers: e.num_outliers,
+                speck_bits: e.speck_len * 8,
+                outlier_bits: e.outlier_len * 8,
+                times: Default::default(),
+                coeff_sq_error: 0.0,
+                max_err: f64::NAN, // not representable in v2
+            })
+            .collect();
+        let v2 = write_container(&parsed.header, &chunks, VERSION_V2);
+        let mut out = Vec::with_capacity(v2.len() + 1);
+        if lossless {
+            out.push(OUTER_LOSSLESS);
+            out.extend_from_slice(&sperr_lossless::compress(&v2));
+        } else {
+            out.push(OUTER_RAW);
+            out.extend_from_slice(&v2);
         }
         Ok(out)
     }
@@ -703,6 +987,20 @@ impl Sperr {
     }
 }
 
+/// One-time warning that a region query had to scan a legacy container.
+/// `Once` so a service looping over regions does not flood stderr; the
+/// fallback itself is fully supported, just not seekable.
+fn warn_legacy_region_scan(version: u8) {
+    static WARNED: std::sync::Once = std::sync::Once::new();
+    WARNED.call_once(|| {
+        eprintln!(
+            "sperr: container v{version} carries no chunk index; decode_region is walking \
+             the chunk table instead of seeking (re-encode as container v3 for indexed \
+             random access). This warning is printed once per process."
+        );
+    });
+}
+
 /// Byte offset of each chunk's payload within the container.
 pub(crate) fn chunk_offsets(entries: &[ChunkEntry], payload_start: usize) -> Vec<usize> {
     let mut offsets = Vec::with_capacity(entries.len());
@@ -766,10 +1064,31 @@ impl ResilientReport {
     }
 }
 
+/// Per-chunk outcomes of a region decode (see [`Sperr::decode_region`]).
+/// Only the chunks intersecting the requested bbox appear; `chunk_ids[i]`
+/// names the grid index `statuses[i]` refers to.
+#[derive(Debug, Clone)]
+pub struct RegionReport {
+    /// Grid indices of the chunks that intersect the region, ascending.
+    pub chunk_ids: Vec<usize>,
+    /// One status per intersecting chunk, parallel to `chunk_ids`.
+    pub statuses: Vec<ChunkStatus>,
+    /// Whether the container-v3 chunk index was used to seek (false for
+    /// legacy v1/v2 streams, which fall back to a chunk-table scan).
+    pub used_index: bool,
+}
+
+impl RegionReport {
+    /// True when every intersecting chunk decoded cleanly.
+    pub fn all_ok(&self) -> bool {
+        self.statuses.iter().all(|s| matches!(s, ChunkStatus::Ok))
+    }
+}
+
 /// Result of a checksum-only integrity pass (see [`Sperr::verify`]).
 #[derive(Debug, Clone)]
 pub struct VerifyReport {
-    /// Container format version (1 or 2).
+    /// Container format version (1, 2 or 3).
     pub version: u8,
     /// Whether the stream carries checksums at all (v2 only).
     pub checksummed: bool,
@@ -807,7 +1126,8 @@ pub struct StreamInfo {
     pub speck_bytes: usize,
     /// Total outlier payload bytes across chunks.
     pub outlier_bytes: usize,
-    /// Container format version (1 = legacy, 2 = checksummed).
+    /// Container format version (1 = legacy, 2 = checksummed,
+    /// 3 = checksummed + chunk index).
     pub version: u8,
     /// Byte offset of the first chunk payload *within the container*
     /// (add 1 for the outer flag byte when `lossless` is false; for
@@ -816,6 +1136,9 @@ pub struct StreamInfo {
     pub payload_offset: usize,
     /// Per-chunk payload sizes (SPECK + outlier bytes), in chunk order.
     pub chunk_payload_sizes: Vec<usize>,
+    /// The v3 chunk index (offset, length, grid coordinates, max error
+    /// per chunk), validated against the chunk table; `None` for v1/v2.
+    pub chunk_index: Option<Vec<ChunkIndexEntry>>,
 }
 
 impl LossyCompressor for Sperr {
@@ -879,6 +1202,7 @@ mod tests {
                 outlier_bits: e.outlier_len * 8,
                 times: Default::default(),
                 coeff_sq_error: 0.0,
+                max_err: f64::NAN,
             })
             .collect();
         let v1 = crate::container::write_container_v1(&parsed.header, &chunks);
@@ -985,5 +1309,175 @@ mod tests {
         assert!((cfg.q_factor - 1.5).abs() < 1e-12); // §IV-D choice
         assert_eq!(cfg.kernel, Kernel::Cdf97);
         assert!(cfg.lossless); // §V: ZSTD stage on by default
+        assert_eq!(cfg.container_version, 3); // indexed container
+    }
+
+    #[test]
+    fn v3_index_recorded_and_pwe_max_err_exact() {
+        // The default writer emits an indexed v3 stream whose per-chunk
+        // max_err is the error a full decode actually shows.
+        let field = test_field([32, 16, 16]);
+        let sperr = raw_sperr();
+        let t = 1e-3;
+        let stream = sperr.compress(&field, Bound::Pwe(t)).unwrap();
+        let info = sperr.inspect(&stream).unwrap();
+        assert_eq!(info.version, 3);
+        let index = info.chunk_index.expect("v3 stream must carry an index");
+        assert_eq!(index.len(), 2);
+        assert_eq!(index[0].coords, [0, 0, 0]);
+        assert_eq!(index[1].coords, [1, 0, 0]);
+        assert_eq!(index[0].offset, 0);
+        assert_eq!(index[0].len as usize, info.chunk_payload_sizes[0]);
+        assert_eq!(index[1].offset as usize, info.chunk_payload_sizes[0]);
+        let rec = sperr.decompress(&stream).unwrap();
+        // Per-chunk measured max error must equal the recorded one; chunk
+        // 0 is x in 0..16, chunk 1 is x in 16..32.
+        for (chunk, x_range) in [(0usize, 0..16usize), (1, 16..32)] {
+            let mut measured = 0.0f64;
+            for z in 0..16 {
+                for y in 0..16 {
+                    for x in x_range.clone() {
+                        let i = x + 32 * (y + 16 * z);
+                        measured = measured.max((rec.data[i] - field.data[i]).abs());
+                    }
+                }
+            }
+            assert_eq!(index[chunk].max_err, measured, "chunk {chunk}");
+            assert!(index[chunk].max_err <= t);
+        }
+    }
+
+    #[test]
+    fn decode_region_seeks_v3_and_scans_legacy() {
+        // The same bbox query must produce identical bytes from a v3
+        // stream (index seek), its v2 downgrade and its v1 downgrade
+        // (both full-scan fallback), with used_index reporting the path.
+        let field = test_field([40, 24, 16]);
+        let sperr = raw_sperr();
+        let v3 = sperr.compress(&field, Bound::Pwe(1e-3)).unwrap();
+        let v2 = sperr.downgrade_to_v2(&v3).unwrap();
+        let v1 = sperr.downgrade_to_v1(&v3).unwrap();
+        assert_eq!(sperr.inspect(&v2).unwrap().version, 2);
+        assert!(sperr.inspect(&v2).unwrap().chunk_index.is_none());
+        let (lo, hi) = ([7usize, 3, 2], [25usize, 20, 13]);
+        let (r3, rep3) = sperr.decode_region(&v3, lo, hi).unwrap();
+        let (r2, rep2) = sperr.decode_region(&v2, lo, hi).unwrap();
+        let (r1, rep1) = sperr.decode_region(&v1, lo, hi).unwrap();
+        assert!(rep3.used_index);
+        assert!(!rep2.used_index);
+        assert!(!rep1.used_index);
+        assert!(rep3.all_ok() && rep2.all_ok() && rep1.all_ok());
+        assert_eq!(r3.data, r2.data);
+        assert_eq!(r3.data, r1.data);
+        // Bit-identical to the bbox slice of a full decompress.
+        let full = sperr.decompress(&v3).unwrap();
+        let rdims = [hi[0] - lo[0], hi[1] - lo[1], hi[2] - lo[2]];
+        assert_eq!(r3.dims, rdims);
+        for z in 0..rdims[2] {
+            for y in 0..rdims[1] {
+                for x in 0..rdims[0] {
+                    let src = (x + lo[0]) + 40 * ((y + lo[1]) + 24 * (z + lo[2]));
+                    let dst = x + rdims[0] * (y + rdims[1] * z);
+                    assert_eq!(full.data[src].to_bits(), r3.data[dst].to_bits());
+                }
+            }
+        }
+        // Only the chunks the bbox touches get decoded.
+        assert!(rep3.chunk_ids.len() < sperr.chunk_count([40, 24, 16]));
+    }
+
+    #[test]
+    fn decode_region_contains_damage_to_touched_chunks() {
+        // Damage inside the region: the damaged chunk's intersection is
+        // zero-filled and reported; healthy chunks still decode. Damage
+        // *outside* the region is invisible to the query.
+        let field = test_field([32, 16, 16]);
+        let sperr = raw_sperr();
+        let stream = sperr.compress(&field, Bound::Pwe(1e-3)).unwrap();
+        let info = sperr.inspect(&stream).unwrap();
+        let mut bad = stream.clone();
+        // Corrupt chunk 1 (x in 16..32).
+        bad[1 + info.payload_offset + info.chunk_payload_sizes[0] + 2] ^= 0xFF;
+
+        // Query only chunk 0: unaffected, and strict wrapper succeeds.
+        let (r, rep) = sperr.decode_region(&bad, [0, 0, 0], [16, 16, 16]).unwrap();
+        assert!(rep.all_ok());
+        assert_eq!(rep.chunk_ids, vec![0]);
+        assert_eq!(
+            r.data,
+            sperr.decompress_region(&stream, [0, 0, 0], [16, 16, 16]).unwrap().data
+        );
+        assert!(sperr.decompress_region(&bad, [0, 0, 0], [16, 16, 16]).is_ok());
+
+        // Query spanning both: chunk 1's slice zero-filled + reported,
+        // strict wrapper errors.
+        let (r, rep) = sperr.decode_region(&bad, [12, 0, 0], [20, 16, 16]).unwrap();
+        assert_eq!(rep.chunk_ids, vec![0, 1]);
+        assert_eq!(rep.statuses[0], ChunkStatus::Ok);
+        assert_eq!(rep.statuses[1], ChunkStatus::ChecksumMismatch);
+        for z in 0..16 {
+            for y in 0..16 {
+                for x in 16..20 {
+                    assert_eq!(r.data[(x - 12) + 8 * (y + 16 * z)], 0.0);
+                }
+            }
+        }
+        assert!(matches!(
+            sperr.decompress_region(&bad, [12, 0, 0], [20, 16, 16]),
+            Err(CompressError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn decode_at_bpp_matches_transcode_then_decompress() {
+        // The in-place preview must be bit-identical to materializing the
+        // transcoded stream and decoding it — same budget arithmetic, same
+        // truncated decode.
+        let field = test_field([32, 20, 16]);
+        let sperr = raw_sperr();
+        let stream = sperr.compress(&field, Bound::Pwe(1e-4)).unwrap();
+        for bpp in [0.25, 1.0, 4.0] {
+            let preview = sperr.decode_at_bpp(&stream, bpp).unwrap();
+            let transcoded = sperr.transcode_to_bpp(&stream, bpp).unwrap();
+            let reference = sperr.decompress(&transcoded).unwrap();
+            assert_eq!(preview.dims, reference.dims);
+            let identical = preview
+                .data
+                .iter()
+                .zip(&reference.data)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(identical, "preview at {bpp} bpp diverges from transcode");
+        }
+        // Unlimited budgets reproduce the outlier-free reconstruction of
+        // every chunk without error — truncation is never "corruption".
+        let info = sperr.inspect(&stream).unwrap();
+        let full = sperr.decode_at_budgets(&stream, &vec![usize::MAX; info.n_chunks]).unwrap();
+        assert_eq!(full.dims, field.dims);
+    }
+
+    #[test]
+    fn downgrade_to_v2_round_trips() {
+        let field = test_field([24, 16, 16]);
+        for lossless in [false, true] {
+            let sperr = Sperr::new(SperrConfig {
+                chunk_dims: [16, 16, 16],
+                lossless,
+                ..SperrConfig::default()
+            });
+            let v3 = sperr.compress(&field, Bound::Pwe(1e-3)).unwrap();
+            let v2 = sperr.downgrade_to_v2(&v3).unwrap();
+            assert_eq!(sperr.inspect(&v2).unwrap().version, 2);
+            assert_eq!(sperr.decompress(&v2).unwrap().data, sperr.decompress(&v3).unwrap().data);
+            // A v2-configured compressor produces that exact stream.
+            let direct = Sperr::new(SperrConfig {
+                chunk_dims: [16, 16, 16],
+                lossless,
+                container_version: 2,
+                ..SperrConfig::default()
+            })
+            .compress(&field, Bound::Pwe(1e-3))
+            .unwrap();
+            assert_eq!(v2, direct, "downgrade differs from a native v2 encode");
+        }
     }
 }

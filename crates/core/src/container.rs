@@ -3,7 +3,7 @@
 //! an extended header, per-chunk tables, and the concatenated chunk
 //! bitstreams.
 //!
-//! Two format versions exist:
+//! Three format versions exist:
 //!
 //! * **v1** — header, chunk table, payloads (the original layout).
 //! * **v2** — identical through the chunk table, then one CRC-32 per
@@ -11,9 +11,19 @@
 //!   "header CRC"), then payloads. The checksums let a reader detect
 //!   corruption cheaply ([`crate::Sperr::verify`]) and localize damage to
 //!   individual chunks ([`crate::Sperr::decompress_resilient`]).
+//! * **v3** — identical through the chunk table, then a **chunk index**
+//!   (per chunk: payload byte offset, encoded length, chunk-grid
+//!   coordinates, and the chunk's post-correction max point-wise error),
+//!   then the v2 checksum block (whose header CRC also covers the index),
+//!   then payloads. The index lets a reader seek straight to the chunks
+//!   intersecting a region of interest ([`crate::Sperr::decode_region`])
+//!   without walking the chunk table, and carries per-chunk quality
+//!   metadata for preview/refinement decisions.
 //!
-//! The writer emits v2; the reader accepts both versions (v1 streams have
-//! no checksums, so `chunk_crcs` parses as `None`).
+//! The writer emits v3 by default (configurable down to v2 via
+//! [`crate::SperrConfig::container_version`]); the reader accepts all
+//! three versions (v1 streams have no checksums, so `chunk_crcs` parses
+//! as `None`; v1/v2 streams have no index, so `index` parses as `None`).
 
 use crate::crc32::crc32;
 use crate::pipeline::ChunkEncoding;
@@ -22,16 +32,24 @@ use sperr_compress_api::{CompressError, Precision};
 use sperr_wavelet::Kernel;
 
 pub(crate) const MAGIC: &[u8; 4] = b"SPRR";
-/// Version written by [`write_container`] (public so the conformance
-/// manifest can record which container format its goldens were cut
-/// against).
-pub const VERSION: u8 = 2;
+/// Newest version [`write_container`] can emit, and the default (public
+/// so the conformance manifest can record which container format its
+/// goldens were cut against).
+pub const VERSION: u8 = 3;
+/// Checksummed but index-free version, still written on request
+/// ([`crate::SperrConfig::container_version`]) and always accepted by
+/// [`read_container`].
+pub(crate) const VERSION_V2: u8 = 2;
 /// Legacy checksum-free version, still accepted by [`read_container`].
 pub(crate) const VERSION_V1: u8 = 1;
 
 /// Serialized size of one chunk-table entry: f64 q, u8 num_planes,
 /// u8 max_n, u32 num_outliers, u32 speck_len, u32 outlier_len.
 pub(crate) const CHUNK_ENTRY_BYTES: usize = 22;
+
+/// Serialized size of one chunk-index entry (v3 streams): u64 payload
+/// offset, u32 encoded length, 3×u32 grid coordinates, f64 max error.
+pub(crate) const INDEX_ENTRY_BYTES: usize = 32;
 
 /// Hard ceiling on the total number of points a container may declare;
 /// matches the SPECK coder's u32-index domain and keeps a corrupted
@@ -82,6 +100,39 @@ pub(crate) struct ChunkEntry {
     pub outlier_len: usize,
 }
 
+/// One entry of the v3 chunk index: where a chunk's payload lives, which
+/// grid cell it covers, and how accurate its decode is. Public so tools
+/// ([`crate::StreamInfo`], the CLI `info` command, conformance index
+/// CRCs) can inspect the index without re-deriving it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChunkIndexEntry {
+    /// Byte offset of the chunk's payload, relative to the first payload
+    /// byte (so the index stays valid under outer lossless re-framing).
+    pub offset: u64,
+    /// Encoded payload length in bytes (SPECK stream + outlier stream).
+    pub len: u32,
+    /// Chunk-grid coordinates (x-fastest, matching [`crate::chunk_grid`]).
+    pub coords: [u32; 3],
+    /// Post-correction max point-wise error of this chunk's decode. Exact
+    /// for PWE-mode streams; NaN when the mode doesn't track it (BPP/RMSE).
+    pub max_err: f64,
+}
+
+impl ChunkIndexEntry {
+    /// Deterministic byte serialization (little-endian, NaN via raw bits);
+    /// used both by the container writer and by conformance index CRCs.
+    pub fn to_bytes(&self) -> [u8; INDEX_ENTRY_BYTES] {
+        let mut out = [0u8; INDEX_ENTRY_BYTES];
+        out[0..8].copy_from_slice(&self.offset.to_le_bytes());
+        out[8..12].copy_from_slice(&self.len.to_le_bytes());
+        out[12..16].copy_from_slice(&self.coords[0].to_le_bytes());
+        out[16..20].copy_from_slice(&self.coords[1].to_le_bytes());
+        out[20..24].copy_from_slice(&self.coords[2].to_le_bytes());
+        out[24..32].copy_from_slice(&self.max_err.to_bits().to_le_bytes());
+        out
+    }
+}
+
 /// Everything [`read_container`] extracts from a stream.
 #[derive(Debug, Clone)]
 pub(crate) struct Parsed {
@@ -90,8 +141,10 @@ pub(crate) struct Parsed {
     pub entries: Vec<ChunkEntry>,
     /// Byte offset of the first payload byte.
     pub payload_start: usize,
-    /// Per-chunk payload CRC-32s (v2 streams only).
+    /// Per-chunk payload CRC-32s (v2+ streams only).
     pub chunk_crcs: Option<Vec<u32>>,
+    /// Chunk index (v3+ streams only), validated against the chunk table.
+    pub index: Option<Vec<ChunkIndexEntry>>,
 }
 
 fn kernel_tag(k: Kernel) -> u8 {
@@ -111,7 +164,8 @@ fn kernel_from_tag(tag: u8) -> Result<Kernel, CompressError> {
     }
 }
 
-/// Serializes header + chunk table (+ v2 checksums) + payloads.
+/// Serializes header + chunk table (+ v3 index, + v2 checksums) +
+/// payloads.
 fn write_container_versioned(header: &Header, chunks: &[ChunkEncoding], version: u8) -> Vec<u8> {
     let mut w = ByteWriter::new();
     // Fixed 20-byte header.
@@ -146,6 +200,28 @@ fn write_container_versioned(header: &Header, chunks: &[ChunkEncoding], version:
         w.put_u32(c.speck_stream.len() as u32);
         w.put_u32(c.outlier_stream.len() as u32);
     }
+    if version >= 3 {
+        // Chunk index: offsets are relative to the first payload byte and
+        // grid coordinates follow the x-fastest `chunk_grid` order the
+        // chunks themselves are stored in.
+        let grid = [
+            header.dims[0].div_ceil(header.chunk_dims[0]) as u32,
+            header.dims[1].div_ceil(header.chunk_dims[1]) as u32,
+        ];
+        let mut offset = 0u64;
+        for (i, c) in chunks.iter().enumerate() {
+            let len = (c.speck_stream.len() + c.outlier_stream.len()) as u32;
+            let i = i as u32;
+            let entry = ChunkIndexEntry {
+                offset,
+                len,
+                coords: [i % grid[0], (i / grid[0]) % grid[1], i / (grid[0] * grid[1])],
+                max_err: c.max_err,
+            };
+            w.put_bytes(&entry.to_bytes());
+            offset += len as u64;
+        }
+    }
     if version >= 2 {
         // One CRC per chunk, over the chunk's concatenated payload bytes
         // (SPECK stream then outlier stream).
@@ -156,7 +232,7 @@ fn write_container_versioned(header: &Header, chunks: &[ChunkEncoding], version:
             w.put_u32(crc32(&crc_input));
         }
         // Header CRC over every byte written so far (fixed + extended
-        // headers, chunk table, chunk CRCs).
+        // headers, chunk table, v3 index when present, chunk CRCs).
         let header_crc = crc32(w.as_slice());
         w.put_u32(header_crc);
     }
@@ -168,9 +244,13 @@ fn write_container_versioned(header: &Header, chunks: &[ChunkEncoding], version:
     w.into_bytes()
 }
 
-/// Serializes a current-version (v2) container.
-pub(crate) fn write_container(header: &Header, chunks: &[ChunkEncoding]) -> Vec<u8> {
-    write_container_versioned(header, chunks, VERSION)
+/// Serializes a container at the requested version (2 or 3; use
+/// [`write_container_v1`] for the legacy layout). The version comes from
+/// [`crate::SperrConfig::container_version`] or, for transcodes, the
+/// source stream.
+pub(crate) fn write_container(header: &Header, chunks: &[ChunkEncoding], version: u8) -> Vec<u8> {
+    debug_assert!((VERSION_V1..=VERSION).contains(&version));
+    write_container_versioned(header, chunks, version)
 }
 
 /// Serializes a legacy v1 container (no checksums). Kept for back-compat
@@ -180,18 +260,21 @@ pub(crate) fn write_container_v1(header: &Header, chunks: &[ChunkEncoding]) -> V
     write_container_versioned(header, chunks, VERSION_V1)
 }
 
-/// Parses a container (v1 or v2), returning metadata, the chunk table,
-/// the payload offset, and the v2 checksums when present. For v2 streams
-/// the header CRC is verified here; per-chunk payload CRCs are left to
-/// the caller, which may want per-chunk granularity (resilient decode)
-/// rather than all-or-nothing failure.
+/// Parses a container (v1, v2 or v3), returning metadata, the chunk
+/// table, the payload offset, the v2+ checksums and the v3 index when
+/// present. For v2+ streams the header CRC is verified here; per-chunk
+/// payload CRCs are left to the caller, which may want per-chunk
+/// granularity (resilient decode) rather than all-or-nothing failure.
+/// The v3 index is cross-checked against the chunk table (offsets must
+/// be the cumulative payload lengths, coordinates must walk the grid),
+/// so a parsed index can be trusted for seeking.
 pub(crate) fn read_container(bytes: &[u8]) -> Result<Parsed, CompressError> {
     let mut r = ByteReader::new(bytes);
     if r.get_bytes(4)? != MAGIC {
         return Err(CompressError::Corrupt("bad magic".into()));
     }
     let version = r.get_u8()?;
-    if version != VERSION_V1 && version != VERSION {
+    if !(VERSION_V1..=VERSION).contains(&version) {
         return Err(CompressError::Unsupported("unsupported container version"));
     }
     let mode = match r.get_u8()? {
@@ -257,6 +340,45 @@ pub(crate) fn read_container(bytes: &[u8]) -> Result<Parsed, CompressError> {
         }
         entries.push(ChunkEntry { q, num_planes, max_n, num_outliers, speck_len, outlier_len });
     }
+    let index = if version >= 3 {
+        if n_chunks.saturating_mul(INDEX_ENTRY_BYTES) > r.remaining() {
+            return Err(CompressError::Truncated("chunk index extends past end of stream".into()));
+        }
+        let grid = [
+            dims[0].div_ceil(chunk_dims[0]) as u32,
+            dims[1].div_ceil(chunk_dims[1]) as u32,
+        ];
+        let mut idx = Vec::with_capacity(n_chunks);
+        let mut expected_offset = 0u64;
+        for (i, e) in entries.iter().enumerate() {
+            let offset = r.get_u64()?;
+            let len = r.get_u32()?;
+            let coords = [r.get_u32()?, r.get_u32()?, r.get_u32()?];
+            let max_err = r.get_f64()?;
+            // The index duplicates information derivable from the chunk
+            // table; require exact agreement so a reader can seek through
+            // either without surprises.
+            if offset != expected_offset || len as u64 != e.speck_len as u64 + e.outlier_len as u64
+            {
+                return Err(CompressError::Corrupt(format!(
+                    "chunk index entry {i} disagrees with the chunk table"
+                )));
+            }
+            let i32c = i as u32;
+            let expect =
+                [i32c % grid[0], (i32c / grid[0]) % grid[1], i32c / (grid[0] * grid[1])];
+            if coords != expect {
+                return Err(CompressError::Corrupt(format!(
+                    "chunk index entry {i} has grid coordinates {coords:?}, expected {expect:?}"
+                )));
+            }
+            idx.push(ChunkIndexEntry { offset, len, coords, max_err });
+            expected_offset += len as u64;
+        }
+        Some(idx)
+    } else {
+        None
+    };
     let chunk_crcs = if version >= 2 {
         if n_chunks.saturating_mul(4) + 4 > r.remaining() {
             return Err(CompressError::Truncated("checksum table extends past end of stream".into()));
@@ -288,6 +410,7 @@ pub(crate) fn read_container(bytes: &[u8]) -> Result<Parsed, CompressError> {
         entries,
         payload_start,
         chunk_crcs,
+        index,
     })
 }
 
@@ -308,6 +431,7 @@ mod tests {
             num_outliers: 2,
             times: StageTimes::default(),
             coeff_sq_error: 0.0,
+            max_err: 0.125,
         }
     }
 
@@ -325,7 +449,7 @@ mod tests {
 
     #[test]
     fn header_is_exactly_20_bytes_before_extension() {
-        let bytes = write_container(&dummy_header(), &[dummy_chunk(vec![1, 2, 3], vec![])]);
+        let bytes = write_container(&dummy_header(), &[dummy_chunk(vec![1, 2, 3], vec![])], VERSION);
         assert_eq!(&bytes[..4], MAGIC);
         // dims start at offset 8, occupy 12 bytes -> fixed header = 20.
         let parsed = read_container(&bytes).unwrap();
@@ -347,7 +471,7 @@ mod tests {
             n_chunks: 2,
         };
         let chunks = vec![dummy_chunk(vec![9; 5], vec![7; 2]), dummy_chunk(vec![1; 3], vec![])];
-        let bytes = write_container(&header, &chunks);
+        let bytes = write_container(&header, &chunks, VERSION);
         let parsed = read_container(&bytes).unwrap();
         assert_eq!(parsed.header.mode, Mode::Bpp);
         assert_eq!(parsed.header.kernel, Kernel::Cdf53);
@@ -362,6 +486,16 @@ mod tests {
         assert_eq!(crcs.len(), 2);
         assert_eq!(crcs[0], crc32(&[9, 9, 9, 9, 9, 7, 7]));
         assert_eq!(crcs[1], crc32(&[1, 1, 1]));
+        // v3 index carries cumulative offsets, lengths, grid coordinates
+        // (two chunks along x) and the per-chunk max error.
+        let index = parsed.index.unwrap();
+        assert_eq!(
+            index,
+            vec![
+                ChunkIndexEntry { offset: 0, len: 7, coords: [0, 0, 0], max_err: 0.125 },
+                ChunkIndexEntry { offset: 7, len: 3, coords: [1, 0, 0], max_err: 0.125 },
+            ]
+        );
     }
 
     #[test]
@@ -370,6 +504,7 @@ mod tests {
         let parsed = read_container(&bytes).unwrap();
         assert_eq!(parsed.version, VERSION_V1);
         assert!(parsed.chunk_crcs.is_none());
+        assert!(parsed.index.is_none());
         assert_eq!(parsed.entries[0].speck_len, 3);
         assert_eq!(&bytes[parsed.payload_start..], &[1, 2, 3, 4]);
     }
@@ -381,15 +516,49 @@ mod tests {
         // worst skip checksums, and sizes differ by exactly 4(n+1) bytes.
         let chunks = vec![dummy_chunk(vec![1, 2, 3], vec![4])];
         let v1 = write_container_v1(&dummy_header(), &chunks);
-        let v2 = write_container(&dummy_header(), &chunks);
+        let v2 = write_container(&dummy_header(), &chunks, VERSION_V2);
         assert_eq!(v2.len(), v1.len() + 4 * (chunks.len() + 1));
         let table_end = 20 + 24 + CHUNK_ENTRY_BYTES * chunks.len();
         assert_eq!(v1[5..table_end], v2[5..table_end]);
+        let parsed = read_container(&v2).unwrap();
+        assert!(parsed.chunk_crcs.is_some());
+        assert!(parsed.index.is_none());
+    }
+
+    #[test]
+    fn v3_is_v2_plus_index_block() {
+        // v3 inserts exactly one index entry per chunk between the chunk
+        // table and the checksum block; everything before the index is
+        // byte-identical to v2 (modulo the version byte), and the final
+        // header CRC differs because it also covers the index.
+        let chunks = vec![dummy_chunk(vec![1, 2, 3], vec![4]), dummy_chunk(vec![5; 6], vec![])];
+        let header = Header { dims: [16, 8, 8], chunk_dims: [8, 8, 8], n_chunks: 2, ..dummy_header() };
+        let v2 = write_container(&header, &chunks, VERSION_V2);
+        let v3 = write_container(&header, &chunks, VERSION);
+        assert_eq!(v3.len(), v2.len() + INDEX_ENTRY_BYTES * chunks.len());
+        let table_end = 20 + 24 + CHUNK_ENTRY_BYTES * chunks.len();
+        assert_eq!(v2[5..table_end], v3[5..table_end]);
+        let parsed = read_container(&v3).unwrap();
+        assert_eq!(parsed.version, VERSION);
+        let index = parsed.index.unwrap();
+        assert_eq!(index.len(), 2);
+        assert_eq!(index[0].offset, 0);
+        assert_eq!(index[0].len, 4);
+        assert_eq!(index[1].offset, 4);
+        assert_eq!(index[1].len, 6);
+        assert_eq!(index[0].coords, [0, 0, 0]);
+        assert_eq!(index[1].coords, [1, 0, 0]);
+        // Payloads land identically in both versions.
+        let parsed_v2 = read_container(&v2).unwrap();
+        assert_eq!(v2[parsed_v2.payload_start..], v3[parsed.payload_start..]);
     }
 
     #[test]
     fn header_checksum_detects_any_header_byte_flip() {
-        let bytes = write_container(&dummy_header(), &[dummy_chunk(vec![1, 2, 3], vec![])]);
+        // v3: the protected region includes the chunk index, so any index
+        // flip must also be rejected (either by the CRC or by the
+        // index-vs-table consistency check).
+        let bytes = write_container(&dummy_header(), &[dummy_chunk(vec![1, 2, 3], vec![])], VERSION);
         let parsed = read_container(&bytes).unwrap();
         // Flip each byte of the protected region (skipping none): every
         // mutation must be rejected, never panic.
@@ -401,8 +570,32 @@ mod tests {
     }
 
     #[test]
+    fn index_inconsistent_with_table_rejected() {
+        // A v1-style hand-poke can't exercise this (v2+ header CRC fires
+        // first), so corrupt the index *and* refresh the trailing CRC to
+        // prove the structural cross-check stands on its own.
+        let chunks = vec![dummy_chunk(vec![1, 2, 3], vec![4]), dummy_chunk(vec![5; 6], vec![])];
+        let header = Header { dims: [16, 8, 8], chunk_dims: [8, 8, 8], n_chunks: 2, ..dummy_header() };
+        let good = write_container(&header, &chunks, VERSION);
+        let index_start = 20 + 24 + CHUNK_ENTRY_BYTES * chunks.len();
+        let crc_pos = good.len() - (4 + 6) - 4; // payload bytes + header CRC
+        for poke in [index_start, index_start + 8, index_start + 12] {
+            let mut bad = good.clone();
+            bad[poke] ^= 0x01;
+            let crc = crc32(&bad[..crc_pos]);
+            bad[crc_pos..crc_pos + 4].copy_from_slice(&crc.to_le_bytes());
+            match read_container(&bad) {
+                Err(CompressError::Corrupt(msg)) => {
+                    assert!(msg.contains("chunk index"), "unexpected error: {msg}")
+                }
+                other => panic!("index poke at {poke} not rejected: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
     fn corrupt_inputs_rejected() {
-        let good = write_container(&dummy_header(), &[dummy_chunk(vec![1, 2, 3], vec![])]);
+        let good = write_container(&dummy_header(), &[dummy_chunk(vec![1, 2, 3], vec![])], VERSION);
         // magic
         let mut bad = good.clone();
         bad[0] = b'X';

@@ -25,10 +25,12 @@
 //!   PSNR target via the transform's near-orthogonality (§VII item 1).
 //!
 //! Beyond compress/decompress: multi-resolution decoding
-//! ([`Sperr::decompress_multires`]), region-of-interest decoding
-//! ([`Sperr::decompress_region`]), re-rating without re-encoding
-//! ([`Sperr::transcode_to_bpp`]), stream inspection ([`Sperr::inspect`])
-//! and multi-field archives ([`archive`]).
+//! ([`Sperr::decompress_multires`]), random-access region decoding via
+//! the container-v3 chunk index ([`Sperr::decode_region`] /
+//! [`Sperr::decompress_region`]), progressive byte-budget previews
+//! ([`Sperr::decode_at_bpp`] / [`Sperr::decode_at_budgets`]), re-rating
+//! without re-encoding ([`Sperr::transcode_to_bpp`]), stream inspection
+//! ([`Sperr::inspect`]) and multi-field archives ([`archive`]).
 //!
 //! Large volumes are split into chunks (default 256³, configurable, not
 //! required to divide the volume — §III-D) and chunks are processed
@@ -67,15 +69,15 @@ pub use stats::stage_labels;
 
 pub use chunk::{chunk_grid, extract_chunk, extract_chunk_into, ChunkSpec};
 pub use compressor::{
-    ChunkStatus, ResilientReport, Sperr, SperrConfig, StreamInfo, VerifyReport,
+    ChunkStatus, RegionReport, ResilientReport, Sperr, SperrConfig, StreamInfo, VerifyReport,
 };
 pub use container::Mode;
-pub use container::VERSION as CONTAINER_VERSION;
+pub use container::{ChunkIndexEntry, VERSION as CONTAINER_VERSION};
 pub use crc32::crc32;
 pub use pipeline::{
     compress_chunk_bpp, compress_chunk_bpp_with, compress_chunk_pwe, compress_chunk_pwe_with,
     compress_chunk_rmse, compress_chunk_rmse_with, decompress_chunk, decompress_chunk_multires,
-    decompress_chunk_with, ChunkEncoding, ScratchArena,
+    decompress_chunk_region_with, decompress_chunk_with, ChunkEncoding, ScratchArena,
 };
 pub use pool::{JobPanic, WorkerPool};
 pub use stats::{CompressionStats, StageTimes};

@@ -88,6 +88,12 @@ pub struct ChunkEncoding {
     /// (space domain in PWE mode, wavelet domain otherwise; ~equal by
     /// near-orthogonality, §III-A).
     pub coeff_sq_error: f64,
+    /// Exact post-correction max point-wise error of this chunk's decode
+    /// (PWE mode: max of the in-tolerance residuals and the quantized
+    /// outlier-correction residuals). NaN in BPP/RMSE modes, which don't
+    /// reconstruct in the space domain at encode time. Recorded in the
+    /// container-v3 chunk index.
+    pub max_err: f64,
 }
 
 /// Raw-pointer wrapper for disjoint block writes from pool jobs. The
@@ -122,37 +128,45 @@ fn reconstruct_blocks(coeffs: &[f64], q: f64, out: &mut [f64], pool: &WorkerPool
 }
 
 /// Compares `data` with `recon` block-parallel, returning the outliers
-/// (positions ascending) and the total squared error. Fixed blocks +
-/// block-order reduction keep both deterministic across thread counts.
+/// (positions ascending), the total squared error, and the max residual
+/// over the *in-tolerance* points (the part of the final max error that
+/// outlier correction won't touch). Fixed blocks + block-order reduction
+/// keep all three deterministic across thread counts (max is also
+/// order-independent).
 fn scan_outliers(
     data: &[f64],
     recon: &[f64],
     t: f64,
     pool: &WorkerPool,
-) -> (Vec<Outlier>, f64) {
+) -> (Vec<Outlier>, f64, f64) {
     let len = data.len();
     let n_blocks = len.div_ceil(ELEM_BLOCK).max(1);
     let per_block = pool.map(n_blocks, |b, _| {
         let start = b * ELEM_BLOCK;
         let end = (start + ELEM_BLOCK).min(len);
         let mut sq = 0.0;
+        let mut max_in_tol = 0.0f64;
         let mut found = Vec::new();
         for pos in start..end {
             let corr = data[pos] - recon[pos];
             sq += corr * corr;
             if corr.abs() > t {
                 found.push(Outlier { pos, corr });
+            } else {
+                max_in_tol = max_in_tol.max(corr.abs());
             }
         }
-        (found, sq)
+        (found, sq, max_in_tol)
     });
     let mut outliers = Vec::new();
     let mut coeff_sq_error = 0.0;
-    for (found, sq) in per_block {
+    let mut max_in_tol = 0.0f64;
+    for (found, sq, m) in per_block {
         outliers.extend(found);
         coeff_sq_error += sq;
+        max_in_tol = max_in_tol.max(m);
     }
-    (outliers, coeff_sq_error)
+    (outliers, coeff_sq_error, max_in_tol)
 }
 
 /// PWE-bounded compression of one chunk (§IV): SPECK at `q = q_factor · t`
@@ -216,19 +230,41 @@ pub fn compress_chunk_pwe_with(
     // Stage 3: locate outliers — reconstruct (quantized coefficients +
     // inverse transform) and compare with the original input.
     crate::faultpoint::stage(stage_labels::OUTLIER_LOCATE);
-    let ((outliers, coeff_sq_error), locate_time) = timed(stage_labels::OUTLIER_LOCATE, || {
-        recon.clear();
-        recon.resize(coeffs.len(), 0.0);
-        reconstruct_blocks(coeffs, q, recon, pool);
-        inverse_3d_with(recon, dims, levels, kernel, pool, wavelet);
-        scan_outliers(data, recon, t, pool)
-    });
+    let ((outliers, coeff_sq_error, max_in_tol), locate_time) =
+        timed(stage_labels::OUTLIER_LOCATE, || {
+            recon.clear();
+            recon.resize(coeffs.len(), 0.0);
+            reconstruct_blocks(coeffs, q, recon, pool);
+            inverse_3d_with(recon, dims, levels, kernel, pool, wavelet);
+            scan_outliers(data, recon, t, pool)
+        });
     sperr_telemetry::counter!("outlier.count", outliers.len());
 
     // Stage 4: encode the outliers.
     crate::faultpoint::stage(stage_labels::OUTLIER_ENCODE);
-    let (out_enc, outlier_time) = timed(stage_labels::OUTLIER_ENCODE, || {
-        sperr_outlier::encode(&outliers, data.len(), t)
+    let ((out_enc, max_err), outlier_time) = timed(stage_labels::OUTLIER_ENCODE, || {
+        let out_enc = sperr_outlier::encode(&outliers, data.len(), t);
+        // Exact post-correction max error for the v3 chunk index: the
+        // in-tolerance residuals stay as-is, and the corrected points end
+        // at the residual the *quantized* correction leaves behind —
+        // measured by decoding the stream we just wrote (cheap: outliers
+        // are sparse by construction).
+        let mut max_err = max_in_tol;
+        if !outliers.is_empty() {
+            // Decode returns corrections in bit-plane discovery order, not
+            // position order — sort before pairing with the scan output
+            // (which is ascending by construction).
+            let mut corrections =
+                sperr_outlier::decode(&out_enc.stream, data.len(), t, out_enc.max_n)
+                    .expect("freshly encoded outlier stream must decode");
+            corrections.sort_by_key(|c| c.pos);
+            debug_assert_eq!(corrections.len(), outliers.len());
+            for (o, c) in outliers.iter().zip(&corrections) {
+                debug_assert_eq!(o.pos, c.pos);
+                max_err = max_err.max((o.corr - c.corr).abs());
+            }
+        }
+        (out_enc, max_err)
     });
     sperr_telemetry::counter!("outlier.correction_bits", out_enc.bits_used);
 
@@ -249,6 +285,7 @@ pub fn compress_chunk_pwe_with(
             ..StageTimes::default()
         },
         coeff_sq_error,
+        max_err,
     }
 }
 
@@ -319,6 +356,7 @@ pub fn compress_chunk_bpp_with(
             ..StageTimes::default()
         },
         coeff_sq_error: 0.0, // budget truncation: not tracked
+        max_err: f64::NAN,   // no space-domain reconstruction at encode time
     }
 }
 
@@ -403,6 +441,7 @@ pub fn compress_chunk_rmse_with(
         outlier_bits: 0,
         times: StageTimes { wavelet: wavelet_time, speck: speck_time, ..StageTimes::default() },
         coeff_sq_error,
+        max_err: f64::NAN, // tracked in the wavelet domain only
     }
 }
 
@@ -488,6 +527,72 @@ pub fn decompress_chunk_with(
     pool: &WorkerPool,
     arena: &mut ScratchArena,
 ) -> Result<(Vec<f64>, StageTimes), CompressError> {
+    decompress_chunk_inner(
+        speck_stream,
+        outlier_stream,
+        dims,
+        q,
+        num_planes,
+        max_n,
+        tolerance,
+        kernel,
+        None,
+        pool,
+        arena,
+    )
+}
+
+/// Region-of-interest variant of [`decompress_chunk_with`]: identical
+/// pipeline, but outlier corrections landing outside the chunk-local
+/// half-open box `keep_lo..keep_hi` are skipped. The wavelet transform is
+/// global to the chunk, so the full chunk is still reconstructed — only
+/// the sparse correction pass is scoped — and the kept box is
+/// bit-identical to a full decode of the chunk (corrections are
+/// point-local, Eq. 1). Used by [`crate::Sperr::decode_region`].
+#[allow(clippy::too_many_arguments)]
+pub fn decompress_chunk_region_with(
+    speck_stream: &[u8],
+    outlier_stream: &[u8],
+    dims: [usize; 3],
+    q: f64,
+    num_planes: u8,
+    max_n: u8,
+    tolerance: f64,
+    kernel: Kernel,
+    keep_lo: [usize; 3],
+    keep_hi: [usize; 3],
+    pool: &WorkerPool,
+    arena: &mut ScratchArena,
+) -> Result<(Vec<f64>, StageTimes), CompressError> {
+    decompress_chunk_inner(
+        speck_stream,
+        outlier_stream,
+        dims,
+        q,
+        num_planes,
+        max_n,
+        tolerance,
+        kernel,
+        Some((keep_lo, keep_hi)),
+        pool,
+        arena,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn decompress_chunk_inner(
+    speck_stream: &[u8],
+    outlier_stream: &[u8],
+    dims: [usize; 3],
+    q: f64,
+    num_planes: u8,
+    max_n: u8,
+    tolerance: f64,
+    kernel: Kernel,
+    keep: Option<([usize; 3], [usize; 3])>,
+    pool: &WorkerPool,
+    arena: &mut ScratchArena,
+) -> Result<(Vec<f64>, StageTimes), CompressError> {
     let levels = levels_for_dims(dims);
     crate::faultpoint::stage(stage_labels::SPECK_DECODE);
     let (decoded, speck_time) = timed(stage_labels::SPECK_DECODE, || {
@@ -513,6 +618,15 @@ pub fn decompress_chunk_with(
             for c in corrections {
                 if c.pos >= coeffs.len() {
                     return Err(CompressError::Corrupt("outlier position out of range".into()));
+                }
+                if let Some((lo, hi)) = keep {
+                    let x = c.pos % dims[0];
+                    let y = (c.pos / dims[0]) % dims[1];
+                    let z = c.pos / (dims[0] * dims[1]);
+                    if x < lo[0] || x >= hi[0] || y < lo[1] || y >= hi[1] || z < lo[2] || z >= hi[2]
+                    {
+                        continue;
+                    }
                 }
                 // z = x̃ + corr (Eq. 1).
                 coeffs[c.pos] += c.corr;
@@ -653,6 +767,80 @@ mod tests {
                 assert_eq!(serial.coeff_sq_error, pooled.coeff_sq_error, "fp order changed");
             }
         });
+    }
+
+    #[test]
+    fn recorded_max_err_is_exact() {
+        // The ChunkEncoding's max_err must equal the max point-wise error
+        // actually measured after a full decode — both with and without
+        // outliers in play.
+        let dims = [16usize, 16, 16];
+        let data = test_data(dims);
+        for (t, q_factor) in [(0.01, 1.5), (0.001, 3.0)] {
+            let enc = compress_chunk_pwe(&data, dims, t, q_factor, Kernel::Cdf97);
+            let rec = decompress_chunk(
+                &enc.speck_stream,
+                &enc.outlier_stream,
+                dims,
+                enc.q,
+                enc.num_planes,
+                enc.max_n,
+                t,
+                Kernel::Cdf97,
+            )
+            .unwrap();
+            let measured =
+                data.iter().zip(&rec).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
+            assert_eq!(enc.max_err, measured, "t={t} q_factor={q_factor}");
+            assert!(enc.max_err <= t);
+        }
+    }
+
+    #[test]
+    fn region_variant_matches_full_decode_inside_kept_box() {
+        // Outliers outside the kept box are skipped; inside it the decode
+        // must be bit-identical to the full chunk decode.
+        let dims = [16usize, 12, 10];
+        let data = test_data(dims);
+        let t = 0.001;
+        let enc = compress_chunk_pwe(&data, dims, t, 3.0, Kernel::Cdf97);
+        assert!(enc.num_outliers > 0, "test needs outliers to be meaningful");
+        let full = decompress_chunk(
+            &enc.speck_stream,
+            &enc.outlier_stream,
+            dims,
+            enc.q,
+            enc.num_planes,
+            enc.max_n,
+            t,
+            Kernel::Cdf97,
+        )
+        .unwrap();
+        let (lo, hi) = ([3usize, 0, 2], [9usize, 12, 7]);
+        let mut arena = ScratchArena::new();
+        let (region, _) = decompress_chunk_region_with(
+            &enc.speck_stream,
+            &enc.outlier_stream,
+            dims,
+            enc.q,
+            enc.num_planes,
+            enc.max_n,
+            t,
+            Kernel::Cdf97,
+            lo,
+            hi,
+            &WorkerPool::inline(),
+            &mut arena,
+        )
+        .unwrap();
+        for z in lo[2]..hi[2] {
+            for y in lo[1]..hi[1] {
+                for x in lo[0]..hi[0] {
+                    let pos = x + dims[0] * (y + dims[1] * z);
+                    assert_eq!(full[pos].to_bits(), region[pos].to_bits(), "at {x},{y},{z}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -800,8 +800,9 @@ impl Sperr {
             bound_value,
             n_chunks,
         };
-        let (container, container_time) =
-            timed(stage_labels::CONTAINER_WRITE, || write_container(&header, &encoded));
+        let (container, container_time) = timed(stage_labels::CONTAINER_WRITE, || {
+            write_container(&header, &encoded, cfg.container_version)
+        });
         stats.container_bytes = container.len();
         stats.stage_times.container = container_time;
         let mut out = Vec::with_capacity(container.len() + 1);

@@ -56,6 +56,19 @@ echo "==> conformance: streaming fault-injection campaign"
 # in-flight memory, byte-identity with the in-memory path on success.
 target/release/sperr-conformance faults 12
 
+echo "==> conformance: random-access region oracle"
+# Every corpus field, 50 randomized bboxes each (degenerate, full-volume,
+# chunk-straddling, prime-offset shapes), decoded at 1/2/4/8 threads:
+# decode_region must be bit-identical to the same slice of a full
+# decompress, via the v3 index AND via the downgraded-to-v2 legacy scan.
+target/release/sperr-conformance regions 50
+
+echo "==> conformance: progressive-refinement campaign"
+# Randomized budget ladders against BPP-mode streams: max error monotone
+# non-increasing as the budget grows, full budget bit-identical to the
+# untruncated decode; violations shrink to a committed reproducer.
+target/release/sperr-conformance refine 60
+
 echo "==> golden-stream governance"
 # A change to the committed golden artifacts is only legitimate when the
 # same commit bumps GOLDEN_VERSION (see DESIGN.md §9). Skipped gracefully
@@ -89,16 +102,19 @@ target/release/hotpath --check BENCH_pr2.json
 target/release/hotpath --check BENCH_pr4.json
 target/release/hotpath --check BENCH_pr5.json
 target/release/hotpath --check BENCH_pr7.json
+target/release/hotpath --check BENCH_pr8.json
 
-echo "==> perf gate: committed BENCH_pr7.json vs PR 4 + PR 5 baselines (hard)"
+echo "==> perf gate: committed BENCH_pr8.json vs PR 2..7 baselines (hard)"
 # The committed full-size artifact must not record a >20% regression on
 # the SPECK stage ratios relative to the best committed baseline — this
 # is the deterministic hard gate (it compares tracked files, so it never
 # flakes on host noise; it fails exactly when someone commits a slower
 # artifact). Satellite of the PR 7 overhaul: the PR 5 episode showed a
-# soft warning on these ratios is too easy to scroll past.
-target/release/hotpath --perf-gate BENCH_pr7.json \
-    BENCH_pr2.json BENCH_pr4.json BENCH_pr5.json
+# soft warning on these ratios is too easy to scroll past. The PR 8
+# artifact adds the random-access speedups (region_* ratios), which only
+# warn: they have no earlier baseline to hard-gate against yet.
+target/release/hotpath --perf-gate BENCH_pr8.json \
+    BENCH_pr2.json BENCH_pr4.json BENCH_pr5.json BENCH_pr7.json
 
 echo "==> perf gate: fresh smoke run vs baselines (soft)"
 # Compare the smoke run's derived speedup ratios against the BEST value
@@ -114,7 +130,7 @@ echo "==> perf gate: fresh smoke run vs baselines (soft)"
 # hard by `sperr-conformance check` + the golden governance step above
 # (the goldens exercise every coder path and fail on any byte change).
 target/release/hotpath --perf-gate target/bench_smoke.json \
-    BENCH_pr2.json BENCH_pr4.json BENCH_pr5.json BENCH_pr7.json
+    BENCH_pr2.json BENCH_pr4.json BENCH_pr5.json BENCH_pr7.json BENCH_pr8.json
 
 echo "==> telemetry matrix: rebuild with the feature compiled in"
 # Everything above ran with telemetry compiled OUT (the default, and the

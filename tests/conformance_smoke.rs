@@ -14,7 +14,11 @@ use sperr_wavelet::Kernel;
 fn golden_manifest_loads_and_matches_code_versions() {
     let manifest = golden::load_manifest(&golden::golden_dir()).expect("manifest loads");
     assert_eq!(manifest.golden_version, GOLDEN_VERSION);
-    assert_eq!(manifest.container_version, sperr_core::CONTAINER_VERSION);
+    // The manifest records the container version the goldens are PINNED
+    // at — not the encoder's current default. The 64 goldens stay at v2
+    // (the index-less container they were regenerated under); the v3
+    // fixture covers the current default separately (DESIGN.md §14).
+    assert_eq!(manifest.container_version, golden::GOLDEN_CONTAINER_VERSION);
     assert_eq!(manifest.speck_format, sperr_speck::BITSTREAM_FORMAT);
     assert_eq!(manifest.outlier_format, sperr_outlier::BITSTREAM_FORMAT);
     assert!(!manifest.entries.is_empty(), "golden matrix is empty");

@@ -76,14 +76,15 @@ proptest! {
     }
 
     #[test]
-    fn container_v2_header_and_chunk_table_roundtrip(field in field_strategy(),
-                                                     idx in 1u32..20,
-                                                     chunk_edge in 4usize..16,
-                                                     lossless in any::<bool>()) {
-        // Whatever the shape and chunking, the v2 container must carry the
-        // header and chunk table faithfully: inspect() recovers them, the
-        // per-chunk payload sizes tile the payload region exactly, and
-        // verify() confirms every checksum on an undamaged stream.
+    fn container_header_chunk_table_and_index_roundtrip(field in field_strategy(),
+                                                        idx in 1u32..20,
+                                                        chunk_edge in 4usize..16,
+                                                        lossless in any::<bool>()) {
+        // Whatever the shape and chunking, the container must carry the
+        // header, chunk table and chunk index faithfully: inspect()
+        // recovers them, the per-chunk payload sizes tile the payload
+        // region exactly, and verify() confirms every checksum on an
+        // undamaged stream.
         let t = field.range() / f64::exp2(idx as f64);
         prop_assume!(t > 0.0);
         let sperr = Sperr::new(SperrConfig {
@@ -93,7 +94,17 @@ proptest! {
         });
         let stream = sperr.compress(&field, Bound::Pwe(t)).unwrap();
         let info = sperr.inspect(&stream).unwrap();
-        prop_assert_eq!(info.version, 2);
+        prop_assert_eq!(info.version, sperr_core::CONTAINER_VERSION);
+        // The v3 chunk index must cover every chunk, in offset order,
+        // tiling the payload region exactly like the chunk table does.
+        let index = info.chunk_index.as_ref().expect("v3 stream carries an index");
+        prop_assert_eq!(index.len(), info.n_chunks);
+        let mut expect_offset = 0u64;
+        for (e, &size) in index.iter().zip(&info.chunk_payload_sizes) {
+            prop_assert_eq!(e.offset, expect_offset);
+            prop_assert_eq!(e.len as usize, size);
+            expect_offset += e.len as u64;
+        }
         prop_assert_eq!(info.dims, field.dims);
         prop_assert_eq!(info.chunk_dims, [chunk_edge, chunk_edge, chunk_edge]);
         prop_assert_eq!(info.lossless, lossless);

@@ -195,8 +195,9 @@ fn mutation_campaign_header_fields() {
 fn mutation_campaign_chunk_table_and_payload() {
     // Classes 2+3: for the SPERR container the chunk table and payload
     // regions are locatable via inspect(); damage each region separately.
-    // With v2 checksums, EVERY single-byte corruption must be caught: the
-    // header CRC covers flag..table, per-chunk CRCs cover the payloads.
+    // With v2+ checksums, EVERY single-byte corruption must be caught:
+    // the header CRC covers flag..table (including the v3 chunk index),
+    // per-chunk CRCs cover the payloads.
     let field = SyntheticField::S3dCh4.generate([16, 16, 16], 3);
     let t = field.tolerance_for_idx(12);
     let sperr = Sperr::new(SperrConfig {
@@ -205,7 +206,7 @@ fn mutation_campaign_chunk_table_and_payload() {
     });
     let stream = sperr.compress(&field, Bound::Pwe(t)).unwrap();
     let info = sperr.inspect(&stream).unwrap();
-    assert_eq!(info.version, 2);
+    assert_eq!(info.version, sperr_core::CONTAINER_VERSION);
     let payload_start = 1 + info.payload_offset; // +1 outer flag byte
     assert!(payload_start < stream.len());
     for pos in 0..stream.len() {
