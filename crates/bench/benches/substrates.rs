@@ -50,7 +50,7 @@ fn bench_speck(c: &mut Criterion) {
     let enc = sperr_speck::encode(&coeffs, dims, q, Termination::Quality);
     group.bench_function("decode", |b| {
         b.iter(|| {
-            black_box(sperr_speck::decode(&enc.stream, dims, q, enc.num_planes).unwrap().len())
+            black_box(sperr_speck::decode::<f64, 3>(&enc.stream, dims, q, enc.num_planes).unwrap().len())
         })
     });
     group.finish();

@@ -1,7 +1,8 @@
-//! Hot-path throughput benchmark backing the tracked `BENCH_pr8.json`
+//! Hot-path throughput benchmark backing the tracked `BENCH_pr9.json`
 //! artifact (run via `scripts/bench.sh`; `BENCH_pr2.json`,
-//! `BENCH_pr4.json`, `BENCH_pr5.json` and `BENCH_pr7.json` are the
-//! frozen earlier editions of the same measurements).
+//! `BENCH_pr4.json`, `BENCH_pr5.json`, `BENCH_pr7.json` and
+//! `BENCH_pr8.json` are the frozen earlier editions of the same
+//! measurements).
 //!
 //! Measures, on a synthetic 256³ volume (48³ with `--smoke`):
 //!
@@ -25,7 +26,15 @@
 //! * the PR 7 SIMD kernels in isolation (sign/magnitude split, pyramid
 //!   build, significance scan, lifting, refinement gather), each also
 //!   ratioed against its scalar twin so an autovectorization failure
-//!   shows up as a tracked number.
+//!   shows up as a tracked number;
+//! * f32-native twins (PR 9): the blocked z-axis pass, the SPECK stage,
+//!   the split/lift kernels and the end-to-end PWE pipeline all run
+//!   again at single precision, ratioed against their f64 twins AND
+//!   against the widened path (widen-at-ingest + f64 pipeline +
+//!   narrow-at-output — what f32 data cost before the native path).
+//!   On a full-size artifact the perf gate enforces the f32-vs-f64
+//!   end-to-end ratios as a hard ≥1 floor: the f32 path may never be
+//!   slower than running the same data through the f64 pipeline.
 //!
 //! `--check FILE` validates an artifact instead of benchmarking (CI uses
 //! this to fail on malformed JSON). `--perf-gate NEW BASELINE...`
@@ -86,8 +95,23 @@ const HARD_GATE_KEYS: [&str; 4] = [
     "speck_decode_vs_pr4",
 ];
 
+/// Derived ratios that must be **at least 1.0** in a full-size artifact,
+/// independent of any baseline: the f32-native end-to-end workloads vs
+/// the f64 pipeline on the same samples. A value below 1 means the
+/// native path is slower than just widening — the one outcome the PR 9
+/// tentpole exists to rule out — so the perf gate fails hard on it
+/// (downgraded to a warning for `--smoke` artifacts, whose tiny dims
+/// amplify fixed overheads).
+const F32_FLOOR_KEYS: [&str; 5] = [
+    "pwe_f32_vs_f64_1t",
+    "pwe_f32_vs_f64_8t",
+    "pwe_f32_decompress_vs_f64_8t",
+    "pwe_coarse_f32_vs_f64_8t",
+    "bpp_f32_vs_f64_8t",
+];
+
 fn main() {
-    let mut out_path = String::from("BENCH_pr8.json");
+    let mut out_path = String::from("BENCH_pr9.json");
     let mut smoke = false;
     let mut check: Option<String> = None;
     let mut gate: Option<(String, Vec<String>)> = None;
@@ -321,6 +345,29 @@ fn perf_gate(new_path: &str, base_paths: &[&str]) {
     if compared == 0 {
         fatal("perf gate: no comparable derived ratios between the artifacts");
     }
+    // Absolute floors on the new artifact itself: the f32-native
+    // end-to-end ratios must be ≥ 1 — no baseline needed, "not slower
+    // than the f64 pipeline" is the contract. Keys absent from the
+    // artifact (pre-PR 9 schemas) are skipped.
+    for key in F32_FLOOR_KEYS {
+        let Some(n) = new_derived.get(key).and_then(Json::as_num) else { continue };
+        if n >= 1.0 {
+            println!("{key:<28} {n:>10.3}      floor    1.000  (absolute) [ok]");
+            continue;
+        }
+        let kind = if new_is_smoke { "PERF WARNING" } else { "PERF FAILURE" };
+        eprintln!("##### {kind} ########################################");
+        eprintln!("# derived.{key}: {n:.3} < 1.0 — the f32-native path is SLOWER than");
+        eprintln!("# the f64 pipeline on the same workload");
+        if new_is_smoke {
+            eprintln!("# (smoke dims; non-fatal — investigate before merging)");
+        } else {
+            eprintln!("# (full-size artifact — CI fails)");
+            hard_failures.push(key.to_string());
+        }
+        eprintln!("###########################################################");
+        regressed += 1;
+    }
     println!(
         "perf gate: {compared} ratio(s) compared, {regressed} regression(s) \
          ({} hard)",
@@ -452,7 +499,8 @@ fn run_benchmarks(dims: [usize; 3], smoke: bool) -> Json {
     let (speck_enc_time, speck_enc) =
         time_best_with(reps, || sperr_speck::encode(&coeffs, dims, q, Termination::Quality));
     let speck_dec_time = time_best(reps, || {
-        let rec = sperr_speck::decode(&speck_enc.stream, dims, q, speck_enc.num_planes).unwrap();
+        let rec: Vec<f64> =
+            sperr_speck::decode(&speck_enc.stream, dims, q, speck_enc.num_planes).unwrap();
         assert_eq!(rec.len(), points);
     });
 
@@ -617,6 +665,174 @@ fn run_benchmarks(dims: [usize; 3], smoke: bool) -> Json {
     assert!(max_err <= t, "PWE bound violated: {max_err} > {t}");
     drop(rec);
 
+    // --- f32-native twins (PR 9) ------------------------------------------
+    // The same volume rounded once to single precision, through the
+    // f32-native pipeline. Two baselines per workload: the f64 pipeline
+    // on the widened samples (pure width effect, the hard ≥1 floor) and
+    // the *widened path* — widen-at-ingest + f64 pipeline (+ narrow on
+    // the decode side) — which is what f32 data actually cost before the
+    // native path existed and what the 1.5× acceptance target compares
+    // against.
+    let field32 = field.narrow_lossy();
+
+    let mut work32 = field32.data.clone();
+    let blocked_f32 = time_best(reps, || {
+        work32.copy_from_slice(&field32.data);
+        sperr_wavelet::forward_3d(&mut work32, dims, levels_z, Kernel::Cdf97);
+    });
+    drop(work32);
+
+    // SPECK stage on the volume's real f32 wavelet coefficients at the
+    // same quantization step as the f64 twin.
+    let mut coeffs32 = field32.data.clone();
+    reference::forward_3d(&mut coeffs32, dims, levels_for_dims(dims), Kernel::Cdf97);
+    let (speck32_enc_time, speck32_enc) =
+        time_best_with(reps, || sperr_speck::encode(&coeffs32, dims, q, Termination::Quality));
+    let speck32_dec_time = time_best(reps, || {
+        let rec: Vec<f32> =
+            sperr_speck::decode(&speck32_enc.stream, dims, q, speck32_enc.num_planes).unwrap();
+        assert_eq!(rec.len(), points);
+    });
+
+    // Width-sensitive kernels at f32 (twice the lanes per vector).
+    let inv_q32 = (1.0 / q) as f32;
+    let mut meta32 = vec![0u8; points];
+    let k_split_f32 = time_best(reps, || {
+        sperr_simd::quantize_meta_into(&coeffs32, inv_q32, &mut meta32);
+    });
+    drop((coeffs32, meta32));
+    let approx32: Vec<f32> = (0..half + 1).map(|i| (i as f32 * 0.37).sin()).collect();
+    let mut detail32: Vec<f32> = (0..half).map(|i| (i as f32 * 0.11).cos()).collect();
+    let k_lift_f32 = time_best(reps, || {
+        sperr_simd::lift_pairs(&mut detail32, &approx32[..half], &approx32[1..], -1.586f32);
+    });
+    drop((approx32, detail32));
+
+    // End-to-end PWE at f32, plus thread-count bit identity of the
+    // native stream (the same contract the f64 path pins).
+    let run_compress_f32 = |threads: usize| {
+        let sperr = single_chunk_sperr(dims, threads);
+        time_best_with(reps, || {
+            let (stream, stats) = sperr.compress_f32_with_stats(&field32, Bound::Pwe(t)).unwrap();
+            (stats, stream)
+        })
+    };
+    let (pwe32_1t_time, (pwe32_1t_stats, stream32)) = run_compress_f32(1);
+    let (pwe32_8t_time, (pwe32_8t_stats, stream32_8t)) = run_compress_f32(8);
+    oracle::streams_bit_identical("f32 1-thread vs 8-thread container", &stream32, &stream32_8t)
+        .unwrap();
+    drop(stream32_8t);
+
+    // The widened path a compressor of f32 data paid before PR 9: widen
+    // every sample to f64 at ingest, then the f64 pipeline.
+    let (widened_8t_time, (widened_8t_stats, widened_stream)) = time_best_with(reps, || {
+        let wide = field32.widen();
+        let (stream, stats) = sperr8.compress_with_stats(&wide, Bound::Pwe(t)).unwrap();
+        (stats, stream)
+    });
+
+    // Decode side: native f32 decompress vs the widened path's decode
+    // (f64 decompress + narrow to the f32 samples the caller wanted).
+    let (dec32_8t_time, (rec32, dec32_stats)) =
+        time_best_with(reps, || sperr8.decompress_f32_with_stats(&stream32).unwrap());
+    let max_err32 = field32
+        .data
+        .iter()
+        .zip(&rec32.data)
+        .map(|(&a, &b)| (a as f64 - b as f64).abs())
+        .fold(0.0f64, f64::max);
+    let allowed32 = t * (1.0 + 1e-5) + field32.range() * 1e-5;
+    assert!(max_err32 <= allowed32, "f32 PWE bound violated: {max_err32} > {allowed32}");
+    drop(rec32);
+    let (dec_widened_time, narrowed) = time_best_with(reps, || {
+        sperr8.decompress_with_stats(&widened_stream).unwrap().0.narrow_lossy()
+    });
+    assert_eq!(narrowed.data.len(), points);
+    drop((narrowed, widened_stream));
+
+    // Size-bounded twin: in PWE mode the SPECK coder — whose coding
+    // passes are width-independent by design (they run on quantized
+    // indices, the same integers at either width) — dominates
+    // end-to-end time, capping how much native width can show (~1.1×).
+    // In BPP mode coding terminates at the byte budget, so the
+    // bandwidth-bound front-end (wavelet, quantize, Morton gather)
+    // dominates and the native-width win is visible end-to-end.
+    let (bpp32_8t_time, bpp_stream32) = time_best_with(reps, || {
+        sperr8.compress_f32_with_stats(&field32, Bound::Bpp(bpp)).unwrap().0
+    });
+    let (bpp_widened_8t_time, _) = time_best_with(reps, || {
+        let wide = field32.widen();
+        sperr8.compress_with_stats(&wide, Bound::Bpp(bpp)).unwrap().0.len()
+    });
+    assert!(sperr8.decompress_f32(&bpp_stream32).unwrap().data.len() == points);
+    drop(bpp_stream32);
+
+    // Coarse-tolerance twin: archive-grade tolerance (range·1e-2, the
+    // climate-archive regime) — fewer bitplanes, but the coder's
+    // per-coefficient pass structure keeps PWE-mode end-to-end close to
+    // width-independent; recorded to make that honest.
+    let t_coarse = field.range() * 1e-2;
+    let (coarse_8t_time, _) = time_best_with(reps, || {
+        sperr8.compress_with_stats(&field, Bound::Pwe(t_coarse)).unwrap()
+    });
+    let (coarse32_8t_time, coarse_stream32) = time_best_with(reps, || {
+        sperr8.compress_f32_with_stats(&field32, Bound::Pwe(t_coarse)).unwrap().0
+    });
+    let (coarse_widened_8t_time, _) = time_best_with(reps, || {
+        let wide = field32.widen();
+        sperr8.compress_with_stats(&wide, Bound::Pwe(t_coarse)).unwrap().0.len()
+    });
+    let coarse_rec32 = sperr8.decompress_f32(&coarse_stream32).unwrap();
+    let coarse_err = field32
+        .data
+        .iter()
+        .zip(&coarse_rec32.data)
+        .map(|(&a, &b)| (a as f64 - b as f64).abs())
+        .fold(0.0f64, f64::max);
+    let coarse_allowed = t_coarse * (1.0 + 1e-5) + field32.range() * 1e-5;
+    assert!(coarse_err <= coarse_allowed, "coarse f32 PWE violated: {coarse_err} > {coarse_allowed}");
+    drop((coarse_rec32, coarse_stream32));
+    eprintln!(
+        "BPP 2.0 8t: f64 {:.3}s, f32 {:.3}s ({:.2}x vs f64, {:.2}x vs widened {:.3}s)",
+        bpp_8t_time.as_secs_f64(),
+        bpp32_8t_time.as_secs_f64(),
+        bpp_8t_time.as_secs_f64() / bpp32_8t_time.as_secs_f64(),
+        bpp_widened_8t_time.as_secs_f64() / bpp32_8t_time.as_secs_f64(),
+        bpp_widened_8t_time.as_secs_f64(),
+    );
+    eprintln!(
+        "coarse PWE (range*1e-2) 8t: f64 {:.3}s, f32 {:.3}s ({:.2}x vs f64, \
+         {:.2}x vs widened {:.3}s)",
+        coarse_8t_time.as_secs_f64(),
+        coarse32_8t_time.as_secs_f64(),
+        coarse_8t_time.as_secs_f64() / coarse32_8t_time.as_secs_f64(),
+        coarse_widened_8t_time.as_secs_f64() / coarse32_8t_time.as_secs_f64(),
+        coarse_widened_8t_time.as_secs_f64(),
+    );
+    eprintln!(
+        "f32 twins: zaxis {:.3}s ({:.2}x), speck enc {:.3}s ({:.2}x) dec {:.3}s ({:.2}x)",
+        blocked_f32.as_secs_f64(),
+        blocked.as_secs_f64() / blocked_f32.as_secs_f64(),
+        speck32_enc_time.as_secs_f64(),
+        speck_enc_time.as_secs_f64() / speck32_enc_time.as_secs_f64(),
+        speck32_dec_time.as_secs_f64(),
+        speck_dec_time.as_secs_f64() / speck32_dec_time.as_secs_f64(),
+    );
+    eprintln!(
+        "f32 end-to-end: compress 1t {:.3}s ({:.2}x vs f64), 8t {:.3}s ({:.2}x vs f64, \
+         {:.2}x vs widened {:.3}s), decompress {:.3}s ({:.2}x vs f64, {:.2}x vs widened {:.3}s)",
+        pwe32_1t_time.as_secs_f64(),
+        pwe_1t_time.as_secs_f64() / pwe32_1t_time.as_secs_f64(),
+        pwe32_8t_time.as_secs_f64(),
+        pwe_8t_time.as_secs_f64() / pwe32_8t_time.as_secs_f64(),
+        widened_8t_time.as_secs_f64() / pwe32_8t_time.as_secs_f64(),
+        widened_8t_time.as_secs_f64(),
+        dec32_8t_time.as_secs_f64(),
+        dec_8t_time.as_secs_f64() / dec32_8t_time.as_secs_f64(),
+        dec_widened_time.as_secs_f64() / dec32_8t_time.as_secs_f64(),
+        dec_widened_time.as_secs_f64(),
+    );
+
     // --- random access on a multi-chunk container (PR 8) -----------------
     // Half-extent chunks partition the volume into 8, so the 1/8 bbox
     // (half per axis) intersects exactly one chunk and the measured
@@ -730,6 +946,62 @@ fn run_benchmarks(dims: [usize; 3], smoke: bool) -> Json {
             "region_full_vs_decompress",
             Json::Num(multi_dec_time.as_secs_f64() / region_full_time.as_secs_f64()),
         ),
+        (
+            "zaxis_f32_vs_f64",
+            Json::Num(blocked.as_secs_f64() / blocked_f32.as_secs_f64()),
+        ),
+        (
+            "speck_encode_f32_vs_f64",
+            Json::Num(speck_enc_time.as_secs_f64() / speck32_enc_time.as_secs_f64()),
+        ),
+        (
+            "speck_decode_f32_vs_f64",
+            Json::Num(speck_dec_time.as_secs_f64() / speck32_dec_time.as_secs_f64()),
+        ),
+        (
+            "kernel_split_f32_vs_f64",
+            Json::Num(k_split.as_secs_f64() / k_split_f32.as_secs_f64()),
+        ),
+        (
+            "kernel_lift_f32_vs_f64",
+            Json::Num(k_lift.as_secs_f64() / k_lift_f32.as_secs_f64()),
+        ),
+        (
+            "pwe_f32_vs_f64_1t",
+            Json::Num(pwe_1t_time.as_secs_f64() / pwe32_1t_time.as_secs_f64()),
+        ),
+        (
+            "pwe_f32_vs_f64_8t",
+            Json::Num(pwe_8t_time.as_secs_f64() / pwe32_8t_time.as_secs_f64()),
+        ),
+        (
+            "pwe_f32_vs_widened_8t",
+            Json::Num(widened_8t_time.as_secs_f64() / pwe32_8t_time.as_secs_f64()),
+        ),
+        (
+            "pwe_f32_decompress_vs_f64_8t",
+            Json::Num(dec_8t_time.as_secs_f64() / dec32_8t_time.as_secs_f64()),
+        ),
+        (
+            "pwe_f32_decompress_vs_widened_8t",
+            Json::Num(dec_widened_time.as_secs_f64() / dec32_8t_time.as_secs_f64()),
+        ),
+        (
+            "bpp_f32_vs_f64_8t",
+            Json::Num(bpp_8t_time.as_secs_f64() / bpp32_8t_time.as_secs_f64()),
+        ),
+        (
+            "bpp_f32_vs_widened_8t",
+            Json::Num(bpp_widened_8t_time.as_secs_f64() / bpp32_8t_time.as_secs_f64()),
+        ),
+        (
+            "pwe_coarse_f32_vs_f64_8t",
+            Json::Num(coarse_8t_time.as_secs_f64() / coarse32_8t_time.as_secs_f64()),
+        ),
+        (
+            "pwe_coarse_f32_vs_widened_8t",
+            Json::Num(coarse_widened_8t_time.as_secs_f64() / coarse32_8t_time.as_secs_f64()),
+        ),
         ("pre_pr_bit_identical", Json::Bool(bit_identical)),
     ]);
 
@@ -742,7 +1014,7 @@ fn run_benchmarks(dims: [usize; 3], smoke: bool) -> Json {
     let chunk_count = meta_sperr.chunk_count(dims);
 
     Json::obj(vec![
-        ("schema", Json::Str("sperr-bench-pr8/v1".into())),
+        ("schema", Json::Str("sperr-bench-pr9/v1".into())),
         ("smoke", Json::Bool(smoke)),
         ("host_threads", Json::Num(host_threads as f64)),
         ("effective_workers", Json::Num(effective_workers as f64)),
@@ -768,6 +1040,41 @@ fn run_benchmarks(dims: [usize; 3], smoke: bool) -> Json {
                 workload("pwe_compress_8t", points, pwe_8t_time, Some(&pwe_8t_stats.stage_times)),
                 workload("bpp_compress_8t", points, bpp_8t_time, Some(&bpp_8t_stats.stage_times)),
                 workload("pwe_decompress_8t", points, dec_8t_time, Some(&dec_stats.stage_times)),
+                workload("zaxis_pass_blocked_f32", points, blocked_f32, None),
+                workload("speck_encode_f32", points, speck32_enc_time, None),
+                workload("speck_decode_f32", points, speck32_dec_time, None),
+                workload("kernel_sign_magnitude_split_f32", points, k_split_f32, None),
+                workload("kernel_lift_pairs_f32", points / 2, k_lift_f32, None),
+                workload(
+                    "pwe_compress_f32_1t",
+                    points,
+                    pwe32_1t_time,
+                    Some(&pwe32_1t_stats.stage_times),
+                ),
+                workload(
+                    "pwe_compress_f32_8t",
+                    points,
+                    pwe32_8t_time,
+                    Some(&pwe32_8t_stats.stage_times),
+                ),
+                workload(
+                    "pwe_compress_widened_8t",
+                    points,
+                    widened_8t_time,
+                    Some(&widened_8t_stats.stage_times),
+                ),
+                workload(
+                    "pwe_decompress_f32_8t",
+                    points,
+                    dec32_8t_time,
+                    Some(&dec32_stats.stage_times),
+                ),
+                workload("pwe_decompress_widened_8t", points, dec_widened_time, None),
+                workload("bpp_compress_f32_8t", points, bpp32_8t_time, None),
+                workload("bpp_compress_widened_8t", points, bpp_widened_8t_time, None),
+                workload("pwe_coarse_compress_8t", points, coarse_8t_time, None),
+                workload("pwe_coarse_compress_f32_8t", points, coarse32_8t_time, None),
+                workload("pwe_coarse_compress_widened_8t", points, coarse_widened_8t_time, None),
                 workload("pwe_decompress_8chunk", points, multi_dec_time, None),
                 workload("decode_region_1pct", region_1pct_pts, region_1pct_time, None),
                 workload("decode_region_eighth", region_eighth_pts, region_eighth_time, None),

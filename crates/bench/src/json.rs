@@ -389,6 +389,27 @@ pub fn validate_bench_artifact(text: &str) -> Result<(), String> {
             "region_full_vs_decompress",
         ]);
     }
+    // PR 9 artifacts additionally pin the f32-native ratios: the twins
+    // against the f64 pipeline (the ≥1 floor keys) and against the
+    // widened path (the 1.5× end-to-end acceptance target).
+    if pr.is_some_and(|n| n >= 9) {
+        required.extend([
+            "zaxis_f32_vs_f64",
+            "speck_encode_f32_vs_f64",
+            "speck_decode_f32_vs_f64",
+            "kernel_split_f32_vs_f64",
+            "kernel_lift_f32_vs_f64",
+            "pwe_f32_vs_f64_1t",
+            "pwe_f32_vs_f64_8t",
+            "pwe_f32_vs_widened_8t",
+            "pwe_f32_decompress_vs_f64_8t",
+            "pwe_f32_decompress_vs_widened_8t",
+            "pwe_coarse_f32_vs_f64_8t",
+            "pwe_coarse_f32_vs_widened_8t",
+            "bpp_f32_vs_f64_8t",
+            "bpp_f32_vs_widened_8t",
+        ]);
+    }
     for key in required {
         match derived.get(key).and_then(Json::as_num) {
             Some(n) if n > 0.0 => {}
@@ -690,6 +711,72 @@ mod tests {
             ],
         ))
         .is_ok());
+    }
+
+    #[test]
+    fn pr9_schema_demands_f32_ratios() {
+        // The pr8 requirement set is not enough under the pr9 tag: the
+        // f32-native twin ratios must all be present and positive.
+        let region = vec![
+            ("region_1pct_speedup_vs_full", Json::Num(6.0)),
+            ("region_eighth_speedup_vs_full", Json::Num(5.5)),
+            ("region_full_vs_decompress", Json::Num(1.0)),
+        ];
+        let f32_keys = vec![
+            ("zaxis_f32_vs_f64", Json::Num(1.6)),
+            ("speck_encode_f32_vs_f64", Json::Num(1.1)),
+            ("speck_decode_f32_vs_f64", Json::Num(1.1)),
+            ("kernel_split_f32_vs_f64", Json::Num(1.8)),
+            ("kernel_lift_f32_vs_f64", Json::Num(1.9)),
+            ("pwe_f32_vs_f64_1t", Json::Num(1.2)),
+            ("pwe_f32_vs_f64_8t", Json::Num(1.2)),
+            ("pwe_f32_vs_widened_8t", Json::Num(1.6)),
+            ("pwe_f32_decompress_vs_f64_8t", Json::Num(1.2)),
+            ("pwe_f32_decompress_vs_widened_8t", Json::Num(1.5)),
+            ("pwe_coarse_f32_vs_f64_8t", Json::Num(1.5)),
+            ("pwe_coarse_f32_vs_widened_8t", Json::Num(1.7)),
+            ("bpp_f32_vs_f64_8t", Json::Num(1.6)),
+            ("bpp_f32_vs_widened_8t", Json::Num(1.8)),
+        ];
+        let build = |schema: &str, extra_derived: Vec<(&str, Json)>| {
+            let mut derived = vec![
+                ("zaxis_blocked_vs_per_line", Json::Num(1.4)),
+                ("pwe_8t_vs_pre_pr_1t", Json::Num(2.5)),
+                ("speck_encode_vs_pr2", Json::Num(3.5)),
+                ("speck_decode_vs_pr2", Json::Num(2.2)),
+                ("speck_encode_vs_pr4", Json::Num(2.0)),
+                ("speck_decode_vs_pr4", Json::Num(1.0)),
+                ("kernel_split_vs_scalar", Json::Num(1.5)),
+                ("kernel_scan_vs_scalar", Json::Num(3.0)),
+                ("kernel_lift_vs_scalar", Json::Num(1.1)),
+                ("kernel_refine_vs_scalar", Json::Num(2.0)),
+            ];
+            derived.extend(extra_derived);
+            Json::obj(vec![
+                ("schema", Json::Str(schema.into())),
+                ("host_threads", Json::Num(8.0)),
+                ("effective_workers", Json::Num(8.0)),
+                ("chunk_count", Json::Num(1.0)),
+                ("points", Json::Num(64.0)),
+                ("dims", Json::Arr(vec![Json::Num(4.0), Json::Num(4.0), Json::Num(4.0)])),
+                (
+                    "workloads",
+                    Json::Arr(vec![Json::obj(vec![
+                        ("name", Json::Str("x".into())),
+                        ("mb_per_s", Json::Num(10.0)),
+                    ])]),
+                ),
+                ("derived", Json::obj(derived)),
+            ])
+            .render()
+        };
+        assert!(validate_bench_artifact(&build("sperr-bench-pr8/v1", region.clone())).is_ok());
+        assert!(validate_bench_artifact(&build("sperr-bench-pr9/v1", region.clone()))
+            .unwrap_err()
+            .contains("f32_vs_f64"));
+        let mut full = region;
+        full.extend(f32_keys);
+        assert!(validate_bench_artifact(&build("sperr-bench-pr9/v1", full)).is_ok());
     }
 
     #[test]

@@ -98,21 +98,29 @@ const USAGE: &str = "\
 sperr — lossy scientific data compression (SPERR reproduction)
 
 USAGE:
-  sperr compress   --input RAW --output SPERR --dims NX,NY[,NZ] --type f32|f64
+  sperr compress   --input RAW --output SPERR --dims NX,NY[,NZ] [--dtype f32|f64]
                    (--pwe T | --idx N | --bpp R | --psnr P)
                    [--chunk CX,CY,CZ] [--threads N] [--q-factor F] [--no-lossless]
                    [--stream] [--in-flight N] [--verbose] [--stats] [--trace FILE]
-  sperr decompress --input SPERR --output RAW --type f32|f64 [--level L]
+  sperr decompress --input SPERR --output RAW [--dtype f32|f64] [--level L]
                    [--region X0:X1,Y0:Y1,Z0:Z1] [--preview-bpp R]
                    [--stream] [--in-flight N] [--resilient]
                    [--threads N] [--verbose] [--stats] [--trace FILE]
   sperr info       --input SPERR [--verify] [--verbose]
-  sperr gen        --field NAME --dims NX,NY[,NZ] --output RAW --type f32|f64 [--seed S]
-  sperr eval       --original RAW --reconstructed RAW --dims NX,NY[,NZ] --type f32|f64
+  sperr gen        --field NAME --dims NX,NY[,NZ] --output RAW [--dtype f32|f64] [--seed S]
+  sperr eval       --original RAW --reconstructed RAW --dims NX,NY[,NZ] [--dtype f32|f64]
 
 Bounds: --pwe is an absolute point-wise error tolerance; --idx N sets it to
 range/2^N (paper Table I); --bpp targets a size in bits per point (no error
 guarantee); --psnr targets an average error in dB.
+
+Precision: --dtype names the raw file's scalar width (--type is the legacy
+spelling); when omitted it is inferred from a .f32/.f64 file extension.
+f32 inputs compress through the native single-precision pipeline (streams
+decode back to f32, half the memory traffic); f64 inputs through the
+double-precision one. Decompression defaults its output width to the
+stream's recorded precision, and refuses to narrow f64 data to f32 output
+unless --dtype f32 is given explicitly.
 
 Random access: --region decodes only the chunks intersecting the given
 half-open voxel box (axes left out default to 0:1) and writes just that
@@ -342,6 +350,59 @@ fn print_telemetry_stats(report: &sperr_telemetry::Report) {
     }
 }
 
+/// Infers the raw-file scalar type from a `.f32` / `.f64` file extension.
+fn infer_dtype(path: &str) -> Option<ScalarType> {
+    match Path::new(path).extension()?.to_str()? {
+        "f32" => Some(ScalarType::F32),
+        "f64" => Some(ScalarType::F64),
+        _ => None,
+    }
+}
+
+/// Resolves the raw-file scalar type: an explicit `--dtype` (or the legacy
+/// `--type` spelling) wins, else the extension of `path` decides. Returns
+/// the type and whether it was explicit — lossy narrowing on output is
+/// only allowed when it was.
+fn resolve_dtype(args: &Args, path: &str) -> Result<Option<(ScalarType, bool)>, String> {
+    if let Some(s) = args.opt("dtype").or_else(|| args.opt("type")) {
+        return Ok(Some((parse_type(s)?, true)));
+    }
+    Ok(infer_dtype(path).map(|t| (t, false)))
+}
+
+/// Like [`resolve_dtype`] but required: errors when neither flag nor
+/// extension names a type.
+fn require_dtype(args: &Args, path: &str) -> Result<(ScalarType, bool), CliError> {
+    resolve_dtype(args, path)?.ok_or_else(|| {
+        CliError::Usage(format!(
+            "cannot tell f32 from f64 for {path}: pass --dtype f32|f64 \
+             (or use a .f32/.f64 file extension)"
+        ))
+    })
+}
+
+/// Parses the bound options; `tol_for_idx` supplies the Table I
+/// range/2^idx translation when `--idx` is given (it needs the data).
+fn parse_bound(
+    args: &Args,
+    tol_for_idx: impl FnOnce(u32) -> f64,
+) -> Result<Bound, CliError> {
+    match (
+        args.opt_f64("pwe")?,
+        args.opt_usize("idx")?,
+        args.opt_f64("bpp")?,
+        args.opt_f64("psnr")?,
+    ) {
+        (Some(t), None, None, None) => Ok(Bound::Pwe(t)),
+        (None, Some(idx), None, None) => Ok(Bound::Pwe(tol_for_idx(idx as u32))),
+        (None, None, Some(r), None) => Ok(Bound::Bpp(r)),
+        (None, None, None, Some(p)) => Ok(Bound::Psnr(p)),
+        _ => Err(CliError::Usage(
+            "give exactly one of --pwe, --idx, --bpp, --psnr".into(),
+        )),
+    }
+}
+
 fn build_sperr(args: &Args) -> Result<Sperr, String> {
     let mut cfg = SperrConfig::default();
     if let Some(chunk) = args.opt_dims("chunk")? {
@@ -374,33 +435,31 @@ fn cmd_compress(args: &Args) -> Result<(), CliError> {
     let input = Path::new(&input_arg).to_path_buf();
     let output = Path::new(&output_arg).to_path_buf();
     let dims = args.req_dims("dims")?;
-    let ty = parse_type(args.req("type")?)?;
-    let field = rawio::read_field(&input, dims, ty).map_err(|e| CliError::Io(e.to_string()))?;
-
-    let bound = match (
-        args.opt_f64("pwe")?,
-        args.opt_usize("idx")?,
-        args.opt_f64("bpp")?,
-        args.opt_f64("psnr")?,
-    ) {
-        (Some(t), None, None, None) => Bound::Pwe(t),
-        (None, Some(idx), None, None) => Bound::Pwe(field.tolerance_for_idx(idx as u32)),
-        (None, None, Some(r), None) => Bound::Bpp(r),
-        (None, None, None, Some(p)) => Bound::Psnr(p),
-        _ => {
-            return Err(CliError::Usage(
-                "give exactly one of --pwe, --idx, --bpp, --psnr".into(),
-            ))
-        }
-    };
+    let (ty, _) = require_dtype(args, &input_arg)?;
+    let n: usize = dims.iter().product();
 
     let sperr = build_sperr(args)?;
     let scope = TelemetryScope::begin(args);
-    let (stream, stats) = sperr.compress_with_stats(&field, bound)?;
+    // f32 inputs run the native-width pipeline (tag-2 streams that decode
+    // back to f32); f64 inputs run the double-precision path.
+    let (stream, stats) = match ty {
+        ScalarType::F32 => {
+            let field = rawio::read_field_f32(&input, dims)
+                .map_err(|e| CliError::Io(e.to_string()))?;
+            let bound = parse_bound(args, |idx| field.tolerance_for_idx(idx))?;
+            sperr.compress_f32_with_stats(&field, bound)?
+        }
+        ScalarType::F64 => {
+            let field = rawio::read_field(&input, dims, ty)
+                .map_err(|e| CliError::Io(e.to_string()))?;
+            let bound = parse_bound(args, |idx| field.tolerance_for_idx(idx))?;
+            sperr.compress_with_stats(&field, bound)?
+        }
+    };
     scope.finish()?;
     std::fs::write(&output, &stream).map_err(|e| CliError::Io(e.to_string()))?;
     if !args.flag("quiet") {
-        let raw = field.len() * match ty { ScalarType::F32 => 4, ScalarType::F64 => 8 };
+        let raw = n * match ty { ScalarType::F32 => 4, ScalarType::F64 => 8 };
         println!(
             "{} -> {}: {} -> {} bytes ({:.2}x, {:.3} bpp; speck {:.3} bpp, outliers {:.3} bpp / {})",
             input.display(),
@@ -414,7 +473,7 @@ fn cmd_compress(args: &Args) -> Result<(), CliError> {
             stats.num_outliers,
         );
         if args.flag("verbose") {
-            print_stage_times(&stats.stage_times, field.len());
+            print_stage_times(&stats.stage_times, n);
         }
     }
     Ok(())
@@ -424,11 +483,7 @@ fn cmd_compress(args: &Args) -> Result<(), CliError> {
 /// stream out to a file or stdout, bounded raw-chunk memory throughout.
 fn cmd_compress_stream(args: &Args, input: &str, output: &str) -> Result<(), CliError> {
     let dims = args.req_dims("dims")?;
-    let ty = parse_type(args.req("type")?)?;
-    let precision = match ty {
-        ScalarType::F32 => Precision::Single,
-        ScalarType::F64 => Precision::Double,
-    };
+    let (ty, _) = require_dtype(args, input)?;
     let bound = match (
         args.opt_f64("pwe")?,
         args.opt_usize("idx")?,
@@ -460,7 +515,15 @@ fn cmd_compress_stream(args: &Args, input: &str, output: &str) -> Result<(), Cli
     let scope = TelemetryScope::begin(args);
     let reader = open_reader(input)?;
     let writer = open_writer(output)?;
-    let report = sperr.compress_stream(reader, writer, dims, precision, bound)?;
+    // f32 wires stream through the native-width pipeline (tag-2 output,
+    // byte-identical to the in-memory compress_f32); f64 through the
+    // double-precision one.
+    let report = match ty {
+        ScalarType::F32 => sperr.compress_stream_f32(reader, writer, dims, bound)?,
+        ScalarType::F64 => {
+            sperr.compress_stream(reader, writer, dims, Precision::Double, bound)?
+        }
+    };
     scope.finish()?;
     stream_say(
         output,
@@ -492,11 +555,12 @@ fn cmd_compress_stream(args: &Args, input: &str, output: &str) -> Result<(), Cli
 /// chunks bounded by the in-flight budget. `--resilient` zero-fills
 /// corrupt chunks and keeps the stream going instead of failing.
 fn cmd_decompress_stream(args: &Args, input: &str, output: &str) -> Result<(), CliError> {
-    let ty = parse_type(args.req("type")?)?;
-    let precision = match ty {
+    // Wire precision: explicit --dtype/--type or the output extension;
+    // when neither is given the stream's own precision decides.
+    let precision = resolve_dtype(args, output)?.map(|(ty, _)| match ty {
         ScalarType::F32 => Precision::Single,
         ScalarType::F64 => Precision::Double,
-    };
+    });
     if args.opt_usize("level")?.unwrap_or(0) > 0 {
         return Err(CliError::Usage(
             "--level (multiresolution) needs random access; not available in streaming mode"
@@ -516,7 +580,7 @@ fn cmd_decompress_stream(args: &Args, input: &str, output: &str) -> Result<(), C
     let writer = open_writer(output)?;
     let quiet = args.flag("quiet");
     let report = if args.flag("resilient") {
-        let res = sperr.decompress_stream_resilient(reader, writer, Some(precision))?;
+        let res = sperr.decompress_stream_resilient(reader, writer, precision)?;
         let bad: Vec<usize> = res
             .statuses
             .iter()
@@ -533,7 +597,7 @@ fn cmd_decompress_stream(args: &Args, input: &str, output: &str) -> Result<(), C
         }
         res.report
     } else {
-        sperr.decompress_stream(reader, writer, Some(precision))?
+        sperr.decompress_stream(reader, writer, precision)?
     };
     scope.finish()?;
     stream_say(
@@ -564,7 +628,7 @@ fn cmd_decompress(args: &Args) -> Result<(), CliError> {
     }
     let input = Path::new(&input_arg).to_path_buf();
     let output = Path::new(&output_arg).to_path_buf();
-    let ty = parse_type(args.req("type")?)?;
+    let dtype = resolve_dtype(args, &output_arg)?;
     let level = args.opt_usize("level")?.unwrap_or(0);
     let region = args.opt_region("region")?;
     let preview_bpp = args.opt_f64("preview-bpp")?;
@@ -576,10 +640,43 @@ fn cmd_decompress(args: &Args) -> Result<(), CliError> {
     }
     let stream = std::fs::read(&input).map_err(|e| CliError::Io(e.to_string()))?;
     let sperr = build_sperr(args)?;
+    let info = sperr.inspect(&stream)?;
+    // Output type defaults to the stream's own precision.
+    let (ty, explicit) = dtype.unwrap_or((
+        match info.precision {
+            Precision::Single => ScalarType::F32,
+            Precision::Double => ScalarType::F64,
+        },
+        false,
+    ));
     // Per-stage times only exist for the full-resolution path; multires,
     // region and preview decodes skip stages, so their timings would not
     // be comparable.
     let verbose = args.flag("verbose") && exclusive == 0;
+
+    // f32-native streams headed to f32 output decode at native width —
+    // the samples never materialize as f64.
+    if info.native_f32 && ty == ScalarType::F32 && exclusive == 0 {
+        let scope = TelemetryScope::begin(args);
+        let (field, stats) = sperr.decompress_f32_with_stats(&stream)?;
+        scope.finish()?;
+        rawio::write_field_f32(&output, &field).map_err(|e| CliError::Io(e.to_string()))?;
+        if !args.flag("quiet") {
+            println!(
+                "{} -> {}: {}x{}x{} F32 (native)",
+                input.display(),
+                output.display(),
+                field.dims[0],
+                field.dims[1],
+                field.dims[2],
+            );
+            if verbose {
+                print_stage_times(&stats.stage_times, field.len());
+            }
+        }
+        return Ok(());
+    }
+
     let scope = TelemetryScope::begin(args);
     let mut note = String::new();
     let (field, stats) = if let Some((lo, hi)) = region {
@@ -613,7 +710,7 @@ fn cmd_decompress(args: &Args) -> Result<(), CliError> {
         (sperr.decompress_multires(&stream, level)?, None)
     };
     scope.finish()?;
-    rawio::write_field(&output, &field, ty).map_err(|e| CliError::Io(e.to_string()))?;
+    rawio::write_field(&output, &field, ty, explicit).map_err(|e| CliError::Io(e.to_string()))?;
     if !args.flag("quiet") {
         if level > 0 {
             note = format!(" (resolution level {level})");
@@ -643,6 +740,15 @@ fn cmd_info(args: &Args) -> Result<(), CliError> {
     println!("format:      container v{}", info.version);
     println!("stream:      {} bytes (lossless pass: {})", stream.len(), info.lossless);
     println!("dims:        {}x{}x{}", info.dims[0], info.dims[1], info.dims[2]);
+    let prec = if info.native_f32 {
+        "f32 (native payload)"
+    } else {
+        match info.precision {
+            sperr_compress_api::Precision::Single => "f32 source (legacy f64 payload)",
+            sperr_compress_api::Precision::Double => "f64",
+        }
+    };
+    println!("precision:   {prec}");
     println!("chunks:      {} of {}x{}x{}", info.n_chunks, info.chunk_dims[0], info.chunk_dims[1], info.chunk_dims[2]);
     let (mode, unit) = match info.mode {
         sperr_core::Mode::Pwe => ("PWE-bounded", "tolerance"),
@@ -734,11 +840,14 @@ fn field_by_name(name: &str) -> Result<SyntheticField, String> {
 fn cmd_gen(args: &Args) -> Result<(), CliError> {
     let name = args.req("field")?;
     let dims = args.req_dims("dims")?;
-    let output = Path::new(args.req("output")?).to_path_buf();
-    let ty = parse_type(args.req("type")?)?;
+    let output_arg = args.req("output")?.to_string();
+    let output = Path::new(&output_arg).to_path_buf();
+    let (ty, _) = require_dtype(args, &output_arg)?;
     let seed = args.opt_usize("seed")?.unwrap_or(42) as u64;
     let field = field_by_name(name)?.generate(dims, seed);
-    rawio::write_field(&output, &field, ty).map_err(|e| CliError::Io(e.to_string()))?;
+    // Generating raw test data at a requested width is a sanctioned
+    // narrowing — there is no "original" being degraded.
+    rawio::write_field(&output, &field, ty, true).map_err(|e| CliError::Io(e.to_string()))?;
     if !args.flag("quiet") {
         let msg = format!(
             "generated {name} {}x{}x{} (range {:.4e}) -> {}",
@@ -760,7 +869,7 @@ fn cmd_gen(args: &Args) -> Result<(), CliError> {
 
 fn cmd_eval(args: &Args) -> Result<(), CliError> {
     let dims = args.req_dims("dims")?;
-    let ty = parse_type(args.req("type")?)?;
+    let (ty, _) = require_dtype(args, args.req("original")?)?;
     let a = rawio::read_field(Path::new(args.req("original")?), dims, ty)
         .map_err(|e| CliError::Io(e.to_string()))?;
     let b = rawio::read_field(Path::new(args.req("reconstructed")?), dims, ty)
@@ -1168,6 +1277,116 @@ mod tests {
             v.extend_from_slice(extra);
             assert!(matches!(run(&w(&v)), Err(CliError::Usage(_))), "{extra:?}");
         }
+    }
+
+    #[test]
+    fn f32_extension_routes_native_path_and_roundtrips() {
+        // .f32 in/out with no --dtype: the type is inferred, the stream is
+        // f32-native (tag 2), and the restored samples come back through
+        // the native decoder with the PWE guarantee intact.
+        let dir = std::env::temp_dir().join("sperr_cli_f32_native_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let raw = dir.join("x.f32");
+        let packed = dir.join("x.sperr");
+        let restored = dir.join("y.f32");
+        run(&w(&["gen", "--field", "miranda-pressure", "--dims", "24,24,16",
+                 "--output", raw.to_str().unwrap(), "--quiet"]))
+            .unwrap();
+        run(&w(&["compress", "--input", raw.to_str().unwrap(), "--output",
+                 packed.to_str().unwrap(), "--dims", "24,24,16",
+                 "--pwe", "1e-2", "--chunk", "16,16,16", "--quiet"]))
+            .unwrap();
+        let info = Sperr::new(SperrConfig::default())
+            .inspect(&std::fs::read(&packed).unwrap())
+            .unwrap();
+        assert!(info.native_f32, "f32 input must produce a tag-2 stream");
+        run(&w(&["info", "--input", packed.to_str().unwrap()])).unwrap();
+        run(&w(&["decompress", "--input", packed.to_str().unwrap(), "--output",
+                 restored.to_str().unwrap(), "--quiet"]))
+            .unwrap();
+        let a = rawio::read_field_f32(&raw, [24, 24, 16]).unwrap();
+        let b = rawio::read_field_f32(&restored, [24, 24, 16]).unwrap();
+        let worst = a
+            .data
+            .iter()
+            .zip(&b.data)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0f32, f32::max);
+        assert!(worst as f64 <= 1e-2 * 1.001, "PWE violated: {worst}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn streaming_f32_matches_in_memory_native_path() {
+        let dir = std::env::temp_dir().join("sperr_cli_f32_stream_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let raw = dir.join("x.f32");
+        let packed = dir.join("mem.sperr");
+        let packed_stream = dir.join("stream.sperr");
+        run(&w(&["gen", "--field", "s3d-ch4", "--dims", "40,28,20", "--output",
+                 raw.to_str().unwrap(), "--quiet"]))
+            .unwrap();
+        run(&w(&["compress", "--input", raw.to_str().unwrap(), "--output",
+                 packed.to_str().unwrap(), "--dims", "40,28,20",
+                 "--pwe", "1e-3", "--chunk", "16,16,16", "--quiet"]))
+            .unwrap();
+        run(&w(&["compress", "--input", raw.to_str().unwrap(), "--output",
+                 packed_stream.to_str().unwrap(), "--dims", "40,28,20",
+                 "--pwe", "1e-3", "--chunk", "16,16,16", "--threads", "4",
+                 "--stream", "--quiet"]))
+            .unwrap();
+        assert_eq!(
+            std::fs::read(&packed).unwrap(),
+            std::fs::read(&packed_stream).unwrap(),
+            "streaming f32 output must match the in-memory native path"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lossy_narrowing_to_f32_requires_explicit_dtype() {
+        let dir = std::env::temp_dir().join("sperr_cli_narrow_guard_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let raw = dir.join("x.f64");
+        let packed = dir.join("x.sperr");
+        run(&w(&["gen", "--field", "qmcpack", "--dims", "16,16,16", "--output",
+                 raw.to_str().unwrap(), "--quiet"]))
+            .unwrap();
+        run(&w(&["compress", "--input", raw.to_str().unwrap(), "--output",
+                 packed.to_str().unwrap(), "--dims", "16,16,16",
+                 "--idx", "12", "--quiet"]))
+            .unwrap();
+        // Inferred f32 output from a .f32 extension on an f64 stream: refused.
+        let err = run(&w(&["decompress", "--input", packed.to_str().unwrap(),
+                           "--output", dir.join("y.f32").to_str().unwrap(),
+                           "--quiet"]))
+            .unwrap_err();
+        assert!(matches!(&err, CliError::Io(_)), "{err:?}");
+        // Explicit --dtype f32 overrides.
+        run(&w(&["decompress", "--input", packed.to_str().unwrap(), "--output",
+                 dir.join("y.f32").to_str().unwrap(), "--dtype", "f32",
+                 "--quiet"]))
+            .unwrap();
+        // No dtype, no extension: defaults to the stream precision (f64).
+        let plain = dir.join("y.raw");
+        run(&w(&["decompress", "--input", packed.to_str().unwrap(), "--output",
+                 plain.to_str().unwrap(), "--quiet"]))
+            .unwrap();
+        assert_eq!(
+            std::fs::metadata(&plain).unwrap().len(),
+            16 * 16 * 16 * 8,
+            "default output width must be the stream's f64"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn dtype_unresolvable_is_usage_error() {
+        let err = run(&w(&["compress", "--input", "/dev/null", "--output",
+                           "/dev/null", "--dims", "8,8,8", "--pwe", "0.1"]))
+            .unwrap_err();
+        assert!(matches!(&err, CliError::Usage(_)), "{err:?}");
+        assert_eq!(exit_code(&err), 2);
     }
 
     #[test]

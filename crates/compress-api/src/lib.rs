@@ -7,12 +7,14 @@
 //! compressor crate implements so the benchmark harness can treat them
 //! uniformly.
 
+use sperr_simd::Float;
 use std::fmt;
 
-/// Source precision of a field. All arithmetic here is `f64`; the marker
-/// records what the original data "was" so experiments can pick tolerance
-/// sweeps the way the paper does (idx up to ~30 for single, ~60 for
-/// double — §VI-C).
+/// Source precision of a field. The marker records what the original data
+/// "was" so experiments can pick tolerance sweeps the way the paper does
+/// (idx up to ~30 for single, ~60 for double — §VI-C). Since the
+/// float-generic pipeline landed, [`FieldOf<f32>`] fields also carry their
+/// samples natively at this width.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Precision {
     /// 32-bit origin: trailing-bit noise floor near 2^-24 of the range.
@@ -23,35 +25,45 @@ pub enum Precision {
 }
 
 /// A structured scalar field: a row-major 3D array (use `nz = 1` for 2D
-/// slices, `ny = nz = 1` for 1D), axis 0 fastest.
+/// slices, `ny = nz = 1` for 1D), axis 0 fastest. Generic over the sample
+/// width; [`Field`] is the `f64` alias the trait interface uses, and
+/// `FieldOf<f32>` carries single-precision data natively for the f32
+/// compression path.
 #[derive(Debug, Clone, PartialEq)]
-pub struct Field {
+pub struct FieldOf<T: Float = f64> {
     /// `[nx, ny, nz]`.
     pub dims: [usize; 3],
     /// `dims[0] * dims[1] * dims[2]` samples.
-    pub data: Vec<f64>,
+    pub data: Vec<T>,
     /// Source precision marker (see [`Precision`]).
     pub precision: Precision,
 }
 
-impl Field {
-    /// Creates a field, checking that `data` matches `dims`.
-    pub fn new(dims: [usize; 3], data: Vec<f64>) -> Self {
+/// The double-precision field the [`LossyCompressor`] trait interface
+/// exchanges (the historical `Field` type).
+pub type Field = FieldOf<f64>;
+
+impl<T: Float> FieldOf<T> {
+    /// Creates a field, checking that `data` matches `dims`. The precision
+    /// marker defaults to the sample width (`f32` data ⇒ `Single`).
+    pub fn new(dims: [usize; 3], data: Vec<T>) -> Self {
         assert_eq!(data.len(), dims[0] * dims[1] * dims[2], "data/dims mismatch");
-        Field { dims, data, precision: Precision::Double }
+        let precision = if T::BYTES == 4 { Precision::Single } else { Precision::Double };
+        FieldOf { dims, data, precision }
     }
 
-    /// Builds a field by evaluating `f(x, y, z)` over the grid.
+    /// Builds a field by evaluating `f(x, y, z)` over the grid. The
+    /// closure works in `f64`; narrower sample types round once on store.
     pub fn from_fn(dims: [usize; 3], mut f: impl FnMut(usize, usize, usize) -> f64) -> Self {
         let mut data = Vec::with_capacity(dims[0] * dims[1] * dims[2]);
         for z in 0..dims[2] {
             for y in 0..dims[1] {
                 for x in 0..dims[0] {
-                    data.push(f(x, y, z));
+                    data.push(T::from_f64(f(x, y, z)));
                 }
             }
         }
-        Field::new(dims, data)
+        FieldOf::new(dims, data)
     }
 
     /// Number of samples.
@@ -66,11 +78,12 @@ impl Field {
 
     /// `max − min` of the data — the paper's `Range` used to translate a
     /// tolerance label `idx` into an absolute PWE tolerance (Table I).
+    /// Always reported in `f64` (widening is exact for every sample type).
     pub fn range(&self) -> f64 {
         let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
         for &v in &self.data {
-            lo = lo.min(v);
-            hi = hi.max(v);
+            lo = lo.min(v.to_f64());
+            hi = hi.max(v.to_f64());
         }
         if lo > hi {
             0.0
@@ -89,6 +102,31 @@ impl Field {
     pub fn with_precision(mut self, p: Precision) -> Self {
         self.precision = p;
         self
+    }
+}
+
+impl FieldOf<f32> {
+    /// Widens to a double-precision field (exact for every sample); the
+    /// precision marker stays `Single` to record the f32 origin.
+    pub fn widen(&self) -> Field {
+        Field {
+            dims: self.dims,
+            data: self.data.iter().map(|&v| v as f64).collect(),
+            precision: Precision::Single,
+        }
+    }
+}
+
+impl Field {
+    /// Narrows to a single-precision field, rounding each sample once
+    /// (nearest-even). Deliberately explicit — nothing in the pipeline
+    /// narrows implicitly.
+    pub fn narrow_lossy(&self) -> FieldOf<f32> {
+        FieldOf {
+            dims: self.dims,
+            data: self.data.iter().map(|&v| v as f32).collect(),
+            precision: Precision::Single,
+        }
     }
 }
 
@@ -194,5 +232,19 @@ mod tests {
     #[should_panic(expected = "mismatch")]
     fn dims_mismatch_panics() {
         Field::new([2, 2, 2], vec![0.0; 7]);
+    }
+
+    #[test]
+    fn f32_field_defaults_single_and_widens_exactly() {
+        let f = FieldOf::<f32>::new([2, 2, 1], vec![-1.5, 3.25, 0.0, 1.0]);
+        assert_eq!(f.precision, Precision::Single);
+        assert_eq!(f.range(), 4.75);
+        let wide = f.widen();
+        assert_eq!(wide.precision, Precision::Single);
+        assert_eq!(wide.data, vec![-1.5, 3.25, 0.0, 1.0]);
+        // narrow_lossy is the sanctioned inverse on representable values.
+        assert_eq!(wide.narrow_lossy().data, f.data);
+        // f64 construction keeps its historical Double default.
+        assert_eq!(Field::new([1, 1, 1], vec![0.5]).precision, Precision::Double);
     }
 }

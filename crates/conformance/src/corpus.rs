@@ -162,6 +162,24 @@ impl CorpusInput {
     pub fn generate(&self) -> Field {
         self.gen.generate(self.dims, CORPUS_SEED)
     }
+
+    /// The f32 twin of [`CorpusInput::generate`]: the same deterministic
+    /// samples rounded once (nearest-even) to single precision — the
+    /// input the f32-native pipeline is held to.
+    pub fn generate_f32(&self) -> sperr_compress_api::FieldOf<f32> {
+        self.generate().narrow_lossy()
+    }
+}
+
+/// The PWE budget the f32-native SPERR path documents for tolerance `t`
+/// on a field of the given `range`: the tolerance itself plus
+/// single-precision round-off headroom. The wavelet/SPECK/outlier
+/// pipeline at f32 accumulates rounding of order `range × ε32` per
+/// lifting level; `range × 1e-5` (~84 ulps of the range) covers the
+/// deepest hierarchy in the corpus with margin while staying well below
+/// one tolerance decade, so the check still bites.
+pub fn f32_budget(t: f64, range: f64) -> f64 {
+    t * (1.0 + 1e-5) + range * 1e-5
 }
 
 /// The corpus matrix: two generators with very different compression
@@ -229,6 +247,26 @@ mod tests {
             assert_eq!(a.data, b.data, "{} not deterministic", input.id);
             assert!(a.range() > 0.0, "{} has zero range", input.id);
         }
+    }
+
+    #[test]
+    fn f32_corpus_is_deterministic_and_budget_is_meaningful() {
+        for input in corpus_inputs() {
+            let a = input.generate_f32();
+            let b = input.generate_f32();
+            assert!(
+                a.data.iter().zip(&b.data).all(|(x, y)| x.to_bits() == y.to_bits()),
+                "{} f32 twin not deterministic",
+                input.id
+            );
+        }
+        // The f32 budget must be looser than t (or rounding noise would
+        // fail spuriously) but tight enough to stay within the same
+        // tolerance decade — otherwise the check proves nothing.
+        let field = corpus_inputs()[2].generate_f32();
+        let t = field.tolerance_for_idx(15);
+        let allowed = f32_budget(t, field.range());
+        assert!(allowed > t && allowed < 10.0 * t, "f32 budget {allowed:e} vs t {t:e}");
     }
 
     #[test]

@@ -22,7 +22,8 @@
 //! legitimate.
 
 use crate::corpus::{
-    bound_tag, check_budget, corpus_inputs, documented_budget, golden_bounds, CodecId,
+    bound_tag, check_budget, corpus_inputs, documented_budget, f32_budget, golden_bounds,
+    CodecId, CorpusInput,
 };
 use crate::oracle::CheckFailure;
 use sperr_compress_api::{Bound, LossyCompressor};
@@ -36,7 +37,13 @@ use std::path::{Path, PathBuf};
 /// v2: the container grew a v3 chunk index; the 64 matrix streams stay
 /// pinned at container v2 bytes, and the set gained the indexed
 /// `fixture-v3.bin` plus its index CRC in the manifest.
-pub const GOLDEN_VERSION: u32 = 2;
+///
+/// v3: the set gained the f32-native streams (`f32_entry` manifest
+/// lines) — the 3D corpus inputs narrowed to single precision and
+/// encoded through `compress_f32` (precision tag 2, current indexed
+/// container). The 64 matrix streams and both fixtures are unchanged
+/// byte-for-byte from v2.
+pub const GOLDEN_VERSION: u32 = 3;
 
 /// Container version the 64 matrix goldens are written in. Pinned at 2
 /// even though the default writer now emits v3: the committed bytes
@@ -92,6 +99,37 @@ impl GoldenEntry {
     }
 }
 
+/// One f32-native golden cell: a 3D corpus input narrowed to single
+/// precision and encoded through `Sperr::compress_f32` with the current
+/// (indexed) container. Pins the f32 wire format — precision tag 2,
+/// f32-quantized SPECK planes, f32 outlier corrections — the same way
+/// the matrix pins the f64 encoding.
+#[derive(Debug, Clone)]
+pub struct F32GoldenEntry {
+    /// `<input>-f32-sperr-pwe`, unique across the f32 set.
+    pub case_id: String,
+    /// Corpus input id (first component of `case_id`).
+    pub input_id: String,
+    /// The PWE tolerance the stream was encoded under (bit-exact f64).
+    pub tolerance: f64,
+    /// Committed stream length in bytes.
+    pub stream_len: usize,
+    /// CRC-32 of the committed stream bytes.
+    pub stream_crc: u32,
+    /// CRC-32 over the decoded values' little-endian **f32** bytes.
+    pub values_crc: u32,
+    /// Max point-wise error vs the f32 input at regen time (bit-exact
+    /// f64 of f32-widened differences).
+    pub max_err: f64,
+}
+
+impl F32GoldenEntry {
+    /// File name of the committed stream.
+    pub fn file_name(&self) -> String {
+        format!("{}.bin", self.case_id)
+    }
+}
+
 /// Parsed manifest: format header plus entries.
 #[derive(Debug, Clone)]
 pub struct Manifest {
@@ -105,6 +143,8 @@ pub struct Manifest {
     pub outlier_format: u32,
     /// One entry per golden stream.
     pub entries: Vec<GoldenEntry>,
+    /// One entry per f32-native golden stream (empty on pre-v3 sets).
+    pub f32_entries: Vec<F32GoldenEntry>,
     /// `(len, crc32)` of the committed v1 fixture.
     pub v1_fixture: (usize, u32),
     /// `(len, crc32, index_crc32)` of the committed v3 fixture, where
@@ -114,6 +154,14 @@ pub struct Manifest {
 
 fn digest_values(values: &[f64]) -> u32 {
     let mut bytes = Vec::with_capacity(values.len() * 8);
+    for v in values {
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    crc32(&bytes)
+}
+
+fn digest_values_f32(values: &[f32]) -> u32 {
+    let mut bytes = Vec::with_capacity(values.len() * 4);
     for v in values {
         bytes.extend_from_slice(&v.to_le_bytes());
     }
@@ -216,6 +264,62 @@ pub fn generate() -> (Vec<(GoldenEntry, Vec<u8>)>, Vec<u8>, Vec<u8>) {
     (out, v1, v3)
 }
 
+/// The corpus inputs that get an f32-native golden: the 3D shapes (one
+/// single-chunk, one multi-chunk) of both generators — the cells where
+/// the f32 chunk pipeline, not just narrowing, is under test.
+pub fn f32_inputs() -> Vec<CorpusInput> {
+    corpus_inputs().into_iter().filter(|i| i.dims[2] > 1).collect()
+}
+
+/// Encodes the f32-native golden set in memory: each [`f32_inputs`]
+/// field narrowed to single precision and compressed through
+/// `compress_f32` at the corpus-standard PWE tolerance, with the same
+/// chunking/threading as the rest of the goldens and the current
+/// (indexed) container. Panics if a stream fails to round-trip, is not
+/// marked f32-native, or misses the f32-adjusted PWE budget.
+pub fn generate_f32() -> Vec<(F32GoldenEntry, Vec<u8>)> {
+    let sperr = golden_sperr_v3();
+    let mut out = Vec::new();
+    for input in f32_inputs() {
+        let field = input.generate_f32();
+        let t = field.tolerance_for_idx(15);
+        let case_id = format!("{}-f32-sperr-pwe", input.id);
+        let stream = sperr
+            .compress_f32(&field, Bound::Pwe(t))
+            .unwrap_or_else(|e| panic!("f32 golden {case_id}: compress failed: {e}"));
+        let info = sperr
+            .inspect(&stream)
+            .unwrap_or_else(|e| panic!("f32 golden {case_id}: inspect failed: {e}"));
+        assert!(info.native_f32, "f32 golden {case_id}: stream not marked f32-native");
+        let recon = sperr
+            .decompress_f32(&stream)
+            .unwrap_or_else(|e| panic!("f32 golden {case_id}: decompress failed: {e}"));
+        let max_err = field
+            .data
+            .iter()
+            .zip(&recon.data)
+            .map(|(&a, &b)| (a as f64 - b as f64).abs())
+            .fold(0.0, f64::max);
+        let allowed = f32_budget(t, field.range());
+        assert!(
+            max_err <= allowed,
+            "f32 golden {case_id}: budget violated at regen time: \
+             observed {max_err:e}, allowed {allowed:e}"
+        );
+        let entry = F32GoldenEntry {
+            case_id,
+            input_id: input.id.to_string(),
+            tolerance: t,
+            stream_len: stream.len(),
+            stream_crc: crc32(&stream),
+            values_crc: digest_values_f32(&recon.data),
+            max_err,
+        };
+        out.push((entry, stream));
+    }
+    out
+}
+
 fn bound_value(bound: Bound) -> f64 {
     match bound {
         Bound::Pwe(v) | Bound::Bpp(v) | Bound::Psnr(v) => v,
@@ -234,6 +338,7 @@ fn bound_from(tag: &str, value: f64) -> Option<Bound> {
 /// Renders the manifest text for a generated set.
 pub fn render_manifest(
     entries: &[(GoldenEntry, Vec<u8>)],
+    f32_entries: &[(F32GoldenEntry, Vec<u8>)],
     v1_fixture: &[u8],
     v3_fixture: &[u8],
     v3_index_crc: u32,
@@ -267,6 +372,17 @@ pub fn render_manifest(
             e.max_err.to_bits(),
         ));
     }
+    for (e, _) in f32_entries {
+        s.push_str(&format!(
+            "f32_entry {} {:016x} {} {:08x} {:08x} {:016x}\n",
+            e.case_id,
+            e.tolerance.to_bits(),
+            e.stream_len,
+            e.stream_crc,
+            e.values_crc,
+            e.max_err.to_bits(),
+        ));
+    }
     s
 }
 
@@ -279,6 +395,7 @@ pub fn parse_manifest(text: &str) -> Result<Manifest, String> {
     let mut v1_fixture = None;
     let mut v3_fixture = None;
     let mut entries = Vec::new();
+    let mut f32_entries = Vec::new();
     for (lineno, line) in text.lines().enumerate() {
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
@@ -353,6 +470,31 @@ pub fn parse_manifest(text: &str) -> Result<Manifest, String> {
                     ),
                 });
             }
+            "f32_entry" => {
+                if rest.len() != 6 {
+                    return Err(bad("f32_entry needs 6 fields"));
+                }
+                let input_id = rest[0]
+                    .strip_suffix("-f32-sperr-pwe")
+                    .ok_or_else(|| bad("f32 case id does not end in -f32-sperr-pwe"))?;
+                f32_entries.push(F32GoldenEntry {
+                    case_id: rest[0].to_string(),
+                    input_id: input_id.to_string(),
+                    tolerance: f64::from_bits(
+                        u64::from_str_radix(rest[1], 16)
+                            .map_err(|_| bad("unparseable tolerance bits"))?,
+                    ),
+                    stream_len: rest[2].parse().map_err(|_| bad("unparseable length"))?,
+                    stream_crc: u32::from_str_radix(rest[3], 16)
+                        .map_err(|_| bad("unparseable stream crc"))?,
+                    values_crc: u32::from_str_radix(rest[4], 16)
+                        .map_err(|_| bad("unparseable values crc"))?,
+                    max_err: f64::from_bits(
+                        u64::from_str_radix(rest[5], 16)
+                            .map_err(|_| bad("unparseable max_err bits"))?,
+                    ),
+                });
+            }
             other => return Err(format!("manifest line {}: unknown key {other}", lineno + 1)),
         }
     }
@@ -364,6 +506,7 @@ pub fn parse_manifest(text: &str) -> Result<Manifest, String> {
         v1_fixture: v1_fixture.ok_or("manifest missing v1_fixture")?,
         v3_fixture: v3_fixture.ok_or("manifest missing v3_fixture")?,
         entries,
+        f32_entries,
     })
 }
 
@@ -372,6 +515,7 @@ pub fn parse_manifest(text: &str) -> Result<Manifest, String> {
 /// matrix are removed. Returns the number of streams written.
 pub fn regenerate(dir: &Path) -> std::io::Result<usize> {
     let (entries, v1, v3) = generate();
+    let f32_entries = generate_f32();
     let v3_index_crc = index_crc(&v3)
         .map_err(|e| std::io::Error::other(format!("generated v3 fixture is unusable: {e}")))?;
     std::fs::create_dir_all(dir)?;
@@ -384,10 +528,16 @@ pub fn regenerate(dir: &Path) -> std::io::Result<usize> {
     for (e, stream) in &entries {
         std::fs::write(dir.join(e.file_name()), stream)?;
     }
+    for (e, stream) in &f32_entries {
+        std::fs::write(dir.join(e.file_name()), stream)?;
+    }
     std::fs::write(dir.join(V1_FIXTURE_NAME), &v1)?;
     std::fs::write(dir.join(V3_FIXTURE_NAME), &v3)?;
-    std::fs::write(dir.join(MANIFEST_NAME), render_manifest(&entries, &v1, &v3, v3_index_crc))?;
-    Ok(entries.len())
+    std::fs::write(
+        dir.join(MANIFEST_NAME),
+        render_manifest(&entries, &f32_entries, &v1, &v3, v3_index_crc),
+    )?;
+    Ok(entries.len() + f32_entries.len())
 }
 
 /// Loads the committed manifest from `dir`.
@@ -532,6 +682,11 @@ pub fn check(dir: &Path) -> Vec<CheckFailure> {
         }
     }
 
+    // The f32-native set: complete, byte-for-byte reproducible through
+    // compress_f32, value-for-value through decompress_f32, and still
+    // within the f32-adjusted PWE budget.
+    check_f32_entries(dir, &manifest, &mut failures, &fail);
+
     // The v1 fixture must still decode through the legacy read path and
     // match the v2 golden it was downgraded from.
     match std::fs::read(dir.join(V1_FIXTURE_NAME)) {
@@ -552,6 +707,113 @@ pub fn check(dir: &Path) -> Vec<CheckFailure> {
     check_v3_fixture(dir, &manifest, &inputs, &mut failures, &fail);
 
     failures
+}
+
+fn check_f32_entries(
+    dir: &Path,
+    manifest: &Manifest,
+    failures: &mut Vec<CheckFailure>,
+    fail: &dyn Fn(String) -> CheckFailure,
+) {
+    let inputs = f32_inputs();
+    let expected: Vec<String> =
+        inputs.iter().map(|i| format!("{}-f32-sperr-pwe", i.id)).collect();
+    let committed: Vec<&str> =
+        manifest.f32_entries.iter().map(|e| e.case_id.as_str()).collect();
+    for id in &expected {
+        if !committed.contains(&id.as_str()) {
+            failures.push(fail(format!("f32 cell {id} missing from committed manifest")));
+        }
+    }
+    for id in &committed {
+        if !expected.iter().any(|e| e == id) {
+            failures.push(fail(format!("committed f32 entry {id} is no longer in the set")));
+        }
+    }
+
+    let sperr = golden_sperr_v3();
+    for entry in &manifest.f32_entries {
+        let Some(input) = inputs.iter().find(|i| i.id == entry.input_id) else {
+            continue; // already reported as a stale cell
+        };
+        let field = input.generate_f32();
+        let t = field.tolerance_for_idx(15);
+        if t.to_bits() != entry.tolerance.to_bits() {
+            failures.push(fail(format!(
+                "{}: manifest tolerance {:e} != corpus-standard {t:e}",
+                entry.case_id, entry.tolerance
+            )));
+        }
+
+        let committed_bytes = match std::fs::read(dir.join(entry.file_name())) {
+            Ok(b) => b,
+            Err(e) => {
+                failures.push(fail(format!("{}: cannot read stream file: {e}", entry.case_id)));
+                continue;
+            }
+        };
+        if crc32(&committed_bytes) != entry.stream_crc || committed_bytes.len() != entry.stream_len
+        {
+            failures.push(fail(format!(
+                "{}: committed file does not match its manifest digest (file corrupt or \
+                 manifest stale)",
+                entry.case_id
+            )));
+            continue;
+        }
+        match sperr.compress_f32(&field, Bound::Pwe(entry.tolerance)) {
+            Ok(stream) => {
+                if stream != committed_bytes {
+                    failures.push(fail(format!(
+                        "{}: re-encoded f32 stream differs from committed bytes ({} vs {} \
+                         bytes, crc {:08x} vs {:08x}) — f32 encoder drift",
+                        entry.case_id,
+                        stream.len(),
+                        committed_bytes.len(),
+                        crc32(&stream),
+                        entry.stream_crc,
+                    )));
+                }
+            }
+            Err(e) => {
+                failures.push(fail(format!("{}: f32 re-encode failed: {e}", entry.case_id)));
+            }
+        }
+        match sperr.inspect(&committed_bytes) {
+            Ok(info) if !info.native_f32 => failures.push(fail(format!(
+                "{}: committed stream is not marked f32-native",
+                entry.case_id
+            ))),
+            Ok(_) => {}
+            Err(e) => failures.push(fail(format!("{}: inspect failed: {e}", entry.case_id))),
+        }
+        match sperr.decompress_f32(&committed_bytes) {
+            Ok(recon) => {
+                if digest_values_f32(&recon.data) != entry.values_crc {
+                    failures.push(fail(format!(
+                        "{}: decoded f32 values differ from regen-time digest — decoder drift",
+                        entry.case_id
+                    )));
+                }
+                let observed = field
+                    .data
+                    .iter()
+                    .zip(&recon.data)
+                    .map(|(&a, &b)| (a as f64 - b as f64).abs())
+                    .fold(0.0, f64::max);
+                let allowed = f32_budget(entry.tolerance, field.range());
+                if observed > allowed {
+                    failures.push(fail(format!(
+                        "{}: f32 PWE budget violated: observed {observed:e} allowed {allowed:e}",
+                        entry.case_id
+                    )));
+                }
+            }
+            Err(e) => {
+                failures.push(fail(format!("{}: f32 decode failed: {e}", entry.case_id)));
+            }
+        }
+    }
 }
 
 /// The committed v2 golden the v3 fixture is a re-encode of: the first
@@ -659,9 +921,21 @@ mod tests {
             },
             vec![],
         )];
+        let f32_entries = vec![(
+            F32GoldenEntry {
+                case_id: "press-3d16-f32-sperr-pwe".into(),
+                input_id: "press-3d16".into(),
+                tolerance: 1.25e-3,
+                stream_len: 390,
+                stream_crc: 0xfeed_cafe,
+                values_crc: 0x1234_5678,
+                max_err: 1.1e-3,
+            },
+            vec![],
+        )];
         let v1 = vec![1u8, 2, 3];
         let v3 = vec![4u8, 5, 6, 7];
-        let text = render_manifest(&entries, &v1, &v3, 0xabcd_1234);
+        let text = render_manifest(&entries, &f32_entries, &v1, &v3, 0xabcd_1234);
         let m = parse_manifest(&text).unwrap();
         assert_eq!(m.golden_version, GOLDEN_VERSION);
         assert_eq!(m.container_version, GOLDEN_CONTAINER_VERSION);
@@ -675,6 +949,15 @@ mod tests {
         assert_eq!(e.bound, Bound::Pwe(1.25e-3));
         assert_eq!(e.stream_crc, 0xdead_beef);
         assert_eq!(e.max_err.to_bits(), 9.5e-4f64.to_bits());
+        assert_eq!(m.f32_entries.len(), 1);
+        let fe = &m.f32_entries[0];
+        assert_eq!(fe.case_id, "press-3d16-f32-sperr-pwe");
+        assert_eq!(fe.input_id, "press-3d16");
+        assert_eq!(fe.tolerance.to_bits(), 1.25e-3f64.to_bits());
+        assert_eq!(fe.stream_len, 390);
+        assert_eq!(fe.stream_crc, 0xfeed_cafe);
+        assert_eq!(fe.values_crc, 0x1234_5678);
+        assert_eq!(fe.max_err.to_bits(), 1.1e-3f64.to_bits());
     }
 
     #[test]
@@ -682,7 +965,15 @@ mod tests {
         assert!(parse_manifest("nonsense 1").is_err());
         assert!(parse_manifest("golden_version x").is_err());
         assert!(parse_manifest("entry only-three fields here").is_err());
+        assert!(parse_manifest("f32_entry too-few 1 2").is_err());
+        assert!(parse_manifest("f32_entry bad-suffix 0 1 2 3 4").is_err());
         // Missing required header keys.
         assert!(parse_manifest("golden_version 1").is_err());
+    }
+
+    #[test]
+    fn f32_set_covers_both_generators_times_3d_shapes() {
+        let ids: Vec<&str> = f32_inputs().iter().map(|i| i.id).collect();
+        assert_eq!(ids, vec!["press-3d16", "press-3d21x10x11", "nyx-3d16", "nyx-3d21x10x11"]);
     }
 }

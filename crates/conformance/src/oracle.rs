@@ -7,8 +7,8 @@
 //! carries a human-readable detail string; callers decide whether to
 //! panic, collect, or shrink.
 
-use crate::corpus::{check_budget, ErrorBudget};
-use sperr_compress_api::{Bound, Field, LossyCompressor};
+use crate::corpus::{check_budget, f32_budget, ErrorBudget};
+use sperr_compress_api::{Bound, Field, FieldOf, LossyCompressor};
 use sperr_core::{compress_chunk_pwe, Sperr, SperrConfig, StageTimes};
 use sperr_outlier::Outlier;
 use sperr_speck::Termination;
@@ -555,6 +555,119 @@ pub fn region_vs_full(
     Ok(())
 }
 
+// ---------------------------------------------------------------------
+// Oracle 9: the f32-native path vs the widened-f64 path.
+// ---------------------------------------------------------------------
+
+/// The f32-native pipeline against the f64 pipeline fed the widened
+/// copy of the same samples. Four properties, all on one compression:
+///
+/// 1. the native stream is marked f32 (precision tag 2) and its own
+///    reconstruction honors the PWE bound at the f32-adjusted budget
+///    ([`f32_budget`]);
+/// 2. the f64 decode surface on the native stream is *exactly* the
+///    widened f32 reconstruction — one decode, two views, no second
+///    rounding;
+/// 3. the native reconstruction stays within the combined budget of the
+///    widened-f64 path's reconstruction (both are within their own
+///    budget of the same input, so a larger gap means one path drifted);
+/// 4. the native stream is bit-identical at every worker-pool width, the
+///    same thread-identity contract the f64 path pins.
+pub fn f32_vs_widened(
+    field32: &FieldOf<f32>,
+    t: f64,
+    chunk_dims: [usize; 3],
+    thread_counts: &[usize],
+) -> CheckResult {
+    let dims = field32.dims;
+    let err = |what: &str, e: sperr_compress_api::CompressError| CheckFailure {
+        check: "f32-vs-widened",
+        detail: format!("{what} failed on dims {dims:?} t {t:e}: {e}"),
+    };
+    let build = |threads: usize| {
+        Sperr::new(SperrConfig { chunk_dims, num_threads: threads, ..SperrConfig::default() })
+    };
+    let sperr = build(thread_counts.first().copied().unwrap_or(1));
+    let stream32 = sperr.compress_f32(field32, Bound::Pwe(t)).map_err(|e| err("compress_f32", e))?;
+
+    // Property 1: native marking + PWE at the f32 budget.
+    let info = sperr.inspect(&stream32).map_err(|e| err("inspect", e))?;
+    if !info.native_f32 {
+        return fail(
+            "f32-vs-widened",
+            format!("compress_f32 stream not marked f32-native (dims {dims:?})"),
+        );
+    }
+    let recon32 = sperr.decompress_f32(&stream32).map_err(|e| err("decompress_f32", e))?;
+    let allowed = f32_budget(t, field32.range());
+    let observed = field32
+        .data
+        .iter()
+        .zip(&recon32.data)
+        .map(|(&a, &b)| (a as f64 - b as f64).abs())
+        .fold(0.0, f64::max);
+    if observed > allowed {
+        return fail(
+            "f32-vs-widened",
+            format!("native PWE violated on dims {dims:?}: observed {observed:e} > allowed {allowed:e} (t {t:e})"),
+        );
+    }
+
+    // Property 2: the f64 surface is the exact widening of the f32 decode.
+    let recon64 = sperr.decompress(&stream32).map_err(|e| err("decompress (f64 surface)", e))?;
+    let widened: Vec<f64> = recon32.data.iter().map(|&v| v as f64).collect();
+    if let Some((i, a, b)) = first_bit_mismatch(&recon64.data, &widened) {
+        return fail(
+            "f32-vs-widened",
+            format!(
+                "f64 decode of a native stream is not the exact widening: [{i}] {a:e} vs {b:e}"
+            ),
+        );
+    }
+
+    // Property 3: the two paths' reconstructions stay within the combined
+    // budget (the widened path guarantees t against the same samples).
+    let widened_field = field32.widen();
+    let stream64 =
+        sperr.compress(&widened_field, Bound::Pwe(t)).map_err(|e| err("widened compress", e))?;
+    let recon_w = sperr.decompress(&stream64).map_err(|e| err("widened decompress", e))?;
+    let cross = recon_w
+        .data
+        .iter()
+        .zip(&widened)
+        .map(|(&a, &b)| (a - b).abs())
+        .fold(0.0, f64::max);
+    let cross_allowed = t + allowed;
+    if cross > cross_allowed {
+        return fail(
+            "f32-vs-widened",
+            format!(
+                "native and widened reconstructions diverge on dims {dims:?}: \
+                 {cross:e} > combined budget {cross_allowed:e}"
+            ),
+        );
+    }
+
+    // Property 4: thread-count bit identity at f32.
+    for &threads in thread_counts.iter().skip(1) {
+        let other =
+            build(threads).compress_f32(field32, Bound::Pwe(t)).map_err(|e| err("compress_f32", e))?;
+        if other != stream32 {
+            return fail(
+                "f32-vs-widened",
+                format!(
+                    "f32 stream differs between {} and {threads} threads (dims {dims:?}, \
+                     {} vs {} bytes)",
+                    thread_counts[0],
+                    stream32.len(),
+                    other.len()
+                ),
+            );
+        }
+    }
+    Ok(())
+}
+
 /// The outlier coder must return corrections at exactly the encoded
 /// positions, each within `t` of the original correction (its refinement
 /// contract: residual error after correction is at most the tolerance).
@@ -659,6 +772,16 @@ mod tests {
         region_vs_full(&stream, chunk_dims, &bboxes, &[1, 2], true).unwrap();
         let v2 = sperr.downgrade_to_v2(&stream).unwrap();
         region_vs_full(&v2, chunk_dims, &bboxes, &[1, 2], false).unwrap();
+    }
+
+    #[test]
+    fn f32_oracle_accepts_native_path() {
+        // Tier-1 smoke: a multi-chunk 3D field through the f32-native
+        // pipeline at two thread counts. The full corpus sweep at
+        // 1/2/4/8 threads runs tier-2 via `sperr-conformance oracles`.
+        let f = SyntheticField::MirandaPressure.generate([21, 10, 11], 3).narrow_lossy();
+        let t = f.tolerance_for_idx(15);
+        f32_vs_widened(&f, t, [16, 16, 16], &[1, 2]).unwrap();
     }
 
     #[test]

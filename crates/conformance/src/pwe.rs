@@ -8,7 +8,9 @@
 //! decades of the field's range. The assertion per case comes from
 //! [`documented_budget`]: SPERR/ZFP/SZ must hold `≤ t` exactly, MGARD
 //! must hold its hard `(L+1)·t/2` stacking bound, TTHRESH must reach its
-//! PSNR target.
+//! PSNR target. Every SPERR PWE case additionally runs its f32-native
+//! twin: the field narrowed to single precision through `compress_f32`
+//! must hold the f32-adjusted budget at the same tolerance.
 //!
 //! On a violation the campaign *shrinks*: it repeatedly crops the field
 //! to the half-box (along each axis in turn) that still violates, then
@@ -16,10 +18,11 @@
 //! config sidecar — under `target/conformance-failures/`, so a failure
 //! in CI is immediately replayable locally.
 
-use crate::corpus::{bound_tag, check_budget, documented_budget, CodecId};
+use crate::corpus::{bound_tag, check_budget, documented_budget, f32_budget, CodecId};
 use crate::oracle::{CheckFailure, CheckResult};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use sperr_compress_api::{Bound, Field};
+use sperr_core::{Sperr, SperrConfig};
 use std::path::PathBuf;
 
 /// Tolerance decades swept by the campaign: `t = range × 10^-d`.
@@ -261,11 +264,58 @@ fn dump_reproducer(
     Ok(case_dir)
 }
 
+/// The f32 twin of a SPERR PWE case: the same spiky field narrowed to
+/// single precision and pushed through the native `compress_f32` path
+/// must hold the f32-adjusted budget ([`f32_budget`]) at the *same*
+/// tolerance the f64 case swept. No shrinking — the f64 shrinker already
+/// minimizes the field shape; an f32 twin failure names the case index
+/// so the f64 reproducer machinery can be pointed at it directly.
+fn f32_twin_check(case: &CampaignCase) -> CheckResult {
+    if case.codec != CodecId::Sperr {
+        return Ok(());
+    }
+    let Bound::Pwe(t) = case.bound else { return Ok(()) };
+    let field32 = case.field.narrow_lossy();
+    let sperr = Sperr::new(SperrConfig {
+        chunk_dims: [16, 16, 16],
+        num_threads: 1,
+        ..SperrConfig::default()
+    });
+    let err = |what: &str, e: sperr_compress_api::CompressError| CheckFailure {
+        check: "pwe-campaign-f32",
+        detail: format!(
+            "case {} dims {:?} t {t:e}: f32 twin {what} failed: {e}",
+            case.index, case.field.dims
+        ),
+    };
+    let stream = sperr.compress_f32(&field32, Bound::Pwe(t)).map_err(|e| err("compress", e))?;
+    let recon = sperr.decompress_f32(&stream).map_err(|e| err("decompress", e))?;
+    let observed = field32
+        .data
+        .iter()
+        .zip(&recon.data)
+        .map(|(&a, &b)| (a as f64 - b as f64).abs())
+        .fold(0.0, f64::max);
+    let allowed = f32_budget(t, field32.range());
+    if observed > allowed {
+        return Err(CheckFailure {
+            check: "pwe-campaign-f32",
+            detail: format!(
+                "case {} dims {:?} decade {}: f32 twin observed {observed:e} > allowed \
+                 {allowed:e} (t {t:e})",
+                case.index, case.field.dims, case.decade
+            ),
+        });
+    }
+    Ok(())
+}
+
 /// Runs one case end-to-end; on violation, shrinks and (if configured)
-/// dumps a reproducer.
+/// dumps a reproducer. SPERR PWE cases additionally run their f32-native
+/// twin ([`f32_twin_check`]).
 pub fn run_case(case: &CampaignCase, failure_dir: Option<&std::path::Path>) -> CheckResult {
     let Some((observed, allowed)) = violates(case.codec, &case.field, case.bound) else {
-        return Ok(());
+        return f32_twin_check(case);
     };
     let shrunk = shrink_violation(case.codec, &case.field, case.bound);
     let (observed, allowed) =
@@ -331,6 +381,16 @@ mod tests {
             / f.data.len() as f64)
             .sqrt();
         assert!(peak > 3.0 * rms, "no spike stands out: peak {peak:e} rms {rms:e}");
+    }
+
+    #[test]
+    fn f32_twin_runs_on_sperr_pwe_cases() {
+        // Case 0 is always SPERR (ALL[0]) at a PWE bound; the twin must
+        // run and hold on a genuine spiky field.
+        let case = make_case(0, 42);
+        assert_eq!(case.codec, CodecId::Sperr);
+        assert!(matches!(case.bound, Bound::Pwe(_)));
+        run_case(&case, None).unwrap();
     }
 
     #[test]

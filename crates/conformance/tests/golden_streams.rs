@@ -22,10 +22,11 @@ fn manifest_matches_generated_set_exactly() {
     // manifest text byte-for-byte (so even comment/format drift in the
     // manifest itself is caught).
     let (entries, v1, v3) = golden::generate();
+    let f32_entries = golden::generate_f32();
     let v3_index_crc = golden::index_crc(&v3).expect("generated v3 fixture carries an index");
     let want = std::fs::read_to_string(golden::golden_dir().join(golden::MANIFEST_NAME))
         .expect("committed manifest readable");
-    let got = golden::render_manifest(&entries, &v1, &v3, v3_index_crc);
+    let got = golden::render_manifest(&entries, &f32_entries, &v1, &v3, v3_index_crc);
     assert_eq!(
         got, want,
         "freshly generated manifest differs from committed MANIFEST.txt — \

@@ -67,6 +67,16 @@ fn resilient_decoder_matches_strict_on_clean_streams() {
 }
 
 #[test]
+fn f32_native_path_matches_widened_path_across_threads() {
+    for input in corpus_inputs() {
+        let field32 = input.generate_f32();
+        let t = field32.tolerance_for_idx(15);
+        oracle::f32_vs_widened(&field32, t, CHUNK, &[1, 2, 4, 8])
+            .unwrap_or_else(|f| panic!("{}: {f}", input.id));
+    }
+}
+
+#[test]
 fn reencoding_a_reconstruction_stays_within_budget_for_all_codecs() {
     for input in corpus_inputs() {
         let field = input.generate();

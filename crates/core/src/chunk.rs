@@ -53,7 +53,7 @@ pub fn chunk_grid(volume_dims: [usize; 3], chunk_dims: [usize; 3]) -> Vec<ChunkS
 }
 
 /// Copies a chunk out of the row-major volume into a dense buffer.
-pub fn extract_chunk(volume: &[f64], volume_dims: [usize; 3], spec: &ChunkSpec) -> Vec<f64> {
+pub fn extract_chunk<T: Copy>(volume: &[T], volume_dims: [usize; 3], spec: &ChunkSpec) -> Vec<T> {
     let mut out = Vec::with_capacity(spec.len());
     extract_chunk_into(volume, volume_dims, spec, &mut out);
     out
@@ -62,11 +62,11 @@ pub fn extract_chunk(volume: &[f64], volume_dims: [usize; 3], spec: &ChunkSpec) 
 /// [`extract_chunk`] into a reusable buffer (cleared first, capacity kept)
 /// — the per-chunk hot path extracts into a per-worker buffer instead of
 /// allocating.
-pub fn extract_chunk_into(
-    volume: &[f64],
+pub fn extract_chunk_into<T: Copy>(
+    volume: &[T],
     volume_dims: [usize; 3],
     spec: &ChunkSpec,
-    out: &mut Vec<f64>,
+    out: &mut Vec<T>,
 ) {
     out.clear();
     out.reserve(spec.len());
@@ -80,11 +80,11 @@ pub fn extract_chunk_into(
 }
 
 /// Writes a dense chunk buffer back into the row-major volume.
-pub fn insert_chunk(
-    volume: &mut [f64],
+pub fn insert_chunk<T: Copy>(
+    volume: &mut [T],
     volume_dims: [usize; 3],
     spec: &ChunkSpec,
-    chunk: &[f64],
+    chunk: &[T],
 ) {
     debug_assert_eq!(chunk.len(), spec.len());
     for z in 0..spec.dims[2] {

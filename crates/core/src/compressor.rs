@@ -14,7 +14,8 @@ use crate::pipeline::{
 };
 use crate::pool::{PerWorker, WorkerPool};
 use crate::stats::{stage_labels, CompressionStats, StageTimes};
-use sperr_compress_api::{Bound, CompressError, Field, LossyCompressor};
+use sperr_compress_api::{Bound, CompressError, Field, FieldOf, LossyCompressor, Precision};
+use sperr_simd::Float;
 use sperr_telemetry::timed;
 use sperr_wavelet::{Kernel, PANEL_W};
 
@@ -144,6 +145,41 @@ impl Sperr {
         field: &Field,
         bound: Bound,
     ) -> Result<(Vec<u8>, CompressionStats), CompressError> {
+        self.compress_impl(field, bound, false)
+    }
+
+    /// Compresses an `f32` field through the f32-native pipeline: every
+    /// hot-path stage (wavelet, SPECK quantization, outlier scan) runs at
+    /// single precision, and the stream is marked f32-native (precision
+    /// tag 2) so [`Sperr::decompress_f32`] reconstructs it without an f64
+    /// round-trip. The PWE guarantee holds against the f32 samples.
+    pub fn compress_f32(
+        &self,
+        field: &FieldOf<f32>,
+        bound: Bound,
+    ) -> Result<Vec<u8>, CompressError> {
+        self.compress_f32_with_stats(field, bound).map(|(stream, _)| stream)
+    }
+
+    /// [`Sperr::compress_f32`] with cost/timing statistics.
+    pub fn compress_f32_with_stats(
+        &self,
+        field: &FieldOf<f32>,
+        bound: Bound,
+    ) -> Result<(Vec<u8>, CompressionStats), CompressError> {
+        self.compress_impl(field, bound, true)
+    }
+
+    /// The width-generic compression driver behind both public surfaces.
+    /// `native_f32` selects the wire precision tag; the chunk pipeline
+    /// itself is monomorphized over `T`, so the `f64` instantiation is
+    /// bit-for-bit the pre-generic code path.
+    fn compress_impl<T: Float>(
+        &self,
+        field: &FieldOf<T>,
+        bound: Bound,
+        native_f32: bool,
+    ) -> Result<(Vec<u8>, CompressionStats), CompressError> {
         if field.is_empty() {
             return Err(CompressError::Invalid("empty field".into()));
         }
@@ -179,7 +215,7 @@ impl Sperr {
             if range > 0.0 {
                 range / 10f64.powf(bound_value / 20.0)
             } else {
-                let max_abs = field.data.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+                let max_abs = field.data.iter().fold(0.0f64, |m, &v| m.max(v.to_f64().abs()));
                 max_abs.max(1.0) * f64::exp2(-40.0)
             }
         } else {
@@ -248,7 +284,8 @@ impl Sperr {
         let header = Header {
             mode,
             kernel,
-            precision: field.precision,
+            precision: if native_f32 { Precision::Single } else { field.precision },
+            native_f32,
             dims: field.dims,
             chunk_dims: cfg.chunk_dims,
             bound_value,
@@ -299,6 +336,8 @@ impl Sperr {
             mode: parsed.header.mode,
             bound_value: parsed.header.bound_value,
             n_chunks: parsed.header.n_chunks,
+            precision: parsed.header.precision,
+            native_f32: parsed.header.native_f32,
             lossless,
             speck_bytes: parsed.entries.iter().map(|e| e.speck_len).sum(),
             outlier_bytes: parsed.entries.iter().map(|e| e.outlier_len).sum(),
@@ -375,16 +414,33 @@ impl Sperr {
                 }
             }
             let (speck, outlier) = payload.split_at(e.speck_len);
-            match decompress_chunk(
-                speck,
-                outlier,
-                spec.dims,
-                e.q,
-                e.num_planes,
-                e.max_n,
-                tolerance,
-                parsed.header.kernel,
-            ) {
+            // f32-native payloads decode at native width and widen exactly,
+            // matching the strict decoder's output for healthy chunks.
+            let result = if parsed.header.native_f32 {
+                decompress_chunk::<f32>(
+                    speck,
+                    outlier,
+                    spec.dims,
+                    e.q,
+                    e.num_planes,
+                    e.max_n,
+                    tolerance,
+                    parsed.header.kernel,
+                )
+                .map(|c| c.iter().map(|&v| v as f64).collect())
+            } else {
+                decompress_chunk::<f64>(
+                    speck,
+                    outlier,
+                    spec.dims,
+                    e.q,
+                    e.num_planes,
+                    e.max_n,
+                    tolerance,
+                    parsed.header.kernel,
+                )
+            };
+            match result {
                 Ok(chunk) => {
                     insert_chunk(&mut volume, parsed.header.dims, spec, &chunk);
                     statuses.push(ChunkStatus::Ok);
@@ -569,11 +625,10 @@ impl Sperr {
         let targets_ref = &targets;
         let crcs_ref = &parsed.chunk_crcs;
         let kernel = header.kernel;
+        let native_f32 = header.native_f32;
         let decoded: Vec<(Vec<f64>, ChunkStatus)> = WorkerPool::scoped(threads, |pool| {
             let arenas = PerWorker::new(pool.threads(), ScratchArena::new);
             let decode_one = |j: usize, w: usize| {
-                // SAFETY: concurrent jobs see distinct worker slots.
-                let arena = unsafe { arenas.get(w) };
                 let t = &targets_ref[j];
                 let spec = &specs_ref[t.chunk];
                 let e = &entries_ref[t.chunk];
@@ -597,20 +652,47 @@ impl Sperr {
                     t.isect_hi[1] - spec.offset[1],
                     t.isect_hi[2] - spec.offset[2],
                 ];
-                match decompress_chunk_region_with(
-                    speck,
-                    outlier,
-                    spec.dims,
-                    e.q,
-                    e.num_planes,
-                    e.max_n,
-                    tolerance,
-                    kernel,
-                    keep_lo,
-                    keep_hi,
-                    pool,
-                    arena,
-                ) {
+                // f32-native payloads decode at native width (with a local
+                // arena — region queries are chunk-sparse, so scratch reuse
+                // matters less than on the full-decode path) and widen
+                // exactly, keeping the bit-identity contract with the
+                // full-decompress slice.
+                let decoded = if native_f32 {
+                    let mut arena32 = ScratchArena::<f32>::new();
+                    decompress_chunk_region_with(
+                        speck,
+                        outlier,
+                        spec.dims,
+                        e.q,
+                        e.num_planes,
+                        e.max_n,
+                        tolerance,
+                        kernel,
+                        keep_lo,
+                        keep_hi,
+                        pool,
+                        &mut arena32,
+                    )
+                    .map(|(c, t)| (c.iter().map(|&v| v as f64).collect::<Vec<f64>>(), t))
+                } else {
+                    // SAFETY: concurrent jobs see distinct worker slots.
+                    let arena = unsafe { arenas.get(w) };
+                    decompress_chunk_region_with(
+                        speck,
+                        outlier,
+                        spec.dims,
+                        e.q,
+                        e.num_planes,
+                        e.max_n,
+                        tolerance,
+                        kernel,
+                        keep_lo,
+                        keep_hi,
+                        pool,
+                        arena,
+                    )
+                };
+                match decoded {
                     Ok((chunk, _)) => (chunk, ChunkStatus::Ok),
                     Err(err) => (vec![0.0; spec.len()], ChunkStatus::DecodeFailed(err)),
                 }
@@ -687,30 +769,51 @@ impl Sperr {
         let offsets_ref = &offsets;
         let specs_ref = &chunks_spec;
         let kernel = header.kernel;
+        let native_f32 = header.native_f32;
         type Decoded = Result<(Vec<f64>, StageTimes), CompressError>;
         let decoded: Vec<Decoded> = WorkerPool::scoped(threads, |pool| {
             let arenas = PerWorker::new(pool.threads(), ScratchArena::new);
             let decode_one = |i: usize, w: usize| {
-                // SAFETY: concurrent jobs see distinct worker slots.
-                let arena = unsafe { arenas.get(w) };
                 let e = &entries_ref[i];
                 let start = offsets_ref[i];
                 let keep = e.speck_len.min(budgets[i]);
                 let speck = &container_ref[start..start + keep];
                 // Empty outlier stream + zero tolerance: corrections do
                 // not apply to a truncated reconstruction.
-                decompress_chunk_with(
-                    speck,
-                    &[],
-                    specs_ref[i].dims,
-                    e.q,
-                    e.num_planes,
-                    0,
-                    0.0,
-                    kernel,
-                    pool,
-                    arena,
-                )
+                if native_f32 {
+                    // f32-native payloads preview at native width and widen
+                    // exactly, so decode_at_bpp stays bit-identical to
+                    // transcode-then-decompress for tag-2 streams too.
+                    let mut arena32 = ScratchArena::<f32>::new();
+                    decompress_chunk_with(
+                        speck,
+                        &[],
+                        specs_ref[i].dims,
+                        e.q,
+                        e.num_planes,
+                        0,
+                        0.0,
+                        kernel,
+                        pool,
+                        &mut arena32,
+                    )
+                    .map(|(c, t)| (c.iter().map(|&v| v as f64).collect::<Vec<f64>>(), t))
+                } else {
+                    // SAFETY: concurrent jobs see distinct worker slots.
+                    let arena = unsafe { arenas.get(w) };
+                    decompress_chunk_with(
+                        speck,
+                        &[],
+                        specs_ref[i].dims,
+                        e.q,
+                        e.num_planes,
+                        0,
+                        0.0,
+                        kernel,
+                        pool,
+                        arena,
+                    )
+                }
             };
             if n_chunks >= pool.threads() {
                 pool.map(n_chunks, |i, w| decode_one(i, w))
@@ -789,6 +892,7 @@ impl Sperr {
             mode: Mode::Bpp,
             kernel: header.kernel,
             precision: header.precision,
+            native_f32: header.native_f32,
             dims: header.dims,
             chunk_dims: header.chunk_dims,
             bound_value: bpp,
@@ -915,13 +1019,102 @@ impl Sperr {
         let parsed = parsed?;
         let header = parsed.header;
         let entries = parsed.entries;
+        let (volume, chunk_times) = if header.native_f32 {
+            // f32-native payloads decode at their native width; widening
+            // for the f64 surface is exact, so this field carries exactly
+            // the values `decompress_f32` would return.
+            let (v32, t) =
+                self.decode_volume::<f32>(&container, &header, &entries, parsed.payload_start)?;
+            (v32.iter().map(|&v| v as f64).collect::<Vec<f64>>(), t)
+        } else {
+            self.decode_volume::<f64>(&container, &header, &entries, parsed.payload_start)?
+        };
+
+        let mut stats = CompressionStats {
+            num_points: header.dims.iter().product(),
+            num_chunks: entries.len(),
+            container_bytes: container.len(),
+            output_bytes: stream.len(),
+            ..CompressionStats::default()
+        };
+        if was_lossless {
+            stats.stage_times.lossless = lossless_time;
+        }
+        stats.stage_times.container = container_time;
+        stats.stage_times.accumulate(&chunk_times);
+        let field = Field::new(header.dims, volume).with_precision(header.precision);
+        Ok((field, stats))
+    }
+
+    /// Reconstructs an f32-native stream (precision tag 2) at its native
+    /// width — no f64 materialization anywhere on the chunk hot path.
+    /// Streams from the f64 pipeline (tags 0/1) are rejected: narrowing
+    /// their decode is lossy, so the caller must opt in explicitly via
+    /// [`Sperr::decompress`] + [`Field::narrow_lossy`].
+    pub fn decompress_f32(&self, stream: &[u8]) -> Result<FieldOf<f32>, CompressError> {
+        self.decompress_f32_with_stats(stream).map(|(field, _)| field)
+    }
+
+    /// [`Sperr::decompress_f32`] with per-stage timing statistics.
+    pub fn decompress_f32_with_stats(
+        &self,
+        stream: &[u8],
+    ) -> Result<(FieldOf<f32>, CompressionStats), CompressError> {
+        let _run = sperr_telemetry::span!("sperr.decompress_f32", stream.len());
+        let (unwrapped, lossless_time) =
+            timed(stage_labels::LOSSLESS_DECOMPRESS, || Self::unwrap_outer(stream));
+        let (container, was_lossless) = unwrapped?;
+        let (parsed, container_time) = timed(stage_labels::CONTAINER_READ, || {
+            let parsed = read_container(&container)?;
+            verify_chunk_crcs(&container, &parsed)?;
+            Ok::<_, CompressError>(parsed)
+        });
+        let parsed = parsed?;
+        if !parsed.header.native_f32 {
+            return Err(CompressError::Invalid(
+                "stream is not f32-native; decode it with decompress() and narrow explicitly"
+                    .into(),
+            ));
+        }
+        let header = parsed.header;
+        let entries = parsed.entries;
+        let (volume, chunk_times) =
+            self.decode_volume::<f32>(&container, &header, &entries, parsed.payload_start)?;
+        let mut stats = CompressionStats {
+            num_points: header.dims.iter().product(),
+            num_chunks: entries.len(),
+            container_bytes: container.len(),
+            output_bytes: stream.len(),
+            ..CompressionStats::default()
+        };
+        if was_lossless {
+            stats.stage_times.lossless = lossless_time;
+        }
+        stats.stage_times.container = container_time;
+        stats.stage_times.accumulate(&chunk_times);
+        let field = FieldOf::<f32>::new(header.dims, volume).with_precision(header.precision);
+        Ok((field, stats))
+    }
+
+    /// Decodes every chunk of a parsed container at sample width `T` and
+    /// assembles the full volume, returning it with the accumulated
+    /// per-chunk stage times. Pool scheduling (outer chunk map vs.
+    /// intra-chunk fan-out) is width-independent, so thread-count
+    /// determinism holds at both widths.
+    fn decode_volume<T: Float>(
+        &self,
+        container: &[u8],
+        header: &Header,
+        entries: &[ChunkEntry],
+        payload_start: usize,
+    ) -> Result<(Vec<T>, StageTimes), CompressError> {
         let chunks_spec = chunk_grid(header.dims, header.chunk_dims);
         if chunks_spec.len() != entries.len() {
             return Err(CompressError::Corrupt("chunk table size mismatch".into()));
         }
 
         // Pre-slice each chunk's payload region.
-        let offsets = chunk_offsets(&entries, parsed.payload_start);
+        let offsets = chunk_offsets(entries, payload_start);
 
         let tolerance = match header.mode {
             Mode::Pwe => header.bound_value,
@@ -929,22 +1122,20 @@ impl Sperr {
         };
         let n_chunks = entries.len();
         let threads = self.effective_threads(&chunks_spec);
-        let container_ref = &container;
-        let entries_ref = &entries;
         let offsets_ref = &offsets;
         let specs_ref = &chunks_spec;
         let kernel = header.kernel;
-        type Decoded = Result<(Vec<f64>, StageTimes), CompressError>;
-        let decoded: Vec<Decoded> = WorkerPool::scoped(threads, |pool| {
-            let arenas = PerWorker::new(pool.threads(), ScratchArena::new);
+        type Decoded<T> = Result<(Vec<T>, StageTimes), CompressError>;
+        let decoded: Vec<Decoded<T>> = WorkerPool::scoped(threads, |pool| {
+            let arenas = PerWorker::new(pool.threads(), ScratchArena::<T>::new);
             let decode_one = |i: usize, w: usize| {
                 // SAFETY: concurrent jobs see distinct worker slots.
                 let arena = unsafe { arenas.get(w) };
-                let e = &entries_ref[i];
+                let e = &entries[i];
                 let start = offsets_ref[i];
-                let speck = &container_ref[start..start + e.speck_len];
+                let speck = &container[start..start + e.speck_len];
                 let outlier =
-                    &container_ref[start + e.speck_len..start + e.speck_len + e.outlier_len];
+                    &container[start + e.speck_len..start + e.speck_len + e.outlier_len];
                 decompress_chunk_with(
                     speck,
                     outlier,
@@ -965,25 +1156,14 @@ impl Sperr {
             }
         });
 
-        let mut stats = CompressionStats {
-            num_points: header.dims.iter().product(),
-            num_chunks: n_chunks,
-            container_bytes: container.len(),
-            output_bytes: stream.len(),
-            ..CompressionStats::default()
-        };
-        if was_lossless {
-            stats.stage_times.lossless = lossless_time;
-        }
-        stats.stage_times.container = container_time;
-        let mut volume = vec![0.0f64; header.dims.iter().product()];
+        let mut times = StageTimes::default();
+        let mut volume = vec![T::ZERO; header.dims.iter().product()];
         for (spec, result) in chunks_spec.iter().zip(decoded) {
-            let (chunk, times) = result?;
-            stats.stage_times.accumulate(&times);
+            let (chunk, t) = result?;
+            times.accumulate(&t);
             insert_chunk(&mut volume, header.dims, spec, &chunk);
         }
-        let field = Field::new(header.dims, volume).with_precision(header.precision);
-        Ok((field, stats))
+        Ok((volume, times))
     }
 }
 
@@ -1120,6 +1300,12 @@ pub struct StreamInfo {
     pub bound_value: f64,
     /// Number of chunks.
     pub n_chunks: usize,
+    /// Source precision recorded in the header.
+    pub precision: Precision,
+    /// Whether the SPECK payload is f32-native (precision tag 2). When
+    /// false with `precision == Single`, the stream is a legacy
+    /// widen-at-ingest encode whose payload is f64.
+    pub native_f32: bool,
     /// Whether the lossless post-pass was applied.
     pub lossless: bool,
     /// Total SPECK payload bytes across chunks.
@@ -1479,5 +1665,176 @@ mod tests {
             .unwrap();
             assert_eq!(v2, direct, "downgrade differs from a native v2 encode");
         }
+    }
+
+    fn test_field_f32(dims: [usize; 3]) -> FieldOf<f32> {
+        FieldOf::<f32>::from_fn(dims, |x, y, z| {
+            (x as f64 * 0.3).sin() * 20.0 + (y as f64 * 0.2).cos() * 10.0 + z as f64 * 0.5
+        })
+    }
+
+    #[test]
+    fn f32_native_roundtrip_meets_pwe_bound() {
+        let field = test_field_f32([32, 16, 16]);
+        let sperr = raw_sperr();
+        let t = 1e-3;
+        let stream = sperr.compress_f32(&field, Bound::Pwe(t)).unwrap();
+        let info = sperr.inspect(&stream).unwrap();
+        assert_eq!(info.precision, Precision::Single);
+        assert!(info.native_f32);
+
+        let rec = sperr.decompress_f32(&stream).unwrap();
+        assert_eq!(rec.dims, field.dims);
+        assert_eq!(rec.precision, Precision::Single);
+        // f32 arithmetic costs a few ulps on top of the nominal bound; the
+        // slack is proportional to tolerance and magnitude (~30 max here).
+        let slack = t * 1e-5 + 32.0 * 1e-5;
+        for (a, b) in field.data.iter().zip(&rec.data) {
+            assert!(
+                (a - b).abs() as f64 <= t + slack,
+                "PWE violated: {a} vs {b} (t = {t})"
+            );
+        }
+    }
+
+    #[test]
+    fn f32_stream_decompresses_to_exact_widening() {
+        // decompress() on a tag-2 stream must equal decompress_f32()
+        // widened — the f64 surface never re-runs the math at f64.
+        let field = test_field_f32([20, 20, 20]);
+        let sperr = raw_sperr();
+        let stream = sperr.compress_f32(&field, Bound::Pwe(1e-3)).unwrap();
+        let narrow = sperr.decompress_f32(&stream).unwrap();
+        let wide = sperr.decompress(&stream).unwrap();
+        assert_eq!(wide.precision, Precision::Single);
+        assert_eq!(wide.data.len(), narrow.data.len());
+        for (w, n) in wide.data.iter().zip(&narrow.data) {
+            assert_eq!(w.to_bits(), (*n as f64).to_bits());
+        }
+    }
+
+    #[test]
+    fn decompress_f32_rejects_non_native_stream() {
+        let field = test_field([16, 16, 16]);
+        let sperr = raw_sperr();
+        let stream = sperr.compress(&field, Bound::Pwe(1e-3)).unwrap();
+        assert!(matches!(
+            sperr.decompress_f32(&stream),
+            Err(CompressError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn f32_stream_bytes_identical_across_thread_counts() {
+        // Same determinism bar as the f64 path: container bytes must not
+        // depend on the thread count at either sample width.
+        for (dims, bound) in [
+            ([32usize, 16, 16], Bound::Pwe(1e-3)), // 2 chunks
+            ([20, 20, 20], Bound::Pwe(1e-3)),      // 1 chunk: intra-chunk path
+            ([20, 20, 20], Bound::Bpp(2.0)),
+            ([20, 20, 20], Bound::Psnr(60.0)),
+        ] {
+            let field = test_field_f32(dims);
+            let streams: Vec<Vec<u8>> = [1usize, 2, 4, 8]
+                .iter()
+                .map(|&t| {
+                    Sperr::new(SperrConfig {
+                        chunk_dims: [16, 16, 16],
+                        num_threads: t,
+                        lossless: false,
+                        ..SperrConfig::default()
+                    })
+                    .compress_f32(&field, bound)
+                    .unwrap()
+                })
+                .collect();
+            for s in &streams[1..] {
+                assert_eq!(s, &streams[0], "f32 stream differs across threads ({dims:?})");
+            }
+            // Decode determinism too.
+            let decodes: Vec<Vec<f32>> = [1usize, 2, 4, 8]
+                .iter()
+                .map(|&t| {
+                    Sperr::new(SperrConfig {
+                        chunk_dims: [16, 16, 16],
+                        num_threads: t,
+                        lossless: false,
+                        ..SperrConfig::default()
+                    })
+                    .decompress_f32(&streams[0])
+                    .unwrap()
+                    .data
+                })
+                .collect();
+            for d in &decodes[1..] {
+                let same = d.iter().zip(&decodes[0]).all(|(a, b)| a.to_bits() == b.to_bits());
+                assert!(same, "f32 decode differs across threads ({dims:?})");
+            }
+        }
+    }
+
+    #[test]
+    fn f32_stream_supports_all_f64_decode_surfaces() {
+        // Region decode, resilient decode, transcode and budget previews
+        // all accept tag-2 streams and agree with the widened full decode.
+        let field = test_field_f32([32, 20, 16]);
+        let sperr = raw_sperr();
+        let stream = sperr.compress_f32(&field, Bound::Pwe(1e-4)).unwrap();
+        let full = sperr.decompress(&stream).unwrap();
+
+        // Region decode matches the same slice of the full decode.
+        let region = sperr.decompress_region(&stream, [4, 2, 1], [20, 18, 9]).unwrap();
+        for z in 1..9 {
+            for y in 2..18 {
+                for x in 4..20 {
+                    let fi = x + 32 * (y + 20 * z);
+                    let ri = (x - 4) + 16 * ((y - 2) + 16 * (z - 1));
+                    assert_eq!(full.data[fi].to_bits(), region.data[ri].to_bits());
+                }
+            }
+        }
+
+        // Resilient decode of an undamaged stream matches strict.
+        let (res, report) = sperr.decompress_resilient(&stream).unwrap();
+        assert!(report.all_ok());
+        assert_eq!(res.data, full.data);
+
+        // Transcode preserves the native-f32 tag; the preview is
+        // bit-identical to transcode-then-decompress.
+        for bpp in [0.5, 2.0] {
+            let transcoded = sperr.transcode_to_bpp(&stream, bpp).unwrap();
+            assert!(sperr.inspect(&transcoded).unwrap().native_f32);
+            let preview = sperr.decode_at_bpp(&stream, bpp).unwrap();
+            let reference = sperr.decompress(&transcoded).unwrap();
+            let same = preview
+                .data
+                .iter()
+                .zip(&reference.data)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "tag-2 preview at {bpp} bpp diverges from transcode");
+        }
+    }
+
+    #[test]
+    fn f32_lossless_postpass_roundtrips() {
+        let field = test_field_f32([20, 20, 20]);
+        let sperr = Sperr::new(SperrConfig {
+            chunk_dims: [16, 16, 16],
+            lossless: true,
+            ..SperrConfig::default()
+        });
+        let stream = sperr.compress_f32(&field, Bound::Pwe(1e-3)).unwrap();
+        assert!(sperr.inspect(&stream).unwrap().native_f32);
+        let raw = Sperr::new(SperrConfig {
+            chunk_dims: [16, 16, 16],
+            lossless: false,
+            ..SperrConfig::default()
+        })
+        .compress_f32(&field, Bound::Pwe(1e-3))
+        .unwrap();
+        assert_eq!(
+            sperr.decompress_f32(&stream).unwrap().data,
+            sperr.decompress_f32(&raw).unwrap().data
+        );
     }
 }

@@ -79,6 +79,11 @@ pub(crate) struct Header {
     pub mode: Mode,
     pub kernel: Kernel,
     pub precision: Precision,
+    /// True when the chunk payloads were produced by the f32-native
+    /// pipeline (precision tag 2 on the wire). Such streams decode
+    /// natively to `f32`; the legacy Single tag (1) merely records that
+    /// the *source* was f32 while the payload is still the f64 pipeline's.
+    pub native_f32: bool,
     pub dims: [usize; 3],
     pub chunk_dims: [usize; 3],
     /// PWE tolerance (PWE mode) or target bits-per-point (BPP mode).
@@ -177,9 +182,15 @@ fn write_container_versioned(header: &Header, chunks: &[ChunkEncoding], version:
         Mode::Rmse => 2,
     });
     w.put_u8(kernel_tag(header.kernel));
-    w.put_u8(match header.precision {
-        Precision::Double => 0,
-        Precision::Single => 1,
+    // Precision byte: 0 = f64 payload from an f64 source, 1 = f64 payload
+    // from an f32 source (legacy widen-at-ingest), 2 = f32-native payload.
+    w.put_u8(if header.native_f32 {
+        2
+    } else {
+        match header.precision {
+            Precision::Double => 0,
+            Precision::Single => 1,
+        }
     });
     w.put_u32(header.dims[0] as u32);
     w.put_u32(header.dims[1] as u32);
@@ -284,9 +295,10 @@ pub(crate) fn read_container(bytes: &[u8]) -> Result<Parsed, CompressError> {
         m => return Err(CompressError::Corrupt(format!("unknown mode {m}"))),
     };
     let kernel = kernel_from_tag(r.get_u8()?)?;
-    let precision = match r.get_u8()? {
-        0 => Precision::Double,
-        1 => Precision::Single,
+    let (precision, native_f32) = match r.get_u8()? {
+        0 => (Precision::Double, false),
+        1 => (Precision::Single, false),
+        2 => (Precision::Single, true),
         p => return Err(CompressError::Corrupt(format!("unknown precision {p}"))),
     };
     let dims = [r.get_u32()? as usize, r.get_u32()? as usize, r.get_u32()? as usize];
@@ -406,7 +418,16 @@ pub(crate) fn read_container(bytes: &[u8]) -> Result<Parsed, CompressError> {
     }
     Ok(Parsed {
         version,
-        header: Header { mode, kernel, precision, dims, chunk_dims, bound_value, n_chunks },
+        header: Header {
+            mode,
+            kernel,
+            precision,
+            native_f32,
+            dims,
+            chunk_dims,
+            bound_value,
+            n_chunks,
+        },
         entries,
         payload_start,
         chunk_crcs,
@@ -440,6 +461,7 @@ mod tests {
             mode: Mode::Pwe,
             kernel: Kernel::Cdf97,
             precision: Precision::Double,
+            native_f32: false,
             dims: [8, 8, 8],
             chunk_dims: [8, 8, 8],
             bound_value: 0.25,
@@ -465,6 +487,7 @@ mod tests {
             mode: Mode::Bpp,
             kernel: Kernel::Cdf53,
             precision: Precision::Single,
+            native_f32: false,
             dims: [20, 8, 8],
             chunk_dims: [10, 8, 8],
             bound_value: 2.0,
@@ -496,6 +519,22 @@ mod tests {
                 ChunkIndexEntry { offset: 7, len: 3, coords: [1, 0, 0], max_err: 0.125 },
             ]
         );
+    }
+
+    #[test]
+    fn native_f32_precision_tag_roundtrips() {
+        // Tag 2 on the wire: precision parses as Single with native_f32
+        // set; legacy tags 0/1 keep native_f32 clear. Byte 7 is the
+        // precision byte in the fixed header.
+        let header = Header { native_f32: true, precision: Precision::Single, ..dummy_header() };
+        let bytes = write_container(&header, &[dummy_chunk(vec![1, 2, 3], vec![])], VERSION);
+        assert_eq!(bytes[7], 2);
+        let parsed = read_container(&bytes).unwrap();
+        assert_eq!(parsed.header.precision, Precision::Single);
+        assert!(parsed.header.native_f32);
+        let legacy = write_container(&dummy_header(), &[dummy_chunk(vec![1], vec![])], VERSION);
+        assert_eq!(legacy[7], 0);
+        assert!(!read_container(&legacy).unwrap().header.native_f32);
     }
 
     #[test]

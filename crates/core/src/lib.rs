@@ -80,6 +80,9 @@ pub use pipeline::{
     decompress_chunk_region_with, decompress_chunk_with, ChunkEncoding, ScratchArena,
 };
 pub use pool::{JobPanic, WorkerPool};
+/// The sample-width abstraction the generic pipeline is written against,
+/// re-exported so downstream crates need not depend on `sperr-simd`.
+pub use sperr_simd::Float;
 pub use stats::{CompressionStats, StageTimes};
 pub use stream::{
     SperrError, StreamReport, StreamResilientReport, STAGE_CONTAINER, STAGE_EMIT, STAGE_INGEST,

@@ -20,6 +20,7 @@ use crate::pool::WorkerPool;
 use crate::stats::{stage_labels, StageTimes};
 use sperr_compress_api::CompressError;
 use sperr_outlier::Outlier;
+use sperr_simd::Float;
 use sperr_speck::Termination;
 use sperr_telemetry::timed;
 use sperr_wavelet::{
@@ -38,14 +39,22 @@ const ELEM_BLOCK: usize = 1 << 16;
 /// and are never shrunk; a compressor keeps one arena per worker slot so
 /// that a multi-gigabyte run allocates a bounded, chunk-count-independent
 /// amount.
-#[derive(Default)]
-pub struct ScratchArena {
-    coeffs: Vec<f64>,
-    recon: Vec<f64>,
-    wavelet: TransformScratch,
+/// Generic over the sample type: the f32 pipeline keeps all of its
+/// scratch at half width (the type parameter defaults to `f64` so
+/// existing code is unaffected).
+pub struct ScratchArena<T: Float = f64> {
+    coeffs: Vec<T>,
+    recon: Vec<T>,
+    wavelet: TransformScratch<T>,
 }
 
-impl ScratchArena {
+impl<T: Float> Default for ScratchArena<T> {
+    fn default() -> Self {
+        ScratchArena { coeffs: Vec::new(), recon: Vec::new(), wavelet: TransformScratch::new() }
+    }
+}
+
+impl<T: Float> ScratchArena<T> {
     /// An empty arena; buffers grow on first use.
     pub fn new() -> Self {
         Self::default()
@@ -56,7 +65,7 @@ impl ScratchArena {
 /// must not clobber the caller's input), reusing capacity. Part of the
 /// wavelet stage's timed region, hence free-standing rather than a method
 /// (the arena is already destructured at the call sites).
-fn load_coeffs(coeffs: &mut Vec<f64>, data: &[f64]) {
+fn load_coeffs<T: Float>(coeffs: &mut Vec<T>, data: &[T]) {
     coeffs.clear();
     coeffs.extend_from_slice(data);
 }
@@ -98,22 +107,22 @@ pub struct ChunkEncoding {
 
 /// Raw-pointer wrapper for disjoint block writes from pool jobs. The
 /// method (not field) access makes closures capture the `Sync` wrapper.
-struct BlockPtr(*mut f64);
-unsafe impl Send for BlockPtr {}
-unsafe impl Sync for BlockPtr {}
-impl BlockPtr {
+struct BlockPtr<T>(*mut T);
+unsafe impl<T: Send> Send for BlockPtr<T> {}
+unsafe impl<T: Send> Sync for BlockPtr<T> {}
+impl<T> BlockPtr<T> {
     /// # Safety
     ///
     /// Caller guarantees `start..start + len` is in bounds and disjoint
     /// from every other concurrently accessed block.
-    unsafe fn block(&self, start: usize, len: usize) -> &mut [f64] {
+    unsafe fn block(&self, start: usize, len: usize) -> &mut [T] {
         std::slice::from_raw_parts_mut(self.0.add(start), len)
     }
 }
 
 /// Mid-riser reconstruction of `coeffs` into `out` (same length), block-
 /// parallel over the pool. Bit-identical to the serial sweep.
-fn reconstruct_blocks(coeffs: &[f64], q: f64, out: &mut [f64], pool: &WorkerPool) {
+fn reconstruct_blocks<T: Float>(coeffs: &[T], q: f64, out: &mut [T], pool: &WorkerPool) {
     let len = coeffs.len();
     debug_assert_eq!(len, out.len());
     let n_blocks = len.div_ceil(ELEM_BLOCK).max(1);
@@ -133,9 +142,9 @@ fn reconstruct_blocks(coeffs: &[f64], q: f64, out: &mut [f64], pool: &WorkerPool
 /// outlier correction won't touch). Fixed blocks + block-order reduction
 /// keep all three deterministic across thread counts (max is also
 /// order-independent).
-fn scan_outliers(
-    data: &[f64],
-    recon: &[f64],
+fn scan_outliers<T: Float>(
+    data: &[T],
+    recon: &[T],
     t: f64,
     pool: &WorkerPool,
 ) -> (Vec<Outlier>, f64, f64) {
@@ -148,7 +157,9 @@ fn scan_outliers(
         let mut max_in_tol = 0.0f64;
         let mut found = Vec::new();
         for pos in start..end {
-            let corr = data[pos] - recon[pos];
+            // Residual in the native width, widened exactly for the (f64)
+            // outlier coder — the f64 instantiation is unchanged.
+            let corr = (data[pos] - recon[pos]).to_f64();
             sq += corr * corr;
             if corr.abs() > t {
                 found.push(Outlier { pos, corr });
@@ -172,8 +183,8 @@ fn scan_outliers(
 /// PWE-bounded compression of one chunk (§IV): SPECK at `q = q_factor · t`
 /// followed by outlier correction so every point lands within `t`.
 /// Allocating compatibility wrapper around [`compress_chunk_pwe_with`].
-pub fn compress_chunk_pwe(
-    data: &[f64],
+pub fn compress_chunk_pwe<T: Float>(
+    data: &[T],
     dims: [usize; 3],
     t: f64,
     q_factor: f64,
@@ -193,14 +204,14 @@ pub fn compress_chunk_pwe(
 /// Hot-path PWE compression: wavelet panels, the mid-riser reconstruction
 /// and the outlier scan all run on `pool`; every buffer comes from
 /// `arena`. Output is bit-identical to [`compress_chunk_pwe`].
-pub fn compress_chunk_pwe_with(
-    data: &[f64],
+pub fn compress_chunk_pwe_with<T: Float>(
+    data: &[T],
     dims: [usize; 3],
     t: f64,
     q_factor: f64,
     kernel: Kernel,
     pool: &WorkerPool,
-    arena: &mut ScratchArena,
+    arena: &mut ScratchArena<T>,
 ) -> ChunkEncoding {
     assert!(t > 0.0 && t.is_finite(), "PWE tolerance must be positive");
     assert!(q_factor > 0.0, "q factor must be positive");
@@ -233,7 +244,7 @@ pub fn compress_chunk_pwe_with(
     let ((outliers, coeff_sq_error, max_in_tol), locate_time) =
         timed(stage_labels::OUTLIER_LOCATE, || {
             recon.clear();
-            recon.resize(coeffs.len(), 0.0);
+            recon.resize(coeffs.len(), T::ZERO);
             reconstruct_blocks(coeffs, q, recon, pool);
             inverse_3d_with(recon, dims, levels, kernel, pool, wavelet);
             scan_outliers(data, recon, t, pool)
@@ -298,8 +309,8 @@ const BPP_MODE_PLANES: i32 = 48;
 /// at `budget_bits`; no error guarantee, no outlier pass (§III-B: "the
 /// encoding process can terminate whenever a user-prescribed output size
 /// is reached"). Allocating wrapper around [`compress_chunk_bpp_with`].
-pub fn compress_chunk_bpp(
-    data: &[f64],
+pub fn compress_chunk_bpp<T: Float>(
+    data: &[T],
     dims: [usize; 3],
     budget_bits: usize,
     kernel: Kernel,
@@ -315,13 +326,13 @@ pub fn compress_chunk_bpp(
 }
 
 /// Hot-path size-bounded compression; see [`compress_chunk_bpp`].
-pub fn compress_chunk_bpp_with(
-    data: &[f64],
+pub fn compress_chunk_bpp_with<T: Float>(
+    data: &[T],
     dims: [usize; 3],
     budget_bits: usize,
     kernel: Kernel,
     pool: &WorkerPool,
-    arena: &mut ScratchArena,
+    arena: &mut ScratchArena<T>,
 ) -> ChunkEncoding {
     let levels = levels_for_dims(dims);
     let ScratchArena { coeffs, wavelet, .. } = arena;
@@ -331,7 +342,7 @@ pub fn compress_chunk_bpp_with(
         forward_3d_with(coeffs, dims, levels, kernel, pool, wavelet);
     });
 
-    let max_mag = coeffs.iter().fold(0.0f64, |m, &c| m.max(c.abs()));
+    let max_mag = coeffs.iter().fold(0.0f64, |m, &c| m.max(c.to_f64().abs()));
     // Quantization floor well below the budget's reach; degenerate
     // all-zero chunks encode to an empty stream with any positive q.
     let q = if max_mag > 0.0 { max_mag * f64::exp2(-f64::from(BPP_MODE_PLANES)) } else { 1.0 };
@@ -368,8 +379,8 @@ pub fn compress_chunk_bpp_with(
 /// < q in the dead zone) keeps the reconstruction RMSE at or below the
 /// target thanks to the transform's near-orthogonality. No outlier pass.
 /// Allocating wrapper around [`compress_chunk_rmse_with`].
-pub fn compress_chunk_rmse(
-    data: &[f64],
+pub fn compress_chunk_rmse<T: Float>(
+    data: &[T],
     dims: [usize; 3],
     target_rmse: f64,
     kernel: Kernel,
@@ -385,13 +396,13 @@ pub fn compress_chunk_rmse(
 }
 
 /// Hot-path average-error compression; see [`compress_chunk_rmse`].
-pub fn compress_chunk_rmse_with(
-    data: &[f64],
+pub fn compress_chunk_rmse_with<T: Float>(
+    data: &[T],
     dims: [usize; 3],
     target_rmse: f64,
     kernel: Kernel,
     pool: &WorkerPool,
-    arena: &mut ScratchArena,
+    arena: &mut ScratchArena<T>,
 ) -> ChunkEncoding {
     assert!(target_rmse > 0.0 && target_rmse.is_finite());
     let levels = levels_for_dims(dims);
@@ -410,7 +421,7 @@ pub fn compress_chunk_rmse_with(
 
     // Wavelet-domain quantization error ~ reconstruction error (§III-A).
     recon.clear();
-    recon.resize(coeffs.len(), 0.0);
+    recon.resize(coeffs.len(), T::ZERO);
     reconstruct_blocks(coeffs, q, recon, pool);
     let coeff_sq_error: f64 = {
         // Same fixed-block reduction order as the outlier scan.
@@ -421,7 +432,7 @@ pub fn compress_chunk_rmse_with(
             let end = (start + ELEM_BLOCK).min(len);
             let mut sq = 0.0;
             for i in start..end {
-                let d = coeffs[i] - recon[i];
+                let d = (coeffs[i] - recon[i]).to_f64();
                 sq += d * d;
             }
             sq
@@ -466,7 +477,7 @@ pub fn decompress_chunk_multires(
             "resolution level {level} exceeds the chunk's transform depth {levels:?}"
         )));
     }
-    let mut coeffs = sperr_speck::decode(speck_stream, dims, q, num_planes)?;
+    let mut coeffs: Vec<f64> = sperr_speck::decode(speck_stream, dims, q, num_planes)?;
     sperr_wavelet::inverse_3d_partial(&mut coeffs, dims, levels, level, kernel);
     let cdims = sperr_wavelet::coarse_dims(dims, levels, level);
     let scale = 1.0 / sperr_wavelet::coarse_scale(dims, levels, level);
@@ -486,7 +497,7 @@ pub fn decompress_chunk_multires(
 /// the outlier stream is empty. Allocating compatibility wrapper around
 /// [`decompress_chunk_with`].
 #[allow(clippy::too_many_arguments)]
-pub fn decompress_chunk(
+pub fn decompress_chunk<T: Float>(
     speck_stream: &[u8],
     outlier_stream: &[u8],
     dims: [usize; 3],
@@ -495,7 +506,7 @@ pub fn decompress_chunk(
     max_n: u8,
     tolerance: f64,
     kernel: Kernel,
-) -> Result<Vec<f64>, CompressError> {
+) -> Result<Vec<T>, CompressError> {
     decompress_chunk_with(
         speck_stream,
         outlier_stream,
@@ -515,7 +526,7 @@ pub fn decompress_chunk(
 /// using `arena`'s panel scratch. Also reports per-stage wall times
 /// (SPECK decode / wavelet / outlier correction) for `info --verbose`.
 #[allow(clippy::too_many_arguments)]
-pub fn decompress_chunk_with(
+pub fn decompress_chunk_with<T: Float>(
     speck_stream: &[u8],
     outlier_stream: &[u8],
     dims: [usize; 3],
@@ -525,8 +536,8 @@ pub fn decompress_chunk_with(
     tolerance: f64,
     kernel: Kernel,
     pool: &WorkerPool,
-    arena: &mut ScratchArena,
-) -> Result<(Vec<f64>, StageTimes), CompressError> {
+    arena: &mut ScratchArena<T>,
+) -> Result<(Vec<T>, StageTimes), CompressError> {
     decompress_chunk_inner(
         speck_stream,
         outlier_stream,
@@ -550,7 +561,7 @@ pub fn decompress_chunk_with(
 /// bit-identical to a full decode of the chunk (corrections are
 /// point-local, Eq. 1). Used by [`crate::Sperr::decode_region`].
 #[allow(clippy::too_many_arguments)]
-pub fn decompress_chunk_region_with(
+pub fn decompress_chunk_region_with<T: Float>(
     speck_stream: &[u8],
     outlier_stream: &[u8],
     dims: [usize; 3],
@@ -562,8 +573,8 @@ pub fn decompress_chunk_region_with(
     keep_lo: [usize; 3],
     keep_hi: [usize; 3],
     pool: &WorkerPool,
-    arena: &mut ScratchArena,
-) -> Result<(Vec<f64>, StageTimes), CompressError> {
+    arena: &mut ScratchArena<T>,
+) -> Result<(Vec<T>, StageTimes), CompressError> {
     decompress_chunk_inner(
         speck_stream,
         outlier_stream,
@@ -580,7 +591,7 @@ pub fn decompress_chunk_region_with(
 }
 
 #[allow(clippy::too_many_arguments)]
-fn decompress_chunk_inner(
+fn decompress_chunk_inner<T: Float>(
     speck_stream: &[u8],
     outlier_stream: &[u8],
     dims: [usize; 3],
@@ -591,8 +602,8 @@ fn decompress_chunk_inner(
     kernel: Kernel,
     keep: Option<([usize; 3], [usize; 3])>,
     pool: &WorkerPool,
-    arena: &mut ScratchArena,
-) -> Result<(Vec<f64>, StageTimes), CompressError> {
+    arena: &mut ScratchArena<T>,
+) -> Result<(Vec<T>, StageTimes), CompressError> {
     let levels = levels_for_dims(dims);
     crate::faultpoint::stage(stage_labels::SPECK_DECODE);
     let (decoded, speck_time) = timed(stage_labels::SPECK_DECODE, || {
@@ -628,8 +639,9 @@ fn decompress_chunk_inner(
                         continue;
                     }
                 }
-                // z = x̃ + corr (Eq. 1).
-                coeffs[c.pos] += c.corr;
+                // z = x̃ + corr (Eq. 1), applied in f64 and narrowed once
+                // so the f32 path pays a single rounding (exact for f64).
+                coeffs[c.pos] = T::from_f64(coeffs[c.pos].to_f64() + c.corr);
             }
         }
         Ok(())
@@ -712,7 +724,7 @@ mod tests {
         let budget = 4096usize; // 1 bpp
         let enc = compress_chunk_bpp(&data, dims, budget, Kernel::Cdf97);
         assert!(enc.speck_bits <= budget);
-        let rec = decompress_chunk(
+        let rec = decompress_chunk::<f64>(
             &enc.speck_stream,
             &[],
             dims,
@@ -733,7 +745,7 @@ mod tests {
         let enc = compress_chunk_pwe(&data, dims, 0.1, 1.5, Kernel::Cdf97);
         assert!(enc.speck_stream.is_empty());
         assert_eq!(enc.num_outliers, 0);
-        let rec = decompress_chunk(
+        let rec = decompress_chunk::<f64>(
             &enc.speck_stream,
             &enc.outlier_stream,
             dims,
@@ -805,7 +817,7 @@ mod tests {
         let t = 0.001;
         let enc = compress_chunk_pwe(&data, dims, t, 3.0, Kernel::Cdf97);
         assert!(enc.num_outliers > 0, "test needs outliers to be meaningful");
-        let full = decompress_chunk(
+        let full = decompress_chunk::<f64>(
             &enc.speck_stream,
             &enc.outlier_stream,
             dims,
@@ -817,7 +829,7 @@ mod tests {
         )
         .unwrap();
         let (lo, hi) = ([3usize, 0, 2], [9usize, 12, 7]);
-        let mut arena = ScratchArena::new();
+        let mut arena = ScratchArena::<f64>::new();
         let (region, _) = decompress_chunk_region_with(
             &enc.speck_stream,
             &enc.outlier_stream,
@@ -849,7 +861,7 @@ mod tests {
         let data = test_data(dims);
         let t = 0.002;
         let enc = compress_chunk_pwe(&data, dims, t, 1.5, Kernel::Cdf97);
-        let serial = decompress_chunk(
+        let serial = decompress_chunk::<f64>(
             &enc.speck_stream,
             &enc.outlier_stream,
             dims,

@@ -73,6 +73,7 @@ use crate::pool::{lock_ignore_poison, panic_payload_message, PerWorker, WorkerPo
 use crate::stats::{stage_labels, CompressionStats, StageTimes};
 use crate::ChunkStatus;
 use sperr_compress_api::{Bound, CompressError, Precision};
+use sperr_simd::Float;
 use sperr_telemetry::timed;
 
 /// Stage labels specific to the streaming pipeline (the per-chunk codec
@@ -239,18 +240,21 @@ impl LayerGeometry {
     }
 }
 
-/// Reads raw little-endian scalars row by row, converting to `f64`
-/// exactly like the CLI's file reader (so streaming output is
-/// byte-identical to the file path).
-struct ScalarReader<R: Read> {
+/// Reads raw little-endian scalars row by row, converting to the
+/// pipeline's sample type `T` exactly like the CLI's file reader (so
+/// streaming output is byte-identical to the file path). The `f64`
+/// pipeline widens Single wire data (the legacy ingest); the `f32`
+/// pipeline reads Single wire data natively (the f32→f64→f32 hop in
+/// `from_f64` is exact).
+struct ScalarReader<R: Read, T: Float = f64> {
     inner: R,
     precision: Precision,
     row_bytes: Vec<u8>,
-    row: Vec<f64>,
+    row: Vec<T>,
     bytes_in: u64,
 }
 
-impl<R: Read> ScalarReader<R> {
+impl<R: Read, T: Float> ScalarReader<R, T> {
     fn new(inner: R, precision: Precision, row_len: usize) -> Self {
         let scalar = match precision {
             Precision::Single => 4,
@@ -260,14 +264,14 @@ impl<R: Read> ScalarReader<R> {
             inner,
             precision,
             row_bytes: vec![0u8; row_len * scalar],
-            row: vec![0.0; row_len],
+            row: vec![T::ZERO; row_len],
             bytes_in: 0,
         }
     }
 
     /// Reads one x-row of scalars; short reads surface as
     /// `ErrorKind::UnexpectedEof`.
-    fn read_row(&mut self) -> Result<&[f64], SperrError> {
+    fn read_row(&mut self) -> Result<&[T], SperrError> {
         self.inner
             .read_exact(&mut self.row_bytes)
             .map_err(|e| SperrError::io(STAGE_INGEST, None, &e))?;
@@ -275,14 +279,15 @@ impl<R: Read> ScalarReader<R> {
         match self.precision {
             Precision::Single => {
                 for (dst, src) in self.row.iter_mut().zip(self.row_bytes.chunks_exact(4)) {
-                    *dst = f32::from_le_bytes([src[0], src[1], src[2], src[3]]) as f64;
+                    *dst =
+                        T::from_f64(f32::from_le_bytes([src[0], src[1], src[2], src[3]]) as f64);
                 }
             }
             Precision::Double => {
                 for (dst, src) in self.row.iter_mut().zip(self.row_bytes.chunks_exact(8)) {
-                    *dst = f64::from_le_bytes([
+                    *dst = T::from_f64(f64::from_le_bytes([
                         src[0], src[1], src[2], src[3], src[4], src[5], src[6], src[7],
-                    ]);
+                    ]));
                 }
             }
         }
@@ -341,9 +346,9 @@ impl<W: Write> ScalarWriter<W> {
 /// Sink for the ingest loop: hands out chunk buffers and receives them
 /// back filled. The serial driver encodes inline; the parallel driver's
 /// sink is the back-pressured handoff to the worker stages.
-trait ChunkSink {
-    fn acquire(&mut self, idx: usize) -> Result<Vec<f64>, SperrError>;
-    fn complete(&mut self, idx: usize, buf: Vec<f64>) -> Result<(), SperrError>;
+trait ChunkSink<T> {
+    fn acquire(&mut self, idx: usize) -> Result<Vec<T>, SperrError>;
+    fn complete(&mut self, idx: usize, buf: Vec<T>) -> Result<(), SperrError>;
 }
 
 /// Streams the raw volume row by row, assembling each chunk's x-fastest
@@ -351,17 +356,17 @@ trait ChunkSink {
 /// completed chunks to the sink. Chunks complete as early as possible
 /// (during the layer's last z-plane, per chunk row) so downstream stages
 /// overlap with ingest.
-fn ingest_volume<R: Read>(
-    rd: &mut ScalarReader<R>,
+fn ingest_volume<R: Read, T: Float>(
+    rd: &mut ScalarReader<R, T>,
     geo: &LayerGeometry,
     grid: &[ChunkSpec],
-    sink: &mut dyn ChunkSink,
+    sink: &mut dyn ChunkSink<T>,
 ) -> Result<(), SperrError> {
     let layer_len = geo.layer_len();
     for l in 0..geo.nz {
         let (z0, z1) = geo.z_range(l);
         let base = l * layer_len;
-        let mut bufs: Vec<Option<Vec<f64>>> = Vec::with_capacity(layer_len);
+        let mut bufs: Vec<Option<Vec<T>>> = Vec::with_capacity(layer_len);
         for p in 0..layer_len {
             let idx = base + p;
             let mut b = sink.acquire(idx)?;
@@ -397,13 +402,15 @@ fn ingest_volume<R: Read>(
     Ok(())
 }
 
-/// Shared state of one parallel streaming run.
-struct PipeState {
+/// Shared state of one parallel streaming run. Generic over the raw
+/// sample type the compress direction buffers (`f64` on the decompress
+/// side, whose decoded chunks are widened before entering the mailbox).
+struct PipeState<T> {
     /// Completed chunk buffers awaiting their worker (compress) or the
     /// emitter (decompress): index → payload.
-    ready: HashMap<usize, ReadyChunk>,
+    ready: HashMap<usize, ReadyChunk<T>>,
     /// Returned raw buffers for reuse (compress only).
-    free: Vec<Vec<f64>>,
+    free: Vec<Vec<T>>,
     /// Buffers/tokens currently in flight.
     in_flight: usize,
     /// High-water mark of `in_flight`.
@@ -416,13 +423,13 @@ struct PipeState {
     error: Option<SperrError>,
 }
 
-enum ReadyChunk {
-    Raw(Vec<f64>),
-    Decoded { data: Vec<f64>, status: ChunkStatus, times: StageTimes },
+enum ReadyChunk<T> {
+    Raw(Vec<T>),
+    Decoded { data: Vec<T>, status: ChunkStatus, times: StageTimes },
 }
 
-struct PipeShared {
-    state: Mutex<PipeState>,
+struct PipeShared<T> {
+    state: Mutex<PipeState<T>>,
     /// Wakes the producer/emitter side.
     caller_cv: Condvar,
     /// Wakes worker-side waits.
@@ -430,7 +437,7 @@ struct PipeShared {
     budget: usize,
 }
 
-impl PipeShared {
+impl<T> PipeShared<T> {
     fn new(budget: usize) -> Self {
         PipeShared {
             state: Mutex::new(PipeState {
@@ -516,7 +523,7 @@ impl Sperr {
         // container assembly, after the pool has drained) still surfaces
         // as a typed error — nothing unwinds out of the public API.
         catch_unwind(AssertUnwindSafe(|| {
-            self.compress_stream_inner(reader, writer, dims, precision, bound)
+            self.compress_stream_inner::<f64, R, W>(reader, writer, dims, precision, false, bound)
         }))
         .unwrap_or_else(|p| {
             Err(SperrError::Panic {
@@ -527,12 +534,46 @@ impl Sperr {
         })
     }
 
-    fn compress_stream_inner<R: Read, W: Write>(
+    /// Streaming compression through the f32-native pipeline: reads raw
+    /// little-endian `f32` scalars (x fastest) from `reader` and writes an
+    /// f32-native SPERR stream (precision tag 2), byte-identical to
+    /// [`Sperr::compress_f32`] on the same data. Contrast with
+    /// [`Sperr::compress_stream`] at `Precision::Single`, which keeps the
+    /// legacy behavior of widening f32 input into the f64 pipeline.
+    pub fn compress_stream_f32<R: Read, W: Write>(
+        &self,
+        reader: R,
+        writer: W,
+        dims: [usize; 3],
+        bound: Bound,
+    ) -> Result<StreamReport, SperrError> {
+        // Outer guard: see `compress_stream`.
+        catch_unwind(AssertUnwindSafe(|| {
+            self.compress_stream_inner::<f32, R, W>(
+                reader,
+                writer,
+                dims,
+                Precision::Single,
+                true,
+                bound,
+            )
+        }))
+        .unwrap_or_else(|p| {
+            Err(SperrError::Panic {
+                stage: faultpoint::last_stage(),
+                chunk: None,
+                message: panic_payload_message(p.as_ref()),
+            })
+        })
+    }
+
+    fn compress_stream_inner<T: Float, R: Read, W: Write>(
         &self,
         reader: R,
         writer: W,
         dims: [usize; 3],
         precision: Precision,
+        native_f32: bool,
         bound: Bound,
     ) -> Result<StreamReport, SperrError> {
         let invalid = |msg: String| SperrError::Codec {
@@ -577,12 +618,12 @@ impl Sperr {
         let threads = self.effective_threads(&grid);
         let budget = self.resolve_budget(threads, geo.layer_len());
 
-        let mut rd = ScalarReader::new(reader, precision, dims[0]);
+        let mut rd = ScalarReader::<R, T>::new(reader, precision, dims[0]);
         let mut results: Vec<Option<ChunkEncoding>> = (0..n_chunks).map(|_| None).collect();
-        let encode_chunk = |data: &[f64],
+        let encode_chunk = |data: &[T],
                             spec: &ChunkSpec,
                             pool: &WorkerPool,
-                            arena: &mut ScratchArena|
+                            arena: &mut ScratchArena<T>|
          -> ChunkEncoding {
             match mode {
                 Mode::Pwe => compress_chunk_pwe_with(
@@ -602,28 +643,28 @@ impl Sperr {
         if threads == 1 {
             // Serial driver: ingest a layer, encode its chunks inline,
             // reuse the buffers. In flight = one layer by construction.
-            struct SerialSink<'a> {
-                free: Vec<Vec<f64>>,
+            struct SerialSink<'a, T: Float> {
+                free: Vec<Vec<T>>,
                 in_flight: usize,
                 peak: usize,
                 grid: &'a [ChunkSpec],
                 results: &'a mut [Option<ChunkEncoding>],
                 encode: &'a dyn Fn(
-                    &[f64],
+                    &[T],
                     &ChunkSpec,
                     &WorkerPool,
-                    &mut ScratchArena,
+                    &mut ScratchArena<T>,
                 ) -> ChunkEncoding,
                 pool: &'a WorkerPool,
-                arena: ScratchArena,
+                arena: ScratchArena<T>,
             }
-            impl ChunkSink for SerialSink<'_> {
-                fn acquire(&mut self, _idx: usize) -> Result<Vec<f64>, SperrError> {
+            impl<T: Float> ChunkSink<T> for SerialSink<'_, T> {
+                fn acquire(&mut self, _idx: usize) -> Result<Vec<T>, SperrError> {
                     self.in_flight += 1;
                     self.peak = self.peak.max(self.in_flight);
                     Ok(self.free.pop().unwrap_or_default())
                 }
-                fn complete(&mut self, idx: usize, buf: Vec<f64>) -> Result<(), SperrError> {
+                fn complete(&mut self, idx: usize, buf: Vec<T>) -> Result<(), SperrError> {
                     let r = catch_unwind(AssertUnwindSafe(|| {
                         (self.encode)(&buf, &self.grid[idx], self.pool, &mut self.arena)
                     }));
@@ -701,11 +742,11 @@ impl Sperr {
                     shared_ref.caller_cv.notify_all();
                 };
                 let producer = || {
-                    struct ParallelSink<'a> {
-                        shared: &'a PipeShared,
+                    struct ParallelSink<'a, T> {
+                        shared: &'a PipeShared<T>,
                     }
-                    impl ChunkSink for ParallelSink<'_> {
-                        fn acquire(&mut self, _idx: usize) -> Result<Vec<f64>, SperrError> {
+                    impl<T: Float> ChunkSink<T> for ParallelSink<'_, T> {
+                        fn acquire(&mut self, _idx: usize) -> Result<Vec<T>, SperrError> {
                             let mut st = lock_ignore_poison(&self.shared.state);
                             loop {
                                 if let Some(e) = &st.error {
@@ -723,7 +764,7 @@ impl Sperr {
                                     .unwrap_or_else(std::sync::PoisonError::into_inner);
                             }
                         }
-                        fn complete(&mut self, idx: usize, buf: Vec<f64>) -> Result<(), SperrError> {
+                        fn complete(&mut self, idx: usize, buf: Vec<T>) -> Result<(), SperrError> {
                             let mut st = lock_ignore_poison(&self.shared.state);
                             if let Some(e) = &st.error {
                                 return Err(e.clone());
@@ -795,6 +836,7 @@ impl Sperr {
             mode,
             kernel: cfg.kernel,
             precision,
+            native_f32,
             dims,
             chunk_dims: cfg.chunk_dims,
             bound_value,
@@ -933,6 +975,7 @@ impl Sperr {
         let threads = self.effective_threads(&grid);
         let budget = self.resolve_budget(threads, geo.layer_len());
         let kernel = header.kernel;
+        let native_f32 = header.native_f32;
 
         // Decodes chunk i, honoring resilient semantics: Ok(status) with
         // a data buffer (zero-filled on per-chunk failure), Err on a
@@ -958,18 +1001,38 @@ impl Sperr {
             }
             let (speck, outlier) = payload.split_at(e.speck_len);
             let r = catch_unwind(AssertUnwindSafe(|| {
-                decompress_chunk_with(
-                    speck,
-                    outlier,
-                    spec.dims,
-                    e.q,
-                    e.num_planes,
-                    e.max_n,
-                    tolerance,
-                    kernel,
-                    pool,
-                    arena,
-                )
+                if native_f32 {
+                    // f32-native payload: decode at native width, widen
+                    // (exact) for the f64 emit path. Row emission narrows
+                    // back losslessly when the output precision is Single.
+                    let mut arena32 = ScratchArena::<f32>::new();
+                    decompress_chunk_with(
+                        speck,
+                        outlier,
+                        spec.dims,
+                        e.q,
+                        e.num_planes,
+                        e.max_n,
+                        tolerance,
+                        kernel,
+                        pool,
+                        &mut arena32,
+                    )
+                    .map(|(c, t)| (c.iter().map(|&v| v as f64).collect::<Vec<f64>>(), t))
+                } else {
+                    decompress_chunk_with(
+                        speck,
+                        outlier,
+                        spec.dims,
+                        e.q,
+                        e.num_planes,
+                        e.max_n,
+                        tolerance,
+                        kernel,
+                        pool,
+                        arena,
+                    )
+                }
             }));
             match r {
                 Ok(Ok((data, times))) => Ok((data, ChunkStatus::Ok, times)),
@@ -1282,6 +1345,62 @@ mod tests {
             assert!(report.peak_in_flight <= report.in_flight_budget);
             assert_eq!(report.n_chunks, 3 * 2 * 2);
         }
+    }
+
+    #[test]
+    fn stream_f32_compress_matches_in_memory_across_threads() {
+        // compress_stream_f32 must produce the exact bytes of the
+        // in-memory f32-native path, at every thread count.
+        let dims = [40usize, 28, 20];
+        let field = wavy(dims);
+        let f32_field = field.narrow_lossy();
+        let raw: Vec<u8> =
+            f32_field.data.iter().flat_map(|v| v.to_le_bytes()).collect();
+        for bound in [Bound::Pwe(1e-3), Bound::Bpp(2.0)] {
+            let reference = Sperr::new(cfg(1)).compress_f32(&f32_field, bound).unwrap();
+            assert!(Sperr::new(cfg(1)).inspect(&reference).unwrap().native_f32);
+            for threads in [1usize, 2, 4, 8] {
+                let sperr = Sperr::new(cfg(threads));
+                let mut out = Vec::new();
+                let report = sperr
+                    .compress_stream_f32(&raw[..], &mut out, dims, bound)
+                    .unwrap();
+                assert_eq!(out, reference, "threads={threads} {bound:?}");
+                assert_eq!(report.bytes_in, raw.len() as u64);
+                assert!(report.peak_in_flight <= report.in_flight_budget);
+            }
+        }
+    }
+
+    #[test]
+    fn stream_decompress_native_f32_stream() {
+        // decompress_stream on a tag-2 stream: the default output
+        // precision is Single, and the emitted f32 wire bytes must match
+        // the in-memory decompress_f32 samples exactly (decode at f32,
+        // widen, narrow back — all lossless).
+        let dims = [40usize, 28, 20];
+        let field = wavy(dims).narrow_lossy();
+        let sperr = Sperr::new(cfg(4));
+        let stream = sperr.compress_f32(&field, Bound::Pwe(1e-3)).unwrap();
+        let decoded = sperr.decompress_f32(&stream).unwrap();
+        let want: Vec<u8> =
+            decoded.data.iter().flat_map(|v| v.to_le_bytes()).collect();
+        for threads in [1usize, 2, 4, 8] {
+            let mut out = Vec::new();
+            let report = Sperr::new(cfg(threads))
+                .decompress_stream(&stream[..], &mut out, None)
+                .unwrap();
+            assert_eq!(out, want, "threads={threads}");
+            assert!(report.peak_in_flight <= report.in_flight_budget);
+        }
+        // Explicit f64 output widens exactly.
+        let mut out64 = Vec::new();
+        sperr
+            .decompress_stream(&stream[..], &mut out64, Some(Precision::Double))
+            .unwrap();
+        let want64: Vec<u8> =
+            decoded.data.iter().flat_map(|v| (*v as f64).to_le_bytes()).collect();
+        assert_eq!(out64, want64);
     }
 
     #[test]

@@ -29,11 +29,13 @@
 
 mod bitplane;
 mod bytes;
+mod float;
 mod lift;
 mod quant;
 
 pub use bitplane::{apply_plane_bits, plane_word_u32, plane_word_u64};
 pub use bytes::{max_assign, max_elem, pairwise_max_into, run_le};
+pub use float::Float;
 pub use lift::{lift_pairs, merge_even_odd, scale_in_place, split_even_odd};
 pub use quant::{quantize_magnitude, quantize_meta_into, reconstruct_mid_riser_into};
 

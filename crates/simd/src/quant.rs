@@ -4,21 +4,28 @@
 //! reconstruction. These own SPERR's dead-zone semantics; the SPECK
 //! reference and production encoders both call [`quantize_magnitude`] so
 //! the paths cannot drift.
+//!
+//! All kernels are generic over [`Float`]: the `f64` instantiation is
+//! bit-identical to the historical scalar-typed code (same expression,
+//! same operand order), the `f32` instantiation packs twice the lanes
+//! into each blocked window.
 
-/// Saturation threshold: magnitudes cap at `2^62` so downstream shifts
-/// cannot overflow (`2^62` is exactly representable in `f64`).
-const CAP: f64 = (1u64 << 62) as f64;
+use crate::float::Float;
+
+/// Saturated magnitude: quantized values cap at `2^62` so downstream
+/// shifts cannot overflow (`2^62` is exactly representable at both
+/// float widths — see [`Float::CAP`]).
 const SAT: u64 = 1u64 << 62;
 
 /// Quantizes one coefficient: `floor(|c| / q)`, saturating at `2^62`.
-/// NaNs quantize to 0 (dead zone) via the saturating `as` cast.
+/// NaNs quantize to 0 (dead zone) via the saturating cast.
 #[inline]
-pub fn quantize_magnitude(c: f64, inv_q: f64) -> u64 {
+pub fn quantize_magnitude<T: Float>(c: T, inv_q: T) -> u64 {
     let r = c.abs() * inv_q;
-    if r >= CAP {
+    if r >= T::CAP {
         SAT
     } else {
-        r as u64 // saturating f64 -> u64 cast; truncation == floor for r >= 0
+        r.to_u64_saturating() // truncation == floor for r >= 0
     }
 }
 
@@ -36,13 +43,16 @@ fn planes_of(k: u64) -> u8 {
 /// coefficient array, which beats writing and then randomly gathering a
 /// full-size `u64` magnitude plane. Slices must be equal length. Scalar
 /// twin: [`scalar_quantize_meta_into`].
-pub fn quantize_meta_into(coeffs: &[f64], inv_q: f64, meta: &mut [u8]) {
+pub fn quantize_meta_into<T: Float>(coeffs: &[T], inv_q: T, meta: &mut [u8]) {
     assert_eq!(coeffs.len(), meta.len());
     #[cfg(feature = "force-scalar")]
     return scalar_quantize_meta_into(coeffs, inv_q, meta);
     #[cfg(not(feature = "force-scalar"))]
     {
-        const W: usize = 8;
+        // 16 lanes per window: two 256-bit-class vectors of f64, one of
+        // f32 pairs — the per-lane expressions are independent, so the
+        // window width never affects results, only unrolling.
+        const W: usize = 16;
         let mut c_it = coeffs.chunks_exact(W);
         let mut m_it = meta.chunks_exact_mut(W);
         for (cb, mb) in c_it.by_ref().zip(m_it.by_ref()) {
@@ -52,28 +62,32 @@ pub fn quantize_meta_into(coeffs: &[f64], inv_q: f64, meta: &mut [u8]) {
             let mut kw = [0u64; W];
             for (kv, &c) in kw.iter_mut().zip(cb) {
                 let r = c.abs() * inv_q;
-                *kv = if r >= CAP { SAT } else { r as u64 };
+                *kv = if r >= T::CAP {
+                    SAT
+                } else {
+                    r.to_u64_saturating()
+                };
             }
             // Block 2: integer-only meta packing (lzcnt + shift + or).
             let mut mw = [0u8; W];
             for ((mv, &kv), &c) in mw.iter_mut().zip(&kw).zip(cb) {
-                *mv = (planes_of(kv) << 1) | (c < 0.0) as u8;
+                *mv = (planes_of(kv) << 1) | (c < T::ZERO) as u8;
             }
             mb.copy_from_slice(&mw);
         }
         for (&c, mv) in c_it.remainder().iter().zip(m_it.into_remainder()) {
             let q = quantize_magnitude(c, inv_q);
-            *mv = (planes_of(q) << 1) | (c < 0.0) as u8;
+            *mv = (planes_of(q) << 1) | (c < T::ZERO) as u8;
         }
     }
 }
 
 /// Scalar reference for [`quantize_meta_into`].
-pub fn scalar_quantize_meta_into(coeffs: &[f64], inv_q: f64, meta: &mut [u8]) {
+pub fn scalar_quantize_meta_into<T: Float>(coeffs: &[T], inv_q: T, meta: &mut [u8]) {
     assert_eq!(coeffs.len(), meta.len());
     for (&c, mv) in coeffs.iter().zip(meta.iter_mut()) {
         let q = quantize_magnitude(c, inv_q);
-        *mv = (planes_of(q) << 1) | (c < 0.0) as u8;
+        *mv = (planes_of(q) << 1) | (c < T::ZERO) as u8;
     }
 }
 
@@ -82,23 +96,23 @@ pub fn scalar_quantize_meta_into(coeffs: &[f64], inv_q: f64, meta: &mut [u8]) {
 /// the centre of its quantization cell (`(k + 0.5) * q`, signed), with
 /// dead-zone values (`k == 0`) reconstructing to exactly 0. Scalar twin:
 /// [`scalar_reconstruct_mid_riser_into`].
-pub fn reconstruct_mid_riser_into(coeffs: &[f64], q: f64, inv_q: f64, out: &mut [f64]) {
+pub fn reconstruct_mid_riser_into<T: Float>(coeffs: &[T], q: T, inv_q: T, out: &mut [T]) {
     assert_eq!(coeffs.len(), out.len());
     #[cfg(feature = "force-scalar")]
     return scalar_reconstruct_mid_riser_into(coeffs, q, inv_q, out);
     #[cfg(not(feature = "force-scalar"))]
     {
-        const W: usize = 4;
+        const W: usize = 8;
         let mut c_it = coeffs.chunks_exact(W);
         let mut o_it = out.chunks_exact_mut(W);
         for (cb, ob) in c_it.by_ref().zip(o_it.by_ref()) {
             for (o, &c) in ob.iter_mut().zip(cb) {
                 let k = quantize_magnitude(c, inv_q);
                 *o = if k == 0 {
-                    0.0
+                    T::ZERO
                 } else {
-                    let mag = (k as f64 + 0.5) * q;
-                    if c < 0.0 {
+                    let mag = (T::from_u64_lossy(k) + T::HALF) * q;
+                    if c < T::ZERO {
                         -mag
                     } else {
                         mag
@@ -109,10 +123,10 @@ pub fn reconstruct_mid_riser_into(coeffs: &[f64], q: f64, inv_q: f64, out: &mut 
         for (o, &c) in o_it.into_remainder().iter_mut().zip(c_it.remainder()) {
             let k = quantize_magnitude(c, inv_q);
             *o = if k == 0 {
-                0.0
+                T::ZERO
             } else {
-                let mag = (k as f64 + 0.5) * q;
-                if c < 0.0 {
+                let mag = (T::from_u64_lossy(k) + T::HALF) * q;
+                if c < T::ZERO {
                     -mag
                 } else {
                     mag
@@ -123,15 +137,15 @@ pub fn reconstruct_mid_riser_into(coeffs: &[f64], q: f64, inv_q: f64, out: &mut 
 }
 
 /// Scalar reference for [`reconstruct_mid_riser_into`].
-pub fn scalar_reconstruct_mid_riser_into(coeffs: &[f64], q: f64, inv_q: f64, out: &mut [f64]) {
+pub fn scalar_reconstruct_mid_riser_into<T: Float>(coeffs: &[T], q: T, inv_q: T, out: &mut [T]) {
     assert_eq!(coeffs.len(), out.len());
     for (o, &c) in out.iter_mut().zip(coeffs) {
         let k = quantize_magnitude(c, inv_q);
         *o = if k == 0 {
-            0.0
+            T::ZERO
         } else {
-            let mag = (k as f64 + 0.5) * q;
-            if c < 0.0 {
+            let mag = (T::from_u64_lossy(k) + T::HALF) * q;
+            if c < T::ZERO {
                 -mag
             } else {
                 mag
@@ -152,6 +166,11 @@ mod tests {
         assert_eq!(quantize_magnitude(f64::INFINITY, 1.0), SAT);
         assert_eq!(quantize_magnitude(1e300, 1.0), SAT);
         assert_eq!(quantize_magnitude(-2.75, 2.0), 5);
+        // f32 instantiation: same dead-zone and saturation semantics.
+        assert_eq!(quantize_magnitude(f32::NAN, 1.0f32), 0);
+        assert_eq!(quantize_magnitude(f32::INFINITY, 1.0f32), SAT);
+        assert_eq!(quantize_magnitude(1e38f32, 1.0f32), SAT);
+        assert_eq!(quantize_magnitude(-2.75f32, 2.0f32), 5);
     }
 
     #[test]
@@ -168,6 +187,26 @@ mod tests {
         let (mut r1, mut r2) = (vec![0.0f64; n], vec![0.0f64; n]);
         reconstruct_mid_riser_into(&coeffs, 0.5, 2.0, &mut r1);
         scalar_reconstruct_mid_riser_into(&coeffs, 0.5, 2.0, &mut r2);
+        assert_eq!(
+            r1.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            r2.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn meta_matches_scalar_f32() {
+        let coeffs: Vec<f32> = (0..53)
+            .map(|i| ((i * 37 % 19) as f32 - 9.0) * 0.3)
+            .chain([f32::NAN, -0.0, 1e38, -1e38])
+            .collect();
+        let n = coeffs.len();
+        let (mut m1, mut m2) = (vec![0u8; n], vec![0u8; n]);
+        quantize_meta_into(&coeffs, 2.0f32, &mut m1);
+        scalar_quantize_meta_into(&coeffs, 2.0f32, &mut m2);
+        assert_eq!(m1, m2);
+        let (mut r1, mut r2) = (vec![0.0f32; n], vec![0.0f32; n]);
+        reconstruct_mid_riser_into(&coeffs, 0.5f32, 2.0f32, &mut r1);
+        scalar_reconstruct_mid_riser_into(&coeffs, 0.5f32, 2.0f32, &mut r2);
         assert_eq!(
             r1.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
             r2.iter().map(|v| v.to_bits()).collect::<Vec<_>>()

@@ -15,6 +15,7 @@
 use crate::pyramid::MaxPyramid;
 use crate::set::SetS;
 use sperr_bitstream::BitWriter;
+use sperr_simd::Float;
 
 /// When the encoder stops producing bits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,13 +57,13 @@ pub struct EncodedSpeck {
 /// production encoder and [`crate::reference`] so the two paths cannot
 /// drift in their dead-zone handling; the per-element semantics live in
 /// [`sperr_simd::quantize_magnitude`].
-pub(crate) fn quantize_all(coeffs: &[f64], q: f64) -> (Vec<u64>, Vec<bool>) {
-    let inv_q = 1.0 / q;
+pub(crate) fn quantize_all<T: Float>(coeffs: &[T], q: f64) -> (Vec<u64>, Vec<bool>) {
+    let inv_q = T::ONE / T::from_f64(q);
     let mut k = Vec::with_capacity(coeffs.len());
     let mut negative = Vec::with_capacity(coeffs.len());
     for &c in coeffs {
         k.push(sperr_simd::quantize_magnitude(c, inv_q));
-        negative.push(c < 0.0);
+        negative.push(c < T::ZERO);
     }
     (k, negative)
 }
@@ -84,9 +85,9 @@ pub(crate) fn quantize_all(coeffs: &[f64], q: f64) -> (Vec<u64>, Vec<bool>) {
 /// [`sperr_simd::quantize_magnitude`] with [`quantize_all`] so the
 /// production and reference paths cannot drift in their dead-zone
 /// handling.
-pub(crate) fn quantize_meta(coeffs: &[f64], q: f64) -> Vec<u8> {
+pub(crate) fn quantize_meta<T: Float>(coeffs: &[T], q: f64) -> Vec<u8> {
     let mut meta = vec![0u8; coeffs.len()];
-    sperr_simd::quantize_meta_into(coeffs, 1.0 / q, &mut meta);
+    sperr_simd::quantize_meta_into(coeffs, T::ONE / T::from_f64(q), &mut meta);
     meta
 }
 
@@ -96,18 +97,19 @@ pub(crate) fn quantize_meta(coeffs: &[f64], q: f64) -> Vec<u8> {
 /// enforced by tests.
 ///
 /// [`decode`]: crate::decode
-pub fn reconstruct_quantized(coeffs: &[f64], q: f64) -> Vec<f64> {
-    let mut out = vec![0.0; coeffs.len()];
+pub fn reconstruct_quantized<T: Float>(coeffs: &[T], q: f64) -> Vec<T> {
+    let mut out = vec![T::ZERO; coeffs.len()];
     reconstruct_quantized_into(coeffs, q, &mut out);
     out
 }
 
 /// Allocation-free variant of [`reconstruct_quantized`]: writes into a
 /// caller-provided slice of the same length (hot-path buffer reuse).
-pub fn reconstruct_quantized_into(coeffs: &[f64], q: f64, out: &mut [f64]) {
+pub fn reconstruct_quantized_into<T: Float>(coeffs: &[T], q: f64, out: &mut [T]) {
     assert!(q > 0.0 && q.is_finite(), "quantization step must be positive");
     assert_eq!(coeffs.len(), out.len());
-    sperr_simd::reconstruct_mid_riser_into(coeffs, q, 1.0 / q, out);
+    let qt = T::from_f64(q);
+    sperr_simd::reconstruct_mid_riser_into(coeffs, qt, T::ONE / qt, out);
 }
 
 /// Signals that the bit budget has been exhausted (encoder) or the stream
@@ -332,7 +334,7 @@ impl Lsp {
     /// Admits the current plane's discoveries into the LSP (called after
     /// the plane's refinement pass): one dense requantizing gather over
     /// the staged indices.
-    pub(crate) fn admit(&mut self, coeffs: &[f64], inv_q: f64) {
+    pub(crate) fn admit<T: Float>(&mut self, coeffs: &[T], inv_q: T) {
         if self.narrow {
             self.k32.extend(
                 self.new_idx
@@ -373,10 +375,10 @@ impl<const D: usize> LisBucket<D> {
 /// The word-granular encoder for arbitrary domain shapes. Power-of-two
 /// cubic domains take the Morton fast path in [`crate::morton`] instead;
 /// the two produce identical streams.
-struct Encoder<'a, const D: usize, const CHECKED: bool> {
+struct Encoder<'a, T: Float, const D: usize, const CHECKED: bool> {
     dims: [usize; D],
-    coeffs: &'a [f64],
-    inv_q: f64,
+    coeffs: &'a [T],
+    inv_q: T,
     /// Per-coefficient `planes_of(k) << 1 | sign` (see [`quantize_meta`]).
     /// Significance only ever compares MSB positions, so the sorting
     /// passes run entirely on this `u8` array (and the `u8` pyramid
@@ -392,7 +394,7 @@ struct Encoder<'a, const D: usize, const CHECKED: bool> {
     sets_split: usize,
 }
 
-impl<'a, const D: usize, const CHECKED: bool> Encoder<'a, D, CHECKED> {
+impl<'a, T: Float, const D: usize, const CHECKED: bool> Encoder<'a, T, D, CHECKED> {
     fn push_lis(&mut self, set: SetS<D>) {
         let lvl = set.part_level as usize;
         if self.lis.len() <= lvl {
@@ -518,10 +520,10 @@ impl<'a, const D: usize, const CHECKED: bool> Encoder<'a, D, CHECKED> {
     }
 }
 
-fn encode_with<const D: usize, const CHECKED: bool>(
+fn encode_with<T: Float, const D: usize, const CHECKED: bool>(
     dims: [usize; D],
-    coeffs: &[f64],
-    inv_q: f64,
+    coeffs: &[T],
+    inv_q: T,
     meta: &[u8],
     pyramid: &MaxPyramid<'_, u8, D>,
     num_planes: u8,
@@ -530,7 +532,7 @@ fn encode_with<const D: usize, const CHECKED: bool>(
 ) -> EncodedSpeck {
     let mut root = SetS::root(dims);
     root.msb_plus1 = num_planes;
-    let mut enc = Encoder::<'_, D, CHECKED> {
+    let mut enc = Encoder::<'_, T, D, CHECKED> {
         dims,
         coeffs,
         inv_q,
@@ -580,8 +582,8 @@ pub(crate) fn empty_result() -> EncodedSpeck {
 
 /// Encodes `coeffs` (shape `dims`, row-major with axis 0 fastest) with
 /// finest quantization step `q > 0`.
-pub fn encode<const D: usize>(
-    coeffs: &[f64],
+pub fn encode<T: Float, const D: usize>(
+    coeffs: &[T],
     dims: [usize; D],
     q: f64,
     term: Termination,
@@ -592,7 +594,7 @@ pub fn encode<const D: usize>(
     assert!(n_total as u64 <= u32::MAX as u64, "domain too large for u32 indices");
 
     let meta = quantize_meta(coeffs, q);
-    let inv_q = 1.0 / q;
+    let inv_q = T::ONE / T::from_f64(q);
 
     // Power-of-two cubes (the dominant case in practice) take the
     // Morton-layout fast path: every partition the coder creates is an
@@ -602,10 +604,10 @@ pub fn encode<const D: usize>(
     if crate::morton::applicable(dims) {
         let r = match term {
             Termination::Quality => {
-                crate::morton::encode_morton::<D, false>(coeffs, dims, inv_q, meta, usize::MAX)
+                crate::morton::encode_morton::<T, D, false>(coeffs, dims, inv_q, meta, usize::MAX)
             }
             Termination::BitBudget(b) => {
-                crate::morton::encode_morton::<D, true>(coeffs, dims, inv_q, meta, b)
+                crate::morton::encode_morton::<T, D, true>(coeffs, dims, inv_q, meta, b)
             }
         };
         return r;
@@ -618,11 +620,11 @@ pub fn encode<const D: usize>(
     }
 
     match term {
-        Termination::Quality => encode_with::<D, false>(
+        Termination::Quality => encode_with::<T, D, false>(
             dims, coeffs, inv_q, &meta, &pyramid, num_planes, usize::MAX, n_total,
         ),
         Termination::BitBudget(b) => {
-            encode_with::<D, true>(dims, coeffs, inv_q, &meta, &pyramid, num_planes, b, n_total)
+            encode_with::<T, D, true>(dims, coeffs, inv_q, &meta, &pyramid, num_planes, b, n_total)
         }
     }
 }

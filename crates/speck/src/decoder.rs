@@ -5,6 +5,7 @@
 
 use crate::set::SetS;
 use sperr_bitstream::BitReader;
+use sperr_simd::Float;
 use std::fmt;
 
 /// Hard ceiling on the number of coefficients a decoder will allocate
@@ -249,10 +250,11 @@ impl<'a, const D: usize> Decoder<'a, D> {
     /// reconstruct at the interval centre. Undiscovered coefficients stay
     /// 0. This is the only place the full grid is written — one pass,
     /// one scatter per discovered coefficient.
-    fn reconstruct(&self, q: f64, n_total: usize) -> Vec<f64> {
-        let mut out = vec![0.0; n_total];
-        let place = |out: &mut [f64], idx: u32, val: u64, unc: u8, neg: bool| {
-            let mag = (val as f64 + 0.5 * (1u64 << unc) as f64) * q;
+    fn reconstruct<T: Float>(&self, q: f64, n_total: usize) -> Vec<T> {
+        let qt = T::from_f64(q);
+        let mut out = vec![T::ZERO; n_total];
+        let place = |out: &mut [T], idx: u32, val: u64, unc: u8, neg: bool| {
+            let mag = (T::from_u64_lossy(val) + T::HALF * T::from_u64_lossy(1u64 << unc)) * qt;
             if let Some(slot) = out.get_mut(idx as usize) {
                 *slot = if neg { -mag } else { mag };
             }
@@ -278,12 +280,12 @@ impl<'a, const D: usize> Decoder<'a, D> {
 /// product exceeds [`MAX_DECODE_ELEMENTS`] — return a typed error instead
 /// of panicking, so header fields from untrusted containers can be passed
 /// through unchecked.
-pub fn decode<const D: usize>(
+pub fn decode<T: Float, const D: usize>(
     stream: &[u8],
     dims: [usize; D],
     q: f64,
     num_planes: u8,
-) -> Result<Vec<f64>, DecodeError> {
+) -> Result<Vec<T>, DecodeError> {
     if !(q > 0.0) || !q.is_finite() {
         return Err(DecodeError::Corrupt("quantization step must be positive and finite"));
     }
@@ -296,7 +298,7 @@ pub fn decode<const D: usize>(
     }
     let n_total = n_total as usize;
     if num_planes == 0 {
-        return Ok(vec![0.0; n_total]);
+        return Ok(vec![T::ZERO; n_total]);
     }
     if num_planes > 64 {
         return Err(DecodeError::Corrupt("num_planes exceeds 64"));

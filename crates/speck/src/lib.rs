@@ -74,7 +74,7 @@ mod tests {
         let coeffs = vec![0.0; 64];
         let enc = encode(&coeffs, dims, 1.0, Termination::Quality);
         assert_eq!(enc.num_planes, 0);
-        let rec = decode(&enc.stream, dims, 1.0, enc.num_planes).unwrap();
+        let rec: Vec<f64> = decode(&enc.stream, dims, 1.0, enc.num_planes).unwrap();
         assert_eq!(rec, coeffs);
     }
 
@@ -186,7 +186,7 @@ mod tests {
         assert!(enc.bits_used <= budget_bits);
         assert!(enc.stream.len() <= budget_bits.div_ceil(8));
         // Budget-truncated stream still decodes.
-        let rec = decode(&enc.stream, dims, 0.001, enc.num_planes).unwrap();
+        let rec: Vec<f64> = decode(&enc.stream, dims, 0.001, enc.num_planes).unwrap();
         assert_eq!(rec.len(), 1024);
     }
 
@@ -203,7 +203,7 @@ mod tests {
     #[test]
     fn decode_empty_stream_is_all_zero() {
         let dims = [4usize, 4];
-        let rec = decode(&[], dims, 1.0, 5).unwrap();
+        let rec: Vec<f64> = decode(&[], dims, 1.0, 5).unwrap();
         assert_eq!(rec, vec![0.0; 16]);
     }
 
@@ -213,7 +213,7 @@ mod tests {
         let garbage: Vec<u8> =
             (0..997u32).map(|i| (i.wrapping_mul(193) >> 3) as u8).collect();
         for planes in [1u8, 7, 33, 63] {
-            let rec = decode(&garbage, dims, 0.5, planes);
+            let rec = decode::<f64, 3>(&garbage, dims, 0.5, planes);
             // Must terminate and produce a full-size result or a clean error.
             if let Ok(v) = rec {
                 assert_eq!(v.len(), 512);
@@ -332,6 +332,49 @@ mod tests {
     }
 
     #[test]
+    fn f32_streams_match_reference_and_roundtrip() {
+        // The f32 instantiation honors the same contracts as f64:
+        // production vs bit-at-a-time reference streams byte-identical
+        // (both general-shape and Morton-cube domains), decode agrees
+        // exactly with the encode-side reconstruction, and quality-mode
+        // error stays below q for f32-representable magnitudes.
+        for dims in [[11usize, 6, 7], [16, 16, 16]] {
+            let n: usize = dims.iter().product();
+            let coeffs: Vec<f32> =
+                (0..n).map(|i| ((i * 29) % 97) as f32 - 48.0 + (i as f32 * 0.011)).collect();
+            let q = 0.25;
+            for term in [Termination::Quality, Termination::BitBudget(901)] {
+                let fast = encode(&coeffs, dims, q, term);
+                let slow = reference::encode(&coeffs, dims, q, term);
+                assert_eq!(fast.stream, slow.stream, "{dims:?} {term:?}");
+                assert_eq!(fast.bits_used, slow.bits_used, "{dims:?} {term:?}");
+                assert_eq!(fast.num_planes, slow.num_planes, "{dims:?} {term:?}");
+            }
+            let enc = encode(&coeffs, dims, q, Termination::Quality);
+            let via_decode: Vec<f32> = decode(&enc.stream, dims, q, enc.num_planes).unwrap();
+            let via_fast = reconstruct_quantized(&coeffs, q);
+            assert_eq!(via_decode, via_fast);
+            for (c, r) in coeffs.iter().zip(&via_decode) {
+                assert!((c - r).abs() < q as f32, "c={c} r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn f32_and_f64_streams_agree_on_exact_values() {
+        // Inputs exactly representable at both widths quantize to the same
+        // integers, so the two instantiations must emit identical streams.
+        let dims = [8usize, 8, 8];
+        let vals64: Vec<f64> = (0..512).map(|i| ((i * 37) % 113) as f64 - 56.0).collect();
+        let vals32: Vec<f32> = vals64.iter().map(|&v| v as f32).collect();
+        let q = 0.5;
+        let e64 = encode(&vals64, dims, q, Termination::Quality);
+        let e32 = encode(&vals32, dims, q, Termination::Quality);
+        assert_eq!(e64.stream, e32.stream);
+        assert_eq!(e64.num_planes, e32.num_planes);
+    }
+
+    #[test]
     fn reconstruct_quantized_matches_decode() {
         // The fast path (used by the SPERR pipeline to locate outliers
         // without a decode pass) must agree exactly with a full decode of a
@@ -341,7 +384,7 @@ mod tests {
         let coeffs: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin() * 20.0).collect();
         let q = 0.1;
         let enc = encode(&coeffs, dims, q, Termination::Quality);
-        let via_decode = decode(&enc.stream, dims, q, enc.num_planes).unwrap();
+        let via_decode: Vec<f64> = decode(&enc.stream, dims, q, enc.num_planes).unwrap();
         let via_fast = reconstruct_quantized(&coeffs, q);
         assert_eq!(via_decode, via_fast);
     }

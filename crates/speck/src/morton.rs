@@ -39,6 +39,7 @@
 //! conformance goldens and the oracle tests below.
 
 use crate::coder::{empty_result, finish, BitSink, EncodedSpeck, Lsp, Stop};
+use sperr_simd::Float;
 
 /// True when `dims` is a power-of-two cube the Morton path handles
 /// (side >= 2; a 1-cube is a bare pixel the general path covers).
@@ -151,9 +152,9 @@ struct Bucket {
     mb: Vec<u8>,
 }
 
-struct MortonEncoder<'a, const D: usize, const CHECKED: bool> {
-    coeffs: &'a [f64],
-    inv_q: f64,
+struct MortonEncoder<'a, T: Float, const D: usize, const CHECKED: bool> {
+    coeffs: &'a [T],
+    inv_q: T,
     layout: MortonLayout,
     levels: Vec<Vec<u8>>,
     /// Insignificant cubes bucketed by size log `j` — ascending `j` is
@@ -165,7 +166,7 @@ struct MortonEncoder<'a, const D: usize, const CHECKED: bool> {
     sets_split: usize,
 }
 
-impl<'a, const D: usize, const CHECKED: bool> MortonEncoder<'a, D, CHECKED> {
+impl<'a, T: Float, const D: usize, const CHECKED: bool> MortonEncoder<'a, T, D, CHECKED> {
     /// One sorting pass at plane `n`: the same SWAR-scan + `copy_within`
     /// compaction as the general encoder's bucket loop, with the
     /// insignificance threshold expressed on raw meta bytes
@@ -260,10 +261,10 @@ impl<'a, const D: usize, const CHECKED: bool> MortonEncoder<'a, D, CHECKED> {
     }
 }
 
-pub(crate) fn encode_morton<const D: usize, const CHECKED: bool>(
-    coeffs: &[f64],
+pub(crate) fn encode_morton<T: Float, const D: usize, const CHECKED: bool>(
+    coeffs: &[T],
     dims: [usize; D],
-    inv_q: f64,
+    inv_q: T,
     meta: Vec<u8>,
     budget: usize,
 ) -> EncodedSpeck {
@@ -291,7 +292,7 @@ pub(crate) fn encode_morton<const D: usize, const CHECKED: bool>(
     buckets[k as usize].cells.push(0);
     buckets[k as usize].mb.push(levels[k as usize][0]);
 
-    let mut enc = MortonEncoder::<'_, D, CHECKED> {
+    let mut enc = MortonEncoder::<'_, T, D, CHECKED> {
         coeffs,
         inv_q,
         layout,

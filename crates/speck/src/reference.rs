@@ -13,6 +13,7 @@ use crate::coder::{quantize_all, EncodedSpeck, Termination};
 use crate::pyramid::MaxPyramid;
 use crate::set::SetS;
 use sperr_bitstream::BitWriter;
+use sperr_simd::Float;
 
 /// Signals that the bit budget has been exhausted; unwinds the pass.
 struct Stop;
@@ -117,8 +118,8 @@ impl<'a, const D: usize> Encoder<'a, D> {
 
 /// Encodes `coeffs` exactly like [`crate::encode`], through the
 /// pre-overhaul bit-at-a-time path. Differential-oracle use only.
-pub fn encode<const D: usize>(
-    coeffs: &[f64],
+pub fn encode<T: Float, const D: usize>(
+    coeffs: &[T],
     dims: [usize; D],
     q: f64,
     term: Termination,

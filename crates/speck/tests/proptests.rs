@@ -38,7 +38,7 @@ proptest! {
             if i % 3 == 0 { *c = 0.0; }
         }
         let enc = encode(&coeffs, dims, q, Termination::Quality);
-        let rec = decode(&enc.stream, dims, q, enc.num_planes).unwrap();
+        let rec = decode::<f64, 3>(&enc.stream, dims, q, enc.num_planes).unwrap();
         for (i, (&c, &r)) in coeffs.iter().zip(&rec).enumerate() {
             if c == 0.0 {
                 prop_assert_eq!(r, 0.0, "idx {}", i);
@@ -54,7 +54,7 @@ proptest! {
         let n: usize = dims.iter().product();
         let mut cut = 0;
         while cut <= enc.stream.len() {
-            let rec = decode(&enc.stream[..cut], dims, q, enc.num_planes).unwrap();
+            let rec = decode::<f64, 3>(&enc.stream[..cut], dims, q, enc.num_planes).unwrap();
             prop_assert_eq!(rec.len(), n);
             cut += step;
         }
@@ -69,7 +69,7 @@ proptest! {
         let enc = encode(&coeffs, dims, q, Termination::Quality);
         let n: usize = dims.iter().product();
         for cut in 0..=enc.stream.len() {
-            let rec = decode(&enc.stream[..cut], dims, q, enc.num_planes);
+            let rec = decode::<f64, 3>(&enc.stream[..cut], dims, q, enc.num_planes);
             match rec {
                 Ok(v) => prop_assert_eq!(v.len(), n),
                 Err(_) => prop_assert!(false, "embedded prefix rejected at {}", cut),
@@ -88,9 +88,9 @@ proptest! {
             let mut bad = enc.stream.clone();
             let pos = (pos_seed as usize) % bad.len();
             bad[pos] ^= 1 << (pos_seed % 8);
-            let _ = decode(&bad, dims, q, enc.num_planes);
+            let _ = decode::<f64, 3>(&bad, dims, q, enc.num_planes);
         }
-        let _ = decode(&enc.stream, dims, q, planes);
+        let _ = decode::<f64, 3>(&enc.stream, dims, q, planes);
     }
 
     #[test]
@@ -114,6 +114,28 @@ proptest! {
         let slow_b = sperr_speck::reference::encode(&coeffs, dims, q, Termination::BitBudget(budget));
         prop_assert_eq!(&fast_b.stream, &slow_b.stream);
         prop_assert_eq!(fast_b.bits_used, slow_b.bits_used);
+    }
+
+    #[test]
+    fn f32_fast_path_matches_reference_and_bounds_error((coeffs, dims) in field_strategy(),
+                                                        q in 1e-2f64..1e2) {
+        // f32 instantiation: production == reference bitwise, decode ==
+        // encode-side reconstruction, and the quantization-error contract
+        // holds up to f32 rounding (quantizing c/q in f32 loses precision
+        // once the ratio nears 2^24, so the bound carries a relative term).
+        let coeffs32: Vec<f32> = coeffs.iter().map(|&v| v as f32).collect();
+        let fast = encode(&coeffs32, dims, q, Termination::Quality);
+        let slow = sperr_speck::reference::encode(&coeffs32, dims, q, Termination::Quality);
+        prop_assert_eq!(&fast.stream, &slow.stream);
+        prop_assert_eq!(fast.bits_used, slow.bits_used);
+        let rec: Vec<f32> = decode(&fast.stream, dims, q, fast.num_planes).unwrap();
+        let via_fast = sperr_speck::reconstruct_quantized(&coeffs32, q);
+        prop_assert_eq!(&rec, &via_fast);
+        for (&c, &r) in coeffs32.iter().zip(&rec) {
+            let err = (c as f64 - r as f64).abs();
+            prop_assert!(err < q * (1.0 + 1e-5) + (c as f64).abs() * 1e-5,
+                         "c={c} r={r} q={q}");
+        }
     }
 
     #[test]

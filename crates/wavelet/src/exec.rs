@@ -12,6 +12,7 @@
 //! is identical regardless of executor, worker count or scheduling order
 //! (enforced by the equivalence proptests).
 
+use sperr_simd::Float;
 use std::cell::UnsafeCell;
 
 /// Runs batches of independent jobs, possibly in parallel.
@@ -127,30 +128,31 @@ pub const PANEL_W: usize = 32;
 
 /// Per-worker scratch owned by [`TransformScratch`]: one panel plus the
 /// kernel's de/interleave line buffer.
-pub(crate) struct WorkerScratch {
+pub(crate) struct WorkerScratch<T> {
     /// `PANEL_W` lines, line-major (`panel[w*n + i]` is sample `i` of
     /// panel line `w`).
-    pub panel: Vec<f64>,
+    pub panel: Vec<T>,
     /// Kernel line scratch (`Kernel::forward_line`'s `scratch` argument).
-    pub line: Vec<f64>,
+    pub line: Vec<T>,
 }
 
 /// Reusable scratch for the `_with` transform drivers: per-worker panel
 /// and line buffers sized for the largest axis seen so far. Create once,
 /// reuse across chunks/calls — the whole point is that repeated
-/// transforms allocate nothing.
-pub struct TransformScratch {
-    pub(crate) workers: PerWorker<WorkerScratch>,
+/// transforms allocate nothing. Generic over the sample type with the
+/// historical `f64` as default, so existing call sites are unchanged.
+pub struct TransformScratch<T: Float = f64> {
+    pub(crate) workers: PerWorker<WorkerScratch<T>>,
     max_dim: usize,
 }
 
-impl Default for TransformScratch {
+impl<T: Float> Default for TransformScratch<T> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl TransformScratch {
+impl<T: Float> TransformScratch<T> {
     /// An empty scratch; buffers grow on first use.
     pub fn new() -> Self {
         TransformScratch { workers: PerWorker::new(0, || unreachable!()), max_dim: 0 }
@@ -163,8 +165,8 @@ impl TransformScratch {
         if workers > self.workers.len() || max_dim > self.max_dim {
             let dim = max_dim.max(self.max_dim);
             self.workers = PerWorker::new(workers.max(self.workers.len()), || WorkerScratch {
-                panel: vec![0.0; PANEL_W * dim],
-                line: vec![0.0; dim],
+                panel: vec![T::ZERO; PANEL_W * dim],
+                line: vec![T::ZERO; dim],
             });
             self.max_dim = dim;
         }
@@ -188,7 +190,7 @@ mod tests {
 
     #[test]
     fn scratch_grows_monotonically() {
-        let mut s = TransformScratch::new();
+        let mut s = TransformScratch::<f64>::new();
         s.ensure(16, 1);
         s.ensure(8, 4); // more workers, smaller dim: keeps the larger dim
         unsafe {

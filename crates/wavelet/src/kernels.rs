@@ -16,6 +16,12 @@
 //!
 //! Boundary handling is whole-sample symmetric extension: index `-i`
 //! reflects to `i` and index `n-1+i` to `n-1-i`, matching QccPack.
+//!
+//! The line kernels are generic over [`Float`]; the lifting constants are
+//! stored in `f64` and narrowed once per call (`T::from_f64`, round to
+//! nearest) so both widths lift with the best representable constants.
+
+use sperr_simd::Float;
 
 /// Daubechies–Sweldens lifting constants for CDF 9/7.
 const ALPHA: f64 = -1.586_134_342_059_924;
@@ -51,7 +57,7 @@ impl Kernel {
 
     /// One forward level on `buf[..n]`, leaving `[approx | detail]`.
     /// `scratch` must be at least `n` long.
-    pub(crate) fn forward_line(self, buf: &mut [f64], n: usize, scratch: &mut [f64]) {
+    pub(crate) fn forward_line<T: Float>(self, buf: &mut [T], n: usize, scratch: &mut [T]) {
         debug_assert!(buf.len() >= n && scratch.len() >= n);
         if n < 2 {
             return;
@@ -62,23 +68,23 @@ impl Kernel {
         sperr_simd::split_even_odd(&buf[..n], s, d);
         match self {
             Kernel::Cdf97 => {
-                lift_detail(s, d, ALPHA);
-                lift_approx(s, d, BETA);
-                lift_detail(s, d, GAMMA);
-                lift_approx(s, d, DELTA);
-                sperr_simd::scale_in_place(s, ZETA);
-                sperr_simd::scale_in_place(d, INV_ZETA);
+                lift_detail(s, d, T::from_f64(ALPHA));
+                lift_approx(s, d, T::from_f64(BETA));
+                lift_detail(s, d, T::from_f64(GAMMA));
+                lift_approx(s, d, T::from_f64(DELTA));
+                sperr_simd::scale_in_place(s, T::from_f64(ZETA));
+                sperr_simd::scale_in_place(d, T::from_f64(INV_ZETA));
             }
             Kernel::Cdf53 => {
-                lift_detail(s, d, -0.5);
-                lift_approx(s, d, 0.25);
-                sperr_simd::scale_in_place(s, std::f64::consts::SQRT_2);
-                sperr_simd::scale_in_place(d, std::f64::consts::FRAC_1_SQRT_2);
+                lift_detail(s, d, T::from_f64(-0.5));
+                lift_approx(s, d, T::from_f64(0.25));
+                sperr_simd::scale_in_place(s, T::from_f64(std::f64::consts::SQRT_2));
+                sperr_simd::scale_in_place(d, T::from_f64(std::f64::consts::FRAC_1_SQRT_2));
             }
             Kernel::Haar => {
                 // Pairwise orthonormal butterfly; a trailing unpaired sample
                 // (which the split parked in the approx band) passes through.
-                let c = std::f64::consts::FRAC_1_SQRT_2;
+                let c = T::from_f64(std::f64::consts::FRAC_1_SQRT_2);
                 for (e, o) in s.iter_mut().zip(d.iter_mut()) {
                     let (a, b) = (*e, *o);
                     *e = (a + b) * c;
@@ -91,7 +97,7 @@ impl Kernel {
     }
 
     /// One inverse level on `buf[..n]`, consuming `[approx | detail]`.
-    pub(crate) fn inverse_line(self, buf: &mut [f64], n: usize, scratch: &mut [f64]) {
+    pub(crate) fn inverse_line<T: Float>(self, buf: &mut [T], n: usize, scratch: &mut [T]) {
         debug_assert!(buf.len() >= n && scratch.len() >= n);
         if n < 2 {
             return;
@@ -101,21 +107,21 @@ impl Kernel {
         let (s, d) = buf[..n].split_at_mut(half);
         match self {
             Kernel::Cdf97 => {
-                sperr_simd::scale_in_place(s, INV_ZETA);
-                sperr_simd::scale_in_place(d, ZETA);
-                lift_approx(s, d, -DELTA);
-                lift_detail(s, d, -GAMMA);
-                lift_approx(s, d, -BETA);
-                lift_detail(s, d, -ALPHA);
+                sperr_simd::scale_in_place(s, T::from_f64(INV_ZETA));
+                sperr_simd::scale_in_place(d, T::from_f64(ZETA));
+                lift_approx(s, d, T::from_f64(-DELTA));
+                lift_detail(s, d, T::from_f64(-GAMMA));
+                lift_approx(s, d, T::from_f64(-BETA));
+                lift_detail(s, d, T::from_f64(-ALPHA));
             }
             Kernel::Cdf53 => {
-                sperr_simd::scale_in_place(s, std::f64::consts::FRAC_1_SQRT_2);
-                sperr_simd::scale_in_place(d, std::f64::consts::SQRT_2);
-                lift_approx(s, d, -0.25);
-                lift_detail(s, d, 0.5);
+                sperr_simd::scale_in_place(s, T::from_f64(std::f64::consts::FRAC_1_SQRT_2));
+                sperr_simd::scale_in_place(d, T::from_f64(std::f64::consts::SQRT_2));
+                lift_approx(s, d, T::from_f64(-0.25));
+                lift_detail(s, d, T::from_f64(0.5));
             }
             Kernel::Haar => {
-                let c = std::f64::consts::FRAC_1_SQRT_2;
+                let c = T::from_f64(std::f64::consts::FRAC_1_SQRT_2);
                 for (e, o) in s.iter_mut().zip(d.iter_mut()) {
                     let (lo, hi) = (*e, *o);
                     *e = (lo + hi) * c;
@@ -135,7 +141,7 @@ impl Kernel {
 /// right neighbour reflects (`x[n] -> x[n-2]`), which in band terms is
 /// its own left neighbour.
 #[inline]
-fn lift_detail(s: &[f64], d: &mut [f64], c: f64) {
+fn lift_detail<T: Float>(s: &[T], d: &mut [T], c: T) {
     let ho = d.len();
     if ho == 0 {
         return;
@@ -145,7 +151,7 @@ fn lift_detail(s: &[f64], d: &mut [f64], c: f64) {
         sperr_simd::lift_pairs(d, &s[..ho], &s[1..ho + 1], c);
     } else {
         sperr_simd::lift_pairs(&mut d[..ho - 1], &s[..ho - 1], &s[1..ho], c);
-        d[ho - 1] += c * 2.0 * s[ho - 1];
+        d[ho - 1] += c * T::from_f64(2.0) * s[ho - 1];
     }
 }
 
@@ -155,13 +161,13 @@ fn lift_detail(s: &[f64], d: &mut [f64], c: f64) {
 /// neighbour reflects (`x[-1] -> x[1]`); when the line length is odd the
 /// last one's right neighbour reflects too.
 #[inline]
-fn lift_approx(s: &mut [f64], d: &[f64], c: f64) {
+fn lift_approx<T: Float>(s: &mut [T], d: &[T], c: T) {
     let ho = d.len();
     debug_assert!(ho >= 1);
-    s[0] += c * 2.0 * d[0];
+    s[0] += c * T::from_f64(2.0) * d[0];
     sperr_simd::lift_pairs(&mut s[1..ho], &d[..ho - 1], &d[1..ho], c);
     if s.len() > ho {
-        s[ho] += c * 2.0 * d[ho - 1];
+        s[ho] += c * T::from_f64(2.0) * d[ho - 1];
     }
 }
 

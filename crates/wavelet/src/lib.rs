@@ -165,7 +165,7 @@ mod tests {
         // A constant input must produce (near-)zero detail coefficients and
         // an approximation band scaled by sqrt(2) per level (unit-norm basis).
         let n = 64;
-        let c = 3.5;
+        let c = 3.5f64;
         let mut data = vec![c; n];
         forward_1d(&mut data, n, 1, Kernel::Cdf97);
         let half = approx_len(n);

@@ -23,6 +23,7 @@
 
 use crate::exec::{LineExecutor, Serial, TransformScratch, WorkerScratch, PANEL_W};
 use crate::kernels::Kernel;
+use sperr_simd::Float;
 
 /// Telemetry labels for per-axis lifting passes (span value = level).
 /// The `reference` module is deliberately not instrumented: it is the
@@ -52,14 +53,14 @@ pub fn approx_len(n: usize) -> usize {
 }
 
 /// Forward multilevel transform of a 1D signal in place.
-pub fn forward_1d(data: &mut [f64], n: usize, levels: usize, kernel: Kernel) {
-    let mut scratch = vec![0.0; n];
+pub fn forward_1d<T: Float>(data: &mut [T], n: usize, levels: usize, kernel: Kernel) {
+    let mut scratch = vec![T::ZERO; n];
     forward_1d_with(data, n, levels, kernel, &mut scratch);
 }
 
 /// [`forward_1d`] with caller-provided scratch (`scratch.len() >= n`), so
 /// repeated calls allocate nothing.
-pub fn forward_1d_with(data: &mut [f64], n: usize, levels: usize, kernel: Kernel, scratch: &mut [f64]) {
+pub fn forward_1d_with<T: Float>(data: &mut [T], n: usize, levels: usize, kernel: Kernel, scratch: &mut [T]) {
     assert!(data.len() >= n);
     assert!(scratch.len() >= n, "scratch too short: {} < {n}", scratch.len());
     let mut len = n;
@@ -73,13 +74,13 @@ pub fn forward_1d_with(data: &mut [f64], n: usize, levels: usize, kernel: Kernel
 }
 
 /// Inverse of [`forward_1d`].
-pub fn inverse_1d(data: &mut [f64], n: usize, levels: usize, kernel: Kernel) {
-    let mut scratch = vec![0.0; n];
+pub fn inverse_1d<T: Float>(data: &mut [T], n: usize, levels: usize, kernel: Kernel) {
+    let mut scratch = vec![T::ZERO; n];
     inverse_1d_with(data, n, levels, kernel, &mut scratch);
 }
 
 /// [`inverse_1d`] with caller-provided scratch (`scratch.len() >= n`).
-pub fn inverse_1d_with(data: &mut [f64], n: usize, levels: usize, kernel: Kernel, scratch: &mut [f64]) {
+pub fn inverse_1d_with<T: Float>(data: &mut [T], n: usize, levels: usize, kernel: Kernel, scratch: &mut [T]) {
     assert!(data.len() >= n);
     assert!(scratch.len() >= n, "scratch too short: {} < {n}", scratch.len());
     // Recompute the per-level lengths, then undo them in reverse order.
@@ -101,13 +102,13 @@ pub fn inverse_1d_with(data: &mut [f64], n: usize, levels: usize, kernel: Kernel
 
 /// Forward multilevel transform of a row-major 2D field in place.
 /// `dims = [nx, ny]` with `x` fastest-varying.
-pub fn forward_2d(data: &mut [f64], dims: [usize; 2], levels: [usize; 2], kernel: Kernel) {
+pub fn forward_2d<T: Float>(data: &mut [T], dims: [usize; 2], levels: [usize; 2], kernel: Kernel) {
     let d3 = [dims[0], dims[1], 1];
     forward_3d(data, d3, [levels[0], levels[1], 0], kernel);
 }
 
 /// Inverse of [`forward_2d`].
-pub fn inverse_2d(data: &mut [f64], dims: [usize; 2], levels: [usize; 2], kernel: Kernel) {
+pub fn inverse_2d<T: Float>(data: &mut [T], dims: [usize; 2], levels: [usize; 2], kernel: Kernel) {
     let d3 = [dims[0], dims[1], 1];
     inverse_3d(data, d3, [levels[0], levels[1], 0], kernel);
 }
@@ -115,19 +116,19 @@ pub fn inverse_2d(data: &mut [f64], dims: [usize; 2], levels: [usize; 2], kernel
 /// Forward multilevel transform of a row-major 3D volume in place.
 /// `dims = [nx, ny, nz]` with `x` fastest-varying (index
 /// `x + nx*(y + ny*z)`).
-pub fn forward_3d(data: &mut [f64], dims: [usize; 3], levels: [usize; 3], kernel: Kernel) {
+pub fn forward_3d<T: Float>(data: &mut [T], dims: [usize; 3], levels: [usize; 3], kernel: Kernel) {
     forward_3d_with(data, dims, levels, kernel, &Serial, &mut TransformScratch::new());
 }
 
 /// [`forward_3d`] with a caller-supplied executor (for intra-volume
 /// parallelism) and reusable scratch (for allocation-free repetition).
-pub fn forward_3d_with(
-    data: &mut [f64],
+pub fn forward_3d_with<T: Float>(
+    data: &mut [T],
     dims: [usize; 3],
     levels: [usize; 3],
     kernel: Kernel,
     exec: &dyn LineExecutor,
-    scratch: &mut TransformScratch,
+    scratch: &mut TransformScratch<T>,
 ) {
     assert_eq!(data.len(), dims[0] * dims[1] * dims[2], "data/dims mismatch");
     let max_levels = levels.iter().copied().max().unwrap_or(0);
@@ -146,18 +147,18 @@ pub fn forward_3d_with(
 }
 
 /// Inverse of [`forward_3d`].
-pub fn inverse_3d(data: &mut [f64], dims: [usize; 3], levels: [usize; 3], kernel: Kernel) {
+pub fn inverse_3d<T: Float>(data: &mut [T], dims: [usize; 3], levels: [usize; 3], kernel: Kernel) {
     inverse_3d_partial(data, dims, levels, 0, kernel);
 }
 
 /// [`inverse_3d`] with executor + reusable scratch.
-pub fn inverse_3d_with(
-    data: &mut [f64],
+pub fn inverse_3d_with<T: Float>(
+    data: &mut [T],
     dims: [usize; 3],
     levels: [usize; 3],
     kernel: Kernel,
     exec: &dyn LineExecutor,
-    scratch: &mut TransformScratch,
+    scratch: &mut TransformScratch<T>,
 ) {
     inverse_3d_partial_with(data, dims, levels, 0, kernel, exec, scratch);
 }
@@ -171,8 +172,8 @@ pub fn inverse_3d_with(
 /// kernel's per-level DC gain, √2 per skipped level for the unit-norm
 /// kernels — divide by `2^(skip/2)` per axis for physical units; see
 /// [`coarse_scale`]).
-pub fn inverse_3d_partial(
-    data: &mut [f64],
+pub fn inverse_3d_partial<T: Float>(
+    data: &mut [T],
     dims: [usize; 3],
     levels: [usize; 3],
     skip_finest: usize,
@@ -182,14 +183,14 @@ pub fn inverse_3d_partial(
 }
 
 /// [`inverse_3d_partial`] with executor + reusable scratch.
-pub fn inverse_3d_partial_with(
-    data: &mut [f64],
+pub fn inverse_3d_partial_with<T: Float>(
+    data: &mut [T],
     dims: [usize; 3],
     levels: [usize; 3],
     skip_finest: usize,
     kernel: Kernel,
     exec: &dyn LineExecutor,
-    scratch: &mut TransformScratch,
+    scratch: &mut TransformScratch<T>,
 ) {
     assert_eq!(data.len(), dims[0] * dims[1] * dims[2], "data/dims mismatch");
     let max_levels = levels.iter().copied().max().unwrap_or(0);
@@ -253,15 +254,20 @@ pub fn coarse_scale(dims: [usize; 3], levels: [usize; 3], skip_finest: usize) ->
 
 /// Raw pointer wrapper letting independent jobs write disjoint samples of
 /// the shared volume. Soundness argument at the use sites.
-#[derive(Clone, Copy)]
-struct VolPtr(*mut f64);
-unsafe impl Send for VolPtr {}
-unsafe impl Sync for VolPtr {}
+struct VolPtr<T>(*mut T);
+impl<T> Clone for VolPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for VolPtr<T> {}
+unsafe impl<T: Send> Send for VolPtr<T> {}
+unsafe impl<T: Send> Sync for VolPtr<T> {}
 
-impl VolPtr {
+impl<T> VolPtr<T> {
     /// Pointer to sample `off`. Method (not field) access so closures
     /// capture the whole Sync wrapper, not the raw pointer field.
-    unsafe fn at(self, off: usize) -> *mut f64 {
+    unsafe fn at(self, off: usize) -> *mut T {
         self.0.add(off)
     }
 }
@@ -274,15 +280,15 @@ const X_LINES_PER_JOB: usize = 8;
 /// `axis` within the sub-box `[0, cur)` of the full `dims` array,
 /// dispatching independent line batches / panels through `exec`.
 #[allow(clippy::too_many_arguments)]
-fn apply_axis_blocked(
-    data: &mut [f64],
+fn apply_axis_blocked<T: Float>(
+    data: &mut [T],
     dims: [usize; 3],
     cur: [usize; 3],
     axis: usize,
     kernel: Kernel,
     forward: bool,
     exec: &dyn LineExecutor,
-    scratch: &TransformScratch,
+    scratch: &TransformScratch<T>,
 ) {
     let n = cur[axis];
     let strides = [1, dims[0], dims[0] * dims[1]];
@@ -298,7 +304,7 @@ fn apply_axis_blocked(
         let n_jobs = n_lines.div_ceil(X_LINES_PER_JOB);
         exec.run(n_jobs, &|job, worker| {
             // SAFETY: one live &mut per worker slot (executor contract).
-            let ws: &mut WorkerScratch = unsafe { workers.get(worker) };
+            let ws: &mut WorkerScratch<T> = unsafe { workers.get(worker) };
             let start = job * X_LINES_PER_JOB;
             for li in start..(start + X_LINES_PER_JOB).min(n_lines) {
                 let (jy, jz) = (li % cur[1], li / cur[1]);
@@ -327,7 +333,7 @@ fn apply_axis_blocked(
     let n_jobs = cur[b] * panels_per_row;
     exec.run(n_jobs, &|job, worker| {
         // SAFETY: one live &mut per worker slot (executor contract).
-        let ws: &mut WorkerScratch = unsafe { workers.get(worker) };
+        let ws: &mut WorkerScratch<T> = unsafe { workers.get(worker) };
         let WorkerScratch { panel, line } = ws;
         let jb = job / panels_per_row;
         let x0 = (job % panels_per_row) * PANEL_W;
@@ -372,12 +378,12 @@ pub mod reference {
     use super::*;
 
     /// Per-line forward multilevel transform (original implementation).
-    pub fn forward_3d(data: &mut [f64], dims: [usize; 3], levels: [usize; 3], kernel: Kernel) {
+    pub fn forward_3d<T: Float>(data: &mut [T], dims: [usize; 3], levels: [usize; 3], kernel: Kernel) {
         assert_eq!(data.len(), dims[0] * dims[1] * dims[2], "data/dims mismatch");
         let max_levels = levels.iter().copied().max().unwrap_or(0);
         let max_dim = dims.iter().copied().max().unwrap_or(0);
-        let mut line = vec![0.0; max_dim];
-        let mut scratch = vec![0.0; max_dim];
+        let mut line = vec![T::ZERO; max_dim];
+        let mut scratch = vec![T::ZERO; max_dim];
         let mut cur = dims;
         for level in 0..max_levels {
             for axis in 0..3 {
@@ -392,12 +398,12 @@ pub mod reference {
     }
 
     /// Per-line inverse multilevel transform (original implementation).
-    pub fn inverse_3d(data: &mut [f64], dims: [usize; 3], levels: [usize; 3], kernel: Kernel) {
+    pub fn inverse_3d<T: Float>(data: &mut [T], dims: [usize; 3], levels: [usize; 3], kernel: Kernel) {
         assert_eq!(data.len(), dims[0] * dims[1] * dims[2], "data/dims mismatch");
         let max_levels = levels.iter().copied().max().unwrap_or(0);
         let max_dim = dims.iter().copied().max().unwrap_or(0);
-        let mut line = vec![0.0; max_dim];
-        let mut scratch = vec![0.0; max_dim];
+        let mut line = vec![T::ZERO; max_dim];
+        let mut scratch = vec![T::ZERO; max_dim];
         let mut schedule: Vec<(usize, usize)> = Vec::new(); // (axis, len before)
         let mut cur = dims;
         for level in 0..max_levels {
@@ -418,14 +424,14 @@ pub mod reference {
 
     /// Applies `f` to every line along `axis` within the sub-box
     /// `[0, cur)`, gathering/scattering one strided line at a time.
-    fn apply_axis_per_line(
-        data: &mut [f64],
+    fn apply_axis_per_line<T: Float>(
+        data: &mut [T],
         dims: [usize; 3],
         cur: [usize; 3],
         axis: usize,
-        line: &mut [f64],
-        scratch: &mut [f64],
-        mut f: impl FnMut(&mut [f64], usize, &mut [f64]),
+        line: &mut [T],
+        scratch: &mut [T],
+        mut f: impl FnMut(&mut [T], usize, &mut [T]),
     ) {
         let n = cur[axis];
         let (stride_x, stride_y, stride_z) = (1, dims[0], dims[0] * dims[1]);

@@ -184,6 +184,40 @@ proptest! {
     }
 
     #[test]
+    fn blocked_f32_bit_identical_and_reconstructs((data, dims) in panel_volume_strategy(),
+                                                  kernel in kernel_strategy()) {
+        // The f32 instantiation honors the same contracts as f64: blocked
+        // == per-line reference bitwise, any executor schedule, and the
+        // inverse reconstructs to f32 tolerance.
+        let data32: Vec<f32> = data.iter().map(|&v| v as f32).collect();
+        let levels = levels_for_dims(dims);
+        let mut per_line = data32.clone();
+        reference::forward_3d(&mut per_line, dims, levels, kernel);
+        let mut blocked = data32.clone();
+        forward_3d(&mut blocked, dims, levels, kernel);
+        prop_assert_eq!(
+            per_line.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            blocked.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "f32 forward mismatch, dims {:?}", dims
+        );
+
+        let mut striped = data32.clone();
+        let mut scratch = TransformScratch::<f32>::new();
+        forward_3d_with(&mut striped, dims, levels, kernel, &StripedWorkers(3), &mut scratch);
+        prop_assert_eq!(
+            blocked.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            striped.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "f32 worker keying changed output"
+        );
+
+        inverse_3d(&mut blocked, dims, levels, kernel);
+        let scale: f32 = data32.iter().fold(1.0f32, |m, v| m.max(v.abs()));
+        for (a, b) in data32.iter().zip(&blocked) {
+            prop_assert!((a - b).abs() <= scale * 1e-4, "f32 roundtrip error: {a} vs {b}");
+        }
+    }
+
+    #[test]
     fn partial_inverse_with_matches_allocating((data, dims) in panel_volume_strategy(),
                                                skip in 0usize..3) {
         let levels = levels_for_dims(dims);

@@ -1,17 +1,18 @@
 #!/usr/bin/env bash
-# Hot-path throughput benchmark; writes the tracked BENCH_pr8.json
+# Hot-path throughput benchmark; writes the tracked BENCH_pr9.json
 # artifact (see crates/bench/src/bin/hotpath.rs for what is measured;
-# BENCH_pr2.json/BENCH_pr4.json/BENCH_pr5.json/BENCH_pr7.json are the
-# frozen earlier editions the speck ratios baseline against).
+# BENCH_pr2.json/BENCH_pr4.json/BENCH_pr5.json/BENCH_pr7.json/
+# BENCH_pr8.json are the frozen earlier editions the ratios baseline
+# against).
 #
 # Usage:
-#   scripts/bench.sh            # full run (256^3), writes BENCH_pr8.json
+#   scripts/bench.sh            # full run (256^3), writes BENCH_pr9.json
 #   scripts/bench.sh --smoke    # tiny dims, writes target/bench_smoke.json
 #   scripts/bench.sh --out F    # override the output path
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="BENCH_pr8.json"
+OUT="BENCH_pr9.json"
 SMOKE=()
 while [ $# -gt 0 ]; do
   case "$1" in

@@ -20,14 +20,18 @@ echo "==> force-scalar matrix: build + full test suite on the scalar twins"
 # its scalar twin — the portability escape hatch for targets where the
 # blocked loops don't pay off. The whole workspace must build and pass
 # (including the conformance goldens, which prove the scalar path is
-# bit-identical to the blocked one end-to-end).
+# bit-identical to the blocked one end-to-end, and the width-generic
+# kernel proptests, which run at both f32 and f64 so the scalar twins
+# cover the f32-native path too).
 cargo build --workspace --release --features sperr-simd/force-scalar
 cargo test --workspace --quiet --features sperr-simd/force-scalar
 
 echo "==> cross-target check: aarch64 (NEON lane widths)"
 # Type-check the workspace for a 128-bit-SIMD target so a portability
 # break (x86-only assumption, pointer-width slip) is caught even though
-# this host can't run the result. Needs the target's rustc component
+# this host can't run the result. The width-generic kernels monomorphize
+# at both f32 and f64 here, so a NEON-lane-count assumption in either
+# instantiation fails this check. Needs the target's rustc component
 # only (no linking: cargo check); installs are forbidden in CI, so skip
 # gracefully — loudly — when the target stdlib is absent.
 if rustc --target aarch64-unknown-linux-gnu --print sysroot >/dev/null 2>&1 \
@@ -103,18 +107,21 @@ target/release/hotpath --check BENCH_pr4.json
 target/release/hotpath --check BENCH_pr5.json
 target/release/hotpath --check BENCH_pr7.json
 target/release/hotpath --check BENCH_pr8.json
+target/release/hotpath --check BENCH_pr9.json
 
-echo "==> perf gate: committed BENCH_pr8.json vs PR 2..7 baselines (hard)"
+echo "==> perf gate: committed BENCH_pr9.json vs PR 2..8 baselines (hard)"
 # The committed full-size artifact must not record a >20% regression on
 # the SPECK stage ratios relative to the best committed baseline — this
 # is the deterministic hard gate (it compares tracked files, so it never
 # flakes on host noise; it fails exactly when someone commits a slower
 # artifact). Satellite of the PR 7 overhaul: the PR 5 episode showed a
-# soft warning on these ratios is too easy to scroll past. The PR 8
-# artifact adds the random-access speedups (region_* ratios), which only
-# warn: they have no earlier baseline to hard-gate against yet.
-target/release/hotpath --perf-gate BENCH_pr8.json \
-    BENCH_pr2.json BENCH_pr4.json BENCH_pr5.json BENCH_pr7.json
+# soft warning on these ratios is too easy to scroll past. The PR 9
+# artifact additionally carries the f32-native end-to-end ratios, which
+# the gate binary enforces as an absolute ≥1.0 floor on full-size
+# artifacts: committing an artifact where the f32 path is slower than
+# the f64 path on any end-to-end workload fails CI.
+target/release/hotpath --perf-gate BENCH_pr9.json \
+    BENCH_pr2.json BENCH_pr4.json BENCH_pr5.json BENCH_pr7.json BENCH_pr8.json
 
 echo "==> perf gate: fresh smoke run vs baselines (soft)"
 # Compare the smoke run's derived speedup ratios against the BEST value
@@ -130,7 +137,8 @@ echo "==> perf gate: fresh smoke run vs baselines (soft)"
 # hard by `sperr-conformance check` + the golden governance step above
 # (the goldens exercise every coder path and fail on any byte change).
 target/release/hotpath --perf-gate target/bench_smoke.json \
-    BENCH_pr2.json BENCH_pr4.json BENCH_pr5.json BENCH_pr7.json BENCH_pr8.json
+    BENCH_pr2.json BENCH_pr4.json BENCH_pr5.json BENCH_pr7.json BENCH_pr8.json \
+    BENCH_pr9.json
 
 echo "==> telemetry matrix: rebuild with the feature compiled in"
 # Everything above ran with telemetry compiled OUT (the default, and the
