@@ -36,6 +36,18 @@
 //!   end-to-end ratios as a hard ≥1 floor: the f32 path may never be
 //!   slower than running the same data through the f64 pipeline.
 //!
+//! `loadgen` (PR 10) is a different bench mode entirely: a mixed-traffic
+//! load monitor that drives bulk compress/decompress jobs interleaved
+//! with small latency-bound `decode_region` and `decode_at_bpp` jobs
+//! through ONE shared worker pool, recording per-class latency into the
+//! telemetry crate's log-linear histograms and emitting p50/p99 + MB/s
+//! per class into `BENCH_pr10.json` (`"kind": "loadgen"`, schema
+//! `sperr-bench-pr10/v1`). `trend` reads every committed `BENCH_pr*.json`
+//! in one invocation, prints the cross-PR trajectory of each derived
+//! ratio plus any loadgen class tables, and hard-fails when the latest
+//! full-size occurrence of a [`HARD_GATE_KEYS`] ratio sits more than 20%
+//! below the best value that ratio ever reached across the history.
+//!
 //! `--check FILE` validates an artifact instead of benchmarking (CI uses
 //! this to fail on malformed JSON). `--perf-gate NEW BASELINE...`
 //! compares the derived ratios of an artifact against the *best* value
@@ -52,7 +64,7 @@
 //! the script; `host_threads`, `effective_workers` and `chunk_count`
 //! record its parallelism so the artifact stays interpretable.
 
-use sperr_bench::json::{parse, validate_bench_artifact, validate_trace_artifact, Json};
+use sperr_bench::json::{parse, schema_pr, validate_bench_artifact, validate_trace_artifact, Json};
 use sperr_compress_api::Bound;
 use sperr_conformance::oracle;
 use sperr_core::{CompressionStats, Sperr, SperrConfig, StageTimes};
@@ -111,13 +123,53 @@ const F32_FLOOR_KEYS: [&str; 5] = [
 ];
 
 fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    // Subcommand modes (PR 10) come before the flag loop: `loadgen`
+    // writes the mixed-traffic artifact, `trend` reads the whole
+    // committed BENCH_pr*.json history.
+    match raw.first().map(String::as_str) {
+        Some("loadgen") => {
+            let mut out_path = String::from("BENCH_pr10.json");
+            let mut smoke = false;
+            let mut it = raw.iter().skip(1);
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--smoke" => smoke = true,
+                    "--out" => {
+                        out_path = it.next().expect("--out needs a path").clone();
+                    }
+                    other => fatal(&format!(
+                        "loadgen: unknown argument {other:?}\nusage: hotpath loadgen [--smoke] [--out FILE]"
+                    )),
+                }
+            }
+            let artifact = run_loadgen(smoke);
+            let text = artifact.render();
+            validate_bench_artifact(&text)
+                .unwrap_or_else(|e| fatal(&format!("emitted loadgen artifact failed validation: {e}")));
+            std::fs::write(&out_path, text)
+                .unwrap_or_else(|e| fatal(&format!("cannot write {out_path}: {e}")));
+            println!("wrote {out_path}");
+            return;
+        }
+        Some("trend") => {
+            let paths: Vec<&str> = raw.iter().skip(1).map(String::as_str).collect();
+            if paths.is_empty() {
+                fatal("usage: hotpath trend BENCH_pr2.json BENCH_pr4.json ...");
+            }
+            trend(&paths);
+            return;
+        }
+        _ => {}
+    }
+
     let mut out_path = String::from("BENCH_pr9.json");
     let mut smoke = false;
     let mut check: Option<String> = None;
     let mut gate: Option<(String, Vec<String>)> = None;
     let mut trace_out: Option<String> = None;
     let mut check_trace: Option<(String, Vec<String>)> = None;
-    let mut args = std::env::args().skip(1);
+    let mut args = raw.into_iter();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
@@ -141,7 +193,8 @@ fn main() {
                 eprintln!(
                     "usage: hotpath [--smoke] [--out FILE] | --check FILE | \
                      --perf-gate NEW BASELINE... | --trace FILE | \
-                     --check-trace FILE [label...]"
+                     --check-trace FILE [label...] | \
+                     loadgen [--smoke] [--out FILE] | trend FILE..."
                 );
                 std::process::exit(2);
             }
@@ -379,6 +432,313 @@ fn perf_gate(new_path: &str, base_paths: &[&str]) {
             hard_failures.join(", ")
         ));
     }
+}
+
+/// Mixed-traffic load monitor (the PR 10 tentpole's bench half). One
+/// shared `Sperr` — hence one shared worker pool — serves every traffic
+/// class; jobs run back-to-back in a fixed interleaved schedule, so each
+/// small latency-bound job lands on a pool whose caches and allocator
+/// state were just churned by a bulk job, the way a mixed-tenant daemon
+/// would see it. Per-job wall times go into the telemetry crate's own
+/// log-linear [`sperr_telemetry::Histogram`] (dogfooding the metrics
+/// layer this PR adds: the artifact's p50/p99 carry its documented
+/// ≤6.25% bucket error), and each class reports ops, p50/p99/mean
+/// latency and aggregate MB/s.
+fn run_loadgen(smoke: bool) -> Json {
+    use sperr_telemetry::Histogram;
+
+    let dims: [usize; 3] = if smoke { [32, 32, 32] } else { [128, 128, 128] };
+    let points: usize = dims.iter().product();
+    let host_threads =
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    // Half-extent chunks: 8 chunks, so bulk jobs fan out across the pool
+    // and region jobs have an index worth seeking.
+    let chunk = [dims[0] / 2, dims[1] / 2, dims[2] / 2];
+    let sperr = Sperr::new(SperrConfig {
+        chunk_dims: chunk,
+        lossless: false,
+        num_threads: 8,
+        ..SperrConfig::default()
+    });
+    let field = SyntheticField::MirandaDensity.generate(dims, SEED);
+    let field32 = field.narrow_lossy();
+    let t = field.range() * 1e-4;
+    let preview_bpp = 1.0;
+
+    // Decode-side classes replay these pre-built streams.
+    let stream = sperr.compress_with_stats(&field, Bound::Pwe(t)).unwrap().0;
+    let stream32 = sperr.compress_f32_with_stats(&field32, Bound::Pwe(t)).unwrap().0;
+    // Correctness spot-checks once, outside the timed loop.
+    assert_eq!(sperr.decompress_with_stats(&stream).unwrap().0.data.len(), points);
+    assert_eq!(sperr.decompress_f32(&stream32).unwrap().data.len(), points);
+
+    // Small latency-bound regions: quarter-extent boxes cycling through
+    // the 8 chunk corners, each resolved by the v3 index to one chunk.
+    let rext = [dims[0] / 4, dims[1] / 4, dims[2] / 4];
+    let region_points: usize = rext.iter().product();
+    let corners: Vec<[usize; 3]> = (0..8usize)
+        .map(|i| {
+            [
+                (i & 1) * chunk[0],
+                ((i >> 1) & 1) * chunk[1],
+                ((i >> 2) & 1) * chunk[2],
+            ]
+        })
+        .collect();
+
+    struct Class {
+        name: &'static str,
+        hist: Histogram,
+        bytes: u64,
+        total: Duration,
+    }
+    let mut classes: Vec<Class> = [
+        "compress_bulk_f64",
+        "compress_bulk_f32",
+        "decompress_bulk_f64",
+        "decode_region_small",
+        "decode_at_bpp_preview",
+    ]
+    .into_iter()
+    .map(|name| Class { name, hist: Histogram::new(), bytes: 0, total: Duration::ZERO })
+    .collect();
+    const C64: usize = 0;
+    const C32: usize = 1;
+    const DEC: usize = 2;
+    const REG: usize = 3;
+    const PRE: usize = 4;
+    // One round of mixed traffic: every bulk job is bracketed by small
+    // latency jobs, so the region class's tail reflects pool contention
+    // rather than an idle machine.
+    const SCHEDULE: [usize; 14] =
+        [REG, C64, REG, PRE, REG, DEC, REG, C32, REG, PRE, REG, DEC, REG, REG];
+    let rounds = if smoke { 2usize } else { 6 };
+
+    let mut corner = 0usize;
+    for _ in 0..rounds {
+        for &class in &SCHEDULE {
+            let t0 = Instant::now();
+            let bytes: u64 = match class {
+                C64 => {
+                    let s = sperr.compress_with_stats(&field, Bound::Pwe(t)).unwrap().0;
+                    std::hint::black_box(s.len());
+                    (points * 8) as u64
+                }
+                C32 => {
+                    let s =
+                        sperr.compress_f32_with_stats(&field32, Bound::Pwe(t)).unwrap().0;
+                    std::hint::black_box(s.len());
+                    (points * 4) as u64
+                }
+                DEC => {
+                    let rec = sperr.decompress_with_stats(&stream).unwrap().0;
+                    std::hint::black_box(rec.data.len());
+                    (points * 8) as u64
+                }
+                REG => {
+                    let lo = corners[corner % corners.len()];
+                    corner += 1;
+                    let hi = [lo[0] + rext[0], lo[1] + rext[1], lo[2] + rext[2]];
+                    let (part, report) = sperr.decode_region(&stream, lo, hi).unwrap();
+                    assert!(report.all_ok());
+                    std::hint::black_box(part.data.len());
+                    (region_points * 8) as u64
+                }
+                PRE => {
+                    let preview = sperr.decode_at_bpp(&stream, preview_bpp).unwrap();
+                    std::hint::black_box(preview.data.len());
+                    (points * 8) as u64
+                }
+                _ => unreachable!(),
+            };
+            let d = t0.elapsed();
+            let c = &mut classes[class];
+            c.hist.record(d.as_nanos() as u64);
+            c.bytes += bytes;
+            c.total += d;
+        }
+    }
+
+    for c in &classes {
+        eprintln!(
+            "loadgen {:<22} ops {:>3}  p50 {:>9.3}ms  p99 {:>9.3}ms  {:>8.2} MB/s",
+            c.name,
+            c.hist.count,
+            c.hist.quantile(0.5) as f64 / 1e6,
+            c.hist.quantile(0.99) as f64 / 1e6,
+            c.bytes as f64 / 1e6 / c.total.as_secs_f64(),
+        );
+    }
+
+    let class_json: Vec<Json> = classes
+        .iter()
+        .map(|c| {
+            Json::obj(vec![
+                ("name", Json::Str(c.name.into())),
+                ("ops", Json::Num(c.hist.count as f64)),
+                ("p50_ms", Json::Num(c.hist.quantile(0.5) as f64 / 1e6)),
+                ("p99_ms", Json::Num(c.hist.quantile(0.99) as f64 / 1e6)),
+                (
+                    "mean_ms",
+                    Json::Num(c.total.as_secs_f64() * 1e3 / c.hist.count.max(1) as f64),
+                ),
+                ("mb_per_s", Json::Num(c.bytes as f64 / 1e6 / c.total.as_secs_f64())),
+            ])
+        })
+        .collect();
+
+    Json::obj(vec![
+        ("schema", Json::Str("sperr-bench-pr10/v1".into())),
+        ("kind", Json::Str("loadgen".into())),
+        ("smoke", Json::Bool(smoke)),
+        ("host_threads", Json::Num(host_threads as f64)),
+        ("effective_workers", Json::Num(sperr.effective_workers(dims) as f64)),
+        ("chunk_count", Json::Num(sperr.chunk_count(dims) as f64)),
+        ("dims", Json::Arr(dims.iter().map(|&d| Json::Num(d as f64)).collect())),
+        ("points", Json::Num(points as f64)),
+        ("pwe_tolerance", Json::Num(t)),
+        ("preview_bpp", Json::Num(preview_bpp)),
+        ("rounds", Json::Num(rounds as f64)),
+        ("classes", Json::Arr(class_json)),
+    ])
+}
+
+/// Cross-PR trend report + gate: loads every given `BENCH_pr*.json`,
+/// prints each derived ratio's trajectory in schema order, tabulates any
+/// loadgen artifacts' traffic classes, and fails the process when the
+/// LATEST full-size occurrence of a hard-gated SPECK ratio sits >20%
+/// below the best value that ratio ever reached across the history —
+/// the cross-history form of `--perf-gate`'s pairwise check, so the
+/// whole committed trajectory is enforced in one deterministic step.
+fn trend(paths: &[&str]) {
+    struct Art {
+        path: String,
+        pr: u32,
+        smoke: bool,
+        root: Json,
+    }
+    let mut arts: Vec<Art> = paths
+        .iter()
+        .map(|&path| {
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| fatal(&format!("trend: cannot read {path}: {e}")));
+            let root =
+                parse(&text).unwrap_or_else(|e| fatal(&format!("trend: {path}: {e}")));
+            let pr = match root.get("schema") {
+                Some(Json::Str(s)) => schema_pr(s)
+                    .unwrap_or_else(|| fatal(&format!("trend: {path}: unrecognized schema {s:?}"))),
+                other => fatal(&format!("trend: {path}: missing \"schema\": {other:?}")),
+            };
+            let smoke = matches!(root.get("smoke"), Some(Json::Bool(true)));
+            Art { path: path.to_string(), pr, smoke, root }
+        })
+        .collect();
+    arts.sort_by_key(|a| a.pr);
+
+    // Derived-ratio trajectory, keys in first-seen (oldest-schema) order.
+    let mut keys: Vec<String> = Vec::new();
+    for art in &arts {
+        if let Some(Json::Obj(derived)) = art.root.get("derived") {
+            for (k, v) in derived {
+                if v.as_num().is_some() && !keys.contains(k) {
+                    keys.push(k.clone());
+                }
+            }
+        }
+    }
+    println!("perf trend across {} artifact(s):", arts.len());
+    let mut header = format!("{:<34}", "derived ratio");
+    for art in &arts {
+        header.push_str(&format!(
+            " {:>9}",
+            format!("pr{}{}", art.pr, if art.smoke { "*" } else { "" })
+        ));
+    }
+    println!("{header}   (* = smoke)");
+    for key in &keys {
+        let mut line = format!("{key:<34}");
+        for art in &arts {
+            match art.root.get("derived").and_then(|d| d.get(key)).and_then(Json::as_num) {
+                Some(v) => line.push_str(&format!(" {v:>9.3}")),
+                None => line.push_str(&format!(" {:>9}", "-")),
+            }
+        }
+        println!("{line}");
+    }
+
+    // Loadgen artifacts: per-class latency/throughput tables.
+    for art in &arts {
+        if !matches!(art.root.get("kind"), Some(Json::Str(k)) if k == "loadgen") {
+            continue;
+        }
+        println!("\nloadgen classes in {} (pr{}):", art.path, art.pr);
+        println!(
+            "{:<24} {:>5} {:>12} {:>12} {:>10}",
+            "class", "ops", "p50_ms", "p99_ms", "mb_per_s"
+        );
+        let Some(classes) = art.root.get("classes").and_then(Json::as_arr) else { continue };
+        for c in classes {
+            let num = |k: &str| c.get(k).and_then(Json::as_num).unwrap_or(f64::NAN);
+            let name = match c.get("name") {
+                Some(Json::Str(s)) => s.clone(),
+                _ => "?".into(),
+            };
+            println!(
+                "{name:<24} {:>5} {:>12.3} {:>12.3} {:>10.2}",
+                num("ops") as u64,
+                num("p50_ms"),
+                num("p99_ms"),
+                num("mb_per_s"),
+            );
+        }
+    }
+
+    // The gate: latest full-size value of each hard key vs the best the
+    // history ever recorded. Smoke artifacts are excluded — their dims
+    // make the ratios incomparable (same policy as --perf-gate).
+    println!();
+    let mut failures: Vec<String> = Vec::new();
+    for key in HARD_GATE_KEYS {
+        let series: Vec<(&Art, f64)> = arts
+            .iter()
+            .filter(|a| !a.smoke)
+            .filter_map(|a| {
+                a.root
+                    .get("derived")
+                    .and_then(|d| d.get(key))
+                    .and_then(Json::as_num)
+                    .map(|v| (a, v))
+            })
+            .collect();
+        let Some(&(latest, n)) = series.last() else {
+            println!("trend gate: {key:<28} no full-size artifact carries it — skipped");
+            continue;
+        };
+        if series.len() < 2 {
+            println!("trend gate: {key:<28} only one data point ({n:.3}) — nothing to gate");
+            continue;
+        }
+        let (best_art, best) = series
+            .iter()
+            .fold((series[0].0, series[0].1), |acc, &(a, v)| if v > acc.1 { (a, v) } else { acc });
+        let ok = n >= 0.8 * best;
+        println!(
+            "trend gate: {key:<28} latest {n:.3} ({}) vs best {best:.3} ({}) [{}]",
+            latest.path,
+            best_art.path,
+            if ok { "ok" } else { "REGRESSED (hard)" }
+        );
+        if !ok {
+            failures.push(key.to_string());
+        }
+    }
+    if !failures.is_empty() {
+        fatal(&format!(
+            "trend gate: hard-gated ratio(s) regressed >20% vs their historical best: {}",
+            failures.join(", ")
+        ));
+    }
+    println!("trend gate: OK");
 }
 
 /// Best-of-`reps` wall time of `f`.

@@ -309,8 +309,9 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
 
 /// The PR number in a `sperr-bench-prN/vM` schema tag, used to decide
 /// which generation of requirements an artifact must satisfy (older
-/// committed baselines stay valid under their original schema).
-fn schema_pr(tag: &str) -> Option<u32> {
+/// committed baselines stay valid under their original schema). Public
+/// so the `hotpath trend` report can order artifacts by generation.
+pub fn schema_pr(tag: &str) -> Option<u32> {
     let rest = tag.strip_prefix("sperr-bench-pr")?;
     let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
     digits.parse().ok()
@@ -329,6 +330,12 @@ pub fn validate_bench_artifact(text: &str) -> Result<(), String> {
         Some(Json::Str(s)) if s.starts_with("sperr-bench") => schema_pr(s),
         other => return Err(format!("missing/invalid \"schema\": {other:?}")),
     };
+    // Loadgen artifacts (PR 10) carry per-class latency distributions
+    // instead of the throughput-workload/derived-ratio structure — a
+    // different requirement set entirely.
+    if matches!(root.get("kind"), Some(Json::Str(k)) if k == "loadgen") {
+        return validate_loadgen(&root, pr);
+    }
     let mut host_keys = vec!["host_threads", "points"];
     if pr.is_some_and(|n| n >= 5) {
         host_keys.extend(["effective_workers", "chunk_count"]);
@@ -414,6 +421,63 @@ pub fn validate_bench_artifact(text: &str) -> Result<(), String> {
         match derived.get(key).and_then(Json::as_num) {
             Some(n) if n > 0.0 => {}
             other => return Err(format!("derived.{key} missing/invalid: {other:?}")),
+        }
+    }
+    Ok(())
+}
+
+/// Requirement set for a `"kind": "loadgen"` artifact (PR 10): schema
+/// generation ≥ 10, host metadata, and at least four traffic classes,
+/// each carrying an op count, positive p50/p99 latencies in
+/// milliseconds with `p99 >= p50`, and a positive MB/s figure — the
+/// fields the acceptance criteria and the `trend` report read.
+fn validate_loadgen(root: &Json, pr: Option<u32>) -> Result<(), String> {
+    if !pr.is_some_and(|n| n >= 10) {
+        return Err("\"kind\": \"loadgen\" requires schema sperr-bench-pr10 or later".into());
+    }
+    for key in ["host_threads", "points", "effective_workers", "chunk_count", "rounds"] {
+        match root.get(key).and_then(Json::as_num) {
+            Some(n) if n >= 1.0 => {}
+            other => return Err(format!("missing/invalid \"{key}\": {other:?}")),
+        }
+    }
+    let dims = root.get("dims").and_then(Json::as_arr).ok_or("missing \"dims\"")?;
+    if dims.len() != 3 || dims.iter().any(|d| d.as_num().is_none_or(|n| n < 1.0)) {
+        return Err("\"dims\" must be three positive numbers".into());
+    }
+    let classes = root.get("classes").and_then(Json::as_arr).ok_or("missing \"classes\"")?;
+    if classes.len() < 4 {
+        return Err(format!(
+            "loadgen artifact has {} traffic class(es); the mixed-traffic contract needs >= 4",
+            classes.len()
+        ));
+    }
+    for (i, c) in classes.iter().enumerate() {
+        let name = match c.get("name") {
+            Some(Json::Str(s)) => s.clone(),
+            other => return Err(format!("class {i}: missing \"name\": {other:?}")),
+        };
+        match c.get("ops").and_then(Json::as_num) {
+            Some(n) if n >= 1.0 => {}
+            other => return Err(format!("class {name}: missing/invalid \"ops\": {other:?}")),
+        }
+        let p50 = match c.get("p50_ms").and_then(Json::as_num) {
+            Some(n) if n > 0.0 => n,
+            other => return Err(format!("class {name}: missing/invalid \"p50_ms\": {other:?}")),
+        };
+        match c.get("p99_ms").and_then(Json::as_num) {
+            Some(n) if n >= p50 => {}
+            other => {
+                return Err(format!(
+                    "class {name}: \"p99_ms\" must be a number >= p50_ms ({p50}): {other:?}"
+                ))
+            }
+        }
+        match c.get("mb_per_s").and_then(Json::as_num) {
+            Some(n) if n > 0.0 => {}
+            other => {
+                return Err(format!("class {name}: missing/invalid \"mb_per_s\": {other:?}"))
+            }
         }
     }
     Ok(())
@@ -777,6 +841,60 @@ mod tests {
         let mut full = region;
         full.extend(f32_keys);
         assert!(validate_bench_artifact(&build("sperr-bench-pr9/v1", full)).is_ok());
+    }
+
+    #[test]
+    fn loadgen_schema_demands_classes_with_quantiles() {
+        let class = |name: &str, p50: f64, p99: f64| {
+            Json::obj(vec![
+                ("name", Json::Str(name.into())),
+                ("ops", Json::Num(12.0)),
+                ("p50_ms", Json::Num(p50)),
+                ("p99_ms", Json::Num(p99)),
+                ("mean_ms", Json::Num(p50 * 1.1)),
+                ("mb_per_s", Json::Num(80.0)),
+            ])
+        };
+        let build = |schema: &str, classes: Vec<Json>| {
+            Json::obj(vec![
+                ("schema", Json::Str(schema.into())),
+                ("kind", Json::Str("loadgen".into())),
+                ("smoke", Json::Bool(false)),
+                ("host_threads", Json::Num(8.0)),
+                ("effective_workers", Json::Num(8.0)),
+                ("chunk_count", Json::Num(8.0)),
+                ("dims", Json::Arr(vec![Json::Num(4.0), Json::Num(4.0), Json::Num(4.0)])),
+                ("points", Json::Num(64.0)),
+                ("rounds", Json::Num(6.0)),
+                ("classes", Json::Arr(classes)),
+            ])
+            .render()
+        };
+        let four = || {
+            vec![
+                class("compress_bulk_f64", 300.0, 340.0),
+                class("decompress_bulk_f64", 200.0, 230.0),
+                class("decode_region_small", 5.0, 9.0),
+                class("decode_at_bpp_preview", 120.0, 150.0),
+            ]
+        };
+        validate_bench_artifact(&build("sperr-bench-pr10/v1", four())).unwrap();
+        // The loadgen kind is not valid under an older schema generation.
+        assert!(validate_bench_artifact(&build("sperr-bench-pr9/v1", four()))
+            .unwrap_err()
+            .contains("pr10"));
+        // Fewer than four traffic classes breaks the mixed-traffic contract.
+        assert!(validate_bench_artifact(&build("sperr-bench-pr10/v1", four()[..3].to_vec()))
+            .unwrap_err()
+            .contains(">= 4"));
+        // An inverted quantile pair (p99 < p50) is a broken histogram.
+        let mut bad = four();
+        bad[2] = class("decode_region_small", 9.0, 5.0);
+        assert!(validate_bench_artifact(&build("sperr-bench-pr10/v1", bad))
+            .unwrap_err()
+            .contains("p99_ms"));
+        // A loadgen artifact is exempt from the derived-ratio requirements.
+        // (No "derived"/"workloads" keys above, and it still validated.)
     }
 
     #[test]

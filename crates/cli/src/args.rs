@@ -14,7 +14,7 @@ pub struct Args {
 
 /// Option names that take no value.
 const BOOLEAN_FLAGS: &[&str] =
-    &["no-lossless", "help", "quiet", "verify", "verbose", "stats", "stream", "resilient"];
+    &["no-lossless", "help", "quiet", "verify", "verbose", "stats", "stream", "resilient", "json"];
 
 impl Args {
     /// Parses raw argv words (without the program/subcommand names).

@@ -102,11 +102,14 @@ USAGE:
                    (--pwe T | --idx N | --bpp R | --psnr P)
                    [--chunk CX,CY,CZ] [--threads N] [--q-factor F] [--no-lossless]
                    [--stream] [--in-flight N] [--verbose] [--stats] [--trace FILE]
+                   [--metrics FILE]
   sperr decompress --input SPERR --output RAW [--dtype f32|f64] [--level L]
                    [--region X0:X1,Y0:Y1,Z0:Z1] [--preview-bpp R]
                    [--stream] [--in-flight N] [--resilient]
                    [--threads N] [--verbose] [--stats] [--trace FILE]
+                   [--metrics FILE]
   sperr info       --input SPERR [--verify] [--verbose]
+  sperr metrics    --input SPERR [--json] [--threads N]
   sperr gen        --field NAME --dims NX,NY[,NZ] --output RAW [--dtype f32|f64] [--seed S]
   sperr eval       --original RAW --reconstructed RAW --dims NX,NY[,NZ] [--dtype f32|f64]
 
@@ -138,9 +141,13 @@ and coding / container / lossless); for info it runs a timed decode to
 produce them.
 --stats prints a telemetry summary (per-span CPU vs wall time, counters,
 per-worker utilization); --trace FILE writes Chrome trace-event JSON
-loadable in Perfetto (ui.perfetto.dev) or chrome://tracing. Both need a
-build with the `telemetry` cargo feature; without it a warning is printed
-and nothing is recorded.
+loadable in Perfetto (ui.perfetto.dev) or chrome://tracing; --metrics FILE
+exports latency/size histograms with p50/p90/p99/p999 quantiles and memory
+high-water marks as Prometheus text exposition (JSON when FILE ends in
+.json). `sperr metrics --input S` runs a recorded decode and prints the
+exposition to stdout. All need a build with the `telemetry` cargo feature;
+without it a warning is printed and nothing is recorded. In --stream mode
+with data on stdout the summaries move to stderr.
 
 Streaming: --stream (implied when --input or --output is \"-\") drives a
 bounded-memory pipeline instead of loading the whole volume; \"-\" means
@@ -186,6 +193,7 @@ fn run(argv: &[String]) -> Result<(), CliError> {
         "compress" => cmd_compress(&args),
         "decompress" => cmd_decompress(&args),
         "info" => cmd_info(&args),
+        "metrics" => cmd_metrics(&args),
         "gen" => cmd_gen(&args),
         "eval" => cmd_eval(&args),
         "help" | "--help" | "-h" => {
@@ -262,20 +270,39 @@ fn stream_say(output: &str, quiet: bool, msg: String) {
 
 /// Telemetry capture around one CLI operation: `--stats` prints an
 /// aggregate summary after the run, `--trace FILE` writes Chrome
-/// trace-event JSON. Both are inert (with a warning) when the binary was
-/// built without the `telemetry` feature.
+/// trace-event JSON, `--metrics FILE` exports the histogram snapshot
+/// (Prometheus text exposition, or JSON for a `.json` path). All are
+/// inert (with a warning) when the binary was built without the
+/// `telemetry` feature.
 struct TelemetryScope {
     stats: bool,
     trace: Option<std::path::PathBuf>,
+    metrics: Option<std::path::PathBuf>,
+    /// Route the human-readable summaries to stderr (streaming mode with
+    /// data on stdout).
+    to_stderr: bool,
 }
 
 impl TelemetryScope {
-    /// Reads the flags and, when either is present, opens a recording
+    /// Reads the flags and, when any is present, opens a recording
     /// session (or warns that the build cannot record).
     fn begin(args: &Args) -> TelemetryScope {
+        Self::begin_routed(args, false)
+    }
+
+    /// [`TelemetryScope::begin`] for streaming commands: when the data
+    /// stream owns stdout, summaries move to stderr so `--stats` and
+    /// `--stream -` compose.
+    fn begin_stream(args: &Args, output: &str) -> TelemetryScope {
+        Self::begin_routed(args, output == "-")
+    }
+
+    fn begin_routed(args: &Args, to_stderr: bool) -> TelemetryScope {
         let scope = TelemetryScope {
             stats: args.flag("stats"),
             trace: args.opt("trace").map(|p| Path::new(p).to_path_buf()),
+            metrics: args.opt("metrics").map(|p| Path::new(p).to_path_buf()),
+            to_stderr,
         };
         if scope.wanted() {
             if sperr_telemetry::is_enabled() {
@@ -283,7 +310,7 @@ impl TelemetryScope {
             } else {
                 eprintln!(
                     "warning: this build has no `telemetry` feature; \
-                     --stats/--trace will record nothing"
+                     --stats/--trace/--metrics will record nothing"
                 );
             }
         }
@@ -291,7 +318,7 @@ impl TelemetryScope {
     }
 
     fn wanted(&self) -> bool {
-        self.stats || self.trace.is_some()
+        self.stats || self.trace.is_some() || self.metrics.is_some()
     }
 
     /// Stops the session and emits whatever was requested.
@@ -300,13 +327,33 @@ impl TelemetryScope {
             return Ok(());
         }
         let report = sperr_telemetry::stop();
+        let (mut err_out, mut std_out);
+        let out: &mut dyn Write = if self.to_stderr {
+            err_out = std::io::stderr();
+            &mut err_out
+        } else {
+            std_out = std::io::stdout();
+            &mut std_out
+        };
         if let Some(path) = &self.trace {
             std::fs::write(path, report.chrome_trace())
                 .map_err(|e| CliError::Io(e.to_string()))?;
-            println!("trace:       {} events -> {}", report.event_count(), path.display());
+            writeln!(out, "trace:       {} events -> {}", report.event_count(), path.display())
+                .ok();
+        }
+        if let Some(path) = &self.metrics {
+            let snap = sperr_telemetry::MetricsRegistry::global().snapshot();
+            let text = if path.extension().is_some_and(|e| e == "json") {
+                snap.render_json()
+            } else {
+                snap.render_prometheus()
+            };
+            std::fs::write(path, text).map_err(|e| CliError::Io(e.to_string()))?;
+            writeln!(out, "metrics:     {} series -> {}", snap.entries.len(), path.display())
+                .ok();
         }
         if self.stats {
-            print_telemetry_stats(&report);
+            print_telemetry_stats_to(out, &report);
         }
         Ok(())
     }
@@ -314,39 +361,52 @@ impl TelemetryScope {
 
 /// The `--stats` report: per-span CPU (summed across workers) vs wall
 /// (interval union) time, counter totals and per-worker utilization.
-fn print_telemetry_stats(report: &sperr_telemetry::Report) {
+fn print_telemetry_stats_to(out: &mut dyn Write, report: &sperr_telemetry::Report) {
     if report.is_empty() {
-        println!("telemetry:   nothing recorded");
+        writeln!(out, "telemetry:   nothing recorded").ok();
         return;
     }
     let session_ns = report.wall_ns();
-    println!(
+    writeln!(
+        out,
         "telemetry:   session {:.3} ms wall, {} events",
         session_ns as f64 / 1e6,
         report.event_count()
-    );
-    println!("  {:<28} {:>7} {:>11} {:>11} {:>6}", "span", "count", "cpu ms", "wall ms", "par");
+    )
+    .ok();
+    writeln!(out, "  {:<28} {:>7} {:>11} {:>11} {:>6}", "span", "count", "cpu ms", "wall ms", "par")
+        .ok();
     for s in report.span_summary() {
         let cpu = s.cpu_ns as f64 / 1e6;
         let wall = s.wall_ns as f64 / 1e6;
         let par = if s.wall_ns > 0 { s.cpu_ns as f64 / s.wall_ns as f64 } else { 0.0 };
-        println!("  {:<28} {:>7} {:>11.3} {:>11.3} {:>5.2}x", s.label, s.count, cpu, wall, par);
+        writeln!(
+            out,
+            "  {:<28} {:>7} {:>11.3} {:>11.3} {:>5.2}x",
+            s.label, s.count, cpu, wall, par
+        )
+        .ok();
     }
     let counters = report.counter_totals();
     if !counters.is_empty() {
-        println!("  counters:");
+        writeln!(out, "  counters:").ok();
         for (label, total) in counters {
-            println!("    {label:<30} {total}");
+            writeln!(out, "    {label:<30} {total}").ok();
         }
     }
-    println!("  workers:");
+    writeln!(out, "  workers:").ok();
     for (name, busy_ns) in report.track_busy_ns() {
         let pct =
             if session_ns > 0 { 100.0 * busy_ns as f64 / session_ns as f64 } else { 0.0 };
-        println!("    {name:<12} busy {:>9.3} ms  ({pct:>5.1}% of session)", busy_ns as f64 / 1e6);
+        writeln!(
+            out,
+            "    {name:<12} busy {:>9.3} ms  ({pct:>5.1}% of session)",
+            busy_ns as f64 / 1e6
+        )
+        .ok();
     }
     if report.dropped > 0 {
-        println!("  dropped events: {} (ring buffers filled)", report.dropped);
+        writeln!(out, "  dropped events: {} (ring buffers filled)", report.dropped).ok();
     }
 }
 
@@ -512,7 +572,7 @@ fn cmd_compress_stream(args: &Args, input: &str, output: &str) -> Result<(), Cli
         }
     };
     let sperr = build_sperr(args)?;
-    let scope = TelemetryScope::begin(args);
+    let scope = TelemetryScope::begin_stream(args, output);
     let reader = open_reader(input)?;
     let writer = open_writer(output)?;
     // f32 wires stream through the native-width pipeline (tag-2 output,
@@ -575,7 +635,7 @@ fn cmd_decompress_stream(args: &Args, input: &str, output: &str) -> Result<(), C
         ));
     }
     let sperr = build_sperr(args)?;
-    let scope = TelemetryScope::begin(args);
+    let scope = TelemetryScope::begin_stream(args, output);
     let reader = open_reader(input)?;
     let writer = open_writer(output)?;
     let quiet = args.flag("quiet");
@@ -759,6 +819,17 @@ fn cmd_info(args: &Args) -> Result<(), CliError> {
     println!("payloads:    speck {} B, outliers {} B", info.speck_bytes, info.outlier_bytes);
     let n: usize = info.dims.iter().product();
     println!("bitrate:     {:.4} bpp", stream.len() as f64 * 8.0 / n as f64);
+    // Instrumentation is byte-transparent by contract (DESIGN.md §16):
+    // streams from instrumented and plain builds are identical, so
+    // provenance is reported for *this* binary, not read from the bytes.
+    println!(
+        "telemetry:   {}",
+        if sperr_telemetry::is_enabled() {
+            "this build is instrumented (recording never alters stream bytes)"
+        } else {
+            "this build is not instrumented (`telemetry` feature off)"
+        }
+    );
     match &info.chunk_index {
         Some(index) => {
             println!("index:       {} entries (random access: indexed seek)", index.len());
@@ -817,6 +888,32 @@ fn cmd_info(args: &Args) -> Result<(), CliError> {
             ))));
         }
     }
+    Ok(())
+}
+
+/// `sperr metrics`: runs a recorded decode of the input stream and
+/// prints the resulting histogram snapshot — Prometheus text exposition
+/// by default, JSON with `--json`. This is the scrape-style surface of
+/// the metrics layer: one command, machine-readable output on stdout.
+fn cmd_metrics(args: &Args) -> Result<(), CliError> {
+    let input = Path::new(args.req("input")?).to_path_buf();
+    let stream = std::fs::read(&input).map_err(|e| CliError::Io(e.to_string()))?;
+    if !sperr_telemetry::is_enabled() {
+        eprintln!(
+            "warning: this build has no `telemetry` feature; \
+             the snapshot below is empty"
+        );
+    }
+    let sperr = build_sperr(args)?;
+    sperr_telemetry::start();
+    let decode = sperr.decompress_with_stats(&stream);
+    let _ = sperr_telemetry::stop();
+    decode?;
+    // Snapshots survive stop(); shards are cleared by the next start().
+    let snap = sperr_telemetry::MetricsRegistry::global().snapshot();
+    let text =
+        if args.flag("json") { snap.render_json() } else { snap.render_prometheus() };
+    print!("{text}");
     Ok(())
 }
 
@@ -965,6 +1062,43 @@ mod tests {
         } else {
             assert!(!trace.exists(), "trace written by a telemetry-less build");
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn metrics_flag_and_subcommand_export_snapshots() {
+        let dir = std::env::temp_dir().join("sperr_cli_metrics_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let raw = dir.join("x.raw");
+        let packed = dir.join("x.sperr");
+        let prom = dir.join("metrics.prom");
+        let json = dir.join("metrics.json");
+        run(&w(&["gen", "--field", "miranda-density", "--dims", "24,24,16",
+                 "--output", raw.to_str().unwrap(), "--type", "f64", "--quiet"]))
+            .unwrap();
+        run(&w(&["compress", "--input", raw.to_str().unwrap(), "--output",
+                 packed.to_str().unwrap(), "--dims", "24,24,16", "--type", "f64",
+                 "--pwe", "1e-3", "--metrics", prom.to_str().unwrap(), "--quiet"]))
+            .unwrap();
+        run(&w(&["decompress", "--input", packed.to_str().unwrap(), "--output",
+                 dir.join("y.raw").to_str().unwrap(), "--type", "f64",
+                 "--metrics", json.to_str().unwrap(), "--quiet"]))
+            .unwrap();
+        if sperr_telemetry::is_enabled() {
+            let text = std::fs::read_to_string(&prom).unwrap();
+            assert!(text.contains("# TYPE sperr_op_compress_f64_seconds summary"));
+            assert!(text.contains("quantile=\"0.99\""));
+            assert!(text.contains("sperr_stage_speck_encode_seconds_count"));
+            assert!(text.contains("sperr_mem_arena_f64_bytes_max"));
+            let j = std::fs::read_to_string(&json).unwrap();
+            assert!(j.contains("sperr-metrics/v1"));
+            assert!(j.contains("op.decompress.f64"));
+        } else {
+            assert!(!prom.exists(), "metrics written by a telemetry-less build");
+        }
+        // The subcommand prints the exposition for a recorded decode.
+        run(&w(&["metrics", "--input", packed.to_str().unwrap()])).unwrap();
+        run(&w(&["metrics", "--input", packed.to_str().unwrap(), "--json"])).unwrap();
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -13,7 +13,7 @@ use crate::pipeline::{
     ScratchArena,
 };
 use crate::pool::{PerWorker, WorkerPool};
-use crate::stats::{stage_labels, CompressionStats, StageTimes};
+use crate::stats::{metric_labels, stage_labels, CompressionStats, StageTimes};
 use sperr_compress_api::{Bound, CompressError, Field, FieldOf, LossyCompressor, Precision};
 use sperr_simd::Float;
 use sperr_telemetry::timed;
@@ -184,6 +184,11 @@ impl Sperr {
             return Err(CompressError::Invalid("empty field".into()));
         }
         let _run = sperr_telemetry::span!("sperr.compress", field.len());
+        let _op = sperr_telemetry::OpTimer::new(if native_f32 {
+            metric_labels::OP_COMPRESS_F32
+        } else {
+            metric_labels::OP_COMPRESS_F64
+        });
         let chunks_spec = chunk_grid(field.dims, self.config.chunk_dims);
         let (mode, bound_value) = match bound {
             Bound::Pwe(t) => {
@@ -257,7 +262,7 @@ impl Sperr {
                     }
                 }
             };
-            if n_chunks >= pool.threads() {
+            let encoded = if n_chunks >= pool.threads() {
                 // Enough chunks to saturate the pool: parallelize the outer
                 // loop; each chunk's inner stages then run inline.
                 pool.map(n_chunks, |i, w| encode_one(i, w))
@@ -265,7 +270,12 @@ impl Sperr {
                 // Few chunks: serial outer loop so each chunk's wavelet
                 // panels and elementwise sweeps fan out across the pool.
                 (0..n_chunks).map(|i| encode_one(i, 0)).collect()
+            };
+            for w in 0..pool.threads() {
+                // SAFETY: all jobs have completed; no concurrent users.
+                unsafe { arenas.get(w) }.record_footprint();
             }
+            encoded
         });
 
         let mut stats = CompressionStats {
@@ -274,6 +284,10 @@ impl Sperr {
             ..CompressionStats::default()
         };
         for enc in &encoded {
+            sperr_telemetry::record_bytes(
+                metric_labels::SIZE_CHUNK_SPECK,
+                enc.speck_stream.len() as u64,
+            );
             stats.speck_bits += enc.speck_bits;
             stats.outlier_bits += enc.outlier_bits;
             stats.num_outliers += enc.num_outliers as usize;
@@ -309,6 +323,7 @@ impl Sperr {
             out.extend_from_slice(&container);
         }
         stats.output_bytes = out.len();
+        sperr_telemetry::record_bytes(metric_labels::SIZE_OUTPUT, out.len() as u64);
         Ok((out, stats))
     }
 
@@ -556,6 +571,7 @@ impl Sperr {
         hi: [usize; 3],
     ) -> Result<(Field, RegionReport), CompressError> {
         let _run = sperr_telemetry::span!("sperr.decode_region", stream.len());
+        let _op = sperr_telemetry::OpTimer::new(metric_labels::OP_DECODE_REGION);
         let (container, _) = Self::unwrap_outer(stream)?;
         let parsed = read_container(&container)?;
         let header = parsed.header;
@@ -617,6 +633,8 @@ impl Sperr {
         }
 
         let n_targets = targets.len();
+        sperr_telemetry::counter!("region.chunks_touched", n_targets);
+        sperr_telemetry::counter!("region.used_index", used_index as u64);
         let threads = self.effective_threads(&target_specs);
         let container_ref = &container;
         let entries_ref = &entries;
@@ -659,7 +677,7 @@ impl Sperr {
                 // full-decompress slice.
                 let decoded = if native_f32 {
                     let mut arena32 = ScratchArena::<f32>::new();
-                    decompress_chunk_region_with(
+                    let r = decompress_chunk_region_with(
                         speck,
                         outlier,
                         spec.dims,
@@ -672,8 +690,9 @@ impl Sperr {
                         keep_hi,
                         pool,
                         &mut arena32,
-                    )
-                    .map(|(c, t)| (c.iter().map(|&v| v as f64).collect::<Vec<f64>>(), t))
+                    );
+                    arena32.record_footprint();
+                    r.map(|(c, t)| (c.iter().map(|&v| v as f64).collect::<Vec<f64>>(), t))
                 } else {
                     // SAFETY: concurrent jobs see distinct worker slots.
                     let arena = unsafe { arenas.get(w) };
@@ -697,11 +716,16 @@ impl Sperr {
                     Err(err) => (vec![0.0; spec.len()], ChunkStatus::DecodeFailed(err)),
                 }
             };
-            if n_targets >= pool.threads() {
+            let decoded = if n_targets >= pool.threads() {
                 pool.map(n_targets, |j, w| decode_one(j, w))
             } else {
                 (0..n_targets).map(|j| decode_one(j, 0)).collect()
+            };
+            for w in 0..pool.threads() {
+                // SAFETY: all jobs have completed; no concurrent users.
+                unsafe { arenas.get(w) }.record_footprint();
             }
+            decoded
         });
 
         let region_dims = [hi[0] - lo[0], hi[1] - lo[1], hi[2] - lo[2]];
@@ -745,6 +769,7 @@ impl Sperr {
         budgets: &[usize],
     ) -> Result<Field, CompressError> {
         let _run = sperr_telemetry::span!("sperr.decode_at_budgets", stream.len());
+        let _op = sperr_telemetry::OpTimer::new(metric_labels::OP_DECODE_PREVIEW);
         let (container, _) = Self::unwrap_outer(stream)?;
         let parsed = read_container(&container)?;
         verify_chunk_crcs(&container, &parsed)?;
@@ -762,6 +787,9 @@ impl Sperr {
             return Err(CompressError::Corrupt("chunk table size mismatch".into()));
         }
         let offsets = chunk_offsets(&entries, parsed.payload_start);
+        let kept_bytes: usize =
+            entries.iter().zip(budgets).map(|(e, &b)| e.speck_len.min(b)).sum();
+        sperr_telemetry::counter!("preview.kept_speck_bytes", kept_bytes);
         let n_chunks = entries.len();
         let threads = self.effective_threads(&chunks_spec);
         let container_ref = &container;
@@ -785,7 +813,7 @@ impl Sperr {
                     // exactly, so decode_at_bpp stays bit-identical to
                     // transcode-then-decompress for tag-2 streams too.
                     let mut arena32 = ScratchArena::<f32>::new();
-                    decompress_chunk_with(
+                    let r = decompress_chunk_with(
                         speck,
                         &[],
                         specs_ref[i].dims,
@@ -796,8 +824,9 @@ impl Sperr {
                         kernel,
                         pool,
                         &mut arena32,
-                    )
-                    .map(|(c, t)| (c.iter().map(|&v| v as f64).collect::<Vec<f64>>(), t))
+                    );
+                    arena32.record_footprint();
+                    r.map(|(c, t)| (c.iter().map(|&v| v as f64).collect::<Vec<f64>>(), t))
                 } else {
                     // SAFETY: concurrent jobs see distinct worker slots.
                     let arena = unsafe { arenas.get(w) };
@@ -815,11 +844,16 @@ impl Sperr {
                     )
                 }
             };
-            if n_chunks >= pool.threads() {
+            let decoded = if n_chunks >= pool.threads() {
                 pool.map(n_chunks, |i, w| decode_one(i, w))
             } else {
                 (0..n_chunks).map(|i| decode_one(i, 0)).collect()
+            };
+            for w in 0..pool.threads() {
+                // SAFETY: all jobs have completed; no concurrent users.
+                unsafe { arenas.get(w) }.record_footprint();
             }
+            decoded
         });
         let mut volume = vec![0.0f64; header.dims.iter().product()];
         for (spec, result) in chunks_spec.iter().zip(decoded) {
@@ -1006,6 +1040,9 @@ impl Sperr {
         stream: &[u8],
     ) -> Result<(Field, CompressionStats), CompressError> {
         let _run = sperr_telemetry::span!("sperr.decompress", stream.len());
+        // The op label depends on the stream's width tag, unknown until
+        // the container parses — so time manually and record on success.
+        let op_t0 = sperr_telemetry::is_recording().then(std::time::Instant::now);
         let (unwrapped, lossless_time) =
             timed(stage_labels::LOSSLESS_DECOMPRESS, || Self::unwrap_outer(stream));
         let (container, was_lossless) = unwrapped?;
@@ -1042,6 +1079,14 @@ impl Sperr {
         }
         stats.stage_times.container = container_time;
         stats.stage_times.accumulate(&chunk_times);
+        if let Some(t0) = op_t0 {
+            let label = if header.native_f32 {
+                metric_labels::OP_DECOMPRESS_F32
+            } else {
+                metric_labels::OP_DECOMPRESS_F64
+            };
+            sperr_telemetry::record_ns(label, t0.elapsed().as_nanos() as u64);
+        }
         let field = Field::new(header.dims, volume).with_precision(header.precision);
         Ok((field, stats))
     }
@@ -1061,6 +1106,7 @@ impl Sperr {
         stream: &[u8],
     ) -> Result<(FieldOf<f32>, CompressionStats), CompressError> {
         let _run = sperr_telemetry::span!("sperr.decompress_f32", stream.len());
+        let _op = sperr_telemetry::OpTimer::new(metric_labels::OP_DECOMPRESS_F32);
         let (unwrapped, lossless_time) =
             timed(stage_labels::LOSSLESS_DECOMPRESS, || Self::unwrap_outer(stream));
         let (container, was_lossless) = unwrapped?;
@@ -1149,11 +1195,16 @@ impl Sperr {
                     arena,
                 )
             };
-            if n_chunks >= pool.threads() {
+            let decoded = if n_chunks >= pool.threads() {
                 pool.map(n_chunks, |i, w| decode_one(i, w))
             } else {
                 (0..n_chunks).map(|i| decode_one(i, 0)).collect()
+            };
+            for w in 0..pool.threads() {
+                // SAFETY: all jobs have completed; no concurrent users.
+                unsafe { arenas.get(w) }.record_footprint();
             }
+            decoded
         });
 
         let mut times = StageTimes::default();

@@ -65,7 +65,7 @@ mod pipeline;
 mod pool;
 mod stats;
 mod stream;
-pub use stats::stage_labels;
+pub use stats::{metric_labels, stage_labels};
 
 pub use chunk::{chunk_grid, extract_chunk, extract_chunk_into, ChunkSpec};
 pub use compressor::{

@@ -59,6 +59,26 @@ impl<T: Float> ScratchArena<T> {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// Bytes currently held by this arena's buffers, wavelet panel/line
+    /// scratch included. Buffers never shrink, so after a run this *is*
+    /// the arena's high-water mark.
+    pub fn bytes(&self) -> usize {
+        (self.coeffs.capacity() + self.recon.capacity()) * std::mem::size_of::<T>()
+            + self.wavelet.bytes()
+    }
+
+    /// Records the current footprint into the width-matched memory
+    /// histogram (whose max the exporters surface as the high-water
+    /// mark). The drivers call this once per worker arena per run.
+    pub(crate) fn record_footprint(&self) {
+        let label = if std::mem::size_of::<T>() == 4 {
+            crate::stats::metric_labels::MEM_ARENA_F32
+        } else {
+            crate::stats::metric_labels::MEM_ARENA_F64
+        };
+        sperr_telemetry::record_bytes(label, self.bytes() as u64);
+    }
 }
 
 /// Fills `coeffs` with a copy of `data` (the transform is in-place and

@@ -46,6 +46,61 @@ pub mod stage_labels {
         &[LOSSLESS_DECOMPRESS, CONTAINER_READ, SPECK_DECODE, WAVELET_INVERSE, OUTLIER_APPLY];
 }
 
+/// Canonical metric labels for the histogram layer: top-level operation
+/// latencies (split by coefficient width where the pipeline forks),
+/// output-size distributions, and memory gauges. Stage latencies reuse
+/// [`stage_labels`] directly — `sperr_telemetry::timed` records a
+/// histogram sample under the span label at every stage call site.
+pub mod metric_labels {
+    /// Wall time of one `compress` call on the f64 pipeline.
+    pub const OP_COMPRESS_F64: &str = "op.compress.f64";
+    /// Wall time of one `compress_f32` call (f32-native pipeline).
+    pub const OP_COMPRESS_F32: &str = "op.compress.f32";
+    /// Wall time of one `decompress` call over an f64 stream.
+    pub const OP_DECOMPRESS_F64: &str = "op.decompress.f64";
+    /// Wall time of one f32-native decode (`decompress_f32` on a tag-2
+    /// stream, or the widening decode of one inside `decompress`).
+    pub const OP_DECOMPRESS_F32: &str = "op.decompress.f32";
+    /// Wall time of one `decode_region` call (either width).
+    pub const OP_DECODE_REGION: &str = "op.decode_region";
+    /// Wall time of one `decode_at_budgets`/`decode_at_bpp` preview.
+    pub const OP_DECODE_PREVIEW: &str = "op.decode_preview";
+    /// Wall time of one streaming `compress_stream` run.
+    pub const OP_COMPRESS_STREAM: &str = "op.compress_stream";
+    /// Wall time of one streaming `decompress_stream` run.
+    pub const OP_DECOMPRESS_STREAM: &str = "op.decompress_stream";
+
+    /// Final output bytes per compress call (the exporter appends the
+    /// `_bytes` unit suffix — labels stay unit-free).
+    pub const SIZE_OUTPUT: &str = "size.output";
+    /// SPECK payload bytes per encoded chunk.
+    pub const SIZE_CHUNK_SPECK: &str = "size.chunk.speck";
+
+    /// Scratch-arena bytes per worker on the f64 path; the histogram max
+    /// is the high-water mark.
+    pub const MEM_ARENA_F64: &str = "mem.arena.f64";
+    /// Scratch-arena bytes per worker on the f32-native path.
+    pub const MEM_ARENA_F32: &str = "mem.arena.f32";
+
+    /// Streaming pipeline in-flight chunk occupancy, sampled at every
+    /// admit/retire transition; max is the observed peak.
+    pub const STREAM_IN_FLIGHT: &str = "stream.in_flight_chunks";
+    /// Streaming pipeline configured in-flight budget (constant gauge).
+    pub const STREAM_IN_FLIGHT_BUDGET: &str = "stream.in_flight_budget";
+
+    /// Every operation-latency label, for exporters and tests.
+    pub const OPS: &[&str] = &[
+        OP_COMPRESS_F64,
+        OP_COMPRESS_F32,
+        OP_DECOMPRESS_F64,
+        OP_DECOMPRESS_F32,
+        OP_DECODE_REGION,
+        OP_DECODE_PREVIEW,
+        OP_COMPRESS_STREAM,
+        OP_DECOMPRESS_STREAM,
+    ];
+}
+
 /// Wall time spent in each pipeline stage (§V-C's four major steps, plus
 /// the container serialization and lossless back end that bracket them —
 /// with those included, `total()` reconciles with end-to-end time on a

@@ -70,7 +70,7 @@ use crate::pipeline::{
     ScratchArena,
 };
 use crate::pool::{lock_ignore_poison, panic_payload_message, PerWorker, WorkerPool};
-use crate::stats::{stage_labels, CompressionStats, StageTimes};
+use crate::stats::{metric_labels, stage_labels, CompressionStats, StageTimes};
 use crate::ChunkStatus;
 use sperr_compress_api::{Bound, CompressError, Precision};
 use sperr_simd::Float;
@@ -610,6 +610,7 @@ impl Sperr {
         };
         let total_points: usize = dims.iter().product();
         let _run = sperr_telemetry::span!("sperr.compress_stream", total_points);
+        let _op = sperr_telemetry::OpTimer::new(metric_labels::OP_COMPRESS_STREAM);
 
         let cfg = self.config().clone();
         let grid = chunk_grid(dims, cfg.chunk_dims);
@@ -617,6 +618,7 @@ impl Sperr {
         let n_chunks = grid.len();
         let threads = self.effective_threads(&grid);
         let budget = self.resolve_budget(threads, geo.layer_len());
+        sperr_telemetry::record_units(metric_labels::STREAM_IN_FLIGHT_BUDGET, budget as u64);
 
         let mut rd = ScalarReader::<R, T>::new(reader, precision, dims[0]);
         let mut results: Vec<Option<ChunkEncoding>> = (0..n_chunks).map(|_| None).collect();
@@ -662,6 +664,10 @@ impl Sperr {
                 fn acquire(&mut self, _idx: usize) -> Result<Vec<T>, SperrError> {
                     self.in_flight += 1;
                     self.peak = self.peak.max(self.in_flight);
+                    sperr_telemetry::record_units(
+                        metric_labels::STREAM_IN_FLIGHT,
+                        self.in_flight as u64,
+                    );
                     Ok(self.free.pop().unwrap_or_default())
                 }
                 fn complete(&mut self, idx: usize, buf: Vec<T>) -> Result<(), SperrError> {
@@ -669,6 +675,10 @@ impl Sperr {
                         (self.encode)(&buf, &self.grid[idx], self.pool, &mut self.arena)
                     }));
                     self.in_flight -= 1;
+                    sperr_telemetry::record_units(
+                        metric_labels::STREAM_IN_FLIGHT,
+                        self.in_flight as u64,
+                    );
                     self.free.push(buf);
                     match r {
                         Ok(enc) => {
@@ -695,6 +705,7 @@ impl Sperr {
                 arena: ScratchArena::new(),
             };
             ingest_volume(&mut rd, &geo, &grid, &mut sink)?;
+            sink.arena.record_footprint();
             peak_in_flight = sink.peak;
         } else {
             let shared = PipeShared::new(budget);
@@ -738,6 +749,10 @@ impl Sperr {
                     let mut st = lock_ignore_poison(&shared_ref.state);
                     st.free.push(buf);
                     st.in_flight -= 1;
+                    sperr_telemetry::record_units(
+                        metric_labels::STREAM_IN_FLIGHT,
+                        st.in_flight as u64,
+                    );
                     drop(st);
                     shared_ref.caller_cv.notify_all();
                 };
@@ -755,6 +770,10 @@ impl Sperr {
                                 if st.in_flight < self.shared.budget {
                                     st.in_flight += 1;
                                     st.peak = st.peak.max(st.in_flight);
+                                    sperr_telemetry::record_units(
+                                        metric_labels::STREAM_IN_FLIGHT,
+                                        st.in_flight as u64,
+                                    );
                                     return Ok(st.free.pop().unwrap_or_default());
                                 }
                                 st = self
@@ -789,7 +808,12 @@ impl Sperr {
                         }),
                     }
                 };
-                pool.run_with_producer(n_chunks, producer, &worker)
+                let run = pool.run_with_producer(n_chunks, producer, &worker);
+                for w in 0..pool.threads() {
+                    // SAFETY: all jobs have completed; no concurrent users.
+                    unsafe { arenas.get(w) }.record_footprint();
+                }
+                run
             });
             if let Some(e) = shared.take_error() {
                 return Err(e);
@@ -943,6 +967,7 @@ impl Sperr {
             .map_err(|e| SperrError::io(STAGE_INGEST, None, &e))?;
         let bytes_in = stream.len() as u64;
         let _run = sperr_telemetry::span!("sperr.decompress_stream", stream.len());
+        let _op = sperr_telemetry::OpTimer::new(metric_labels::OP_DECOMPRESS_STREAM);
 
         let codec_err = |stage: &'static str, chunk: Option<usize>, source: CompressError| {
             SperrError::Codec { stage, chunk, source }
@@ -976,6 +1001,7 @@ impl Sperr {
         let budget = self.resolve_budget(threads, geo.layer_len());
         let kernel = header.kernel;
         let native_f32 = header.native_f32;
+        sperr_telemetry::record_units(metric_labels::STREAM_IN_FLIGHT_BUDGET, budget as u64);
 
         // Decodes chunk i, honoring resilient semantics: Ok(status) with
         // a data buffer (zero-filled on per-chunk failure), Err on a
@@ -1088,8 +1114,13 @@ impl Sperr {
                         layer.push(data);
                     }
                     peak = peak.max(layer.len());
+                    sperr_telemetry::record_units(
+                        metric_labels::STREAM_IN_FLIGHT,
+                        layer.len() as u64,
+                    );
                     emit_layer(&mut wr, &geo, &grid, base, &layer, &mut row)?;
                 }
+                arena.record_footprint();
                 Ok::<usize, SperrError>(peak)
             })?;
         } else {
@@ -1116,6 +1147,10 @@ impl Sperr {
                                 st.in_flight += 1;
                                 st.next_token += 1;
                                 st.peak = st.peak.max(st.in_flight);
+                                sperr_telemetry::record_units(
+                                    metric_labels::STREAM_IN_FLIGHT,
+                                    st.in_flight as u64,
+                                );
                                 break;
                             }
                             st = shared_ref
@@ -1185,6 +1220,10 @@ impl Sperr {
                                 // tokens and wake token waiters.
                                 let mut st = lock_ignore_poison(&shared_ref.state);
                                 st.in_flight -= layer.len();
+                                sperr_telemetry::record_units(
+                                    metric_labels::STREAM_IN_FLIGHT,
+                                    st.in_flight as u64,
+                                );
                                 drop(st);
                                 shared_ref.worker_cv.notify_all();
                             }
@@ -1201,7 +1240,12 @@ impl Sperr {
                         }),
                     }
                 };
-                pool.run_with_producer(n_chunks, emitter, &worker)
+                let run = pool.run_with_producer(n_chunks, emitter, &worker);
+                for w in 0..pool.threads() {
+                    // SAFETY: all jobs have completed; no concurrent users.
+                    unsafe { arenas.get(w) }.record_footprint();
+                }
+                run
             });
             if let Some(e) = shared.take_error() {
                 return Err(e);

@@ -125,6 +125,7 @@ fn mortonize(meta: &[u8], layout: &MortonLayout) -> Vec<u8> {
 /// ([`sperr_simd::pairwise_max_into`] — contiguous, vectorized). Total
 /// extra memory ≈ `n / (2^D − 1)`.
 fn build_levels<const D: usize>(morton_meta: Vec<u8>, k: u32) -> Vec<Vec<u8>> {
+    let _span = sperr_telemetry::span!("speck.encode.build_levels", k);
     let mut levels = Vec::with_capacity(k as usize + 1);
     levels.push(morton_meta);
     for _ in 1..=k {
@@ -303,6 +304,8 @@ pub(crate) fn encode_morton<T: Float, const D: usize, const CHECKED: bool>(
         sets_split: 0,
     };
     enc.run(num_planes);
+    sperr_telemetry::counter!("speck.morton.cells", n_total);
+    sperr_telemetry::counter!("speck.morton.buckets", k as usize + 1);
     finish(enc.sink, enc.sets_split, num_planes)
 }
 

@@ -26,8 +26,10 @@
 //! ```
 
 mod chrome;
+pub mod metrics;
 mod report;
 
+pub use metrics::{Histogram, MetricEntry, MetricsSnapshot, Unit};
 pub use report::{CounterEvent, LabelSummary, Report, Span, Track};
 
 /// Whether the `enabled` feature was compiled in. Const so callers can
@@ -36,6 +38,8 @@ pub const fn is_enabled() -> bool {
     cfg!(feature = "enabled")
 }
 
+#[cfg(feature = "enabled")]
+mod metrics_runtime;
 #[cfg(feature = "enabled")]
 mod runtime;
 
@@ -82,11 +86,102 @@ mod disabled {
 #[cfg(not(feature = "enabled"))]
 pub use disabled::{add_counter, is_recording, set_worker, start, stop, SpanGuard};
 
+/// Records one duration sample (nanoseconds) into the named latency
+/// histogram. No-op without the `enabled` feature or outside a session.
+#[inline(always)]
+pub fn record_ns(label: &'static str, ns: u64) {
+    #[cfg(feature = "enabled")]
+    metrics_runtime::record(label, metrics::Unit::Nanos, ns);
+    #[cfg(not(feature = "enabled"))]
+    let _ = (label, ns);
+}
+
+/// Records one byte-size sample into the named size histogram (its max
+/// doubles as the high-water mark in the export).
+#[inline(always)]
+pub fn record_bytes(label: &'static str, bytes: u64) {
+    #[cfg(feature = "enabled")]
+    metrics_runtime::record(label, metrics::Unit::Bytes, bytes);
+    #[cfg(not(feature = "enabled"))]
+    let _ = (label, bytes);
+}
+
+/// Records one dimensionless sample (e.g. in-flight chunk occupancy).
+#[inline(always)]
+pub fn record_units(label: &'static str, value: u64) {
+    #[cfg(feature = "enabled")]
+    metrics_runtime::record(label, metrics::Unit::Units, value);
+    #[cfg(not(feature = "enabled"))]
+    let _ = (label, value);
+}
+
+/// Handle over the process-wide metric shards. [`snapshot`] merges every
+/// thread's histograms into one [`MetricsSnapshot`] (always empty
+/// without the `enabled` feature); snapshots survive [`stop`] — shards
+/// are only cleared by the next [`start`] — so exporters run after the
+/// session closes.
+///
+/// [`snapshot`]: MetricsRegistry::snapshot
+pub struct MetricsRegistry;
+
+impl MetricsRegistry {
+    /// The process-wide registry.
+    pub fn global() -> MetricsRegistry {
+        MetricsRegistry
+    }
+
+    /// Merges all per-thread shards into a snapshot, sorted by label.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        #[cfg(feature = "enabled")]
+        {
+            metrics_runtime::snapshot()
+        }
+        #[cfg(not(feature = "enabled"))]
+        MetricsSnapshot::default()
+    }
+}
+
+/// Guard that records the wall time from construction to drop into the
+/// named latency histogram. Used for the top-level operation metrics
+/// (`op.compress.f64`, `op.decode_region`, …) whose bodies have early
+/// returns that make a closure-based [`timed`] awkward. Zero-sized and
+/// inert without the `enabled` feature; in an enabled build it only arms
+/// when a session is recording.
+pub struct OpTimer {
+    #[cfg(feature = "enabled")]
+    armed: Option<(&'static str, std::time::Instant)>,
+}
+
+impl OpTimer {
+    #[inline]
+    pub fn new(label: &'static str) -> OpTimer {
+        #[cfg(feature = "enabled")]
+        {
+            OpTimer { armed: is_recording().then(|| (label, std::time::Instant::now())) }
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            let _ = label;
+            OpTimer {}
+        }
+    }
+}
+
+impl Drop for OpTimer {
+    #[inline]
+    fn drop(&mut self) {
+        #[cfg(feature = "enabled")]
+        if let Some((label, t0)) = self.armed {
+            record_ns(label, t0.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
 /// Runs `f`, returning its result and wall-clock duration, and records a
-/// span around it when telemetry is enabled. This is the replacement for
-/// the hand-rolled `Instant::now()` pairs in the pipeline: the stage
-/// timing that feeds `StageTimes` and the telemetry span come from one
-/// call site.
+/// span around it plus a latency-histogram sample when telemetry is
+/// enabled. This is the replacement for the hand-rolled `Instant::now()`
+/// pairs in the pipeline: the stage timing that feeds `StageTimes`, the
+/// telemetry span and the stage histogram all come from one call site.
 #[inline]
 pub fn timed<R>(label: &'static str, f: impl FnOnce() -> R) -> (R, std::time::Duration) {
     let guard = SpanGuard::new(label);
@@ -94,6 +189,7 @@ pub fn timed<R>(label: &'static str, f: impl FnOnce() -> R) -> (R, std::time::Du
     let r = f();
     let elapsed = t0.elapsed();
     drop(guard);
+    record_ns(label, elapsed.as_nanos() as u64);
     (r, elapsed)
 }
 
@@ -119,7 +215,7 @@ macro_rules! counter {
     };
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(feature = "enabled")))]
 mod tests {
     use super::*;
 
@@ -142,5 +238,24 @@ mod tests {
     #[test]
     fn disabled_span_guard_is_zero_sized() {
         assert_eq!(std::mem::size_of::<SpanGuard>(), 0);
+        assert_eq!(std::mem::size_of::<OpTimer>(), 0);
+    }
+
+    #[cfg(not(feature = "enabled"))]
+    #[test]
+    fn disabled_metrics_are_inert() {
+        start();
+        record_ns("never.timed", 1_000);
+        record_bytes("never.sized", 4096);
+        record_units("never.counted", 3);
+        let _t = OpTimer::new("never.op");
+        drop(_t);
+        let snap = MetricsRegistry::global().snapshot();
+        assert!(snap.is_empty());
+        assert_eq!(snap.dropped, 0);
+        let _ = stop();
+        // Renderers stay usable on the empty snapshot.
+        assert!(snap.render_prometheus().contains("sperr_metrics_dropped_samples 0"));
+        assert!(snap.render_json().contains("sperr-metrics/v1"));
     }
 }

@@ -1,0 +1,291 @@
+//! Recording side of the metrics layer (behind the `enabled` feature):
+//! per-thread shards of atomic histograms, merged into a
+//! [`MetricsSnapshot`] on demand.
+//!
+//! Discipline mirrors the event rings in [`crate::runtime`]: each shard
+//! has exactly one *writing* thread; new (label → histogram) entries are
+//! published by bumping `len` with `Release` after the slot is fully
+//! written, and readers only touch slots below an `Acquire`-loaded
+//! `len`. Unlike ring events, histogram cells mutate after publication,
+//! so the cells themselves are relaxed `AtomicU64`s — uncontended on the
+//! hot path (single writer per shard), safe to read concurrently at
+//! snapshot time. A snapshot taken mid-record can see a bucket increment
+//! before the sidecar `count` (or vice versa); that skew is at most the
+//! handful of in-flight samples and the CLI only snapshots after the
+//! operation completes. Recording is gated on the same session flag as
+//! the rings: an instrumented build without an active session pays one
+//! relaxed load per sample site.
+
+use std::cell::{Cell, OnceCell, UnsafeCell};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use crate::metrics::{bucket_index, Histogram, MetricEntry, MetricsSnapshot, Unit, NUM_BUCKETS};
+
+/// Histograms per thread shard. The pipeline records a few dozen labels
+/// (stages × directions, ops × widths, memory gauges); overflow beyond
+/// this is counted, not silently lost.
+const MAX_HISTS: usize = 64;
+
+/// One label's histogram, all cells relaxed atomics (single writer,
+/// concurrent snapshot readers).
+struct AtomicHist {
+    label: &'static str,
+    unit: Unit,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+    counts: Box<[AtomicU64]>,
+}
+
+impl AtomicHist {
+    fn new(label: &'static str, unit: Unit) -> AtomicHist {
+        AtomicHist {
+            label,
+            unit,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            counts: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    #[inline]
+    fn record(&self, v: u64) {
+        self.counts[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    fn reset(&self) {
+        for c in self.counts.iter() {
+            c.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+
+    /// A plain-histogram copy of the current cells.
+    fn drain(&self) -> Histogram {
+        let mut h = Histogram::new();
+        for (i, c) in self.counts.iter().enumerate() {
+            let n = c.load(Ordering::Relaxed);
+            if n > 0 {
+                h.add_bucket_count(i, n);
+            }
+        }
+        h.count = self.count.load(Ordering::Relaxed);
+        h.sum = self.sum.load(Ordering::Relaxed);
+        h.min = self.min.load(Ordering::Relaxed);
+        h.max = self.max.load(Ordering::Relaxed);
+        h
+    }
+}
+
+struct Shard {
+    /// Published entry count; see module docs for the ordering protocol.
+    len: AtomicUsize,
+    slots: Box<[UnsafeCell<Option<Box<AtomicHist>>>]>,
+    /// Samples discarded because all slots were taken.
+    dropped: AtomicUsize,
+}
+
+// SAFETY: slots are written only by the owning thread and read by
+// snapshots strictly below the Acquire-loaded `len`; the histograms
+// behind the published boxes are all-atomic.
+unsafe impl Send for Shard {}
+unsafe impl Sync for Shard {}
+
+impl Shard {
+    fn new() -> Shard {
+        let slots: Vec<UnsafeCell<Option<Box<AtomicHist>>>> =
+            (0..MAX_HISTS).map(|_| UnsafeCell::new(None)).collect();
+        Shard {
+            len: AtomicUsize::new(0),
+            slots: slots.into_boxed_slice(),
+            dropped: AtomicUsize::new(0),
+        }
+    }
+
+    /// Owner-only: find or create the histogram for `label`. Labels are
+    /// compared by pointer first (they are interned `&'static str`s from
+    /// instrumentation sites), then by content as a fallback.
+    fn hist(&self, label: &'static str, unit: Unit) -> Option<&AtomicHist> {
+        let n = self.len.load(Ordering::Relaxed);
+        for i in 0..n {
+            // SAFETY: slots below `len` are published and never rewritten.
+            let slot = unsafe { &*self.slots[i].get() };
+            if let Some(h) = slot {
+                if std::ptr::eq(h.label.as_ptr(), label.as_ptr()) || h.label == label {
+                    return Some(h);
+                }
+            }
+        }
+        if n >= MAX_HISTS {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        // SAFETY: we are the single writer; slot `n` is unpublished.
+        unsafe { *self.slots[n].get() = Some(Box::new(AtomicHist::new(label, unit))) };
+        self.len.store(n + 1, Ordering::Release);
+        // SAFETY: just published above.
+        unsafe { &*self.slots[n].get() }.as_deref()
+    }
+
+    fn reset(&self) {
+        let n = self.len.load(Ordering::Acquire);
+        for i in 0..n {
+            // SAFETY: slots below `len` are published.
+            if let Some(h) = unsafe { &*self.slots[i].get() } {
+                h.reset();
+            }
+        }
+        self.dropped.store(0, Ordering::Relaxed);
+    }
+}
+
+static SHARDS: Mutex<Vec<Arc<Shard>>> = Mutex::new(Vec::new());
+
+fn lock_shards() -> MutexGuard<'static, Vec<Arc<Shard>>> {
+    SHARDS.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+thread_local! {
+    static SHARD: OnceCell<Arc<Shard>> = const { OnceCell::new() };
+    /// Owner-side one-entry lookup cache: most call sites record the same
+    /// label repeatedly (per chunk / per op), so remembering the last
+    /// (label ptr → histogram ptr) pair skips the slot scan.
+    static LAST: Cell<(*const u8, *const ())> =
+        const { Cell::new((std::ptr::null(), std::ptr::null())) };
+}
+
+fn register_shard() -> Arc<Shard> {
+    let shard = Arc::new(Shard::new());
+    lock_shards().push(Arc::clone(&shard));
+    shard
+}
+
+/// Records one sample into the calling thread's shard. Gated on the
+/// session flag shared with the event rings.
+#[inline]
+pub(crate) fn record(label: &'static str, unit: Unit, value: u64) {
+    if !crate::runtime::is_recording() {
+        return;
+    }
+    let cached = LAST.with(Cell::get);
+    if std::ptr::eq(cached.0, label.as_ptr()) && !cached.1.is_null() {
+        // SAFETY: the cached pointer targets a published AtomicHist in
+        // this thread's shard; the shard is kept alive by the registry
+        // (its Arc in SHARDS is only pruned after the thread exits, which
+        // also destroys this thread-local cache).
+        unsafe { &*(cached.1 as *const AtomicHist) }.record(value);
+        return;
+    }
+    SHARD.with(|cell| {
+        if let Some(h) = cell.get_or_init(register_shard).hist(label, unit) {
+            LAST.with(|c| c.set((label.as_ptr(), h as *const AtomicHist as *const ())));
+            h.record(value);
+        }
+    });
+}
+
+/// Resets every shard (session start): zero the histograms but keep the
+/// label slots, so registration cost is paid once per thread.
+pub(crate) fn reset() {
+    let mut shards = lock_shards();
+    // Prune shards whose threads exited, like the event-ring registry.
+    shards.retain(|s| Arc::strong_count(s) > 1);
+    for shard in shards.iter() {
+        shard.reset();
+    }
+}
+
+/// Merges every thread's shard into one snapshot, sorted by label.
+pub(crate) fn snapshot() -> MetricsSnapshot {
+    let shards = lock_shards();
+    let mut merged: std::collections::BTreeMap<&'static str, (Unit, Histogram)> =
+        std::collections::BTreeMap::new();
+    let mut dropped = 0u64;
+    for shard in shards.iter() {
+        dropped += shard.dropped.load(Ordering::Relaxed) as u64;
+        let n = shard.len.load(Ordering::Acquire);
+        for i in 0..n {
+            // SAFETY: slots below the Acquire-loaded len are published.
+            let Some(h) = (unsafe { &*shard.slots[i].get() }) else { continue };
+            let drained = h.drain();
+            // Slots persist across session resets (registration is paid
+            // once per thread); a label nothing recorded under THIS
+            // session would export as all-zero noise — skip it.
+            if drained.count == 0 {
+                continue;
+            }
+            let entry = merged.entry(h.label).or_insert_with(|| (h.unit, Histogram::new()));
+            entry.1.merge_from(&drained);
+        }
+    }
+    MetricsSnapshot {
+        entries: merged
+            .into_iter()
+            .map(|(name, (unit, hist))| MetricEntry { name: name.to_string(), unit, hist })
+            .collect(),
+        dropped,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shards_record_and_merge_across_threads() {
+        let _serial = crate::runtime::tests_session_lock();
+        crate::start();
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                scope.spawn(|| {
+                    for v in [1_000u64, 2_000, 4_000] {
+                        record("test.latency", Unit::Nanos, v);
+                    }
+                });
+            }
+        });
+        record("test.latency", Unit::Nanos, 8_000);
+        let snap = snapshot();
+        crate::stop();
+        let e = snap.get("test.latency").expect("metric recorded");
+        assert_eq!(e.hist.count, 10);
+        assert_eq!(e.hist.min, 1_000);
+        assert_eq!(e.hist.max, 8_000);
+        assert_eq!(e.unit, Unit::Nanos);
+    }
+
+    #[test]
+    fn sessions_reset_histograms() {
+        let _serial = crate::runtime::tests_session_lock();
+        crate::start();
+        record("test.reset", Unit::Bytes, 42);
+        assert_eq!(snapshot().get("test.reset").unwrap().hist.count, 1);
+        crate::stop();
+        crate::start();
+        let fresh = snapshot();
+        assert!(fresh.get("test.reset").is_none_or(|e| e.hist.count == 0));
+        crate::stop();
+    }
+
+    #[test]
+    fn nothing_recorded_outside_sessions() {
+        let _serial = crate::runtime::tests_session_lock();
+        let _ = crate::stop();
+        record("test.gated", Unit::Units, 5);
+        crate::start();
+        let snap = snapshot();
+        crate::stop();
+        assert!(snap.get("test.gated").is_none_or(|e| e.hist.count == 0));
+    }
+}

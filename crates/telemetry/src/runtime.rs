@@ -183,7 +183,7 @@ pub fn is_recording() -> bool {
 }
 
 /// Begins a recording session: prunes rings whose threads have exited,
-/// resets the survivors, and opens the gate.
+/// resets the survivors (and the metric shards), and opens the gate.
 pub fn start() {
     let mut registry = lock_registry();
     // A ring whose owning thread is gone has strong_count == 1 (the
@@ -194,6 +194,7 @@ pub fn start() {
         ring.dropped.store(0, Ordering::Relaxed);
         ring.len.store(0, Ordering::Release);
     }
+    crate::metrics_runtime::reset();
     SESSION_T0.store(now_ns(), Ordering::Relaxed);
     RECORDING.store(true, Ordering::Release);
 }
@@ -267,14 +268,20 @@ fn pair_events(events: &[Event], t_end: u64) -> (Vec<Span>, Vec<CounterEvent>) {
     (spans, counters)
 }
 
+/// Sessions are global; tests (here and in `metrics_runtime`) that
+/// record must not interleave.
+#[cfg(test)]
+pub(crate) fn tests_session_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    /// Sessions are global; tests that record must not interleave.
     fn session_lock() -> MutexGuard<'static, ()> {
-        static LOCK: Mutex<()> = Mutex::new(());
-        LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+        tests_session_lock()
     }
 
     #[test]

@@ -171,6 +171,13 @@ impl<T: Float> TransformScratch<T> {
             self.max_dim = dim;
         }
     }
+
+    /// Total bytes currently held across all worker buffers (memory
+    /// accounting; capacity equals length because buffers only grow via
+    /// whole reallocation in [`TransformScratch::ensure`]).
+    pub fn bytes(&self) -> usize {
+        self.workers.len() * (PANEL_W + 1) * self.max_dim * std::mem::size_of::<T>()
+    }
 }
 
 #[cfg(test)]

@@ -108,6 +108,23 @@ target/release/hotpath --check BENCH_pr5.json
 target/release/hotpath --check BENCH_pr7.json
 target/release/hotpath --check BENCH_pr8.json
 target/release/hotpath --check BENCH_pr9.json
+target/release/hotpath --check BENCH_pr10.json
+
+echo "==> loadgen smoke: mixed-traffic artifact generates and validates"
+# Tiny-dims mixed-traffic run (PR 10): five classes through one shared
+# pool; the binary self-validates the artifact before writing, and the
+# explicit --check re-reads it from disk.
+target/release/hotpath loadgen --smoke --out target/loadgen_smoke.json
+target/release/hotpath --check target/loadgen_smoke.json
+
+echo "==> trend gate: cross-PR perf trajectory (hard on SPECK ratios)"
+# Reads every committed artifact, prints each derived ratio's trajectory
+# and the loadgen class tables, and fails when the latest full-size
+# occurrence of a hard-gated SPECK ratio is >20% below the best value
+# that ratio ever reached across the history. Deterministic: compares
+# tracked files only.
+target/release/hotpath trend BENCH_pr2.json BENCH_pr4.json BENCH_pr5.json \
+    BENCH_pr7.json BENCH_pr8.json BENCH_pr9.json BENCH_pr10.json
 
 echo "==> perf gate: committed BENCH_pr9.json vs PR 2..8 baselines (hard)"
 # The committed full-size artifact must not record a >20% regression on
@@ -172,7 +189,35 @@ target/release/sperr compress --input /tmp/ci_trace_input.f64 \
 target/release/hotpath --check-trace /tmp/ci_trace.json \
     stage.wavelet.forward stage.speck.encode stage.outlier.locate \
     stage.outlier.encode stage.container.write stage.lossless.compress
-rm -f /tmp/ci_trace_input.f64 /tmp/ci_trace_out.sperr /tmp/ci_trace.json
+
+echo "==> telemetry on: --metrics exports + metrics subcommand"
+# The PR 10 metrics layer end-to-end: a compress run exports Prometheus
+# text exposition (op summary with quantile series, memory _max gauge),
+# a decompress run exports the JSON schema, and the `metrics` subcommand
+# profiles an existing stream directly.
+target/release/sperr compress --input /tmp/ci_trace_input.f64 \
+    --output /tmp/ci_trace_out.sperr --dims 128,128,128 --type f64 \
+    --idx 13 --chunk 64,64,64 --threads 8 \
+    --metrics /tmp/ci_metrics.prom --quiet
+grep -q '# TYPE sperr_op_compress_f64_seconds summary' /tmp/ci_metrics.prom
+grep -q 'sperr_op_compress_f64_seconds{quantile="0.99"} ' /tmp/ci_metrics.prom
+grep -q 'sperr_mem_arena_f64_bytes_max ' /tmp/ci_metrics.prom
+grep -q 'sperr_stage_speck_encode_seconds_count ' /tmp/ci_metrics.prom
+target/release/sperr decompress --input /tmp/ci_trace_out.sperr \
+    --output /tmp/ci_metrics_rt.f64 --metrics /tmp/ci_metrics.json --quiet
+grep -q '"sperr-metrics/v1"' /tmp/ci_metrics.json
+grep -q '"op.decompress.f64"' /tmp/ci_metrics.json
+target/release/sperr metrics --input /tmp/ci_trace_out.sperr \
+    | grep -q 'sperr_op_decompress_f64_seconds_count '
+rm -f /tmp/ci_trace_input.f64 /tmp/ci_trace_out.sperr /tmp/ci_trace.json \
+    /tmp/ci_metrics.prom /tmp/ci_metrics.json /tmp/ci_metrics_rt.f64
+
+echo "==> telemetry + force-scalar matrix: goldens stay byte-identical"
+# The third cell of the feature matrix (PR 10 satellite): metrics
+# recording layered over the scalar kernel twins must still reproduce
+# the committed golden streams byte-for-byte.
+cargo build --workspace --release --features telemetry,sperr-simd/force-scalar
+target/release/sperr-conformance check
 
 echo "==> ThreadSanitizer: pool + streaming pipeline tests"
 # The streaming pipeline is the one place the codebase hand-rolls

@@ -1,0 +1,134 @@
+//! Histogram-correctness properties for the metrics layer (PR 10).
+//! The histogram data model compiles with or without the `telemetry`
+//! feature, so these run in the default tier-1 suite:
+//!
+//! 1. Merge is commutative and associative (bucket-wise addition plus
+//!    exact count/sum/min/max sidecars), so per-thread shards can be
+//!    combined in any order at snapshot time.
+//! 2. A merged histogram is indistinguishable from recording every
+//!    sample into one histogram.
+//! 3. Quantile estimates bound the true sample quantile from above,
+//!    within the documented log-linear bucket error
+//!    ([`sperr_telemetry::metrics::QUANTILE_REL_ERROR`], plus ±1
+//!    absolute in the exact sub-2^SUB_BITS range).
+
+use proptest::prelude::*;
+use sperr_telemetry::metrics::QUANTILE_REL_ERROR;
+use sperr_telemetry::Histogram;
+
+fn hist_of(samples: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in samples {
+        h.record(v);
+    }
+    h
+}
+
+fn assert_hist_eq(a: &Histogram, b: &Histogram) {
+    assert_eq!(a.count, b.count);
+    assert_eq!(a.sum, b.sum);
+    assert_eq!(a.min, b.min);
+    assert_eq!(a.max, b.max);
+    assert_eq!(a.bucket_counts()[..], b.bucket_counts()[..]);
+}
+
+/// The true q-quantile under the rank convention the histogram uses:
+/// the ceil(q·n)-th smallest sample (1-based), clamped into range.
+fn true_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Sample values spanning the interesting ranges: the exact sub-16
+/// buckets, mid-range latencies, and large magnitudes near the top
+/// octaves.
+fn sample_value() -> BoxedStrategy<u64> {
+    prop_oneof![
+        0u64..16,
+        16u64..1_000,
+        1_000u64..10_000_000,
+        (u64::MAX / 4)..u64::MAX,
+    ]
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merge_is_commutative(
+        xs in proptest::collection::vec(sample_value(), 0..40),
+        ys in proptest::collection::vec(sample_value(), 0..40),
+    ) {
+        let (a, b) = (hist_of(&xs), hist_of(&ys));
+        let mut ab = a.clone();
+        ab.merge_from(&b);
+        let mut ba = b.clone();
+        ba.merge_from(&a);
+        assert_hist_eq(&ab, &ba);
+    }
+
+    #[test]
+    fn merge_is_associative_and_matches_combined_recording(
+        xs in proptest::collection::vec(sample_value(), 0..30),
+        ys in proptest::collection::vec(sample_value(), 0..30),
+        zs in proptest::collection::vec(sample_value(), 0..30),
+    ) {
+        let (a, b, c) = (hist_of(&xs), hist_of(&ys), hist_of(&zs));
+        // (a ⊕ b) ⊕ c
+        let mut left = a.clone();
+        left.merge_from(&b);
+        left.merge_from(&c);
+        // a ⊕ (b ⊕ c)
+        let mut bc = b.clone();
+        bc.merge_from(&c);
+        let mut right = a.clone();
+        right.merge_from(&bc);
+        assert_hist_eq(&left, &right);
+        // Either grouping equals one histogram fed every sample.
+        let mut all: Vec<u64> = xs.clone();
+        all.extend(&ys);
+        all.extend(&zs);
+        assert_hist_eq(&left, &hist_of(&all));
+    }
+
+    #[test]
+    fn quantiles_bound_true_sample_quantiles(
+        mut samples in proptest::collection::vec(sample_value(), 1..120),
+        qs in proptest::collection::vec(0.0f64..=1.0, 1..6),
+    ) {
+        let h = hist_of(&samples);
+        samples.sort_unstable();
+        for &q in &qs {
+            let est = h.quantile(q);
+            let truth = true_quantile(&samples, q);
+            // Upper bound: the estimate never understates the sample.
+            prop_assert!(
+                est >= truth,
+                "q={q}: estimate {est} below true quantile {truth}"
+            );
+            // …and overstates it by at most the documented bucket error
+            // (bucket upper edge, clamped to the observed max).
+            let limit = truth as f64 * (1.0 + QUANTILE_REL_ERROR) + 1.0;
+            prop_assert!(
+                est as f64 <= limit.min(h.max as f64),
+                "q={q}: estimate {est} above error bound {limit} (true {truth})"
+            );
+        }
+    }
+}
+
+/// The tracked quantile set is monotone in q — p50 ≤ p90 ≤ p99 ≤ p999 —
+/// for any recorded distribution (a plain consequence of the cumulative
+/// walk, pinned here because the exporters print them side by side).
+#[test]
+fn tracked_quantiles_are_monotone() {
+    let mut h = Histogram::new();
+    for i in 0..10_000u64 {
+        h.record(i.wrapping_mul(2654435761) % 5_000_000);
+    }
+    let (p50, p90, p99, p999) =
+        (h.quantile(0.5), h.quantile(0.9), h.quantile(0.99), h.quantile(0.999));
+    assert!(p50 <= p90 && p90 <= p99 && p99 <= p999, "{p50} {p90} {p99} {p999}");
+    assert!(p999 <= h.max);
+}

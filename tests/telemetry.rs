@@ -128,6 +128,71 @@ fn recording_overhead_stays_under_two_percent() {
 }
 
 #[test]
+fn metrics_snapshot_covers_ops_stages_and_memory() {
+    let _guard = session_lock();
+    let dims = [32usize, 32, 32];
+    let field = sperr_datagen::SyntheticField::MirandaDensity.generate(dims, 11);
+    let field32 = field.narrow_lossy();
+    let t = field.range() * 1e-4;
+    let sperr = Sperr::new(SperrConfig {
+        chunk_dims: [16, 16, 16],
+        num_threads: 2,
+        ..SperrConfig::default()
+    });
+    sperr_telemetry::start();
+    let stream = sperr.compress(&field, Bound::Pwe(t)).unwrap();
+    sperr.decompress(&stream).unwrap();
+    let stream32 = sperr.compress_f32(&field32, Bound::Pwe(t)).unwrap();
+    sperr.decompress_f32(&stream32).unwrap();
+    sperr.decode_region(&stream, [0; 3], [8, 8, 8]).unwrap();
+    sperr.decode_at_bpp(&stream, 1.0).unwrap();
+    sperr_telemetry::stop();
+
+    let snap = sperr_telemetry::MetricsRegistry::global().snapshot();
+    // One latency histogram per exercised top-level operation…
+    use sperr_core::metric_labels as m;
+    for label in [
+        m::OP_COMPRESS_F64,
+        m::OP_DECOMPRESS_F64,
+        m::OP_COMPRESS_F32,
+        m::OP_DECOMPRESS_F32,
+        m::OP_DECODE_REGION,
+        m::OP_DECODE_PREVIEW,
+    ] {
+        let e = snap.get(label).unwrap_or_else(|| panic!("no metric for {label}"));
+        assert!(e.hist.count >= 1, "{label} recorded no samples");
+        assert!(e.hist.quantile(0.5) <= e.hist.quantile(0.99), "{label} quantiles inverted");
+    }
+    // …plus stage latencies (recorded by `timed` under the span labels),
+    // size distributions and the arena memory gauges at both widths.
+    for label in stage_labels::COMPRESS.iter().chain(stage_labels::DECOMPRESS) {
+        assert!(snap.get(label).is_some(), "no stage histogram for {label}");
+    }
+    for label in [m::SIZE_OUTPUT, m::SIZE_CHUNK_SPECK, m::MEM_ARENA_F64, m::MEM_ARENA_F32] {
+        let e = snap.get(label).unwrap_or_else(|| panic!("no metric for {label}"));
+        assert!(e.hist.max > 0, "{label} peak is zero");
+    }
+    assert_eq!(snap.dropped, 0, "shard slots overflowed on a small session");
+
+    // Both exports render: the Prometheus text carries a summary with
+    // quantile series per entry, the JSON names the schema.
+    let prom = snap.render_prometheus();
+    assert!(prom.contains("# TYPE sperr_op_compress_f64_seconds summary"));
+    assert!(prom.contains("sperr_op_compress_f64_seconds{quantile=\"0.99\"} "));
+    assert!(prom.contains("# TYPE sperr_mem_arena_f64_bytes_max gauge"));
+    assert!(snap.render_json().contains("sperr-metrics/v1"));
+
+    // Snapshots are session-scoped: a fresh session resets them, so two
+    // CLI runs in one process cannot bleed into each other.
+    sperr_telemetry::start();
+    sperr_telemetry::stop();
+    assert!(
+        sperr_telemetry::MetricsRegistry::global().snapshot().is_empty(),
+        "metrics survived a session reset"
+    );
+}
+
+#[test]
 fn trace_covers_all_stages_and_worker_tracks() {
     let _guard = session_lock();
     let dims = [32usize, 32, 32];
